@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Section V-B/V-C ablation: sweep the DRAM read bandwidth provisioned
+ * for the cDMA engine (COMP_BW) and report the six-network average
+ * cDMA-ZV performance. The paper states that 200 GB/s "reaps most of the
+ * benefits of sparse compression" out of the 236 GB/s left over by
+ * compute — the curve should saturate near there.
+ */
+
+#include <cstdio>
+
+#include "common/harness.hh"
+#include "common/stats.hh"
+#include "perf/step_sim.hh"
+
+using namespace cdma;
+using bench::Table;
+
+int
+main()
+{
+    std::printf("== Ablation: COMP_BW provisioning (cDMA-ZV, cuDNN v5) "
+                "==\n");
+
+    // Measure per-network ZVC ratios once.
+    std::vector<NetworkDesc> nets = allNetworkDescs();
+    std::vector<std::vector<double>> ratios;
+    for (const auto &net : nets) {
+        const auto measured = bench::measureNetworkRatios(
+            net, Algorithm::Zvc, Layout::NCHW, {});
+        std::vector<double> r;
+        for (const auto &layer : measured.layers)
+            r.push_back(layer.ratio);
+        ratios.push_back(std::move(r));
+    }
+
+    Table table({"COMP_BW (GB/s)", "avg perf vs oracle",
+                 "avg speedup over vDNN", "capped layers"});
+    PerfModel perf;
+    for (double comp_gbps :
+         {25.0, 50.0, 75.0, 100.0, 150.0, 200.0, 236.0, 336.0}) {
+        Accumulator relative, speedup;
+        int capped = 0;
+        for (size_t n = 0; n < nets.size(); ++n) {
+            VdnnMemoryManager manager(nets[n], nets[n].default_batch);
+            CdmaConfig config;
+            config.gpu.comp_bandwidth = comp_gbps * 1e9;
+            CdmaEngine engine(config);
+            for (const auto &layer : ratios[n]) {
+                if (layer * engine.config().gpu.pcie_bandwidth >
+                    engine.config().gpu.comp_bandwidth) {
+                    ++capped;
+                }
+            }
+            StepSimulator sim(manager, engine, perf, CudnnVersion::V5);
+            const StepResult oracle = sim.run(StepMode::Oracle);
+            const StepResult vdnn = sim.run(StepMode::Vdnn);
+            const StepResult cdma = sim.run(StepMode::Cdma, ratios[n]);
+            relative.add(oracle.total_seconds / cdma.total_seconds);
+            speedup.add(cdma.speedupOver(vdnn));
+        }
+        table.addRow({
+            Table::num(comp_gbps, 0),
+            Table::num(relative.mean(), 3),
+            Table::num(speedup.mean(), 3),
+            std::to_string(capped),
+        });
+    }
+    table.print();
+    std::printf("\n(expect saturation by ~200 GB/s, the paper's "
+                "provisioning choice)\n");
+    return 0;
+}

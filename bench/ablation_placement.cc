@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Section V-B design study: where to put the (de)compression units. The
+ * paper places them beside the memory controllers so compressed data
+ * crosses the on-chip crossbar; the strawman placement inside the DMA
+ * engine would require crossbar bandwidth of compression_ratio x PCIe
+ * rate — up to (16 x 13.8) = 220.8 GB/s — to keep PCIe saturated. This
+ * harness quantifies both placements over each network's measured
+ * transfer mix, plus the Section IX footprint extension: storing
+ * activations compressed in GPU DRAM.
+ */
+
+#include <cstdio>
+
+#include "cdma/footprint.hh"
+#include "common/harness.hh"
+#include "gpu/crossbar.hh"
+#include "vdnn/memory_manager.hh"
+
+using namespace cdma;
+using bench::Table;
+
+int
+main()
+{
+    std::printf("== Design study: compression-unit placement "
+                "(Section V-B) ==\n");
+    Table table({"network", "MC peak xbar GB/s", "DMA peak xbar GB/s",
+                 "DMA overprovision"});
+    CrossbarModel crossbar;
+    double worst = 0.0;
+    for (const auto &net : allNetworkDescs()) {
+        const auto measured = bench::measureTimeAveragedRatios(
+            net, Algorithm::Zvc, Layout::NCHW);
+        VdnnMemoryManager manager(net, net.default_batch);
+        std::vector<CrossbarTransfer> mix;
+        const auto &offloads = manager.offloadSchedule();
+        for (size_t k = 0; k < offloads.size(); ++k) {
+            const size_t row = offloads[k].layer_index;
+            const double ratio =
+                row > 0 ? measured.layers[row - 1].ratio : 1.0;
+            mix.push_back(CrossbarTransfer{offloads[k].bytes, ratio});
+        }
+        const auto mc = crossbar.demand(
+            CompressionPlacement::MemoryController, mix);
+        const auto dma =
+            crossbar.demand(CompressionPlacement::DmaEngine, mix);
+        worst = std::max(worst, dma.peak_bandwidth);
+        table.addRow({
+            net.name,
+            Table::num(mc.peak_bandwidth / 1e9, 1),
+            Table::num(dma.peak_bandwidth / 1e9, 1),
+            Table::num(dma.overprovision_factor, 1) + "x",
+        });
+    }
+    table.print();
+    std::printf("\nworst-case DMA-placement crossbar demand: %.1f GB/s "
+                "(paper: up to 220.8 GB/s) vs 16 GB/s for the MC "
+                "placement\n\n",
+                worst / 1e9);
+
+    std::printf("== Extension (Section IX): storing activations "
+                "compressed in GPU DRAM ==\n");
+    Table fp_table({"network", "raw GB", "compressed GB", "metadata MB",
+                    "savings"});
+    CompressedFootprintEstimator estimator;
+    for (const auto &net : allNetworkDescs()) {
+        const auto fp =
+            estimator.estimate(net, net.default_batch, /*t=*/1.0);
+        fp_table.addRow({
+            net.name,
+            Table::num(static_cast<double>(fp.raw_bytes) / 1e9, 2),
+            Table::num(static_cast<double>(fp.compressed_bytes) / 1e9,
+                       2),
+            Table::num(static_cast<double>(fp.metadata_bytes) / 1e6, 1),
+            Table::num(fp.savings_ratio, 2) + "x",
+        });
+    }
+    fp_table.print();
+    std::printf("\n(32 B allocation sectors + 1 B/line translation "
+                "metadata; the addressing scheme the paper defers to "
+                "future work)\n");
+    return 0;
+}

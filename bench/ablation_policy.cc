@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Baseline design-space study: vDNN's offload policy. The paper
+ * evaluates vDNN_all (offload every layer's input, maximal memory
+ * savings, maximal PCIe stress); the original vDNN also proposed a
+ * conv-only policy. This harness compares both policies' memory working
+ * set and iteration time, with and without cDMA compression, showing
+ * that cDMA removes most of the performance argument for the weaker
+ * policy.
+ */
+
+#include <cstdio>
+
+#include "common/harness.hh"
+#include "perf/step_sim.hh"
+
+using namespace cdma;
+using bench::Table;
+
+int
+main()
+{
+    std::printf("== Ablation: vDNN offload policy (cuDNN v5) ==\n");
+    Table table({"network", "policy", "peak GB", "traffic GB",
+                 "vDNN perf", "cDMA-ZV perf"});
+
+    PerfModel perf;
+    for (const auto &net : allNetworkDescs()) {
+        const auto measured = bench::measureTimeAveragedRatios(
+            net, Algorithm::Zvc, Layout::NCHW);
+        std::vector<double> ratios;
+        for (const auto &layer : measured.layers)
+            ratios.push_back(layer.ratio);
+
+        for (OffloadPolicy policy :
+             {OffloadPolicy::All, OffloadPolicy::ConvOnly}) {
+            VdnnMemoryManager manager(net, net.default_batch, policy);
+            CdmaEngine engine(CdmaConfig{});
+            StepSimulator sim(manager, engine, perf, CudnnVersion::V5);
+            const StepResult oracle = sim.run(StepMode::Oracle);
+            const StepResult vdnn = sim.run(StepMode::Vdnn);
+            const StepResult cdma = sim.run(StepMode::Cdma, ratios);
+            const MemoryFootprint fp = manager.footprint();
+            table.addRow({
+                net.name,
+                offloadPolicyName(policy),
+                Table::num(static_cast<double>(fp.vdnn_peak) / 1e9, 2),
+                Table::num(static_cast<double>(
+                               manager.totalOffloadBytes()) / 1e9, 2),
+                Table::num(oracle.total_seconds / vdnn.total_seconds, 3),
+                Table::num(oracle.total_seconds / cdma.total_seconds, 3),
+            });
+        }
+    }
+    table.print();
+    std::printf("\n(offload-conv trades memory scalability for fewer "
+                "stalls; with cDMA the gap narrows, keeping the "
+                "offload-all policy's memory benefits)\n");
+    return 0;
+}

@@ -1,0 +1,179 @@
+#include "common/harness.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace cdma::bench {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    CDMA_ASSERT(cells.size() == headers_.size(),
+                "row has %zu cells, table has %zu columns", cells.size(),
+                headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double value, int precision)
+{
+    std::ostringstream out;
+    out.setf(std::ios::fixed);
+    out.precision(precision);
+    out << value;
+    return out.str();
+}
+
+void
+Table::print() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto printRow = [&](const std::vector<std::string> &row) {
+        std::printf("|");
+        for (size_t c = 0; c < row.size(); ++c)
+            std::printf(" %-*s |", static_cast<int>(widths[c]),
+                        row[c].c_str());
+        std::printf("\n");
+    };
+    printRow(headers_);
+    std::printf("|");
+    for (size_t c = 0; c < headers_.size(); ++c)
+        std::printf("%s|", std::string(widths[c] + 2, '-').c_str());
+    std::printf("\n");
+    for (const auto &row : rows_)
+        printRow(row);
+}
+
+NetworkRatioResult
+measureNetworkRatios(const NetworkDesc &network, Algorithm algorithm,
+                     Layout layout, const RatioMeasureConfig &config)
+{
+    const DensitySchedule schedule(network);
+    const ActivationGenerator generator;
+    const auto compressor = makeCompressor(algorithm, config.window_bytes);
+
+    NetworkRatioResult result;
+    WeightedMean average;
+    result.max = 1.0;
+
+    for (size_t i = 0; i < network.layers.size(); ++i) {
+        const LayerDesc &layer = network.layers[i];
+        LayerRatioResult row;
+        row.name = layer.name;
+        row.full_bytes = static_cast<uint64_t>(layer.bytesPerImage()) *
+            static_cast<uint64_t>(network.default_batch);
+        row.density = layer.relu_follows
+            ? schedule.density(i, config.training_progress) : 1.0;
+
+        if (!layer.relu_follows) {
+            // Dense outputs (final classifiers): the store-raw fallback
+            // sends them uncompressed.
+            row.ratio = 1.0;
+        } else {
+            // Channel-subsampled sample at full spatial extent; the
+            // per-byte ratio is invariant to dropping whole channels.
+            const int64_t plane = layer.height * layer.width;
+            const int64_t max_channels = std::max<int64_t>(
+                1, config.max_elements / (plane * config.sample_batch));
+            const Shape4D shape{config.sample_batch,
+                                std::min(layer.channels, max_channels),
+                                layer.height, layer.width};
+            // Seed per layer (not per layout) so every layout compresses
+            // identical logical data.
+            Rng rng(config.seed * 1000003 + i);
+            const Tensor4D data =
+                generator.generate(shape, layout, row.density, rng);
+            row.ratio = compressor->measureRatio(data.rawBytes());
+        }
+
+        average.add(row.ratio, static_cast<double>(row.full_bytes));
+        result.max = std::max(result.max, row.ratio);
+        result.layers.push_back(std::move(row));
+    }
+    result.average = average.mean();
+    return result;
+}
+
+NetworkRatioResult
+measureTimeAveragedRatios(const NetworkDesc &network, Algorithm algorithm,
+                          Layout layout,
+                          const std::vector<double> &checkpoints,
+                          const RatioMeasureConfig &config)
+{
+    CDMA_ASSERT(!checkpoints.empty(), "need at least one checkpoint");
+    NetworkRatioResult aggregate;
+    Accumulator averages;
+    aggregate.max = 1.0;
+    for (double t : checkpoints) {
+        RatioMeasureConfig point = config;
+        point.training_progress = t;
+        NetworkRatioResult result =
+            measureNetworkRatios(network, algorithm, layout, point);
+        averages.add(result.average);
+        aggregate.max = std::max(aggregate.max, result.max);
+        if (aggregate.layers.empty()) {
+            aggregate.layers = std::move(result.layers);
+        } else {
+            // Per-layer ratios are averaged across checkpoints, the
+            // training-wide view the paper's traffic numbers reflect.
+            for (size_t i = 0; i < aggregate.layers.size(); ++i)
+                aggregate.layers[i].ratio += result.layers[i].ratio;
+        }
+    }
+    const auto count = static_cast<double>(checkpoints.size());
+    for (auto &layer : aggregate.layers)
+        layer.ratio /= count;
+    aggregate.average = averages.mean();
+    return aggregate;
+}
+
+ScaledRun
+trainScaledNetwork(const std::string &name, const ScaledRunConfig &config)
+{
+    Rng rng(config.seed);
+    Network net = buildScaledByName(name, rng);
+    SyntheticDataset dataset;
+
+    TrainConfig train;
+    train.iterations = config.iterations;
+    train.batch_size = config.batch;
+    train.snapshot_every =
+        std::max(1, config.iterations / std::max(1, config.snapshots));
+
+    Trainer trainer(net, dataset, train);
+    ScaledRun run;
+    run.params = net.paramCount();
+    run.snapshots = trainer.run();
+    run.val_accuracy = trainer.evaluate(8);
+    return run;
+}
+
+void
+parseTrainArgs(int argc, char **argv, ScaledRunConfig &config)
+{
+    if (argc > 1)
+        config.iterations = std::atoi(argv[1]);
+    if (argc > 2)
+        config.batch = std::atoll(argv[2]);
+    CDMA_ASSERT(config.iterations > 0 && config.batch > 0,
+                "invalid training arguments");
+}
+
+} // namespace cdma::bench

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Shared infrastructure for the figure/table reproduction harnesses:
+ * aligned table printing, and measurement of per-layer compression ratios
+ * on synthetic full-size activation data (generator + density schedule).
+ */
+
+#ifndef CDMA_BENCH_COMMON_HARNESS_HH
+#define CDMA_BENCH_COMMON_HARNESS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compress/compressor.hh"
+#include "dnn/trainer.hh"
+#include "models/desc.hh"
+#include "models/scaled.hh"
+#include "sparsity/generator.hh"
+#include "sparsity/schedule.hh"
+#include "tensor/layout.hh"
+
+namespace cdma::bench {
+
+/** Minimal aligned-column table printer for harness output. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row (stringified cells). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with @p precision digits after the point. */
+    static std::string num(double value, int precision = 3);
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Per-layer compression measurement on synthetic activations. */
+struct LayerRatioResult {
+    std::string name;
+    uint64_t full_bytes = 0; ///< actual offloaded bytes (batch applied)
+    double density = 0.0;
+    double ratio = 1.0;      ///< effective (store-raw floored)
+};
+
+/** Network-level aggregate of a ratio sweep. */
+struct NetworkRatioResult {
+    double average = 1.0; ///< weighted by offloaded bytes (Fig. 11 rule)
+    double max = 1.0;     ///< max per-layer ratio
+    std::vector<LayerRatioResult> layers;
+};
+
+/** Configuration of the ratio measurement. */
+struct RatioMeasureConfig {
+    double training_progress = 1.0; ///< t for the density schedule
+    uint64_t window_bytes = 4096;
+    int64_t sample_batch = 4;       ///< N used for generated data
+    /** Element cap per generated layer sample (memory/time guard). */
+    int64_t max_elements = 1 << 21;
+    uint64_t seed = 1234;
+};
+
+/**
+ * Measure compression ratios of every ReLU-bearing layer of @p network
+ * under @p algorithm and @p layout. Layers larger than the element cap
+ * are sampled by generating a channel subset at full spatial extent (the
+ * per-byte ratio is channel-subsampling invariant); weights in the
+ * average still use the full layer size.
+ */
+NetworkRatioResult
+measureNetworkRatios(const NetworkDesc &network, Algorithm algorithm,
+                     Layout layout, const RatioMeasureConfig &config = {});
+
+/**
+ * Like measureNetworkRatios() but sampled at several training
+ * checkpoints, the way the paper's Figure 11 measurement spans the whole
+ * training process: `average` is the mean over checkpoints of the
+ * byte-weighted network ratio, `max` the maximum per-layer ratio over
+ * all checkpoints, and `layers` the trained-model (last checkpoint)
+ * per-layer results.
+ */
+NetworkRatioResult
+measureTimeAveragedRatios(const NetworkDesc &network, Algorithm algorithm,
+                          Layout layout,
+                          const std::vector<double> &checkpoints =
+                              {0.35, 0.65, 1.0},
+                          const RatioMeasureConfig &config = {});
+
+/** Configuration of a scaled-network training run. */
+struct ScaledRunConfig {
+    int iterations = 240;
+    int64_t batch = 16;
+    int snapshots = 10; ///< density/loss samples across the run
+    uint64_t seed = 7;
+};
+
+/** Result of a scaled-network training run. */
+struct ScaledRun {
+    std::vector<TrainSnapshot> snapshots;
+    double val_accuracy = 0.0;
+    uint64_t params = 0;
+};
+
+/**
+ * Train the scaled variant of @p name (AlexNet/OverFeat/NiN/VGG/
+ * SqueezeNet/GoogLeNet) on the synthetic dataset and return the sampled
+ * trajectory — the measurement behind Figures 4-7 and Table I.
+ */
+ScaledRun trainScaledNetwork(const std::string &name,
+                             const ScaledRunConfig &config = {});
+
+/** Parse "iterations [batch]" CLI overrides into @p config. */
+void parseTrainArgs(int argc, char **argv, ScaledRunConfig &config);
+
+} // namespace cdma::bench
+
+#endif // CDMA_BENCH_COMMON_HARNESS_HH

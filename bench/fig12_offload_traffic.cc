@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 12 reproduction: size of the activation maps offloaded to CPU
+ * memory (PCIe traffic), normalized to the uncompressed vDNN baseline,
+ * for RL / ZV / ZL under the NCHW layout. The normalized size is the
+ * reciprocal of the byte-weighted network compression ratio.
+ */
+
+#include <cstdio>
+
+#include "common/harness.hh"
+
+using namespace cdma;
+using bench::Table;
+
+int
+main()
+{
+    std::printf("== Figure 12: offloaded bytes normalized to vDNN "
+                "(lower is better) ==\n");
+    Table table({"network", "vDNN", "RL", "ZV", "ZL"});
+    double zv_sum = 0.0, zl_sum = 0.0;
+    for (const auto &net : allNetworkDescs()) {
+        std::vector<std::string> row = {net.name, "1.000"};
+        double zv = 1.0, zl = 1.0;
+        for (Algorithm algorithm : kAllAlgorithms) {
+            const auto result = bench::measureTimeAveragedRatios(
+                net, algorithm, Layout::NCHW);
+            const double normalized = 1.0 / result.average;
+            row.push_back(Table::num(normalized, 3));
+            if (algorithm == Algorithm::Zvc)
+                zv = normalized;
+            if (algorithm == Algorithm::Zlib)
+                zl = normalized;
+        }
+        zv_sum += zv;
+        zl_sum += zl;
+        table.addRow(row);
+    }
+    table.print();
+    std::printf("\nZL reduces traffic by an average %.0f%% over ZV "
+                "(paper: ~3%%)\n",
+                100.0 * (zv_sum - zl_sum) / zv_sum);
+    return 0;
+}

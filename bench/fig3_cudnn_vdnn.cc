@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 3 reproduction. (a) Speedups offered by successive cuDNN
+ * versions, normalized to v1 per network — the paper reports an average
+ * 2.2x for v5. (b) Performance of vDNN normalized to a no-stall oracle
+ * under each cuDNN version — the overhead grows as compute shrinks,
+ * reaching an average ~31% (max ~52%) loss at v5.
+ */
+
+#include <cstdio>
+
+#include "common/harness.hh"
+#include "common/stats.hh"
+#include "perf/step_sim.hh"
+
+using namespace cdma;
+using bench::Table;
+
+int
+main()
+{
+    std::printf("== Figure 3(a): speedup over cuDNN v1 "
+                "(higher is better) ==\n");
+    PerfModel perf;
+    Table fig3a({"network", "v1", "v2", "v3", "v4", "v5"});
+    Accumulator v5_speedup;
+    for (const auto &net : allNetworkDescs()) {
+        std::vector<std::string> row = {net.name};
+        const double t1 =
+            perf.networkTiming(net, net.default_batch, CudnnVersion::V1)
+                .total();
+        for (CudnnVersion v : kAllCudnnVersions) {
+            const double t =
+                perf.networkTiming(net, net.default_batch, v).total();
+            row.push_back(Table::num(t1 / t, 2));
+            if (v == CudnnVersion::V5)
+                v5_speedup.add(t1 / t);
+        }
+        fig3a.addRow(row);
+    }
+    fig3a.print();
+    std::printf("average v5 speedup: %.2fx (paper: ~2.2x)\n\n",
+                v5_speedup.mean());
+
+    std::printf("== Figure 3(b): vDNN performance normalized to oracle "
+                "(higher is better) ==\n");
+    Table fig3b({"network", "v1", "v2", "v3", "v4", "v5"});
+    Accumulator v5_overhead;
+    double worst_loss = 0.0;
+    std::string worst_net;
+    for (const auto &net : allNetworkDescs()) {
+        VdnnMemoryManager manager(net, net.default_batch);
+        CdmaEngine engine(CdmaConfig{});
+        std::vector<std::string> row = {net.name};
+        for (CudnnVersion v : kAllCudnnVersions) {
+            StepSimulator sim(manager, engine, perf, v);
+            const StepResult vdnn = sim.run(StepMode::Vdnn);
+            const StepResult oracle = sim.run(StepMode::Oracle);
+            const double relative =
+                oracle.total_seconds / vdnn.total_seconds;
+            row.push_back(Table::num(relative, 3));
+            if (v == CudnnVersion::V5) {
+                v5_overhead.add(1.0 - relative);
+                if (1.0 - relative > worst_loss) {
+                    worst_loss = 1.0 - relative;
+                    worst_net = net.name;
+                }
+            }
+        }
+        fig3b.addRow(row);
+    }
+    fig3b.print();
+    std::printf("average v5 performance loss: %.1f%% (paper: ~31%%), "
+                "worst: %.1f%% on %s (paper: ~52%%)\n",
+                100.0 * v5_overhead.mean(), 100.0 * worst_loss,
+                worst_net.c_str());
+    return 0;
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Figure 5 reproduction: spatial visualization of activation sparsity
+ * across training time and depth. For each checkpoint and each
+ * sparsity-bearing layer of the scaled AlexNet, writes a PGM bitmap
+ * (channels tiled into a grid, zero = black / non-zero = white, exactly
+ * the paper's rendering) under fig5_out/, and prints the per-checkpoint
+ * density matrix plus a coarse ASCII rendering of the first conv layer.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/harness.hh"
+#include "common/logging.hh"
+
+using namespace cdma;
+using bench::Table;
+
+namespace {
+
+/** Write one activation map (sample 0) as a channel-tiled PGM bitmap. */
+void
+writePgm(const Tensor4D &activation, const std::string &path)
+{
+    const Shape4D &s = activation.shape();
+    // Tile C channels into a near-square grid.
+    int64_t grid_w = 1;
+    while (grid_w * grid_w < s.c)
+        ++grid_w;
+    const int64_t grid_h = (s.c + grid_w - 1) / grid_w;
+
+    const int64_t width = grid_w * s.w;
+    const int64_t height = grid_h * s.h;
+    std::ofstream out(path, std::ios::binary);
+    out << "P5\n" << width << " " << height << "\n255\n";
+    std::vector<uint8_t> row(static_cast<size_t>(width));
+    for (int64_t gy = 0; gy < grid_h; ++gy) {
+        for (int64_t y = 0; y < s.h; ++y) {
+            for (int64_t gx = 0; gx < grid_w; ++gx) {
+                const int64_t c = gy * grid_w + gx;
+                for (int64_t x = 0; x < s.w; ++x) {
+                    const bool live =
+                        c < s.c && activation.at(0, c, y, x) != 0.0f;
+                    row[static_cast<size_t>(gx * s.w + x)] =
+                        live ? 255 : 0;
+                }
+            }
+            out.write(reinterpret_cast<const char *>(row.data()),
+                      static_cast<std::streamsize>(row.size()));
+        }
+    }
+}
+
+/** Coarse ASCII view of channel 0 of an activation map. */
+void
+printAscii(const Tensor4D &activation)
+{
+    const Shape4D &s = activation.shape();
+    const int64_t step_h = std::max<int64_t>(1, s.h / 16);
+    const int64_t step_w = std::max<int64_t>(1, s.w / 32);
+    for (int64_t y = 0; y < s.h; y += step_h) {
+        for (int64_t x = 0; x < s.w; x += step_w)
+            std::putchar(activation.at(0, 0, y, x) != 0.0f ? '#' : '.');
+        std::putchar('\n');
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::ScaledRunConfig config;
+    config.iterations = 250;
+    config.snapshots = 5; // six checkpoints incl. t=0 like the paper
+    bench::parseTrainArgs(argc, argv, config);
+
+    std::printf("== Figure 5: sparsity maps across training and depth "
+                "==\n");
+
+    // Re-run training manually so we can capture tensors, not just
+    // densities.
+    Rng rng(config.seed);
+    Network net = buildScaledByName("AlexNet", rng);
+    SyntheticDataset dataset;
+    TrainConfig train;
+    train.iterations = config.iterations;
+    train.batch_size = config.batch;
+    train.snapshot_every =
+        std::max(1, config.iterations / config.snapshots);
+    Trainer trainer(net, dataset, train);
+
+    const std::string out_dir = "fig5_out";
+    std::filesystem::create_directories(out_dir);
+
+    std::vector<std::vector<double>> density_matrix;
+    std::vector<std::string> labels;
+    std::vector<double> checkpoints;
+
+    trainer.run([&](const TrainSnapshot &snap) {
+        checkpoints.push_back(snap.progress);
+        std::vector<double> column;
+        for (const auto &record : net.activationRecords()) {
+            if (density_matrix.empty() && checkpoints.size() == 1)
+                labels.push_back(record.label);
+            const Tensor4D &map = net.outputs()[record.output_index];
+            column.push_back(record.density);
+            char path[256];
+            std::snprintf(path, sizeof(path),
+                          "%s/%s_t%03.0f.pgm", out_dir.c_str(),
+                          record.label.c_str(), 100.0 * snap.progress);
+            writePgm(map, path);
+        }
+        if (labels.empty()) {
+            for (const auto &record : net.activationRecords())
+                labels.push_back(record.label);
+        }
+        density_matrix.push_back(std::move(column));
+    });
+
+    std::vector<std::string> headers = {"layer"};
+    for (double t : checkpoints)
+        headers.push_back(Table::num(100.0 * t, 0) + "%");
+    Table table(headers);
+    for (size_t layer = 0; layer < labels.size(); ++layer) {
+        std::vector<std::string> row = {labels[layer]};
+        for (const auto &column : density_matrix)
+            row.push_back(Table::num(column[layer], 2));
+        table.addRow(row);
+    }
+    table.print();
+    std::printf("\nPGM bitmaps written to %s/ "
+                "(zero = black, non-zero = white)\n", out_dir.c_str());
+
+    std::printf("\nASCII view of conv0 output after training "
+                "(channel 0, '#' = non-zero):\n");
+    const auto records = net.activationRecords();
+    printAscii(net.outputs()[records.front().output_index]);
+    return 0;
+}

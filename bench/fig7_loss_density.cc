@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 7 reproduction: training loss (left axis in the paper) plotted
+ * against the per-layer activation density of the convolutional layers
+ * (right axis) as training progresses. The signature structure: the loss
+ * plunge at the start of training coincides with the density drop, and
+ * density partially recovers while the loss keeps improving slowly.
+ */
+
+#include <cstdio>
+
+#include "common/harness.hh"
+
+using namespace cdma;
+using bench::Table;
+
+int
+main(int argc, char **argv)
+{
+    bench::ScaledRunConfig config;
+    config.iterations = 300;
+    config.snapshots = 12;
+    bench::parseTrainArgs(argc, argv, config);
+
+    std::printf("== Figure 7: loss vs conv-layer density over training "
+                "==\n");
+    const auto run = bench::trainScaledNetwork("AlexNet", config);
+
+    // Pick the conv rows (the paper plots conv1-conv4).
+    std::vector<size_t> conv_rows;
+    std::vector<std::string> headers = {"progress", "loss", "accuracy"};
+    const auto &first = run.snapshots.front().records;
+    for (size_t i = 0; i < first.size(); ++i) {
+        if (first[i].type == "conv" && conv_rows.size() < 5) {
+            conv_rows.push_back(i);
+            headers.push_back(first[i].label);
+        }
+    }
+
+    Table table(headers);
+    for (const auto &snap : run.snapshots) {
+        std::vector<std::string> row = {
+            Table::num(100.0 * snap.progress, 0) + "%",
+            Table::num(snap.loss, 3),
+            Table::num(snap.train_accuracy, 2),
+        };
+        for (size_t i : conv_rows)
+            row.push_back(Table::num(snap.records[i].density, 2));
+        table.addRow(row);
+    }
+    table.print();
+
+    // Quantify the two Figure 7 regimes.
+    const auto &start = run.snapshots.front();
+    double trough = 1.0;
+    for (const auto &snap : run.snapshots) {
+        double mean = 0.0;
+        for (size_t i : conv_rows)
+            mean += snap.records[i].density;
+        trough = std::min(trough, mean / conv_rows.size());
+    }
+    double end_mean = 0.0;
+    for (size_t i : conv_rows)
+        end_mean += run.snapshots.back().records[i].density;
+    end_mean /= conv_rows.size();
+
+    std::printf("\nloss: %.3f -> %.3f; conv density: start %.2f, "
+                "trough %.2f, trained %.2f (U-shape: trough below both "
+                "endpoints)\n",
+                start.loss, run.snapshots.back().loss,
+                [&] {
+                    double mean = 0.0;
+                    for (size_t i : conv_rows)
+                        mean += start.records[i].density;
+                    return mean / conv_rows.size();
+                }(),
+                trough, end_mean);
+    return 0;
+}

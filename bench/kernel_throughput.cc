@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the compression kernels and the
+ * ZVC engine cycle model (Section V-B). The software codecs report
+ * bytes/second on this host; the cycle model reports the modeled
+ * hardware throughput (32 B/cycle), which is what the paper's 100s-of-
+ * GB/s requirement refers to — zlib's software-class throughput is the
+ * reason the paper rules it out for hardware.
+ */
+
+#include <cstring>
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "compress/compressor.hh"
+#include "gpu/zvc_engine.hh"
+#include "sparsity/generator.hh"
+
+namespace {
+
+using namespace cdma;
+
+/** Activation-like input: clustered sparsity at the given density. */
+std::vector<uint8_t>
+makeActivations(double density, size_t bytes)
+{
+    ActivationGenerator gen;
+    Rng rng(7);
+    const int64_t elements = static_cast<int64_t>(bytes / 4);
+    const int64_t hw = 64;
+    const int64_t channels =
+        std::max<int64_t>(1, elements / (hw * hw));
+    const Tensor4D t = gen.generate(Shape4D{1, channels, hw, hw},
+                                    Layout::NCHW, density, rng);
+    auto raw = t.rawBytes();
+    return {raw.begin(), raw.end()};
+}
+
+void
+compressBenchmark(benchmark::State &state, Algorithm algorithm)
+{
+    const double density =
+        static_cast<double>(state.range(0)) / 100.0;
+    const auto input = makeActivations(density, 1 << 20);
+    const auto compressor = makeCompressor(algorithm);
+    uint64_t wire = 0;
+    for (auto _ : state) {
+        const auto result = compressor->compress(input);
+        wire = result.effectiveBytes();
+        benchmark::DoNotOptimize(wire);
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * input.size()));
+    state.counters["ratio"] = static_cast<double>(input.size()) /
+        static_cast<double>(wire);
+}
+
+void
+BM_ZvcCompress(benchmark::State &state)
+{
+    compressBenchmark(state, Algorithm::Zvc);
+}
+
+void
+BM_RleCompress(benchmark::State &state)
+{
+    compressBenchmark(state, Algorithm::Rle);
+}
+
+void
+BM_DeflateCompress(benchmark::State &state)
+{
+    compressBenchmark(state, Algorithm::Zlib);
+}
+
+void
+BM_ZvcDecompress(benchmark::State &state)
+{
+    const auto input = makeActivations(0.4, 1 << 20);
+    const auto compressor = makeCompressor(Algorithm::Zvc);
+    const auto compressed = compressor->compress(input);
+    for (auto _ : state) {
+        auto restored = compressor->decompress(compressed);
+        benchmark::DoNotOptimize(restored.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * input.size()));
+}
+
+void
+BM_ZvcEngineCycleModel(benchmark::State &state)
+{
+    // Reports the modeled hardware rate alongside the host-simulation
+    // rate: cycles per byte is the architectural number.
+    const auto input = makeActivations(0.4, 1 << 18);
+    ZvcEngineModel engine;
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        const auto result = engine.compress(input);
+        cycles = result.cycles;
+        benchmark::DoNotOptimize(result.payload.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * input.size()));
+    state.counters["modeled_GBps_at_1GHz"] =
+        static_cast<double>(input.size()) /
+        static_cast<double>(cycles);
+}
+
+BENCHMARK(BM_ZvcCompress)->Arg(10)->Arg(40)->Arg(70)->Arg(100);
+BENCHMARK(BM_RleCompress)->Arg(10)->Arg(40)->Arg(70)->Arg(100);
+BENCHMARK(BM_DeflateCompress)->Arg(10)->Arg(40)->Arg(100);
+BENCHMARK(BM_ZvcDecompress);
+BENCHMARK(BM_ZvcEngineCycleModel);
+
+} // namespace
+
+BENCHMARK_MAIN();

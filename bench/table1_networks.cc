@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Table I reproduction: the evaluated networks with their minibatch
+ * sizes, plus our scaled-training outcome (validation accuracy on the
+ * synthetic 10-class task standing in for ImageNet top-1; see DESIGN.md
+ * substitution table) and the full-size model statistics the memory
+ * experiments use.
+ */
+
+#include <cstdio>
+
+#include "common/harness.hh"
+#include "vdnn/memory_manager.hh"
+
+using namespace cdma;
+using bench::Table;
+
+int
+main(int argc, char **argv)
+{
+    bench::ScaledRunConfig config;
+    config.iterations = 200;
+    bench::parseTrainArgs(argc, argv, config);
+
+    std::printf("== Table I: networks, batch sizes, training outcome ==\n");
+    std::printf("(accuracy: scaled variant on the synthetic 10-class "
+                "task, chance = 10%%)\n\n");
+    Table table({"network", "batch", "GMACs/img", "act MB/img",
+                 "scaled val acc", "iters"});
+    for (const auto &net : allNetworkDescs()) {
+        const auto run = bench::trainScaledNetwork(net.name, config);
+        table.addRow({
+            net.name,
+            std::to_string(net.default_batch),
+            Table::num(static_cast<double>(net.totalMacsPerImage()) / 1e9,
+                       2),
+            Table::num(static_cast<double>(
+                           net.totalActivationBytesPerImage()) / 1e6, 1),
+            Table::num(100.0 * run.val_accuracy, 1) + "%",
+            std::to_string(config.iterations),
+        });
+    }
+    table.print();
+
+    std::printf("\n== GPU memory footprint at Table I batch sizes ==\n");
+    Table mem({"network", "weights MB", "acts+grads GB", "baseline GB",
+               "vDNN peak GB", "fits 12GB?"});
+    for (const auto &net : allNetworkDescs()) {
+        VdnnMemoryManager manager(net, net.default_batch);
+        const MemoryFootprint fp = manager.footprint();
+        mem.addRow({
+            net.name,
+            Table::num(static_cast<double>(fp.weights_bytes) / 1e6, 0),
+            Table::num(static_cast<double>(fp.activations_bytes +
+                                           fp.gradients_bytes) / 1e9, 2),
+            Table::num(static_cast<double>(fp.baseline_total) / 1e9, 2),
+            Table::num(static_cast<double>(fp.vdnn_peak) / 1e9, 2),
+            fp.vdnn_peak < 12ull * 1024 * 1024 * 1024 ? "yes (vDNN)"
+                                                      : "no",
+        });
+    }
+    mem.print();
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Example: explore *why* each codec performs the way it does on
+ * activation data. Sweeps activation density, reports zero-run
+ * statistics (the clustering Figure 5 shows visually) and per-window
+ * ratio distributions for RLE / ZVC / zlib under NCHW and NHWC — the
+ * microscope view behind Figure 11.
+ *
+ * Run: ./build/examples/compression_explorer
+ */
+
+#include <cstdio>
+
+#include "common/rng.hh"
+#include "compress/analysis.hh"
+#include "sparsity/generator.hh"
+
+using namespace cdma;
+
+int
+main()
+{
+    ActivationGenerator generator;
+    const Shape4D shape{2, 32, 64, 64};
+
+    std::printf("%-8s %-7s %-9s %-8s | %-18s %-18s %-18s\n", "density",
+                "layout", "mean run", "cluster", "RL mean/min/max",
+                "ZV mean/min/max", "ZL mean/min/max");
+
+    for (double density : {0.2, 0.4, 0.6}) {
+        for (Layout layout : {Layout::NCHW, Layout::NHWC}) {
+            Rng rng(42); // same logical data across layouts
+            const Tensor4D data =
+                generator.generate(shape, layout, density, rng);
+            const RunStats runs = analyzeRuns(data.rawBytes());
+
+            std::printf("%-8.1f %-7s %-9.1f %-8.1f |", density,
+                        layoutName(layout).c_str(), runs.mean_zero_run,
+                        runs.clusteringIndex());
+            for (Algorithm algorithm : kAllAlgorithms) {
+                const WindowProfile profile =
+                    profileWindows(algorithm, data.rawBytes());
+                std::printf(" %5.2f/%5.2f/%6.2f ", profile.mean_ratio,
+                            profile.min_ratio, profile.max_ratio);
+            }
+            std::printf("\n");
+        }
+    }
+
+    std::printf("\nReading the table:\n");
+    std::printf(" - 'cluster' is mean zero-run length vs an i.i.d. "
+                "stream: NCHW keeps Figure 5's spatial clusters "
+                "contiguous (index >> 1), NHWC interleaves channels and "
+                "destroys them (index ~1).\n");
+    std::printf(" - RLE's ratio collapses exactly when the cluster "
+                "index does; ZVC's column is identical across layouts "
+                "(mask-based, placement-blind); zlib tracks RLE's "
+                "structure but recovers value redundancy too.\n");
+    return 0;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Example: "what would cDMA buy me on this network?" Walks the full
+ * modeling pipeline for one network (default VGG-16 at its Table I
+ * batch): vDNN offload schedule and memory footprint, per-layer
+ * compression ratios on synthetic trained activations, and the simulated
+ * training iteration under vDNN / cDMA / oracle with a per-layer stall
+ * breakdown.
+ *
+ * Run: ./build/examples/offload_pipeline [AlexNet|OverFeat|NiN|VGG|
+ *                                         SqueezeNet|GoogLeNet]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "common/rng.hh"
+#include "perf/step_sim.hh"
+#include "sparsity/generator.hh"
+#include "sparsity/schedule.hh"
+
+using namespace cdma;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "VGG";
+    NetworkDesc net;
+    bool found = false;
+    for (const auto &candidate : allNetworkDescs()) {
+        if (candidate.name == name) {
+            net = candidate;
+            found = true;
+        }
+    }
+    if (!found) {
+        std::fprintf(stderr, "unknown network '%s'\n", name.c_str());
+        return 1;
+    }
+
+    // 1. vDNN memory accounting.
+    VdnnMemoryManager manager(net, net.default_batch);
+    const MemoryFootprint fp = manager.footprint();
+    std::printf("== %s, batch %lld ==\n", net.name.c_str(),
+                static_cast<long long>(net.default_batch));
+    std::printf("baseline GPU memory: %.2f GB (activations+gradients "
+                "%.0f%%)\n",
+                static_cast<double>(fp.baseline_total) / 1e9,
+                100.0 * fp.activationFraction());
+    std::printf("vDNN working set:    %.2f GB\n",
+                static_cast<double>(fp.vdnn_peak) / 1e9);
+    std::printf("offload traffic:     %.2f GB per direction per "
+                "iteration\n\n",
+                static_cast<double>(manager.totalOffloadBytes()) / 1e9);
+
+    // 2. Per-layer ZVC ratios from synthetic trained activations.
+    const DensitySchedule schedule(net);
+    const ActivationGenerator generator;
+    const auto zvc = makeCompressor(Algorithm::Zvc);
+    std::vector<double> ratios;
+    for (size_t i = 0; i < net.layers.size(); ++i) {
+        const LayerDesc &layer = net.layers[i];
+        if (!layer.relu_follows) {
+            ratios.push_back(1.0);
+            continue;
+        }
+        const double density = schedule.density(i, 1.0);
+        const int64_t max_c = std::max<int64_t>(
+            1, (1 << 19) / (layer.height * layer.width));
+        Rng rng(500 + i);
+        const Tensor4D sample = generator.generate(
+            Shape4D{1, std::min(layer.channels, max_c), layer.height,
+                    layer.width},
+            Layout::NCHW, density, rng);
+        ratios.push_back(zvc->measureRatio(sample.rawBytes()));
+    }
+
+    // 3. Simulated iteration under each mode.
+    CdmaEngine engine(CdmaConfig{});
+    PerfModel perf;
+    StepSimulator sim(manager, engine, perf, CudnnVersion::V5);
+    const StepResult oracle = sim.run(StepMode::Oracle);
+    const StepResult vdnn = sim.run(StepMode::Vdnn);
+    const StepResult cdma = sim.run(StepMode::Cdma, ratios);
+
+    std::printf("iteration time: oracle %.1f ms | cDMA-ZV %.1f ms | "
+                "vDNN %.1f ms\n",
+                oracle.total_seconds * 1e3, cdma.total_seconds * 1e3,
+                vdnn.total_seconds * 1e3);
+    std::printf("cDMA speedup over vDNN: %.0f%%; PCIe wire traffic "
+                "%.2f GB -> %.2f GB\n\n",
+                100.0 * (cdma.speedupOver(vdnn) - 1.0),
+                static_cast<double>(vdnn.wire_transfer_bytes) / 1e9,
+                static_cast<double>(cdma.wire_transfer_bytes) / 1e9);
+
+    // 4. The five worst stalling layers under vDNN, and their fate under
+    //    cDMA.
+    std::printf("worst vDNN stalls (layer: fwd stall -> cDMA fwd "
+                "stall, ms):\n");
+    std::vector<size_t> order(vdnn.layers.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return vdnn.layers[a].forward_stall >
+            vdnn.layers[b].forward_stall;
+    });
+    for (size_t k = 0; k < std::min<size_t>(5, order.size()); ++k) {
+        const auto &v = vdnn.layers[order[k]];
+        const auto &c = cdma.layers[order[k]];
+        if (v.forward_stall <= 0.0)
+            break;
+        std::printf("  %-12s %7.2f -> %7.2f\n", v.label.c_str(),
+                    v.forward_stall * 1e3, c.forward_stall * 1e3);
+    }
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Example: watch activation sparsity evolve while training your own
+ * network — the measurement loop behind the paper's Section IV study,
+ * applied to a user-defined model. Builds a small CNN with the public
+ * layer API, trains it on the synthetic dataset, and prints a density
+ * dashboard every few iterations, ending with the compression ratio cDMA
+ * would achieve on each layer's activations.
+ *
+ * Run: ./build/examples/train_sparsity_monitor [iterations]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.hh"
+#include "compress/compressor.hh"
+#include "data/synthetic.hh"
+#include "dnn/activation.hh"
+#include "dnn/conv.hh"
+#include "dnn/fc.hh"
+#include "dnn/pool.hh"
+#include "dnn/trainer.hh"
+
+using namespace cdma;
+
+int
+main(int argc, char **argv)
+{
+    const int iterations = argc > 1 ? std::atoi(argv[1]) : 200;
+
+    // A custom model, assembled from the public layer API.
+    Rng rng(99);
+    Network net;
+    net.add(std::make_unique<Conv2D>("stem", 3, ConvSpec{12, 5, 1, 2},
+                                     rng));
+    net.add(std::make_unique<ReLU>("stem_relu"));
+    net.add(std::make_unique<Pool2D>("pool1",
+                                     PoolSpec{2, 2, PoolMode::Max}));
+    net.add(std::make_unique<Conv2D>("body", 12, ConvSpec{24, 3, 1, 1},
+                                     rng));
+    net.add(std::make_unique<ReLU>("body_relu"));
+    net.add(std::make_unique<Pool2D>("pool2",
+                                     PoolSpec{2, 2, PoolMode::Max}));
+    net.add(std::make_unique<FullyConnected>("head", 24 * 8 * 8, 10,
+                                             rng));
+
+    SyntheticDataset dataset;
+    TrainConfig config;
+    config.iterations = iterations;
+    config.batch_size = 16;
+    config.snapshot_every = std::max(1, iterations / 8);
+
+    std::printf("%-9s %-7s %-9s", "iter", "loss", "accuracy");
+    Trainer trainer(net, dataset, config);
+    bool header_done = false;
+
+    trainer.run([&](const TrainSnapshot &snap) {
+        if (!header_done) {
+            for (const auto &record : snap.records)
+                std::printf(" %-8s", record.label.c_str());
+            std::printf("\n");
+            header_done = true;
+        }
+        std::printf("%-9d %-7.3f %-9.2f", snap.iteration, snap.loss,
+                    snap.train_accuracy);
+        for (const auto &record : snap.records)
+            std::printf(" %-8.2f", record.density);
+        std::printf("\n");
+    });
+
+    // What would cDMA save on the final activations?
+    std::printf("\ncDMA-ZV compression of the trained activations:\n");
+    const auto zvc = makeCompressor(Algorithm::Zvc);
+    for (const auto &record : net.activationRecords()) {
+        const Tensor4D &map = net.outputs()[record.output_index];
+        std::printf("  %-8s %8.1f KB  density %.2f  ratio %.2fx\n",
+                    record.label.c_str(),
+                    static_cast<double>(map.bytes()) / 1024.0,
+                    record.density,
+                    zvc->measureRatio(map.rawBytes()));
+    }
+    std::printf("\nvalidation accuracy: %.1f%%\n",
+                100.0 * trainer.evaluate(4));
+    return 0;
+}

@@ -1,0 +1,80 @@
+#include "cdma/engine.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace cdma {
+
+CdmaEngine::CdmaEngine(const CdmaConfig &config)
+    : config_(config),
+      compressor_(makeCompressor(config.algorithm, config.window_bytes))
+{
+    CDMA_ASSERT(config.gpu.pcie_bandwidth > 0.0 &&
+                    config.gpu.comp_bandwidth > 0.0,
+                "invalid cDMA bandwidth configuration");
+}
+
+double
+CdmaEngine::capRatio() const
+{
+    return config_.gpu.comp_bandwidth / config_.gpu.pcie_bandwidth;
+}
+
+double
+CdmaEngine::transferSeconds(uint64_t wire_bytes, double ratio) const
+{
+    double seconds = static_cast<double>(wire_bytes) /
+        config_.gpu.pcie_effective_bandwidth;
+    // Section VI: when ratio x PCIe_BW exceeds the provisioned COMP_BW,
+    // compressed data cannot be produced at line rate; latency inflates
+    // by (required / COMP_BW).
+    const double required = ratio * config_.gpu.pcie_bandwidth;
+    if (required > config_.gpu.comp_bandwidth)
+        seconds *= required / config_.gpu.comp_bandwidth;
+    return seconds;
+}
+
+TransferPlan
+CdmaEngine::planTransfer(const std::string &label,
+                         std::span<const uint8_t> data) const
+{
+    if (!config_.compression_enabled) {
+        return planFromRatio(label, data.size(), 1.0);
+    }
+    const CompressedBuffer compressed = compressor_->compress(data);
+    TransferPlan plan;
+    plan.label = label;
+    plan.raw_bytes = data.size();
+    plan.wire_bytes = compressed.effectiveBytes();
+    plan.ratio = compressed.effectiveRatio();
+    plan.required_fetch_bandwidth =
+        plan.ratio * config_.gpu.pcie_bandwidth;
+    plan.fetch_capped =
+        plan.required_fetch_bandwidth > config_.gpu.comp_bandwidth;
+    plan.seconds = transferSeconds(plan.wire_bytes, plan.ratio);
+    return plan;
+}
+
+TransferPlan
+CdmaEngine::planFromRatio(const std::string &label, uint64_t raw_bytes,
+                          double ratio) const
+{
+    CDMA_ASSERT(ratio >= 1.0, "ratio %f below store-raw floor", ratio);
+    TransferPlan plan;
+    plan.label = label;
+    plan.raw_bytes = raw_bytes;
+    const double effective_ratio =
+        config_.compression_enabled ? ratio : 1.0;
+    plan.wire_bytes = static_cast<uint64_t>(
+        static_cast<double>(raw_bytes) / effective_ratio);
+    plan.ratio = effective_ratio;
+    plan.required_fetch_bandwidth =
+        plan.ratio * config_.gpu.pcie_bandwidth;
+    plan.fetch_capped =
+        plan.required_fetch_bandwidth > config_.gpu.comp_bandwidth;
+    plan.seconds = transferSeconds(plan.wire_bytes, plan.ratio);
+    return plan;
+}
+
+} // namespace cdma

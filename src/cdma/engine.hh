@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The compressing DMA engine (cDMA) — the paper's primary contribution
+ * (Section V). The engine compresses activation maps on their way from
+ * GPU DRAM to the PCIe DMA unit and decompresses on the way back,
+ * shrinking the offload/prefetch traffic of virtualized DNN training.
+ *
+ * Two modeling constraints from the paper are applied to every transfer:
+ *
+ *  1. Fetch-bandwidth cap (Sections V-B, VI): generating compressed data
+ *     at PCIe line rate requires reading compression_ratio x PCIe_BW from
+ *     DRAM. The engine may use at most COMP_BW (200 GB/s of the 236 GB/s
+ *     left over by compute); layers whose ratio demands more see their
+ *     transfer latency inflated by (required / COMP_BW).
+ *
+ *  2. Store-raw fallback: windows that do not compress are sent raw, so a
+ *     transfer never exceeds its uncompressed size.
+ *
+ * The software interface mirrors the proposed cudaMemcpyCompressed():
+ * the plan returns the compressed size of the region along with the
+ * modeled transfer time.
+ */
+
+#ifndef CDMA_CDMA_ENGINE_HH
+#define CDMA_CDMA_ENGINE_HH
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "compress/compressor.hh"
+#include "gpu/gpu_spec.hh"
+
+namespace cdma {
+
+/** Configuration of the cDMA engine. */
+struct CdmaConfig {
+    GpuSpec gpu;
+    Algorithm algorithm = Algorithm::Zvc;
+    uint64_t window_bytes = 4096;
+    /** When false the engine degrades to a plain (vDNN) DMA copy. */
+    bool compression_enabled = true;
+};
+
+/** Outcome of planning one activation-map transfer. */
+struct TransferPlan {
+    std::string label;
+    uint64_t raw_bytes = 0;   ///< uncompressed activation size
+    uint64_t wire_bytes = 0;  ///< bytes actually crossing PCIe
+    double ratio = 1.0;       ///< raw / wire
+    double seconds = 0.0;     ///< modeled PCIe occupancy incl. cap penalty
+    double required_fetch_bandwidth = 0.0; ///< ratio x PCIe bandwidth
+    bool fetch_capped = false; ///< true when COMP_BW limited the transfer
+};
+
+/** The compressing DMA engine model. */
+class CdmaEngine
+{
+  public:
+    explicit CdmaEngine(const CdmaConfig &config);
+
+    /** Engine configuration. */
+    const CdmaConfig &config() const { return config_; }
+
+    /**
+     * Plan a transfer by compressing the actual bytes (the
+     * cudaMemcpyCompressed() path).
+     */
+    TransferPlan planTransfer(const std::string &label,
+                              std::span<const uint8_t> data) const;
+
+    /**
+     * Plan a transfer from a known raw size and compression ratio (the
+     * analytic path used by the full-size network experiments, where the
+     * ratio was measured on generated activation data).
+     */
+    TransferPlan planFromRatio(const std::string &label,
+                               uint64_t raw_bytes, double ratio) const;
+
+    /**
+     * PCIe occupancy of a transfer of @p wire_bytes compressed at
+     * @p ratio, including the fetch-bandwidth inflation of Section VI.
+     */
+    double transferSeconds(uint64_t wire_bytes, double ratio) const;
+
+    /**
+     * The compression ratio above which the COMP_BW cap binds
+     * (200 / 16 = 12.5x with default provisioning).
+     */
+    double capRatio() const;
+
+  private:
+    CdmaConfig config_;
+    std::unique_ptr<Compressor> compressor_;
+};
+
+} // namespace cdma
+
+#endif // CDMA_CDMA_ENGINE_HH

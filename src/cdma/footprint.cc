@@ -1,0 +1,66 @@
+#include "cdma/footprint.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace cdma {
+
+CompressedFootprintEstimator::CompressedFootprintEstimator(
+    const CompressedStoreConfig &config)
+    : config_(config)
+{
+    CDMA_ASSERT(config.line_bytes > 0 && config.sector_bytes > 0 &&
+                    config.line_bytes % config.sector_bytes == 0,
+                "line size must be a multiple of the sector quantum");
+}
+
+double
+CompressedFootprintEstimator::expectedLineBytes(double density) const
+{
+    const double words = static_cast<double>(config_.line_bytes) / 4.0;
+    const double masks = words / 32.0 * 4.0; // one 32-bit mask per 32 words
+    return masks + 4.0 * density * words;
+}
+
+uint64_t
+CompressedFootprintEstimator::quantizedLineBytes(double density) const
+{
+    const auto expected =
+        static_cast<uint64_t>(std::ceil(expectedLineBytes(density)));
+    const uint64_t quantized =
+        roundUp(expected, config_.sector_bytes);
+    // A line never costs more than storing it raw.
+    return std::min(quantized, config_.line_bytes);
+}
+
+CompressedFootprint
+CompressedFootprintEstimator::estimate(const NetworkDesc &network,
+                                       int64_t batch, double t) const
+{
+    const DensitySchedule schedule(network);
+    CompressedFootprint result;
+
+    for (size_t i = 0; i < network.layers.size(); ++i) {
+        const LayerDesc &layer = network.layers[i];
+        const uint64_t raw =
+            static_cast<uint64_t>(layer.bytesPerImage()) *
+            static_cast<uint64_t>(batch);
+        const uint64_t lines = ceilDiv(raw, config_.line_bytes);
+        const double density =
+            layer.relu_follows ? schedule.density(i, t) : 1.0;
+
+        result.raw_bytes += raw;
+        result.compressed_bytes += lines * quantizedLineBytes(density);
+        result.metadata_bytes += lines * config_.metadata_per_line;
+    }
+    result.savings_ratio = result.totalBytes() > 0
+        ? static_cast<double>(result.raw_bytes) /
+            static_cast<double>(result.totalBytes())
+        : 1.0;
+    return result;
+}
+
+} // namespace cdma

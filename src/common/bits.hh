@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by the compression codecs and the ZVC
+ * engine cycle model: popcount, mask scans and small prefix sums mirroring
+ * the hardware structures described in Section V-B of the paper.
+ */
+
+#ifndef CDMA_COMMON_BITS_HH
+#define CDMA_COMMON_BITS_HH
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace cdma {
+
+/** Number of set bits in a 32-bit mask (the ZVC non-zero count). */
+inline int
+popcount32(uint32_t mask)
+{
+    return std::popcount(mask);
+}
+
+/** Number of set bits in a 64-bit word. */
+inline int
+popcount64(uint64_t mask)
+{
+    return std::popcount(mask);
+}
+
+/**
+ * Exclusive prefix sum over the bits of an 8-bit mask segment, mirroring
+ * the 11-adder prefix-sum network in the ZVC compression engine
+ * (Figure 10a): entry i holds the number of set bits strictly below bit i.
+ */
+inline std::array<int, 8>
+maskPrefixSum8(uint8_t mask)
+{
+    std::array<int, 8> prefix{};
+    int running = 0;
+    for (int i = 0; i < 8; ++i) {
+        prefix[static_cast<size_t>(i)] = running;
+        running += (mask >> i) & 1;
+    }
+    return prefix;
+}
+
+/** Round @p value up to the next multiple of @p align. @pre align > 0. */
+inline uint64_t
+roundUp(uint64_t value, uint64_t align)
+{
+    return (value + align - 1) / align * align;
+}
+
+/** Integer ceiling division. @pre divisor > 0. */
+inline uint64_t
+ceilDiv(uint64_t dividend, uint64_t divisor)
+{
+    return (dividend + divisor - 1) / divisor;
+}
+
+} // namespace cdma
+
+#endif // CDMA_COMMON_BITS_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Status/termination reporting in the gem5 tradition: panic() for internal
+ * invariant violations (simulator bugs), fatal() for user/configuration
+ * errors, warn()/inform() for non-fatal notices.
+ */
+
+#ifndef CDMA_COMMON_LOGGING_HH
+#define CDMA_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace cdma {
+
+/**
+ * Severity of a log message. Ordered so that a verbosity threshold can
+ * filter the stream.
+ */
+enum class LogLevel {
+    Debug,
+    Info,
+    Warn,
+    Error,
+};
+
+/** Set the global minimum level that is actually emitted. */
+void setLogLevel(LogLevel level);
+
+/** Current global minimum level. */
+LogLevel logLevel();
+
+/**
+ * Emit a formatted message at the given level to stderr. Used by the
+ * convenience wrappers below; rarely called directly.
+ *
+ * @param level Message severity.
+ * @param fmt printf-style format string.
+ */
+void logMessage(LogLevel level, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** Informative message the user should see but not worry about. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Something may be mis-modeled but the run can continue. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate because of a user error (bad configuration, invalid argument).
+ * Exits with status 1; does not dump core.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate because of an internal invariant violation (a bug in this
+ * library). Aborts so a core dump / debugger trap is possible.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert an invariant with a formatted explanation. Compiled in all build
+ * types: simulators must not silently continue past a broken invariant.
+ */
+#define CDMA_ASSERT(cond, fmt, ...)                                         \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::cdma::panic("assertion '%s' failed at %s:%d: " fmt, #cond,    \
+                          __FILE__, __LINE__ __VA_OPT__(, ) __VA_ARGS__);   \
+        }                                                                   \
+    } while (0)
+
+} // namespace cdma
+
+#endif // CDMA_COMMON_LOGGING_HH

@@ -1,0 +1,102 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace cdma {
+
+void
+Accumulator::add(double sample)
+{
+    ++count_;
+    sum_ += sample;
+    const double delta = sample - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (sample - mean_);
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+}
+
+double
+Accumulator::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Accumulator::reset()
+{
+    *this = Accumulator();
+}
+
+void
+WeightedMean::add(double sample, double weight)
+{
+    CDMA_ASSERT(weight >= 0.0, "negative weight %f", weight);
+    weighted_sum_ += sample * weight;
+    weight_ += weight;
+}
+
+double
+WeightedMean::mean() const
+{
+    return weight_ > 0.0 ? weighted_sum_ / weight_ : 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    CDMA_ASSERT(hi > lo, "histogram range [%f, %f) is empty", lo, hi);
+    CDMA_ASSERT(bins > 0, "histogram needs at least one bin");
+}
+
+void
+Histogram::add(double sample)
+{
+    const double span = hi_ - lo_;
+    double pos = (sample - lo_) / span * static_cast<double>(counts_.size());
+    auto index = static_cast<int64_t>(std::floor(pos));
+    index = std::clamp<int64_t>(index, 0,
+                                static_cast<int64_t>(counts_.size()) - 1);
+    ++counts_[static_cast<size_t>(index)];
+    ++total_;
+}
+
+double
+Histogram::binLo(size_t index) const
+{
+    const double span = hi_ - lo_;
+    return lo_ + span * static_cast<double>(index) /
+        static_cast<double>(counts_.size());
+}
+
+std::string
+Histogram::render(size_t width) const
+{
+    uint64_t peak = 1;
+    for (uint64_t c : counts_)
+        peak = std::max(peak, c);
+
+    std::ostringstream out;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        const auto bar_len = static_cast<size_t>(
+            static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+            static_cast<double>(width));
+        out << "[" << binLo(i) << ", " << binLo(i + 1) << ") "
+            << std::string(bar_len, '#') << " " << counts_[i] << "\n";
+    }
+    return out.str();
+}
+
+} // namespace cdma

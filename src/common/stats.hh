@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used by the simulator and the
+ * benchmark harnesses: running mean/min/max/stddev, weighted means (the
+ * paper weights network-wide compression ratios by per-layer activation
+ * size), and a fixed-bin histogram.
+ */
+
+#ifndef CDMA_COMMON_STATS_HH
+#define CDMA_COMMON_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace cdma {
+
+/**
+ * Streaming accumulator over a sequence of samples. Uses Welford's method
+ * so variance is numerically stable regardless of magnitude.
+ */
+class Accumulator
+{
+  public:
+    /** Add one sample. */
+    void add(double sample);
+
+    /** Number of samples added. */
+    uint64_t count() const { return count_; }
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return count_ ? mean_ : 0.0; }
+    /** Smallest sample; +inf when empty. */
+    double min() const { return min_; }
+    /** Largest sample; -inf when empty. */
+    double max() const { return max_; }
+    /** Population variance; 0 with fewer than two samples. */
+    double variance() const;
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Weighted mean accumulator. The paper's "average network-wide compression
+ * ratio" weights each layer's ratio by the size of its offloaded activation
+ * maps (Figure 11 caption); this class implements exactly that reduction.
+ */
+class WeightedMean
+{
+  public:
+    /** Add a sample with the given nonnegative weight. */
+    void add(double sample, double weight);
+
+    /** Weighted mean; 0 when no weight has been added. */
+    double mean() const;
+    /** Total accumulated weight. */
+    double totalWeight() const { return weight_; }
+
+  private:
+    double weighted_sum_ = 0.0;
+    double weight_ = 0.0;
+};
+
+/**
+ * Fixed-range, fixed-bin-count histogram. Samples outside the range clamp
+ * into the first/last bin so totals always balance.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower edge of the first bin.
+     * @param hi Upper edge of the last bin. @pre hi > lo.
+     * @param bins Number of bins. @pre bins > 0.
+     */
+    Histogram(double lo, double hi, size_t bins);
+
+    /** Add one sample (clamped into range). */
+    void add(double sample);
+
+    /** Count in bin @p index. */
+    uint64_t binCount(size_t index) const { return counts_.at(index); }
+    /** Number of bins. */
+    size_t bins() const { return counts_.size(); }
+    /** Total samples added. */
+    uint64_t total() const { return total_; }
+    /** Lower edge of bin @p index. */
+    double binLo(size_t index) const;
+
+    /** Render a one-line-per-bin ASCII summary (for harness output). */
+    std::string render(size_t width = 40) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+} // namespace cdma
+
+#endif // CDMA_COMMON_STATS_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Physical-unit helpers for the memory-system models: bytes, bandwidths and
+ * times. Kept as plain doubles with explicit naming rather than a full
+ * dimensional-analysis type system; the simulator's unit discipline is
+ * "seconds and bytes everywhere, convert at the edges".
+ */
+
+#ifndef CDMA_COMMON_UNITS_HH
+#define CDMA_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace cdma {
+
+/** Bytes in one binary kilobyte. */
+inline constexpr uint64_t kKiB = 1024ull;
+/** Bytes in one binary megabyte. */
+inline constexpr uint64_t kMiB = 1024ull * kKiB;
+/** Bytes in one binary gigabyte. */
+inline constexpr uint64_t kGiB = 1024ull * kMiB;
+
+/** Bytes per second corresponding to 1 GB/s (decimal, as in link specs). */
+inline constexpr double kGBps = 1e9;
+
+/** Seconds in one nanosecond. */
+inline constexpr double kNanosecond = 1e-9;
+/** Seconds in one microsecond. */
+inline constexpr double kMicrosecond = 1e-6;
+/** Seconds in one millisecond. */
+inline constexpr double kMillisecond = 1e-3;
+
+/** Convert a byte count and a bandwidth (B/s) into a transfer time (s). */
+inline double
+transferSeconds(uint64_t bytes, double bytes_per_second)
+{
+    return static_cast<double>(bytes) / bytes_per_second;
+}
+
+/** Gigabytes (decimal) represented by a byte count. */
+inline double
+toGB(uint64_t bytes)
+{
+    return static_cast<double>(bytes) / 1e9;
+}
+
+/** Mebibytes represented by a byte count. */
+inline double
+toMiB(uint64_t bytes)
+{
+    return static_cast<double>(bytes) / static_cast<double>(kMiB);
+}
+
+} // namespace cdma
+
+#endif // CDMA_COMMON_UNITS_HH

@@ -1,0 +1,87 @@
+#include "compress/analysis.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace cdma {
+
+double
+RunStats::clusteringIndex() const
+{
+    const double p = zeroFraction();
+    if (p <= 0.0 || p >= 1.0 || zero_runs == 0)
+        return 1.0;
+    const double iid_run = 1.0 / (1.0 - p);
+    return mean_zero_run / iid_run;
+}
+
+RunStats
+analyzeRuns(std::span<const uint8_t> bytes)
+{
+    RunStats stats;
+    stats.total_words = bytes.size() / 4;
+
+    uint64_t current_run = 0;
+    for (uint64_t w = 0; w < stats.total_words; ++w) {
+        uint32_t value;
+        std::memcpy(&value, bytes.data() + w * 4, 4);
+        if (value == 0) {
+            ++stats.zero_words;
+            ++current_run;
+        } else if (current_run > 0) {
+            ++stats.zero_runs;
+            stats.longest_zero_run =
+                std::max(stats.longest_zero_run, current_run);
+            current_run = 0;
+        }
+    }
+    if (current_run > 0) {
+        ++stats.zero_runs;
+        stats.longest_zero_run =
+            std::max(stats.longest_zero_run, current_run);
+    }
+    stats.mean_zero_run = stats.zero_runs
+        ? static_cast<double>(stats.zero_words) /
+            static_cast<double>(stats.zero_runs)
+        : 0.0;
+    return stats;
+}
+
+WindowProfile
+profileWindows(Algorithm algorithm, std::span<const uint8_t> bytes,
+               uint64_t window_bytes)
+{
+    const auto compressor = makeCompressor(algorithm, window_bytes);
+    const CompressedBuffer compressed = compressor->compress(bytes);
+
+    WindowProfile profile;
+    profile.raw_window_bytes = window_bytes;
+    profile.window_bytes = compressed.window_sizes;
+
+    if (compressed.window_sizes.empty())
+        return profile;
+
+    double sum = 0.0;
+    profile.min_ratio = 1e300;
+    profile.max_ratio = 0.0;
+    uint64_t remaining = bytes.size();
+    for (uint32_t size : compressed.window_sizes) {
+        const uint64_t raw = std::min<uint64_t>(remaining, window_bytes);
+        const uint64_t effective =
+            std::min<uint64_t>(size, raw); // store-raw fallback
+        const double ratio = effective
+            ? static_cast<double>(raw) / static_cast<double>(effective)
+            : 1.0;
+        sum += ratio;
+        profile.min_ratio = std::min(profile.min_ratio, ratio);
+        profile.max_ratio = std::max(profile.max_ratio, ratio);
+        remaining -= raw;
+    }
+    profile.mean_ratio =
+        sum / static_cast<double>(compressed.window_sizes.size());
+    return profile;
+}
+
+} // namespace cdma

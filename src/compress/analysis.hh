@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Analysis helpers over activation byte streams: zero/run statistics and
+ * per-window compressibility profiles. These quantify the structure the
+ * paper shows visually in Figure 5 (clustered zeros) and explain *why*
+ * each algorithm achieves its Figure 11 ratio — RLE's fate is decided by
+ * the run-length distribution, ZVC's only by the zero fraction.
+ */
+
+#ifndef CDMA_COMPRESS_ANALYSIS_HH
+#define CDMA_COMPRESS_ANALYSIS_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compress/compressor.hh"
+
+namespace cdma {
+
+/** Word-level zero/run statistics of a buffer. */
+struct RunStats {
+    uint64_t total_words = 0;
+    uint64_t zero_words = 0;
+    uint64_t zero_runs = 0;     ///< maximal runs of consecutive zero words
+    uint64_t longest_zero_run = 0;
+    double mean_zero_run = 0.0; ///< zero_words / zero_runs
+
+    /** Zero fraction (1 - activation density). */
+    double zeroFraction() const
+    {
+        return total_words
+            ? static_cast<double>(zero_words) /
+                static_cast<double>(total_words)
+            : 0.0;
+    }
+
+    /**
+     * Clustering index: mean zero-run length divided by the expected
+     * run length of an i.i.d. stream with the same zero fraction
+     * (1/(1-p)). 1.0 = unclustered; Figure 5-style activations score
+     * well above 1.
+     */
+    double clusteringIndex() const;
+};
+
+/** Compute word-level run statistics over a raw byte stream. */
+RunStats analyzeRuns(std::span<const uint8_t> bytes);
+
+/** Distribution of per-window compressed sizes for one algorithm. */
+struct WindowProfile {
+    std::vector<uint32_t> window_bytes; ///< compressed size per window
+    uint64_t raw_window_bytes = 0;      ///< configured window size
+    double mean_ratio = 1.0;            ///< mean per-window ratio
+    double min_ratio = 1.0;
+    double max_ratio = 1.0;
+};
+
+/** Profile @p algorithm over @p bytes window by window. */
+WindowProfile profileWindows(Algorithm algorithm,
+                             std::span<const uint8_t> bytes,
+                             uint64_t window_bytes = 4096);
+
+} // namespace cdma
+
+#endif // CDMA_COMPRESS_ANALYSIS_HH

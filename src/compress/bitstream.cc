@@ -1,0 +1,57 @@
+#include "compress/bitstream.hh"
+
+#include "common/logging.hh"
+
+namespace cdma {
+
+void
+BitWriter::put(uint32_t bits, int count)
+{
+    CDMA_ASSERT(count >= 0 && count <= 32, "bad bit count %d", count);
+    for (int i = 0; i < count; ++i) {
+        const size_t byte_index = static_cast<size_t>(bit_count_ >> 3);
+        const int bit_index = static_cast<int>(bit_count_ & 7);
+        if (byte_index == bytes_.size())
+            bytes_.push_back(0);
+        if ((bits >> i) & 1)
+            bytes_[byte_index] |= static_cast<uint8_t>(1u << bit_index);
+        ++bit_count_;
+    }
+}
+
+std::vector<uint8_t>
+BitWriter::finish()
+{
+    return std::move(bytes_);
+}
+
+BitReader::BitReader(std::span<const uint8_t> bytes) : bytes_(bytes)
+{
+}
+
+uint32_t
+BitReader::get(int count)
+{
+    CDMA_ASSERT(count >= 0 && count <= 32, "bad bit count %d", count);
+    CDMA_ASSERT(!exhausted(count),
+                "bit stream exhausted reading %d bits at position %llu",
+                count, static_cast<unsigned long long>(bit_pos_));
+    uint32_t out = 0;
+    for (int i = 0; i < count; ++i) {
+        const size_t byte_index = static_cast<size_t>(bit_pos_ >> 3);
+        const int bit_index = static_cast<int>(bit_pos_ & 7);
+        out |= static_cast<uint32_t>((bytes_[byte_index] >> bit_index) & 1)
+            << i;
+        ++bit_pos_;
+    }
+    return out;
+}
+
+bool
+BitReader::exhausted(int count) const
+{
+    return bit_pos_ + static_cast<uint64_t>(count) >
+        static_cast<uint64_t>(bytes_.size()) * 8;
+}
+
+} // namespace cdma

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * LSB-first bit stream reader/writer used by the DEFLATE-style codec.
+ * Bits are packed into bytes starting at the least-significant bit, the
+ * same convention as RFC 1951.
+ */
+
+#ifndef CDMA_COMPRESS_BITSTREAM_HH
+#define CDMA_COMPRESS_BITSTREAM_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cdma {
+
+/** Append-only LSB-first bit writer. */
+class BitWriter
+{
+  public:
+    /** Append the low @p count bits of @p bits (LSB first). */
+    void put(uint32_t bits, int count);
+
+    /** Pad the final partial byte with zero bits and return the buffer. */
+    std::vector<uint8_t> finish();
+
+    /** Bits written so far. */
+    uint64_t bitCount() const { return bit_count_; }
+
+  private:
+    std::vector<uint8_t> bytes_;
+    uint64_t bit_count_ = 0;
+};
+
+/** LSB-first bit reader over a byte span. */
+class BitReader
+{
+  public:
+    explicit BitReader(std::span<const uint8_t> bytes);
+
+    /** Read @p count bits (LSB first). panic()s past the end. */
+    uint32_t get(int count);
+
+    /** Read a single bit. */
+    uint32_t getBit() { return get(1); }
+
+    /** Bits consumed so far. */
+    uint64_t bitPosition() const { return bit_pos_; }
+
+    /** True when fewer than @p count bits remain. */
+    bool exhausted(int count = 1) const;
+
+  private:
+    std::span<const uint8_t> bytes_;
+    uint64_t bit_pos_ = 0;
+};
+
+} // namespace cdma
+
+#endif // CDMA_COMPRESS_BITSTREAM_HH

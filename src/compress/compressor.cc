@@ -1,0 +1,128 @@
+#include "compress/compressor.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "compress/deflate.hh"
+#include "compress/rle.hh"
+#include "compress/zvc.hh"
+
+namespace cdma {
+
+double
+CompressedBuffer::ratio() const
+{
+    if (payload.empty())
+        return 1.0;
+    return static_cast<double>(original_bytes) /
+        static_cast<double>(payload.size());
+}
+
+uint64_t
+CompressedBuffer::effectiveBytes() const
+{
+    uint64_t total = 0;
+    uint64_t remaining = original_bytes;
+    for (uint32_t compressed : window_sizes) {
+        const uint64_t raw = std::min<uint64_t>(remaining, window_bytes);
+        total += std::min<uint64_t>(compressed, raw);
+        remaining -= raw;
+    }
+    return total;
+}
+
+double
+CompressedBuffer::effectiveRatio() const
+{
+    const uint64_t bytes = effectiveBytes();
+    if (bytes == 0)
+        return 1.0;
+    return static_cast<double>(original_bytes) / static_cast<double>(bytes);
+}
+
+Compressor::Compressor(uint64_t window_bytes) : window_bytes_(window_bytes)
+{
+    CDMA_ASSERT(window_bytes > 0, "compression window must be positive");
+}
+
+CompressedBuffer
+Compressor::compress(std::span<const uint8_t> input) const
+{
+    CompressedBuffer out;
+    out.original_bytes = input.size();
+    out.window_bytes = window_bytes_;
+
+    for (uint64_t offset = 0; offset < input.size();
+         offset += window_bytes_) {
+        const uint64_t len =
+            std::min<uint64_t>(window_bytes_, input.size() - offset);
+        auto window = input.subspan(offset, len);
+        auto compressed = compressWindow(window);
+        out.window_sizes.push_back(
+            static_cast<uint32_t>(compressed.size()));
+        out.payload.insert(out.payload.end(), compressed.begin(),
+                           compressed.end());
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+Compressor::decompress(const CompressedBuffer &buffer) const
+{
+    std::vector<uint8_t> out;
+    out.reserve(buffer.original_bytes);
+
+    uint64_t payload_offset = 0;
+    uint64_t remaining = buffer.original_bytes;
+    for (uint32_t size : buffer.window_sizes) {
+        const uint64_t raw =
+            std::min<uint64_t>(remaining, buffer.window_bytes);
+        CDMA_ASSERT(payload_offset + size <= buffer.payload.size(),
+                    "window payload overruns compressed buffer");
+        std::span<const uint8_t> payload(
+            buffer.payload.data() + payload_offset, size);
+        auto window = decompressWindow(payload, raw);
+        CDMA_ASSERT(window.size() == raw,
+                    "decompressed window size %zu != expected %llu",
+                    window.size(), static_cast<unsigned long long>(raw));
+        out.insert(out.end(), window.begin(), window.end());
+        payload_offset += size;
+        remaining -= raw;
+    }
+    CDMA_ASSERT(remaining == 0, "compressed buffer missing %llu bytes",
+                static_cast<unsigned long long>(remaining));
+    return out;
+}
+
+double
+Compressor::measureRatio(std::span<const uint8_t> input) const
+{
+    return compress(input).effectiveRatio();
+}
+
+std::string
+algorithmName(Algorithm algorithm)
+{
+    switch (algorithm) {
+      case Algorithm::Rle:  return "RL";
+      case Algorithm::Zvc:  return "ZV";
+      case Algorithm::Zlib: return "ZL";
+    }
+    panic("unreachable algorithm value %d", static_cast<int>(algorithm));
+}
+
+std::unique_ptr<Compressor>
+makeCompressor(Algorithm algorithm, uint64_t window_bytes)
+{
+    switch (algorithm) {
+      case Algorithm::Rle:
+        return std::make_unique<RleCompressor>(window_bytes);
+      case Algorithm::Zvc:
+        return std::make_unique<ZvcCompressor>(window_bytes);
+      case Algorithm::Zlib:
+        return std::make_unique<DeflateCompressor>(window_bytes);
+    }
+    panic("unreachable algorithm value %d", static_cast<int>(algorithm));
+}
+
+} // namespace cdma

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Abstract lossless compressor interface used by the cDMA engine. All three
+ * algorithms the paper evaluates (run-length encoding, zero-value
+ * compression, and a DEFLATE-style "zlib" upper bound) implement this
+ * interface. Compression is windowed: the input is split into fixed-size
+ * windows (4 KB by default, Section VII-A) and each window is compressed
+ * independently, mirroring the hardware which operates on bounded buffers.
+ */
+
+#ifndef CDMA_COMPRESS_COMPRESSOR_HH
+#define CDMA_COMPRESS_COMPRESSOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cdma {
+
+/**
+ * Result of compressing a buffer: the concatenated per-window payloads plus
+ * the framing metadata a real DMA engine would track out-of-band (window
+ * boundaries and the original size). The paper's compression ratios count
+ * payload bytes only, which ratio() reproduces.
+ */
+struct CompressedBuffer {
+    /** Concatenated compressed window payloads. */
+    std::vector<uint8_t> payload;
+    /** Compressed size of each window, in payload order. */
+    std::vector<uint32_t> window_sizes;
+    /** Uncompressed input size in bytes. */
+    uint64_t original_bytes = 0;
+    /** Window size used during compression. */
+    uint64_t window_bytes = 0;
+
+    /** Compressed payload size in bytes. */
+    uint64_t compressedBytes() const { return payload.size(); }
+
+    /**
+     * Compression ratio (original / compressed). A ratio below 1.0 means
+     * the algorithm expanded the data; the DMA engine would then fall back
+     * to sending the raw window, so callers typically clamp at 1.0 via
+     * effectiveRatio().
+     */
+    double ratio() const;
+
+    /**
+     * Ratio after the store-raw fallback: every window is transferred as
+     * min(compressed, raw) bytes, as a real engine with a "stored" window
+     * mode would do.
+     */
+    double effectiveRatio() const;
+
+    /** Transferred bytes under the store-raw fallback. */
+    uint64_t effectiveBytes() const;
+};
+
+/**
+ * Interface for a windowed lossless compressor.
+ *
+ * Subclasses implement compressWindow()/decompressWindow() on a single
+ * window; the base class handles splitting, concatenation and verification.
+ */
+class Compressor
+{
+  public:
+    /** Default compression window (4 KB, the paper's configuration). */
+    static constexpr uint64_t kDefaultWindowBytes = 4096;
+
+    explicit Compressor(uint64_t window_bytes = kDefaultWindowBytes);
+    virtual ~Compressor() = default;
+
+    /** Short algorithm tag as used in the paper's figures (RL/ZV/ZL). */
+    virtual std::string name() const = 0;
+
+    /** Compression window in bytes. */
+    uint64_t windowBytes() const { return window_bytes_; }
+
+    /** Compress @p input window-by-window. */
+    CompressedBuffer compress(std::span<const uint8_t> input) const;
+
+    /** Invert compress(); returns exactly the original bytes. */
+    std::vector<uint8_t> decompress(const CompressedBuffer &buffer) const;
+
+    /**
+     * Convenience: compression ratio of @p input with the store-raw
+     * fallback applied (the number the paper reports).
+     */
+    double measureRatio(std::span<const uint8_t> input) const;
+
+  protected:
+    /** Compress one window (at most windowBytes() long). */
+    virtual std::vector<uint8_t>
+    compressWindow(std::span<const uint8_t> window) const = 0;
+
+    /**
+     * Decompress one window payload back into exactly @p original_bytes
+     * bytes.
+     */
+    virtual std::vector<uint8_t>
+    decompressWindow(std::span<const uint8_t> payload,
+                     uint64_t original_bytes) const = 0;
+
+  private:
+    uint64_t window_bytes_;
+};
+
+/** Algorithm selector matching the paper's figure labels. */
+enum class Algorithm {
+    Rle,  ///< run-length encoding ("RL")
+    Zvc,  ///< zero-value compression ("ZV")
+    Zlib, ///< DEFLATE-style upper bound ("ZL")
+};
+
+/** All algorithms in the order the paper's figures list them. */
+inline constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::Rle, Algorithm::Zvc, Algorithm::Zlib};
+
+/** Figure label for an algorithm ("RL", "ZV", "ZL"). */
+std::string algorithmName(Algorithm algorithm);
+
+/** Construct a compressor for @p algorithm with the given window. */
+std::unique_ptr<Compressor>
+makeCompressor(Algorithm algorithm,
+               uint64_t window_bytes = Compressor::kDefaultWindowBytes);
+
+} // namespace cdma
+
+#endif // CDMA_COMPRESS_COMPRESSOR_HH

@@ -1,0 +1,202 @@
+#include "compress/deflate.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+#include "compress/huffman.hh"
+
+namespace cdma {
+
+namespace {
+
+// RFC 1951 length codes: symbol 257 + i encodes lengths
+// [kLengthBase[i], kLengthBase[i] + 2^kLengthExtra[i]).
+constexpr std::array<uint16_t, 29> kLengthBase = {
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31,
+    35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr std::array<uint8_t, 29> kLengthExtra = {
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2,
+    3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0};
+
+// RFC 1951 distance codes.
+constexpr std::array<uint16_t, 30> kDistBase = {
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193,
+    257, 385, 513, 769, 1025, 1537, 2049, 3073, 4097, 6145,
+    8193, 12289, 16385, 24577};
+constexpr std::array<uint8_t, 30> kDistExtra = {
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6,
+    7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+/** Length code index for a match length in [3, 258]. */
+int
+lengthCode(int length)
+{
+    for (int i = static_cast<int>(kLengthBase.size()) - 1; i >= 0; --i) {
+        if (length >= kLengthBase[static_cast<size_t>(i)])
+            return i;
+    }
+    panic("match length %d below DEFLATE minimum", length);
+}
+
+/** Distance code index for a match distance in [1, 32768]. */
+int
+distanceCode(int distance)
+{
+    for (int i = static_cast<int>(kDistBase.size()) - 1; i >= 0; --i) {
+        if (distance >= kDistBase[static_cast<size_t>(i)])
+            return i;
+    }
+    panic("match distance %d below DEFLATE minimum", distance);
+}
+
+/**
+ * Serialize a code-length table as (4-bit length, 8-bit run-1) pairs.
+ * Unused symbols form long zero runs, so the header stays a few dozen
+ * bytes per window rather than the ~160 bytes of a flat table.
+ */
+void
+writeLengths(BitWriter &writer, const std::vector<uint8_t> &lengths)
+{
+    size_t i = 0;
+    while (i < lengths.size()) {
+        const uint8_t value = lengths[i];
+        size_t run = 1;
+        while (i + run < lengths.size() && run < 256 &&
+               lengths[i + run] == value) {
+            ++run;
+        }
+        writer.put(value, 4);
+        writer.put(static_cast<uint32_t>(run - 1), 8);
+        i += run;
+    }
+}
+
+/** Inverse of writeLengths(); reads exactly @p count lengths. */
+std::vector<uint8_t>
+readLengths(BitReader &reader, size_t count)
+{
+    std::vector<uint8_t> lengths;
+    lengths.reserve(count);
+    while (lengths.size() < count) {
+        const uint8_t value = static_cast<uint8_t>(reader.get(4));
+        const size_t run = reader.get(8) + 1;
+        CDMA_ASSERT(lengths.size() + run <= count,
+                    "code-length run overflows the alphabet");
+        lengths.insert(lengths.end(), run, value);
+    }
+    return lengths;
+}
+
+} // namespace
+
+DeflateCompressor::DeflateCompressor(uint64_t window_bytes,
+                                     const Lz77Config &lz_config)
+    : Compressor(window_bytes), lz_config_(lz_config)
+{
+}
+
+std::vector<uint8_t>
+DeflateCompressor::compressWindow(std::span<const uint8_t> window) const
+{
+    const auto tokens = lz77Tokenize(window, lz_config_);
+
+    // Pass 1: symbol statistics.
+    std::vector<uint64_t> litlen_freq(kLitLenSymbols, 0);
+    std::vector<uint64_t> dist_freq(kDistSymbols, 0);
+    for (const auto &token : tokens) {
+        if (token.is_match) {
+            ++litlen_freq[static_cast<size_t>(
+                257 + lengthCode(token.length))];
+            ++dist_freq[static_cast<size_t>(
+                distanceCode(token.distance))];
+        } else {
+            ++litlen_freq[token.literal];
+        }
+    }
+    ++litlen_freq[kEndOfBlock];
+
+    const auto litlen_lengths =
+        buildCodeLengths(litlen_freq, kMaxCodeLength);
+    const auto dist_lengths = buildCodeLengths(dist_freq, kMaxCodeLength);
+    const HuffmanEncoder litlen_enc(litlen_lengths);
+    const HuffmanEncoder dist_enc(dist_lengths);
+
+    // Pass 2: header (code-length tables) then the token stream.
+    BitWriter writer;
+    writeLengths(writer, litlen_lengths);
+    writeLengths(writer, dist_lengths);
+
+    for (const auto &token : tokens) {
+        if (token.is_match) {
+            const int lcode = lengthCode(token.length);
+            litlen_enc.encode(writer, 257 + lcode);
+            writer.put(static_cast<uint32_t>(
+                           token.length -
+                           kLengthBase[static_cast<size_t>(lcode)]),
+                       kLengthExtra[static_cast<size_t>(lcode)]);
+            const int dcode = distanceCode(token.distance);
+            dist_enc.encode(writer, dcode);
+            writer.put(static_cast<uint32_t>(
+                           token.distance -
+                           kDistBase[static_cast<size_t>(dcode)]),
+                       kDistExtra[static_cast<size_t>(dcode)]);
+        } else {
+            litlen_enc.encode(writer, token.literal);
+        }
+    }
+    litlen_enc.encode(writer, kEndOfBlock);
+    return writer.finish();
+}
+
+std::vector<uint8_t>
+DeflateCompressor::decompressWindow(std::span<const uint8_t> payload,
+                                    uint64_t original_bytes) const
+{
+    if (original_bytes == 0)
+        return {};
+
+    BitReader reader(payload);
+    const auto litlen_lengths = readLengths(reader, kLitLenSymbols);
+    const auto dist_lengths = readLengths(reader, kDistSymbols);
+    const HuffmanDecoder litlen_dec(litlen_lengths);
+    const HuffmanDecoder dist_dec(dist_lengths);
+
+    std::vector<uint8_t> out;
+    out.reserve(original_bytes);
+    for (;;) {
+        const int symbol = litlen_dec.decode(reader);
+        if (symbol == kEndOfBlock)
+            break;
+        if (symbol < 256) {
+            out.push_back(static_cast<uint8_t>(symbol));
+            continue;
+        }
+        const int lcode = symbol - 257;
+        CDMA_ASSERT(lcode >= 0 &&
+                        lcode < static_cast<int>(kLengthBase.size()),
+                    "invalid length symbol %d", symbol);
+        const int length = kLengthBase[static_cast<size_t>(lcode)] +
+            static_cast<int>(
+                reader.get(kLengthExtra[static_cast<size_t>(lcode)]));
+        const int dcode = dist_dec.decode(reader);
+        CDMA_ASSERT(dcode >= 0 &&
+                        dcode < static_cast<int>(kDistBase.size()),
+                    "invalid distance symbol %d", dcode);
+        const int distance = kDistBase[static_cast<size_t>(dcode)] +
+            static_cast<int>(
+                reader.get(kDistExtra[static_cast<size_t>(dcode)]));
+        CDMA_ASSERT(distance <= static_cast<int>(out.size()),
+                    "match distance %d exceeds history %zu", distance,
+                    out.size());
+        size_t src = out.size() - static_cast<size_t>(distance);
+        for (int i = 0; i < length; ++i)
+            out.push_back(out[src + static_cast<size_t>(i)]);
+    }
+    CDMA_ASSERT(out.size() == original_bytes,
+                "DEFLATE window decoded %zu bytes, expected %llu",
+                out.size(),
+                static_cast<unsigned long long>(original_bytes));
+    return out;
+}
+
+} // namespace cdma

@@ -1,0 +1,227 @@
+#include "compress/huffman.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <tuple>
+
+#include "common/logging.hh"
+
+namespace cdma {
+
+namespace {
+
+/** Internal tree node used only while deriving code lengths. */
+struct TreeNode {
+    uint64_t freq;
+    int left = -1;   // child node index, or -1 for a leaf
+    int right = -1;
+    int symbol = -1; // leaf symbol, or -1 for internal
+};
+
+/** Heap entry ordered by (freq, tie) for deterministic trees. */
+struct HeapEntry {
+    uint64_t freq;
+    int tie;
+    int node;
+    bool operator>(const HeapEntry &other) const
+    {
+        return std::tie(freq, tie) > std::tie(other.freq, other.tie);
+    }
+};
+
+void
+assignDepths(const std::vector<TreeNode> &nodes, int root,
+             std::vector<uint8_t> &lengths)
+{
+    // Iterative DFS; depth of each leaf is its code length.
+    std::vector<std::pair<int, int>> stack = {{root, 0}};
+    while (!stack.empty()) {
+        auto [node, depth] = stack.back();
+        stack.pop_back();
+        const TreeNode &n = nodes[static_cast<size_t>(node)];
+        if (n.symbol >= 0) {
+            lengths[static_cast<size_t>(n.symbol)] =
+                static_cast<uint8_t>(std::max(depth, 1));
+        } else {
+            stack.emplace_back(n.left, depth + 1);
+            stack.emplace_back(n.right, depth + 1);
+        }
+    }
+}
+
+} // namespace
+
+std::vector<uint8_t>
+buildCodeLengths(const std::vector<uint64_t> &freqs, int max_length)
+{
+    CDMA_ASSERT(max_length >= 1 && max_length <= 31,
+                "unsupported max code length %d", max_length);
+    std::vector<uint8_t> lengths(freqs.size(), 0);
+
+    std::vector<TreeNode> nodes;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<HeapEntry>> heap;
+    int tie = 0;
+    for (size_t symbol = 0; symbol < freqs.size(); ++symbol) {
+        if (freqs[symbol] == 0)
+            continue;
+        nodes.push_back({freqs[symbol], -1, -1, static_cast<int>(symbol)});
+        heap.push({freqs[symbol], tie++,
+                   static_cast<int>(nodes.size()) - 1});
+    }
+
+    if (nodes.empty())
+        return lengths;
+    if (nodes.size() == 1) {
+        lengths[static_cast<size_t>(nodes[0].symbol)] = 1;
+        return lengths;
+    }
+
+    while (heap.size() > 1) {
+        HeapEntry a = heap.top();
+        heap.pop();
+        HeapEntry b = heap.top();
+        heap.pop();
+        nodes.push_back({a.freq + b.freq, a.node, b.node, -1});
+        heap.push({a.freq + b.freq, tie++,
+                   static_cast<int>(nodes.size()) - 1});
+    }
+    assignDepths(nodes, heap.top().node, lengths);
+
+    // Length-limit: clamp over-long codes, then restore the Kraft
+    // inequality by deepening the shallowest codes until the code space
+    // fits in max_length bits.
+    bool clamped = false;
+    for (auto &len : lengths) {
+        if (len > max_length) {
+            len = static_cast<uint8_t>(max_length);
+            clamped = true;
+        }
+    }
+    if (clamped) {
+        const uint64_t budget = 1ull << max_length;
+        auto kraft = [&]() {
+            uint64_t k = 0;
+            for (uint8_t len : lengths) {
+                if (len)
+                    k += 1ull << (max_length - len);
+            }
+            return k;
+        };
+        uint64_t k = kraft();
+        while (k > budget) {
+            // Deepen the symbol with the shortest code (< max_length);
+            // each step frees the largest chunk of code space.
+            size_t best = lengths.size();
+            for (size_t i = 0; i < lengths.size(); ++i) {
+                if (lengths[i] == 0 || lengths[i] >= max_length)
+                    continue;
+                if (best == lengths.size() || lengths[i] < lengths[best])
+                    best = i;
+            }
+            CDMA_ASSERT(best < lengths.size(),
+                        "cannot satisfy Kraft inequality at length %d",
+                        max_length);
+            k -= 1ull << (max_length - lengths[best] - 1);
+            ++lengths[best];
+        }
+    }
+    return lengths;
+}
+
+HuffmanEncoder::HuffmanEncoder(const std::vector<uint8_t> &lengths)
+    : lengths_(lengths), codes_(lengths.size(), 0)
+{
+    int max_length = 0;
+    for (uint8_t len : lengths_)
+        max_length = std::max<int>(max_length, len);
+    if (max_length == 0)
+        return;
+
+    std::vector<uint32_t> bl_count(
+        static_cast<size_t>(max_length) + 1, 0);
+    for (uint8_t len : lengths_) {
+        if (len)
+            ++bl_count[len];
+    }
+
+    std::vector<uint32_t> next_code(
+        static_cast<size_t>(max_length) + 1, 0);
+    uint32_t code = 0;
+    for (int bits = 1; bits <= max_length; ++bits) {
+        code = (code + bl_count[static_cast<size_t>(bits) - 1]) << 1;
+        next_code[static_cast<size_t>(bits)] = code;
+    }
+
+    for (size_t symbol = 0; symbol < lengths_.size(); ++symbol) {
+        if (lengths_[symbol])
+            codes_[symbol] = next_code[lengths_[symbol]]++;
+    }
+}
+
+void
+HuffmanEncoder::encode(BitWriter &writer, int symbol) const
+{
+    const auto index = static_cast<size_t>(symbol);
+    CDMA_ASSERT(index < lengths_.size() && lengths_[index] > 0,
+                "encoding symbol %d with no assigned code", symbol);
+    const int len = lengths_[index];
+    const uint32_t code = codes_[index];
+    // Canonical codes compare MSB-first during decode, so emit from the
+    // top bit down.
+    for (int i = len - 1; i >= 0; --i)
+        writer.put((code >> i) & 1, 1);
+}
+
+HuffmanDecoder::HuffmanDecoder(const std::vector<uint8_t> &lengths)
+{
+    max_length_ = 0;
+    for (uint8_t len : lengths)
+        max_length_ = std::max<int>(max_length_, len);
+    count_.assign(static_cast<size_t>(max_length_) + 1, 0);
+    for (uint8_t len : lengths) {
+        if (len)
+            ++count_[len];
+    }
+    // Symbols sorted by (length, symbol value): canonical order.
+    std::vector<int> offsets(static_cast<size_t>(max_length_) + 2, 0);
+    for (int len = 1; len <= max_length_; ++len) {
+        offsets[static_cast<size_t>(len) + 1] =
+            offsets[static_cast<size_t>(len)] +
+            count_[static_cast<size_t>(len)];
+    }
+    symbols_.assign(
+        static_cast<size_t>(offsets[static_cast<size_t>(max_length_) + 1]),
+        0);
+    std::vector<int> cursor(offsets.begin(), offsets.end());
+    for (size_t symbol = 0; symbol < lengths.size(); ++symbol) {
+        const uint8_t len = lengths[symbol];
+        if (len) {
+            symbols_[static_cast<size_t>(cursor[len]++)] =
+                static_cast<int>(symbol);
+        }
+    }
+}
+
+int
+HuffmanDecoder::decode(BitReader &reader) const
+{
+    // Canonical decode (cf. puff.c): walk lengths from 1 upward, tracking
+    // the first code and symbol-table index of each length.
+    int code = 0;
+    int first = 0;
+    int index = 0;
+    for (int len = 1; len <= max_length_; ++len) {
+        code |= static_cast<int>(reader.getBit());
+        const int count = count_[static_cast<size_t>(len)];
+        if (code - first < count)
+            return symbols_[static_cast<size_t>(index + (code - first))];
+        index += count;
+        first = (first + count) << 1;
+        code <<= 1;
+    }
+    panic("invalid Huffman code in compressed stream");
+}
+
+} // namespace cdma

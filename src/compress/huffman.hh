@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Canonical Huffman coding with a bounded maximum code length, as used by
+ * the DEFLATE-style compressor. Code lengths are computed from symbol
+ * frequencies, limited to kMaxCodeLength bits (rebalanced when the raw
+ * Huffman tree is deeper), and turned into canonical codes so only the
+ * length table needs to be serialized.
+ */
+
+#ifndef CDMA_COMPRESS_HUFFMAN_HH
+#define CDMA_COMPRESS_HUFFMAN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/bitstream.hh"
+
+namespace cdma {
+
+/**
+ * Compute length-limited Huffman code lengths for @p freqs.
+ *
+ * Symbols with zero frequency get length 0 (no code). If only one symbol
+ * has nonzero frequency it still receives a 1-bit code so the decoder can
+ * make progress.
+ *
+ * @param freqs Symbol frequencies.
+ * @param max_length Longest permitted code in bits.
+ * @return One length per symbol.
+ */
+std::vector<uint8_t> buildCodeLengths(const std::vector<uint64_t> &freqs,
+                                      int max_length);
+
+/** Canonical Huffman encoder built from a code-length table. */
+class HuffmanEncoder
+{
+  public:
+    /** Build canonical codes from @p lengths (one per symbol). */
+    explicit HuffmanEncoder(const std::vector<uint8_t> &lengths);
+
+    /** Emit the code for @p symbol. @pre symbol has a nonzero length. */
+    void encode(BitWriter &writer, int symbol) const;
+
+    /** Code length of @p symbol in bits (0 = unused symbol). */
+    int length(int symbol) const
+    {
+        return lengths_[static_cast<size_t>(symbol)];
+    }
+
+  private:
+    std::vector<uint8_t> lengths_;
+    std::vector<uint32_t> codes_;
+};
+
+/**
+ * Canonical Huffman decoder. Decodes one symbol at a time by walking the
+ * canonical code space; code lengths are bounded (<= 15 bits) so decode is
+ * O(max_length) per symbol, which is plenty for a functional model.
+ */
+class HuffmanDecoder
+{
+  public:
+    /** Build the decode tables from the same lengths used to encode. */
+    explicit HuffmanDecoder(const std::vector<uint8_t> &lengths);
+
+    /** Decode the next symbol from @p reader. */
+    int decode(BitReader &reader) const;
+
+  private:
+    // first_code_[len] / first_symbol_[len]: canonical decoding tables.
+    std::vector<uint32_t> first_code_;
+    std::vector<int> first_symbol_;
+    std::vector<int> symbols_; // symbols sorted by (length, symbol)
+    std::vector<uint16_t> count_; // number of codes of each length
+    int max_length_;
+};
+
+} // namespace cdma
+
+#endif // CDMA_COMPRESS_HUFFMAN_HH

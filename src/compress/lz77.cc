@@ -1,0 +1,116 @@
+#include "compress/lz77.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace cdma {
+
+namespace {
+
+constexpr int kHashBits = 15;
+constexpr size_t kHashSize = 1u << kHashBits;
+
+uint32_t
+hash3(const uint8_t *p)
+{
+    // Multiplicative hash of a 3-byte prefix.
+    const uint32_t v = static_cast<uint32_t>(p[0]) |
+        (static_cast<uint32_t>(p[1]) << 8) |
+        (static_cast<uint32_t>(p[2]) << 16);
+    return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+} // namespace
+
+std::vector<Lz77Token>
+lz77Tokenize(std::span<const uint8_t> input, const Lz77Config &config)
+{
+    std::vector<Lz77Token> tokens;
+    tokens.reserve(input.size() / 4 + 16);
+
+    const size_t n = input.size();
+    std::vector<int64_t> head(kHashSize, -1);
+    std::vector<int64_t> prev(n, -1);
+
+    size_t pos = 0;
+    while (pos < n) {
+        uint16_t best_len = 0;
+        uint32_t best_dist = 0;
+
+        if (pos + config.min_match <= n && n - pos >= 3) {
+            const uint32_t h = hash3(input.data() + pos);
+            int64_t candidate = head[h];
+            int chain = config.max_chain;
+            const size_t max_len = std::min<size_t>(config.max_match,
+                                                    n - pos);
+            while (candidate >= 0 && chain-- > 0) {
+                const auto dist =
+                    static_cast<uint32_t>(pos - static_cast<size_t>(
+                        candidate));
+                if (dist > config.max_distance)
+                    break;
+                size_t len = 0;
+                const uint8_t *a = input.data() + candidate;
+                const uint8_t *b = input.data() + pos;
+                while (len < max_len && a[len] == b[len])
+                    ++len;
+                if (len >= config.min_match && len > best_len) {
+                    best_len = static_cast<uint16_t>(len);
+                    best_dist = dist;
+                    if (len == max_len)
+                        break;
+                }
+                candidate = prev[static_cast<size_t>(candidate)];
+            }
+        }
+
+        if (best_len >= config.min_match) {
+            tokens.push_back({true, 0, best_len,
+                              static_cast<uint16_t>(best_dist)});
+            // Insert every covered position into the hash chains so later
+            // matches can reference the interior of this match.
+            const size_t end = pos + best_len;
+            while (pos < end) {
+                if (pos + 3 <= n) {
+                    const uint32_t h = hash3(input.data() + pos);
+                    prev[pos] = head[h];
+                    head[h] = static_cast<int64_t>(pos);
+                }
+                ++pos;
+            }
+        } else {
+            if (pos + 3 <= n) {
+                const uint32_t h = hash3(input.data() + pos);
+                prev[pos] = head[h];
+                head[h] = static_cast<int64_t>(pos);
+            }
+            tokens.push_back({false, input[pos], 0, 0});
+            ++pos;
+        }
+    }
+    return tokens;
+}
+
+std::vector<uint8_t>
+lz77Reconstruct(const std::vector<Lz77Token> &tokens)
+{
+    std::vector<uint8_t> out;
+    for (const auto &token : tokens) {
+        if (!token.is_match) {
+            out.push_back(token.literal);
+            continue;
+        }
+        CDMA_ASSERT(token.distance > 0 && token.distance <= out.size(),
+                    "LZ77 match distance %u exceeds history %zu",
+                    token.distance, out.size());
+        // Byte-by-byte copy: overlapping matches (distance < length)
+        // intentionally replicate recent output, as in DEFLATE.
+        size_t src = out.size() - token.distance;
+        for (uint16_t i = 0; i < token.length; ++i)
+            out.push_back(out[src + i]);
+    }
+    return out;
+}
+
+} // namespace cdma

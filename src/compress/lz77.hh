@@ -1,0 +1,42 @@
+/**
+ * @file
+ * LZ77 tokenizer for the DEFLATE-style compressor: greedy hash-chain
+ * matching with the RFC 1951 limits (match length 3..258, distance up to
+ * 32768).
+ */
+
+#ifndef CDMA_COMPRESS_LZ77_HH
+#define CDMA_COMPRESS_LZ77_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cdma {
+
+/** One LZ77 token: either a literal byte or a (length, distance) match. */
+struct Lz77Token {
+    bool is_match = false;
+    uint8_t literal = 0;   ///< valid when !is_match
+    uint16_t length = 0;   ///< match length, 3..258
+    uint16_t distance = 0; ///< match distance, 1..32768
+};
+
+/** Tuning knobs for the matcher. */
+struct Lz77Config {
+    int max_chain = 64;          ///< hash-chain positions probed per match
+    uint16_t min_match = 3;      ///< shortest emitted match
+    uint16_t max_match = 258;    ///< longest emitted match
+    uint32_t max_distance = 32768; ///< history window
+};
+
+/** Tokenize @p input greedily. */
+std::vector<Lz77Token> lz77Tokenize(std::span<const uint8_t> input,
+                                    const Lz77Config &config = {});
+
+/** Reconstruct the byte stream a token sequence encodes. */
+std::vector<uint8_t> lz77Reconstruct(const std::vector<Lz77Token> &tokens);
+
+} // namespace cdma
+
+#endif // CDMA_COMPRESS_LZ77_HH

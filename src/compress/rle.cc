@@ -1,0 +1,112 @@
+#include "compress/rle.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace cdma {
+
+namespace {
+
+// Token byte: bit 7 set -> zero-run, clear -> literal-run; bits 6..0 hold
+// (run length - 1), so a token covers 1..128 words.
+constexpr uint8_t kZeroRunFlag = 0x80;
+
+bool
+isZeroWord(const uint8_t *p)
+{
+    uint32_t value;
+    std::memcpy(&value, p, 4);
+    return value == 0;
+}
+
+} // namespace
+
+RleCompressor::RleCompressor(uint64_t window_bytes)
+    : Compressor(window_bytes)
+{
+}
+
+std::vector<uint8_t>
+RleCompressor::compressWindow(std::span<const uint8_t> window) const
+{
+    std::vector<uint8_t> out;
+    out.reserve(window.size() + window.size() / (kMaxRun * kWordBytes) + 8);
+
+    const uint64_t words = window.size() / kWordBytes;
+    const uint64_t tail_bytes = window.size() % kWordBytes;
+
+    uint64_t i = 0;
+    while (i < words) {
+        const bool zero = isZeroWord(window.data() + i * kWordBytes);
+        uint64_t run = 1;
+        while (i + run < words && run < kMaxRun &&
+               isZeroWord(window.data() + (i + run) * kWordBytes) == zero) {
+            ++run;
+        }
+        const auto token = static_cast<uint8_t>(run - 1);
+        if (zero) {
+            out.push_back(kZeroRunFlag | token);
+        } else {
+            out.push_back(token);
+            const uint8_t *src = window.data() + i * kWordBytes;
+            out.insert(out.end(), src, src + run * kWordBytes);
+        }
+        i += run;
+    }
+
+    // Sub-word tail stored raw (prefixed by a literal token of one word
+    // would mis-size it; the framing knows the original size so raw bytes
+    // at the end are unambiguous).
+    if (tail_bytes) {
+        const uint8_t *src = window.data() + words * kWordBytes;
+        out.insert(out.end(), src, src + tail_bytes);
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+RleCompressor::decompressWindow(std::span<const uint8_t> payload,
+                                uint64_t original_bytes) const
+{
+    std::vector<uint8_t> out;
+    out.reserve(original_bytes);
+
+    const uint64_t words = original_bytes / kWordBytes;
+    const uint64_t tail_bytes = original_bytes % kWordBytes;
+
+    size_t cursor = 0;
+    uint64_t produced = 0;
+    while (produced < words) {
+        CDMA_ASSERT(cursor < payload.size(),
+                    "RLE payload truncated before token");
+        const uint8_t token = payload[cursor++];
+        const uint64_t run = static_cast<uint64_t>(token & 0x7F) + 1;
+        CDMA_ASSERT(produced + run <= words,
+                    "RLE run overflows the original window size");
+        if (token & kZeroRunFlag) {
+            out.insert(out.end(), run * kWordBytes, 0);
+        } else {
+            CDMA_ASSERT(cursor + run * kWordBytes <= payload.size(),
+                        "RLE payload truncated in literal run");
+            out.insert(out.end(), payload.data() + cursor,
+                       payload.data() + cursor + run * kWordBytes);
+            cursor += run * kWordBytes;
+        }
+        produced += run;
+    }
+
+    if (tail_bytes) {
+        CDMA_ASSERT(cursor + tail_bytes <= payload.size(),
+                    "RLE payload truncated in raw tail");
+        out.insert(out.end(), payload.data() + cursor,
+                   payload.data() + cursor + tail_bytes);
+        cursor += tail_bytes;
+    }
+    CDMA_ASSERT(cursor == payload.size(),
+                "RLE payload has %zu trailing bytes",
+                payload.size() - cursor);
+    return out;
+}
+
+} // namespace cdma

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Run-length encoding over 4-byte activation words (Section V-A). The
+ * stream is a sequence of tokens: a zero-run token replaces up to 128
+ * consecutive zero words with a single byte, and a literal-run token emits
+ * a one-byte header followed by up to 128 raw words. RLE therefore only
+ * wins when zero words are *consecutive in the physical layout*, which is
+ * why its ratio collapses under NHWC/CHWN where channel planes interleave
+ * (Figure 11).
+ */
+
+#ifndef CDMA_COMPRESS_RLE_HH
+#define CDMA_COMPRESS_RLE_HH
+
+#include "compress/compressor.hh"
+
+namespace cdma {
+
+/** Run-length compressor ("RL" in the paper's figures). */
+class RleCompressor : public Compressor
+{
+  public:
+    /** Maximum words encodable by a single token. */
+    static constexpr int kMaxRun = 128;
+    /** Bytes per activation word (fp32). */
+    static constexpr int kWordBytes = 4;
+
+    explicit RleCompressor(
+        uint64_t window_bytes = Compressor::kDefaultWindowBytes);
+
+    std::string name() const override { return "RL"; }
+
+  protected:
+    std::vector<uint8_t>
+    compressWindow(std::span<const uint8_t> window) const override;
+
+    std::vector<uint8_t>
+    decompressWindow(std::span<const uint8_t> payload,
+                     uint64_t original_bytes) const override;
+};
+
+} // namespace cdma
+
+#endif // CDMA_COMPRESS_RLE_HH

@@ -1,0 +1,116 @@
+#include "compress/zvc.hh"
+
+#include <cstring>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace cdma {
+
+ZvcCompressor::ZvcCompressor(uint64_t window_bytes)
+    : Compressor(window_bytes)
+{
+}
+
+uint64_t
+ZvcCompressor::predictedBytes(uint64_t total_words, uint64_t nonzero_words)
+{
+    const uint64_t masks = ceilDiv(total_words, kMaskWords);
+    return masks * sizeof(uint32_t) + nonzero_words * kWordBytes;
+}
+
+std::vector<uint8_t>
+ZvcCompressor::compressWindow(std::span<const uint8_t> window) const
+{
+    std::vector<uint8_t> out;
+    out.reserve(window.size() + window.size() / kMaskWords + 8);
+
+    const uint64_t full_words = window.size() / kWordBytes;
+    const uint64_t tail_bytes = window.size() % kWordBytes;
+
+    uint64_t word = 0;
+    while (word < full_words) {
+        const uint64_t group =
+            std::min<uint64_t>(kMaskWords, full_words - word);
+
+        uint32_t mask = 0;
+        for (uint64_t i = 0; i < group; ++i) {
+            uint32_t value;
+            std::memcpy(&value, window.data() + (word + i) * kWordBytes,
+                        kWordBytes);
+            if (value != 0)
+                mask |= 1u << i;
+        }
+
+        const size_t mask_pos = out.size();
+        out.resize(mask_pos + sizeof(uint32_t));
+        std::memcpy(out.data() + mask_pos, &mask, sizeof(uint32_t));
+
+        for (uint64_t i = 0; i < group; ++i) {
+            if (mask & (1u << i)) {
+                const uint8_t *src =
+                    window.data() + (word + i) * kWordBytes;
+                out.insert(out.end(), src, src + kWordBytes);
+            }
+        }
+        word += group;
+    }
+
+    // Sub-word tail (only possible when the window is not a multiple of 4
+    // bytes, e.g. the last window of an oddly sized buffer): stored raw.
+    if (tail_bytes) {
+        const uint8_t *src = window.data() + full_words * kWordBytes;
+        out.insert(out.end(), src, src + tail_bytes);
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+ZvcCompressor::decompressWindow(std::span<const uint8_t> payload,
+                                uint64_t original_bytes) const
+{
+    std::vector<uint8_t> out;
+    out.reserve(original_bytes);
+
+    const uint64_t full_words = original_bytes / kWordBytes;
+    const uint64_t tail_bytes = original_bytes % kWordBytes;
+
+    size_t cursor = 0;
+    uint64_t word = 0;
+    while (word < full_words) {
+        const uint64_t group =
+            std::min<uint64_t>(kMaskWords, full_words - word);
+        CDMA_ASSERT(cursor + sizeof(uint32_t) <= payload.size(),
+                    "ZVC payload truncated before mask");
+        uint32_t mask;
+        std::memcpy(&mask, payload.data() + cursor, sizeof(uint32_t));
+        cursor += sizeof(uint32_t);
+
+        for (uint64_t i = 0; i < group; ++i) {
+            if (mask & (1u << i)) {
+                CDMA_ASSERT(cursor + kWordBytes <= payload.size(),
+                            "ZVC payload truncated in non-zero data");
+                out.insert(out.end(), payload.data() + cursor,
+                           payload.data() + cursor + kWordBytes);
+                cursor += kWordBytes;
+            } else {
+                out.insert(out.end(), kWordBytes, 0);
+            }
+        }
+        word += group;
+    }
+
+    if (tail_bytes) {
+        CDMA_ASSERT(cursor + tail_bytes <= payload.size(),
+                    "ZVC payload truncated in raw tail");
+        out.insert(out.end(), payload.data() + cursor,
+                   payload.data() + cursor + tail_bytes);
+        cursor += tail_bytes;
+    }
+    CDMA_ASSERT(cursor == payload.size(),
+                "ZVC payload has %zu trailing bytes",
+                payload.size() - cursor);
+    return out;
+}
+
+} // namespace cdma

@@ -1,0 +1,96 @@
+#include "data/synthetic.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cdma {
+
+SyntheticDataset::SyntheticDataset(const SyntheticDataConfig &config)
+    : config_(config), train_rng_(config.seed),
+      val_rng_(config.seed ^ 0xABCDEF0123456789ull)
+{
+    CDMA_ASSERT(config.classes >= 2, "need at least two classes");
+    CDMA_ASSERT(config.channels >= 1 && config.height >= 8 &&
+                    config.width >= 8,
+                "image geometry too small");
+}
+
+void
+SyntheticDataset::renderSample(Tensor4D &image, int64_t n, int label,
+                               Rng &rng) const
+{
+    const auto h = static_cast<double>(config_.height);
+    const auto w = static_cast<double>(config_.width);
+
+    // Class-specific grating: orientation and frequency are functions of
+    // the label; phase jitters per sample.
+    const double angle = M_PI * static_cast<double>(label) /
+        static_cast<double>(config_.classes);
+    const double freq = 2.0 + 1.5 * static_cast<double>(
+        label % 4);
+    const double phase = rng.uniform(0.0, 2.0 * M_PI);
+    const double cos_a = std::cos(angle);
+    const double sin_a = std::sin(angle);
+
+    // Class-positioned blob.
+    const double blob_cx = w * (0.25 + 0.5 * ((label * 7) % 10) / 10.0) +
+        rng.normal(0.0, 1.0);
+    const double blob_cy = h * (0.25 + 0.5 * ((label * 3) % 10) / 10.0) +
+        rng.normal(0.0, 1.0);
+    const double blob_r = 0.18 * std::min(h, w);
+
+    for (int64_t c = 0; c < config_.channels; ++c) {
+        // Per-class channel gains make color informative.
+        const double gain =
+            0.4 + 0.6 * (((label + static_cast<int>(c) * 3) % 5) / 4.0);
+        for (int64_t y = 0; y < config_.height; ++y) {
+            for (int64_t x = 0; x < config_.width; ++x) {
+                const double u = static_cast<double>(x) / w;
+                const double v = static_cast<double>(y) / h;
+                const double proj = cos_a * u + sin_a * v;
+                double value =
+                    gain * std::sin(2.0 * M_PI * freq * proj + phase);
+
+                const double dx = static_cast<double>(x) - blob_cx;
+                const double dy = static_cast<double>(y) - blob_cy;
+                const double dist2 = dx * dx + dy * dy;
+                value += 1.2 * gain *
+                    std::exp(-dist2 / (2.0 * blob_r * blob_r));
+
+                value += rng.normal(0.0, config_.noise_stddev);
+                image.at(n, c, y, x) = static_cast<float>(value);
+            }
+        }
+    }
+}
+
+Minibatch
+SyntheticDataset::makeBatch(int64_t batch_size, Rng &rng)
+{
+    Minibatch batch{
+        Tensor4D(Shape4D{batch_size, config_.channels, config_.height,
+                         config_.width}),
+        std::vector<int>(static_cast<size_t>(batch_size), 0)};
+    for (int64_t n = 0; n < batch_size; ++n) {
+        const int label = static_cast<int>(
+            rng.uniformInt(static_cast<uint64_t>(config_.classes)));
+        batch.labels[static_cast<size_t>(n)] = label;
+        renderSample(batch.images, n, label, rng);
+    }
+    return batch;
+}
+
+Minibatch
+SyntheticDataset::nextTrainBatch(int64_t batch_size)
+{
+    return makeBatch(batch_size, train_rng_);
+}
+
+Minibatch
+SyntheticDataset::nextValBatch(int64_t batch_size)
+{
+    return makeBatch(batch_size, val_rng_);
+}
+
+} // namespace cdma

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Procedurally generated image-classification dataset standing in for
+ * ImageNet (which the paper trains on but which cannot be shipped or
+ * trained in this environment; see DESIGN.md substitution table). Each of
+ * the ten classes combines a class-specific oriented grating, a
+ * class-positioned color blob, and pixel noise, making the task learnable
+ * by small CNNs while exercising exactly the code paths of real training:
+ * SGD on conv/ReLU/pool/FC stacks, whose ReLU outputs provide the sparse
+ * activations the paper measures.
+ */
+
+#ifndef CDMA_DATA_SYNTHETIC_HH
+#define CDMA_DATA_SYNTHETIC_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "tensor/tensor.hh"
+
+namespace cdma {
+
+/** One labelled minibatch. */
+struct Minibatch {
+    Tensor4D images; ///< (N, C, H, W)
+    std::vector<int> labels;
+};
+
+/** Configuration of the synthetic dataset. */
+struct SyntheticDataConfig {
+    int64_t classes = 10;
+    int64_t channels = 3;
+    int64_t height = 32;
+    int64_t width = 32;
+    double noise_stddev = 0.15;
+    uint64_t seed = 0xC0FFEE;
+};
+
+/**
+ * Deterministic synthetic dataset. Batches are generated on demand; the
+ * "training set" is the stream from one seed and the "validation set" the
+ * stream from another, so train/val never overlap.
+ */
+class SyntheticDataset
+{
+  public:
+    explicit SyntheticDataset(const SyntheticDataConfig &config = {});
+
+    /** Dataset configuration. */
+    const SyntheticDataConfig &config() const { return config_; }
+
+    /** Next training minibatch of @p batch_size samples. */
+    Minibatch nextTrainBatch(int64_t batch_size);
+
+    /** Next validation minibatch of @p batch_size samples. */
+    Minibatch nextValBatch(int64_t batch_size);
+
+    /** Render a single sample of class @p label into @p image sample n. */
+    void renderSample(Tensor4D &image, int64_t n, int label, Rng &rng) const;
+
+  private:
+    Minibatch makeBatch(int64_t batch_size, Rng &rng);
+
+    SyntheticDataConfig config_;
+    Rng train_rng_;
+    Rng val_rng_;
+};
+
+} // namespace cdma
+
+#endif // CDMA_DATA_SYNTHETIC_HH

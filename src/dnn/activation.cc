@@ -1,0 +1,117 @@
+#include "dnn/activation.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cdma {
+
+ReLU::ReLU(std::string name) : Layer(std::move(name))
+{
+}
+
+Shape4D
+ReLU::outputShape(const Shape4D &input) const
+{
+    return input;
+}
+
+Tensor4D
+ReLU::forward(const Tensor4D &input)
+{
+    cached_shape_ = input.shape();
+    Tensor4D output(input.shape(), input.layout());
+    mask_.assign(static_cast<size_t>(input.elements()), 0);
+    auto in = input.data();
+    auto out = output.data();
+    for (size_t i = 0; i < in.size(); ++i) {
+        if (in[i] > 0.0f) {
+            out[i] = in[i];
+            mask_[i] = 1;
+        }
+    }
+    return output;
+}
+
+Tensor4D
+ReLU::backward(const Tensor4D &output_grad)
+{
+    CDMA_ASSERT(output_grad.shape() == cached_shape_,
+                "relu %s backward shape mismatch", name().c_str());
+    Tensor4D input_grad(output_grad.shape(), output_grad.layout());
+    auto dy = output_grad.data();
+    auto dx = input_grad.data();
+    for (size_t i = 0; i < dy.size(); ++i)
+        dx[i] = mask_[i] ? dy[i] : 0.0f;
+    return input_grad;
+}
+
+Sigmoid::Sigmoid(std::string name) : Layer(std::move(name))
+{
+}
+
+Shape4D
+Sigmoid::outputShape(const Shape4D &input) const
+{
+    return input;
+}
+
+Tensor4D
+Sigmoid::forward(const Tensor4D &input)
+{
+    Tensor4D output(input.shape(), input.layout());
+    auto in = input.data();
+    auto out = output.data();
+    for (size_t i = 0; i < in.size(); ++i)
+        out[i] = 1.0f / (1.0f + std::exp(-in[i]));
+    cached_output_ = output;
+    return output;
+}
+
+Tensor4D
+Sigmoid::backward(const Tensor4D &output_grad)
+{
+    Tensor4D input_grad(output_grad.shape(), output_grad.layout());
+    auto dy = output_grad.data();
+    auto y = cached_output_.data();
+    auto dx = input_grad.data();
+    for (size_t i = 0; i < dy.size(); ++i)
+        dx[i] = dy[i] * y[i] * (1.0f - y[i]);
+    return input_grad;
+}
+
+Tanh::Tanh(std::string name) : Layer(std::move(name))
+{
+}
+
+Shape4D
+Tanh::outputShape(const Shape4D &input) const
+{
+    return input;
+}
+
+Tensor4D
+Tanh::forward(const Tensor4D &input)
+{
+    Tensor4D output(input.shape(), input.layout());
+    auto in = input.data();
+    auto out = output.data();
+    for (size_t i = 0; i < in.size(); ++i)
+        out[i] = std::tanh(in[i]);
+    cached_output_ = output;
+    return output;
+}
+
+Tensor4D
+Tanh::backward(const Tensor4D &output_grad)
+{
+    Tensor4D input_grad(output_grad.shape(), output_grad.layout());
+    auto dy = output_grad.data();
+    auto y = cached_output_.data();
+    auto dx = input_grad.data();
+    for (size_t i = 0; i < dy.size(); ++i)
+        dx[i] = dy[i] * (1.0f - y[i] * y[i]);
+    return input_grad;
+}
+
+} // namespace cdma

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Composite layers built from parallel branches concatenated along the
+ * channel dimension: the GoogLeNet inception module and the SqueezeNet
+ * fire module are both instances. Keeping the branching inside one layer
+ * lets the surrounding Network remain a simple sequential pipeline — the
+ * same abstraction vDNN's layer-at-a-time offload scheduling assumes.
+ */
+
+#ifndef CDMA_DNN_COMPOSITE_HH
+#define CDMA_DNN_COMPOSITE_HH
+
+#include "dnn/layer.hh"
+
+namespace cdma {
+
+/** One branch: a sequential stack of layers applied to the module input. */
+using Branch = std::vector<LayerPtr>;
+
+/**
+ * Runs each branch on the same input and concatenates the branch outputs
+ * along the channel dimension. All branches must produce identical
+ * (N, H, W); channel counts may differ.
+ */
+class ParallelConcat : public Layer
+{
+  public:
+    ParallelConcat(std::string name, std::vector<Branch> branches);
+
+    std::string type() const override { return "concat"; }
+    Shape4D outputShape(const Shape4D &input) const override;
+    Tensor4D forward(const Tensor4D &input) override;
+    Tensor4D backward(const Tensor4D &output_grad) override;
+    std::vector<ParamBlob *> params() override;
+    void setTraining(bool training) override;
+
+    /** Number of parallel branches. */
+    size_t branchCount() const { return branches_.size(); }
+
+    uint64_t forwardMacsPerImage(const Shape4D &input) const override;
+
+  private:
+    /** Output shape of one branch for a given module input shape. */
+    Shape4D branchOutputShape(const Branch &branch,
+                              const Shape4D &input) const;
+
+    std::vector<Branch> branches_;
+    std::vector<Shape4D> cached_branch_shapes_;
+};
+
+} // namespace cdma
+
+#endif // CDMA_DNN_COMPOSITE_HH

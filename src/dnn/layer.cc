@@ -1,0 +1,28 @@
+#include "dnn/layer.hh"
+
+#include <algorithm>
+
+namespace cdma {
+
+void
+ParamBlob::clearGrad()
+{
+    std::fill(grad.begin(), grad.end(), 0.0f);
+}
+
+void
+ParamBlob::apply(const SgdConfig &config)
+{
+    for (size_t i = 0; i < value.size(); ++i) {
+        const float g = grad[i] + config.weight_decay * value[i];
+        momentum[i] = config.momentum * momentum[i] -
+            config.learning_rate * g;
+        value[i] += momentum[i];
+    }
+}
+
+Layer::Layer(std::string name) : name_(std::move(name))
+{
+}
+
+} // namespace cdma

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Layer abstraction for the from-scratch CNN training framework. The
+ * framework exists to *reproduce the paper's data source*: training runs
+ * whose ReLU outputs provide the sparse activation maps that vDNN offloads
+ * and cDMA compresses. It implements exactly the layer types the paper's
+ * six networks use (Section II-A): convolution, ReLU activation, max/avg
+ * pooling, fully-connected, LRN, dropout, softmax loss, and the composite
+ * inception/fire modules.
+ */
+
+#ifndef CDMA_DNN_LAYER_HH
+#define CDMA_DNN_LAYER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace cdma {
+
+/** Hyper-parameters of one optimizer step. */
+struct SgdConfig {
+    float learning_rate = 0.01f;
+    float momentum = 0.9f;
+    float weight_decay = 0.0005f;
+};
+
+/**
+ * One learnable parameter blob with its gradient and momentum buffer.
+ * Layers register their blobs so the optimizer update is uniform.
+ */
+struct ParamBlob {
+    std::vector<float> value;
+    std::vector<float> grad;
+    std::vector<float> momentum;
+
+    explicit ParamBlob(size_t size = 0)
+        : value(size, 0.0f), grad(size, 0.0f), momentum(size, 0.0f)
+    {
+    }
+
+    /** Zero the gradient before accumulating a new minibatch. */
+    void clearGrad();
+
+    /** SGD with momentum and L2 weight decay. */
+    void apply(const SgdConfig &config);
+};
+
+/**
+ * Base class for all layers. Layers are stateful across a
+ * forward()/backward() pair: forward() caches whatever backward() needs
+ * (inputs, masks, column buffers), mirroring how real frameworks hold
+ * activations alive between the passes — the very memory pressure vDNN
+ * exists to relieve.
+ */
+class Layer
+{
+  public:
+    explicit Layer(std::string name);
+    virtual ~Layer() = default;
+
+    Layer(const Layer &) = delete;
+    Layer &operator=(const Layer &) = delete;
+
+    /** Layer instance name ("conv1", "pool2", ...). */
+    const std::string &name() const { return name_; }
+
+    /** Short type tag ("conv", "relu", "pool", "fc", ...). */
+    virtual std::string type() const = 0;
+
+    /** Output shape produced for a given input shape. */
+    virtual Shape4D outputShape(const Shape4D &input) const = 0;
+
+    /** Forward propagation; caches state for backward(). */
+    virtual Tensor4D forward(const Tensor4D &input) = 0;
+
+    /**
+     * Backward propagation: consumes the gradient w.r.t. this layer's
+     * output and returns the gradient w.r.t. its input, accumulating
+     * parameter gradients along the way.
+     */
+    virtual Tensor4D backward(const Tensor4D &output_grad) = 0;
+
+    /** Learnable parameters (empty for ReLU/pool/...). */
+    virtual std::vector<ParamBlob *> params() { return {}; }
+
+    /**
+     * Forward multiply-accumulate count for a single-image input of the
+     * given shape (n is treated as 1). Zero for element-wise layers; the
+     * performance model uses this to time described networks.
+     */
+    virtual uint64_t forwardMacsPerImage(const Shape4D &input) const
+    {
+        (void)input;
+        return 0;
+    }
+
+    /**
+     * True when this layer's output feeds a ReLU (set by the network
+     * builder). The paper only reports activation density for such layers
+     * since others are never sparse.
+     */
+    bool reluFollows() const { return relu_follows_; }
+
+    /** Mark that a ReLU consumes this layer's output. */
+    void setReluFollows(bool value) { relu_follows_ = value; }
+
+    /** Switch between training and inference behaviour (dropout). */
+    virtual void setTraining(bool training) { training_ = training; }
+
+  protected:
+    bool training_ = true;
+
+  private:
+    std::string name_;
+    bool relu_follows_ = false;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+} // namespace cdma
+
+#endif // CDMA_DNN_LAYER_HH

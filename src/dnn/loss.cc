@@ -1,0 +1,82 @@
+#include "dnn/loss.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cdma {
+
+double
+SoftmaxCrossEntropy::forward(const Tensor4D &logits,
+                             const std::vector<int> &labels)
+{
+    const Shape4D &shape = logits.shape();
+    CDMA_ASSERT(shape.h == 1 && shape.w == 1,
+                "softmax expects (N, classes, 1, 1), got %s",
+                shape.str().c_str());
+    CDMA_ASSERT(labels.size() == static_cast<size_t>(shape.n),
+                "label count %zu != batch %lld", labels.size(),
+                static_cast<long long>(shape.n));
+
+    labels_ = labels;
+    probabilities_ = Tensor4D(shape);
+    predictions_.assign(static_cast<size_t>(shape.n), 0);
+
+    double total_loss = 0.0;
+    int correct = 0;
+    for (int64_t n = 0; n < shape.n; ++n) {
+        // Stabilized softmax: subtract the row max before exponentiating.
+        float row_max = logits.at(n, 0, 0, 0);
+        int argmax = 0;
+        for (int64_t c = 1; c < shape.c; ++c) {
+            const float v = logits.at(n, c, 0, 0);
+            if (v > row_max) {
+                row_max = v;
+                argmax = static_cast<int>(c);
+            }
+        }
+        predictions_[static_cast<size_t>(n)] = argmax;
+        if (argmax == labels[static_cast<size_t>(n)])
+            ++correct;
+
+        double denom = 0.0;
+        for (int64_t c = 0; c < shape.c; ++c)
+            denom += std::exp(
+                static_cast<double>(logits.at(n, c, 0, 0) - row_max));
+        for (int64_t c = 0; c < shape.c; ++c) {
+            probabilities_.at(n, c, 0, 0) = static_cast<float>(
+                std::exp(static_cast<double>(
+                    logits.at(n, c, 0, 0) - row_max)) / denom);
+        }
+        const int label = labels[static_cast<size_t>(n)];
+        CDMA_ASSERT(label >= 0 && label < shape.c,
+                    "label %d outside [0, %lld)", label,
+                    static_cast<long long>(shape.c));
+        const double p = std::max<double>(
+            probabilities_.at(n, label, 0, 0), 1e-12);
+        total_loss += -std::log(p);
+    }
+    accuracy_ = static_cast<double>(correct) /
+        static_cast<double>(shape.n);
+    return total_loss / static_cast<double>(shape.n);
+}
+
+Tensor4D
+SoftmaxCrossEntropy::backward() const
+{
+    const Shape4D &shape = probabilities_.shape();
+    Tensor4D grad(shape);
+    const float inv_batch = 1.0f / static_cast<float>(shape.n);
+    for (int64_t n = 0; n < shape.n; ++n) {
+        for (int64_t c = 0; c < shape.c; ++c) {
+            float g = probabilities_.at(n, c, 0, 0);
+            if (c == labels_[static_cast<size_t>(n)])
+                g -= 1.0f;
+            grad.at(n, c, 0, 0) = g * inv_batch;
+        }
+    }
+    return grad;
+}
+
+} // namespace cdma

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Softmax + cross-entropy loss head. Computes the loss value the paper
+ * plots in Figure 7 and produces the initial gradient for backward
+ * propagation.
+ */
+
+#ifndef CDMA_DNN_LOSS_HH
+#define CDMA_DNN_LOSS_HH
+
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace cdma {
+
+/** Fused softmax + cross-entropy over (N, classes, 1, 1) logits. */
+class SoftmaxCrossEntropy
+{
+  public:
+    /**
+     * Forward: compute per-batch mean loss.
+     *
+     * @param logits (N, classes, 1, 1) tensor.
+     * @param labels One class index per sample. @pre labels.size() == N.
+     * @return Mean cross-entropy loss.
+     */
+    double forward(const Tensor4D &logits,
+                   const std::vector<int> &labels);
+
+    /** Gradient of the mean loss w.r.t. the logits. */
+    Tensor4D backward() const;
+
+    /** Class predictions (argmax) from the last forward pass. */
+    const std::vector<int> &predictions() const { return predictions_; }
+
+    /** Top-1 accuracy of the last forward pass. */
+    double accuracy() const { return accuracy_; }
+
+  private:
+    Tensor4D probabilities_;
+    std::vector<int> labels_;
+    std::vector<int> predictions_;
+    double accuracy_ = 0.0;
+};
+
+} // namespace cdma
+
+#endif // CDMA_DNN_LOSS_HH

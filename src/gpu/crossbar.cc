@@ -1,0 +1,57 @@
+#include "gpu/crossbar.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace cdma {
+
+std::string
+placementName(CompressionPlacement placement)
+{
+    switch (placement) {
+      case CompressionPlacement::MemoryController:
+        return "memory-controller (cDMA)";
+      case CompressionPlacement::DmaEngine:
+        return "DMA-engine (strawman)";
+    }
+    panic("unreachable placement %d", static_cast<int>(placement));
+}
+
+CrossbarModel::CrossbarModel(const GpuSpec &gpu) : gpu_(gpu)
+{
+}
+
+CrossbarDemand
+CrossbarModel::demand(CompressionPlacement placement,
+                      const std::vector<CrossbarTransfer> &mix) const
+{
+    CrossbarDemand result;
+    const double pcie = gpu_.pcie_bandwidth;
+
+    for (const auto &transfer : mix) {
+        double instantaneous;
+        uint64_t bytes;
+        if (placement == CompressionPlacement::MemoryController) {
+            // Compressed data crosses the crossbar; saturating PCIe needs
+            // exactly PCIe-rate crossbar bandwidth regardless of ratio.
+            instantaneous = pcie;
+            bytes = static_cast<uint64_t>(
+                static_cast<double>(transfer.raw_bytes) /
+                std::max(1.0, transfer.ratio));
+        } else {
+            // Raw data crosses the crossbar and must arrive fast enough
+            // that its compressed form saturates PCIe.
+            instantaneous = std::max(1.0, transfer.ratio) * pcie;
+            bytes = transfer.raw_bytes;
+        }
+        result.peak_bandwidth =
+            std::max(result.peak_bandwidth, instantaneous);
+        result.total_bytes += bytes;
+    }
+    result.overprovision_factor =
+        pcie > 0.0 ? result.peak_bandwidth / pcie : 0.0;
+    return result;
+}
+
+} // namespace cdma

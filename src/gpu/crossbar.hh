@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Crossbar bandwidth accounting for the two candidate placements of the
+ * (de)compression units (Section V-B). The GPU's on-chip crossbar
+ * connects the memory controllers to the SMs and the DMA engine:
+ *
+ *  - Placing compression at the *memory controllers* (the paper's
+ *    design, boxes "C" in Figure 9) means compressed data crosses the
+ *    crossbar, so the DMA slice only needs PCIe-rate bandwidth.
+ *  - Placing compression *inside the DMA engine* means uncompressed data
+ *    crosses the crossbar at compression_ratio x PCIe rate — up to
+ *    13.8 x 16 = 220.8 GB/s, an unreasonable provisioning for a unit
+ *    that otherwise needs 16 GB/s.
+ *
+ * This model quantifies that argument: given a transfer mix, it reports
+ * the crossbar bandwidth each placement must provision.
+ */
+
+#ifndef CDMA_GPU_CROSSBAR_HH
+#define CDMA_GPU_CROSSBAR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpu/gpu_spec.hh"
+
+namespace cdma {
+
+/** Where the (de)compression units sit. */
+enum class CompressionPlacement {
+    MemoryController, ///< compress before the crossbar (paper's cDMA)
+    DmaEngine,        ///< compress after the crossbar (strawman)
+};
+
+/** Display name of a placement. */
+std::string placementName(CompressionPlacement placement);
+
+/** One offloaded transfer for the crossbar study. */
+struct CrossbarTransfer {
+    uint64_t raw_bytes = 0;
+    double ratio = 1.0; ///< compression ratio achieved on this transfer
+};
+
+/** Provisioning outcome for one placement. */
+struct CrossbarDemand {
+    /** Peak instantaneous crossbar bandwidth the DMA slice must carry
+     *  to keep PCIe saturated (B/s). */
+    double peak_bandwidth = 0.0;
+    /** Total bytes crossing the crossbar toward the DMA engine. */
+    uint64_t total_bytes = 0;
+    /** Ratio of this placement's peak demand to PCIe line rate. */
+    double overprovision_factor = 0.0;
+};
+
+/** Crossbar demand model for the cDMA datapath. */
+class CrossbarModel
+{
+  public:
+    explicit CrossbarModel(const GpuSpec &gpu = {});
+
+    /**
+     * Demand of @p placement over a transfer mix: with compression at
+     * the MCs the crossbar carries compressed bytes at PCIe rate; with
+     * compression in the DMA engine it carries raw bytes at
+     * ratio x PCIe rate (to feed the compressor at line rate).
+     */
+    CrossbarDemand demand(CompressionPlacement placement,
+                          const std::vector<CrossbarTransfer> &mix) const;
+
+  private:
+    GpuSpec gpu_;
+};
+
+} // namespace cdma
+
+#endif // CDMA_GPU_CROSSBAR_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Occupancy model of the cDMA staging buffer ("B" in Figure 9). The DMA
+ * engine launches read requests against GPU DRAM at the compression fetch
+ * bandwidth without knowing which responses will compress well; responses
+ * that stay uncompressed must be buffered until the (much slower) PCIe
+ * link drains them. Section V-C sizes the buffer at the bandwidth-delay
+ * product: 200 GB/s x 350 ns = 70 KB. This model replays a stream of
+ * per-line compression ratios and reports the peak occupancy, validating
+ * the sizing rule and powering the buffer-sizing ablation bench.
+ */
+
+#ifndef CDMA_GPU_DMA_BUFFER_HH
+#define CDMA_GPU_DMA_BUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace cdma {
+
+/** Configuration of the buffer occupancy replay. */
+struct DmaBufferConfig {
+    double fetch_bandwidth = 200.0e9; ///< DRAM read rate (B/s)
+    double pcie_bandwidth = 16.0e9;   ///< drain rate (B/s)
+    double dma_latency = 350.0e-9;    ///< request-to-data latency (s)
+    uint64_t line_bytes = 128;        ///< request granularity
+};
+
+/** Result of one occupancy replay. */
+struct DmaBufferStats {
+    uint64_t peak_occupancy_bytes = 0;
+    uint64_t total_fetched_bytes = 0;
+    uint64_t total_drained_bytes = 0;
+    double elapsed_seconds = 0.0;
+    /** Fraction of time the PCIe output stream had data available. */
+    double pcie_busy_fraction = 0.0;
+};
+
+/**
+ * Event-driven replay of the fetch/compress/drain pipeline over a stream
+ * of per-line compressed sizes.
+ */
+class DmaBufferModel
+{
+  public:
+    explicit DmaBufferModel(const DmaBufferConfig &config = {});
+
+    /**
+     * Replay a transfer whose lines compress to the given sizes (bytes,
+     * one entry per line of line_bytes raw data). Fetches are issued
+     * continuously at fetch_bandwidth; each line lands in the buffer
+     * dma_latency after its request completes and leaves at
+     * pcie_bandwidth in compressed form.
+     */
+    DmaBufferStats replay(const std::vector<uint32_t> &line_sizes) const;
+
+    /** The bandwidth-delay product sizing rule of Section V-C. */
+    uint64_t requiredBufferBytes() const;
+
+  private:
+    DmaBufferConfig config_;
+};
+
+} // namespace cdma
+
+#endif // CDMA_GPU_DMA_BUFFER_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Hardware parameters of the simulated GPU node, matching the paper's
+ * evaluation platform (Section VI): an NVIDIA Titan X (Maxwell) with
+ * 336 GB/s GDDR5 behind a PCIe gen3 x16 link to the host, plus the cDMA
+ * provisioning constants from Sections V-B/V-C.
+ */
+
+#ifndef CDMA_GPU_GPU_SPEC_HH
+#define CDMA_GPU_GPU_SPEC_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+
+namespace cdma {
+
+/** Static description of the GPU node. */
+struct GpuSpec {
+    /** GDDR5 bandwidth (Titan X Maxwell). */
+    double dram_bandwidth = 336.0 * kGBps;
+    /** PCIe gen3 x16 nominal data bandwidth (used in the cap math). */
+    double pcie_bandwidth = 16.0 * kGBps;
+    /**
+     * Achieved PCIe copy throughput of vDNN's DMA-driven transfers
+     * (12.8 GB/s measured in [12], quoted in Section III); transfer
+     * times use this, the cap equations use the nominal figure as the
+     * paper does.
+     */
+    double pcie_effective_bandwidth = 12.8 * kGBps;
+    /**
+     * Average DRAM bandwidth consumed by cuDNN compute (~100 GB/s
+     * measured with nvprof, Section VI), leaving the rest for cDMA.
+     */
+    double compute_dram_bandwidth = 100.0 * kGBps;
+    /**
+     * DRAM read bandwidth provisioned for cDMA compression fetches.
+     * 200 GB/s "reaps most of the benefits" (Section V-C).
+     */
+    double comp_bandwidth = 200.0 * kGBps;
+    /** Round-trip latency from DMA request to data arrival (Section V-C). */
+    double dma_latency = 350.0 * kNanosecond;
+    /** Peak fp32 multiply-accumulate rate (Titan X: 6.1 TFLOPS). */
+    double peak_macs_per_second = 3.07e12;
+    /** GPU core clock for the (de)compression pipeline cycle model. */
+    double engine_clock_hz = 1.0e9;
+    /** GPU physical memory capacity (Titan X: 12 GB). */
+    uint64_t dram_capacity = 12ull * kGiB;
+
+    /** DRAM bandwidth left over for cDMA after compute (Section VI). */
+    double leftoverBandwidth() const
+    {
+        return dram_bandwidth - compute_dram_bandwidth;
+    }
+
+    /**
+     * Bandwidth-delay DMA buffer requirement (Section V-C): the buffer
+     * must cover comp_bandwidth x dma_latency (70 KB at 200 GB/s, 350 ns).
+     */
+    uint64_t dmaBufferBytes() const
+    {
+        return static_cast<uint64_t>(comp_bandwidth * dma_latency);
+    }
+};
+
+} // namespace cdma
+
+#endif // CDMA_GPU_GPU_SPEC_HH

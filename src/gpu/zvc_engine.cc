@@ -1,0 +1,128 @@
+#include "gpu/zvc_engine.hh"
+
+#include <cstring>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace cdma {
+
+ZvcEngineResult
+ZvcEngineModel::compress(std::span<const uint8_t> input) const
+{
+    CDMA_ASSERT(input.size() % kSectorBytes == 0,
+                "engine input must be sector aligned, got %zu bytes",
+                input.size());
+    ZvcEngineResult result;
+    const uint64_t sectors = input.size() / kSectorBytes;
+    result.sectors = sectors;
+
+    // The engine works line-by-line: per 128 B line it accumulates a mask
+    // (8 bits per 32 B sector) and appends surviving words, exactly the
+    // shift-and-append datapath of Figure 10(a).
+    uint64_t offset = 0;
+    while (offset < input.size()) {
+        const uint64_t line =
+            std::min<uint64_t>(kLineBytes, input.size() - offset);
+        const uint64_t line_sectors = ceilDiv(line, kSectorBytes);
+
+        uint32_t mask = 0;
+        std::vector<uint8_t> packed;
+        packed.reserve(line);
+        int bit = 0;
+        for (uint64_t s = 0; s < line_sectors; ++s) {
+            const uint8_t *sector = input.data() + offset +
+                s * kSectorBytes;
+            // Stage 1: eight parallel zero comparators form mask bits;
+            // stage 2's prefix sum drives the bubble-collapsing shifter,
+            // which is what the packed append emulates.
+            for (int w = 0; w < 8; ++w) {
+                uint32_t word;
+                std::memcpy(&word, sector + w * 4, 4);
+                if (word != 0) {
+                    mask |= 1u << bit;
+                    packed.insert(packed.end(), sector + w * 4,
+                                  sector + w * 4 + 4);
+                }
+                ++bit;
+            }
+        }
+        // Stage 3: the mask and packed payload are appended to the
+        // compressed line buffer.
+        const size_t mask_pos = result.payload.size();
+        result.payload.resize(mask_pos + sizeof(uint32_t));
+        std::memcpy(result.payload.data() + mask_pos, &mask,
+                    sizeof(uint32_t));
+        result.payload.insert(result.payload.end(), packed.begin(),
+                              packed.end());
+        offset += line;
+    }
+
+    // One sector per cycle plus pipeline fill.
+    result.cycles = sectors == 0 ? 0 : sectors + (kCompressStages - 1);
+    return result;
+}
+
+ZvcEngineResult
+ZvcEngineModel::decompress(std::span<const uint8_t> payload,
+                           uint64_t original_bytes) const
+{
+    CDMA_ASSERT(original_bytes % kSectorBytes == 0,
+                "engine output must be sector aligned, got %llu bytes",
+                static_cast<unsigned long long>(original_bytes));
+    ZvcEngineResult result;
+    result.sectors = original_bytes / kSectorBytes;
+    result.payload.reserve(original_bytes);
+
+    size_t cursor = 0;
+    uint64_t produced = 0;
+    while (produced < original_bytes) {
+        const uint64_t line =
+            std::min<uint64_t>(kLineBytes, original_bytes - produced);
+        const uint64_t line_sectors = ceilDiv(line, kSectorBytes);
+
+        CDMA_ASSERT(cursor + sizeof(uint32_t) <= payload.size(),
+                    "engine payload truncated before mask");
+        uint32_t mask;
+        std::memcpy(&mask, payload.data() + cursor, sizeof(uint32_t));
+        cursor += sizeof(uint32_t);
+
+        // One 8-bit mask segment per cycle: pop-count selects payload
+        // words, the bubble-expanding shifter re-inserts zeros.
+        for (uint64_t s = 0; s < line_sectors; ++s) {
+            const auto segment =
+                static_cast<uint8_t>((mask >> (8 * s)) & 0xFF);
+            for (int w = 0; w < 8; ++w) {
+                if ((segment >> w) & 1) {
+                    CDMA_ASSERT(cursor + 4 <= payload.size(),
+                                "engine payload truncated in data");
+                    result.payload.insert(result.payload.end(),
+                                          payload.data() + cursor,
+                                          payload.data() + cursor + 4);
+                    cursor += 4;
+                } else {
+                    result.payload.insert(result.payload.end(), 4, 0);
+                }
+            }
+        }
+        produced += line;
+    }
+    result.cycles =
+        result.sectors == 0 ? 0 : result.sectors + kDecompressLatency;
+    return result;
+}
+
+uint64_t
+ZvcEngineModel::compressCycles(uint64_t bytes)
+{
+    const uint64_t sectors = ceilDiv(bytes, kSectorBytes);
+    return sectors == 0 ? 0 : sectors + (kCompressStages - 1);
+}
+
+double
+ZvcEngineModel::throughput(double clock_hz)
+{
+    return clock_hz * static_cast<double>(kSectorBytes);
+}
+
+} // namespace cdma

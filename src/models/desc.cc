@@ -1,0 +1,353 @@
+#include "models/desc.hh"
+
+#include "common/logging.hh"
+
+namespace cdma {
+
+uint64_t
+NetworkDesc::totalMacsPerImage() const
+{
+    uint64_t total = 0;
+    for (const auto &layer : layers)
+        total += layer.macs_per_image;
+    return total;
+}
+
+uint64_t
+NetworkDesc::totalActivationBytesPerImage() const
+{
+    uint64_t total = 0;
+    for (const auto &layer : layers)
+        total += static_cast<uint64_t>(layer.bytesPerImage());
+    return total;
+}
+
+DescBuilder::DescBuilder(std::string name, int64_t batch, int64_t c,
+                         int64_t h, int64_t w)
+    : c_(c), h_(h), w_(w)
+{
+    desc_.name = std::move(name);
+    desc_.default_batch = batch;
+    desc_.input_channels = c;
+    desc_.input_height = h;
+    desc_.input_width = w;
+}
+
+void
+DescBuilder::push(LayerDesc desc)
+{
+    desc_.layers.push_back(std::move(desc));
+}
+
+DescBuilder &
+DescBuilder::conv(const std::string &name, int64_t out_c, int64_t k,
+                  int64_t stride, int64_t pad, int64_t group, bool relu)
+{
+    const int64_t out_h = (h_ + 2 * pad - k) / stride + 1;
+    const int64_t out_w = (w_ + 2 * pad - k) / stride + 1;
+    CDMA_ASSERT(out_h > 0 && out_w > 0, "conv %s collapses", name.c_str());
+    LayerDesc desc;
+    desc.name = name;
+    desc.kind = "conv";
+    desc.channels = out_c;
+    desc.height = out_h;
+    desc.width = out_w;
+    desc.macs_per_image = static_cast<uint64_t>(out_c * out_h * out_w) *
+        static_cast<uint64_t>(c_ * k * k) / static_cast<uint64_t>(group);
+    desc.relu_follows = relu;
+    push(desc);
+    c_ = out_c;
+    h_ = out_h;
+    w_ = out_w;
+    return *this;
+}
+
+DescBuilder &
+DescBuilder::pool(const std::string &name, int64_t k, int64_t stride)
+{
+    // Ceiling mode, as Caffe computes pool shapes.
+    const int64_t out_h = (h_ - k + stride - 1) / stride + 1;
+    const int64_t out_w = (w_ - k + stride - 1) / stride + 1;
+    LayerDesc desc;
+    desc.name = name;
+    desc.kind = "pool";
+    desc.channels = c_;
+    desc.height = out_h;
+    desc.width = out_w;
+    // Comparisons/adds, negligible next to conv GEMMs; charge one MAC per
+    // window element.
+    desc.macs_per_image =
+        static_cast<uint64_t>(c_ * out_h * out_w) *
+        static_cast<uint64_t>(k * k);
+    // Pool outputs inherit sparsity (diluted) from their ReLU-ed inputs.
+    desc.relu_follows = true;
+    push(desc);
+    h_ = out_h;
+    w_ = out_w;
+    return *this;
+}
+
+DescBuilder &
+DescBuilder::globalPool(const std::string &name)
+{
+    LayerDesc desc;
+    desc.name = name;
+    desc.kind = "pool";
+    desc.channels = c_;
+    desc.height = 1;
+    desc.width = 1;
+    desc.macs_per_image = static_cast<uint64_t>(c_ * h_ * w_);
+    desc.relu_follows = true;
+    push(desc);
+    h_ = 1;
+    w_ = 1;
+    return *this;
+}
+
+DescBuilder &
+DescBuilder::fc(const std::string &name, int64_t out, bool relu)
+{
+    LayerDesc desc;
+    desc.name = name;
+    desc.kind = "fc";
+    desc.channels = out;
+    desc.height = 1;
+    desc.width = 1;
+    desc.macs_per_image = static_cast<uint64_t>(c_ * h_ * w_) *
+        static_cast<uint64_t>(out);
+    desc.relu_follows = relu;
+    push(desc);
+    c_ = out;
+    h_ = 1;
+    w_ = 1;
+    return *this;
+}
+
+DescBuilder &
+DescBuilder::inception(const std::string &name, int64_t n1x1, int64_t r3x3,
+                       int64_t n3x3, int64_t r5x5, int64_t n5x5,
+                       int64_t pool_proj)
+{
+    const int64_t in_c = c_;
+    const uint64_t spatial = static_cast<uint64_t>(h_ * w_);
+
+    // Internal row: the reduce (1x1 bottleneck) activations that live
+    // between the module's convolutions and are offloaded like any other
+    // ReLU output.
+    LayerDesc internal;
+    internal.name = name + "/reduce";
+    internal.kind = "inception";
+    internal.channels = r3x3 + r5x5;
+    internal.height = h_;
+    internal.width = w_;
+    internal.macs_per_image =
+        spatial * static_cast<uint64_t>(in_c * (r3x3 + r5x5));
+    internal.relu_follows = true;
+    push(internal);
+
+    // Output row: the concatenated module output.
+    LayerDesc output;
+    output.name = name;
+    output.kind = "inception";
+    output.channels = n1x1 + n3x3 + n5x5 + pool_proj;
+    output.height = h_;
+    output.width = w_;
+    output.macs_per_image = spatial *
+        (static_cast<uint64_t>(in_c * n1x1) +
+         static_cast<uint64_t>(r3x3 * 9 * n3x3) +
+         static_cast<uint64_t>(r5x5 * 25 * n5x5) +
+         static_cast<uint64_t>(in_c * pool_proj) +
+         static_cast<uint64_t>(c_ * 9) /* 3x3 pool branch */);
+    output.relu_follows = true;
+    push(output);
+
+    c_ = output.channels;
+    return *this;
+}
+
+DescBuilder &
+DescBuilder::fire(const std::string &name, int64_t squeeze, int64_t expand1,
+                  int64_t expand3)
+{
+    const int64_t in_c = c_;
+    const uint64_t spatial = static_cast<uint64_t>(h_ * w_);
+
+    LayerDesc sq;
+    sq.name = name + "/squeeze";
+    sq.kind = "fire";
+    sq.channels = squeeze;
+    sq.height = h_;
+    sq.width = w_;
+    sq.macs_per_image = spatial * static_cast<uint64_t>(in_c * squeeze);
+    sq.relu_follows = true;
+    push(sq);
+
+    LayerDesc ex;
+    ex.name = name;
+    ex.kind = "fire";
+    ex.channels = expand1 + expand3;
+    ex.height = h_;
+    ex.width = w_;
+    ex.macs_per_image = spatial *
+        (static_cast<uint64_t>(squeeze * expand1) +
+         static_cast<uint64_t>(squeeze * 9 * expand3));
+    ex.relu_follows = true;
+    push(ex);
+
+    c_ = expand1 + expand3;
+    return *this;
+}
+
+NetworkDesc
+DescBuilder::build()
+{
+    const size_t n = desc_.layers.size();
+    for (size_t i = 0; i < n; ++i) {
+        desc_.layers[i].depth_fraction =
+            n > 1 ? static_cast<double>(i) / static_cast<double>(n - 1)
+                  : 0.0;
+    }
+    return desc_;
+}
+
+NetworkDesc
+alexNetDesc()
+{
+    DescBuilder b("AlexNet", 256, 3, 227, 227);
+    b.conv("conv0", 96, 11, 4, 0)
+     .pool("pool0", 3, 2)
+     .conv("conv1", 256, 5, 1, 2, /*group=*/2)
+     .pool("pool1", 3, 2)
+     .conv("conv2", 384, 3, 1, 1)
+     .conv("conv3", 384, 3, 1, 1, /*group=*/2)
+     .conv("conv4", 256, 3, 1, 1, /*group=*/2)
+     .pool("pool2", 3, 2)
+     .fc("fc1", 4096)
+     .fc("fc2", 4096)
+     .fc("fc3", 1000, /*relu=*/false);
+    return b.build();
+}
+
+NetworkDesc
+overFeatDesc()
+{
+    DescBuilder b("OverFeat", 256, 3, 231, 231);
+    b.conv("conv1", 96, 11, 4, 0)
+     .pool("pool1", 2, 2)
+     .conv("conv2", 256, 5, 1, 0)
+     .pool("pool2", 2, 2)
+     .conv("conv3", 512, 3, 1, 1)
+     .conv("conv4", 1024, 3, 1, 1)
+     .conv("conv5", 1024, 3, 1, 1)
+     .pool("pool5", 2, 2)
+     .fc("fc6", 3072)
+     .fc("fc7", 4096)
+     .fc("fc8", 1000, /*relu=*/false);
+    return b.build();
+}
+
+NetworkDesc
+ninDesc()
+{
+    DescBuilder b("NiN", 128, 3, 227, 227);
+    b.conv("conv1", 96, 11, 4, 0)
+     .conv("cccp1", 96, 1, 1, 0)
+     .conv("cccp2", 96, 1, 1, 0)
+     .pool("pool1", 3, 2)
+     .conv("conv2", 256, 5, 1, 2)
+     .conv("cccp3", 256, 1, 1, 0)
+     .conv("cccp4", 256, 1, 1, 0)
+     .pool("pool2", 3, 2)
+     .conv("conv3", 384, 3, 1, 1)
+     .conv("cccp5", 384, 1, 1, 0)
+     .conv("cccp6", 384, 1, 1, 0)
+     .pool("pool3", 3, 2)
+     .conv("conv4", 1024, 3, 1, 1)
+     .conv("cccp7", 1024, 1, 1, 0)
+     .conv("cccp8", 1000, 1, 1, 0)
+     .globalPool("gap");
+    return b.build();
+}
+
+NetworkDesc
+vggDesc()
+{
+    DescBuilder b("VGG", 128, 3, 224, 224);
+    b.conv("conv1_1", 64, 3, 1, 1)
+     .conv("conv1_2", 64, 3, 1, 1)
+     .pool("pool1", 2, 2)
+     .conv("conv2_1", 128, 3, 1, 1)
+     .conv("conv2_2", 128, 3, 1, 1)
+     .pool("pool2", 2, 2)
+     .conv("conv3_1", 256, 3, 1, 1)
+     .conv("conv3_2", 256, 3, 1, 1)
+     .conv("conv3_3", 256, 3, 1, 1)
+     .pool("pool3", 2, 2)
+     .conv("conv4_1", 512, 3, 1, 1)
+     .conv("conv4_2", 512, 3, 1, 1)
+     .conv("conv4_3", 512, 3, 1, 1)
+     .pool("pool4", 2, 2)
+     .conv("conv5_1", 512, 3, 1, 1)
+     .conv("conv5_2", 512, 3, 1, 1)
+     .conv("conv5_3", 512, 3, 1, 1)
+     .pool("pool5", 2, 2)
+     .fc("fc6", 4096)
+     .fc("fc7", 4096)
+     .fc("fc8", 1000, /*relu=*/false);
+    return b.build();
+}
+
+NetworkDesc
+squeezeNetDesc()
+{
+    DescBuilder b("SqueezeNet", 512, 3, 227, 227);
+    b.conv("conv1", 96, 7, 2, 0)
+     .pool("pool1", 3, 2)
+     .fire("fire2", 16, 64, 64)
+     .fire("fire3", 16, 64, 64)
+     .fire("fire4", 32, 128, 128)
+     .pool("pool4", 3, 2)
+     .fire("fire5", 32, 128, 128)
+     .fire("fire6", 48, 192, 192)
+     .fire("fire7", 48, 192, 192)
+     .fire("fire8", 64, 256, 256)
+     .pool("pool8", 3, 2)
+     .fire("fire9", 64, 256, 256)
+     .conv("conv10", 1000, 1, 1, 0)
+     .globalPool("gap");
+    return b.build();
+}
+
+NetworkDesc
+googLeNetDesc()
+{
+    DescBuilder b("GoogLeNet", 256, 3, 224, 224);
+    b.conv("conv1", 64, 7, 2, 3)
+     .pool("pool1", 3, 2)
+     .conv("conv2_reduce", 64, 1, 1, 0)
+     .conv("conv2", 192, 3, 1, 1)
+     .pool("pool2", 3, 2)
+     .inception("3a", 64, 96, 128, 16, 32, 32)
+     .inception("3b", 128, 128, 192, 32, 96, 64)
+     .pool("pool3", 3, 2)
+     .inception("4a", 192, 96, 208, 16, 48, 64)
+     .inception("4b", 160, 112, 224, 24, 64, 64)
+     .inception("4c", 128, 128, 256, 24, 64, 64)
+     .inception("4d", 112, 144, 288, 32, 64, 64)
+     .inception("4e", 256, 160, 320, 32, 128, 128)
+     .pool("pool4", 3, 2)
+     .inception("5a", 256, 160, 320, 32, 128, 128)
+     .inception("5b", 384, 192, 384, 48, 128, 128)
+     .globalPool("gap")
+     .fc("fc", 1000, /*relu=*/false);
+    return b.build();
+}
+
+std::vector<NetworkDesc>
+allNetworkDescs()
+{
+    return {alexNetDesc(),    overFeatDesc(), ninDesc(),
+            vggDesc(),        squeezeNetDesc(), googLeNetDesc()};
+}
+
+} // namespace cdma

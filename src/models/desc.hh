@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Full-size descriptors of the six ImageNet networks the paper evaluates
+ * (Table I): AlexNet, OverFeat, NiN, VGG-16, SqueezeNet and GoogLeNet.
+ * A descriptor is the static per-layer metadata the memory-system
+ * experiments need — output activation shapes, forward multiply-
+ * accumulate counts, and whether a ReLU follows (i.e., whether the
+ * offloaded map can be sparse) — computed from layer hyper-parameters by
+ * DescBuilder rather than hand-entered, so shapes are arithmetically
+ * consistent by construction.
+ */
+
+#ifndef CDMA_MODELS_DESC_HH
+#define CDMA_MODELS_DESC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/layout.hh"
+
+namespace cdma {
+
+/** Static description of one layer's output in a full-size network. */
+struct LayerDesc {
+    std::string name;   ///< e.g. "conv1", "pool2", "fire4", "fc6"
+    std::string kind;   ///< "conv" | "pool" | "fc" | "inception" | "fire"
+    int64_t channels = 0; ///< output channels (C)
+    int64_t height = 0;   ///< output height (H)
+    int64_t width = 0;    ///< output width (W)
+    uint64_t macs_per_image = 0; ///< forward MACs for one image
+    bool relu_follows = false;   ///< output passes through ReLU
+    double depth_fraction = 0.0; ///< 0 = first layer, 1 = last layer
+
+    /** Output activation elements for one image. */
+    int64_t elementsPerImage() const { return channels * height * width; }
+
+    /** Output activation bytes for one image (fp32). */
+    int64_t bytesPerImage() const { return elementsPerImage() * 4; }
+
+    /** Output shape with the minibatch dimension applied. */
+    Shape4D shape(int64_t batch) const
+    {
+        return {batch, channels, height, width};
+    }
+};
+
+/** Static description of a full-size network. */
+struct NetworkDesc {
+    std::string name;
+    int64_t default_batch = 256; ///< Table I minibatch size
+    int64_t input_channels = 3;
+    int64_t input_height = 224;
+    int64_t input_width = 224;
+    std::vector<LayerDesc> layers;
+
+    /** Total forward MACs for one image. */
+    uint64_t totalMacsPerImage() const;
+
+    /** Total activation bytes offloaded per image (all layer outputs). */
+    uint64_t totalActivationBytesPerImage() const;
+};
+
+/**
+ * Incremental descriptor builder: tracks the running (C, H, W) and depth,
+ * appending rows with derived shapes and MAC counts.
+ */
+class DescBuilder
+{
+  public:
+    DescBuilder(std::string name, int64_t batch, int64_t c, int64_t h,
+                int64_t w);
+
+    /** Convolution (+ optional ReLU); group > 1 divides MACs (AlexNet). */
+    DescBuilder &conv(const std::string &name, int64_t out_c, int64_t k,
+                      int64_t stride, int64_t pad, int64_t group = 1,
+                      bool relu = true);
+
+    /** Pooling (max or avg; the descriptor does not distinguish). */
+    DescBuilder &pool(const std::string &name, int64_t k, int64_t stride);
+
+    /** Global average pooling to 1x1. */
+    DescBuilder &globalPool(const std::string &name);
+
+    /** Fully-connected layer (+ optional ReLU). */
+    DescBuilder &fc(const std::string &name, int64_t out, bool relu = true);
+
+    /**
+     * GoogLeNet inception module: four parallel branches concatenated.
+     * Adds one row for the internal reduce activations and one for the
+     * module output.
+     */
+    DescBuilder &inception(const std::string &name, int64_t n1x1,
+                           int64_t r3x3, int64_t n3x3, int64_t r5x5,
+                           int64_t n5x5, int64_t pool_proj);
+
+    /** SqueezeNet fire module: squeeze 1x1 then expand 1x1 + 3x3. */
+    DescBuilder &fire(const std::string &name, int64_t squeeze,
+                      int64_t expand1, int64_t expand3);
+
+    /** Finalize: computes depth fractions and returns the descriptor. */
+    NetworkDesc build();
+
+  private:
+    void push(LayerDesc desc);
+
+    NetworkDesc desc_;
+    int64_t c_;
+    int64_t h_;
+    int64_t w_;
+};
+
+/** AlexNet (Krizhevsky et al.), batch 256. */
+NetworkDesc alexNetDesc();
+/** OverFeat fast model (Sermanet et al.), batch 256. */
+NetworkDesc overFeatDesc();
+/** Network-in-Network (Lin et al.), batch 128. */
+NetworkDesc ninDesc();
+/** VGG-16 (Simonyan & Zisserman), batch 128. */
+NetworkDesc vggDesc();
+/** SqueezeNet v1.0 (Iandola et al.), batch 512. */
+NetworkDesc squeezeNetDesc();
+/** GoogLeNet v1 (Szegedy et al.), batch 256. */
+NetworkDesc googLeNetDesc();
+
+/** All six networks in the paper's figure order. */
+std::vector<NetworkDesc> allNetworkDescs();
+
+} // namespace cdma
+
+#endif // CDMA_MODELS_DESC_HH

@@ -1,0 +1,76 @@
+#include "models/describe.hh"
+
+#include "common/logging.hh"
+
+namespace cdma {
+
+namespace {
+
+/** Map a live layer type to a descriptor kind. */
+std::string
+kindFor(const std::string &type)
+{
+    if (type == "conv")
+        return "conv";
+    if (type == "pool")
+        return "pool";
+    if (type == "fc")
+        return "fc";
+    if (type == "concat")
+        return "inception"; // composite 1x1-heavy module
+    if (type == "rnn")
+        return "fc"; // GEMV-bound, like a classifier layer
+    fatal("cannot describe layer type '%s'", type.c_str());
+}
+
+} // namespace
+
+NetworkDesc
+describeNetwork(const std::string &name, const Network &network,
+                Shape4D input, int64_t default_batch)
+{
+    CDMA_ASSERT(network.size() > 0, "cannot describe an empty network");
+    input.n = 1;
+
+    NetworkDesc desc;
+    desc.name = name;
+    desc.default_batch = default_batch;
+    desc.input_channels = input.c;
+    desc.input_height = input.h;
+    desc.input_width = input.w;
+
+    Shape4D shape = input;
+    for (size_t i = 0; i < network.size(); ++i) {
+        const Layer &layer = network.layer(i);
+        if (Network::isInPlaceType(layer.type())) {
+            // In-place layers neither reshape nor add descriptor rows.
+            shape = layer.outputShape(shape);
+            continue;
+        }
+        LayerDesc row;
+        row.name = layer.name();
+        row.kind = kindFor(layer.type());
+        row.macs_per_image = layer.forwardMacsPerImage(shape);
+        shape = layer.outputShape(shape);
+        row.channels = shape.c;
+        row.height = shape.h;
+        row.width = shape.w;
+        // The record is sparse when a ReLU consumes this output or the
+        // layer passes ReLU-ed data through (pool / composite modules
+        // whose branches end in ReLU).
+        row.relu_follows = layer.reluFollows() ||
+            layer.type() == "pool" || layer.type() == "concat";
+        desc.layers.push_back(std::move(row));
+    }
+
+    const size_t rows = desc.layers.size();
+    for (size_t i = 0; i < rows; ++i) {
+        desc.layers[i].depth_fraction =
+            rows > 1 ? static_cast<double>(i) /
+                static_cast<double>(rows - 1)
+                     : 0.0;
+    }
+    return desc;
+}
+
+} // namespace cdma

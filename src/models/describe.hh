@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Build a NetworkDesc from a live dnn::Network. This closes the loop
+ * between the two halves of the reproduction: the training framework
+ * produces a real model with real activation sparsity, and describing it
+ * yields the static metadata (shapes, MACs, ReLU placement) the memory
+ * and performance experiments consume — so a user can ask "what would
+ * cDMA do for *my* model" end to end (see bench/e2e_scaled_pipeline).
+ */
+
+#ifndef CDMA_MODELS_DESCRIBE_HH
+#define CDMA_MODELS_DESCRIBE_HH
+
+#include <string>
+
+#include "dnn/network.hh"
+#include "models/desc.hh"
+
+namespace cdma {
+
+/**
+ * Describe @p network for a single-image input of the given shape.
+ * One descriptor row is produced per non-in-place layer (conv, pool, fc,
+ * concat), mirroring Network::activationRecords(). MAC counts come from
+ * the layers themselves (exact for conv/fc, window-sized for pool;
+ * composite concat modules are charged their branches' convolutions).
+ *
+ * @param name Descriptor name.
+ * @param network The live network (not modified; a probe forward pass is
+ *        NOT required — shapes are derived statically).
+ * @param input Per-image input shape (n is forced to 1).
+ * @param default_batch Batch size recorded in the descriptor.
+ */
+NetworkDesc describeNetwork(const std::string &name, const Network &network,
+                            Shape4D input, int64_t default_batch);
+
+} // namespace cdma
+
+#endif // CDMA_MODELS_DESCRIBE_HH

@@ -1,0 +1,239 @@
+#include "models/scaled.hh"
+
+#include "common/logging.hh"
+#include "dnn/activation.hh"
+#include "dnn/composite.hh"
+#include "dnn/conv.hh"
+#include "dnn/dropout.hh"
+#include "dnn/fc.hh"
+#include "dnn/lrn.hh"
+#include "dnn/pool.hh"
+
+namespace cdma {
+
+namespace {
+
+/** Append conv + ReLU. */
+int64_t
+convRelu(Network &net, const std::string &name, int64_t in_c, int64_t out_c,
+         int64_t k, int64_t stride, int64_t pad, Rng &rng)
+{
+    net.add(std::make_unique<Conv2D>(
+        name, in_c, ConvSpec{out_c, k, stride, pad}, rng));
+    net.add(std::make_unique<ReLU>(name + "_relu"));
+    return out_c;
+}
+
+/** Append a max pool. */
+void
+maxPool(Network &net, const std::string &name, int64_t k, int64_t stride)
+{
+    net.add(std::make_unique<Pool2D>(name, PoolSpec{k, stride,
+                                                    PoolMode::Max}));
+}
+
+/** Branch helper: conv + relu as a Branch element. */
+void
+branchConvRelu(Branch &branch, const std::string &name, int64_t in_c,
+               int64_t out_c, int64_t k, int64_t pad, Rng &rng)
+{
+    branch.push_back(std::make_unique<Conv2D>(
+        name, in_c, ConvSpec{out_c, k, 1, pad}, rng));
+    branch.back()->setReluFollows(true);
+    branch.push_back(std::make_unique<ReLU>(name + "_relu"));
+}
+
+} // namespace
+
+Network
+buildScaledAlexNet(Rng &rng, int64_t classes)
+{
+    Network net;
+    int64_t c = 3;
+    c = convRelu(net, "conv0", c, 16, 5, 1, 2, rng);
+    net.add(std::make_unique<Lrn>("lrn0"));
+    maxPool(net, "pool0", 3, 2); // 16x16
+    c = convRelu(net, "conv1", c, 32, 5, 1, 2, rng);
+    maxPool(net, "pool1", 3, 2); // 8x8
+    c = convRelu(net, "conv2", c, 48, 3, 1, 1, rng);
+    c = convRelu(net, "conv3", c, 48, 3, 1, 1, rng);
+    c = convRelu(net, "conv4", c, 32, 3, 1, 1, rng);
+    maxPool(net, "pool2", 3, 2); // 4x4
+    net.add(std::make_unique<FullyConnected>("fc1", c * 4 * 4, 128, rng));
+    net.add(std::make_unique<ReLU>("fc1_relu"));
+    net.add(std::make_unique<Dropout>("drop1", 0.5f, rng));
+    net.add(std::make_unique<FullyConnected>("fc2", 128, 128, rng));
+    net.add(std::make_unique<ReLU>("fc2_relu"));
+    net.add(std::make_unique<Dropout>("drop2", 0.5f, rng));
+    net.add(std::make_unique<FullyConnected>("fc3", 128, classes, rng));
+    return net;
+}
+
+Network
+buildScaledOverFeat(Rng &rng, int64_t classes)
+{
+    Network net;
+    int64_t c = 3;
+    c = convRelu(net, "conv1", c, 24, 7, 2, 3, rng); // 16x16
+    maxPool(net, "pool1", 2, 2);                     // 8x8
+    c = convRelu(net, "conv2", c, 48, 5, 1, 2, rng);
+    c = convRelu(net, "conv3", c, 64, 3, 1, 1, rng);
+    c = convRelu(net, "conv4", c, 64, 3, 1, 1, rng);
+    maxPool(net, "pool5", 2, 2); // 4x4
+    net.add(std::make_unique<FullyConnected>("fc6", c * 4 * 4, 128, rng));
+    net.add(std::make_unique<ReLU>("fc6_relu"));
+    net.add(std::make_unique<Dropout>("drop6", 0.5f, rng));
+    net.add(std::make_unique<FullyConnected>("fc7", 128, classes, rng));
+    return net;
+}
+
+Network
+buildScaledNiN(Rng &rng, int64_t classes)
+{
+    Network net;
+    int64_t c = 3;
+    c = convRelu(net, "conv1", c, 24, 5, 1, 2, rng);
+    c = convRelu(net, "cccp1", c, 24, 1, 1, 0, rng);
+    c = convRelu(net, "cccp2", c, 16, 1, 1, 0, rng);
+    maxPool(net, "pool1", 3, 2); // 16x16
+    c = convRelu(net, "conv2", c, 32, 5, 1, 2, rng);
+    c = convRelu(net, "cccp3", c, 32, 1, 1, 0, rng);
+    c = convRelu(net, "cccp4", c, 24, 1, 1, 0, rng);
+    maxPool(net, "pool2", 3, 2); // 8x8
+    c = convRelu(net, "conv3", c, 48, 3, 1, 1, rng);
+    c = convRelu(net, "cccp5", c, 48, 1, 1, 0, rng);
+    c = convRelu(net, "cccp6", c, classes, 1, 1, 0, rng);
+    // Global average pooling over the remaining 8x8 map.
+    net.add(std::make_unique<Pool2D>(
+        "gap", PoolSpec{8, 1, PoolMode::Avg}));
+    (void)c;
+    return net;
+}
+
+Network
+buildScaledVGG(Rng &rng, int64_t classes)
+{
+    Network net;
+    int64_t c = 3;
+    c = convRelu(net, "conv1_1", c, 16, 3, 1, 1, rng);
+    c = convRelu(net, "conv1_2", c, 16, 3, 1, 1, rng);
+    maxPool(net, "pool1", 2, 2); // 16x16
+    c = convRelu(net, "conv2_1", c, 32, 3, 1, 1, rng);
+    c = convRelu(net, "conv2_2", c, 32, 3, 1, 1, rng);
+    maxPool(net, "pool2", 2, 2); // 8x8
+    c = convRelu(net, "conv3_1", c, 48, 3, 1, 1, rng);
+    c = convRelu(net, "conv3_2", c, 48, 3, 1, 1, rng);
+    maxPool(net, "pool3", 2, 2); // 4x4
+    net.add(std::make_unique<FullyConnected>("fc6", c * 4 * 4, 128, rng));
+    net.add(std::make_unique<ReLU>("fc6_relu"));
+    net.add(std::make_unique<Dropout>("drop6", 0.5f, rng));
+    net.add(std::make_unique<FullyConnected>("fc7", 128, classes, rng));
+    return net;
+}
+
+Network
+buildScaledSqueezeNet(Rng &rng, int64_t classes)
+{
+    Network net;
+    int64_t c = 3;
+    c = convRelu(net, "conv1", c, 16, 3, 1, 1, rng);
+    maxPool(net, "pool1", 3, 2); // 16x16
+
+    auto makeFire = [&](const std::string &name, int64_t in_c,
+                        int64_t squeeze, int64_t expand) {
+        // squeeze 1x1 -> relu, then parallel expand 1x1 / 3x3 concat.
+        net.add(std::make_unique<Conv2D>(
+            name + "/squeeze", in_c, ConvSpec{squeeze, 1, 1, 0}, rng));
+        net.add(std::make_unique<ReLU>(name + "/squeeze_relu"));
+        std::vector<Branch> branches(2);
+        branchConvRelu(branches[0], name + "/e1", squeeze, expand, 1, 0,
+                       rng);
+        branchConvRelu(branches[1], name + "/e3", squeeze, expand, 3, 1,
+                       rng);
+        net.add(std::make_unique<ParallelConcat>(name,
+                                                 std::move(branches)));
+        return 2 * expand;
+    };
+
+    c = makeFire("fire2", c, 8, 16);
+    c = makeFire("fire3", c, 8, 16);
+    maxPool(net, "pool3", 3, 2); // 8x8
+    c = makeFire("fire4", c, 16, 24);
+    maxPool(net, "pool4", 3, 2); // 4x4
+    c = convRelu(net, "conv10", c, classes, 1, 1, 0, rng);
+    net.add(std::make_unique<Pool2D>(
+        "gap", PoolSpec{4, 1, PoolMode::Avg}));
+    return net;
+}
+
+Network
+buildScaledGoogLeNet(Rng &rng, int64_t classes)
+{
+    Network net;
+    int64_t c = 3;
+    c = convRelu(net, "conv1", c, 16, 5, 1, 2, rng);
+    maxPool(net, "pool1", 3, 2); // 16x16
+    c = convRelu(net, "conv2", c, 32, 3, 1, 1, rng);
+    maxPool(net, "pool2", 3, 2); // 8x8
+
+    auto makeInception = [&](const std::string &name, int64_t in_c,
+                             int64_t n1, int64_t r3, int64_t n3,
+                             int64_t r5, int64_t n5, int64_t pp) {
+        std::vector<Branch> branches(4);
+        branchConvRelu(branches[0], name + "/1x1", in_c, n1, 1, 0, rng);
+        branchConvRelu(branches[1], name + "/3x3r", in_c, r3, 1, 0, rng);
+        branchConvRelu(branches[1], name + "/3x3", r3, n3, 3, 1, rng);
+        branchConvRelu(branches[2], name + "/5x5r", in_c, r5, 1, 0, rng);
+        branchConvRelu(branches[2], name + "/5x5", r5, n5, 5, 2, rng);
+        // Inception's pool branch uses 3x3 stride-1 *padded* pooling; our
+        // Pool2D has no padding, so the branch reduces to its 1x1
+        // projection (shape-preserving, which is what concat requires).
+        branchConvRelu(branches[3], name + "/proj", in_c, pp, 1, 0, rng);
+        net.add(std::make_unique<ParallelConcat>(name,
+                                                 std::move(branches)));
+        return n1 + n3 + n5 + pp;
+    };
+
+    c = makeInception("inc3a", c, 8, 12, 16, 4, 8, 8);
+    c = makeInception("inc3b", c, 16, 16, 24, 8, 12, 8);
+    maxPool(net, "pool3", 3, 2); // 4x4
+    net.add(std::make_unique<Pool2D>(
+        "gap", PoolSpec{4, 1, PoolMode::Avg}));
+    net.add(std::make_unique<Dropout>("drop", 0.4f, rng));
+    net.add(std::make_unique<FullyConnected>("fc", c, classes, rng));
+    return net;
+}
+
+Network
+buildTinyNet(Rng &rng, int64_t classes)
+{
+    Network net;
+    int64_t c = 3;
+    c = convRelu(net, "conv1", c, 8, 3, 1, 1, rng);
+    maxPool(net, "pool1", 2, 2); // 16x16
+    c = convRelu(net, "conv2", c, 12, 3, 1, 1, rng);
+    maxPool(net, "pool2", 2, 2); // 8x8
+    net.add(std::make_unique<FullyConnected>("fc", c * 8 * 8, classes,
+                                             rng));
+    return net;
+}
+
+Network
+buildScaledByName(const std::string &name, Rng &rng, int64_t classes)
+{
+    if (name == "AlexNet")
+        return buildScaledAlexNet(rng, classes);
+    if (name == "OverFeat")
+        return buildScaledOverFeat(rng, classes);
+    if (name == "NiN")
+        return buildScaledNiN(rng, classes);
+    if (name == "VGG")
+        return buildScaledVGG(rng, classes);
+    if (name == "SqueezeNet")
+        return buildScaledSqueezeNet(rng, classes);
+    if (name == "GoogLeNet")
+        return buildScaledGoogLeNet(rng, classes);
+    fatal("unknown scaled network '%s'", name.c_str());
+}
+
+} // namespace cdma

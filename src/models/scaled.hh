@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Scaled-down, trainable variants of the paper's six networks. Full
+ * ImageNet training is days of GPU time; these variants keep each
+ * network's architectural signature (AlexNet's conv/LRN/pool prologue and
+ * big FC head, NiN's 1x1 cccp stacks and global pooling, VGG's uniform
+ * 3x3 blocks, SqueezeNet's fire modules, GoogLeNet's inception modules,
+ * OverFeat's wide convs) at 32x32/10-class scale, so an SGD run finishes
+ * in seconds while producing the same sparsity *dynamics* the paper
+ * documents in Figures 4-7.
+ */
+
+#ifndef CDMA_MODELS_SCALED_HH
+#define CDMA_MODELS_SCALED_HH
+
+#include <string>
+
+#include "common/rng.hh"
+#include "dnn/network.hh"
+
+namespace cdma {
+
+/** Scaled AlexNet: conv/pool prologue, three 3x3 convs, FC head. */
+Network buildScaledAlexNet(Rng &rng, int64_t classes = 10);
+
+/** Scaled OverFeat: wide convolutions, late pooling, FC head. */
+Network buildScaledOverFeat(Rng &rng, int64_t classes = 10);
+
+/** Scaled NiN: conv + two 1x1 cccp layers per block, global avg pool. */
+Network buildScaledNiN(Rng &rng, int64_t classes = 10);
+
+/** Scaled VGG: uniform 3x3 conv pairs with 2x2 pooling. */
+Network buildScaledVGG(Rng &rng, int64_t classes = 10);
+
+/** Scaled SqueezeNet: conv prologue and three fire modules. */
+Network buildScaledSqueezeNet(Rng &rng, int64_t classes = 10);
+
+/** Scaled GoogLeNet: conv prologue and two inception modules. */
+Network buildScaledGoogLeNet(Rng &rng, int64_t classes = 10);
+
+/** Minimal conv/relu/pool/fc net for fast unit tests. */
+Network buildTinyNet(Rng &rng, int64_t classes = 10);
+
+/** Build a scaled network by its paper name ("AlexNet", "VGG", ...). */
+Network buildScaledByName(const std::string &name, Rng &rng,
+                          int64_t classes = 10);
+
+} // namespace cdma
+
+#endif // CDMA_MODELS_SCALED_HH

@@ -1,0 +1,213 @@
+#include "perf/step_sim.hh"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.hh"
+#include "sim/channel.hh"
+#include "sim/event_queue.hh"
+
+namespace cdma {
+
+std::string
+stepModeName(StepMode mode)
+{
+    switch (mode) {
+      case StepMode::Baseline: return "baseline";
+      case StepMode::Vdnn:     return "vDNN";
+      case StepMode::Cdma:     return "cDMA";
+      case StepMode::Oracle:   return "oracle";
+    }
+    panic("unreachable step mode %d", static_cast<int>(mode));
+}
+
+StepSimulator::StepSimulator(const VdnnMemoryManager &manager,
+                             const CdmaEngine &engine, const PerfModel &perf,
+                             CudnnVersion version)
+    : manager_(manager), engine_(engine), perf_(perf), version_(version)
+{
+}
+
+StepResult
+StepSimulator::run(StepMode mode,
+                   const std::vector<double> &output_ratios) const
+{
+    const NetworkDesc &network = manager_.network();
+    const auto &offloads = manager_.offloadSchedule();
+    const size_t L = network.layers.size();
+    CDMA_ASSERT(offloads.size() <= L, "offload schedule size mismatch");
+    if (mode == StepMode::Cdma) {
+        CDMA_ASSERT(output_ratios.size() == L,
+                    "cDMA mode needs one compression ratio per layer "
+                    "(%zu given, %zu layers)", output_ratios.size(), L);
+    }
+
+    StepResult result;
+    result.layers.resize(L);
+
+    // Compute times per layer.
+    std::vector<double> fwd(L), bwd(L);
+    for (size_t i = 0; i < L; ++i) {
+        const LayerTiming t = perf_.layerTiming(
+            network.layers[i], manager_.batch(), version_);
+        fwd[i] = t.forward_seconds;
+        bwd[i] = t.backward_seconds;
+        result.layers[i].label = network.layers[i].name;
+        result.layers[i].forward_seconds = t.forward_seconds;
+        result.layers[i].backward_seconds = t.backward_seconds;
+        result.compute_seconds += t.total();
+    }
+
+    // Transfer plans: PCIe occupancy per offloaded map, keyed by the
+    // descriptor row whose input the transfer carries (the schedule may
+    // be sparse under OffloadPolicy::ConvOnly). The COMP_BW inflation of
+    // Section VI is folded into "effective wire bytes" so a single FIFO
+    // channel models the link.
+    std::vector<double> xfer(L, 0.0);
+    std::vector<bool> has_xfer(L, false);
+    const bool transfers =
+        mode == StepMode::Vdnn || mode == StepMode::Cdma;
+    for (const auto &op : offloads) {
+        const size_t i = op.layer_index;
+        CDMA_ASSERT(i < L, "offload references row %zu of %zu", i, L);
+        // The transfer paired with row i carries row i-1's output (= row
+        // i's input); the raw input image batch (i == 0) never
+        // compresses.
+        double ratio = 1.0;
+        if (mode == StepMode::Cdma && i > 0)
+            ratio = std::max(1.0, output_ratios[i - 1]);
+        const TransferPlan plan =
+            engine_.planFromRatio(op.label, op.bytes, ratio);
+        xfer[i] = plan.seconds;
+        has_xfer[i] = true;
+        result.raw_transfer_bytes += plan.raw_bytes;
+        result.wire_transfer_bytes += plan.wire_bytes;
+        result.layers[i].offload_seconds = plan.seconds;
+    }
+
+    if (mode == StepMode::Baseline || mode == StepMode::Oracle) {
+        // No stalls: iteration time is pure compute. (Baseline is not
+        // memory-scalable; oracle is vDNN with infinitely fast PCIe.)
+        result.forward_seconds = 0.0;
+        for (size_t i = 0; i < L; ++i)
+            result.forward_seconds += fwd[i];
+        result.backward_seconds = result.compute_seconds -
+            result.forward_seconds;
+        result.total_seconds = result.compute_seconds;
+        result.stall_seconds = 0.0;
+        result.pcie_utilization = 0.0;
+        return result;
+    }
+    CDMA_ASSERT(transfers, "unexpected mode");
+
+    // ---- Discrete-event simulation of the iteration ----
+    EventQueue queue;
+    Channel pcie(queue, "pcie",
+                 engine_.config().gpu.pcie_effective_bandwidth);
+    // The channel services "seconds" directly: submit bytes scaled so
+    // bytes/bandwidth equals the planned occupancy.
+    auto submitTransfer = [&](size_t i, auto on_done) {
+        const auto effective_bytes = static_cast<uint64_t>(
+            xfer[i] * engine_.config().gpu.pcie_effective_bandwidth);
+        pcie.submit(effective_bytes, on_done);
+    };
+
+    std::vector<double> fwd_end(L, -1.0), off_end(L, -1.0);
+    std::vector<double> bwd_end(L, -1.0), pre_end(L, -1.0);
+    std::vector<bool> fwd_started(L, false), bwd_started(L, false);
+    double forward_done_time = 0.0;
+
+    // Forward: layer i starts when layer i-1's compute AND the offload of
+    // layer i-1's input (when scheduled) are both complete (Figure 2b
+    // semantics).
+    std::function<void(size_t)> tryStartFwd = [&](size_t i) {
+        if (fwd_started[i])
+            return;
+        if (i > 0 && fwd_end[i - 1] < 0.0)
+            return;
+        if (i > 0 && has_xfer[i - 1] && off_end[i - 1] < 0.0)
+            return;
+        fwd_started[i] = true;
+        if (i > 0 && has_xfer[i - 1]) {
+            result.layers[i - 1].forward_stall = std::max(
+                0.0, off_end[i - 1] - fwd_end[i - 1]);
+        }
+        // Offload of this layer's input streams alongside its compute.
+        if (has_xfer[i]) {
+            submitTransfer(i, [&, i]() {
+                off_end[i] = queue.now();
+                if (i + 1 < L)
+                    tryStartFwd(i + 1);
+            });
+        }
+        queue.scheduleAfter(fwd[i], [&, i]() {
+            fwd_end[i] = queue.now();
+            if (i + 1 < L)
+                tryStartFwd(i + 1);
+        });
+    };
+
+    // Backward: layer i starts when layer i+1's backward AND the prefetch
+    // of layer i's input (when it was offloaded) are complete; the
+    // prefetch of layer i-1's input is launched as layer i's backward
+    // begins.
+    std::function<void(size_t)> tryStartBwd = [&](size_t i) {
+        if (bwd_started[i])
+            return;
+        if (i + 1 < L && bwd_end[i + 1] < 0.0)
+            return;
+        if (has_xfer[i] && pre_end[i] < 0.0)
+            return;
+        bwd_started[i] = true;
+        const double dep = i + 1 < L ? bwd_end[i + 1] : forward_done_time;
+        if (has_xfer[i]) {
+            result.layers[i].backward_stall =
+                std::max(0.0, pre_end[i] - dep);
+        }
+        if (i > 0 && has_xfer[i - 1]) {
+            submitTransfer(i - 1, [&, i]() {
+                pre_end[i - 1] = queue.now();
+                tryStartBwd(i - 1);
+            });
+        }
+        queue.scheduleAfter(bwd[i], [&, i]() {
+            bwd_end[i] = queue.now();
+            if (i > 0)
+                tryStartBwd(i - 1);
+        });
+    };
+
+    tryStartFwd(0);
+    queue.run();
+    // Forward phase complete: the last layer's compute and every offload
+    // have drained (the queue is empty).
+    forward_done_time = fwd_end[L - 1];
+    for (size_t i = 0; i < L; ++i) {
+        if (has_xfer[i])
+            forward_done_time = std::max(forward_done_time, off_end[i]);
+    }
+    result.forward_seconds = forward_done_time;
+
+    // Launch the backward phase: prefetch of the last offloaded input
+    // first, then the dependency chain unrolls.
+    queue.scheduleAt(forward_done_time, [&]() {
+        if (has_xfer[L - 1]) {
+            submitTransfer(L - 1, [&]() {
+                pre_end[L - 1] = queue.now();
+                tryStartBwd(L - 1);
+            });
+        } else {
+            tryStartBwd(L - 1);
+        }
+    });
+    queue.run();
+
+    result.total_seconds = bwd_end[0];
+    result.backward_seconds = result.total_seconds -
+        result.forward_seconds;
+    result.stall_seconds = result.total_seconds - result.compute_seconds;
+    result.pcie_utilization = pcie.busySeconds() / result.total_seconds;
+    return result;
+}
+
+} // namespace cdma

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Discrete-event simulation of one training iteration under virtualized
+ * memory, reproducing the overlap semantics of Figure 2(b): during
+ * forward propagation, layer n's input activation map is offloaded over
+ * PCIe concurrently with layer n's computation, and layer n+1 may not
+ * start until both finish; during backward propagation, the prefetch of
+ * layer n's input overlaps layer n+1's backward computation, and layer
+ * n's backward waits for its prefetch. PCIe transfers are serviced FIFO
+ * by a bandwidth-limited channel. The same simulator runs the vDNN
+ * baseline (raw transfers), cDMA (compressed transfers with the COMP_BW
+ * inflation), and the oracle (transfers always hidden), producing
+ * Figures 3(b) and 13.
+ */
+
+#ifndef CDMA_PERF_STEP_SIM_HH
+#define CDMA_PERF_STEP_SIM_HH
+
+#include <string>
+#include <vector>
+
+#include "cdma/engine.hh"
+#include "perf/timing.hh"
+#include "vdnn/memory_manager.hh"
+
+namespace cdma {
+
+/** Virtualization mode of a simulated step. */
+enum class StepMode {
+    Baseline, ///< no offloading at all (not memory-scalable)
+    Vdnn,     ///< offload-all with raw transfers
+    Cdma,     ///< offload-all with compressed transfers
+    Oracle,   ///< offload-all, transfers always hidden
+};
+
+/** Display name of a step mode. */
+std::string stepModeName(StepMode mode);
+
+/** Per-layer outcome of a simulated step. */
+struct LayerStepStats {
+    std::string label;
+    double forward_seconds = 0.0;
+    double backward_seconds = 0.0;
+    double offload_seconds = 0.0;  ///< PCIe occupancy of this layer's input
+    double forward_stall = 0.0;    ///< forward wait on the offload
+    double backward_stall = 0.0;   ///< backward wait on the prefetch
+};
+
+/** Result of one simulated training iteration. */
+struct StepResult {
+    double total_seconds = 0.0;
+    double forward_seconds = 0.0;
+    double backward_seconds = 0.0;
+    double compute_seconds = 0.0; ///< oracle lower bound (sum of compute)
+    double stall_seconds = 0.0;   ///< total - compute
+    uint64_t raw_transfer_bytes = 0;  ///< per direction
+    uint64_t wire_transfer_bytes = 0; ///< after compression
+    double pcie_utilization = 0.0;
+    std::vector<LayerStepStats> layers;
+
+    /** Throughput relative to another result (other/self). */
+    double speedupOver(const StepResult &other) const
+    {
+        return other.total_seconds / total_seconds;
+    }
+};
+
+/** DES driver for one training iteration. */
+class StepSimulator
+{
+  public:
+    /**
+     * @param manager vDNN transfer schedule + memory accounting.
+     * @param engine cDMA engine (supplies transfer times; for Vdnn mode
+     *        its compression is bypassed).
+     * @param perf Layer timing model.
+     * @param version cuDNN version for compute times.
+     */
+    StepSimulator(const VdnnMemoryManager &manager, const CdmaEngine &engine,
+                  const PerfModel &perf, CudnnVersion version);
+
+    /**
+     * Simulate one iteration.
+     *
+     * @param mode Virtualization mode.
+     * @param output_ratios Compression ratio of each descriptor row's
+     *        *output* activation map. The simulator aligns them with the
+     *        offload schedule itself: the transfer paired with row i
+     *        carries row i-1's output (row 0's input is the raw image
+     *        batch, which never compresses). Required for Cdma mode;
+     *        ignored otherwise.
+     */
+    StepResult run(StepMode mode,
+                   const std::vector<double> &output_ratios = {}) const;
+
+  private:
+    const VdnnMemoryManager &manager_;
+    const CdmaEngine &engine_;
+    const PerfModel &perf_;
+    CudnnVersion version_;
+};
+
+} // namespace cdma
+
+#endif // CDMA_PERF_STEP_SIM_HH

@@ -1,0 +1,105 @@
+#include "perf/timing.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace cdma {
+
+std::string
+cudnnVersionName(CudnnVersion version)
+{
+    switch (version) {
+      case CudnnVersion::V1: return "v1";
+      case CudnnVersion::V2: return "v2";
+      case CudnnVersion::V3: return "v3";
+      case CudnnVersion::V4: return "v4";
+      case CudnnVersion::V5: return "v5";
+    }
+    panic("unreachable cuDNN version %d", static_cast<int>(version));
+}
+
+double
+PerfModel::convEfficiency(CudnnVersion version)
+{
+    // Calibrated two ways: (a) conv-heavy networks gain ~2.3x v1->v5 so
+    // the six-network average (diluted by bandwidth-bound FC/pool
+    // layers) lands near the paper's 2.2x (Figure 3a); (b) the v5
+    // efficiency matches Maxwell-era measured GEMM utilization (~2/3 of
+    // peak), which sets the compute-vs-PCIe balance that produces the
+    // paper's vDNN overheads (Figure 3b).
+    switch (version) {
+      case CudnnVersion::V1: return 0.36;
+      case CudnnVersion::V2: return 0.45;
+      case CudnnVersion::V3: return 0.55;
+      case CudnnVersion::V4: return 0.67;
+      case CudnnVersion::V5: return 0.80;
+    }
+    panic("unreachable cuDNN version %d", static_cast<int>(version));
+}
+
+PerfModel::PerfModel(const GpuSpec &gpu) : gpu_(gpu)
+{
+}
+
+LayerTiming
+PerfModel::layerTiming(const LayerDesc &layer, int64_t batch,
+                       CudnnVersion version) const
+{
+    const double macs = static_cast<double>(layer.macs_per_image) *
+        static_cast<double>(batch);
+    const double out_bytes = static_cast<double>(layer.bytesPerImage()) *
+        static_cast<double>(batch);
+
+    LayerTiming timing;
+    if (layer.kind == "pool") {
+        // Bandwidth-bound: read the (stride^2 larger) input, write the
+        // output; backward mirrors it.
+        const double moved = 5.0 * out_bytes;
+        timing.forward_seconds = moved / gpu_.dram_bandwidth;
+        timing.backward_seconds = moved / gpu_.dram_bandwidth;
+        return timing;
+    }
+    if (layer.kind == "fc") {
+        // Large-batch GEMM at good efficiency, but floored by streaming
+        // the weight matrix from DRAM (weights = macs_per_image for fc).
+        const double weight_bytes =
+            static_cast<double>(layer.macs_per_image) * 4.0;
+        const double compute =
+            macs / (gpu_.peak_macs_per_second * 0.5);
+        const double memory = weight_bytes / gpu_.dram_bandwidth;
+        timing.forward_seconds = std::max(compute, memory);
+        // Backward: dX = dY W and dW = dY^T X, each streaming the weight
+        // matrix again.
+        timing.backward_seconds = 2.0 * timing.forward_seconds;
+        return timing;
+    }
+    // Convolution-like (conv / inception / fire): compute-bound GEMM with
+    // version-dependent efficiency, floored by activation traffic.
+    // Inception/fire modules are dominated by 1x1 bottleneck convolutions
+    // whose small GEMM dimensions underutilize the machine relative to
+    // dense 3x3/5x5 convs.
+    double eff = convEfficiency(version);
+    if (layer.kind == "inception" || layer.kind == "fire")
+        eff *= 0.6;
+    const double compute = macs / (gpu_.peak_macs_per_second * eff);
+    const double memory = 2.0 * out_bytes / gpu_.dram_bandwidth;
+    timing.forward_seconds = std::max(compute, memory);
+    timing.backward_seconds = 2.0 * timing.forward_seconds;
+    return timing;
+}
+
+LayerTiming
+PerfModel::networkTiming(const NetworkDesc &network, int64_t batch,
+                         CudnnVersion version) const
+{
+    LayerTiming total;
+    for (const auto &layer : network.layers) {
+        const LayerTiming t = layerTiming(layer, batch, version);
+        total.forward_seconds += t.forward_seconds;
+        total.backward_seconds += t.backward_seconds;
+    }
+    return total;
+}
+
+} // namespace cdma

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Analytic per-layer timing model standing in for measured cuDNN kernels
+ * (DESIGN.md substitution table). Convolution-like layers are modeled as
+ * compute-bound GEMMs whose efficiency improves with the cuDNN version
+ * (the Figure 3a effect: v5 is ~2.2x v1 on average); FC layers are
+ * roofline-limited by streaming their weight matrices from DRAM; pooling
+ * and other cheap layers are bandwidth-bound. Backward propagation costs
+ * roughly twice forward (data-gradient + weight-gradient GEMMs).
+ */
+
+#ifndef CDMA_PERF_TIMING_HH
+#define CDMA_PERF_TIMING_HH
+
+#include <array>
+#include <string>
+
+#include "gpu/gpu_spec.hh"
+#include "models/desc.hh"
+
+namespace cdma {
+
+/** cuDNN library generations the paper sweeps (Figure 3). */
+enum class CudnnVersion {
+    V1,
+    V2,
+    V3,
+    V4,
+    V5,
+};
+
+/** All versions in release order. */
+inline constexpr std::array<CudnnVersion, 5> kAllCudnnVersions = {
+    CudnnVersion::V1, CudnnVersion::V2, CudnnVersion::V3,
+    CudnnVersion::V4, CudnnVersion::V5};
+
+/** Display name ("v1".."v5"). */
+std::string cudnnVersionName(CudnnVersion version);
+
+/** Forward/backward time of one layer. */
+struct LayerTiming {
+    double forward_seconds = 0.0;
+    double backward_seconds = 0.0;
+
+    double total() const { return forward_seconds + backward_seconds; }
+};
+
+/** Analytic layer timing model. */
+class PerfModel
+{
+  public:
+    explicit PerfModel(const GpuSpec &gpu = {});
+
+    /** Timing of one descriptor row at the given batch and version. */
+    LayerTiming layerTiming(const LayerDesc &layer, int64_t batch,
+                            CudnnVersion version) const;
+
+    /** Sum of layer timings over the whole network. */
+    LayerTiming networkTiming(const NetworkDesc &network, int64_t batch,
+                              CudnnVersion version) const;
+
+    /**
+     * GEMM efficiency (fraction of peak MACs) of conv-like layers under
+     * @p version; the v5/v1 ratio calibrates Figure 3a's average 2.2x.
+     */
+    static double convEfficiency(CudnnVersion version);
+
+  private:
+    GpuSpec gpu_;
+};
+
+} // namespace cdma
+
+#endif // CDMA_PERF_TIMING_HH

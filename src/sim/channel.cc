@@ -1,0 +1,40 @@
+#include "sim/channel.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace cdma {
+
+Channel::Channel(EventQueue &queue, std::string name,
+                 double bytes_per_second)
+    : queue_(queue), name_(std::move(name)),
+      bytes_per_second_(bytes_per_second)
+{
+    CDMA_ASSERT(bytes_per_second > 0.0, "channel %s has no bandwidth",
+                name_.c_str());
+}
+
+void
+Channel::submit(uint64_t bytes, Completion on_done, SimTime extra_latency)
+{
+    const SimTime start = std::max(queue_.now(), busy_until_);
+    const SimTime service =
+        static_cast<double>(bytes) / bytes_per_second_ + extra_latency;
+    busy_until_ = start + service;
+    busy_seconds_ += service;
+    total_bytes_ += bytes;
+    if (on_done) {
+        queue_.scheduleAt(busy_until_,
+                          [cb = std::move(on_done)]() { cb(); });
+    }
+}
+
+double
+Channel::utilization() const
+{
+    const SimTime horizon = std::max(queue_.now(), busy_until_);
+    return horizon > 0.0 ? busy_seconds_ / horizon : 0.0;
+}
+
+} // namespace cdma

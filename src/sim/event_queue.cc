@@ -1,0 +1,45 @@
+#include "sim/event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace cdma {
+
+void
+EventQueue::scheduleAt(SimTime when, Callback callback)
+{
+    CDMA_ASSERT(when >= now_, "scheduling into the past: %g < %g", when,
+                now_);
+    events_.push({when, next_sequence_++, std::move(callback)});
+}
+
+void
+EventQueue::scheduleAfter(SimTime delay, Callback callback)
+{
+    CDMA_ASSERT(delay >= 0.0, "negative delay %g", delay);
+    scheduleAt(now_ + delay, std::move(callback));
+}
+
+uint64_t
+EventQueue::run(uint64_t max_events)
+{
+    uint64_t executed = 0;
+    while (!events_.empty() && executed < max_events) {
+        // Copy out before pop: the callback may schedule new events.
+        Event event = events_.top();
+        events_.pop();
+        now_ = event.when;
+        ++executed;
+        event.callback();
+    }
+    return executed;
+}
+
+void
+EventQueue::reset()
+{
+    events_ = {};
+    now_ = 0.0;
+    next_sequence_ = 0;
+}
+
+} // namespace cdma

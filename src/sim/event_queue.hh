@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Discrete-event simulation core: a time-ordered event queue with
+ * deterministic tie-breaking (FIFO among simultaneous events), the
+ * backbone of the trace-driven GPU memory-system simulator.
+ */
+
+#ifndef CDMA_SIM_EVENT_QUEUE_HH
+#define CDMA_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace cdma {
+
+/** Simulated time in seconds. */
+using SimTime = double;
+
+/** Discrete-event queue. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    SimTime now() const { return now_; }
+
+    /** Schedule @p callback at absolute time @p when (>= now). */
+    void scheduleAt(SimTime when, Callback callback);
+
+    /** Schedule @p callback @p delay seconds from now. */
+    void scheduleAfter(SimTime delay, Callback callback);
+
+    /** Number of pending events. */
+    size_t pending() const { return events_.size(); }
+
+    /**
+     * Run until the queue drains (or @p max_events fire — a runaway
+     * guard). Returns the number of events executed.
+     */
+    uint64_t run(uint64_t max_events = UINT64_MAX);
+
+    /** Drop all pending events and reset the clock to zero. */
+    void reset();
+
+  private:
+    struct Event {
+        SimTime when;
+        uint64_t sequence; // FIFO tie-break
+        Callback callback;
+    };
+    struct Later {
+        bool operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.sequence > b.sequence;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    SimTime now_ = 0.0;
+    uint64_t next_sequence_ = 0;
+};
+
+} // namespace cdma
+
+#endif // CDMA_SIM_EVENT_QUEUE_HH

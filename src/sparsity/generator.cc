@@ -1,0 +1,142 @@
+#include "sparsity/generator.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace cdma {
+
+ActivationGenerator::ActivationGenerator(const ActivationGenConfig &config)
+    : config_(config)
+{
+    CDMA_ASSERT(config.cluster_scale >= 1.0,
+                "cluster scale must be at least one activation");
+}
+
+Tensor4D
+ActivationGenerator::generate(const Shape4D &shape, Layout layout,
+                              double density, Rng &rng) const
+{
+    CDMA_ASSERT(density >= 0.0 && density <= 1.0,
+                "density %f out of range", density);
+
+    // Smooth per-plane fields: coarse Gaussian grid, bilinear upsampling.
+    const auto total = static_cast<size_t>(shape.elements());
+    std::vector<float> field(total);
+
+    const int64_t grid_h = std::max<int64_t>(
+        2, static_cast<int64_t>(std::ceil(
+               static_cast<double>(shape.h) / config_.cluster_scale)) + 1);
+    const int64_t grid_w = std::max<int64_t>(
+        2, static_cast<int64_t>(std::ceil(
+               static_cast<double>(shape.w) / config_.cluster_scale)) + 1);
+
+    std::vector<float> grid(
+        static_cast<size_t>(grid_h * grid_w));
+
+    size_t cursor = 0;
+    for (int64_t n = 0; n < shape.n; ++n) {
+        for (int64_t c = 0; c < shape.c; ++c) {
+            const auto bias = static_cast<float>(
+                rng.normal(0.0, config_.channel_bias_stddev));
+            for (auto &g : grid)
+                g = static_cast<float>(rng.normal());
+
+            const double sy = shape.h > 1
+                ? static_cast<double>(grid_h - 1) /
+                    static_cast<double>(shape.h - 1)
+                : 0.0;
+            const double sx = shape.w > 1
+                ? static_cast<double>(grid_w - 1) /
+                    static_cast<double>(shape.w - 1)
+                : 0.0;
+
+            for (int64_t y = 0; y < shape.h; ++y) {
+                const double gy = static_cast<double>(y) * sy;
+                const auto y0 = static_cast<int64_t>(gy);
+                const int64_t y1 = std::min(y0 + 1, grid_h - 1);
+                const auto fy = static_cast<float>(gy - static_cast<double>(
+                    y0));
+                for (int64_t x = 0; x < shape.w; ++x) {
+                    const double gx = static_cast<double>(x) * sx;
+                    const auto x0 = static_cast<int64_t>(gx);
+                    const int64_t x1 = std::min(x0 + 1, grid_w - 1);
+                    const auto fx = static_cast<float>(
+                        gx - static_cast<double>(x0));
+
+                    const float v00 =
+                        grid[static_cast<size_t>(y0 * grid_w + x0)];
+                    const float v01 =
+                        grid[static_cast<size_t>(y0 * grid_w + x1)];
+                    const float v10 =
+                        grid[static_cast<size_t>(y1 * grid_w + x0)];
+                    const float v11 =
+                        grid[static_cast<size_t>(y1 * grid_w + x1)];
+                    const float top = v00 + (v01 - v00) * fx;
+                    const float bottom = v10 + (v11 - v10) * fx;
+                    field[cursor++] = bias + top + (bottom - top) * fy;
+                }
+            }
+        }
+    }
+    CDMA_ASSERT(cursor == total, "field fill mismatch");
+
+    // Exact-quantile threshold: the (1 - density) fraction of the field
+    // falls below tau and becomes zero.
+    float tau;
+    if (density >= 1.0) {
+        // Everything stays live; rectify against a finite threshold just
+        // below the field minimum so values remain finite and positive.
+        tau = *std::min_element(field.begin(), field.end()) - 1.0f;
+    } else if (density <= 0.0) {
+        tau = std::numeric_limits<float>::infinity();
+    } else {
+        std::vector<float> sorted(field);
+        const auto k = static_cast<size_t>(
+            std::min<double>(static_cast<double>(total - 1),
+                             (1.0 - density) *
+                                 static_cast<double>(total)));
+        std::nth_element(sorted.begin(),
+                         sorted.begin() + static_cast<int64_t>(k),
+                         sorted.end());
+        tau = sorted[k];
+    }
+
+    // ReLU-style rectification around the threshold: smooth positive
+    // values over the live clusters, exact zeros elsewhere.
+    Tensor4D out(shape, layout);
+    cursor = 0;
+    const auto scale = static_cast<float>(config_.value_scale);
+    const int drop_bits = std::clamp(23 - config_.mantissa_bits, 0, 23);
+    auto quantize = [drop_bits](float v) {
+        if (drop_bits == 0 || v == 0.0f)
+            return v;
+        uint32_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        bits &= ~((1u << drop_bits) - 1);
+        float q;
+        std::memcpy(&q, &bits, sizeof(q));
+        // Never let quantization manufacture a zero (losslessness of the
+        // codecs is tested against exact zero counts).
+        return q != 0.0f ? q : v;
+    };
+    for (int64_t n = 0; n < shape.n; ++n) {
+        for (int64_t c = 0; c < shape.c; ++c) {
+            for (int64_t y = 0; y < shape.h; ++y) {
+                for (int64_t x = 0; x < shape.w; ++x) {
+                    const float v = field[cursor++];
+                    out.at(n, c, y, x) =
+                        v > tau ? quantize((v - tau) * scale) : 0.0f;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace cdma

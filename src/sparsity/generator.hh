@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Synthetic activation-map generator with the spatial statistics the paper
+ * documents in Figure 5: zeros cluster spatially within a channel plane
+ * (smooth receptive fields go inactive over contiguous regions), some
+ * channels go almost entirely dead, and non-zero values are positive
+ * (post-ReLU) with smooth spatial variation. These statistics are what
+ * make RLE/zlib layout-sensitive while leaving ZVC untouched — the
+ * Figure 11 result. The generator produces full-size layer activations
+ * for the compression experiments when real ImageNet training data is
+ * unavailable (DESIGN.md substitution table).
+ */
+
+#ifndef CDMA_SPARSITY_GENERATOR_HH
+#define CDMA_SPARSITY_GENERATOR_HH
+
+#include "common/rng.hh"
+#include "tensor/tensor.hh"
+
+namespace cdma {
+
+/** Tuning of the clustered activation generator. */
+struct ActivationGenConfig {
+    /** Spatial correlation length in activations (cluster diameter). */
+    double cluster_scale = 6.0;
+    /** Std-dev of the per-channel activity bias (dead-channel knob). */
+    double channel_bias_stddev = 0.7;
+    /** Peak magnitude scale of non-zero activations. */
+    double value_scale = 1.0;
+    /**
+     * Mantissa bits retained in non-zero values (the rest are zeroed).
+     * Real trained activations carry less value entropy than white
+     * noise — neighboring values share exponents and high mantissa
+     * bits — which is what gives zlib its modest edge over ZVC in the
+     * paper's Figure 11. 14 bits calibrates that edge; 23 disables
+     * quantization.
+     */
+    int mantissa_bits = 14;
+};
+
+/**
+ * Generates activation tensors with a target density and spatially
+ * clustered zeros.
+ *
+ * Mechanism: each (sample, channel) plane gets a smooth random field
+ * (bilinearly interpolated coarse Gaussian grid) plus a per-channel bias;
+ * a global threshold is chosen at the exact quantile that achieves the
+ * requested density; activations are ReLU-style shifted field values
+ * above the threshold and zero below.
+ */
+class ActivationGenerator
+{
+  public:
+    explicit ActivationGenerator(const ActivationGenConfig &config = {});
+
+    /**
+     * Generate a tensor of the given logical shape and physical layout
+     * whose density is @p density (exact up to ties in the field).
+     *
+     * @param shape Logical (N, C, H, W) extents.
+     * @param layout Physical layout of the result.
+     * @param density Target fraction of non-zero activations in [0, 1].
+     * @param rng Randomness stream (pass the same seeded stream to get
+     *        identical logical contents across layouts).
+     */
+    Tensor4D generate(const Shape4D &shape, Layout layout, double density,
+                      Rng &rng) const;
+
+  private:
+    ActivationGenConfig config_;
+};
+
+} // namespace cdma
+
+#endif // CDMA_SPARSITY_GENERATOR_HH

@@ -1,0 +1,98 @@
+#include "sparsity/schedule.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace cdma {
+
+double
+DensityCurve::at(double t) const
+{
+    t = std::clamp(t, 0.0, 1.0);
+    if (t <= trough_at) {
+        // Plunge phase: quadratic ease from the initial density into the
+        // trough, matching the rapid early drop in Figure 7.
+        const double x = trough_at > 0.0 ? t / trough_at : 1.0;
+        const double w = (1.0 - x) * (1.0 - x);
+        return trough + (initial - trough) * w;
+    }
+    // Recovery phase: fast-then-slow rise toward the trained density
+    // ("increases, first somewhat rapidly and then more slowly").
+    const double x = (t - trough_at) / (1.0 - trough_at);
+    const double s = 1.0 - (1.0 - x) * (1.0 - x);
+    return trough + (final - trough) * s;
+}
+
+DensityCurve
+DensitySchedule::curveFor(const NetworkDesc &network,
+                          const LayerDesc &layer)
+{
+    const double dep = layer.depth_fraction;
+
+    if (!layer.relu_follows) {
+        // Dense output (e.g. the final classifier): density pinned at 1.
+        return {1.0, 1.0, 1.0, 0.3};
+    }
+
+    if (layer.kind == "fc") {
+        // FC layers are the sparsest in every network (Section IV-A); at
+        // the trough their density approaches a few percent, which is
+        // where the 13.8x per-layer maximum ratio comes from.
+        return {0.50, 0.04, 0.09, 0.35};
+    }
+
+    // Base conv-like curve: deeper layers respond to class-specific
+    // features and are sparser.
+    DensityCurve conv;
+    conv.initial = 0.62 - 0.10 * dep;
+    conv.final = 0.58 - 0.42 * std::pow(dep, 0.8);
+    conv.trough = conv.final * 0.45 + 0.02;
+    conv.trough_at = 0.25 + 0.15 * dep;
+
+    // The very first layer sees raw pixels and is class-invariant: ~50%
+    // density within +/-2% for the entire run (Figure 4, conv0).
+    const bool first = &layer == &network.layers.front();
+    if (first)
+        return {0.52, 0.48, 0.50, 0.3};
+
+    if (layer.kind == "pool") {
+        // Pooling densifies: a window is zero only when every input is.
+        // Apply the window transform to each phase of the conv curve.
+        auto densify = [](double d) {
+            return 1.0 - std::pow(1.0 - d, 2.2);
+        };
+        return {densify(conv.initial), densify(conv.trough),
+                densify(conv.final), conv.trough_at};
+    }
+    return conv;
+}
+
+DensitySchedule::DensitySchedule(const NetworkDesc &network)
+    : network_(network)
+{
+    curves_.reserve(network_.layers.size());
+    for (const auto &layer : network_.layers)
+        curves_.push_back(curveFor(network_, layer));
+}
+
+double
+DensitySchedule::density(size_t index, double t) const
+{
+    return curves_.at(index).at(t);
+}
+
+double
+DensitySchedule::networkDensity(double t) const
+{
+    WeightedMean mean;
+    for (size_t i = 0; i < network_.layers.size(); ++i) {
+        mean.add(density(i, t),
+                 static_cast<double>(network_.layers[i].bytesPerImage()));
+    }
+    return mean.mean();
+}
+
+} // namespace cdma

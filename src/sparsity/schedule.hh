@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Analytic model of per-layer activation density across training,
+ * calibrated to the paper's measurements (Section IV, Figures 4/6/7):
+ *
+ *  - the first convolutional layer stays within a few percent of 50%
+ *    density for the whole run;
+ *  - every other ReLU layer follows a U-shaped curve: density plunges in
+ *    the first ~20-40% of training, then recovers partially as accuracy
+ *    improves, flattening in the fine-tuning phase;
+ *  - deeper layers are sparser than earlier ones (class-specific feature
+ *    detectors fire rarely);
+ *  - pooling increases density (a max window is zero only if all inputs
+ *    are); FC layers are the sparsest of all;
+ *  - the six-network average sparsity is ~62% (AlexNet alone ~49.4%),
+ *    with per-layer maxima above 90%.
+ *
+ * The schedule supplies the target density used by the synthetic
+ * activation generator when full-size network data is required, and is
+ * validated against the measured dynamics of the scaled training runs.
+ */
+
+#ifndef CDMA_SPARSITY_SCHEDULE_HH
+#define CDMA_SPARSITY_SCHEDULE_HH
+
+#include "models/desc.hh"
+
+namespace cdma {
+
+/** Parameters of one layer's U-shaped density trajectory. */
+struct DensityCurve {
+    double initial = 0.55; ///< density at randomly initialized weights
+    double trough = 0.25;  ///< minimum density, reached at trough_at
+    double final = 0.40;   ///< density of the fully trained model
+    double trough_at = 0.3; ///< training fraction where the trough sits
+
+    /** Density at training progress @p t in [0, 1]. */
+    double at(double t) const;
+};
+
+/**
+ * Density schedule for a whole network: derives a DensityCurve per layer
+ * from its descriptor row (kind + depth), following the paper's observed
+ * structure.
+ */
+class DensitySchedule
+{
+  public:
+    explicit DensitySchedule(const NetworkDesc &network);
+
+    /** Curve assigned to layer @p index of the descriptor. */
+    const DensityCurve &curve(size_t index) const
+    {
+        return curves_.at(index);
+    }
+
+    /** Density of layer @p index at training progress @p t. */
+    double density(size_t index, double t) const;
+
+    /**
+     * Network-wide average density at progress @p t, weighted by each
+     * layer's activation bytes — the reduction behind the paper's
+     * "network-wide average sparsity" numbers.
+     */
+    double networkDensity(double t) const;
+
+    /** The underlying descriptor. */
+    const NetworkDesc &network() const { return network_; }
+
+    /** Build the curve the model assigns to one descriptor row. */
+    static DensityCurve curveFor(const NetworkDesc &network,
+                                 const LayerDesc &layer);
+
+  private:
+    NetworkDesc network_;
+    std::vector<DensityCurve> curves_;
+};
+
+} // namespace cdma
+
+#endif // CDMA_SPARSITY_SCHEDULE_HH

@@ -1,0 +1,56 @@
+#include "tensor/layout.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace cdma {
+
+std::string
+layoutName(Layout layout)
+{
+    switch (layout) {
+      case Layout::NCHW: return "NCHW";
+      case Layout::NHWC: return "NHWC";
+      case Layout::CHWN: return "CHWN";
+    }
+    panic("unreachable layout value %d", static_cast<int>(layout));
+}
+
+Layout
+layoutFromName(const std::string &name)
+{
+    if (name == "NCHW")
+        return Layout::NCHW;
+    if (name == "NHWC")
+        return Layout::NHWC;
+    if (name == "CHWN")
+        return Layout::CHWN;
+    fatal("unknown tensor layout '%s' (expected NCHW, NHWC or CHWN)",
+          name.c_str());
+}
+
+std::string
+Shape4D::str() const
+{
+    std::ostringstream out;
+    out << "(" << n << ", " << c << ", " << h << ", " << w << ")";
+    return out.str();
+}
+
+int64_t
+linearIndex(const Shape4D &shape, Layout layout,
+            int64_t n, int64_t c, int64_t h, int64_t w)
+{
+    switch (layout) {
+      case Layout::NCHW:
+        return ((n * shape.c + c) * shape.h + h) * shape.w + w;
+      case Layout::NHWC:
+        return ((n * shape.h + h) * shape.w + w) * shape.c + c;
+      case Layout::CHWN:
+        return ((c * shape.h + h) * shape.w + w) * shape.n + n;
+    }
+    panic("unreachable layout value %d", static_cast<int>(layout));
+}
+
+} // namespace cdma

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Physical memory layouts for 4-D activation tensors. The paper's
+ * compression-ratio study (Section VII-A, Figure 11) sweeps three layouts
+ * used by contemporary frameworks: NCHW (Caffe/cuDNN), NHWC (cuDNN), and
+ * CHWN (Neon/cuda-convnet). RLE and zlib are sensitive to the layout
+ * because it determines whether the spatially clustered zeros of a channel
+ * plane stay contiguous in the linear address space.
+ */
+
+#ifndef CDMA_TENSOR_LAYOUT_HH
+#define CDMA_TENSOR_LAYOUT_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace cdma {
+
+/** Physical arrangement of a (N, C, H, W) tensor in linear memory. */
+enum class Layout {
+    NCHW, ///< batch outermost, width innermost (Caffe, cuDNN default)
+    NHWC, ///< channels innermost (cuDNN alternative)
+    CHWN, ///< batch innermost (Neon, cuda-convnet)
+};
+
+/** All layouts, in the order the paper's Figure 11 sweeps them. */
+inline constexpr std::array<Layout, 3> kAllLayouts = {
+    Layout::NCHW, Layout::NHWC, Layout::CHWN};
+
+/** Human-readable layout name ("NCHW" etc.). */
+std::string layoutName(Layout layout);
+
+/** Parse a layout name; fatal() on an unknown string. */
+Layout layoutFromName(const std::string &name);
+
+/** Logical extents of a 4-D activation tensor. */
+struct Shape4D {
+    int64_t n = 1; ///< minibatch size
+    int64_t c = 1; ///< channels
+    int64_t h = 1; ///< height
+    int64_t w = 1; ///< width
+
+    /** Total number of elements. */
+    int64_t elements() const { return n * c * h * w; }
+
+    /** Bytes at 4 bytes/element (fp32 activations, as in the paper). */
+    int64_t bytes() const { return elements() * 4; }
+
+    bool operator==(const Shape4D &other) const = default;
+
+    /** Render as "(N, C, H, W)". */
+    std::string str() const;
+};
+
+/**
+ * Compute the linear element index of logical coordinate (n, c, h, w)
+ * under @p layout for a tensor of extents @p shape.
+ */
+int64_t linearIndex(const Shape4D &shape, Layout layout,
+                    int64_t n, int64_t c, int64_t h, int64_t w);
+
+} // namespace cdma
+
+#endif // CDMA_TENSOR_LAYOUT_HH

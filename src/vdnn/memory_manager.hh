@@ -1,0 +1,120 @@
+/**
+ * @file
+ * vDNN memory manager reconstruction (Rhu et al., MICRO 2016), the
+ * baseline system the paper accelerates. Implements the offload-all
+ * policy the paper evaluates ("vDNN is configured to offload all the
+ * layer's activation maps for memory-scalability and to maximally stress
+ * the PCIe channel", Section VI): every layer's input activation map is
+ * copied to CPU memory during forward propagation and prefetched back
+ * during backward propagation. The manager derives the transfer schedule
+ * and the GPU-memory accounting from a network descriptor.
+ */
+
+#ifndef CDMA_VDNN_MEMORY_MANAGER_HH
+#define CDMA_VDNN_MEMORY_MANAGER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "models/desc.hh"
+
+namespace cdma {
+
+/**
+ * Which activation maps are offloaded. The paper evaluates vDNN_all
+ * ("offload all the layer's activation maps for memory-scalability and
+ * to maximally stress the PCIe channel", Section VI); the original vDNN
+ * also proposed a cheaper conv-only policy that keeps non-conv inputs
+ * resident, trading memory savings for less PCIe traffic.
+ */
+enum class OffloadPolicy {
+    All,      ///< offload every layer's input (the paper's setting)
+    ConvOnly, ///< offload only inputs of convolution-like layers
+};
+
+/** Display name of an offload policy. */
+std::string offloadPolicyName(OffloadPolicy policy);
+
+/** One scheduled activation transfer (offload or prefetch). */
+struct TransferOp {
+    size_t layer_index = 0;  ///< descriptor row whose *input* this is
+    std::string label;       ///< producing layer name
+    uint64_t bytes = 0;      ///< raw activation bytes (batch applied)
+};
+
+/** GPU memory accounting for one network + batch. */
+struct MemoryFootprint {
+    uint64_t weights_bytes = 0;      ///< parameters + weight gradients
+    uint64_t activations_bytes = 0;  ///< all retained activation maps
+    uint64_t gradients_bytes = 0;    ///< activation-gradient maps
+    uint64_t baseline_total = 0;     ///< no virtualization: all resident
+    uint64_t vdnn_peak = 0;          ///< offload-all: per-layer working set
+
+    /** Fraction of baseline memory that is activation (+gradient) maps. */
+    double activationFraction() const
+    {
+        return baseline_total > 0
+            ? static_cast<double>(activations_bytes + gradients_bytes) /
+                static_cast<double>(baseline_total)
+            : 0.0;
+    }
+};
+
+/** Offload-all vDNN memory manager over a static network descriptor. */
+class VdnnMemoryManager
+{
+  public:
+    /**
+     * @param network Full-size network descriptor.
+     * @param batch Minibatch size (Table I values by default).
+     * @param policy Offload policy (the paper evaluates All).
+     */
+    VdnnMemoryManager(const NetworkDesc &network, int64_t batch,
+                      OffloadPolicy policy = OffloadPolicy::All);
+
+    /** Offload policy in effect. */
+    OffloadPolicy policy() const { return policy_; }
+
+    /** The managed network. */
+    const NetworkDesc &network() const { return network_; }
+
+    /** Minibatch size the schedule was built for. */
+    int64_t batch() const { return batch_; }
+
+    /**
+     * Offload schedule in forward order: entry k is the input activation
+     * map of descriptor row offloads()[k].layer_index (row 0's input is
+     * the network input batch). Under OffloadPolicy::All there is one
+     * entry per row; under ConvOnly only conv-like rows appear.
+     */
+    const std::vector<TransferOp> &offloadSchedule() const
+    {
+        return offloads_;
+    }
+
+    /**
+     * Prefetch schedule in backward order (reverse of the offloads):
+     * entry k is the activation map backward step k needs restored.
+     */
+    std::vector<TransferOp> prefetchSchedule() const;
+
+    /** Total bytes moved across PCIe in one direction per iteration. */
+    uint64_t totalOffloadBytes() const;
+
+    /** GPU memory accounting with and without vDNN. */
+    MemoryFootprint footprint() const;
+
+    /** Parameter bytes of one descriptor row (weights only). */
+    static uint64_t weightBytes(const LayerDesc &layer);
+
+  private:
+    NetworkDesc network_;
+    int64_t batch_;
+    OffloadPolicy policy_;
+    std::vector<TransferOp> offloads_;
+};
+
+} // namespace cdma
+
+#endif // CDMA_VDNN_MEMORY_MANAGER_HH

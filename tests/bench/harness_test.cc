@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the benchmark-harness library itself: the table printer and
+ * the synthetic ratio measurement that Figures 11-13 are built on. The
+ * harness is result-bearing code, so its reductions (byte-weighted
+ * averages, time-averaged per-layer ratios) are pinned here.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/harness.hh"
+
+namespace cdma {
+namespace {
+
+using bench::measureNetworkRatios;
+using bench::measureTimeAveragedRatios;
+using bench::RatioMeasureConfig;
+using bench::Table;
+
+TEST(HarnessTable, NumFormatsPrecision)
+{
+    EXPECT_EQ(Table::num(2.61828, 2), "2.62");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+}
+
+TEST(HarnessTableDeathTest, RowWidthMismatchPanics)
+{
+    Table table({"a", "b"});
+    EXPECT_DEATH(table.addRow({"only-one"}), "cells");
+}
+
+TEST(HarnessRatios, LayerCountMatchesDescriptor)
+{
+    const NetworkDesc net = alexNetDesc();
+    RatioMeasureConfig config;
+    config.max_elements = 1 << 16; // keep the test fast
+    const auto result = measureNetworkRatios(net, Algorithm::Zvc,
+                                             Layout::NCHW, config);
+    EXPECT_EQ(result.layers.size(), net.layers.size());
+    EXPECT_GE(result.max, result.average);
+}
+
+TEST(HarnessRatios, DenseRowsPinnedToOne)
+{
+    const NetworkDesc net = alexNetDesc();
+    RatioMeasureConfig config;
+    config.max_elements = 1 << 16;
+    const auto result = measureNetworkRatios(net, Algorithm::Zvc,
+                                             Layout::NCHW, config);
+    for (size_t i = 0; i < net.layers.size(); ++i) {
+        if (!net.layers[i].relu_follows) {
+            EXPECT_DOUBLE_EQ(result.layers[i].ratio, 1.0)
+                << net.layers[i].name;
+        }
+    }
+}
+
+TEST(HarnessRatios, ZvcLayoutInvarianceAtHarnessLevel)
+{
+    const NetworkDesc net = ninDesc();
+    RatioMeasureConfig config;
+    config.max_elements = 1 << 16;
+    const auto nchw = measureNetworkRatios(net, Algorithm::Zvc,
+                                           Layout::NCHW, config);
+    const auto nhwc = measureNetworkRatios(net, Algorithm::Zvc,
+                                           Layout::NHWC, config);
+    EXPECT_NEAR(nchw.average, nhwc.average, 0.02 * nchw.average);
+}
+
+TEST(HarnessRatios, TroughRatiosExceedTrainedRatios)
+{
+    const NetworkDesc net = vggDesc();
+    RatioMeasureConfig trained;
+    trained.max_elements = 1 << 16;
+    trained.training_progress = 1.0;
+    RatioMeasureConfig trough = trained;
+    trough.training_progress = 0.35;
+    const auto at_end = measureNetworkRatios(net, Algorithm::Zvc,
+                                             Layout::NCHW, trained);
+    const auto at_trough = measureNetworkRatios(net, Algorithm::Zvc,
+                                                Layout::NCHW, trough);
+    EXPECT_GT(at_trough.average, at_end.average);
+}
+
+TEST(HarnessRatios, TimeAveragedBracketsCheckpoints)
+{
+    const NetworkDesc net = squeezeNetDesc();
+    RatioMeasureConfig config;
+    config.max_elements = 1 << 16;
+    const auto averaged = measureTimeAveragedRatios(
+        net, Algorithm::Zvc, Layout::NCHW, {0.35, 1.0}, config);
+    RatioMeasureConfig trough = config;
+    trough.training_progress = 0.35;
+    RatioMeasureConfig end = config;
+    end.training_progress = 1.0;
+    const auto lo =
+        measureNetworkRatios(net, Algorithm::Zvc, Layout::NCHW, end);
+    const auto hi =
+        measureNetworkRatios(net, Algorithm::Zvc, Layout::NCHW, trough);
+    EXPECT_GE(averaged.average, lo.average - 1e-9);
+    EXPECT_LE(averaged.average, hi.average + 1e-9);
+    EXPECT_GE(averaged.max, hi.max - 1e-9);
+}
+
+} // namespace
+} // namespace cdma

@@ -1,0 +1,93 @@
+/** @file Unit tests for the compressed-GPU-footprint estimator (Sec. IX). */
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "cdma/footprint.hh"
+#include "common/rng.hh"
+#include "compress/zvc.hh"
+
+namespace cdma {
+namespace {
+
+TEST(Footprint, ExpectedLineBytesMatchesZvcArithmetic)
+{
+    CompressedFootprintEstimator estimator;
+    // Density 0: mask only (4 B). Density 1: 4 + 128 B.
+    EXPECT_DOUBLE_EQ(estimator.expectedLineBytes(0.0), 4.0);
+    EXPECT_DOUBLE_EQ(estimator.expectedLineBytes(1.0), 4.0 + 128.0);
+    EXPECT_DOUBLE_EQ(estimator.expectedLineBytes(0.5), 4.0 + 64.0);
+}
+
+TEST(Footprint, AnalyticModelMatchesCodecInExpectation)
+{
+    // Compress many 128 B lines at a known density and compare the mean
+    // compressed size to the analytic expectation.
+    Rng rng(55);
+    const double density = 0.4;
+    constexpr size_t kLines = 4000;
+    std::vector<float> words(kLines * 32);
+    for (auto &w : words)
+        w = rng.bernoulli(density)
+            ? 1.0f + static_cast<float>(rng.uniform()) : 0.0f;
+    std::vector<uint8_t> bytes(words.size() * 4);
+    std::memcpy(bytes.data(), words.data(), bytes.size());
+
+    ZvcCompressor zvc(128);
+    const auto compressed = zvc.compress(bytes);
+    const double mean_line =
+        static_cast<double>(compressed.compressedBytes()) /
+        static_cast<double>(kLines);
+
+    CompressedFootprintEstimator estimator;
+    EXPECT_NEAR(mean_line, estimator.expectedLineBytes(density), 1.5);
+}
+
+TEST(Footprint, QuantizationRoundsToSectors)
+{
+    CompressedFootprintEstimator estimator;
+    // 4 B expected -> one 32 B sector.
+    EXPECT_EQ(estimator.quantizedLineBytes(0.0), 32u);
+    // Fully dense lines never exceed raw.
+    EXPECT_EQ(estimator.quantizedLineBytes(1.0), 128u);
+}
+
+TEST(Footprint, NetworkEstimateSavesMemory)
+{
+    CompressedFootprintEstimator estimator;
+    for (const auto &net : allNetworkDescs()) {
+        const auto fp = estimator.estimate(net, 16, 1.0);
+        EXPECT_GT(fp.raw_bytes, 0u) << net.name;
+        EXPECT_LT(fp.totalBytes(), fp.raw_bytes) << net.name;
+        EXPECT_GT(fp.savings_ratio, 1.2) << net.name;
+        EXPECT_LT(fp.savings_ratio, 4.0) << net.name;
+    }
+}
+
+TEST(Footprint, TroughSavesMoreThanTrainedModel)
+{
+    CompressedFootprintEstimator estimator;
+    const NetworkDesc net = vggDesc();
+    const auto trough = estimator.estimate(net, 16, 0.35);
+    const auto trained = estimator.estimate(net, 16, 1.0);
+    EXPECT_GT(trough.savings_ratio, trained.savings_ratio);
+}
+
+TEST(Footprint, MetadataIsSmallFraction)
+{
+    CompressedFootprintEstimator estimator;
+    const auto fp = estimator.estimate(alexNetDesc(), 64, 1.0);
+    EXPECT_LT(static_cast<double>(fp.metadata_bytes),
+              0.02 * static_cast<double>(fp.raw_bytes));
+}
+
+TEST(FootprintDeathTest, RejectsMisalignedSectors)
+{
+    CompressedStoreConfig config;
+    config.line_bytes = 100; // not a multiple of 32
+    EXPECT_DEATH(CompressedFootprintEstimator{config}, "multiple");
+}
+
+} // namespace
+} // namespace cdma

@@ -1,0 +1,57 @@
+/** @file Unit tests for the bit-manipulation helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hh"
+
+namespace cdma {
+namespace {
+
+TEST(Bits, Popcount32)
+{
+    EXPECT_EQ(popcount32(0u), 0);
+    EXPECT_EQ(popcount32(0xFFFFFFFFu), 32);
+    EXPECT_EQ(popcount32(0x10011010u), 4);
+    EXPECT_EQ(popcount32(0b10011010u), 4);
+}
+
+TEST(Bits, Popcount64)
+{
+    EXPECT_EQ(popcount64(0ull), 0);
+    EXPECT_EQ(popcount64(~0ull), 64);
+}
+
+TEST(Bits, MaskPrefixSumMatchesManualCount)
+{
+    // Mask 0b10011010: prefix[i] counts ones strictly below bit i, the
+    // offset the ZVC shifter applies to non-zero word i.
+    // bits (LSB first): 0 1 0 1 1 0 0 1
+    const auto prefix = maskPrefixSum8(0b10011010);
+    EXPECT_EQ(prefix[0], 0);
+    EXPECT_EQ(prefix[1], 0);
+    EXPECT_EQ(prefix[2], 1);
+    EXPECT_EQ(prefix[3], 1);
+    EXPECT_EQ(prefix[4], 2);
+    EXPECT_EQ(prefix[5], 3);
+    EXPECT_EQ(prefix[6], 3);
+    EXPECT_EQ(prefix[7], 3);
+}
+
+TEST(Bits, RoundUp)
+{
+    EXPECT_EQ(roundUp(0, 128), 0u);
+    EXPECT_EQ(roundUp(1, 128), 128u);
+    EXPECT_EQ(roundUp(128, 128), 128u);
+    EXPECT_EQ(roundUp(129, 128), 256u);
+}
+
+TEST(Bits, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(0, 32), 0u);
+    EXPECT_EQ(ceilDiv(1, 32), 1u);
+    EXPECT_EQ(ceilDiv(32, 32), 1u);
+    EXPECT_EQ(ceilDiv(33, 32), 2u);
+}
+
+} // namespace
+} // namespace cdma

@@ -1,0 +1,50 @@
+/** @file Unit tests for the logging/termination helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace cdma {
+namespace {
+
+TEST(Logging, LevelFilterRoundTrips)
+{
+    const LogLevel original = logLevel();
+    setLogLevel(LogLevel::Error);
+    EXPECT_EQ(logLevel(), LogLevel::Error);
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(original);
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    warn("test warning %d", 42);
+    inform("test info %s", "message");
+    SUCCEED();
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("intentional panic"), "intentional panic");
+}
+
+TEST(LoggingDeathTest, FatalExitsWithStatusOne)
+{
+    EXPECT_EXIT(fatal("intentional fatal"),
+                ::testing::ExitedWithCode(1), "intentional fatal");
+}
+
+TEST(LoggingDeathTest, AssertMacroFiresOnFalse)
+{
+    EXPECT_DEATH(CDMA_ASSERT(1 == 2, "math broke: %d", 7), "math broke");
+}
+
+TEST(Logging, AssertMacroPassesOnTrue)
+{
+    CDMA_ASSERT(2 + 2 == 4, "should not fire");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace cdma

@@ -1,0 +1,100 @@
+/** @file Unit tests for the deterministic random number generator. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace cdma {
+namespace {
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(1234), b(1234);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int differing = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() != b.next())
+            ++differing;
+    }
+    EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, UniformStaysInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(8);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntBoundedAndCoversRange)
+{
+    Rng rng(9);
+    bool seen[10] = {};
+    for (int i = 0; i < 5000; ++i) {
+        const uint64_t v = rng.uniformInt(10);
+        ASSERT_LT(v, 10u);
+        seen[v] = true;
+    }
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Rng, NormalHasApproximatelyUnitMoments)
+{
+    Rng rng(10);
+    double sum = 0.0, sum_sq = 0.0;
+    constexpr int kSamples = 200000;
+    for (int i = 0; i < kSamples; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sum_sq += x * x;
+    }
+    const double mean = sum / kSamples;
+    const double var = sum_sq / kSamples - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng rng(11);
+    int hits = 0;
+    constexpr int kTrials = 100000;
+    for (int i = 0; i < kTrials; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.01);
+}
+
+TEST(Rng, ForkProducesDecorrelatedStream)
+{
+    Rng parent(12);
+    Rng child = parent.fork();
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (parent.next() == child.next())
+            ++equal;
+    }
+    EXPECT_LT(equal, 4);
+}
+
+} // namespace
+} // namespace cdma

@@ -1,0 +1,97 @@
+/** @file Unit tests for the statistics accumulators. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace cdma {
+namespace {
+
+TEST(Accumulator, EmptyDefaults)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, KnownMoments)
+{
+    Accumulator acc;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        acc.add(v);
+    EXPECT_EQ(acc.count(), 8u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+    EXPECT_NEAR(acc.variance(), 4.0, 1e-12);
+    EXPECT_NEAR(acc.stddev(), 2.0, 1e-12);
+}
+
+TEST(Accumulator, ResetClearsState)
+{
+    Accumulator acc;
+    acc.add(10.0);
+    acc.reset();
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.sum(), 0.0);
+}
+
+TEST(WeightedMean, MatchesHandComputation)
+{
+    // The Figure 11 reduction: per-layer ratios weighted by offloaded
+    // bytes.
+    WeightedMean wm;
+    wm.add(2.0, 100.0);
+    wm.add(4.0, 300.0);
+    EXPECT_DOUBLE_EQ(wm.mean(), (2.0 * 100 + 4.0 * 300) / 400.0);
+    EXPECT_DOUBLE_EQ(wm.totalWeight(), 400.0);
+}
+
+TEST(WeightedMean, EmptyIsZero)
+{
+    WeightedMean wm;
+    EXPECT_DOUBLE_EQ(wm.mean(), 0.0);
+}
+
+TEST(WeightedMean, ZeroWeightSamplesIgnored)
+{
+    WeightedMean wm;
+    wm.add(100.0, 0.0);
+    wm.add(3.0, 10.0);
+    EXPECT_DOUBLE_EQ(wm.mean(), 3.0);
+}
+
+TEST(Histogram, BinsAndClamping)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);   // bin 0
+    h.add(9.99);  // bin 9
+    h.add(-5.0);  // clamps to bin 0
+    h.add(42.0);  // clamps to bin 9
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(9), 2u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, BinEdges)
+{
+    Histogram h(0.0, 1.0, 4);
+    EXPECT_DOUBLE_EQ(h.binLo(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.binLo(2), 0.5);
+}
+
+TEST(Histogram, RenderMentionsCounts)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.25);
+    h.add(0.75);
+    h.add(0.8);
+    const std::string text = h.render(10);
+    EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+} // namespace
+} // namespace cdma

@@ -1,0 +1,96 @@
+/** @file Unit tests for the compression analysis helpers. */
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "compress/analysis.hh"
+#include "sparsity/generator.hh"
+
+namespace cdma {
+namespace {
+
+std::vector<uint8_t>
+wordsToBytes(const std::vector<float> &words)
+{
+    std::vector<uint8_t> bytes(words.size() * 4);
+    std::memcpy(bytes.data(), words.data(), bytes.size());
+    return bytes;
+}
+
+TEST(RunStats, CountsRunsExactly)
+{
+    // words: 0 0 0 X 0 X X 0 0  -> zero runs: 3 (len 3, 1, 2)
+    const std::vector<float> words = {0, 0, 0, 5, 0, 7, 8, 0, 0};
+    const RunStats stats = analyzeRuns(wordsToBytes(words));
+    EXPECT_EQ(stats.total_words, 9u);
+    EXPECT_EQ(stats.zero_words, 6u);
+    EXPECT_EQ(stats.zero_runs, 3u);
+    EXPECT_EQ(stats.longest_zero_run, 3u);
+    EXPECT_DOUBLE_EQ(stats.mean_zero_run, 2.0);
+    EXPECT_DOUBLE_EQ(stats.zeroFraction(), 6.0 / 9.0);
+}
+
+TEST(RunStats, AllZeroAndAllDense)
+{
+    const std::vector<float> zeros(100, 0.0f);
+    const RunStats z = analyzeRuns(wordsToBytes(zeros));
+    EXPECT_EQ(z.zero_runs, 1u);
+    EXPECT_EQ(z.longest_zero_run, 100u);
+
+    std::vector<float> dense(100, 1.0f);
+    const RunStats d = analyzeRuns(wordsToBytes(dense));
+    EXPECT_EQ(d.zero_runs, 0u);
+    EXPECT_DOUBLE_EQ(d.zeroFraction(), 0.0);
+}
+
+TEST(RunStats, ClusteringIndexDetectsStructure)
+{
+    // i.i.d. placement -> index ~1; generated clustered data -> >> 1.
+    Rng rng(9);
+    std::vector<float> iid(1 << 16);
+    for (auto &w : iid)
+        w = rng.bernoulli(0.5) ? 1.0f : 0.0f;
+    const RunStats iid_stats = analyzeRuns(wordsToBytes(iid));
+    EXPECT_NEAR(iid_stats.clusteringIndex(), 1.0, 0.1);
+
+    ActivationGenerator gen;
+    Rng gen_rng(10);
+    const Tensor4D clustered = gen.generate(
+        Shape4D{1, 16, 64, 64}, Layout::NCHW, 0.5, gen_rng);
+    const RunStats c_stats = analyzeRuns(clustered.rawBytes());
+    EXPECT_GT(c_stats.clusteringIndex(), 3.0);
+}
+
+TEST(WindowProfile, RatiosBracketMean)
+{
+    ActivationGenerator gen;
+    Rng rng(11);
+    const Tensor4D data = gen.generate(Shape4D{1, 16, 64, 64},
+                                       Layout::NCHW, 0.4, rng);
+    const WindowProfile profile =
+        profileWindows(Algorithm::Zvc, data.rawBytes());
+    EXPECT_FALSE(profile.window_bytes.empty());
+    EXPECT_LE(profile.min_ratio, profile.mean_ratio);
+    EXPECT_GE(profile.max_ratio, profile.mean_ratio);
+    EXPECT_GE(profile.min_ratio, 1.0); // store-raw floor
+}
+
+TEST(WindowProfile, EmptyInput)
+{
+    const WindowProfile profile = profileWindows(Algorithm::Rle, {});
+    EXPECT_TRUE(profile.window_bytes.empty());
+    EXPECT_DOUBLE_EQ(profile.mean_ratio, 1.0);
+}
+
+TEST(WindowProfile, WindowCountMatchesInput)
+{
+    std::vector<uint8_t> bytes(10000, 0);
+    const WindowProfile profile =
+        profileWindows(Algorithm::Zvc, bytes, 4096);
+    EXPECT_EQ(profile.window_bytes.size(), 3u);
+}
+
+} // namespace
+} // namespace cdma

@@ -1,0 +1,94 @@
+/** @file Unit tests for the LSB-first bit stream. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "compress/bitstream.hh"
+
+namespace cdma {
+namespace {
+
+TEST(BitStream, SingleBitsRoundTrip)
+{
+    BitWriter writer;
+    const int pattern[] = {1, 0, 1, 1, 0, 0, 1, 0, 1};
+    for (int bit : pattern)
+        writer.put(static_cast<uint32_t>(bit), 1);
+    const auto bytes = writer.finish();
+
+    BitReader reader(bytes);
+    for (int bit : pattern)
+        EXPECT_EQ(reader.getBit(), static_cast<uint32_t>(bit));
+}
+
+TEST(BitStream, MultiBitFieldsRoundTrip)
+{
+    BitWriter writer;
+    writer.put(0b101, 3);
+    writer.put(0xDEAD, 16);
+    writer.put(0x3FFFFFFF, 30);
+    const auto bytes = writer.finish();
+
+    BitReader reader(bytes);
+    EXPECT_EQ(reader.get(3), 0b101u);
+    EXPECT_EQ(reader.get(16), 0xDEADu);
+    EXPECT_EQ(reader.get(30), 0x3FFFFFFFu);
+}
+
+TEST(BitStream, ZeroBitWriteIsNoop)
+{
+    BitWriter writer;
+    writer.put(0xFFFF, 0);
+    EXPECT_EQ(writer.bitCount(), 0u);
+    writer.put(1, 1);
+    EXPECT_EQ(writer.bitCount(), 1u);
+}
+
+TEST(BitStream, FinalByteIsZeroPadded)
+{
+    BitWriter writer;
+    writer.put(1, 1);
+    const auto bytes = writer.finish();
+    ASSERT_EQ(bytes.size(), 1u);
+    EXPECT_EQ(bytes[0], 0x01);
+}
+
+TEST(BitStream, ExhaustedDetectsEnd)
+{
+    BitWriter writer;
+    writer.put(0xAB, 8);
+    const auto bytes = writer.finish();
+    BitReader reader(bytes);
+    EXPECT_FALSE(reader.exhausted(8));
+    reader.get(8);
+    EXPECT_TRUE(reader.exhausted(1));
+}
+
+TEST(BitStreamDeathTest, ReadPastEndPanics)
+{
+    std::vector<uint8_t> one_byte = {0xFF};
+    BitReader reader(one_byte);
+    reader.get(8);
+    EXPECT_DEATH(reader.get(1), "exhausted");
+}
+
+TEST(BitStream, RandomFieldsRoundTrip)
+{
+    Rng rng(42);
+    std::vector<std::pair<uint32_t, int>> fields;
+    BitWriter writer;
+    for (int i = 0; i < 500; ++i) {
+        const int width = 1 + static_cast<int>(rng.uniformInt(24));
+        const uint32_t value = static_cast<uint32_t>(
+            rng.next() & ((1ull << width) - 1));
+        fields.emplace_back(value, width);
+        writer.put(value, width);
+    }
+    const auto bytes = writer.finish();
+    BitReader reader(bytes);
+    for (auto [value, width] : fields)
+        EXPECT_EQ(reader.get(width), value);
+}
+
+} // namespace
+} // namespace cdma

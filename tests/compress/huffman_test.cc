@@ -1,0 +1,179 @@
+/** @file Unit tests for the canonical Huffman codec. */
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "compress/huffman.hh"
+
+namespace cdma {
+namespace {
+
+/** Kraft sum in units of 2^-max over the nonzero lengths. */
+uint64_t
+kraftSum(const std::vector<uint8_t> &lengths, int max_length)
+{
+    uint64_t k = 0;
+    for (uint8_t len : lengths) {
+        if (len)
+            k += 1ull << (max_length - len);
+    }
+    return k;
+}
+
+TEST(Huffman, EmptyFrequencyTableGivesNoCodes)
+{
+    const auto lengths = buildCodeLengths({0, 0, 0}, 15);
+    for (uint8_t len : lengths)
+        EXPECT_EQ(len, 0);
+}
+
+TEST(Huffman, SingleSymbolGetsOneBit)
+{
+    const auto lengths = buildCodeLengths({0, 7, 0}, 15);
+    EXPECT_EQ(lengths[1], 1);
+    EXPECT_EQ(lengths[0], 0);
+}
+
+TEST(Huffman, FrequentSymbolsGetShorterCodes)
+{
+    const auto lengths = buildCodeLengths({1000, 10, 10, 10}, 15);
+    EXPECT_LE(lengths[0], lengths[1]);
+    EXPECT_LE(lengths[0], lengths[2]);
+}
+
+TEST(Huffman, LengthsSatisfyKraft)
+{
+    const auto lengths = buildCodeLengths({5, 9, 12, 13, 16, 45}, 15);
+    EXPECT_LE(kraftSum(lengths, 15), 1ull << 15);
+}
+
+TEST(Huffman, LengthLimitIsEnforced)
+{
+    // Fibonacci-like frequencies force a maximally skewed tree whose raw
+    // depths exceed small limits.
+    std::vector<uint64_t> freqs;
+    uint64_t a = 1, b = 1;
+    for (int i = 0; i < 30; ++i) {
+        freqs.push_back(a);
+        const uint64_t next = a + b;
+        a = b;
+        b = next;
+    }
+    for (int limit : {8, 10, 15}) {
+        const auto lengths = buildCodeLengths(freqs, limit);
+        for (uint8_t len : lengths)
+            EXPECT_LE(len, limit);
+        EXPECT_LE(kraftSum(lengths, limit), 1ull << limit);
+    }
+}
+
+TEST(Huffman, EncodeDecodeRoundTrip)
+{
+    const std::vector<uint64_t> freqs = {50, 30, 10, 5, 3, 2};
+    const auto lengths = buildCodeLengths(freqs, 15);
+    const HuffmanEncoder encoder(lengths);
+    const HuffmanDecoder decoder(lengths);
+
+    Rng rng(5);
+    std::vector<int> symbols;
+    BitWriter writer;
+    for (int i = 0; i < 2000; ++i) {
+        const int symbol = static_cast<int>(rng.uniformInt(freqs.size()));
+        symbols.push_back(symbol);
+        encoder.encode(writer, symbol);
+    }
+    const auto bytes = writer.finish();
+    BitReader reader(bytes);
+    for (int expected : symbols)
+        EXPECT_EQ(decoder.decode(reader), expected);
+}
+
+TEST(Huffman, SingleSymbolStreamRoundTrips)
+{
+    const auto lengths = buildCodeLengths({0, 0, 42}, 15);
+    const HuffmanEncoder encoder(lengths);
+    const HuffmanDecoder decoder(lengths);
+    BitWriter writer;
+    for (int i = 0; i < 10; ++i)
+        encoder.encode(writer, 2);
+    const auto bytes = writer.finish();
+    BitReader reader(bytes);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(decoder.decode(reader), 2);
+}
+
+TEST(Huffman, CompressionBeatsFixedWidthOnSkewedData)
+{
+    // 256-symbol alphabet, heavily skewed: entropy coding must beat the
+    // 8-bit fixed-width baseline.
+    std::vector<uint64_t> freqs(256, 1);
+    freqs[0] = 100000;
+    freqs[1] = 50000;
+    const auto lengths = buildCodeLengths(freqs, 15);
+    const HuffmanEncoder encoder(lengths);
+
+    Rng rng(6);
+    BitWriter writer;
+    constexpr int kSymbols = 10000;
+    for (int i = 0; i < kSymbols; ++i) {
+        // ~2/3 zeros, ~1/3 ones, sprinkle of others: matches the skew.
+        const double u = rng.uniform();
+        int symbol;
+        if (u < 0.65)
+            symbol = 0;
+        else if (u < 0.97)
+            symbol = 1;
+        else
+            symbol = static_cast<int>(rng.uniformInt(256));
+        encoder.encode(writer, symbol);
+    }
+    EXPECT_LT(writer.bitCount(), static_cast<uint64_t>(kSymbols) * 8 / 2);
+}
+
+class HuffmanRandomRoundTrip : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(HuffmanRandomRoundTrip, ArbitraryFrequencyTables)
+{
+    Rng rng(GetParam());
+    const size_t alphabet = 2 + rng.uniformInt(300);
+    std::vector<uint64_t> freqs(alphabet);
+    for (auto &f : freqs)
+        f = rng.uniformInt(1000); // zeros allowed
+    // Ensure at least two usable symbols.
+    freqs[0] += 1;
+    freqs[1] += 1;
+
+    const auto lengths = buildCodeLengths(freqs, 15);
+    EXPECT_LE(kraftSum(lengths, 15), 1ull << 15);
+
+    const HuffmanEncoder encoder(lengths);
+    const HuffmanDecoder decoder(lengths);
+    std::vector<int> usable;
+    for (size_t s = 0; s < alphabet; ++s) {
+        if (freqs[s])
+            usable.push_back(static_cast<int>(s));
+    }
+    BitWriter writer;
+    std::vector<int> sent;
+    for (int i = 0; i < 500; ++i) {
+        const int symbol =
+            usable[rng.uniformInt(usable.size())];
+        sent.push_back(symbol);
+        encoder.encode(writer, symbol);
+    }
+    const auto bytes = writer.finish();
+    BitReader reader(bytes);
+    for (int expected : sent)
+        EXPECT_EQ(decoder.decode(reader), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HuffmanRandomRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+} // namespace
+} // namespace cdma

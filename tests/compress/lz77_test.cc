@@ -1,0 +1,116 @@
+/** @file Unit tests for the LZ77 tokenizer. */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "compress/lz77.hh"
+
+namespace cdma {
+namespace {
+
+std::vector<uint8_t>
+toBytes(const std::string &text)
+{
+    return {text.begin(), text.end()};
+}
+
+TEST(Lz77, EmptyInputNoTokens)
+{
+    EXPECT_TRUE(lz77Tokenize({}).empty());
+}
+
+TEST(Lz77, AllLiteralsWhenNoRepeats)
+{
+    const auto input = toBytes("abcdefg");
+    const auto tokens = lz77Tokenize(input);
+    EXPECT_EQ(tokens.size(), input.size());
+    for (const auto &t : tokens)
+        EXPECT_FALSE(t.is_match);
+    EXPECT_EQ(lz77Reconstruct(tokens), input);
+}
+
+TEST(Lz77, FindsSimpleRepeat)
+{
+    const auto input = toBytes("abcabcabcabc");
+    const auto tokens = lz77Tokenize(input);
+    EXPECT_LT(tokens.size(), input.size());
+    bool has_match = false;
+    for (const auto &t : tokens)
+        has_match |= t.is_match;
+    EXPECT_TRUE(has_match);
+    EXPECT_EQ(lz77Reconstruct(tokens), input);
+}
+
+TEST(Lz77, OverlappingMatchRunLengthStyle)
+{
+    // "aaaa...": after one literal, a match with distance 1 covers the
+    // rest (the classic RLE-via-LZ trick).
+    const std::vector<uint8_t> input(300, 'a');
+    const auto tokens = lz77Tokenize(input);
+    EXPECT_LE(tokens.size(), 4u);
+    EXPECT_EQ(lz77Reconstruct(tokens), input);
+}
+
+TEST(Lz77, MatchLengthCapped)
+{
+    const std::vector<uint8_t> input(5000, 0);
+    const auto tokens = lz77Tokenize(input);
+    for (const auto &t : tokens) {
+        if (t.is_match) {
+            EXPECT_LE(t.length, 258);
+        }
+    }
+    EXPECT_EQ(lz77Reconstruct(tokens), input);
+}
+
+TEST(Lz77, RespectsMaxDistance)
+{
+    Lz77Config config;
+    config.max_distance = 16;
+    // Repeat with period 64: matches would need distance 64 > 16, so the
+    // matcher must not emit them.
+    std::vector<uint8_t> input;
+    for (int rep = 0; rep < 4; ++rep) {
+        for (int i = 0; i < 64; ++i)
+            input.push_back(static_cast<uint8_t>(i));
+    }
+    const auto tokens = lz77Tokenize(input, config);
+    for (const auto &t : tokens) {
+        if (t.is_match) {
+            EXPECT_LE(t.distance, 16);
+        }
+    }
+    EXPECT_EQ(lz77Reconstruct(tokens), input);
+}
+
+class Lz77RandomRoundTrip : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(Lz77RandomRoundTrip, ReconstructionIsExact)
+{
+    Rng rng(GetParam());
+    // Mix of compressible runs and incompressible noise.
+    std::vector<uint8_t> input;
+    while (input.size() < 20000) {
+        if (rng.bernoulli(0.5)) {
+            const size_t run = 1 + rng.uniformInt(400);
+            const auto value = static_cast<uint8_t>(rng.uniformInt(4));
+            input.insert(input.end(), run, value);
+        } else {
+            const size_t run = 1 + rng.uniformInt(100);
+            for (size_t i = 0; i < run; ++i)
+                input.push_back(static_cast<uint8_t>(rng.uniformInt(256)));
+        }
+    }
+    const auto tokens = lz77Tokenize(input);
+    EXPECT_EQ(lz77Reconstruct(tokens), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lz77RandomRoundTrip,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+} // namespace
+} // namespace cdma

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Property tests shared by all compressors: losslessness on adversarial
+ * and realistic inputs, framing integrity, and the paper's cross-algorithm
+ * invariants (ZVC layout insensitivity vs RLE sensitivity).
+ */
+
+#include <cstring>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "compress/compressor.hh"
+
+namespace cdma {
+namespace {
+
+/** Generates one of several adversarial byte-stream families. */
+std::vector<uint8_t>
+makeInput(int family, uint64_t seed, size_t size)
+{
+    Rng rng(seed);
+    std::vector<uint8_t> input;
+    input.reserve(size);
+    switch (family) {
+      case 0: // all zero
+        input.assign(size, 0);
+        break;
+      case 1: // uniform random
+        for (size_t i = 0; i < size; ++i)
+            input.push_back(static_cast<uint8_t>(rng.uniformInt(256)));
+        break;
+      case 2: // sparse fp32 words, ReLU-like
+        {
+            std::vector<float> words(size / 4 + 1);
+            for (auto &w : words) {
+                w = rng.bernoulli(0.4)
+                    ? static_cast<float>(std::abs(rng.normal())) : 0.0f;
+            }
+            input.resize(size);
+            std::memcpy(input.data(), words.data(), size);
+        }
+        break;
+      case 3: // long alternating runs
+        while (input.size() < size) {
+            const size_t run = 1 + rng.uniformInt(1000);
+            const uint8_t value = rng.bernoulli(0.5) ? 0 : 0xA5;
+            for (size_t i = 0; i < run && input.size() < size; ++i)
+                input.push_back(value);
+        }
+        break;
+      default: // single repeated byte
+        input.assign(size, 0x42);
+        break;
+    }
+    input.resize(size);
+    return input;
+}
+
+using PropertyParam = std::tuple<Algorithm, int /*family*/,
+                                 size_t /*size*/>;
+
+class CompressorProperty : public ::testing::TestWithParam<PropertyParam>
+{
+};
+
+TEST_P(CompressorProperty, LosslessRoundTrip)
+{
+    auto [algorithm, family, size] = GetParam();
+    const auto input = makeInput(family, 1000 + family, size);
+    const auto compressor = makeCompressor(algorithm);
+    const auto compressed = compressor->compress(input);
+    EXPECT_EQ(compressor->decompress(compressed), input);
+}
+
+TEST_P(CompressorProperty, FramingAccountsForEveryWindow)
+{
+    auto [algorithm, family, size] = GetParam();
+    const auto input = makeInput(family, 2000 + family, size);
+    const auto compressor = makeCompressor(algorithm);
+    const auto compressed = compressor->compress(input);
+
+    const uint64_t window = compressor->windowBytes();
+    EXPECT_EQ(compressed.window_sizes.size(),
+              (input.size() + window - 1) / window);
+    uint64_t payload_total = 0;
+    for (uint32_t s : compressed.window_sizes)
+        payload_total += s;
+    EXPECT_EQ(payload_total, compressed.payload.size());
+    EXPECT_EQ(compressed.original_bytes, input.size());
+}
+
+TEST_P(CompressorProperty, EffectiveBytesNeverExceedRaw)
+{
+    auto [algorithm, family, size] = GetParam();
+    const auto input = makeInput(family, 3000 + family, size);
+    const auto compressor = makeCompressor(algorithm);
+    const auto compressed = compressor->compress(input);
+    EXPECT_LE(compressed.effectiveBytes(), input.size());
+    if (!input.empty()) {
+        EXPECT_GE(compressed.effectiveRatio(), 1.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithmsFamiliesSizes, CompressorProperty,
+    ::testing::Combine(
+        ::testing::Values(Algorithm::Rle, Algorithm::Zvc, Algorithm::Zlib),
+        ::testing::Values(0, 1, 2, 3, 4),
+        ::testing::Values(size_t{0}, size_t{1}, size_t{3}, size_t{4095},
+                          size_t{4096}, size_t{4097}, size_t{100000})),
+    [](const auto &info) {
+        return algorithmName(std::get<0>(info.param)) + "_f" +
+            std::to_string(std::get<1>(info.param)) + "_s" +
+            std::to_string(std::get<2>(info.param));
+    });
+
+TEST(CompressorContrast, ZvcIsLayoutInsensitiveRleIsNot)
+{
+    // Construct "clustered" vs "interleaved" placements of the same zero
+    // population, standing in for NCHW vs NHWC of a spatially clustered
+    // activation map (the Figure 11 mechanism).
+    constexpr size_t kWords = 1 << 16;
+    std::vector<float> clustered(kWords, 0.0f);
+    std::vector<float> interleaved(kWords, 0.0f);
+    Rng rng(4242);
+    for (size_t i = 0; i < kWords; ++i) {
+        // Cluster: zeros fill contiguous blocks of 256 words.
+        const bool block_dense = (i / 256) % 2 == 0;
+        clustered[i] = block_dense
+            ? 1.0f + static_cast<float>(rng.uniform()) : 0.0f;
+        // Interleave: same 50% population but alternating.
+        interleaved[i] = (i % 2 == 0)
+            ? 1.0f + static_cast<float>(rng.uniform()) : 0.0f;
+    }
+    auto bytes = [](const std::vector<float> &words) {
+        std::vector<uint8_t> out(words.size() * 4);
+        std::memcpy(out.data(), words.data(), out.size());
+        return out;
+    };
+
+    const auto zvc = makeCompressor(Algorithm::Zvc);
+    const auto rle = makeCompressor(Algorithm::Rle);
+
+    const double zvc_gap =
+        zvc->measureRatio(bytes(clustered)) /
+        zvc->measureRatio(bytes(interleaved));
+    const double rle_gap =
+        rle->measureRatio(bytes(clustered)) /
+        rle->measureRatio(bytes(interleaved));
+
+    EXPECT_NEAR(zvc_gap, 1.0, 0.02); // ZVC: placement-invariant
+    EXPECT_GT(rle_gap, 1.3);         // RLE: collapses when interleaved
+}
+
+TEST(CompressorRegistry, NamesMatchPaperLabels)
+{
+    EXPECT_EQ(makeCompressor(Algorithm::Rle)->name(), "RL");
+    EXPECT_EQ(makeCompressor(Algorithm::Zvc)->name(), "ZV");
+    EXPECT_EQ(makeCompressor(Algorithm::Zlib)->name(), "ZL");
+    EXPECT_EQ(algorithmName(Algorithm::Rle), "RL");
+    EXPECT_EQ(algorithmName(Algorithm::Zvc), "ZV");
+    EXPECT_EQ(algorithmName(Algorithm::Zlib), "ZL");
+}
+
+TEST(CompressorRegistry, WindowSizePropagates)
+{
+    const auto c = makeCompressor(Algorithm::Zvc, 64 * 1024);
+    EXPECT_EQ(c->windowBytes(), 64u * 1024u);
+}
+
+} // namespace
+} // namespace cdma

@@ -1,0 +1,165 @@
+/** @file Unit tests for zero-value compression (Figure 8 semantics). */
+
+#include <algorithm>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "compress/zvc.hh"
+
+namespace cdma {
+namespace {
+
+std::vector<uint8_t>
+wordsToBytes(const std::vector<float> &words)
+{
+    std::vector<uint8_t> bytes(words.size() * 4);
+    std::memcpy(bytes.data(), words.data(), bytes.size());
+    return bytes;
+}
+
+TEST(Zvc, AllZeroWindowCompresses32x)
+{
+    // 32 zero words (128 B) -> one 4 B mask: the paper's 32x best case.
+    const std::vector<float> words(32, 0.0f);
+    ZvcCompressor zvc;
+    const auto result = zvc.compress(wordsToBytes(words));
+    EXPECT_EQ(result.compressedBytes(), 4u);
+    EXPECT_DOUBLE_EQ(result.ratio(), 32.0);
+}
+
+TEST(Zvc, AllDenseWindowHasMaskOverheadOnly)
+{
+    // 32 dense words -> 4 B mask + 128 B payload: 3.1% metadata overhead.
+    std::vector<float> words(32, 1.0f);
+    ZvcCompressor zvc;
+    const auto result = zvc.compress(wordsToBytes(words));
+    EXPECT_EQ(result.compressedBytes(), 4u + 128u);
+    EXPECT_NEAR(result.ratio(), 128.0 / 132.0, 1e-12);
+}
+
+TEST(Zvc, SixtyPercentZerosGivesRoughly2Point5x)
+{
+    // Section V-A: "If 60% of the total activations are zero-valued, we
+    // would expect an overall compression ratio of 2.5x."
+    Rng rng(17);
+    std::vector<float> words(1 << 16);
+    for (auto &w : words)
+        w = rng.bernoulli(0.6) ? 0.0f : 1.0f + static_cast<float>(
+            rng.uniform());
+    ZvcCompressor zvc;
+    const double ratio = zvc.measureRatio(wordsToBytes(words));
+    // 1 / (0.4 + 1/32) = 2.32; the paper's 2.5x quote ignores the mask.
+    EXPECT_NEAR(ratio, 1.0 / (0.4 + 1.0 / 32.0), 0.05);
+}
+
+TEST(Zvc, RatioIndependentOfZeroPlacement)
+{
+    // The defining ZVC property: only the *count* of zeros matters.
+    constexpr size_t kWords = 4096;
+    std::vector<float> clustered(kWords, 0.0f);
+    std::vector<float> scattered(kWords, 0.0f);
+    // 50% zeros, clustered in the first half vs alternating.
+    for (size_t i = 0; i < kWords / 2; ++i)
+        clustered[kWords / 2 + i] = 3.0f;
+    for (size_t i = 0; i < kWords; i += 2)
+        scattered[i] = 3.0f;
+
+    ZvcCompressor zvc;
+    EXPECT_EQ(zvc.compress(wordsToBytes(clustered)).compressedBytes(),
+              zvc.compress(wordsToBytes(scattered)).compressedBytes());
+}
+
+TEST(Zvc, PredictedBytesMatchesCodec)
+{
+    Rng rng(23);
+    std::vector<float> words(10000);
+    uint64_t nonzero = 0;
+    for (auto &w : words) {
+        if (rng.bernoulli(0.3)) {
+            w = static_cast<float>(rng.normal());
+            if (w != 0.0f)
+                ++nonzero;
+        }
+    }
+    // Single window covering everything so prediction applies exactly.
+    ZvcCompressor zvc(words.size() * 4);
+    const auto result = zvc.compress(wordsToBytes(words));
+    EXPECT_EQ(result.compressedBytes(),
+              ZvcCompressor::predictedBytes(words.size(), nonzero));
+}
+
+TEST(Zvc, RoundTripExactOnRandomSparseData)
+{
+    Rng rng(31);
+    std::vector<float> words(12345);
+    for (auto &w : words)
+        w = rng.bernoulli(0.5) ? 0.0f : static_cast<float>(rng.normal());
+    const auto input = wordsToBytes(words);
+    ZvcCompressor zvc;
+    EXPECT_EQ(zvc.decompress(zvc.compress(input)), input);
+}
+
+TEST(Zvc, RoundTripNonWordAlignedTail)
+{
+    Rng rng(37);
+    std::vector<uint8_t> input(4097 * 4 + 3);
+    for (auto &b : input)
+        b = rng.bernoulli(0.7) ? 0 : static_cast<uint8_t>(rng.uniformInt(
+            256));
+    ZvcCompressor zvc;
+    EXPECT_EQ(zvc.decompress(zvc.compress(input)), input);
+}
+
+TEST(Zvc, EmptyInput)
+{
+    ZvcCompressor zvc;
+    const auto result = zvc.compress({});
+    EXPECT_EQ(result.compressedBytes(), 0u);
+    EXPECT_TRUE(zvc.decompress(result).empty());
+}
+
+TEST(Zvc, NegativeZeroIsNonZeroBitPattern)
+{
+    // -0.0f has a nonzero bit pattern; the hardware compares words, so it
+    // must be kept (lossless!), not compressed away.
+    std::vector<float> words = {-0.0f, 0.0f, 1.0f};
+    const auto input = wordsToBytes(words);
+    ZvcCompressor zvc;
+    const auto result = zvc.compress(input);
+    const auto output = zvc.decompress(result);
+    EXPECT_EQ(output, input);
+    // mask(4) + two non-zero words (8): -0.0 stored explicitly.
+    EXPECT_EQ(result.compressedBytes(), 4u + 8u);
+}
+
+class ZvcDensitySweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ZvcDensitySweep, RatioTracksAnalyticModel)
+{
+    // ratio(d) = 1 / (d + 1/32): mask bit per word plus non-zero payload.
+    const double density = GetParam();
+    Rng rng(101);
+    std::vector<float> words(1 << 17);
+    for (auto &w : words) {
+        w = rng.bernoulli(density)
+            ? 1.0f + static_cast<float>(rng.uniform()) : 0.0f;
+    }
+    ZvcCompressor zvc;
+    const double measured = zvc.measureRatio(wordsToBytes(words));
+    // effectiveRatio applies the store-raw fallback, so fully dense data
+    // floors at 1.0 instead of paying the mask overhead.
+    const double predicted =
+        std::max(1.0, 1.0 / (density + 1.0 / 32.0));
+    EXPECT_NEAR(measured, predicted, predicted * 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, ZvcDensitySweep,
+                         ::testing::Values(0.05, 0.1, 0.25, 0.5, 0.75,
+                                           0.9, 1.0));
+
+} // namespace
+} // namespace cdma

@@ -1,0 +1,116 @@
+/** @file Unit tests for the synthetic dataset generator. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hh"
+
+namespace cdma {
+namespace {
+
+TEST(SyntheticData, BatchShapeAndLabels)
+{
+    SyntheticDataset dataset;
+    const Minibatch batch = dataset.nextTrainBatch(8);
+    EXPECT_EQ(batch.images.shape(), (Shape4D{8, 3, 32, 32}));
+    ASSERT_EQ(batch.labels.size(), 8u);
+    for (int label : batch.labels) {
+        EXPECT_GE(label, 0);
+        EXPECT_LT(label, 10);
+    }
+}
+
+TEST(SyntheticData, DeterministicAcrossInstances)
+{
+    SyntheticDataset a, b;
+    const Minibatch ba = a.nextTrainBatch(4);
+    const Minibatch bb = b.nextTrainBatch(4);
+    EXPECT_EQ(ba.labels, bb.labels);
+    for (size_t i = 0; i < ba.images.data().size(); ++i)
+        EXPECT_EQ(ba.images.data()[i], bb.images.data()[i]);
+}
+
+TEST(SyntheticData, TrainAndValStreamsDiffer)
+{
+    SyntheticDataset dataset;
+    const Minibatch train = dataset.nextTrainBatch(4);
+    const Minibatch val = dataset.nextValBatch(4);
+    int differing = 0;
+    for (size_t i = 0; i < train.images.data().size(); ++i) {
+        if (train.images.data()[i] != val.images.data()[i])
+            ++differing;
+    }
+    EXPECT_GT(differing, 1000);
+}
+
+TEST(SyntheticData, SuccessiveBatchesDiffer)
+{
+    SyntheticDataset dataset;
+    const Minibatch first = dataset.nextTrainBatch(4);
+    const Minibatch second = dataset.nextTrainBatch(4);
+    int differing = 0;
+    for (size_t i = 0; i < first.images.data().size(); ++i) {
+        if (first.images.data()[i] != second.images.data()[i])
+            ++differing;
+    }
+    EXPECT_GT(differing, 1000);
+}
+
+TEST(SyntheticData, SameClassMoreSimilarThanDifferentClass)
+{
+    // The task must be learnable: intra-class distance should be smaller
+    // than inter-class distance on average.
+    SyntheticDataset dataset;
+    Rng rng(1);
+
+    auto render = [&](int label) {
+        Tensor4D image(Shape4D{1, 3, 32, 32});
+        dataset.renderSample(image, 0, label, rng);
+        return image;
+    };
+    auto distance = [](const Tensor4D &a, const Tensor4D &b) {
+        double d = 0.0;
+        for (size_t i = 0; i < a.data().size(); ++i) {
+            const double diff = static_cast<double>(a.data()[i]) -
+                static_cast<double>(b.data()[i]);
+            d += diff * diff;
+        }
+        return d;
+    };
+
+    double intra = 0.0, inter = 0.0;
+    constexpr int kPairs = 20;
+    for (int p = 0; p < kPairs; ++p) {
+        intra += distance(render(3), render(3));
+        inter += distance(render(3), render(7));
+    }
+    EXPECT_LT(intra, inter);
+}
+
+TEST(SyntheticData, ConfigurableGeometry)
+{
+    SyntheticDataConfig config;
+    config.channels = 1;
+    config.height = 16;
+    config.width = 24;
+    config.classes = 4;
+    SyntheticDataset dataset(config);
+    const Minibatch batch = dataset.nextTrainBatch(2);
+    EXPECT_EQ(batch.images.shape(), (Shape4D{2, 1, 16, 24}));
+    for (int label : batch.labels)
+        EXPECT_LT(label, 4);
+}
+
+TEST(SyntheticData, ValuesAreFiniteAndBounded)
+{
+    SyntheticDataset dataset;
+    const Minibatch batch = dataset.nextTrainBatch(8);
+    for (float v : batch.images.data()) {
+        EXPECT_TRUE(std::isfinite(v));
+        EXPECT_LT(std::abs(v), 10.0f);
+    }
+}
+
+} // namespace
+} // namespace cdma

@@ -1,0 +1,72 @@
+/** @file Unit tests for the compression-placement crossbar model. */
+
+#include <gtest/gtest.h>
+
+#include "gpu/crossbar.hh"
+
+namespace cdma {
+namespace {
+
+TEST(Crossbar, McPlacementNeedsOnlyPcieRate)
+{
+    CrossbarModel model;
+    const std::vector<CrossbarTransfer> mix = {
+        {1'000'000, 2.0}, {1'000'000, 13.8}};
+    const auto demand =
+        model.demand(CompressionPlacement::MemoryController, mix);
+    EXPECT_DOUBLE_EQ(demand.peak_bandwidth, 16e9);
+    EXPECT_DOUBLE_EQ(demand.overprovision_factor, 1.0);
+}
+
+TEST(Crossbar, DmaPlacementScalesWithRatio)
+{
+    // The Section V-B argument: 13.8x compression at 16 GB/s PCIe needs
+    // 220.8 GB/s of crossbar bandwidth into the DMA engine.
+    CrossbarModel model;
+    const std::vector<CrossbarTransfer> mix = {{1'000'000, 13.8}};
+    const auto demand =
+        model.demand(CompressionPlacement::DmaEngine, mix);
+    EXPECT_NEAR(demand.peak_bandwidth, 220.8e9, 1e6);
+    EXPECT_NEAR(demand.overprovision_factor, 13.8, 1e-9);
+}
+
+TEST(Crossbar, McPlacementMovesCompressedBytes)
+{
+    CrossbarModel model;
+    const std::vector<CrossbarTransfer> mix = {{1'000'000, 4.0}};
+    const auto mc =
+        model.demand(CompressionPlacement::MemoryController, mix);
+    const auto dma = model.demand(CompressionPlacement::DmaEngine, mix);
+    EXPECT_EQ(mc.total_bytes, 250'000u);
+    EXPECT_EQ(dma.total_bytes, 1'000'000u);
+}
+
+TEST(Crossbar, IncompressibleTransfersEqualizePlacements)
+{
+    CrossbarModel model;
+    const std::vector<CrossbarTransfer> mix = {{1'000'000, 1.0}};
+    const auto mc =
+        model.demand(CompressionPlacement::MemoryController, mix);
+    const auto dma = model.demand(CompressionPlacement::DmaEngine, mix);
+    EXPECT_DOUBLE_EQ(mc.peak_bandwidth, dma.peak_bandwidth);
+    EXPECT_EQ(mc.total_bytes, dma.total_bytes);
+}
+
+TEST(Crossbar, PeakIsMaxOverMix)
+{
+    CrossbarModel model;
+    const std::vector<CrossbarTransfer> mix = {
+        {100, 2.0}, {100, 8.0}, {100, 3.0}};
+    const auto demand =
+        model.demand(CompressionPlacement::DmaEngine, mix);
+    EXPECT_DOUBLE_EQ(demand.peak_bandwidth, 8.0 * 16e9);
+}
+
+TEST(Crossbar, PlacementNames)
+{
+    EXPECT_NE(placementName(CompressionPlacement::MemoryController),
+              placementName(CompressionPlacement::DmaEngine));
+}
+
+} // namespace
+} // namespace cdma

@@ -1,0 +1,47 @@
+/** @file Unit tests for the GPU node specification constants. */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_spec.hh"
+
+namespace cdma {
+namespace {
+
+TEST(GpuSpec, TitanXDefaults)
+{
+    const GpuSpec spec;
+    EXPECT_DOUBLE_EQ(spec.dram_bandwidth, 336e9);
+    EXPECT_DOUBLE_EQ(spec.pcie_bandwidth, 16e9);
+    EXPECT_DOUBLE_EQ(spec.pcie_effective_bandwidth, 12.8e9);
+    EXPECT_EQ(spec.dram_capacity, 12ull * 1024 * 1024 * 1024);
+}
+
+TEST(GpuSpec, LeftoverBandwidthIs236)
+{
+    // Section VI: 336 - 100 = 236 GB/s available to cDMA.
+    const GpuSpec spec;
+    EXPECT_DOUBLE_EQ(spec.leftoverBandwidth(), 236e9);
+    // The provisioned COMP_BW must fit inside it.
+    EXPECT_LE(spec.comp_bandwidth, spec.leftoverBandwidth());
+}
+
+TEST(GpuSpec, DmaBufferIsBandwidthDelayProduct)
+{
+    const GpuSpec spec;
+    EXPECT_EQ(spec.dmaBufferBytes(), 70'000u);
+
+    GpuSpec custom = spec;
+    custom.comp_bandwidth = 100e9;
+    EXPECT_EQ(custom.dmaBufferBytes(), 35'000u);
+}
+
+TEST(GpuSpec, CapRatioArithmetic)
+{
+    // COMP_BW / PCIe = 12.5: layers compressing harder than this see
+    // inflated transfer latency (Section VI).
+    const GpuSpec spec;
+    EXPECT_DOUBLE_EQ(spec.comp_bandwidth / spec.pcie_bandwidth, 12.5);
+}
+
+} // namespace
+} // namespace cdma

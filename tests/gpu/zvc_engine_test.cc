@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the ZVC engine cycle model: its payload must be
+ * bit-identical to the functional ZvcCompressor at line granularity, and
+ * its timing must match the paper's Figure 10 numbers (6 cycles per
+ * 128 B line to compress, 32 B/cycle throughput).
+ */
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "compress/zvc.hh"
+#include "gpu/zvc_engine.hh"
+
+namespace cdma {
+namespace {
+
+std::vector<uint8_t>
+randomSparseWords(size_t words, double density, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> values(words);
+    for (auto &v : values)
+        v = rng.bernoulli(density)
+            ? static_cast<float>(std::abs(rng.normal())) : 0.0f;
+    std::vector<uint8_t> bytes(words * 4);
+    std::memcpy(bytes.data(), values.data(), bytes.size());
+    return bytes;
+}
+
+TEST(ZvcEngine, SingleLineLatencyMatchesFigure10)
+{
+    // "The total latency to compress a 128-byte line is six cycles, four
+    // 32B sectors moving through a three-stage pipeline."
+    EXPECT_EQ(ZvcEngineModel::compressCycles(128), 6u);
+}
+
+TEST(ZvcEngine, ThroughputIs32BytesPerCycle)
+{
+    EXPECT_DOUBLE_EQ(ZvcEngineModel::throughput(1e9), 32e9);
+    // At the Titan X boost clock (~1.075 GHz) one engine sustains
+    // ~34 GB/s; the six memory-controller engines of Figure 9 together
+    // cover the 200 GB/s COMP_BW budget.
+    EXPECT_GT(6.0 * ZvcEngineModel::throughput(1.075e9), 200e9);
+}
+
+TEST(ZvcEngine, SteadyStatePipelineCycles)
+{
+    // N sectors take N + 2 cycles (pipeline fill), i.e. asymptotically
+    // one sector per cycle.
+    EXPECT_EQ(ZvcEngineModel::compressCycles(32), 3u);
+    EXPECT_EQ(ZvcEngineModel::compressCycles(320), 12u);
+    EXPECT_EQ(ZvcEngineModel::compressCycles(0), 0u);
+}
+
+TEST(ZvcEngine, PayloadMatchesFunctionalCompressor)
+{
+    // The engine's line-oriented output must equal ZvcCompressor with a
+    // 128 B window (one 32-word mask per line).
+    const auto input = randomSparseWords(4096, 0.4, 77);
+    ZvcEngineModel engine;
+    const auto hw = engine.compress(input);
+
+    ZvcCompressor sw(ZvcEngineModel::kLineBytes);
+    const auto reference = sw.compress(input);
+    EXPECT_EQ(hw.payload, reference.payload);
+}
+
+TEST(ZvcEngine, DecompressInvertsCompress)
+{
+    const auto input = randomSparseWords(2048, 0.3, 78);
+    ZvcEngineModel engine;
+    const auto compressed = engine.compress(input);
+    const auto restored = engine.decompress(compressed.payload,
+                                            input.size());
+    EXPECT_EQ(restored.payload, input);
+}
+
+TEST(ZvcEngine, DecompressLatencyIsTwoCyclesOverStreaming)
+{
+    const auto input = randomSparseWords(256, 0.5, 79);
+    ZvcEngineModel engine;
+    const auto compressed = engine.compress(input);
+    const auto restored = engine.decompress(compressed.payload,
+                                            input.size());
+    EXPECT_EQ(restored.cycles, restored.sectors +
+                                   ZvcEngineModel::kDecompressLatency);
+}
+
+TEST(ZvcEngine, AllZeroLineCompressesToMaskOnly)
+{
+    const std::vector<uint8_t> zeros(128, 0);
+    ZvcEngineModel engine;
+    const auto result = engine.compress(zeros);
+    EXPECT_EQ(result.payload.size(), 4u);
+    EXPECT_EQ(result.cycles, 6u);
+}
+
+TEST(ZvcEngine, DenseLineCarriesFullPayload)
+{
+    std::vector<uint8_t> dense(128, 0xFF);
+    ZvcEngineModel engine;
+    const auto result = engine.compress(dense);
+    EXPECT_EQ(result.payload.size(), 4u + 128u);
+}
+
+TEST(ZvcEngineDeathTest, RejectsUnalignedInput)
+{
+    ZvcEngineModel engine;
+    const std::vector<uint8_t> unaligned(33, 0);
+    EXPECT_DEATH(engine.compress(unaligned), "sector aligned");
+}
+
+} // namespace
+} // namespace cdma

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Cross-module integration tests: the complete reproduction pipeline on
+ * real data, end to end — train a scaled network with SGD, compress its
+ * actual activation maps, describe the live network, and replay a
+ * training iteration in the DES. These tests guard the seams between
+ * the training framework, the codecs, the descriptors, and the
+ * simulator that the figure harnesses rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cdma/engine.hh"
+#include "common/rng.hh"
+#include "data/synthetic.hh"
+#include "dnn/trainer.hh"
+#include "models/describe.hh"
+#include "models/scaled.hh"
+#include "perf/step_sim.hh"
+#include "sparsity/schedule.hh"
+
+namespace cdma {
+namespace {
+
+/** Train a scaled network briefly and return it with data still loaded. */
+struct TrainedNet {
+    Network net;
+    double accuracy = 0.0;
+
+    explicit TrainedNet(const std::string &name, int iterations = 80)
+    {
+        Rng rng(2025);
+        net = buildScaledByName(name, rng);
+        SyntheticDataset dataset;
+        TrainConfig config;
+        config.iterations = iterations;
+        config.batch_size = 16;
+        config.snapshot_every = iterations;
+        Trainer trainer(net, dataset, config);
+        trainer.run();
+        accuracy = trainer.evaluate(2);
+        // Leave a forward pass's activations in place for inspection.
+        Minibatch probe = dataset.nextValBatch(8);
+        net.setTraining(false);
+        net.forward(probe.images);
+    }
+};
+
+TEST(Pipeline, RealActivationsCompressAboveDensityBound)
+{
+    TrainedNet trained("AlexNet");
+    const auto zvc = makeCompressor(Algorithm::Zvc);
+    int checked = 0;
+    for (const auto &record : trained.net.activationRecords()) {
+        if (!record.relu_sparse)
+            continue;
+        const Tensor4D &map =
+            trained.net.outputs()[record.output_index];
+        const double ratio = zvc->measureRatio(map.rawBytes());
+        // ZVC's ratio on real data must match its analytic form within
+        // ~5%: 1/(density + 1/32), floored at 1.
+        const double predicted =
+            std::max(1.0, 1.0 / (record.density + 1.0 / 32.0));
+        EXPECT_NEAR(ratio, predicted, predicted * 0.05) << record.label;
+        ++checked;
+    }
+    EXPECT_GE(checked, 4);
+}
+
+TEST(Pipeline, RealActivationsRoundTripThroughAllCodecs)
+{
+    TrainedNet trained("VGG", 40);
+    for (const auto &record : trained.net.activationRecords()) {
+        const Tensor4D &map =
+            trained.net.outputs()[record.output_index];
+        const auto raw = map.rawBytes();
+        for (Algorithm algorithm : kAllAlgorithms) {
+            const auto compressor = makeCompressor(algorithm);
+            const auto compressed = compressor->compress(raw);
+            const auto restored = compressor->decompress(compressed);
+            ASSERT_EQ(restored.size(), raw.size());
+            EXPECT_TRUE(std::equal(restored.begin(), restored.end(),
+                                   raw.begin()))
+                << record.label << " under "
+                << algorithmName(algorithm);
+        }
+    }
+}
+
+TEST(Pipeline, DescribedNetworkDrivesSimulator)
+{
+    TrainedNet trained("AlexNet", 40);
+    const NetworkDesc desc = describeNetwork(
+        "ScaledAlexNet", trained.net, Shape4D{1, 3, 32, 32}, 16);
+
+    // Real per-layer ZVC ratios from the trained activations.
+    const auto zvc = makeCompressor(Algorithm::Zvc);
+    std::vector<double> ratios;
+    for (const auto &record : trained.net.activationRecords()) {
+        const Tensor4D &map =
+            trained.net.outputs()[record.output_index];
+        ratios.push_back(zvc->measureRatio(map.rawBytes()));
+    }
+    ASSERT_EQ(ratios.size(), desc.layers.size());
+
+    VdnnMemoryManager manager(desc, 16);
+    CdmaEngine engine(CdmaConfig{});
+    PerfModel perf;
+    StepSimulator sim(manager, engine, perf, CudnnVersion::V5);
+    const StepResult oracle = sim.run(StepMode::Oracle);
+    const StepResult vdnn = sim.run(StepMode::Vdnn);
+    const StepResult cdma = sim.run(StepMode::Cdma, ratios);
+
+    EXPECT_GT(oracle.total_seconds, 0.0);
+    EXPECT_GE(vdnn.total_seconds, oracle.total_seconds - 1e-15);
+    EXPECT_LE(cdma.total_seconds, vdnn.total_seconds + 1e-15);
+    EXPECT_LT(cdma.wire_transfer_bytes, vdnn.wire_transfer_bytes);
+}
+
+TEST(Pipeline, ScheduleRanksLayersLikeRealTraining)
+{
+    // The analytic density schedule should agree with real training on
+    // the *ordering*: FC rows sparser than the first conv row.
+    TrainedNet trained("AlexNet");
+    const auto records = trained.net.activationRecords();
+
+    double first_conv = -1.0, min_fc = 2.0;
+    for (const auto &record : records) {
+        if (record.type == "conv" && first_conv < 0.0)
+            first_conv = record.density;
+        if (record.type == "fc" && record.relu_sparse)
+            min_fc = std::min(min_fc, record.density);
+    }
+    ASSERT_GT(first_conv, 0.0);
+    ASSERT_LT(min_fc, 2.0);
+    EXPECT_LT(min_fc, first_conv);
+}
+
+TEST(Pipeline, TrainingImprovesOverInitialization)
+{
+    TrainedNet trained("NiN", 60);
+    EXPECT_GT(trained.accuracy, 0.2); // chance is 0.1
+}
+
+TEST(Pipeline, CdmaEngineOnRealTensors)
+{
+    TrainedNet trained("SqueezeNet", 40);
+    CdmaConfig config;
+    config.algorithm = Algorithm::Zvc;
+    CdmaEngine engine(config);
+
+    uint64_t raw_total = 0, wire_total = 0;
+    for (const auto &record : trained.net.activationRecords()) {
+        const Tensor4D &map =
+            trained.net.outputs()[record.output_index];
+        const TransferPlan plan =
+            engine.planTransfer(record.label, map.rawBytes());
+        raw_total += plan.raw_bytes;
+        wire_total += plan.wire_bytes;
+        EXPECT_GE(plan.ratio, 1.0) << record.label;
+        EXPECT_GT(plan.seconds, 0.0) << record.label;
+    }
+    // Network-wide, real trained activations must compress beyond 1.5x.
+    EXPECT_GT(static_cast<double>(raw_total) /
+                  static_cast<double>(wire_total),
+              1.5);
+}
+
+} // namespace
+} // namespace cdma

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit tests for the full-size network descriptors: layer shapes must
+ * match the published architectures (several are printed verbatim in the
+ * paper's Figure 5), and aggregate MAC/byte counts must land in the known
+ * ballparks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "models/desc.hh"
+
+namespace cdma {
+namespace {
+
+const LayerDesc &
+findLayer(const NetworkDesc &network, const std::string &name)
+{
+    for (const auto &layer : network.layers) {
+        if (layer.name == name)
+            return layer;
+    }
+    ADD_FAILURE() << "layer " << name << " not found in " << network.name;
+    static LayerDesc dummy;
+    return dummy;
+}
+
+TEST(AlexNetDesc, ShapesMatchFigure5)
+{
+    const NetworkDesc net = alexNetDesc();
+    // Figure 5 annotates (C, H, W) for every AlexNet layer.
+    EXPECT_EQ(findLayer(net, "conv0").shape(1), (Shape4D{1, 96, 55, 55}));
+    EXPECT_EQ(findLayer(net, "pool0").shape(1), (Shape4D{1, 96, 27, 27}));
+    EXPECT_EQ(findLayer(net, "conv1").shape(1),
+              (Shape4D{1, 256, 27, 27}));
+    EXPECT_EQ(findLayer(net, "pool1").shape(1),
+              (Shape4D{1, 256, 13, 13}));
+    EXPECT_EQ(findLayer(net, "conv2").shape(1),
+              (Shape4D{1, 384, 13, 13}));
+    EXPECT_EQ(findLayer(net, "conv3").shape(1),
+              (Shape4D{1, 384, 13, 13}));
+    EXPECT_EQ(findLayer(net, "conv4").shape(1),
+              (Shape4D{1, 256, 13, 13}));
+    EXPECT_EQ(findLayer(net, "pool2").shape(1), (Shape4D{1, 256, 6, 6}));
+    EXPECT_EQ(findLayer(net, "fc1").shape(1), (Shape4D{1, 4096, 1, 1}));
+    EXPECT_EQ(findLayer(net, "fc2").shape(1), (Shape4D{1, 4096, 1, 1}));
+}
+
+TEST(AlexNetDesc, MacsInKnownBallpark)
+{
+    // AlexNet forward is ~0.7 GMAC/image (single-tower grouping).
+    const NetworkDesc net = alexNetDesc();
+    const double gmacs =
+        static_cast<double>(net.totalMacsPerImage()) / 1e9;
+    EXPECT_GT(gmacs, 0.5);
+    EXPECT_LT(gmacs, 1.3);
+}
+
+TEST(AlexNetDesc, TableOneBatch)
+{
+    EXPECT_EQ(alexNetDesc().default_batch, 256);
+    EXPECT_EQ(ninDesc().default_batch, 128);
+    EXPECT_EQ(vggDesc().default_batch, 128);
+    EXPECT_EQ(squeezeNetDesc().default_batch, 512);
+    EXPECT_EQ(googLeNetDesc().default_batch, 256);
+    EXPECT_EQ(overFeatDesc().default_batch, 256);
+}
+
+TEST(VggDesc, ShapesMatchArchitecture)
+{
+    const NetworkDesc net = vggDesc();
+    EXPECT_EQ(findLayer(net, "conv1_2").shape(1),
+              (Shape4D{1, 64, 224, 224}));
+    EXPECT_EQ(findLayer(net, "conv3_3").shape(1),
+              (Shape4D{1, 256, 56, 56}));
+    EXPECT_EQ(findLayer(net, "conv5_3").shape(1),
+              (Shape4D{1, 512, 14, 14}));
+    EXPECT_EQ(findLayer(net, "pool5").shape(1), (Shape4D{1, 512, 7, 7}));
+    EXPECT_EQ(findLayer(net, "fc6").shape(1), (Shape4D{1, 4096, 1, 1}));
+}
+
+TEST(VggDesc, MacsAreLargest)
+{
+    // VGG-16 forward is ~15.5 GMAC/image, the heaviest of the six.
+    const NetworkDesc vgg = vggDesc();
+    const double gmacs =
+        static_cast<double>(vgg.totalMacsPerImage()) / 1e9;
+    EXPECT_GT(gmacs, 13.0);
+    EXPECT_LT(gmacs, 18.0);
+    for (const auto &other : allNetworkDescs()) {
+        if (other.name != "VGG") {
+            EXPECT_GT(vgg.totalMacsPerImage(),
+                      other.totalMacsPerImage());
+        }
+    }
+}
+
+TEST(GoogLeNetDesc, InceptionChannelArithmetic)
+{
+    const NetworkDesc net = googLeNetDesc();
+    EXPECT_EQ(findLayer(net, "3a").channels, 256);
+    EXPECT_EQ(findLayer(net, "3b").channels, 480);
+    EXPECT_EQ(findLayer(net, "4e").channels, 832);
+    EXPECT_EQ(findLayer(net, "5b").channels, 1024);
+    EXPECT_EQ(findLayer(net, "3a").shape(1).h, 28);
+    EXPECT_EQ(findLayer(net, "5b").shape(1).h, 7);
+}
+
+TEST(SqueezeNetDesc, FireModuleShapes)
+{
+    const NetworkDesc net = squeezeNetDesc();
+    EXPECT_EQ(findLayer(net, "fire2").channels, 128);
+    EXPECT_EQ(findLayer(net, "fire2/squeeze").channels, 16);
+    EXPECT_EQ(findLayer(net, "fire9").channels, 512);
+    EXPECT_EQ(findLayer(net, "fire9").shape(1).h, 13);
+    // conv1 7x7 stride 2 on 227 -> 111.
+    EXPECT_EQ(findLayer(net, "conv1").shape(1),
+              (Shape4D{1, 96, 111, 111}));
+}
+
+TEST(NinDesc, CccpLayersPreserveShape)
+{
+    const NetworkDesc net = ninDesc();
+    EXPECT_EQ(findLayer(net, "conv1").shape(1), (Shape4D{1, 96, 55, 55}));
+    EXPECT_EQ(findLayer(net, "cccp1").shape(1), (Shape4D{1, 96, 55, 55}));
+    EXPECT_EQ(findLayer(net, "cccp8").channels, 1000);
+    EXPECT_EQ(findLayer(net, "gap").shape(1), (Shape4D{1, 1000, 1, 1}));
+}
+
+TEST(OverFeatDesc, WideLateConvs)
+{
+    const NetworkDesc net = overFeatDesc();
+    EXPECT_EQ(findLayer(net, "conv1").shape(1), (Shape4D{1, 96, 56, 56}));
+    EXPECT_EQ(findLayer(net, "conv5").shape(1),
+              (Shape4D{1, 1024, 12, 12}));
+    EXPECT_EQ(findLayer(net, "fc6").channels, 3072);
+}
+
+class DescInvariants : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DescInvariants, EveryLayerWellFormed)
+{
+    const NetworkDesc net =
+        allNetworkDescs()[static_cast<size_t>(GetParam())];
+    ASSERT_FALSE(net.layers.empty());
+    double prev_depth = -1.0;
+    for (const auto &layer : net.layers) {
+        EXPECT_GT(layer.channels, 0) << layer.name;
+        EXPECT_GT(layer.height, 0) << layer.name;
+        EXPECT_GT(layer.width, 0) << layer.name;
+        EXPECT_GT(layer.depth_fraction, prev_depth) << layer.name;
+        prev_depth = layer.depth_fraction;
+    }
+    EXPECT_DOUBLE_EQ(net.layers.front().depth_fraction, 0.0);
+    EXPECT_DOUBLE_EQ(net.layers.back().depth_fraction, 1.0);
+    EXPECT_GT(net.totalMacsPerImage(), 0u);
+    EXPECT_GT(net.totalActivationBytesPerImage(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNetworks, DescInvariants,
+                         ::testing::Range(0, 6),
+                         [](const auto &info) {
+                             return allNetworkDescs()
+                                 [static_cast<size_t>(info.param)].name;
+                         });
+
+TEST(DescAggregate, ActivationsDominateWeights)
+{
+    // Section III: activations are >90% of memory for training; at Table
+    // I batch sizes, activation bytes dwarf the per-image MAC-derived
+    // weight sizes for the conv-heavy networks.
+    const NetworkDesc vgg = vggDesc();
+    const uint64_t act =
+        vgg.totalActivationBytesPerImage() *
+        static_cast<uint64_t>(vgg.default_batch);
+    EXPECT_GT(act, 10ull * 1024 * 1024 * 1024 / 4); // > 2.5 GiB
+}
+
+} // namespace
+} // namespace cdma

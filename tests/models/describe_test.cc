@@ -1,0 +1,97 @@
+/** @file Unit tests for describing live networks into descriptors. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "models/describe.hh"
+#include "models/scaled.hh"
+
+namespace cdma {
+namespace {
+
+TEST(Describe, TinyNetRowsMatchActivationRecords)
+{
+    Rng rng(1);
+    Network net = buildTinyNet(rng);
+    const NetworkDesc desc =
+        describeNetwork("Tiny", net, Shape4D{1, 3, 32, 32}, 16);
+
+    // Same rows the activation records produce: conv1, pool1, conv2,
+    // pool2, fc.
+    ASSERT_EQ(desc.layers.size(), 5u);
+    EXPECT_EQ(desc.layers[0].name, "conv1");
+    EXPECT_EQ(desc.layers[1].name, "pool1");
+    EXPECT_EQ(desc.layers[4].name, "fc");
+    EXPECT_EQ(desc.default_batch, 16);
+}
+
+TEST(Describe, ShapesMatchLiveForwardPass)
+{
+    Rng rng(2);
+    Network net = buildTinyNet(rng);
+    const NetworkDesc desc =
+        describeNetwork("Tiny", net, Shape4D{1, 3, 32, 32}, 8);
+
+    Tensor4D probe(Shape4D{2, 3, 32, 32});
+    probe.fill(0.5f);
+    net.forward(probe);
+    const auto records = net.activationRecords();
+    ASSERT_EQ(records.size(), desc.layers.size());
+    for (size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(desc.layers[i].channels, records[i].shape.c)
+            << records[i].label;
+        EXPECT_EQ(desc.layers[i].height, records[i].shape.h);
+        EXPECT_EQ(desc.layers[i].width, records[i].shape.w);
+    }
+}
+
+TEST(Describe, MacsArePositiveForComputeLayers)
+{
+    Rng rng(3);
+    Network net = buildScaledVGG(rng);
+    const NetworkDesc desc =
+        describeNetwork("ScaledVGG", net, Shape4D{1, 3, 32, 32}, 16);
+    for (const auto &row : desc.layers) {
+        if (row.kind == "conv" || row.kind == "fc") {
+            EXPECT_GT(row.macs_per_image, 0u) << row.name;
+        }
+    }
+    EXPECT_GT(desc.totalMacsPerImage(), 1'000'000u);
+}
+
+TEST(Describe, ReluAnnotationsPropagate)
+{
+    Rng rng(4);
+    Network net = buildTinyNet(rng);
+    const NetworkDesc desc =
+        describeNetwork("Tiny", net, Shape4D{1, 3, 32, 32}, 8);
+    EXPECT_TRUE(desc.layers[0].relu_follows);  // conv1 + relu
+    EXPECT_TRUE(desc.layers[1].relu_follows);  // pool of relu data
+    EXPECT_FALSE(desc.layers[4].relu_follows); // classifier fc
+}
+
+TEST(Describe, CompositeNetworksDescribable)
+{
+    Rng rng(5);
+    Network net = buildScaledSqueezeNet(rng);
+    const NetworkDesc desc = describeNetwork(
+        "ScaledSqueezeNet", net, Shape4D{1, 3, 32, 32}, 16);
+    bool has_inception_kind = false;
+    for (const auto &row : desc.layers)
+        has_inception_kind |= row.kind == "inception";
+    EXPECT_TRUE(has_inception_kind);
+    EXPECT_GT(desc.totalActivationBytesPerImage(), 0u);
+}
+
+TEST(Describe, DepthFractionsSpanZeroToOne)
+{
+    Rng rng(6);
+    Network net = buildScaledAlexNet(rng);
+    const NetworkDesc desc = describeNetwork(
+        "ScaledAlexNet", net, Shape4D{1, 3, 32, 32}, 16);
+    EXPECT_DOUBLE_EQ(desc.layers.front().depth_fraction, 0.0);
+    EXPECT_DOUBLE_EQ(desc.layers.back().depth_fraction, 1.0);
+}
+
+} // namespace
+} // namespace cdma

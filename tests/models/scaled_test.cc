@@ -1,0 +1,99 @@
+/** @file Unit tests for the scaled trainable network variants. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "models/scaled.hh"
+
+namespace cdma {
+namespace {
+
+const char *const kNames[] = {"AlexNet",    "OverFeat",  "NiN",
+                              "VGG",        "SqueezeNet", "GoogLeNet"};
+
+class ScaledNetwork : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ScaledNetwork, BuildsAndClassifiesTenWays)
+{
+    Rng rng(42);
+    Network net = buildScaledByName(GetParam(), rng);
+    EXPECT_EQ(net.outputShape(Shape4D{2, 3, 32, 32}),
+              (Shape4D{2, 10, 1, 1}));
+}
+
+TEST_P(ScaledNetwork, ForwardBackwardRuns)
+{
+    Rng rng(43);
+    Network net = buildScaledByName(GetParam(), rng);
+    Tensor4D in(Shape4D{2, 3, 32, 32});
+    Rng data_rng(44);
+    for (float &v : in.data())
+        v = static_cast<float>(data_rng.normal());
+    const Tensor4D &out = net.forward(in);
+    EXPECT_EQ(out.shape(), (Shape4D{2, 10, 1, 1}));
+    Tensor4D dy(out.shape());
+    dy.fill(0.1f);
+    net.backward(dy); // must not crash or assert
+    net.step(SgdConfig{});
+}
+
+TEST_P(ScaledNetwork, HasSparsityBearingRecords)
+{
+    Rng rng(45);
+    Network net = buildScaledByName(GetParam(), rng);
+    Tensor4D in(Shape4D{1, 3, 32, 32});
+    Rng data_rng(46);
+    for (float &v : in.data())
+        v = static_cast<float>(data_rng.normal());
+    net.forward(in);
+    const auto records = net.activationRecords();
+    ASSERT_GE(records.size(), 3u);
+    int sparse_capable = 0;
+    for (const auto &record : records) {
+        if (record.relu_sparse)
+            ++sparse_capable;
+    }
+    EXPECT_GE(sparse_capable, 2);
+}
+
+TEST_P(ScaledNetwork, HasLearnableParameters)
+{
+    Rng rng(47);
+    Network net = buildScaledByName(GetParam(), rng);
+    EXPECT_GT(net.paramCount(), 1000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSix, ScaledNetwork,
+                         ::testing::ValuesIn(kNames));
+
+TEST(ScaledNetworkRegistry, UnknownNameIsFatal)
+{
+    Rng rng(48);
+    EXPECT_EXIT(buildScaledByName("ResNet", rng),
+                ::testing::ExitedWithCode(1), "unknown scaled network");
+}
+
+TEST(ScaledNetworkRegistry, ArchitecturalSignatures)
+{
+    Rng rng(49);
+    // NiN ends in global average pooling (no FC).
+    Network nin = buildScaledNiN(rng);
+    EXPECT_EQ(nin.layer(nin.size() - 1).type(), "pool");
+    // SqueezeNet contains concat (fire) modules.
+    Network squeeze = buildScaledSqueezeNet(rng);
+    bool has_concat = false;
+    for (size_t i = 0; i < squeeze.size(); ++i)
+        has_concat |= squeeze.layer(i).type() == "concat";
+    EXPECT_TRUE(has_concat);
+    // AlexNet has LRN.
+    Network alex = buildScaledAlexNet(rng);
+    bool has_lrn = false;
+    for (size_t i = 0; i < alex.size(); ++i)
+        has_lrn |= alex.layer(i).type() == "lrn";
+    EXPECT_TRUE(has_lrn);
+}
+
+} // namespace
+} // namespace cdma

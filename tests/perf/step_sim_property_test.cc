@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Parameterized property sweeps over the training-step DES: invariants
+ * that must hold for every (network, cuDNN version, compression ratio)
+ * combination, not just the configurations the figures use. These pin
+ * down the simulator's monotonicity and conservation properties.
+ */
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "perf/step_sim.hh"
+
+namespace cdma {
+namespace {
+
+using PropertyParam = std::tuple<int /*network*/, CudnnVersion>;
+
+class StepSimSweep : public ::testing::TestWithParam<PropertyParam>
+{
+  protected:
+    NetworkDesc net_ =
+        allNetworkDescs()[static_cast<size_t>(std::get<0>(GetParam()))];
+    CudnnVersion version_ = std::get<1>(GetParam());
+    VdnnMemoryManager manager_{net_, net_.default_batch};
+    CdmaEngine engine_{CdmaConfig{}};
+    PerfModel perf_;
+    StepSimulator sim_{manager_, engine_, perf_, version_};
+
+    std::vector<double> uniformRatios(double r) const
+    {
+        return std::vector<double>(net_.layers.size(), r);
+    }
+};
+
+TEST_P(StepSimSweep, SpeedupMonotoneInCompressionRatio)
+{
+    double prev_time = 1e99;
+    for (double ratio : {1.0, 1.5, 2.0, 3.0, 5.0, 8.0, 12.5}) {
+        const StepResult result =
+            sim_.run(StepMode::Cdma, uniformRatios(ratio));
+        EXPECT_LE(result.total_seconds, prev_time + 1e-12)
+            << "ratio " << ratio;
+        prev_time = result.total_seconds;
+    }
+}
+
+TEST_P(StepSimSweep, RatioOneEqualsVdnn)
+{
+    const StepResult cdma = sim_.run(StepMode::Cdma, uniformRatios(1.0));
+    const StepResult vdnn = sim_.run(StepMode::Vdnn);
+    EXPECT_NEAR(cdma.total_seconds, vdnn.total_seconds,
+                1e-9 * vdnn.total_seconds);
+    EXPECT_EQ(cdma.wire_transfer_bytes, vdnn.wire_transfer_bytes);
+}
+
+TEST_P(StepSimSweep, TotalsDecomposeIntoPhases)
+{
+    const StepResult vdnn = sim_.run(StepMode::Vdnn);
+    EXPECT_NEAR(vdnn.total_seconds,
+                vdnn.forward_seconds + vdnn.backward_seconds,
+                1e-9 * vdnn.total_seconds);
+    EXPECT_GE(vdnn.forward_seconds, 0.0);
+    EXPECT_GE(vdnn.backward_seconds, 0.0);
+}
+
+TEST_P(StepSimSweep, StallsAreNonNegativeAndBounded)
+{
+    const StepResult vdnn = sim_.run(StepMode::Vdnn);
+    for (const auto &layer : vdnn.layers) {
+        EXPECT_GE(layer.forward_stall, 0.0) << layer.label;
+        EXPECT_GE(layer.backward_stall, 0.0) << layer.label;
+        // A single layer's stall cannot exceed the whole iteration.
+        EXPECT_LE(layer.forward_stall + layer.backward_stall,
+                  vdnn.total_seconds)
+            << layer.label;
+    }
+}
+
+TEST_P(StepSimSweep, TransfersNeverHurtBeyondSerialization)
+{
+    // vDNN's iteration can never exceed compute + total transfer time
+    // (the fully-serialized worst case).
+    const StepResult vdnn = sim_.run(StepMode::Vdnn);
+    const double transfer_total =
+        2.0 * static_cast<double>(vdnn.wire_transfer_bytes) /
+        engine_.config().gpu.pcie_effective_bandwidth;
+    EXPECT_LE(vdnn.total_seconds,
+              vdnn.compute_seconds + transfer_total + 1e-9);
+}
+
+TEST_P(StepSimSweep, PcieUtilizationConsistentWithTraffic)
+{
+    const StepResult vdnn = sim_.run(StepMode::Vdnn);
+    // busy_seconds = utilization * total must equal the wire bytes over
+    // the effective bandwidth (both directions).
+    const double busy = vdnn.pcie_utilization * vdnn.total_seconds;
+    const double expected =
+        2.0 * static_cast<double>(vdnn.wire_transfer_bytes) /
+        engine_.config().gpu.pcie_effective_bandwidth;
+    EXPECT_NEAR(busy, expected, expected * 0.01);
+}
+
+TEST_P(StepSimSweep, OracleInvariantAcrossRatios)
+{
+    const StepResult a = sim_.run(StepMode::Oracle);
+    const StepResult b = sim_.run(StepMode::Oracle, uniformRatios(5.0));
+    EXPECT_DOUBLE_EQ(a.total_seconds, b.total_seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NetworksAndVersions, StepSimSweep,
+    ::testing::Combine(::testing::Range(0, 6),
+                       ::testing::Values(CudnnVersion::V1,
+                                         CudnnVersion::V3,
+                                         CudnnVersion::V5)),
+    [](const auto &info) {
+        return allNetworkDescs()[static_cast<size_t>(
+                   std::get<0>(info.param))].name +
+            "_" + cudnnVersionName(std::get<1>(info.param));
+    });
+
+} // namespace
+} // namespace cdma

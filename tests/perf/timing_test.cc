@@ -1,0 +1,101 @@
+/** @file Unit tests for the analytic cuDNN timing model. */
+
+#include <gtest/gtest.h>
+
+#include "perf/timing.hh"
+
+namespace cdma {
+namespace {
+
+TEST(Timing, ConvEfficiencyMonotoneInVersion)
+{
+    double prev = 0.0;
+    for (CudnnVersion v : kAllCudnnVersions) {
+        const double eff = PerfModel::convEfficiency(v);
+        EXPECT_GT(eff, prev);
+        EXPECT_LT(eff, 1.0);
+        prev = eff;
+    }
+}
+
+TEST(Timing, VersionNames)
+{
+    EXPECT_EQ(cudnnVersionName(CudnnVersion::V1), "v1");
+    EXPECT_EQ(cudnnVersionName(CudnnVersion::V5), "v5");
+}
+
+TEST(Timing, NetworkTimeShrinksWithVersion)
+{
+    PerfModel model;
+    for (const auto &net : allNetworkDescs()) {
+        double prev = 1e99;
+        for (CudnnVersion v : kAllCudnnVersions) {
+            const double t =
+                model.networkTiming(net, net.default_batch, v).total();
+            EXPECT_LT(t, prev) << net.name;
+            prev = t;
+        }
+    }
+}
+
+TEST(Timing, AverageV5SpeedupNearPaper)
+{
+    // Figure 3(a): cuDNN v5 averages ~2.2x over v1 across the six
+    // networks.
+    PerfModel model;
+    double total = 0.0;
+    for (const auto &net : allNetworkDescs()) {
+        const double t1 = model
+            .networkTiming(net, net.default_batch, CudnnVersion::V1)
+            .total();
+        const double t5 = model
+            .networkTiming(net, net.default_batch, CudnnVersion::V5)
+            .total();
+        total += t1 / t5;
+    }
+    EXPECT_NEAR(total / 6.0, 2.2, 0.35);
+}
+
+TEST(Timing, BackwardCostsAboutTwiceForward)
+{
+    PerfModel model;
+    const NetworkDesc net = vggDesc();
+    const LayerTiming t =
+        model.networkTiming(net, 64, CudnnVersion::V5);
+    EXPECT_GT(t.backward_seconds, 1.5 * t.forward_seconds);
+    EXPECT_LT(t.backward_seconds, 2.5 * t.forward_seconds);
+}
+
+TEST(Timing, FcLayersAreBandwidthBoundAcrossVersions)
+{
+    PerfModel model;
+    const NetworkDesc net = alexNetDesc();
+    for (const auto &layer : net.layers) {
+        if (layer.kind != "fc")
+            continue;
+        const double t1 =
+            model.layerTiming(layer, 256, CudnnVersion::V1)
+                .forward_seconds;
+        const double t5 =
+            model.layerTiming(layer, 256, CudnnVersion::V5)
+                .forward_seconds;
+        EXPECT_DOUBLE_EQ(t1, t5) << layer.name;
+    }
+}
+
+TEST(Timing, IterationTimesAreMilliseconds)
+{
+    // Sanity: a Table-I iteration on these networks takes on the order
+    // of 0.05-2 seconds on a Titan X, not micro- or kilo-seconds.
+    PerfModel model;
+    for (const auto &net : allNetworkDescs()) {
+        const double t = model
+            .networkTiming(net, net.default_batch, CudnnVersion::V5)
+            .total();
+        EXPECT_GT(t, 0.01) << net.name;
+        EXPECT_LT(t, 5.0) << net.name;
+    }
+}
+
+} // namespace
+} // namespace cdma

@@ -1,0 +1,82 @@
+/** @file Unit tests for the bandwidth-limited FIFO channel. */
+
+#include <gtest/gtest.h>
+
+#include "sim/channel.hh"
+
+namespace cdma {
+namespace {
+
+TEST(Channel, SingleTransferTakesBytesOverBandwidth)
+{
+    EventQueue queue;
+    Channel link(queue, "pcie", 16e9);
+    double done_at = -1.0;
+    link.submit(16'000'000'000ull, [&] { done_at = queue.now(); });
+    queue.run();
+    EXPECT_NEAR(done_at, 1.0, 1e-9);
+}
+
+TEST(Channel, TransfersServiceFifo)
+{
+    EventQueue queue;
+    Channel link(queue, "link", 100.0); // 100 B/s
+    std::vector<int> order;
+    double second_done = -1.0;
+    link.submit(100, [&] { order.push_back(1); });
+    link.submit(50, [&] {
+        order.push_back(2);
+        second_done = queue.now();
+    });
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_NEAR(second_done, 1.5, 1e-12);
+}
+
+TEST(Channel, ExtraLatencyAddsToService)
+{
+    EventQueue queue;
+    Channel link(queue, "link", 100.0);
+    double done_at = -1.0;
+    link.submit(100, [&] { done_at = queue.now(); }, 0.25);
+    queue.run();
+    EXPECT_NEAR(done_at, 1.25, 1e-12);
+}
+
+TEST(Channel, TracksTotals)
+{
+    EventQueue queue;
+    Channel link(queue, "link", 1000.0);
+    link.submit(500, nullptr);
+    link.submit(250, nullptr);
+    queue.run();
+    EXPECT_EQ(link.totalBytes(), 750u);
+    EXPECT_NEAR(link.busySeconds(), 0.75, 1e-12);
+}
+
+TEST(Channel, UtilizationReflectsIdleTime)
+{
+    EventQueue queue;
+    Channel link(queue, "link", 100.0);
+    link.submit(100, nullptr); // busy [0, 1]
+    queue.run();
+    // Idle until t=3, then busy one more second.
+    queue.scheduleAt(3.0, [&] { link.submit(100, nullptr); });
+    queue.run();
+    EXPECT_NEAR(link.utilization(), 2.0 / 4.0, 1e-12);
+}
+
+TEST(Channel, SubmitAfterIdleStartsImmediately)
+{
+    EventQueue queue;
+    Channel link(queue, "link", 100.0);
+    double done_at = -1.0;
+    queue.scheduleAt(5.0, [&] {
+        link.submit(100, [&] { done_at = queue.now(); });
+    });
+    queue.run();
+    EXPECT_NEAR(done_at, 6.0, 1e-12);
+}
+
+} // namespace
+} // namespace cdma

@@ -1,0 +1,90 @@
+/** @file Unit tests for the discrete-event queue. */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+
+namespace cdma {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.scheduleAt(3.0, [&] { order.push_back(3); });
+    queue.scheduleAt(1.0, [&] { order.push_back(1); });
+    queue.scheduleAt(2.0, [&] { order.push_back(2); });
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueue, SimultaneousEventsAreFifo)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        queue.scheduleAt(1.0, [&order, i] { order.push_back(i); });
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbacksMayScheduleMoreEvents)
+{
+    EventQueue queue;
+    int fired = 0;
+    std::function<void()> chain = [&]() {
+        ++fired;
+        if (fired < 10)
+            queue.scheduleAfter(1.0, chain);
+    };
+    queue.scheduleAfter(1.0, chain);
+    const uint64_t executed = queue.run();
+    EXPECT_EQ(executed, 10u);
+    EXPECT_DOUBLE_EQ(queue.now(), 10.0);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue queue;
+    double fired_at = -1.0;
+    queue.scheduleAt(5.0, [&] {
+        queue.scheduleAfter(2.5, [&] { fired_at = queue.now(); });
+    });
+    queue.run();
+    EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(EventQueue, MaxEventsGuardStopsRunaway)
+{
+    EventQueue queue;
+    std::function<void()> forever = [&]() {
+        queue.scheduleAfter(1.0, forever);
+    };
+    queue.scheduleAfter(1.0, forever);
+    const uint64_t executed = queue.run(100);
+    EXPECT_EQ(executed, 100u);
+    EXPECT_EQ(queue.pending(), 1u);
+}
+
+TEST(EventQueue, ResetClearsStateAndClock)
+{
+    EventQueue queue;
+    queue.scheduleAt(10.0, [] {});
+    queue.reset();
+    EXPECT_EQ(queue.pending(), 0u);
+    EXPECT_DOUBLE_EQ(queue.now(), 0.0);
+}
+
+TEST(EventQueueDeathTest, SchedulingIntoThePastPanics)
+{
+    EventQueue queue;
+    queue.scheduleAt(5.0, [] {});
+    queue.run();
+    EXPECT_DEATH(queue.scheduleAt(1.0, [] {}), "past");
+}
+
+} // namespace
+} // namespace cdma

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit tests for the density schedule: the qualitative structure the
+ * paper documents in Section IV must hold for every network and layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sparsity/schedule.hh"
+
+namespace cdma {
+namespace {
+
+TEST(DensityCurve, UShape)
+{
+    const DensityCurve curve{0.6, 0.2, 0.4, 0.3};
+    EXPECT_DOUBLE_EQ(curve.at(0.0), 0.6);
+    EXPECT_NEAR(curve.at(0.3), 0.2, 1e-12);
+    EXPECT_NEAR(curve.at(1.0), 0.4, 1e-12);
+    // Monotone decrease into the trough, increase out of it.
+    EXPECT_GT(curve.at(0.1), curve.at(0.2));
+    EXPECT_LT(curve.at(0.5), curve.at(0.9));
+}
+
+TEST(DensityCurve, ClampsOutOfRangeProgress)
+{
+    const DensityCurve curve{0.6, 0.2, 0.4, 0.3};
+    EXPECT_DOUBLE_EQ(curve.at(-1.0), curve.at(0.0));
+    EXPECT_DOUBLE_EQ(curve.at(2.0), curve.at(1.0));
+}
+
+TEST(DensityCurve, RecoveryIsFastThenSlow)
+{
+    const DensityCurve curve{0.6, 0.2, 0.4, 0.3};
+    const double first_half = curve.at(0.65) - curve.at(0.3);
+    const double second_half = curve.at(1.0) - curve.at(0.65);
+    EXPECT_GT(first_half, second_half);
+}
+
+class ScheduleInvariants : public ::testing::TestWithParam<int>
+{
+  protected:
+    NetworkDesc net_ = allNetworkDescs()[static_cast<size_t>(GetParam())];
+    DensitySchedule schedule_{net_};
+};
+
+TEST_P(ScheduleInvariants, FirstLayerNearHalfDensity)
+{
+    // Figure 4: conv0 always within a few percent of 50%.
+    for (double t : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        EXPECT_NEAR(schedule_.density(0, t), 0.5, 0.03)
+            << net_.name << " at t=" << t;
+    }
+}
+
+TEST_P(ScheduleInvariants, DensitiesAreProbabilities)
+{
+    for (size_t i = 0; i < net_.layers.size(); ++i) {
+        for (double t : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+            const double d = schedule_.density(i, t);
+            EXPECT_GE(d, 0.0);
+            EXPECT_LE(d, 1.0);
+        }
+    }
+}
+
+TEST_P(ScheduleInvariants, TroughBelowEndpoints)
+{
+    for (size_t i = 0; i < net_.layers.size(); ++i) {
+        const DensityCurve &curve = schedule_.curve(i);
+        EXPECT_LE(curve.trough, curve.initial);
+        EXPECT_LE(curve.trough, curve.final);
+    }
+}
+
+TEST_P(ScheduleInvariants, DeeperConvLayersSparser)
+{
+    // Compare the first and last conv-like rows (conv, inception, fire)
+    // at the trained point.
+    int first = -1, last = -1;
+    for (size_t i = 0; i < net_.layers.size(); ++i) {
+        const auto &kind = net_.layers[i].kind;
+        if ((kind == "conv" || kind == "inception" || kind == "fire") &&
+            net_.layers[i].relu_follows) {
+            if (first < 0)
+                first = static_cast<int>(i);
+            last = static_cast<int>(i);
+        }
+    }
+    if (first < 0 || last <= first)
+        GTEST_SKIP() << "not enough conv rows";
+    EXPECT_LT(schedule_.density(static_cast<size_t>(last), 1.0),
+              schedule_.density(static_cast<size_t>(first), 1.0) + 1e-9);
+}
+
+TEST_P(ScheduleInvariants, FcRowsAreSparsest)
+{
+    double min_conv = 1.0;
+    double max_fc = 0.0;
+    bool has_fc = false;
+    for (size_t i = 0; i < net_.layers.size(); ++i) {
+        const auto &layer = net_.layers[i];
+        if (!layer.relu_follows)
+            continue;
+        const double d = schedule_.density(i, 1.0);
+        if (layer.kind == "fc") {
+            has_fc = true;
+            max_fc = std::max(max_fc, d);
+        } else if (layer.kind == "conv") {
+            min_conv = std::min(min_conv, d);
+        }
+    }
+    if (!has_fc)
+        GTEST_SKIP() << "network has no ReLU-fed fc rows";
+    EXPECT_LT(max_fc, min_conv);
+}
+
+TEST_P(ScheduleInvariants, NetworkDensityTracksUShape)
+{
+    const double start = schedule_.networkDensity(0.0);
+    const double trough = schedule_.networkDensity(0.3);
+    const double end = schedule_.networkDensity(1.0);
+    EXPECT_LT(trough, start);
+    EXPECT_LT(trough, end);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNetworks, ScheduleInvariants,
+                         ::testing::Range(0, 6),
+                         [](const auto &info) {
+                             return allNetworkDescs()
+                                 [static_cast<size_t>(info.param)].name;
+                         });
+
+TEST(ScheduleCalibration, SixNetworkAverageSparsityNearPaper)
+{
+    // Section IV-B: "an average 62% network-wide activation sparsity"
+    // across the training periods of the six networks. Average our model
+    // over both networks and training time.
+    double total = 0.0;
+    int samples = 0;
+    for (const auto &desc : allNetworkDescs()) {
+        DensitySchedule schedule(desc);
+        for (double t = 0.05; t <= 1.0; t += 0.05) {
+            total += 1.0 - schedule.networkDensity(t);
+            ++samples;
+        }
+    }
+    const double average_sparsity = total / samples;
+    EXPECT_NEAR(average_sparsity, 0.62, 0.10);
+}
+
+TEST(ScheduleCalibration, AlexNetTrainedSparsityNearPaper)
+{
+    // Section IV-A: fully trained AlexNet shows ~49.4% size-weighted
+    // sparsity.
+    DensitySchedule schedule(alexNetDesc());
+    const double sparsity = 1.0 - schedule.networkDensity(1.0);
+    EXPECT_NEAR(sparsity, 0.494, 0.10);
+}
+
+TEST(ScheduleCalibration, PeakSparsityApproachesMaximum)
+{
+    // Section IV-B: maximum network-wide sparsity of ~93% observed during
+    // training (at the trough of the sparsest network).
+    double peak = 0.0;
+    for (const auto &desc : allNetworkDescs()) {
+        DensitySchedule schedule(desc);
+        for (double t = 0.05; t <= 1.0; t += 0.05)
+            peak = std::max(peak, 1.0 - schedule.networkDensity(t));
+    }
+    EXPECT_GT(peak, 0.70);
+}
+
+} // namespace
+} // namespace cdma

@@ -1,0 +1,79 @@
+/** @file Unit tests for layout indexing and names. */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "tensor/layout.hh"
+
+namespace cdma {
+namespace {
+
+TEST(Layout, NamesRoundTrip)
+{
+    for (Layout layout : kAllLayouts)
+        EXPECT_EQ(layoutFromName(layoutName(layout)), layout);
+}
+
+TEST(Layout, ShapeArithmetic)
+{
+    const Shape4D shape{2, 3, 5, 7};
+    EXPECT_EQ(shape.elements(), 2 * 3 * 5 * 7);
+    EXPECT_EQ(shape.bytes(), 2 * 3 * 5 * 7 * 4);
+    EXPECT_EQ(shape.str(), "(2, 3, 5, 7)");
+}
+
+TEST(Layout, NchwInnermostIsW)
+{
+    const Shape4D shape{2, 3, 4, 5};
+    const int64_t base = linearIndex(shape, Layout::NCHW, 1, 2, 3, 0);
+    EXPECT_EQ(linearIndex(shape, Layout::NCHW, 1, 2, 3, 1), base + 1);
+}
+
+TEST(Layout, NhwcInnermostIsC)
+{
+    const Shape4D shape{2, 3, 4, 5};
+    const int64_t base = linearIndex(shape, Layout::NHWC, 1, 0, 3, 4);
+    EXPECT_EQ(linearIndex(shape, Layout::NHWC, 1, 1, 3, 4), base + 1);
+}
+
+TEST(Layout, ChwnInnermostIsN)
+{
+    const Shape4D shape{2, 3, 4, 5};
+    const int64_t base = linearIndex(shape, Layout::CHWN, 0, 2, 3, 4);
+    EXPECT_EQ(linearIndex(shape, Layout::CHWN, 1, 2, 3, 4), base + 1);
+}
+
+class LayoutBijection : public ::testing::TestWithParam<Layout>
+{
+};
+
+TEST_P(LayoutBijection, EveryCoordinateMapsToUniqueIndex)
+{
+    const Shape4D shape{3, 4, 5, 6};
+    std::set<int64_t> seen;
+    for (int64_t n = 0; n < shape.n; ++n) {
+        for (int64_t c = 0; c < shape.c; ++c) {
+            for (int64_t h = 0; h < shape.h; ++h) {
+                for (int64_t w = 0; w < shape.w; ++w) {
+                    const int64_t index =
+                        linearIndex(shape, GetParam(), n, c, h, w);
+                    EXPECT_GE(index, 0);
+                    EXPECT_LT(index, shape.elements());
+                    EXPECT_TRUE(seen.insert(index).second)
+                        << "duplicate index " << index;
+                }
+            }
+        }
+    }
+    EXPECT_EQ(seen.size(), static_cast<size_t>(shape.elements()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLayouts, LayoutBijection,
+                         ::testing::ValuesIn(kAllLayouts),
+                         [](const auto &info) {
+                             return layoutName(info.param);
+                         });
+
+} // namespace
+} // namespace cdma

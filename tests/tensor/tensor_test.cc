@@ -1,0 +1,100 @@
+/** @file Unit tests for Tensor4D. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "tensor/tensor.hh"
+
+namespace cdma {
+namespace {
+
+TEST(Tensor, DefaultIsSingleZeroElement)
+{
+    Tensor4D t;
+    EXPECT_EQ(t.elements(), 1);
+    EXPECT_EQ(t.at(0, 0, 0, 0), 0.0f);
+}
+
+TEST(Tensor, ZeroInitialized)
+{
+    Tensor4D t(Shape4D{2, 3, 4, 5});
+    for (float v : t.data())
+        EXPECT_EQ(v, 0.0f);
+    EXPECT_EQ(t.zeroCount(), t.elements());
+    EXPECT_DOUBLE_EQ(t.density(), 0.0);
+}
+
+TEST(Tensor, FillAndDensity)
+{
+    Tensor4D t(Shape4D{1, 2, 2, 2});
+    t.fill(1.5f);
+    EXPECT_DOUBLE_EQ(t.density(), 1.0);
+    t.at(0, 0, 0, 0) = 0.0f;
+    t.at(0, 1, 1, 1) = 0.0f;
+    EXPECT_DOUBLE_EQ(t.density(), 6.0 / 8.0);
+    EXPECT_EQ(t.zeroCount(), 2);
+}
+
+TEST(Tensor, AtReadsBackWrites)
+{
+    Tensor4D t(Shape4D{2, 3, 4, 5}, Layout::NHWC);
+    t.at(1, 2, 3, 4) = 42.0f;
+    EXPECT_EQ(t.at(1, 2, 3, 4), 42.0f);
+    // Exactly one element written.
+    EXPECT_EQ(t.zeroCount(), t.elements() - 1);
+}
+
+TEST(Tensor, BytesIsFourPerElement)
+{
+    Tensor4D t(Shape4D{2, 2, 2, 2});
+    EXPECT_EQ(t.bytes(), 16 * 4);
+    EXPECT_EQ(t.rawBytes().size(), static_cast<size_t>(t.bytes()));
+}
+
+class TensorLayoutConversion
+    : public ::testing::TestWithParam<std::pair<Layout, Layout>>
+{
+};
+
+TEST_P(TensorLayoutConversion, PreservesLogicalContents)
+{
+    auto [from, to] = GetParam();
+    Rng rng(99);
+    Tensor4D t(Shape4D{2, 3, 4, 5}, from);
+    for (float &v : t.data())
+        v = rng.bernoulli(0.5) ? 0.0f
+                               : static_cast<float>(rng.normal());
+
+    const Tensor4D converted = t.toLayout(to);
+    EXPECT_EQ(converted.layout(), to);
+    EXPECT_EQ(converted.shape(), t.shape());
+    for (int64_t n = 0; n < 2; ++n)
+        for (int64_t c = 0; c < 3; ++c)
+            for (int64_t h = 0; h < 4; ++h)
+                for (int64_t w = 0; w < 5; ++w)
+                    EXPECT_EQ(converted.at(n, c, h, w), t.at(n, c, h, w));
+
+    // Density is layout-invariant (the ZVC ratio depends on it alone).
+    EXPECT_DOUBLE_EQ(converted.density(), t.density());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, TensorLayoutConversion,
+    ::testing::Values(std::pair{Layout::NCHW, Layout::NHWC},
+                      std::pair{Layout::NCHW, Layout::CHWN},
+                      std::pair{Layout::NHWC, Layout::NCHW},
+                      std::pair{Layout::NHWC, Layout::CHWN},
+                      std::pair{Layout::CHWN, Layout::NCHW},
+                      std::pair{Layout::CHWN, Layout::NHWC},
+                      std::pair{Layout::NCHW, Layout::NCHW}));
+
+TEST(Tensor, ConversionToSameLayoutIsIdentity)
+{
+    Tensor4D t(Shape4D{1, 2, 3, 4}, Layout::CHWN);
+    t.at(0, 1, 2, 3) = 7.0f;
+    const Tensor4D same = t.toLayout(Layout::CHWN);
+    EXPECT_EQ(same.at(0, 1, 2, 3), 7.0f);
+}
+
+} // namespace
+} // namespace cdma

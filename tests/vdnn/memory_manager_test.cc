@@ -1,0 +1,104 @@
+/** @file Unit tests for the vDNN memory manager reconstruction. */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "vdnn/memory_manager.hh"
+
+namespace cdma {
+namespace {
+
+TEST(VdnnManager, OffloadScheduleCoversEveryLayer)
+{
+    const NetworkDesc net = alexNetDesc();
+    VdnnMemoryManager manager(net, net.default_batch);
+    const auto &offloads = manager.offloadSchedule();
+    ASSERT_EQ(offloads.size(), net.layers.size());
+    EXPECT_EQ(offloads.front().label, "input");
+    // Entry i carries the *input* of row i = output of row i-1.
+    EXPECT_EQ(offloads[1].label, net.layers[0].name);
+    EXPECT_EQ(offloads[1].bytes,
+              static_cast<uint64_t>(net.layers[0].bytesPerImage()) *
+                  static_cast<uint64_t>(net.default_batch));
+}
+
+TEST(VdnnManager, PrefetchIsReverseOfOffload)
+{
+    const NetworkDesc net = vggDesc();
+    VdnnMemoryManager manager(net, 16);
+    const auto offloads = manager.offloadSchedule();
+    const auto prefetches = manager.prefetchSchedule();
+    ASSERT_EQ(offloads.size(), prefetches.size());
+    for (size_t i = 0; i < offloads.size(); ++i) {
+        EXPECT_EQ(prefetches[i].label,
+                  offloads[offloads.size() - 1 - i].label);
+    }
+}
+
+TEST(VdnnManager, TotalBytesMatchSum)
+{
+    const NetworkDesc net = ninDesc();
+    VdnnMemoryManager manager(net, 8);
+    uint64_t sum = 0;
+    for (const auto &op : manager.offloadSchedule())
+        sum += op.bytes;
+    EXPECT_EQ(manager.totalOffloadBytes(), sum);
+    EXPECT_GT(sum, 0u);
+}
+
+TEST(VdnnManager, ActivationsDominateTrainingMemory)
+{
+    // Section III: "these activation maps occupy more than 90% of the
+    // GPU-side memory allocations" for deep networks like VGG.
+    const NetworkDesc net = vggDesc();
+    VdnnMemoryManager manager(net, net.default_batch);
+    const MemoryFootprint fp = manager.footprint();
+    EXPECT_GT(fp.activationFraction(), 0.9);
+}
+
+TEST(VdnnManager, VggOversubscribesTitanXWithoutVirtualization)
+{
+    // The motivating scenario: VGG-16 at batch 128 needs tens of GB of
+    // activations, far beyond the 12 GB Titan X; vDNN's working set fits.
+    const NetworkDesc net = vggDesc();
+    VdnnMemoryManager manager(net, net.default_batch);
+    const MemoryFootprint fp = manager.footprint();
+    EXPECT_GT(fp.baseline_total, 12ull * kGiB);
+    EXPECT_LT(fp.vdnn_peak, 12ull * kGiB);
+}
+
+TEST(VdnnManager, VdnnPeakAlwaysBelowBaseline)
+{
+    for (const auto &net : allNetworkDescs()) {
+        VdnnMemoryManager manager(net, net.default_batch);
+        const MemoryFootprint fp = manager.footprint();
+        EXPECT_LT(fp.vdnn_peak, fp.baseline_total) << net.name;
+    }
+}
+
+TEST(VdnnManager, WeightBytesForKnownLayers)
+{
+    const NetworkDesc net = alexNetDesc();
+    // fc1: 9216 x 4096 weights x 4 B.
+    for (const auto &layer : net.layers) {
+        if (layer.name == "fc1") {
+            EXPECT_EQ(VdnnMemoryManager::weightBytes(layer),
+                      9216ull * 4096 * 4);
+        }
+        if (layer.kind == "pool") {
+            EXPECT_EQ(VdnnMemoryManager::weightBytes(layer), 0u);
+        }
+    }
+}
+
+TEST(VdnnManager, BatchScalesTraffic)
+{
+    const NetworkDesc net = squeezeNetDesc();
+    VdnnMemoryManager small(net, 4);
+    VdnnMemoryManager large(net, 8);
+    // Offload traffic scales exactly linearly with batch.
+    EXPECT_EQ(large.totalOffloadBytes(), 2 * small.totalOffloadBytes());
+}
+
+} // namespace
+} // namespace cdma

@@ -1,0 +1,86 @@
+/** @file Unit tests for the vDNN offload-policy variants. */
+
+#include <gtest/gtest.h>
+
+#include "perf/step_sim.hh"
+#include "vdnn/memory_manager.hh"
+
+namespace cdma {
+namespace {
+
+TEST(OffloadPolicy, ConvOnlySchedulesSubset)
+{
+    const NetworkDesc net = alexNetDesc();
+    VdnnMemoryManager all(net, 32, OffloadPolicy::All);
+    VdnnMemoryManager conv(net, 32, OffloadPolicy::ConvOnly);
+    EXPECT_EQ(all.offloadSchedule().size(), net.layers.size());
+    EXPECT_LT(conv.offloadSchedule().size(),
+              all.offloadSchedule().size());
+    EXPECT_GT(conv.offloadSchedule().size(), 0u);
+    EXPECT_LT(conv.totalOffloadBytes(), all.totalOffloadBytes());
+}
+
+TEST(OffloadPolicy, ConvOnlyTargetsConvLikeRows)
+{
+    const NetworkDesc net = googLeNetDesc();
+    VdnnMemoryManager conv(net, 16, OffloadPolicy::ConvOnly);
+    for (const auto &op : conv.offloadSchedule()) {
+        const auto &kind = net.layers[op.layer_index].kind;
+        EXPECT_TRUE(kind == "conv" || kind == "inception" ||
+                    kind == "fire")
+            << "row " << op.layer_index << " kind " << kind;
+    }
+}
+
+TEST(OffloadPolicy, ConvOnlyKeepsMoreResident)
+{
+    const NetworkDesc net = vggDesc();
+    VdnnMemoryManager all(net, net.default_batch, OffloadPolicy::All);
+    VdnnMemoryManager conv(net, net.default_batch,
+                           OffloadPolicy::ConvOnly);
+    EXPECT_GT(conv.footprint().vdnn_peak, all.footprint().vdnn_peak);
+}
+
+TEST(OffloadPolicy, ConvOnlyIsFasterUnderVdnn)
+{
+    // Less traffic -> fewer stalls (the original vDNN trade-off).
+    const NetworkDesc net = squeezeNetDesc();
+    CdmaEngine engine(CdmaConfig{});
+    PerfModel perf;
+
+    VdnnMemoryManager all(net, net.default_batch, OffloadPolicy::All);
+    VdnnMemoryManager conv(net, net.default_batch,
+                           OffloadPolicy::ConvOnly);
+    StepSimulator sim_all(all, engine, perf, CudnnVersion::V5);
+    StepSimulator sim_conv(conv, engine, perf, CudnnVersion::V5);
+
+    const double t_all = sim_all.run(StepMode::Vdnn).total_seconds;
+    const double t_conv = sim_conv.run(StepMode::Vdnn).total_seconds;
+    EXPECT_LT(t_conv, t_all);
+}
+
+TEST(OffloadPolicy, SparseScheduleRunsAllModes)
+{
+    const NetworkDesc net = ninDesc();
+    VdnnMemoryManager conv(net, 32, OffloadPolicy::ConvOnly);
+    CdmaEngine engine(CdmaConfig{});
+    PerfModel perf;
+    StepSimulator sim(conv, engine, perf, CudnnVersion::V5);
+
+    const std::vector<double> ratios(net.layers.size(), 2.5);
+    const StepResult oracle = sim.run(StepMode::Oracle);
+    const StepResult vdnn = sim.run(StepMode::Vdnn);
+    const StepResult cdma = sim.run(StepMode::Cdma, ratios);
+    EXPECT_GE(vdnn.total_seconds, oracle.total_seconds - 1e-12);
+    EXPECT_LE(cdma.total_seconds, vdnn.total_seconds + 1e-12);
+}
+
+TEST(OffloadPolicy, Names)
+{
+    EXPECT_EQ(offloadPolicyName(OffloadPolicy::All), "offload-all");
+    EXPECT_EQ(offloadPolicyName(OffloadPolicy::ConvOnly),
+              "offload-conv");
+}
+
+} // namespace
+} // namespace cdma
