@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Run the kernel-throughput microbenchmarks and record the results as
+# BENCH_kernel_throughput.json at the repo root, so successive PRs have a
+# perf trajectory to compare against.
+#
+# Usage: bench/run_kernel_bench.sh [extra google-benchmark flags...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${BUILD_DIR:-${repo_root}/build}"
+binary="${build_dir}/bench/kernel_throughput"
+out="${repo_root}/BENCH_kernel_throughput.json"
+
+if [[ ! -x "${binary}" ]]; then
+    echo "building kernel_throughput..." >&2
+    cmake -B "${build_dir}" -S "${repo_root}"
+    cmake --build "${build_dir}" --target kernel_throughput -j"$(nproc)"
+fi
+
+"${binary}" \
+    --benchmark_format=json \
+    --benchmark_out="${out}" \
+    --benchmark_out_format=json \
+    "$@"
+
+echo "wrote ${out}" >&2

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "common/rng.hh"
+#include "compress/parallel.hh"
 #include "perf/step_sim.hh"
 #include "sparsity/generator.hh"
 #include "sparsity/schedule.hh"
@@ -54,10 +55,15 @@ main(int argc, char **argv)
                 "iteration\n\n",
                 static_cast<double>(manager.totalOffloadBytes()) / 1e9);
 
-    // 2. Per-layer ZVC ratios from synthetic trained activations.
+    // 2. Per-layer ZVC ratios from synthetic trained activations,
+    //    compressed with the parallel window fan-out (one lane per
+    //    hardware thread), the same path CdmaEngine::planTransfer uses
+    //    when configured with compression_lanes != 1.
     const DensitySchedule schedule(net);
     const ActivationGenerator generator;
-    const auto zvc = makeCompressor(Algorithm::Zvc);
+    const ParallelCompressor zvc(Algorithm::Zvc,
+                                 Compressor::kDefaultWindowBytes,
+                                 /*lanes=*/0);
     std::vector<double> ratios;
     for (size_t i = 0; i < net.layers.size(); ++i) {
         const LayerDesc &layer = net.layers[i];
@@ -73,11 +79,13 @@ main(int argc, char **argv)
             Shape4D{1, std::min(layer.channels, max_c), layer.height,
                     layer.width},
             Layout::NCHW, density, rng);
-        ratios.push_back(zvc->measureRatio(sample.rawBytes()));
+        ratios.push_back(zvc.measureRatio(sample.rawBytes()));
     }
 
     // 3. Simulated iteration under each mode.
-    CdmaEngine engine(CdmaConfig{});
+    CdmaConfig engine_config;
+    engine_config.compression_lanes = 0; // all hardware threads
+    CdmaEngine engine(engine_config);
     PerfModel perf;
     StepSimulator sim(manager, engine, perf, CudnnVersion::V5);
     const StepResult oracle = sim.run(StepMode::Oracle);

@@ -8,7 +8,9 @@ namespace cdma {
 
 CdmaEngine::CdmaEngine(const CdmaConfig &config)
     : config_(config),
-      compressor_(makeCompressor(config.algorithm, config.window_bytes))
+      compressor_(std::make_unique<ParallelCompressor>(
+          config.algorithm, config.window_bytes,
+          config.compression_lanes))
 {
     CDMA_ASSERT(config.gpu.pcie_bandwidth > 0.0 &&
                     config.gpu.comp_bandwidth > 0.0,

@@ -30,6 +30,7 @@
 #include <string>
 
 #include "compress/compressor.hh"
+#include "compress/parallel.hh"
 #include "gpu/gpu_spec.hh"
 
 namespace cdma {
@@ -41,6 +42,12 @@ struct CdmaConfig {
     uint64_t window_bytes = 4096;
     /** When false the engine degrades to a plain (vDNN) DMA copy. */
     bool compression_enabled = true;
+    /**
+     * Software compression lanes used when the engine compresses real
+     * bytes (planTransfer), mirroring the hardware's replicated ZVC
+     * pipelines. 1 = serial; 0 = one lane per hardware thread.
+     */
+    unsigned compression_lanes = 1;
 };
 
 /** Outcome of planning one activation-map transfer. */
@@ -62,6 +69,9 @@ class CdmaEngine
 
     /** Engine configuration. */
     const CdmaConfig &config() const { return config_; }
+
+    /** The (possibly parallel) compressor backing planTransfer(). */
+    const ParallelCompressor &compressor() const { return *compressor_; }
 
     /**
      * Plan a transfer by compressing the actual bytes (the
@@ -92,7 +102,7 @@ class CdmaEngine
 
   private:
     CdmaConfig config_;
-    std::unique_ptr<Compressor> compressor_;
+    std::unique_ptr<ParallelCompressor> compressor_;
 };
 
 } // namespace cdma

@@ -1,0 +1,98 @@
+#include "common/thread_pool.hh"
+
+#include <atomic>
+
+namespace cdma {
+
+ThreadPool::ThreadPool(unsigned lanes)
+{
+    if (lanes == 0) {
+        lanes = std::max(1u, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(lanes - 1);
+    for (unsigned i = 0; i + 1 < lanes; ++i) {
+        workers_.emplace_back([this] { workerLoop(); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock,
+                          [this] { return stopping_ || !tasks_.empty(); });
+            if (tasks_.empty())
+                return; // stopping and drained
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::parallelFor(uint64_t count,
+                        const std::function<void(uint64_t)> &fn)
+{
+    if (count == 0)
+        return;
+    if (workers_.empty() || count == 1) {
+        for (uint64_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    // Dynamic scheduling: every lane pulls the next unclaimed index, so
+    // unevenly sized shards (e.g. the last partial window group) cannot
+    // leave a lane idle while another is overloaded.
+    std::atomic<uint64_t> next{0};
+    auto drain = [&] {
+        for (;;) {
+            const uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                break;
+            fn(i);
+        }
+    };
+
+    // One queued task per worker that could usefully participate; each
+    // task loops until the index space is exhausted, so completion of all
+    // queued tasks plus the inline drain implies completion of all work.
+    const uint64_t helpers =
+        std::min<uint64_t>(workers_.size(), count - 1);
+    std::atomic<uint64_t> exited{0};
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (uint64_t i = 0; i < helpers; ++i) {
+            tasks_.push([&] {
+                drain();
+                if (exited.fetch_add(1) + 1 == helpers) {
+                    std::lock_guard<std::mutex> inner(mutex_);
+                    done_cv_.notify_all();
+                }
+            });
+        }
+    }
+    work_cv_.notify_all();
+
+    drain();
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return exited.load() == helpers; });
+}
+
+} // namespace cdma

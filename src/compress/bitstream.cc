@@ -1,28 +1,54 @@
 #include "compress/bitstream.hh"
 
+#include <bit>
+#include <cstring>
+
 #include "common/logging.hh"
 
 namespace cdma {
+
+// The batched reader/writer map byte k of the stream onto bits
+// [8k, 8k+8) of a host integer, which is the little-endian layout.
+static_assert(std::endian::native == std::endian::little,
+              "bitstream word batching assumes a little-endian host");
 
 void
 BitWriter::put(uint32_t bits, int count)
 {
     CDMA_ASSERT(count >= 0 && count <= 32, "bad bit count %d", count);
-    for (int i = 0; i < count; ++i) {
-        const size_t byte_index = static_cast<size_t>(bit_count_ >> 3);
-        const int bit_index = static_cast<int>(bit_count_ & 7);
-        if (byte_index == bytes_.size())
-            bytes_.push_back(0);
-        if ((bits >> i) & 1)
-            bytes_[byte_index] |= static_cast<uint8_t>(1u << bit_index);
-        ++bit_count_;
+    if (count == 0)
+        return;
+    const uint32_t masked = count == 32
+        ? bits : bits & ((1u << count) - 1u);
+    // Accumulate LSB-first; acc_bits_ < 8 on entry, so at most 39 pending
+    // bits — the 64-bit accumulator never overflows.
+    acc_ |= static_cast<uint64_t>(masked) << acc_bits_;
+    acc_bits_ += count;
+    while (acc_bits_ >= 8) {
+        sink_->push_back(static_cast<uint8_t>(acc_));
+        acc_ >>= 8;
+        acc_bits_ -= 8;
+    }
+    bit_count_ += static_cast<uint64_t>(count);
+}
+
+void
+BitWriter::flush()
+{
+    if (acc_bits_ > 0) {
+        sink_->push_back(static_cast<uint8_t>(acc_));
+        acc_ = 0;
+        acc_bits_ = 0;
     }
 }
 
 std::vector<uint8_t>
 BitWriter::finish()
 {
-    return std::move(bytes_);
+    CDMA_ASSERT(sink_ == &own_bytes_,
+                "finish() on a BitWriter with an external sink");
+    flush();
+    return std::move(own_bytes_);
 }
 
 BitReader::BitReader(std::span<const uint8_t> bytes) : bytes_(bytes)
@@ -36,14 +62,21 @@ BitReader::get(int count)
     CDMA_ASSERT(!exhausted(count),
                 "bit stream exhausted reading %d bits at position %llu",
                 count, static_cast<unsigned long long>(bit_pos_));
-    uint32_t out = 0;
-    for (int i = 0; i < count; ++i) {
-        const size_t byte_index = static_cast<size_t>(bit_pos_ >> 3);
-        const int bit_index = static_cast<int>(bit_pos_ & 7);
-        out |= static_cast<uint32_t>((bytes_[byte_index] >> bit_index) & 1)
-            << i;
-        ++bit_pos_;
-    }
+    if (count == 0)
+        return 0;
+    // One bounded load of up to 8 bytes covers bit_off (<= 7) + count
+    // (<= 32) bits.
+    const size_t byte_index = static_cast<size_t>(bit_pos_ >> 3);
+    const int bit_off = static_cast<int>(bit_pos_ & 7);
+    uint64_t window = 0;
+    const size_t avail =
+        std::min<size_t>(sizeof(window), bytes_.size() - byte_index);
+    std::memcpy(&window, bytes_.data() + byte_index, avail);
+    window >>= bit_off;
+    const uint32_t out = count == 32
+        ? static_cast<uint32_t>(window)
+        : static_cast<uint32_t>(window) & ((1u << count) - 1u);
+    bit_pos_ += static_cast<uint64_t>(count);
     return out;
 }
 

@@ -2,7 +2,11 @@
  * @file
  * LSB-first bit stream reader/writer used by the DEFLATE-style codec.
  * Bits are packed into bytes starting at the least-significant bit, the
- * same convention as RFC 1951.
+ * same convention as RFC 1951. The writer batches bits in a 64-bit
+ * accumulator and can append directly into a caller-owned vector so whole
+ * compressed windows stream into a shared payload without an intermediate
+ * buffer; the reader fetches up to 64 bits per load instead of looping
+ * bit-by-bit.
  */
 
 #ifndef CDMA_COMPRESS_BITSTREAM_HH
@@ -18,17 +22,32 @@ namespace cdma {
 class BitWriter
 {
   public:
+    /** Write into an internally owned buffer (retrieved via finish()). */
+    BitWriter() : sink_(&own_bytes_) {}
+
+    /**
+     * Append to @p sink in place (bytes already present are preserved).
+     * Call flush() when done; finish() is reserved for the owning mode.
+     */
+    explicit BitWriter(std::vector<uint8_t> &sink) : sink_(&sink) {}
+
     /** Append the low @p count bits of @p bits (LSB first). */
     void put(uint32_t bits, int count);
 
-    /** Pad the final partial byte with zero bits and return the buffer. */
+    /** Pad the final partial byte with zero bits and emit it. */
+    void flush();
+
+    /** flush() and return the internally owned buffer. */
     std::vector<uint8_t> finish();
 
     /** Bits written so far. */
     uint64_t bitCount() const { return bit_count_; }
 
   private:
-    std::vector<uint8_t> bytes_;
+    std::vector<uint8_t> own_bytes_;
+    std::vector<uint8_t> *sink_;
+    uint64_t acc_ = 0;   ///< pending bits, LSB first
+    int acc_bits_ = 0;   ///< number of pending bits (< 8 between calls)
     uint64_t bit_count_ = 0;
 };
 

@@ -1,7 +1,9 @@
 #include "compress/compressor.hh"
 
 #include <algorithm>
+#include <cstring>
 
+#include "common/bits.hh"
 #include "common/logging.hh"
 #include "compress/deflate.hh"
 #include "compress/rle.hh"
@@ -45,6 +47,83 @@ Compressor::Compressor(uint64_t window_bytes) : window_bytes_(window_bytes)
     CDMA_ASSERT(window_bytes > 0, "compression window must be positive");
 }
 
+uint64_t
+Compressor::compressedBound(uint64_t raw_len) const
+{
+    // Conservative generic bound; the concrete codecs override with their
+    // exact worst case. Only affects reserve(), never correctness.
+    return 2 * raw_len + 64;
+}
+
+namespace {
+
+/**
+ * The legacy and streaming virtuals default to shims over each other, so
+ * a subclass overriding neither would recurse without bound; this guard
+ * turns that bug into an immediate panic instead of a stack overflow.
+ */
+struct ShimRecursionGuard {
+    explicit ShimRecursionGuard(bool &flag) : flag_(flag)
+    {
+        CDMA_ASSERT(!flag_,
+                    "codec overrides neither the legacy nor the "
+                    "streaming window virtual");
+        flag_ = true;
+    }
+    ~ShimRecursionGuard() { flag_ = false; }
+    bool &flag_;
+};
+
+thread_local bool compress_shim_active = false;
+thread_local bool decompress_shim_active = false;
+
+} // namespace
+
+void
+Compressor::compressWindowInto(std::span<const uint8_t> window,
+                               std::vector<uint8_t> &out) const
+{
+    // Compatibility shim for subclasses that only implement the legacy
+    // return-by-value virtual.
+    ShimRecursionGuard guard(compress_shim_active);
+    const auto compressed = compressWindow(window);
+    out.insert(out.end(), compressed.begin(), compressed.end());
+}
+
+void
+Compressor::decompressWindowInto(std::span<const uint8_t> payload,
+                                 uint64_t original_bytes,
+                                 uint8_t *out) const
+{
+    ShimRecursionGuard guard(decompress_shim_active);
+    const auto window = decompressWindow(payload, original_bytes);
+    CDMA_ASSERT(window.size() == original_bytes,
+                "decompressed window size %zu != expected %llu",
+                window.size(),
+                static_cast<unsigned long long>(original_bytes));
+    std::memcpy(out, window.data(), window.size());
+}
+
+std::vector<uint8_t>
+Compressor::compressWindow(std::span<const uint8_t> window) const
+{
+    std::vector<uint8_t> out;
+    out.reserve(compressedBound(window.size()));
+    compressWindowInto(window, out);
+    return out;
+}
+
+std::vector<uint8_t>
+Compressor::decompressWindow(std::span<const uint8_t> payload,
+                             uint64_t original_bytes) const
+{
+    // Pre-sized: one resize, then the codec writes in place — no
+    // incremental insert growth even on this legacy path.
+    std::vector<uint8_t> out(original_bytes);
+    decompressWindowInto(payload, original_bytes, out.data());
+    return out;
+}
+
 CompressedBuffer
 Compressor::compress(std::span<const uint8_t> input) const
 {
@@ -52,16 +131,25 @@ Compressor::compress(std::span<const uint8_t> input) const
     out.original_bytes = input.size();
     out.window_bytes = window_bytes_;
 
+    const uint64_t windows = ceilDiv(input.size(), window_bytes_);
+    out.window_sizes.reserve(windows);
+    // Reserve the whole-buffer worst case once so the per-window streaming
+    // appends below never reallocate or copy previous windows.
+    if (windows > 0) {
+        const uint64_t full = (windows - 1) * compressedBound(window_bytes_);
+        const uint64_t last = compressedBound(
+            input.size() - (windows - 1) * window_bytes_);
+        out.payload.reserve(full + last);
+    }
+
     for (uint64_t offset = 0; offset < input.size();
          offset += window_bytes_) {
         const uint64_t len =
             std::min<uint64_t>(window_bytes_, input.size() - offset);
-        auto window = input.subspan(offset, len);
-        auto compressed = compressWindow(window);
+        const size_t before = out.payload.size();
+        compressWindowInto(input.subspan(offset, len), out.payload);
         out.window_sizes.push_back(
-            static_cast<uint32_t>(compressed.size()));
-        out.payload.insert(out.payload.end(), compressed.begin(),
-                           compressed.end());
+            static_cast<uint32_t>(out.payload.size() - before));
     }
     return out;
 }
@@ -69,10 +157,12 @@ Compressor::compress(std::span<const uint8_t> input) const
 std::vector<uint8_t>
 Compressor::decompress(const CompressedBuffer &buffer) const
 {
-    std::vector<uint8_t> out;
-    out.reserve(buffer.original_bytes);
+    // Pre-sized output: every window decompresses straight into its slot,
+    // so stitching is free (no insert-at-end growth or copies).
+    std::vector<uint8_t> out(buffer.original_bytes);
 
     uint64_t payload_offset = 0;
+    uint64_t out_offset = 0;
     uint64_t remaining = buffer.original_bytes;
     for (uint32_t size : buffer.window_sizes) {
         const uint64_t raw =
@@ -81,12 +171,9 @@ Compressor::decompress(const CompressedBuffer &buffer) const
                     "window payload overruns compressed buffer");
         std::span<const uint8_t> payload(
             buffer.payload.data() + payload_offset, size);
-        auto window = decompressWindow(payload, raw);
-        CDMA_ASSERT(window.size() == raw,
-                    "decompressed window size %zu != expected %llu",
-                    window.size(), static_cast<unsigned long long>(raw));
-        out.insert(out.end(), window.begin(), window.end());
+        decompressWindowInto(payload, raw, out.data() + out_offset);
         payload_offset += size;
+        out_offset += raw;
         remaining -= raw;
     }
     CDMA_ASSERT(remaining == 0, "compressed buffer missing %llu bytes",

@@ -6,6 +6,13 @@
  * interface. Compression is windowed: the input is split into fixed-size
  * windows (4 KB by default, Section VII-A) and each window is compressed
  * independently, mirroring the hardware which operates on bounded buffers.
+ *
+ * The hot path is the streaming scratch-buffer API: compressWindowInto()
+ * appends a window's payload directly into a shared output vector and
+ * decompressWindowInto() reconstructs into a caller-provided region, so
+ * the per-window allocation and concatenation copies of the original
+ * return-by-value virtuals never happen. The old virtuals remain as thin
+ * compatibility shims layered on the streaming core.
  */
 
 #ifndef CDMA_COMPRESS_COMPRESSOR_HH
@@ -60,8 +67,12 @@ struct CompressedBuffer {
 /**
  * Interface for a windowed lossless compressor.
  *
- * Subclasses implement compressWindow()/decompressWindow() on a single
- * window; the base class handles splitting, concatenation and verification.
+ * Subclasses implement the streaming pair compressWindowInto() /
+ * decompressWindowInto(); the base class handles splitting, framing and
+ * pre-sizing. The legacy return-by-value virtuals compressWindow() /
+ * decompressWindow() default to shims over the streaming pair (and vice
+ * versa), so a subclass must override at least one form of each
+ * direction — overriding neither would recurse.
  */
 class Compressor
 {
@@ -90,18 +101,48 @@ class Compressor
      */
     double measureRatio(std::span<const uint8_t> input) const;
 
-  protected:
-    /** Compress one window (at most windowBytes() long). */
-    virtual std::vector<uint8_t>
-    compressWindow(std::span<const uint8_t> window) const = 0;
+    /**
+     * Streaming core: compress one window (at most windowBytes() long),
+     * appending the payload to @p out. Only appends — bytes already in
+     * @p out are preserved, so windows stream directly into the shared
+     * CompressedBuffer::payload with no intermediate vector. Thread-safe:
+     * may be called concurrently on distinct @p out buffers.
+     */
+    virtual void compressWindowInto(std::span<const uint8_t> window,
+                                    std::vector<uint8_t> &out) const;
 
     /**
-     * Decompress one window payload back into exactly @p original_bytes
-     * bytes.
+     * Streaming core: decompress one window payload into the
+     * caller-provided region at @p out, writing exactly @p original_bytes
+     * bytes (including any zeros). Thread-safe on distinct regions.
+     */
+    virtual void decompressWindowInto(std::span<const uint8_t> payload,
+                                      uint64_t original_bytes,
+                                      uint8_t *out) const;
+
+    /**
+     * Upper bound on the compressed size of a window of @p raw_len bytes,
+     * used to pre-reserve payload capacity so streaming appends never
+     * reallocate. Must be >= the size compressWindowInto() appends.
+     */
+    virtual uint64_t compressedBound(uint64_t raw_len) const;
+
+  protected:
+    /**
+     * Legacy form: compress one window into a fresh vector. Default is a
+     * shim over compressWindowInto().
+     */
+    virtual std::vector<uint8_t>
+    compressWindow(std::span<const uint8_t> window) const;
+
+    /**
+     * Legacy form: decompress one window payload back into exactly
+     * @p original_bytes bytes. Default is a pre-sized shim over
+     * decompressWindowInto() (no incremental growth).
      */
     virtual std::vector<uint8_t>
     decompressWindow(std::span<const uint8_t> payload,
-                     uint64_t original_bytes) const = 0;
+                     uint64_t original_bytes) const;
 
   private:
     uint64_t window_bytes_;

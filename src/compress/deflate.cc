@@ -1,6 +1,7 @@
 #include "compress/deflate.hh"
 
 #include <array>
+#include <cstring>
 
 #include "common/logging.hh"
 #include "compress/huffman.hh"
@@ -95,8 +96,17 @@ DeflateCompressor::DeflateCompressor(uint64_t window_bytes,
 {
 }
 
-std::vector<uint8_t>
-DeflateCompressor::compressWindow(std::span<const uint8_t> window) const
+uint64_t
+DeflateCompressor::compressedBound(uint64_t raw_len) const
+{
+    // Worst case is incompressible data: up to 15-bit literal codes plus
+    // the serialized code-length tables.
+    return 2 * raw_len + 512;
+}
+
+void
+DeflateCompressor::compressWindowInto(std::span<const uint8_t> window,
+                                      std::vector<uint8_t> &out) const
 {
     const auto tokens = lz77Tokenize(window, lz_config_);
 
@@ -121,8 +131,9 @@ DeflateCompressor::compressWindow(std::span<const uint8_t> window) const
     const HuffmanEncoder litlen_enc(litlen_lengths);
     const HuffmanEncoder dist_enc(dist_lengths);
 
-    // Pass 2: header (code-length tables) then the token stream.
-    BitWriter writer;
+    // Pass 2: header (code-length tables) then the token stream, written
+    // directly into the shared payload.
+    BitWriter writer(out);
     writeLengths(writer, litlen_lengths);
     writeLengths(writer, dist_lengths);
 
@@ -145,15 +156,16 @@ DeflateCompressor::compressWindow(std::span<const uint8_t> window) const
         }
     }
     litlen_enc.encode(writer, kEndOfBlock);
-    return writer.finish();
+    writer.flush();
 }
 
-std::vector<uint8_t>
-DeflateCompressor::decompressWindow(std::span<const uint8_t> payload,
-                                    uint64_t original_bytes) const
+void
+DeflateCompressor::decompressWindowInto(std::span<const uint8_t> payload,
+                                        uint64_t original_bytes,
+                                        uint8_t *out) const
 {
     if (original_bytes == 0)
-        return {};
+        return;
 
     BitReader reader(payload);
     const auto litlen_lengths = readLengths(reader, kLitLenSymbols);
@@ -161,14 +173,15 @@ DeflateCompressor::decompressWindow(std::span<const uint8_t> payload,
     const HuffmanDecoder litlen_dec(litlen_lengths);
     const HuffmanDecoder dist_dec(dist_lengths);
 
-    std::vector<uint8_t> out;
-    out.reserve(original_bytes);
+    uint64_t pos = 0;
     for (;;) {
         const int symbol = litlen_dec.decode(reader);
         if (symbol == kEndOfBlock)
             break;
         if (symbol < 256) {
-            out.push_back(static_cast<uint8_t>(symbol));
+            CDMA_ASSERT(pos < original_bytes,
+                        "DEFLATE literal overflows the window");
+            out[pos++] = static_cast<uint8_t>(symbol);
             continue;
         }
         const int lcode = symbol - 257;
@@ -185,18 +198,25 @@ DeflateCompressor::decompressWindow(std::span<const uint8_t> payload,
         const int distance = kDistBase[static_cast<size_t>(dcode)] +
             static_cast<int>(
                 reader.get(kDistExtra[static_cast<size_t>(dcode)]));
-        CDMA_ASSERT(distance <= static_cast<int>(out.size()),
-                    "match distance %d exceeds history %zu", distance,
-                    out.size());
-        size_t src = out.size() - static_cast<size_t>(distance);
-        for (int i = 0; i < length; ++i)
-            out.push_back(out[src + static_cast<size_t>(i)]);
+        CDMA_ASSERT(distance <= static_cast<int>(pos),
+                    "match distance %d exceeds history %llu", distance,
+                    static_cast<unsigned long long>(pos));
+        CDMA_ASSERT(pos + static_cast<uint64_t>(length) <= original_bytes,
+                    "DEFLATE match overflows the window");
+        const uint8_t *src = out + pos - static_cast<uint64_t>(distance);
+        if (distance >= length) {
+            std::memcpy(out + pos, src, static_cast<size_t>(length));
+        } else {
+            // Overlapping match (RLE-style): must copy forward.
+            for (int i = 0; i < length; ++i)
+                out[pos + static_cast<uint64_t>(i)] = src[i];
+        }
+        pos += static_cast<uint64_t>(length);
     }
-    CDMA_ASSERT(out.size() == original_bytes,
-                "DEFLATE window decoded %zu bytes, expected %llu",
-                out.size(),
+    CDMA_ASSERT(pos == original_bytes,
+                "DEFLATE window decoded %llu bytes, expected %llu",
+                static_cast<unsigned long long>(pos),
                 static_cast<unsigned long long>(original_bytes));
-    return out;
 }
 
 } // namespace cdma

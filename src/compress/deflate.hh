@@ -38,13 +38,19 @@ class DeflateCompressor : public Compressor
 
     std::string name() const override { return "ZL"; }
 
-  protected:
-    std::vector<uint8_t>
-    compressWindow(std::span<const uint8_t> window) const override;
+    /**
+     * Streaming codec: the encoder's BitWriter appends straight into the
+     * shared payload vector and the decoder writes literals/matches into
+     * the caller's region, copying non-overlapping matches with memcpy.
+     */
+    void compressWindowInto(std::span<const uint8_t> window,
+                            std::vector<uint8_t> &out) const override;
 
-    std::vector<uint8_t>
-    decompressWindow(std::span<const uint8_t> payload,
-                     uint64_t original_bytes) const override;
+    void decompressWindowInto(std::span<const uint8_t> payload,
+                              uint64_t original_bytes,
+                              uint8_t *out) const override;
+
+    uint64_t compressedBound(uint64_t raw_len) const override;
 
   private:
     Lz77Config lz_config_;

@@ -1,0 +1,144 @@
+#include "compress/parallel.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace cdma {
+
+ParallelCompressor::ParallelCompressor(Algorithm algorithm,
+                                       uint64_t window_bytes,
+                                       unsigned lanes)
+    : ParallelCompressor(makeCompressor(algorithm, window_bytes), lanes)
+{
+}
+
+ParallelCompressor::ParallelCompressor(std::unique_ptr<Compressor> codec,
+                                       unsigned lanes)
+    : codec_(std::move(codec))
+{
+    CDMA_ASSERT(codec_ != nullptr, "ParallelCompressor needs a codec");
+    if (lanes != 1)
+        pool_ = std::make_unique<ThreadPool>(lanes);
+}
+
+CompressedBuffer
+ParallelCompressor::compress(std::span<const uint8_t> input) const
+{
+    const uint64_t window_bytes = codec_->windowBytes();
+    const uint64_t windows = ceilDiv(input.size(), window_bytes);
+    // Fan-out only pays when there is enough work per lane; small buffers
+    // (and the lanes == 1 configuration) take the serial path directly.
+    if (!pool_ || windows < 2)
+        return codec_->compress(input);
+
+    const uint64_t per_shard =
+        ceilDiv(windows, std::min<uint64_t>(pool_->lanes(), windows));
+    // Rounding per_shard up can make trailing shards redundant; recompute
+    // the count so every shard owns at least one window.
+    const uint64_t shards = ceilDiv(windows, per_shard);
+
+    struct Shard {
+        std::vector<uint8_t> payload;
+        std::vector<uint32_t> window_sizes;
+    };
+    std::vector<Shard> results(shards);
+
+    pool_->parallelFor(shards, [&](uint64_t s) {
+        const uint64_t first = s * per_shard;
+        const uint64_t last = std::min(windows, first + per_shard);
+        Shard &shard = results[s];
+        shard.window_sizes.reserve(last - first);
+        // Reserve the shard's worst case once; every window then streams
+        // in with zero further allocation.
+        uint64_t bound = 0;
+        for (uint64_t w = first; w < last; ++w) {
+            const uint64_t offset = w * window_bytes;
+            bound += codec_->compressedBound(
+                std::min<uint64_t>(window_bytes, input.size() - offset));
+        }
+        shard.payload.reserve(bound);
+        for (uint64_t w = first; w < last; ++w) {
+            const uint64_t offset = w * window_bytes;
+            const uint64_t len =
+                std::min<uint64_t>(window_bytes, input.size() - offset);
+            const size_t before = shard.payload.size();
+            codec_->compressWindowInto(input.subspan(offset, len),
+                                       shard.payload);
+            shard.window_sizes.push_back(
+                static_cast<uint32_t>(shard.payload.size() - before));
+        }
+    });
+
+    // Stitch: sizes are known, so the shared buffers are sized exactly
+    // once and shard payloads land with bulk copies.
+    CompressedBuffer out;
+    out.original_bytes = input.size();
+    out.window_bytes = window_bytes;
+    uint64_t payload_total = 0;
+    for (const Shard &shard : results)
+        payload_total += shard.payload.size();
+    out.payload.resize(payload_total);
+    out.window_sizes.reserve(windows);
+    uint64_t cursor = 0;
+    for (const Shard &shard : results) {
+        std::memcpy(out.payload.data() + cursor, shard.payload.data(),
+                    shard.payload.size());
+        cursor += shard.payload.size();
+        out.window_sizes.insert(out.window_sizes.end(),
+                                shard.window_sizes.begin(),
+                                shard.window_sizes.end());
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+ParallelCompressor::decompress(const CompressedBuffer &buffer) const
+{
+    const uint64_t windows = buffer.window_sizes.size();
+    if (!pool_ || windows < 2)
+        return codec_->decompress(buffer);
+
+    CDMA_ASSERT(windows == ceilDiv(buffer.original_bytes,
+                                   buffer.window_bytes),
+                "window count inconsistent with original size");
+
+    // Per-window payload offsets (prefix sum), so every window can be
+    // decompressed independently straight into its output slot.
+    std::vector<uint64_t> offsets(windows + 1, 0);
+    for (uint64_t w = 0; w < windows; ++w)
+        offsets[w + 1] = offsets[w] + buffer.window_sizes[w];
+    CDMA_ASSERT(offsets[windows] == buffer.payload.size(),
+                "window sizes do not cover the payload");
+
+    std::vector<uint8_t> out(buffer.original_bytes);
+    const uint64_t per_shard =
+        ceilDiv(windows, std::min<uint64_t>(pool_->lanes(), windows));
+    const uint64_t shards = ceilDiv(windows, per_shard);
+
+    pool_->parallelFor(shards, [&](uint64_t s) {
+        const uint64_t first = s * per_shard;
+        const uint64_t last = std::min(windows, first + per_shard);
+        for (uint64_t w = first; w < last; ++w) {
+            const uint64_t out_offset = w * buffer.window_bytes;
+            const uint64_t raw = std::min<uint64_t>(
+                buffer.window_bytes, buffer.original_bytes - out_offset);
+            codec_->decompressWindowInto(
+                std::span<const uint8_t>(
+                    buffer.payload.data() + offsets[w],
+                    buffer.window_sizes[w]),
+                raw, out.data() + out_offset);
+        }
+    });
+    return out;
+}
+
+double
+ParallelCompressor::measureRatio(std::span<const uint8_t> input) const
+{
+    return compress(input).effectiveRatio();
+}
+
+} // namespace cdma

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Parallel window fan-out over any windowed Compressor — the software
+ * analogue of the paper's replicated compression/decompression pipelines
+ * (Section V-B provisions enough CPE/DPE replicas that the ZVC engine
+ * matches the DMA link rate). Windows are independent by construction, so
+ * a buffer's window list is partitioned into contiguous shards, each lane
+ * compresses its shard into a privately reserved payload via the
+ * streaming compressWindowInto() API, and the shards are stitched with
+ * pre-sized bulk copies. The result is bit-identical to the serial
+ * Compressor::compress() on every input.
+ */
+
+#ifndef CDMA_COMPRESS_PARALLEL_HH
+#define CDMA_COMPRESS_PARALLEL_HH
+
+#include <memory>
+
+#include "common/thread_pool.hh"
+#include "compress/compressor.hh"
+
+namespace cdma {
+
+/** Multi-threaded wrapper around a serial windowed compressor. */
+class ParallelCompressor
+{
+  public:
+    /**
+     * @param algorithm Codec replicated across the lanes.
+     * @param window_bytes Compression window.
+     * @param lanes Worker lanes (including the caller). 0 = one per
+     *        hardware thread; 1 = serial (no pool, no synchronization).
+     */
+    explicit ParallelCompressor(
+        Algorithm algorithm,
+        uint64_t window_bytes = Compressor::kDefaultWindowBytes,
+        unsigned lanes = 0);
+
+    /** Wrap an existing codec (must be stateless/thread-safe, as all
+     *  in-tree codecs are). */
+    ParallelCompressor(std::unique_ptr<Compressor> codec, unsigned lanes);
+
+    /** Algorithm tag of the underlying codec. */
+    std::string name() const { return codec_->name(); }
+
+    /** Compression window in bytes. */
+    uint64_t windowBytes() const { return codec_->windowBytes(); }
+
+    /** Execution lanes. */
+    unsigned lanes() const { return pool_ ? pool_->lanes() : 1; }
+
+    /** The wrapped serial codec. */
+    const Compressor &serial() const { return *codec_; }
+
+    /**
+     * Compress @p input with the window space fanned out across the
+     * lanes. Output is byte-identical to serial().compress(input).
+     */
+    CompressedBuffer compress(std::span<const uint8_t> input) const;
+
+    /** Invert compress(), decompressing windows in parallel. */
+    std::vector<uint8_t> decompress(const CompressedBuffer &buffer) const;
+
+    /** Effective (store-raw floored) ratio of @p input. */
+    double measureRatio(std::span<const uint8_t> input) const;
+
+  private:
+    std::unique_ptr<Compressor> codec_;
+    std::unique_ptr<ThreadPool> pool_; ///< null when lanes == 1
+};
+
+} // namespace cdma
+
+#endif // CDMA_COMPRESS_PARALLEL_HH

@@ -20,6 +20,28 @@ isZeroWord(const uint8_t *p)
     return value == 0;
 }
 
+/**
+ * Length of the zero-word run starting at word @p i, capped at @p limit
+ * words. Strides 32 bytes (4 x 64-bit loads) through zero pages — at the
+ * paper's 50-90% activation sparsity most of the input is zero pages, and
+ * the word-at-a-time scan was the dominant cost of RLE compression.
+ */
+uint64_t
+zeroRunLength(const uint8_t *words, uint64_t i, uint64_t limit)
+{
+    uint64_t run = 1; // words[i] is known zero
+    while (run + 8 <= limit) {
+        uint64_t chunk[4];
+        std::memcpy(chunk, words + (i + run) * 4, sizeof(chunk));
+        if ((chunk[0] | chunk[1] | chunk[2] | chunk[3]) != 0)
+            break;
+        run += 8;
+    }
+    while (run < limit && isZeroWord(words + (i + run) * 4))
+        ++run;
+    return run;
+}
+
 } // namespace
 
 RleCompressor::RleCompressor(uint64_t window_bytes)
@@ -27,51 +49,59 @@ RleCompressor::RleCompressor(uint64_t window_bytes)
 {
 }
 
-std::vector<uint8_t>
-RleCompressor::compressWindow(std::span<const uint8_t> window) const
+uint64_t
+RleCompressor::compressedBound(uint64_t raw_len) const
 {
-    std::vector<uint8_t> out;
-    out.reserve(window.size() + window.size() / (kMaxRun * kWordBytes) + 8);
+    // Worst case: every word its own literal run (1 token byte + 4 data
+    // bytes per word) plus the raw sub-word tail.
+    return raw_len + raw_len / kWordBytes + kWordBytes;
+}
 
+void
+RleCompressor::compressWindowInto(std::span<const uint8_t> window,
+                                  std::vector<uint8_t> &out) const
+{
     const uint64_t words = window.size() / kWordBytes;
     const uint64_t tail_bytes = window.size() % kWordBytes;
+    const uint8_t *src = window.data();
+
+    // Capacity for the worst case up front: the appends below then never
+    // reallocate (callers that stream a whole buffer reserve once).
+    out.reserve(out.size() + compressedBound(window.size()));
 
     uint64_t i = 0;
     while (i < words) {
-        const bool zero = isZeroWord(window.data() + i * kWordBytes);
-        uint64_t run = 1;
-        while (i + run < words && run < kMaxRun &&
-               isZeroWord(window.data() + (i + run) * kWordBytes) == zero) {
-            ++run;
-        }
-        const auto token = static_cast<uint8_t>(run - 1);
-        if (zero) {
-            out.push_back(kZeroRunFlag | token);
+        const uint64_t cap = std::min<uint64_t>(kMaxRun, words - i);
+        if (isZeroWord(src + i * kWordBytes)) {
+            const uint64_t run = zeroRunLength(src, i, cap);
+            out.push_back(
+                kZeroRunFlag | static_cast<uint8_t>(run - 1));
+            i += run;
         } else {
-            out.push_back(token);
-            const uint8_t *src = window.data() + i * kWordBytes;
-            out.insert(out.end(), src, src + run * kWordBytes);
+            uint64_t run = 1;
+            while (run < cap && !isZeroWord(src + (i + run) * kWordBytes))
+                ++run;
+            out.push_back(static_cast<uint8_t>(run - 1));
+            const uint8_t *data = src + i * kWordBytes;
+            out.insert(out.end(), data, data + run * kWordBytes);
+            i += run;
         }
-        i += run;
     }
 
     // Sub-word tail stored raw (prefixed by a literal token of one word
     // would mis-size it; the framing knows the original size so raw bytes
     // at the end are unambiguous).
     if (tail_bytes) {
-        const uint8_t *src = window.data() + words * kWordBytes;
-        out.insert(out.end(), src, src + tail_bytes);
+        const uint8_t *data = src + words * kWordBytes;
+        out.insert(out.end(), data, data + tail_bytes);
     }
-    return out;
 }
 
-std::vector<uint8_t>
-RleCompressor::decompressWindow(std::span<const uint8_t> payload,
-                                uint64_t original_bytes) const
+void
+RleCompressor::decompressWindowInto(std::span<const uint8_t> payload,
+                                    uint64_t original_bytes,
+                                    uint8_t *out) const
 {
-    std::vector<uint8_t> out;
-    out.reserve(original_bytes);
-
     const uint64_t words = original_bytes / kWordBytes;
     const uint64_t tail_bytes = original_bytes % kWordBytes;
 
@@ -84,13 +114,13 @@ RleCompressor::decompressWindow(std::span<const uint8_t> payload,
         const uint64_t run = static_cast<uint64_t>(token & 0x7F) + 1;
         CDMA_ASSERT(produced + run <= words,
                     "RLE run overflows the original window size");
+        uint8_t *dst = out + produced * kWordBytes;
         if (token & kZeroRunFlag) {
-            out.insert(out.end(), run * kWordBytes, 0);
+            std::memset(dst, 0, run * kWordBytes);
         } else {
             CDMA_ASSERT(cursor + run * kWordBytes <= payload.size(),
                         "RLE payload truncated in literal run");
-            out.insert(out.end(), payload.data() + cursor,
-                       payload.data() + cursor + run * kWordBytes);
+            std::memcpy(dst, payload.data() + cursor, run * kWordBytes);
             cursor += run * kWordBytes;
         }
         produced += run;
@@ -99,14 +129,13 @@ RleCompressor::decompressWindow(std::span<const uint8_t> payload,
     if (tail_bytes) {
         CDMA_ASSERT(cursor + tail_bytes <= payload.size(),
                     "RLE payload truncated in raw tail");
-        out.insert(out.end(), payload.data() + cursor,
-                   payload.data() + cursor + tail_bytes);
+        std::memcpy(out + words * kWordBytes, payload.data() + cursor,
+                    tail_bytes);
         cursor += tail_bytes;
     }
     CDMA_ASSERT(cursor == payload.size(),
                 "RLE payload has %zu trailing bytes",
                 payload.size() - cursor);
-    return out;
 }
 
 } // namespace cdma

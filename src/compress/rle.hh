@@ -30,13 +30,19 @@ class RleCompressor : public Compressor
 
     std::string name() const override { return "RL"; }
 
-  protected:
-    std::vector<uint8_t>
-    compressWindow(std::span<const uint8_t> window) const override;
+    /**
+     * Streaming codec with a fast path for long all-zero runs (64-bit
+     * strides instead of a word-at-a-time scan) and memset/memcpy run
+     * reconstruction.
+     */
+    void compressWindowInto(std::span<const uint8_t> window,
+                            std::vector<uint8_t> &out) const override;
 
-    std::vector<uint8_t>
-    decompressWindow(std::span<const uint8_t> payload,
-                     uint64_t original_bytes) const override;
+    void decompressWindowInto(std::span<const uint8_t> payload,
+                              uint64_t original_bytes,
+                              uint8_t *out) const override;
+
+    uint64_t compressedBound(uint64_t raw_len) const override;
 };
 
 } // namespace cdma

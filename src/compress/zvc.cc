@@ -1,11 +1,25 @@
 #include "compress/zvc.hh"
 
+#include <bit>
 #include <cstring>
 
 #include "common/bits.hh"
 #include "common/logging.hh"
 
 namespace cdma {
+
+namespace {
+
+/** Unaligned 32-bit word load. */
+inline uint32_t
+loadWord(const uint8_t *p)
+{
+    uint32_t value;
+    std::memcpy(&value, p, sizeof(value));
+    return value;
+}
+
+} // namespace
 
 ZvcCompressor::ZvcCompressor(uint64_t window_bytes)
     : Compressor(window_bytes)
@@ -19,59 +33,89 @@ ZvcCompressor::predictedBytes(uint64_t total_words, uint64_t nonzero_words)
     return masks * sizeof(uint32_t) + nonzero_words * kWordBytes;
 }
 
-std::vector<uint8_t>
-ZvcCompressor::compressWindow(std::span<const uint8_t> window) const
+uint64_t
+ZvcCompressor::compressedBound(uint64_t raw_len) const
 {
-    std::vector<uint8_t> out;
-    out.reserve(window.size() + window.size() / kMaskWords + 8);
+    // Exact worst case: every word non-zero plus one mask per group plus
+    // the raw sub-word tail.
+    const uint64_t words = raw_len / kWordBytes;
+    return predictedBytes(words, words) + raw_len % kWordBytes;
+}
 
+void
+ZvcCompressor::compressWindowInto(std::span<const uint8_t> window,
+                                  std::vector<uint8_t> &out) const
+{
     const uint64_t full_words = window.size() / kWordBytes;
     const uint64_t tail_bytes = window.size() % kWordBytes;
+    const uint8_t *src = window.data();
+
+    // Single pass, sized to the worst case up front and trimmed once at
+    // the end. The value compaction is the software mirror of the
+    // hardware's prefix-sum shift network (Figure 10a): every word is
+    // stored unconditionally and the write pointer advances only for
+    // non-zero words, so the 50-90% density range compresses without a
+    // single data-dependent branch (a mispredict per word is what makes
+    // the naive loop collapse at exactly those densities).
+    const size_t base = out.size();
+    out.resize(base + compressedBound(window.size()));
+    uint8_t *out_base = out.data() + base;
+    uint8_t *dst = out_base;
 
     uint64_t word = 0;
     while (word < full_words) {
         const uint64_t group =
             std::min<uint64_t>(kMaskWords, full_words - word);
-
+        uint8_t *mask_pos = dst;
+        dst += sizeof(uint32_t);
         uint32_t mask = 0;
-        for (uint64_t i = 0; i < group; ++i) {
-            uint32_t value;
-            std::memcpy(&value, window.data() + (word + i) * kWordBytes,
-                        kWordBytes);
-            if (value != 0)
-                mask |= 1u << i;
-        }
 
-        const size_t mask_pos = out.size();
-        out.resize(mask_pos + sizeof(uint32_t));
-        std::memcpy(out.data() + mask_pos, &mask, sizeof(uint32_t));
-
-        for (uint64_t i = 0; i < group; ++i) {
-            if (mask & (1u << i)) {
-                const uint8_t *src =
-                    window.data() + (word + i) * kWordBytes;
-                out.insert(out.end(), src, src + kWordBytes);
+        if (group == kMaskWords) {
+            // 4 sub-blocks of 8 words: a 32-byte OR first, so all-zero
+            // blocks (the common case in sparse activation pages) skip at
+            // load bandwidth, then branchless compaction for the rest.
+            for (int sub = 0; sub < 4; ++sub) {
+                const uint8_t *p = src + (word + sub * 8) * kWordBytes;
+                uint64_t chunk[4];
+                std::memcpy(chunk, p, sizeof(chunk));
+                if ((chunk[0] | chunk[1] | chunk[2] | chunk[3]) == 0)
+                    continue;
+                for (int j = 0; j < 8; ++j) {
+                    const uint32_t value = loadWord(p + j * kWordBytes);
+                    std::memcpy(dst, &value, kWordBytes);
+                    const uint32_t nz = value != 0;
+                    dst += nz * kWordBytes;
+                    mask |= nz << (sub * 8 + j);
+                }
+            }
+        } else {
+            for (uint64_t i = 0; i < group; ++i) {
+                const uint32_t value =
+                    loadWord(src + (word + i) * kWordBytes);
+                std::memcpy(dst, &value, kWordBytes);
+                const uint32_t nz = value != 0;
+                dst += nz * kWordBytes;
+                mask |= nz << i;
             }
         }
+        std::memcpy(mask_pos, &mask, sizeof(mask));
         word += group;
     }
 
     // Sub-word tail (only possible when the window is not a multiple of 4
     // bytes, e.g. the last window of an oddly sized buffer): stored raw.
     if (tail_bytes) {
-        const uint8_t *src = window.data() + full_words * kWordBytes;
-        out.insert(out.end(), src, src + tail_bytes);
+        std::memcpy(dst, src + full_words * kWordBytes, tail_bytes);
+        dst += tail_bytes;
     }
-    return out;
+    out.resize(base + static_cast<size_t>(dst - out_base));
 }
 
-std::vector<uint8_t>
-ZvcCompressor::decompressWindow(std::span<const uint8_t> payload,
-                                uint64_t original_bytes) const
+void
+ZvcCompressor::decompressWindowInto(std::span<const uint8_t> payload,
+                                    uint64_t original_bytes,
+                                    uint8_t *out) const
 {
-    std::vector<uint8_t> out;
-    out.reserve(original_bytes);
-
     const uint64_t full_words = original_bytes / kWordBytes;
     const uint64_t tail_bytes = original_bytes % kWordBytes;
 
@@ -83,19 +127,36 @@ ZvcCompressor::decompressWindow(std::span<const uint8_t> payload,
         CDMA_ASSERT(cursor + sizeof(uint32_t) <= payload.size(),
                     "ZVC payload truncated before mask");
         uint32_t mask;
-        std::memcpy(&mask, payload.data() + cursor, sizeof(uint32_t));
-        cursor += sizeof(uint32_t);
+        std::memcpy(&mask, payload.data() + cursor, sizeof(mask));
+        cursor += sizeof(mask);
+        // Bits beyond a short final group would index past the output
+        // region; drop them (the trailing-bytes assert below still flags
+        // the corrupt payload).
+        if (group < kMaskWords)
+            mask &= (1u << group) - 1u;
 
-        for (uint64_t i = 0; i < group; ++i) {
-            if (mask & (1u << i)) {
-                CDMA_ASSERT(cursor + kWordBytes <= payload.size(),
-                            "ZVC payload truncated in non-zero data");
-                out.insert(out.end(), payload.data() + cursor,
-                           payload.data() + cursor + kWordBytes);
-                cursor += kWordBytes;
-            } else {
-                out.insert(out.end(), kWordBytes, 0);
-            }
+        const uint64_t present = static_cast<uint64_t>(popcount32(mask));
+        CDMA_ASSERT(cursor + present * kWordBytes <= payload.size(),
+                    "ZVC payload truncated in non-zero data");
+
+        // Zero the whole group once, then scatter the non-zero runs; both
+        // sides are bulk memset/memcpy instead of per-word appends.
+        uint8_t *group_out = out + word * kWordBytes;
+        std::memset(group_out, 0,
+                    static_cast<size_t>(group) * kWordBytes);
+        uint32_t bits = mask;
+        uint64_t index = 0;
+        while (bits) {
+            const int skip = std::countr_zero(bits);
+            bits >>= skip;
+            index += static_cast<uint64_t>(skip);
+            const int run = std::countr_one(bits);
+            std::memcpy(group_out + index * kWordBytes,
+                        payload.data() + cursor,
+                        static_cast<size_t>(run) * kWordBytes);
+            cursor += static_cast<size_t>(run) * kWordBytes;
+            index += static_cast<uint64_t>(run);
+            bits = run < 32 ? bits >> run : 0;
         }
         word += group;
     }
@@ -103,14 +164,13 @@ ZvcCompressor::decompressWindow(std::span<const uint8_t> payload,
     if (tail_bytes) {
         CDMA_ASSERT(cursor + tail_bytes <= payload.size(),
                     "ZVC payload truncated in raw tail");
-        out.insert(out.end(), payload.data() + cursor,
-                   payload.data() + cursor + tail_bytes);
+        std::memcpy(out + full_words * kWordBytes,
+                    payload.data() + cursor, tail_bytes);
         cursor += tail_bytes;
     }
     CDMA_ASSERT(cursor == payload.size(),
                 "ZVC payload has %zu trailing bytes",
                 payload.size() - cursor);
-    return out;
 }
 
 } // namespace cdma

@@ -39,13 +39,21 @@ class ZvcCompressor : public Compressor
     static uint64_t predictedBytes(uint64_t total_words,
                                    uint64_t nonzero_words);
 
-  protected:
-    std::vector<uint8_t>
-    compressWindow(std::span<const uint8_t> window) const override;
+    /**
+     * Single-pass streaming codec: masks are built with word loads and
+     * values are compacted branchlessly (unconditional store, pointer
+     * advance by word-is-nonzero — the software analogue of the
+     * hardware's prefix-sum shift network). Decompression popcounts each
+     * mask to bounds-check and scatter batched memcpy/memset runs.
+     */
+    void compressWindowInto(std::span<const uint8_t> window,
+                            std::vector<uint8_t> &out) const override;
 
-    std::vector<uint8_t>
-    decompressWindow(std::span<const uint8_t> payload,
-                     uint64_t original_bytes) const override;
+    void decompressWindowInto(std::span<const uint8_t> payload,
+                              uint64_t original_bytes,
+                              uint8_t *out) const override;
+
+    uint64_t compressedBound(uint64_t raw_len) const override;
 };
 
 } // namespace cdma

@@ -1,0 +1,70 @@
+/** @file Tests for the fork-join worker pool behind ParallelCompressor. */
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hh"
+
+namespace cdma {
+namespace {
+
+TEST(ThreadPool, SingleLaneRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.lanes(), 1u);
+    std::vector<uint64_t> order;
+    pool.parallelFor(5, [&](uint64_t i) { order.push_back(i); });
+    EXPECT_EQ(order, (std::vector<uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.lanes(), 4u);
+    constexpr uint64_t kCount = 10000;
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.parallelFor(kCount, [&](uint64_t i) { hits[i].fetch_add(1); });
+    for (uint64_t i = 0; i < kCount; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ZeroCountIsANoOp)
+{
+    ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    pool.parallelFor(0, [&](uint64_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, FewerItemsThanLanes)
+{
+    ThreadPool pool(8);
+    std::vector<std::atomic<int>> hits(3);
+    pool.parallelFor(3, [&](uint64_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossManyDispatches)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<uint64_t> sum{0};
+        pool.parallelFor(100, [&](uint64_t i) { sum.fetch_add(i + 1); });
+        EXPECT_EQ(sum.load(), 100u * 101u / 2);
+    }
+}
+
+TEST(ThreadPool, DefaultUsesHardwareConcurrency)
+{
+    ThreadPool pool; // lanes = 0 -> hardware concurrency (>= 1)
+    EXPECT_GE(pool.lanes(), 1u);
+    std::atomic<int> calls{0};
+    pool.parallelFor(17, [&](uint64_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 17);
+}
+
+} // namespace
+} // namespace cdma

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Equivalence tests for the zero-allocation streaming core and the
+ * parallel window fan-out: on every algorithm, density, size and lane
+ * count, the streaming *Into API, the legacy per-window virtuals and
+ * ParallelCompressor must produce byte-identical CompressedBuffers and
+ * lossless round trips.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "compress/deflate.hh"
+#include "compress/parallel.hh"
+#include "compress/rle.hh"
+#include "compress/zvc.hh"
+
+namespace cdma {
+namespace {
+
+/** ReLU-like fp32 words at the given density, with a raw-byte tail. */
+std::vector<uint8_t>
+makeInput(double density, size_t bytes, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint8_t> input(bytes, 0);
+    const size_t words = bytes / 4;
+    for (size_t i = 0; i < words; ++i) {
+        if (density > 0.0 && rng.bernoulli(density)) {
+            const float value =
+                1.0f + static_cast<float>(std::abs(rng.normal()));
+            std::memcpy(input.data() + i * 4, &value, 4);
+        }
+    }
+    // Sub-word tail bytes (if any) get non-zero values so the raw-tail
+    // path is exercised.
+    for (size_t i = words * 4; i < bytes; ++i)
+        input[i] = static_cast<uint8_t>(1 + rng.uniformInt(255));
+    return input;
+}
+
+void
+expectIdentical(const CompressedBuffer &a, const CompressedBuffer &b,
+                const char *what)
+{
+    EXPECT_EQ(a.original_bytes, b.original_bytes) << what;
+    EXPECT_EQ(a.window_bytes, b.window_bytes) << what;
+    EXPECT_EQ(a.window_sizes, b.window_sizes) << what;
+    EXPECT_EQ(a.payload, b.payload) << what;
+}
+
+/** Expose the protected legacy virtuals for the equivalence check. */
+template <typename Codec>
+struct LegacyAccess : Codec {
+    using Codec::Codec;
+    using Codec::compressWindow;
+    using Codec::decompressWindow;
+
+    /** The seed implementation of compress(): per-window vectors
+     *  concatenated by copy. */
+    CompressedBuffer
+    legacyCompress(std::span<const uint8_t> input) const
+    {
+        CompressedBuffer out;
+        out.original_bytes = input.size();
+        out.window_bytes = this->windowBytes();
+        for (uint64_t offset = 0; offset < input.size();
+             offset += this->windowBytes()) {
+            const uint64_t len = std::min<uint64_t>(
+                this->windowBytes(), input.size() - offset);
+            const auto window =
+                this->compressWindow(input.subspan(offset, len));
+            out.window_sizes.push_back(
+                static_cast<uint32_t>(window.size()));
+            out.payload.insert(out.payload.end(), window.begin(),
+                               window.end());
+        }
+        return out;
+    }
+};
+
+using EquivalenceParam =
+    std::tuple<Algorithm, double /*density*/, size_t /*size*/>;
+
+class StreamingEquivalence
+    : public ::testing::TestWithParam<EquivalenceParam>
+{
+};
+
+TEST_P(StreamingEquivalence, IntoApiMatchesLegacyPath)
+{
+    const auto [algorithm, density, size] = GetParam();
+    const auto input = makeInput(density, size, 99 + size);
+
+    const auto streaming = makeCompressor(algorithm)->compress(input);
+
+    CompressedBuffer legacy;
+    switch (algorithm) {
+      case Algorithm::Rle:
+        legacy = LegacyAccess<RleCompressor>().legacyCompress(input);
+        break;
+      case Algorithm::Zvc:
+        legacy = LegacyAccess<ZvcCompressor>().legacyCompress(input);
+        break;
+      case Algorithm::Zlib:
+        legacy = LegacyAccess<DeflateCompressor>().legacyCompress(input);
+        break;
+    }
+    expectIdentical(streaming, legacy, "streaming vs legacy");
+    EXPECT_EQ(makeCompressor(algorithm)->decompress(streaming), input);
+}
+
+TEST_P(StreamingEquivalence, ParallelMatchesSerialAcrossLaneCounts)
+{
+    const auto [algorithm, density, size] = GetParam();
+    const auto input = makeInput(density, size, 7 + size);
+    const auto serial = makeCompressor(algorithm)->compress(input);
+
+    for (unsigned lanes : {1u, 2u, 8u}) {
+        const ParallelCompressor parallel(
+            algorithm, Compressor::kDefaultWindowBytes, lanes);
+        const auto compressed = parallel.compress(input);
+        expectIdentical(serial, compressed, "parallel vs serial");
+        EXPECT_EQ(parallel.decompress(compressed), input);
+        // Parallel decompression of the serial buffer (and vice versa)
+        // must also round-trip: the formats are one and the same.
+        EXPECT_EQ(parallel.decompress(serial), input);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsDensitiesSizes, StreamingEquivalence,
+    ::testing::Combine(
+        ::testing::Values(Algorithm::Rle, Algorithm::Zvc, Algorithm::Zlib),
+        ::testing::Values(0.0, 0.25, 0.5, 1.0),
+        // Empty, sub-word, one window, odd sizes straddling window
+        // boundaries, sub-word tails on multi-window buffers.
+        ::testing::Values(size_t{0}, size_t{3}, size_t{4096},
+                          size_t{4097}, size_t{40963}, size_t{65536})),
+    [](const auto &info) {
+        return algorithmName(std::get<0>(info.param)) + "_d" +
+            std::to_string(
+                static_cast<int>(std::get<1>(info.param) * 100)) +
+            "_s" + std::to_string(std::get<2>(info.param));
+    });
+
+TEST(ParallelCompressor, LaneCountsAndSerialFallback)
+{
+    const ParallelCompressor serial(Algorithm::Zvc, 4096, 1);
+    EXPECT_EQ(serial.lanes(), 1u);
+    const ParallelCompressor eight(Algorithm::Zvc, 4096, 8);
+    EXPECT_EQ(eight.lanes(), 8u);
+    EXPECT_EQ(eight.name(), "ZV");
+    EXPECT_EQ(eight.windowBytes(), 4096u);
+}
+
+TEST(ParallelCompressor, SingleWindowTakesSerialPath)
+{
+    // A buffer smaller than one window cannot fan out; result must still
+    // be identical.
+    const auto input = makeInput(0.5, 1000, 3);
+    const ParallelCompressor parallel(Algorithm::Zvc, 4096, 8);
+    expectIdentical(makeCompressor(Algorithm::Zvc)->compress(input),
+                    parallel.compress(input), "single window");
+}
+
+TEST(ParallelCompressor, ManyMoreWindowsThanLanes)
+{
+    const auto input = makeInput(0.3, (1 << 20) + 37, 11);
+    const ParallelCompressor parallel(Algorithm::Rle, 4096, 3);
+    const auto serial = makeCompressor(Algorithm::Rle)->compress(input);
+    expectIdentical(serial, parallel.compress(input), "257 windows");
+    EXPECT_EQ(parallel.decompress(serial), input);
+}
+
+TEST(ParallelCompressor, MeasureRatioMatchesSerial)
+{
+    const auto input = makeInput(0.25, 1 << 18, 5);
+    const ParallelCompressor parallel(Algorithm::Zvc, 4096, 4);
+    EXPECT_DOUBLE_EQ(parallel.measureRatio(input),
+                     makeCompressor(Algorithm::Zvc)->measureRatio(input));
+}
+
+TEST(StreamingInto, AppendsWithoutDisturbingExistingBytes)
+{
+    // compressWindowInto must be strictly append-only: prior contents of
+    // the shared payload buffer stay untouched.
+    const auto input = makeInput(0.5, 4096, 21);
+    for (Algorithm algorithm : kAllAlgorithms) {
+        const auto codec = makeCompressor(algorithm);
+        std::vector<uint8_t> out = {0xDE, 0xAD, 0xBE, 0xEF};
+        codec->compressWindowInto(input, out);
+        ASSERT_GT(out.size(), 4u);
+        EXPECT_EQ(out[0], 0xDE);
+        EXPECT_EQ(out[3], 0xEF);
+
+        // And the appended bytes are exactly one window's payload.
+        const auto whole = codec->compress(input);
+        ASSERT_EQ(whole.window_sizes.size(), 1u);
+        EXPECT_EQ(out.size() - 4, whole.payload.size());
+        EXPECT_TRUE(std::equal(out.begin() + 4, out.end(),
+                               whole.payload.begin()));
+    }
+}
+
+TEST(StreamingInto, DecompressIntoFillsExactRegion)
+{
+    const auto input = makeInput(0.25, 4096, 23);
+    for (Algorithm algorithm : kAllAlgorithms) {
+        const auto codec = makeCompressor(algorithm);
+        const auto compressed = codec->compress(input);
+        // Sentinel-padded region: the codec must write exactly the window
+        // and nothing else.
+        std::vector<uint8_t> region(input.size() + 8, 0xCC);
+        codec->decompressWindowInto(compressed.payload, input.size(),
+                                    region.data() + 4);
+        EXPECT_EQ(region[0], 0xCC);
+        EXPECT_EQ(region[3], 0xCC);
+        EXPECT_EQ(region[region.size() - 4], 0xCC);
+        EXPECT_TRUE(std::equal(input.begin(), input.end(),
+                               region.begin() + 4));
+    }
+}
+
+TEST(CompressedBound, CoversWorstCaseWindows)
+{
+    // Fully dense data is each codec's worst case; the bound must cover
+    // what the codec actually emits (it is what compress() pre-reserves).
+    const auto dense = makeInput(1.0, 4096, 31);
+    for (Algorithm algorithm : kAllAlgorithms) {
+        const auto codec = makeCompressor(algorithm);
+        const auto compressed = codec->compress(dense);
+        EXPECT_LE(compressed.payload.size(),
+                  codec->compressedBound(dense.size()))
+            << algorithmName(algorithm);
+    }
+}
+
+} // namespace
+} // namespace cdma
