@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Validate BENCH_kernel_throughput.json for the CI bench smoke job.
+
+The perf-trajectory tooling keys on three things per kernel benchmark:
+the algorithm (from the benchmark family name), the activation density
+(the benchmark argument), and the achieved throughput
+(``bytes_per_second``, reported as GB/s). A refactor that renames a
+family, drops the density argument, or stops calling
+``SetBytesProcessed`` silently breaks the trajectory; this script fails
+the job instead.
+
+Usage: bench/check_bench_json.py [path/to/BENCH_kernel_throughput.json]
+"""
+
+import json
+import re
+import sys
+
+# Families whose presence (at >= 1 density) the trajectory depends on,
+# and which must report bytes_per_second. The parallel/lane variants are
+# validated when present but are optional: a reduced smoke run may
+# filter to the serial kernels.
+REQUIRED_FAMILIES = ("BM_ZvcCompress", "BM_RleCompress", "BM_DeflateCompress")
+NAME_RE = re.compile(r"^BM_([A-Za-z]+?)(Compress|Decompress|CycleModel|"
+                     r"EngineCycleModel)?(Parallel)?(/\d+)*(/[a-z_]+)*$")
+
+
+def fail(message: str) -> None:
+    print(f"check_bench_json: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_kernel_throughput.json"
+    try:
+        with open(path, encoding="utf-8") as handle:
+            report = json.load(handle)
+    except FileNotFoundError:
+        fail(f"{path} is missing (did the bench binary run?)")
+    except json.JSONDecodeError as error:
+        fail(f"{path} is not valid JSON: {error}")
+
+    benchmarks = report.get("benchmarks")
+    if not benchmarks:
+        fail(f"{path} has no 'benchmarks' array (or it is empty)")
+
+    seen_families = set()
+    for entry in benchmarks:
+        name = entry.get("name")
+        if not name:
+            fail(f"benchmark entry without a name: {entry}")
+        if entry.get("run_type") == "aggregate":
+            continue
+        match = NAME_RE.match(name)
+        if not match:
+            fail(f"benchmark name '{name}' does not parse as "
+                 "BM_<Algorithm><Kind>[/density[/lanes]]")
+        family = name.split("/")[0]
+        seen_families.add(family)
+        # Every throughput kernel must report bytes_per_second (that is
+        # the GB/s column of docs/performance.md); the cycle-model
+        # benchmark reports a modeled-rate counter instead.
+        if "CycleModel" not in family:
+            bps = entry.get("bytes_per_second")
+            if not isinstance(bps, (int, float)) or bps <= 0:
+                fail(f"'{name}' lacks a positive bytes_per_second "
+                     f"(got {bps!r})")
+        # Compression kernels encode density as the first argument.
+        if "Compress" in family and "/" not in name:
+            fail(f"'{name}' is missing its density argument")
+
+    missing = [f for f in REQUIRED_FAMILIES if f not in seen_families]
+    if missing:
+        fail(f"required benchmark families absent: {', '.join(missing)}")
+
+    summary = []
+    for entry in benchmarks:
+        if entry.get("run_type") == "aggregate":
+            continue
+        name = entry.get("name", "")
+        family = name.split("/")[0]
+        bps = entry.get("bytes_per_second")
+        if (family in REQUIRED_FAMILIES and "/" in name
+                and isinstance(bps, (int, float))):
+            density = name.split("/")[1]
+            summary.append(f"{family[3:]} d{density}: {bps / 1e9:.2f} GB/s")
+    print(f"check_bench_json: OK ({len(benchmarks)} entries, "
+          f"{len(seen_families)} families)")
+    for line in summary:
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

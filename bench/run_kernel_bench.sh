@@ -4,12 +4,15 @@
 # perf trajectory to compare against.
 #
 # Usage: bench/run_kernel_bench.sh [extra google-benchmark flags...]
+# Env: BUILD_DIR overrides the build tree, BENCH_OUT the output path
+# (e.g. a scratch file for the CI smoke run, so a reduced-iteration run
+# never overwrites the checked-in trajectory numbers).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${BUILD_DIR:-${repo_root}/build}"
 binary="${build_dir}/bench/kernel_throughput"
-out="${repo_root}/BENCH_kernel_throughput.json"
+out="${BENCH_OUT:-${repo_root}/BENCH_kernel_throughput.json}"
 
 if [[ ! -x "${binary}" ]]; then
     echo "building kernel_throughput..." >&2

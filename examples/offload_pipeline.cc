@@ -3,9 +3,10 @@
  * Example: "what would cDMA buy me on this network?" Walks the full
  * modeling pipeline for one network (default VGG-16 at its Table I
  * batch): vDNN offload schedule and memory footprint, per-layer
- * compression ratios on synthetic trained activations, and the simulated
- * training iteration under vDNN / cDMA / oracle with a per-layer stall
- * breakdown.
+ * compression ratios on synthetic trained activations, the async
+ * double-buffered offload pipeline's per-layer compute/transfer overlap,
+ * and the simulated training iteration under vDNN / cDMA / oracle with a
+ * per-layer stall breakdown.
  *
  * Run: ./build/examples/offload_pipeline [AlexNet|OverFeat|NiN|VGG|
  *                                         SqueezeNet|GoogLeNet]
@@ -15,6 +16,7 @@
 #include <cstdio>
 #include <string>
 
+#include "cdma/offload_scheduler.hh"
 #include "common/rng.hh"
 #include "compress/parallel.hh"
 #include "perf/step_sim.hh"
@@ -40,17 +42,30 @@ main(int argc, char **argv)
         return 1;
     }
 
-    // 1. vDNN memory accounting.
+    // The engine models the async double-buffered offload pipeline:
+    // compression latency is explicit, and shard k+1 compresses while
+    // shard k drains over PCIe.
+    CdmaConfig engine_config;
+    engine_config.compression_lanes = 0; // all hardware threads
+    engine_config.timing_mode = TimingMode::Overlapped;
+    CdmaEngine engine(engine_config);
+    const OffloadScheduler scheduler(engine);
+
+    // 1. vDNN memory accounting (staging buffers included).
     VdnnMemoryManager manager(net, net.default_batch);
-    const MemoryFootprint fp = manager.footprint();
+    const MemoryFootprint fp = manager.footprint(engine);
     std::printf("== %s, batch %lld ==\n", net.name.c_str(),
                 static_cast<long long>(net.default_batch));
     std::printf("baseline GPU memory: %.2f GB (activations+gradients "
                 "%.0f%%)\n",
                 static_cast<double>(fp.baseline_total) / 1e9,
                 100.0 * fp.activationFraction());
-    std::printf("vDNN working set:    %.2f GB\n",
-                static_cast<double>(fp.vdnn_peak) / 1e9);
+    std::printf("vDNN working set:    %.2f GB (incl. %llu KB cDMA "
+                "staging: %u x %llu-window shards)\n",
+                static_cast<double>(fp.vdnn_peak) / 1e9,
+                static_cast<unsigned long long>(fp.staging_bytes / 1024),
+                engine.config().staging_buffers,
+                static_cast<unsigned long long>(scheduler.shardWindows()));
     std::printf("offload traffic:     %.2f GB per direction per "
                 "iteration\n\n",
                 static_cast<double>(manager.totalOffloadBytes()) / 1e9);
@@ -82,10 +97,54 @@ main(int argc, char **argv)
         ratios.push_back(zvc.measureRatio(sample.rawBytes()));
     }
 
-    // 3. Simulated iteration under each mode.
-    CdmaConfig engine_config;
-    engine_config.compression_lanes = 0; // all hardware threads
-    CdmaEngine engine(engine_config);
+    // 3. The double-buffered offload pipeline per layer: how much of the
+    //    compression leg hides under the wire leg (or vice versa for
+    //    fetch-capped layers, where compression is the bottleneck).
+    const auto plans = manager.plannedOffloads(engine, ratios);
+    std::printf("offload pipeline per layer (double-buffered, shard = "
+                "%llu windows):\n",
+                static_cast<unsigned long long>(scheduler.shardWindows()));
+    std::printf("  %-12s %9s %6s %9s %9s %9s %8s\n", "layer", "raw MB",
+                "ratio", "comp ms", "wire ms", "total ms", "overlap");
+    for (const auto &plan : plans) {
+        std::printf("  %-12s %9.2f %5.1fx %9.3f %9.3f %9.3f %7.1f%%%s\n",
+                    plan.label.c_str(),
+                    static_cast<double>(plan.raw_bytes) / 1e6, plan.ratio,
+                    plan.offload.compress_seconds * 1e3,
+                    plan.offload.wire_seconds * 1e3,
+                    plan.offload.overlapped_seconds * 1e3,
+                    100.0 * plan.offload.overlap_fraction,
+                    plan.offload.compress_seconds >
+                            plan.offload.wire_seconds
+                        ? "  [comp-bound]"
+                        : "");
+    }
+    double serialized = 0.0, overlapped = 0.0;
+    for (const auto &plan : plans) {
+        serialized += plan.offload.serializedSeconds();
+        overlapped += plan.offload.overlapped_seconds;
+    }
+    std::printf("  pipeline total: %.1f ms overlapped vs %.1f ms "
+                "serialized (%.0f%% of the serialized latency hidden)\n",
+                overlapped * 1e3, serialized * 1e3,
+                serialized > 0.0
+                    ? 100.0 * (serialized - overlapped) / serialized
+                    : 0.0);
+
+    // Backward propagation drains the same pipeline in reverse order
+    // (wire in, then decompress into the staging buffer); the per-map
+    // makespans are symmetric, so the prefetch leg costs the same.
+    const auto prefetches = manager.plannedPrefetches(engine, ratios);
+    double prefetch_total = 0.0;
+    for (const auto &plan : prefetches)
+        prefetch_total += plan.offload.overlapped_seconds;
+    std::printf("  prefetch leg (backward, reverse order, %s first): "
+                "%.1f ms overlapped\n\n",
+                prefetches.empty() ? "-" : prefetches.front().label.c_str(),
+                prefetch_total * 1e3);
+
+    // 4. Simulated iteration under each mode, with the overlap-aware
+    //    engine timing the cDMA transfers.
     PerfModel perf;
     StepSimulator sim(manager, engine, perf, CudnnVersion::V5);
     const StepResult oracle = sim.run(StepMode::Oracle);
@@ -93,16 +152,17 @@ main(int argc, char **argv)
     const StepResult cdma = sim.run(StepMode::Cdma, ratios);
 
     std::printf("iteration time: oracle %.1f ms | cDMA-ZV %.1f ms | "
-                "vDNN %.1f ms\n",
+                "vDNN %.1f ms   (%s timing)\n",
                 oracle.total_seconds * 1e3, cdma.total_seconds * 1e3,
-                vdnn.total_seconds * 1e3);
+                vdnn.total_seconds * 1e3,
+                timingModeName(engine.config().timing_mode).c_str());
     std::printf("cDMA speedup over vDNN: %.0f%%; PCIe wire traffic "
                 "%.2f GB -> %.2f GB\n\n",
                 100.0 * (cdma.speedupOver(vdnn) - 1.0),
                 static_cast<double>(vdnn.wire_transfer_bytes) / 1e9,
                 static_cast<double>(cdma.wire_transfer_bytes) / 1e9);
 
-    // 4. The five worst stalling layers under vDNN, and their fate under
+    // 5. The five worst stalling layers under vDNN, and their fate under
     //    cDMA.
     std::printf("worst vDNN stalls (layer: fwd stall -> cDMA fwd "
                 "stall, ms):\n");

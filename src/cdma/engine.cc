@@ -2,9 +2,20 @@
 
 #include <algorithm>
 
+#include "cdma/offload_scheduler.hh"
 #include "common/logging.hh"
 
 namespace cdma {
+
+std::string
+timingModeName(TimingMode mode)
+{
+    switch (mode) {
+      case TimingMode::CompressionFree: return "compression-free";
+      case TimingMode::Overlapped:      return "overlapped";
+    }
+    panic("unreachable timing mode %d", static_cast<int>(mode));
+}
 
 CdmaEngine::CdmaEngine(const CdmaConfig &config)
     : config_(config),
@@ -44,17 +55,29 @@ CdmaEngine::planTransfer(const std::string &label,
     if (!config_.compression_enabled) {
         return planFromRatio(label, data.size(), 1.0);
     }
-    const CompressedBuffer compressed = compressor_->compress(data);
     TransferPlan plan;
     plan.label = label;
     plan.raw_bytes = data.size();
-    plan.wire_bytes = compressed.effectiveBytes();
-    plan.ratio = compressed.effectiveRatio();
+    if (config_.timing_mode == TimingMode::Overlapped) {
+        // Double-buffered pipeline over the real per-shard compressed
+        // sizes: compression latency is explicit and the COMP_BW cap
+        // emerges when the compression stage cannot feed the link.
+        const OffloadScheduler scheduler(*this);
+        const OffloadResult result = scheduler.offload(data);
+        plan.wire_bytes = result.buffer.effectiveBytes();
+        plan.ratio = result.buffer.effectiveRatio();
+        plan.offload = result.timing;
+        plan.seconds = result.timing.overlapped_seconds;
+    } else {
+        const CompressedBuffer compressed = compressor_->compress(data);
+        plan.wire_bytes = compressed.effectiveBytes();
+        plan.ratio = compressed.effectiveRatio();
+        plan.seconds = transferSeconds(plan.wire_bytes, plan.ratio);
+    }
     plan.required_fetch_bandwidth =
         plan.ratio * config_.gpu.pcie_bandwidth;
     plan.fetch_capped =
         plan.required_fetch_bandwidth > config_.gpu.comp_bandwidth;
-    plan.seconds = transferSeconds(plan.wire_bytes, plan.ratio);
     return plan;
 }
 
@@ -75,7 +98,17 @@ CdmaEngine::planFromRatio(const std::string &label, uint64_t raw_bytes,
         plan.ratio * config_.gpu.pcie_bandwidth;
     plan.fetch_capped =
         plan.required_fetch_bandwidth > config_.gpu.comp_bandwidth;
-    plan.seconds = transferSeconds(plan.wire_bytes, plan.ratio);
+    // With compression disabled there is no cDMA engine in the path, so
+    // the overlap pipeline (and its compression-fetch leg) does not
+    // apply: plain DMA occupancy regardless of timing mode.
+    if (config_.timing_mode == TimingMode::Overlapped &&
+        config_.compression_enabled) {
+        const OffloadScheduler scheduler(*this);
+        plan.offload = scheduler.modelFromRatio(raw_bytes, plan.ratio);
+        plan.seconds = plan.offload.overlapped_seconds;
+    } else {
+        plan.seconds = transferSeconds(plan.wire_bytes, plan.ratio);
+    }
     return plan;
 }
 

@@ -35,6 +35,55 @@
 
 namespace cdma {
 
+/**
+ * How a transfer plan accounts for compression latency.
+ *
+ * The seed model (CompressionFree) treats compression as instantaneous:
+ * plan.seconds is PCIe occupancy with the Section VI fetch-bandwidth
+ * inflation folded in as a multiplier. Overlapped replaces that
+ * assumption with the double-buffered offload pipeline of Section V-C:
+ * the buffer is cut into staging-sized shards, shard k+1 compresses
+ * while shard k drains over PCIe, and plan.seconds becomes the pipeline
+ * makespan — the fetch cap then *emerges* (a compression stage that
+ * cannot feed the link at line rate becomes the pipeline bottleneck)
+ * instead of being bolted on.
+ */
+enum class TimingMode {
+    CompressionFree, ///< seed model: compression costs nothing
+    Overlapped,      ///< double-buffered compress/transfer pipeline
+};
+
+/** Display name of a timing mode. */
+std::string timingModeName(TimingMode mode);
+
+/**
+ * Timing of one offloaded buffer under the double-buffered pipeline
+ * model. All times are modeled seconds (compression fetches raw bytes at
+ * COMP_BW; the wire drains store-raw-floored bytes at effective PCIe
+ * bandwidth).
+ */
+struct OffloadTiming {
+    double compress_seconds = 0.0; ///< sum of per-shard compression times
+    double wire_seconds = 0.0;     ///< sum of per-shard wire times
+    /** Pipeline makespan: first byte fetched to last byte on the wire. */
+    double overlapped_seconds = 0.0;
+    /** Fraction of the hideable (shorter) leg actually hidden, in [0,1]. */
+    double overlap_fraction = 0.0;
+    uint64_t shard_count = 0; ///< staging shards the buffer was cut into
+
+    /** What the same transfer costs with no overlap at all. */
+    double serializedSeconds() const
+    {
+        return compress_seconds + wire_seconds;
+    }
+
+    /** Latency hidden by the pipeline relative to serialization. */
+    double hiddenSeconds() const
+    {
+        return serializedSeconds() - overlapped_seconds;
+    }
+};
+
 /** Configuration of the cDMA engine. */
 struct CdmaConfig {
     GpuSpec gpu;
@@ -48,6 +97,16 @@ struct CdmaConfig {
      * pipelines. 1 = serial; 0 = one lane per hardware thread.
      */
     unsigned compression_lanes = 1;
+    /** Compression-latency model for planned transfers. */
+    TimingMode timing_mode = TimingMode::CompressionFree;
+    /**
+     * Staging-shard size of the offload pipeline, rounded down to whole
+     * compression windows. 0 derives it from the paper's bandwidth-delay
+     * DMA buffer (GpuSpec::dmaBufferBytes(), 70 KB at 200 GB/s x 350 ns).
+     */
+    uint64_t shard_bytes = 0;
+    /** Staging buffers in flight; 2 = classic double buffering. */
+    unsigned staging_buffers = 2;
 };
 
 /** Outcome of planning one activation-map transfer. */
@@ -56,9 +115,16 @@ struct TransferPlan {
     uint64_t raw_bytes = 0;   ///< uncompressed activation size
     uint64_t wire_bytes = 0;  ///< bytes actually crossing PCIe
     double ratio = 1.0;       ///< raw / wire
-    double seconds = 0.0;     ///< modeled PCIe occupancy incl. cap penalty
+    /**
+     * Modeled offload latency. CompressionFree: PCIe occupancy including
+     * the cap penalty. Overlapped: the pipeline makespan
+     * (offload.overlapped_seconds).
+     */
+    double seconds = 0.0;
     double required_fetch_bandwidth = 0.0; ///< ratio x PCIe bandwidth
     bool fetch_capped = false; ///< true when COMP_BW limited the transfer
+    /** Pipeline breakdown; all zeros under TimingMode::CompressionFree. */
+    OffloadTiming offload;
 };
 
 /** The compressing DMA engine model. */

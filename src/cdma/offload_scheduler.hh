@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Async double-buffered offload pipeline — the engine-side realization of
+ * the paper's Section V-C dataflow, where the cDMA unit compresses
+ * activation data into a bandwidth-delay-sized staging buffer while the
+ * PCIe DMA unit drains the previously filled buffer. The scheduler drives
+ * ParallelCompressor shard-by-shard on its thread pool (real bytes, real
+ * compression, consumed in deterministic shard order) and runs a
+ * discrete-event model of the staging pipeline on sim/EventQueue +
+ * sim/Channel, so shard k+1's compression overlaps shard k's wire time.
+ *
+ * The timing model has two rules:
+ *  - the compression engine is serial across shards and fetches raw bytes
+ *    at COMP_BW (GpuSpec::comp_bandwidth);
+ *  - a shard occupies one staging buffer from the moment its compression
+ *    starts until its last byte leaves on the wire, and only
+ *    staging_buffers (default 2) may be in flight at once.
+ *
+ * For uniform shards (compression time c, wire time w, n shards) the
+ * resulting makespan has the closed form
+ *
+ *     overlapped = n * max(c, w) + min(c, w)
+ *
+ * — one fill of the shorter stage plus the longer stage at its full rate —
+ * which tests/cdma/offload_scheduler_test.cc pins to 1e-9 relative error.
+ */
+
+#ifndef CDMA_CDMA_OFFLOAD_SCHEDULER_HH
+#define CDMA_CDMA_OFFLOAD_SCHEDULER_HH
+
+#include <span>
+#include <vector>
+
+#include "cdma/engine.hh"
+
+namespace cdma {
+
+/** Byte counts of one staging shard entering the pipeline model. */
+struct ShardTransfer {
+    uint64_t raw_bytes = 0;  ///< uncompressed bytes the shard covers
+    uint64_t wire_bytes = 0; ///< store-raw-floored bytes put on the wire
+};
+
+/** Outcome of one scheduled offload: data and modeled timing. */
+struct OffloadResult {
+    /** Compressed buffer, byte-identical to ParallelCompressor::compress. */
+    CompressedBuffer buffer;
+    /** Pipeline timing over the real per-shard compressed sizes. */
+    OffloadTiming timing;
+    /** Per-shard byte counts, in drain order. */
+    std::vector<ShardTransfer> shards;
+};
+
+/**
+ * Drives compression and models the double-buffered compress/transfer
+ * pipeline for one cDMA engine.
+ */
+class OffloadScheduler
+{
+  public:
+    explicit OffloadScheduler(const CdmaEngine &engine);
+
+    /** Windows per staging shard (>= 1), from CdmaConfig::shard_bytes. */
+    uint64_t shardWindows() const { return shard_windows_; }
+
+    /**
+     * Offload @p data: compress it shard-by-shard on the engine's lanes,
+     * stitch the shards into a CompressedBuffer as they drain (in shard
+     * order, while later shards are still compressing), and model the
+     * double-buffered pipeline over the measured per-shard sizes.
+     */
+    OffloadResult offload(std::span<const uint8_t> data) const;
+
+    /**
+     * Pipeline timing for a transfer of @p raw_bytes at a known
+     * compression ratio (the analytic path): uniform staging shards at
+     * ratio, a trailing partial shard when raw_bytes is not a multiple
+     * of the shard size.
+     */
+    OffloadTiming modelFromRatio(uint64_t raw_bytes, double ratio) const;
+
+    /**
+     * The core pipeline model: shard k's compression starts when the
+     * compression engine is free AND a staging buffer is free (shard
+     * k - staging_buffers + 1 has drained); its wire transfer starts when
+     * its compression ends and the channel is free (FIFO). Runs on a
+     * deterministic event queue; returns the aggregate timing.
+     */
+    static OffloadTiming pipelineTiming(std::span<const ShardTransfer> shards,
+                                        double compress_bandwidth,
+                                        double wire_bandwidth,
+                                        unsigned staging_buffers = 2);
+
+  private:
+    const CdmaEngine &engine_;
+    uint64_t shard_windows_;
+};
+
+} // namespace cdma
+
+#endif // CDMA_CDMA_OFFLOAD_SCHEDULER_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Byte-buffer type for the compression hot paths. std::vector<uint8_t>
+ * value-initializes every element it creates, so resize-to-bound staging
+ * (ZVC's single-pass window emit) and pre-sized decompression outputs
+ * paid a redundant memset over bytes the codec overwrites immediately.
+ * ByteVec is std::vector<uint8_t> with a default-init allocator: resize()
+ * leaves new bytes indeterminate (default-initialization of a trivial
+ * type is a no-op), while every other vector semantic — growth, copies,
+ * iteration, insert — is unchanged.
+ */
+
+#ifndef CDMA_COMMON_BYTES_HH
+#define CDMA_COMMON_BYTES_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace cdma {
+
+/**
+ * Allocator adaptor that default-initializes instead of value-initializing
+ * on construct-without-arguments. For trivially default-constructible
+ * element types this turns vector::resize() growth into a no-op per
+ * element; all other constructions (fill, copy, range insert) behave
+ * exactly like the wrapped allocator.
+ */
+template <typename T, typename A = std::allocator<T>>
+class DefaultInitAllocator : public A
+{
+    using traits = std::allocator_traits<A>;
+
+  public:
+    template <typename U>
+    struct rebind {
+        using other =
+            DefaultInitAllocator<U,
+                                 typename traits::template rebind_alloc<U>>;
+    };
+
+    using A::A;
+
+    template <typename U>
+    void construct(U *ptr) noexcept(
+        std::is_nothrow_default_constructible_v<U>)
+    {
+        ::new (static_cast<void *>(ptr)) U;
+    }
+
+    template <typename U, typename... Args>
+    void construct(U *ptr, Args &&...args)
+    {
+        traits::construct(static_cast<A &>(*this), ptr,
+                          std::forward<Args>(args)...);
+    }
+};
+
+/** Byte vector whose resize() leaves new bytes uninitialized. */
+using ByteVec = std::vector<uint8_t, DefaultInitAllocator<uint8_t>>;
+
+/** Content equality against a plain byte vector (test convenience). */
+inline bool
+operator==(const ByteVec &a, const std::vector<uint8_t> &b)
+{
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+inline bool
+operator==(const std::vector<uint8_t> &a, const ByteVec &b)
+{
+    return b == a;
+}
+
+} // namespace cdma
+
+#endif // CDMA_COMMON_BYTES_HH

@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "common/logging.hh"
+
 namespace cdma {
 
 ThreadPool::ThreadPool(unsigned lanes)
@@ -42,6 +44,18 @@ ThreadPool::workerLoop()
         }
         task();
     }
+}
+
+void
+ThreadPool::submitDetached(std::function<void()> task)
+{
+    CDMA_ASSERT(hasWorkers(),
+                "detached tasks need worker threads (lanes > 1)");
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push(std::move(task));
+    }
+    work_cv_.notify_one();
 }
 
 void

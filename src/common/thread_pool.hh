@@ -43,6 +43,9 @@ class ThreadPool
         return static_cast<unsigned>(workers_.size()) + 1;
     }
 
+    /** True when the pool has worker threads beyond the caller. */
+    bool hasWorkers() const { return !workers_.empty(); }
+
     /**
      * Run @p fn(index) for every index in [0, count), distributing indices
      * dynamically across all lanes. Blocks until every index has been
@@ -52,6 +55,16 @@ class ThreadPool
      */
     void parallelFor(uint64_t count,
                      const std::function<void(uint64_t)> &fn);
+
+    /**
+     * Enqueue @p task for asynchronous execution on a worker thread and
+     * return immediately. The pool provides no completion signal for
+     * detached tasks: callers own their rendezvous (the shard-streaming
+     * compression pairs this with per-shard done flags) and must ensure
+     * every reference the task captures outlives it. Requires workers
+     * (lanes > 1).
+     */
+    void submitDetached(std::function<void()> task);
 
   private:
     void workerLoop();

@@ -42,7 +42,7 @@ BitWriter::flush()
     }
 }
 
-std::vector<uint8_t>
+ByteVec
 BitWriter::finish()
 {
     CDMA_ASSERT(sink_ == &own_bytes_,

@@ -14,7 +14,8 @@
 
 #include <cstdint>
 #include <span>
-#include <vector>
+
+#include "common/bytes.hh"
 
 namespace cdma {
 
@@ -29,7 +30,7 @@ class BitWriter
      * Append to @p sink in place (bytes already present are preserved).
      * Call flush() when done; finish() is reserved for the owning mode.
      */
-    explicit BitWriter(std::vector<uint8_t> &sink) : sink_(&sink) {}
+    explicit BitWriter(ByteVec &sink) : sink_(&sink) {}
 
     /** Append the low @p count bits of @p bits (LSB first). */
     void put(uint32_t bits, int count);
@@ -38,14 +39,14 @@ class BitWriter
     void flush();
 
     /** flush() and return the internally owned buffer. */
-    std::vector<uint8_t> finish();
+    ByteVec finish();
 
     /** Bits written so far. */
     uint64_t bitCount() const { return bit_count_; }
 
   private:
-    std::vector<uint8_t> own_bytes_;
-    std::vector<uint8_t> *sink_;
+    ByteVec own_bytes_;
+    ByteVec *sink_;
     uint64_t acc_ = 0;   ///< pending bits, LSB first
     int acc_bits_ = 0;   ///< number of pending bits (< 8 between calls)
     uint64_t bit_count_ = 0;

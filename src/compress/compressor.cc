@@ -21,16 +21,24 @@ CompressedBuffer::ratio() const
 }
 
 uint64_t
-CompressedBuffer::effectiveBytes() const
+storeRawFlooredBytes(const std::vector<uint32_t> &window_sizes,
+                     uint64_t raw_bytes, uint64_t window_bytes)
 {
     uint64_t total = 0;
-    uint64_t remaining = original_bytes;
+    uint64_t remaining = raw_bytes;
     for (uint32_t compressed : window_sizes) {
         const uint64_t raw = std::min<uint64_t>(remaining, window_bytes);
         total += std::min<uint64_t>(compressed, raw);
         remaining -= raw;
     }
     return total;
+}
+
+uint64_t
+CompressedBuffer::effectiveBytes() const
+{
+    return storeRawFlooredBytes(window_sizes, original_bytes,
+                                window_bytes);
 }
 
 double
@@ -81,7 +89,7 @@ thread_local bool decompress_shim_active = false;
 
 void
 Compressor::compressWindowInto(std::span<const uint8_t> window,
-                               std::vector<uint8_t> &out) const
+                               ByteVec &out) const
 {
     // Compatibility shim for subclasses that only implement the legacy
     // return-by-value virtual.
@@ -107,10 +115,10 @@ Compressor::decompressWindowInto(std::span<const uint8_t> payload,
 std::vector<uint8_t>
 Compressor::compressWindow(std::span<const uint8_t> window) const
 {
-    std::vector<uint8_t> out;
+    ByteVec out;
     out.reserve(compressedBound(window.size()));
     compressWindowInto(window, out);
-    return out;
+    return {out.begin(), out.end()};
 }
 
 std::vector<uint8_t>
@@ -154,12 +162,14 @@ Compressor::compress(std::span<const uint8_t> input) const
     return out;
 }
 
-std::vector<uint8_t>
+ByteVec
 Compressor::decompress(const CompressedBuffer &buffer) const
 {
     // Pre-sized output: every window decompresses straight into its slot,
-    // so stitching is free (no insert-at-end growth or copies).
-    std::vector<uint8_t> out(buffer.original_bytes);
+    // so stitching is free (no insert-at-end growth or copies). ByteVec
+    // leaves the bytes uninitialized; decompressWindowInto() writes every
+    // byte of every slot, zeros included.
+    ByteVec out(buffer.original_bytes);
 
     uint64_t payload_offset = 0;
     uint64_t out_offset = 0;

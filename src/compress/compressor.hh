@@ -24,7 +24,19 @@
 #include <string>
 #include <vector>
 
+#include "common/bytes.hh"
+
 namespace cdma {
+
+/**
+ * Store-raw-floored wire bytes of a compressed window sequence: every
+ * window transfers as min(compressed, raw) bytes, as a real engine with
+ * a "stored" window mode would do. Shared by CompressedBuffer and the
+ * offload scheduler's per-shard accounting so the fallback rule lives
+ * in one place.
+ */
+uint64_t storeRawFlooredBytes(const std::vector<uint32_t> &window_sizes,
+                              uint64_t raw_bytes, uint64_t window_bytes);
 
 /**
  * Result of compressing a buffer: the concatenated per-window payloads plus
@@ -34,7 +46,7 @@ namespace cdma {
  */
 struct CompressedBuffer {
     /** Concatenated compressed window payloads. */
-    std::vector<uint8_t> payload;
+    ByteVec payload;
     /** Compressed size of each window, in payload order. */
     std::vector<uint32_t> window_sizes;
     /** Uncompressed input size in bytes. */
@@ -93,7 +105,7 @@ class Compressor
     CompressedBuffer compress(std::span<const uint8_t> input) const;
 
     /** Invert compress(); returns exactly the original bytes. */
-    std::vector<uint8_t> decompress(const CompressedBuffer &buffer) const;
+    ByteVec decompress(const CompressedBuffer &buffer) const;
 
     /**
      * Convenience: compression ratio of @p input with the store-raw
@@ -106,10 +118,12 @@ class Compressor
      * appending the payload to @p out. Only appends — bytes already in
      * @p out are preserved, so windows stream directly into the shared
      * CompressedBuffer::payload with no intermediate vector. Thread-safe:
-     * may be called concurrently on distinct @p out buffers.
+     * may be called concurrently on distinct @p out buffers. @p out is a
+     * ByteVec so resize-to-bound staging never value-initializes bytes
+     * the codec is about to overwrite.
      */
     virtual void compressWindowInto(std::span<const uint8_t> window,
-                                    std::vector<uint8_t> &out) const;
+                                    ByteVec &out) const;
 
     /**
      * Streaming core: decompress one window payload into the

@@ -106,7 +106,7 @@ DeflateCompressor::compressedBound(uint64_t raw_len) const
 
 void
 DeflateCompressor::compressWindowInto(std::span<const uint8_t> window,
-                                      std::vector<uint8_t> &out) const
+                                      ByteVec &out) const
 {
     const auto tokens = lz77Tokenize(window, lz_config_);
 

@@ -44,7 +44,7 @@ class DeflateCompressor : public Compressor
      * the caller's region, copying non-overlapping matches with memcpy.
      */
     void compressWindowInto(std::span<const uint8_t> window,
-                            std::vector<uint8_t> &out) const override;
+                            ByteVec &out) const override;
 
     void decompressWindowInto(std::span<const uint8_t> payload,
                               uint64_t original_bytes,

@@ -1,12 +1,22 @@
 #include "compress/parallel.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <cstring>
+#include <mutex>
+#include <utility>
 
 #include "common/bits.hh"
 #include "common/logging.hh"
 
 namespace cdma {
+
+uint64_t
+CompressedShard::effectiveBytes(uint64_t window_bytes) const
+{
+    return storeRawFlooredBytes(window_sizes, raw_bytes, window_bytes);
+}
 
 ParallelCompressor::ParallelCompressor(Algorithm algorithm,
                                        uint64_t window_bytes,
@@ -40,36 +50,12 @@ ParallelCompressor::compress(std::span<const uint8_t> input) const
     // the count so every shard owns at least one window.
     const uint64_t shards = ceilDiv(windows, per_shard);
 
-    struct Shard {
-        std::vector<uint8_t> payload;
-        std::vector<uint32_t> window_sizes;
-    };
-    std::vector<Shard> results(shards);
+    std::vector<CompressedShard> results(shards);
 
     pool_->parallelFor(shards, [&](uint64_t s) {
         const uint64_t first = s * per_shard;
         const uint64_t last = std::min(windows, first + per_shard);
-        Shard &shard = results[s];
-        shard.window_sizes.reserve(last - first);
-        // Reserve the shard's worst case once; every window then streams
-        // in with zero further allocation.
-        uint64_t bound = 0;
-        for (uint64_t w = first; w < last; ++w) {
-            const uint64_t offset = w * window_bytes;
-            bound += codec_->compressedBound(
-                std::min<uint64_t>(window_bytes, input.size() - offset));
-        }
-        shard.payload.reserve(bound);
-        for (uint64_t w = first; w < last; ++w) {
-            const uint64_t offset = w * window_bytes;
-            const uint64_t len =
-                std::min<uint64_t>(window_bytes, input.size() - offset);
-            const size_t before = shard.payload.size();
-            codec_->compressWindowInto(input.subspan(offset, len),
-                                       shard.payload);
-            shard.window_sizes.push_back(
-                static_cast<uint32_t>(shard.payload.size() - before));
-        }
+        compressShardInto(input, first, last, results[s]);
     });
 
     // Stitch: sizes are known, so the shared buffers are sized exactly
@@ -78,12 +64,12 @@ ParallelCompressor::compress(std::span<const uint8_t> input) const
     out.original_bytes = input.size();
     out.window_bytes = window_bytes;
     uint64_t payload_total = 0;
-    for (const Shard &shard : results)
+    for (const CompressedShard &shard : results)
         payload_total += shard.payload.size();
     out.payload.resize(payload_total);
     out.window_sizes.reserve(windows);
     uint64_t cursor = 0;
-    for (const Shard &shard : results) {
+    for (const CompressedShard &shard : results) {
         std::memcpy(out.payload.data() + cursor, shard.payload.data(),
                     shard.payload.size());
         cursor += shard.payload.size();
@@ -94,7 +80,129 @@ ParallelCompressor::compress(std::span<const uint8_t> input) const
     return out;
 }
 
-std::vector<uint8_t>
+void
+ParallelCompressor::compressShardInto(std::span<const uint8_t> input,
+                                      uint64_t first, uint64_t last,
+                                      CompressedShard &shard) const
+{
+    const uint64_t window_bytes = codec_->windowBytes();
+    shard.first_window = first;
+    shard.window_sizes.reserve(last - first);
+    // Reserve the shard's worst case once; every window then streams
+    // in with zero further allocation.
+    uint64_t bound = 0;
+    for (uint64_t w = first; w < last; ++w) {
+        const uint64_t offset = w * window_bytes;
+        bound += codec_->compressedBound(
+            std::min<uint64_t>(window_bytes, input.size() - offset));
+    }
+    shard.payload.reserve(bound);
+    for (uint64_t w = first; w < last; ++w) {
+        const uint64_t offset = w * window_bytes;
+        const uint64_t len =
+            std::min<uint64_t>(window_bytes, input.size() - offset);
+        const size_t before = shard.payload.size();
+        codec_->compressWindowInto(input.subspan(offset, len),
+                                   shard.payload);
+        shard.window_sizes.push_back(
+            static_cast<uint32_t>(shard.payload.size() - before));
+        shard.raw_bytes += len;
+    }
+}
+
+void
+ParallelCompressor::compressShards(std::span<const uint8_t> input,
+                                   uint64_t windows_per_shard,
+                                   const ShardConsumer &consumer) const
+{
+    CDMA_ASSERT(windows_per_shard > 0, "shards need at least one window");
+    const uint64_t window_bytes = codec_->windowBytes();
+    const uint64_t windows = ceilDiv(input.size(), window_bytes);
+    const uint64_t shards = ceilDiv(windows, windows_per_shard);
+
+    auto bounds = [&](uint64_t s) {
+        const uint64_t first = s * windows_per_shard;
+        return std::pair{first,
+                         std::min(windows, first + windows_per_shard)};
+    };
+
+    if (!pool_ || !pool_->hasWorkers() || shards < 2) {
+        // Serial: compress and drain shards alternately on this thread.
+        for (uint64_t s = 0; s < shards; ++s) {
+            CompressedShard shard;
+            shard.index = s;
+            const auto [first, last] = bounds(s);
+            compressShardInto(input, first, last, shard);
+            consumer(std::move(shard));
+        }
+        return;
+    }
+
+    // Workers pull shards dynamically and flag each as it completes; the
+    // calling thread is the drain stage, handing shards to the consumer
+    // strictly in shard order while later shards are still compressing.
+    std::vector<CompressedShard> results(shards);
+    std::atomic<uint64_t> next{0};
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<bool> done(shards, false);
+    uint64_t helpers_exited = 0;
+
+    const uint64_t helpers =
+        std::min<uint64_t>(pool_->lanes() - 1, shards);
+    for (uint64_t h = 0; h < helpers; ++h) {
+        pool_->submitDetached([&] {
+            for (;;) {
+                const uint64_t s =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (s >= shards)
+                    break;
+                results[s].index = s;
+                const auto [first, last] = bounds(s);
+                compressShardInto(input, first, last, results[s]);
+                {
+                    std::lock_guard<std::mutex> lock(mutex);
+                    done[s] = true;
+                }
+                cv.notify_all();
+            }
+            {
+                // Notify while holding the mutex: once helpers_exited
+                // reaches the target the caller may return and destroy
+                // this frame's cv, so an unlocked notify could touch a
+                // dead condition variable.
+                std::lock_guard<std::mutex> lock(mutex);
+                ++helpers_exited;
+                cv.notify_all();
+            }
+        });
+    }
+
+    // Helpers capture this frame's locals by reference, so every exit
+    // path — including a throwing consumer — must wait for all of them
+    // to leave their pull loop before the frame unwinds.
+    struct JoinGuard {
+        std::mutex &mutex;
+        std::condition_variable &cv;
+        uint64_t &exited;
+        const uint64_t target;
+        ~JoinGuard()
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            cv.wait(lock, [&] { return exited == target; });
+        }
+    } join{mutex, cv, helpers_exited, helpers};
+
+    for (uint64_t s = 0; s < shards; ++s) {
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            cv.wait(lock, [&] { return done[s]; });
+        }
+        consumer(std::move(results[s]));
+    }
+}
+
+ByteVec
 ParallelCompressor::decompress(const CompressedBuffer &buffer) const
 {
     const uint64_t windows = buffer.window_sizes.size();
@@ -113,7 +221,8 @@ ParallelCompressor::decompress(const CompressedBuffer &buffer) const
     CDMA_ASSERT(offsets[windows] == buffer.payload.size(),
                 "window sizes do not cover the payload");
 
-    std::vector<uint8_t> out(buffer.original_bytes);
+    // Default-init output: every window slot is fully written below.
+    ByteVec out(buffer.original_bytes);
     const uint64_t per_shard =
         ceilDiv(windows, std::min<uint64_t>(pool_->lanes(), windows));
     const uint64_t shards = ceilDiv(windows, per_shard);

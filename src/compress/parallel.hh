@@ -14,12 +14,33 @@
 #ifndef CDMA_COMPRESS_PARALLEL_HH
 #define CDMA_COMPRESS_PARALLEL_HH
 
+#include <functional>
 #include <memory>
 
 #include "common/thread_pool.hh"
 #include "compress/compressor.hh"
 
 namespace cdma {
+
+/**
+ * One compressed shard of a sharded compression: a contiguous group of
+ * windows with its payload and framing, in window order. Concatenating
+ * the shards of one input reproduces Compressor::compress() exactly.
+ */
+struct CompressedShard {
+    uint64_t index = 0;        ///< shard position in the stream
+    uint64_t first_window = 0; ///< absolute index of the first window
+    uint64_t raw_bytes = 0;    ///< uncompressed bytes this shard covers
+    ByteVec payload;           ///< concatenated window payloads
+    std::vector<uint32_t> window_sizes; ///< per-window compressed sizes
+
+    /**
+     * Bytes this shard puts on the wire under the store-raw fallback
+     * (every window transfers as min(compressed, raw) bytes).
+     * @param window_bytes Compression window the shard was cut with.
+     */
+    uint64_t effectiveBytes(uint64_t window_bytes) const;
+};
 
 /** Multi-threaded wrapper around a serial windowed compressor. */
 class ParallelCompressor
@@ -59,12 +80,35 @@ class ParallelCompressor
     CompressedBuffer compress(std::span<const uint8_t> input) const;
 
     /** Invert compress(), decompressing windows in parallel. */
-    std::vector<uint8_t> decompress(const CompressedBuffer &buffer) const;
+    ByteVec decompress(const CompressedBuffer &buffer) const;
 
     /** Effective (store-raw floored) ratio of @p input. */
     double measureRatio(std::span<const uint8_t> input) const;
 
+    /** Receives each compressed shard exactly once, in shard order. */
+    using ShardConsumer = std::function<void(CompressedShard &&)>;
+
+    /**
+     * Shard-streaming compression for the offload pipeline: the window
+     * space is cut into shards of @p windows_per_shard consecutive
+     * windows (the last may be short), the lanes compress shards
+     * concurrently, and @p consumer is invoked on the calling thread for
+     * shard 0, 1, 2, ... as soon as each shard — and every shard before
+     * it — has been compressed. The consumer therefore drains shard k
+     * while the workers are still compressing shards k+1, k+2, ...;
+     * with one lane, shards are compressed and consumed alternately
+     * inline. Completion order is deterministic regardless of lane
+     * count. An empty input produces no shards.
+     */
+    void compressShards(std::span<const uint8_t> input,
+                        uint64_t windows_per_shard,
+                        const ShardConsumer &consumer) const;
+
   private:
+    /** Compress windows [first, last) of @p input into @p shard. */
+    void compressShardInto(std::span<const uint8_t> input, uint64_t first,
+                           uint64_t last, CompressedShard &shard) const;
+
     std::unique_ptr<Compressor> codec_;
     std::unique_ptr<ThreadPool> pool_; ///< null when lanes == 1
 };

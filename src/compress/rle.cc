@@ -59,7 +59,7 @@ RleCompressor::compressedBound(uint64_t raw_len) const
 
 void
 RleCompressor::compressWindowInto(std::span<const uint8_t> window,
-                                  std::vector<uint8_t> &out) const
+                                  ByteVec &out) const
 {
     const uint64_t words = window.size() / kWordBytes;
     const uint64_t tail_bytes = window.size() % kWordBytes;

@@ -36,7 +36,7 @@ class RleCompressor : public Compressor
      * reconstruction.
      */
     void compressWindowInto(std::span<const uint8_t> window,
-                            std::vector<uint8_t> &out) const override;
+                            ByteVec &out) const override;
 
     void decompressWindowInto(std::span<const uint8_t> payload,
                               uint64_t original_bytes,

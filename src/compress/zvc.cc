@@ -44,14 +44,16 @@ ZvcCompressor::compressedBound(uint64_t raw_len) const
 
 void
 ZvcCompressor::compressWindowInto(std::span<const uint8_t> window,
-                                  std::vector<uint8_t> &out) const
+                                  ByteVec &out) const
 {
     const uint64_t full_words = window.size() / kWordBytes;
     const uint64_t tail_bytes = window.size() % kWordBytes;
     const uint8_t *src = window.data();
 
     // Single pass, sized to the worst case up front and trimmed once at
-    // the end. The value compaction is the software mirror of the
+    // the end; out is a ByteVec, so the resize-to-bound leaves the staging
+    // bytes uninitialized instead of zero-filling a region the loop below
+    // overwrites. The value compaction is the software mirror of the
     // hardware's prefix-sum shift network (Figure 10a): every word is
     // stored unconditionally and the write pointer advances only for
     // non-zero words, so the 50-90% density range compresses without a

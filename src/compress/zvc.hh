@@ -47,7 +47,7 @@ class ZvcCompressor : public Compressor
      * mask to bounds-check and scatter batched memcpy/memset runs.
      */
     void compressWindowInto(std::span<const uint8_t> window,
-                            std::vector<uint8_t> &out) const override;
+                            ByteVec &out) const override;
 
     void decompressWindowInto(std::span<const uint8_t> payload,
                               uint64_t original_bytes,

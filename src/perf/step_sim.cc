@@ -58,31 +58,31 @@ StepSimulator::run(StepMode mode,
         result.compute_seconds += t.total();
     }
 
-    // Transfer plans: PCIe occupancy per offloaded map, keyed by the
-    // descriptor row whose input the transfer carries (the schedule may
-    // be sparse under OffloadPolicy::ConvOnly). The COMP_BW inflation of
-    // Section VI is folded into "effective wire bytes" so a single FIFO
-    // channel models the link.
+    // Transfer plans come from the memory manager, which aligns the
+    // per-row output ratios with its own offload schedule (sparse under
+    // OffloadPolicy::ConvOnly) and times each transfer through the
+    // engine: CompressionFree folds the Section VI COMP_BW inflation
+    // into the occupancy; Overlapped models the double-buffered
+    // compress/transfer pipeline, so plan.seconds is the makespan the
+    // offload engine holds the layer's buffer.
     std::vector<double> xfer(L, 0.0);
     std::vector<bool> has_xfer(L, false);
     const bool transfers =
         mode == StepMode::Vdnn || mode == StepMode::Cdma;
-    for (const auto &op : offloads) {
-        const size_t i = op.layer_index;
+    const std::vector<TransferPlan> plans = manager_.plannedOffloads(
+        engine_, mode == StepMode::Cdma ? output_ratios
+                                        : std::vector<double>{},
+        /*raw_dma=*/mode != StepMode::Cdma);
+    for (size_t k = 0; k < offloads.size(); ++k) {
+        const size_t i = offloads[k].layer_index;
         CDMA_ASSERT(i < L, "offload references row %zu of %zu", i, L);
-        // The transfer paired with row i carries row i-1's output (= row
-        // i's input); the raw input image batch (i == 0) never
-        // compresses.
-        double ratio = 1.0;
-        if (mode == StepMode::Cdma && i > 0)
-            ratio = std::max(1.0, output_ratios[i - 1]);
-        const TransferPlan plan =
-            engine_.planFromRatio(op.label, op.bytes, ratio);
+        const TransferPlan &plan = plans[k];
         xfer[i] = plan.seconds;
         has_xfer[i] = true;
         result.raw_transfer_bytes += plan.raw_bytes;
         result.wire_transfer_bytes += plan.wire_bytes;
         result.layers[i].offload_seconds = plan.seconds;
+        result.layers[i].offload = plan.offload;
     }
 
     if (mode == StepMode::Baseline || mode == StepMode::Oracle) {

@@ -41,9 +41,12 @@ struct LayerStepStats {
     std::string label;
     double forward_seconds = 0.0;
     double backward_seconds = 0.0;
-    double offload_seconds = 0.0;  ///< PCIe occupancy of this layer's input
+    double offload_seconds = 0.0;  ///< modeled latency of this layer's input
     double forward_stall = 0.0;    ///< forward wait on the offload
     double backward_stall = 0.0;   ///< backward wait on the prefetch
+    /** Compress/wire pipeline breakdown of the input's offload (all
+     *  zeros unless the engine runs TimingMode::Overlapped). */
+    OffloadTiming offload;
 };
 
 /** Result of one simulated training iteration. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cdma/offload_scheduler.hh"
 #include "common/logging.hh"
 
 namespace cdma {
@@ -72,6 +73,52 @@ VdnnMemoryManager::totalOffloadBytes() const
     return total;
 }
 
+std::vector<TransferPlan>
+VdnnMemoryManager::plannedOffloads(const CdmaEngine &engine,
+                                   const std::vector<double> &output_ratios,
+                                   bool raw_dma) const
+{
+    CDMA_ASSERT(output_ratios.empty() ||
+                    output_ratios.size() == network_.layers.size(),
+                "need one output ratio per layer (%zu given, %zu layers)",
+                output_ratios.size(), network_.layers.size());
+    std::vector<TransferPlan> plans;
+    plans.reserve(offloads_.size());
+    for (const auto &op : offloads_) {
+        if (raw_dma) {
+            // The vDNN baseline's DMA copies raw bytes with no cDMA
+            // engine in the path: plain PCIe occupancy, no compression
+            // pipeline even when the engine models one.
+            TransferPlan plan;
+            plan.label = op.label;
+            plan.raw_bytes = op.bytes;
+            plan.wire_bytes = op.bytes;
+            plan.ratio = 1.0;
+            plan.required_fetch_bandwidth = engine.config().gpu.pcie_bandwidth;
+            plan.seconds = engine.transferSeconds(op.bytes, 1.0);
+            plans.push_back(std::move(plan));
+            continue;
+        }
+        // The transfer paired with row i carries row i-1's output (= row
+        // i's input); the raw input image batch (row 0) never compresses.
+        double ratio = 1.0;
+        if (!output_ratios.empty() && op.layer_index > 0)
+            ratio = std::max(1.0, output_ratios[op.layer_index - 1]);
+        plans.push_back(engine.planFromRatio(op.label, op.bytes, ratio));
+    }
+    return plans;
+}
+
+std::vector<TransferPlan>
+VdnnMemoryManager::plannedPrefetches(const CdmaEngine &engine,
+                                     const std::vector<double> &output_ratios,
+                                     bool raw_dma) const
+{
+    auto plans = plannedOffloads(engine, output_ratios, raw_dma);
+    std::reverse(plans.begin(), plans.end());
+    return plans;
+}
+
 uint64_t
 VdnnMemoryManager::weightBytes(const LayerDesc &layer)
 {
@@ -127,6 +174,24 @@ VdnnMemoryManager::footprint() const
         }
     }
     fp.vdnn_peak = fp.weights_bytes + 2 * peak_pair + resident;
+    return fp;
+}
+
+MemoryFootprint
+VdnnMemoryManager::footprint(const CdmaEngine &engine) const
+{
+    MemoryFootprint fp = footprint();
+    // A disabled-compression engine is the plain vDNN baseline: no cDMA
+    // hardware, no staging buffers to account for.
+    if (!engine.config().compression_enabled)
+        return fp;
+    // The offload pipeline's staging shards live in GPU DRAM next to the
+    // DMA unit (Section V-C); they are part of the virtualized working
+    // set whenever a cDMA engine is attached.
+    const OffloadScheduler scheduler(engine);
+    fp.staging_bytes = static_cast<uint64_t>(engine.config().staging_buffers) *
+        scheduler.shardWindows() * engine.config().window_bytes;
+    fp.vdnn_peak += fp.staging_bytes;
     return fp;
 }
 

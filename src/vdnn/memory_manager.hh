@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "cdma/engine.hh"
 #include "models/desc.hh"
 
 namespace cdma {
@@ -50,6 +51,8 @@ struct MemoryFootprint {
     uint64_t gradients_bytes = 0;    ///< activation-gradient maps
     uint64_t baseline_total = 0;     ///< no virtualization: all resident
     uint64_t vdnn_peak = 0;          ///< offload-all: per-layer working set
+    /** cDMA staging buffers resident in GPU DRAM (0 without an engine). */
+    uint64_t staging_bytes = 0;
 
     /** Fraction of baseline memory that is activation (+gradient) maps. */
     double activationFraction() const
@@ -102,8 +105,42 @@ class VdnnMemoryManager
     /** Total bytes moved across PCIe in one direction per iteration. */
     uint64_t totalOffloadBytes() const;
 
+    /**
+     * Transfer plans for the offload schedule under @p engine: entry k is
+     * the plan for offloadSchedule()[k], timed by the engine's
+     * TimingMode (under TimingMode::Overlapped each plan carries the
+     * double-buffered pipeline breakdown in plan.offload).
+     *
+     * @param output_ratios Per-descriptor-row compression ratio of the
+     *        row's *output* activation map, aligned the way the step
+     *        simulator consumes them: the transfer paired with row i
+     *        carries row i-1's output, and row 0's input (the raw image
+     *        batch) never compresses. Empty = raw transfers (ratio 1).
+     * @param raw_dma Plan plain vDNN DMA copies instead: ratio 1 and no
+     *        compression pipeline regardless of the engine's timing mode
+     *        (the vDNN baseline has no cDMA engine in the path).
+     */
+    std::vector<TransferPlan>
+    plannedOffloads(const CdmaEngine &engine,
+                    const std::vector<double> &output_ratios = {},
+                    bool raw_dma = false) const;
+
+    /** plannedOffloads() in prefetch (backward, i.e. reverse) order. */
+    std::vector<TransferPlan>
+    plannedPrefetches(const CdmaEngine &engine,
+                      const std::vector<double> &output_ratios = {},
+                      bool raw_dma = false) const;
+
     /** GPU memory accounting with and without vDNN. */
     MemoryFootprint footprint() const;
+
+    /**
+     * footprint() plus the GPU-resident cDMA staging buffers of
+     * @p engine's offload pipeline (CdmaConfig::staging_buffers shards,
+     * Section V-C sizes them at the bandwidth-delay product), counted
+     * into vdnn_peak.
+     */
+    MemoryFootprint footprint(const CdmaEngine &engine) const;
 
     /** Parameter bytes of one descriptor row (weights only). */
     static uint64_t weightBytes(const LayerDesc &layer);

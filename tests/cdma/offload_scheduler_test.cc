@@ -1,0 +1,405 @@
+/**
+ * @file
+ * Tests for the async double-buffered offload pipeline: the deterministic
+ * event timeline against the closed-form steady-state model, shard
+ * streaming edge cases (empty, single window, shards vs lanes in both
+ * directions), byte identity of the stitched buffer, and the engine's
+ * overlap-aware timing mode.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cdma/offload_scheduler.hh"
+#include "common/rng.hh"
+#include "compress/parallel.hh"
+#include "vdnn/memory_manager.hh"
+
+namespace cdma {
+namespace {
+
+/** ReLU-like fp32 words at the given density. */
+std::vector<uint8_t>
+makeInput(double density, size_t bytes, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint8_t> input(bytes, 0);
+    const size_t words = bytes / 4;
+    for (size_t i = 0; i < words; ++i) {
+        if (density > 0.0 && rng.bernoulli(density)) {
+            const float value =
+                1.0f + static_cast<float>(std::abs(rng.normal()));
+            std::memcpy(input.data() + i * 4, &value, 4);
+        }
+    }
+    for (size_t i = words * 4; i < bytes; ++i)
+        input[i] = static_cast<uint8_t>(1 + rng.uniformInt(255));
+    return input;
+}
+
+void
+expectIdentical(const CompressedBuffer &a, const CompressedBuffer &b,
+                const char *what)
+{
+    EXPECT_EQ(a.original_bytes, b.original_bytes) << what;
+    EXPECT_EQ(a.window_bytes, b.window_bytes) << what;
+    EXPECT_EQ(a.window_sizes, b.window_sizes) << what;
+    EXPECT_EQ(a.payload, b.payload) << what;
+}
+
+CdmaEngine
+makeEngine(unsigned lanes, uint64_t shard_bytes = 0,
+           TimingMode mode = TimingMode::Overlapped)
+{
+    CdmaConfig config;
+    config.compression_lanes = lanes;
+    config.shard_bytes = shard_bytes;
+    config.timing_mode = mode;
+    return CdmaEngine(config);
+}
+
+/**
+ * Reference recurrence for the staging pipeline with @p buffers staging
+ * buffers: the compression engine is serial, the wire is FIFO, and
+ * compressing shard k must wait until shard k - buffers has drained.
+ */
+double
+referenceMakespan(const std::vector<ShardTransfer> &shards,
+                  double compress_bw, double wire_bw, unsigned buffers)
+{
+    const size_t n = shards.size();
+    std::vector<double> compress_end(n, 0.0), wire_end(n, 0.0);
+    for (size_t k = 0; k < n; ++k) {
+        double start = k > 0 ? compress_end[k - 1] : 0.0;
+        if (k >= buffers)
+            start = std::max(start, wire_end[k - buffers]);
+        compress_end[k] =
+            start + static_cast<double>(shards[k].raw_bytes) / compress_bw;
+        const double wire_start = std::max(
+            compress_end[k], k > 0 ? wire_end[k - 1] : 0.0);
+        wire_end[k] = wire_start +
+            static_cast<double>(shards[k].wire_bytes) / wire_bw;
+    }
+    return n > 0 ? wire_end[n - 1] : 0.0;
+}
+
+TEST(PipelineTiming, ClosedFormSteadyStateWireBound)
+{
+    // Uniform shards, wire the slower stage: the double-buffered makespan
+    // must equal one compression fill plus the wire at its full rate,
+    //   overlapped = first_compress + n * wire  ( = n*max + min ),
+    // to 1e-9 relative error.
+    const uint64_t raw = 1 << 20;
+    const double ratio = 4.0;
+    const uint64_t wire_bytes = static_cast<uint64_t>(raw / ratio);
+    const double compress_bw = 200e9, wire_bw = 12.8e9;
+    const size_t n = 16;
+    std::vector<ShardTransfer> shards(n, {raw, wire_bytes});
+
+    const OffloadTiming timing =
+        OffloadScheduler::pipelineTiming(shards, compress_bw, wire_bw);
+    const double c = static_cast<double>(raw) / compress_bw;
+    const double w = static_cast<double>(wire_bytes) / wire_bw;
+    ASSERT_GT(w, c); // wire-bound by construction
+    const double closed_form = c + static_cast<double>(n) * w;
+    EXPECT_NEAR(timing.overlapped_seconds, closed_form,
+                1e-9 * closed_form);
+    EXPECT_NEAR(timing.compress_seconds, static_cast<double>(n) * c,
+                1e-9 * n * c);
+    EXPECT_NEAR(timing.wire_seconds, static_cast<double>(n) * w,
+                1e-9 * n * w);
+    // All but the pipeline-fill compression is hidden under the wire.
+    EXPECT_NEAR(timing.overlap_fraction,
+                static_cast<double>(n - 1) / static_cast<double>(n), 1e-9);
+}
+
+TEST(PipelineTiming, ClosedFormSteadyStateCompressBound)
+{
+    // Compression the slower stage (a fetch-capped layer): the wire
+    // drains behind compression, overlapped = n * compress + last_wire.
+    const uint64_t raw = 1 << 20;
+    const uint64_t wire_bytes = raw / 64; // 64x ratio: way past the cap
+    const double compress_bw = 200e9, wire_bw = 12.8e9;
+    const size_t n = 12;
+    std::vector<ShardTransfer> shards(n, {raw, wire_bytes});
+
+    const OffloadTiming timing =
+        OffloadScheduler::pipelineTiming(shards, compress_bw, wire_bw);
+    const double c = static_cast<double>(raw) / compress_bw;
+    const double w = static_cast<double>(wire_bytes) / wire_bw;
+    ASSERT_GT(c, w); // compress-bound by construction
+    const double closed_form = static_cast<double>(n) * c + w;
+    EXPECT_NEAR(timing.overlapped_seconds, closed_form,
+                1e-9 * closed_form);
+    EXPECT_NEAR(timing.overlap_fraction,
+                static_cast<double>(n - 1) / static_cast<double>(n), 1e-9);
+}
+
+TEST(PipelineTiming, MatchesReferenceRecurrenceOnMixedShards)
+{
+    // Non-uniform shard sizes and several staging depths: the DES must
+    // reproduce the textbook recurrence exactly.
+    Rng rng(404);
+    std::vector<ShardTransfer> shards;
+    for (int i = 0; i < 23; ++i) {
+        const uint64_t raw = 4096 + 4096 * rng.uniformInt(16);
+        shards.push_back({raw, raw / (1 + rng.uniformInt(8))});
+    }
+    for (unsigned buffers : {1u, 2u, 3u, 5u}) {
+        const OffloadTiming timing = OffloadScheduler::pipelineTiming(
+            shards, 200e9, 12.8e9, buffers);
+        const double expected =
+            referenceMakespan(shards, 200e9, 12.8e9, buffers);
+        EXPECT_NEAR(timing.overlapped_seconds, expected, 1e-9 * expected)
+            << buffers << " staging buffers";
+        // More staging can only help, and never beats full overlap.
+        EXPECT_LE(timing.overlapped_seconds,
+                  timing.serializedSeconds() + 1e-12);
+        EXPECT_GE(timing.overlapped_seconds,
+                  std::max(timing.compress_seconds, timing.wire_seconds) -
+                      1e-12);
+    }
+}
+
+TEST(PipelineTiming, SingleShardHasNoOverlap)
+{
+    const std::vector<ShardTransfer> shards = {{4096, 1024}};
+    const OffloadTiming timing =
+        OffloadScheduler::pipelineTiming(shards, 200e9, 12.8e9);
+    EXPECT_DOUBLE_EQ(timing.overlapped_seconds,
+                     timing.serializedSeconds());
+    EXPECT_DOUBLE_EQ(timing.overlap_fraction, 0.0);
+    EXPECT_EQ(timing.shard_count, 1u);
+}
+
+TEST(OffloadScheduler, ZeroByteBuffer)
+{
+    const CdmaEngine engine = makeEngine(4);
+    const OffloadScheduler scheduler(engine);
+    const OffloadResult result = scheduler.offload({});
+    EXPECT_EQ(result.shards.size(), 0u);
+    EXPECT_EQ(result.timing.shard_count, 0u);
+    EXPECT_DOUBLE_EQ(result.timing.overlapped_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(result.timing.overlap_fraction, 0.0);
+    EXPECT_EQ(result.buffer.original_bytes, 0u);
+    EXPECT_TRUE(result.buffer.payload.empty());
+    EXPECT_TRUE(engine.compressor().decompress(result.buffer).empty());
+}
+
+TEST(OffloadScheduler, SingleWindowBuffer)
+{
+    const CdmaEngine engine = makeEngine(4);
+    const OffloadScheduler scheduler(engine);
+    const auto input = makeInput(0.5, 1000, 17);
+    const OffloadResult result = scheduler.offload(input);
+    ASSERT_EQ(result.shards.size(), 1u);
+    EXPECT_EQ(result.shards[0].raw_bytes, input.size());
+    EXPECT_DOUBLE_EQ(result.timing.overlap_fraction, 0.0);
+    expectIdentical(result.buffer,
+                    engine.compressor().serial().compress(input),
+                    "single window");
+    EXPECT_EQ(engine.compressor().decompress(result.buffer), input);
+}
+
+TEST(OffloadScheduler, ShardsGreaterThanLanes)
+{
+    // 2 lanes, 1 MiB -> 256 windows -> 16 shards of 17 windows: many
+    // more shards than lanes; the stitched buffer must be byte-identical
+    // to the serial compressor and round-trip.
+    const CdmaEngine engine = makeEngine(2);
+    const OffloadScheduler scheduler(engine);
+    const auto input = makeInput(0.4, (1 << 20) + 123, 29);
+    const OffloadResult result = scheduler.offload(input);
+    EXPECT_GT(result.shards.size(),
+              static_cast<size_t>(engine.compressor().lanes()));
+    expectIdentical(result.buffer,
+                    engine.compressor().serial().compress(input),
+                    "shards > lanes");
+    EXPECT_EQ(engine.compressor().decompress(result.buffer), input);
+    EXPECT_GT(result.timing.overlap_fraction, 0.0);
+}
+
+TEST(OffloadScheduler, LanesGreaterThanShards)
+{
+    // 8 lanes, 3 single-window shards: most lanes idle, identity and
+    // timing must still hold.
+    const CdmaEngine engine = makeEngine(8, /*shard_bytes=*/4096);
+    const OffloadScheduler scheduler(engine);
+    EXPECT_EQ(scheduler.shardWindows(), 1u);
+    const auto input = makeInput(0.5, 3 * 4096, 31);
+    const OffloadResult result = scheduler.offload(input);
+    ASSERT_EQ(result.shards.size(), 3u);
+    expectIdentical(result.buffer,
+                    engine.compressor().serial().compress(input),
+                    "lanes > shards");
+    EXPECT_EQ(engine.compressor().decompress(result.buffer), input);
+}
+
+TEST(OffloadScheduler, SerialLaneMatchesParallelLanes)
+{
+    // The shard stream (and therefore the stitched buffer and the
+    // modeled timing) must not depend on lane count.
+    const auto input = makeInput(0.3, (1 << 19) + 7, 37);
+    const CdmaEngine serial = makeEngine(1);
+    const CdmaEngine parallel = makeEngine(8);
+    const OffloadResult a = OffloadScheduler(serial).offload(input);
+    const OffloadResult b = OffloadScheduler(parallel).offload(input);
+    expectIdentical(a.buffer, b.buffer, "serial vs parallel lanes");
+    ASSERT_EQ(a.shards.size(), b.shards.size());
+    for (size_t i = 0; i < a.shards.size(); ++i) {
+        EXPECT_EQ(a.shards[i].raw_bytes, b.shards[i].raw_bytes);
+        EXPECT_EQ(a.shards[i].wire_bytes, b.shards[i].wire_bytes);
+    }
+    EXPECT_DOUBLE_EQ(a.timing.overlapped_seconds,
+                     b.timing.overlapped_seconds);
+}
+
+TEST(OffloadScheduler, DeterministicEventTimeline)
+{
+    // Two runs of the same offload produce bit-identical timing: event
+    // ordering in the pipeline model is deterministic (FIFO tie-break),
+    // and shard completion order never leaks into the result.
+    const CdmaEngine engine = makeEngine(0); // all hardware threads
+    const OffloadScheduler scheduler(engine);
+    const auto input = makeInput(0.5, (1 << 20) + 4096, 41);
+    const OffloadResult a = scheduler.offload(input);
+    const OffloadResult b = scheduler.offload(input);
+    EXPECT_EQ(a.timing.overlapped_seconds, b.timing.overlapped_seconds);
+    EXPECT_EQ(a.timing.compress_seconds, b.timing.compress_seconds);
+    EXPECT_EQ(a.timing.wire_seconds, b.timing.wire_seconds);
+    EXPECT_EQ(a.timing.overlap_fraction, b.timing.overlap_fraction);
+    expectIdentical(a.buffer, b.buffer, "repeat offload");
+}
+
+TEST(ParallelCompressor, ShardStreamArrivesInOrderAndStitchesExactly)
+{
+    const auto input = makeInput(0.5, (1 << 18) + 37, 43);
+    for (unsigned lanes : {1u, 2u, 8u}) {
+        const ParallelCompressor compressor(Algorithm::Zvc, 4096, lanes);
+        CompressedBuffer stitched;
+        stitched.original_bytes = input.size();
+        stitched.window_bytes = 4096;
+        uint64_t expected_index = 0;
+        compressor.compressShards(
+            input, /*windows_per_shard=*/5, [&](CompressedShard &&shard) {
+                EXPECT_EQ(shard.index, expected_index++);
+                stitched.payload.insert(stitched.payload.end(),
+                                        shard.payload.begin(),
+                                        shard.payload.end());
+                stitched.window_sizes.insert(stitched.window_sizes.end(),
+                                             shard.window_sizes.begin(),
+                                             shard.window_sizes.end());
+            });
+        EXPECT_EQ(expected_index, 13u); // ceil(65 windows / 5)
+        expectIdentical(stitched, compressor.serial().compress(input),
+                        "shard stream stitch");
+    }
+}
+
+TEST(CdmaEngine, OverlappedModeTimesPlansThroughThePipeline)
+{
+    const CdmaEngine overlapped = makeEngine(2);
+    const CdmaEngine free_engine =
+        makeEngine(2, 0, TimingMode::CompressionFree);
+
+    const uint64_t raw = 64ull << 20;
+    const TransferPlan a = overlapped.planFromRatio("map", raw, 2.5);
+    const TransferPlan b = free_engine.planFromRatio("map", raw, 2.5);
+
+    EXPECT_EQ(a.wire_bytes, b.wire_bytes);
+    EXPECT_DOUBLE_EQ(a.seconds, a.offload.overlapped_seconds);
+    EXPECT_GT(a.offload.shard_count, 1u);
+    EXPECT_GT(a.offload.overlap_fraction, 0.0);
+    EXPECT_LE(a.offload.overlap_fraction, 1.0);
+    // CompressionFree keeps the seed model: no pipeline breakdown.
+    EXPECT_EQ(b.offload.shard_count, 0u);
+    EXPECT_DOUBLE_EQ(b.offload.overlapped_seconds, 0.0);
+    // Overlapped includes the compression fill, so it can only be
+    // slower than a model that prices compression at zero — and by at
+    // most the compression leg.
+    EXPECT_GE(a.seconds, b.seconds);
+    EXPECT_LE(a.seconds, b.seconds + a.offload.compress_seconds + 1e-12);
+
+    // The engine's plan must agree with the scheduler's analytic model.
+    const OffloadScheduler scheduler(overlapped);
+    const OffloadTiming direct = scheduler.modelFromRatio(raw, 2.5);
+    EXPECT_DOUBLE_EQ(a.offload.overlapped_seconds,
+                     direct.overlapped_seconds);
+}
+
+TEST(CdmaEngine, DisabledCompressionBypassesThePipelineModel)
+{
+    // No cDMA engine in the path means no compression-fetch leg: a
+    // disabled-compression engine must keep plain DMA occupancy even in
+    // Overlapped mode.
+    CdmaConfig config;
+    config.compression_enabled = false;
+    config.timing_mode = TimingMode::Overlapped;
+    const CdmaEngine engine(config);
+    const uint64_t raw = 32ull << 20;
+    const TransferPlan plan = engine.planFromRatio("raw", raw, 3.0);
+    EXPECT_EQ(plan.wire_bytes, raw);
+    EXPECT_DOUBLE_EQ(plan.seconds, engine.transferSeconds(raw, 1.0));
+    EXPECT_EQ(plan.offload.shard_count, 0u);
+}
+
+TEST(CdmaEngine, OverlappedPlanTransferUsesMeasuredShardSizes)
+{
+    const CdmaEngine engine = makeEngine(4);
+    const auto input = makeInput(0.25, (1 << 20), 47);
+    const TransferPlan plan = engine.planTransfer("real", input);
+    const CompressedBuffer reference =
+        engine.compressor().serial().compress(input);
+    EXPECT_EQ(plan.wire_bytes, reference.effectiveBytes());
+    EXPECT_DOUBLE_EQ(plan.ratio, reference.effectiveRatio());
+    EXPECT_DOUBLE_EQ(plan.seconds, plan.offload.overlapped_seconds);
+    EXPECT_GT(plan.offload.overlap_fraction, 0.0);
+}
+
+TEST(VdnnMemoryManager, PlannedOffloadsCarryOverlapTiming)
+{
+    const NetworkDesc net = allNetworkDescs().front();
+    const VdnnMemoryManager manager(net, 16);
+    const CdmaEngine engine = makeEngine(1);
+
+    std::vector<double> ratios(net.layers.size(), 2.0);
+    const auto plans = manager.plannedOffloads(engine, ratios);
+    ASSERT_EQ(plans.size(), manager.offloadSchedule().size());
+    for (size_t k = 0; k < plans.size(); ++k) {
+        EXPECT_EQ(plans[k].raw_bytes, manager.offloadSchedule()[k].bytes);
+        EXPECT_GT(plans[k].offload.shard_count, 0u);
+        EXPECT_DOUBLE_EQ(plans[k].seconds,
+                         plans[k].offload.overlapped_seconds);
+    }
+    // Row 0 carries the raw image batch: never compressed.
+    EXPECT_DOUBLE_EQ(plans[0].ratio, 1.0);
+
+    // The raw-DMA (vDNN baseline) flavour bypasses the pipeline model.
+    const auto raw_plans =
+        manager.plannedOffloads(engine, {}, /*raw_dma=*/true);
+    for (const auto &plan : raw_plans) {
+        EXPECT_EQ(plan.wire_bytes, plan.raw_bytes);
+        EXPECT_EQ(plan.offload.shard_count, 0u);
+    }
+
+    // Prefetches are the offloads reversed.
+    const auto prefetches = manager.plannedPrefetches(engine, ratios);
+    ASSERT_EQ(prefetches.size(), plans.size());
+    EXPECT_EQ(prefetches.front().label, plans.back().label);
+    EXPECT_EQ(prefetches.back().label, plans.front().label);
+
+    // Staging buffers show up in the engine-aware footprint.
+    const MemoryFootprint fp = manager.footprint(engine);
+    const OffloadScheduler scheduler(engine);
+    EXPECT_EQ(fp.staging_bytes,
+              2 * scheduler.shardWindows() * engine.config().window_bytes);
+    EXPECT_EQ(fp.vdnn_peak,
+              manager.footprint().vdnn_peak + fp.staging_bytes);
+}
+
+} // namespace
+} // namespace cdma

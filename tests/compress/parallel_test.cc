@@ -193,7 +193,7 @@ TEST(StreamingInto, AppendsWithoutDisturbingExistingBytes)
     const auto input = makeInput(0.5, 4096, 21);
     for (Algorithm algorithm : kAllAlgorithms) {
         const auto codec = makeCompressor(algorithm);
-        std::vector<uint8_t> out = {0xDE, 0xAD, 0xBE, 0xEF};
+        ByteVec out = {0xDE, 0xAD, 0xBE, 0xEF};
         codec->compressWindowInto(input, out);
         ASSERT_GT(out.size(), 4u);
         EXPECT_EQ(out[0], 0xDE);

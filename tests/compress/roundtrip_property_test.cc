@@ -39,7 +39,10 @@ makeInput(int family, uint64_t seed, size_t size)
                     ? static_cast<float>(std::abs(rng.normal())) : 0.0f;
             }
             input.resize(size);
-            std::memcpy(input.data(), words.data(), size);
+            // size == 0 leaves data() null; memcpy's pointer arguments
+            // must be non-null even for zero lengths (UBSan enforces).
+            if (size > 0)
+                std::memcpy(input.data(), words.data(), size);
         }
         break;
       case 3: // long alternating runs
