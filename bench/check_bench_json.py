@@ -1,33 +1,85 @@
 #!/usr/bin/env python3
 """Validate BENCH_kernel_throughput.json for the CI bench smoke job.
 
-The perf-trajectory tooling keys on three things per kernel benchmark:
-the algorithm (from the benchmark family name), the activation density
-(the benchmark argument), and the achieved throughput
-(``bytes_per_second``, reported as GB/s). A refactor that renames a
-family, drops the density argument, or stops calling
-``SetBytesProcessed`` silently breaks the trajectory; this script fails
-the job instead.
+The perf-trajectory tooling keys on four things per kernel benchmark:
+the algorithm (from the benchmark family name), the kernel backend (an
+optional ``Scalar``/``Avx2`` family suffix for the explicit per-backend
+sweeps, plus the dispatcher's choice recorded in the JSON context as
+``kernel_backend``), the activation density (the benchmark argument),
+and the achieved throughput (``bytes_per_second``, reported as GB/s).
+A refactor that renames a family, drops the density argument, stops
+calling ``SetBytesProcessed`` or loses the backend context silently
+breaks the trajectory; this script fails the job instead. It also fails
+when an AVX2-capable host silently dispatched to the scalar backend
+(a broken CPUID path would otherwise masquerade as a perf regression) —
+unless CDMA_KERNEL_BACKEND=scalar was an explicit request.
 
 Usage: bench/check_bench_json.py [path/to/BENCH_kernel_throughput.json]
 """
 
 import json
+import os
 import re
 import sys
 
 # Families whose presence (at >= 1 density) the trajectory depends on,
-# and which must report bytes_per_second. The parallel/lane variants are
-# validated when present but are optional: a reduced smoke run may
-# filter to the serial kernels.
+# and which must report bytes_per_second. The parallel/lane and
+# per-backend variants are validated when present but are optional: a
+# reduced smoke run may filter to the serial kernels.
 REQUIRED_FAMILIES = ("BM_ZvcCompress", "BM_RleCompress", "BM_DeflateCompress")
+KNOWN_BACKENDS = ("scalar", "avx2")
 NAME_RE = re.compile(r"^BM_([A-Za-z]+?)(Compress|Decompress|CycleModel|"
-                     r"EngineCycleModel)?(Parallel)?(/\d+)*(/[a-z_]+)*$")
+                     r"EngineCycleModel)?(Parallel)?(Scalar|Avx2)?"
+                     r"(/\d+)*(/[a-z_]+)*$")
 
 
 def fail(message: str) -> None:
     print(f"check_bench_json: FAIL: {message}", file=sys.stderr)
     sys.exit(1)
+
+
+def producer_supports_avx2(context: dict) -> bool:
+    """AVX2 capability of the machine that PRODUCED the report.
+
+    Preferred source is the ``host_avx2`` context field the bench
+    binary records (its own CPUID probe), so validating a report on a
+    different machine judges the producer, not the validator. Reports
+    that predate the field fall back to probing this host's
+    /proc/cpuinfo (Linux best-effort; absence of evidence -> False).
+    """
+    recorded = context.get("host_avx2")
+    if recorded is not None:
+        return recorded == "true"
+    try:
+        with open("/proc/cpuinfo", encoding="utf-8") as handle:
+            return any("avx2" in line for line in handle
+                       if line.startswith("flags"))
+    except OSError:
+        return False
+
+
+def check_backend_context(report: dict) -> str:
+    context = report.get("context", {})
+    backend = context.get("kernel_backend")
+    if not backend:
+        fail("context lacks 'kernel_backend' (the bench binary must "
+             "record the dispatched kernel backend)")
+    if backend not in KNOWN_BACKENDS:
+        fail(f"context kernel_backend '{backend}' is not one of "
+             f"{', '.join(KNOWN_BACKENDS)}")
+    # Dispatch provenance travels in the JSON itself (the bench binary
+    # records any CDMA_KERNEL_BACKEND override it saw), so the check
+    # holds up when the JSON is validated from a different shell or CI
+    # step; the checker's own environment is only a fallback for
+    # reports that predate the provenance field.
+    forced = context.get("kernel_backend_forced",
+                         os.environ.get("CDMA_KERNEL_BACKEND", ""))
+    if (backend == "scalar" and forced != "scalar"
+            and producer_supports_avx2(context)):
+        fail("the producing host supports AVX2 but the bench dispatched "
+             "to the scalar backend without CDMA_KERNEL_BACKEND=scalar "
+             "— the CPUID dispatch path silently fell back")
+    return backend
 
 
 def main() -> None:
@@ -39,6 +91,8 @@ def main() -> None:
         fail(f"{path} is missing (did the bench binary run?)")
     except json.JSONDecodeError as error:
         fail(f"{path} is not valid JSON: {error}")
+
+    backend = check_backend_context(report)
 
     benchmarks = report.get("benchmarks")
     if not benchmarks:
@@ -54,7 +108,7 @@ def main() -> None:
         match = NAME_RE.match(name)
         if not match:
             fail(f"benchmark name '{name}' does not parse as "
-                 "BM_<Algorithm><Kind>[/density[/lanes]]")
+                 "BM_<Algorithm><Kind>[<Backend>][/density[/lanes]]")
         family = name.split("/")[0]
         seen_families.add(family)
         # Every throughput kernel must report bytes_per_second (that is
@@ -73,6 +127,16 @@ def main() -> None:
     if missing:
         fail(f"required benchmark families absent: {', '.join(missing)}")
 
+    # When the explicit per-backend sweep ran at all, the scalar leg must
+    # be part of it (scalar is supported everywhere, so its absence means
+    # the sweep was cut down in a way the trajectory would misread).
+    backend_families = {f for f in seen_families
+                        if f.endswith(("Scalar", "Avx2"))}
+    if backend_families and not any(f.endswith("Scalar")
+                                    for f in backend_families):
+        fail("per-backend families present but the scalar reference leg "
+             f"is missing: {', '.join(sorted(backend_families))}")
+
     summary = []
     for entry in benchmarks:
         if entry.get("run_type") == "aggregate":
@@ -85,7 +149,7 @@ def main() -> None:
             density = name.split("/")[1]
             summary.append(f"{family[3:]} d{density}: {bps / 1e9:.2f} GB/s")
     print(f"check_bench_json: OK ({len(benchmarks)} entries, "
-          f"{len(seen_families)} families)")
+          f"{len(seen_families)} families, dispatch={backend})")
     for line in summary:
         print(f"  {line}")
 

@@ -11,14 +11,25 @@
  *
  * Serial benchmarks take the density (percent) as the argument; parallel
  * benchmarks take {density, lanes}.
+ *
+ * The kernel backend the dispatcher chose is recorded in the JSON
+ * context as "kernel_backend" (validated by bench/check_bench_json.py),
+ * and explicit per-backend compression families
+ * (BM_<Algo>CompressScalar / BM_<Algo>CompressAvx2) are registered for
+ * every backend this CPU supports, so the checked-in trajectory carries
+ * scalar and SIMD numbers side by side.
  */
 
+#include <cctype>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hh"
 #include "compress/compressor.hh"
+#include "compress/kernels/kernels.hh"
 #include "compress/parallel.hh"
 #include "gpu/zvc_engine.hh"
 #include "sparsity/generator.hh"
@@ -44,12 +55,15 @@ makeActivations(double density, size_t bytes)
 }
 
 void
-compressBenchmark(benchmark::State &state, Algorithm algorithm)
+compressBenchmark(benchmark::State &state, Algorithm algorithm,
+                  const KernelOps *kernels = nullptr)
 {
     const double density =
         static_cast<double>(state.range(0)) / 100.0;
     const auto input = makeActivations(density, 1 << 20);
-    const auto compressor = makeCompressor(algorithm);
+    const auto compressor =
+        makeCompressor(algorithm, Compressor::kDefaultWindowBytes,
+                       kernels);
     uint64_t wire = 0;
     for (auto _ : state) {
         const auto result = compressor->compress(input);
@@ -195,6 +209,72 @@ BENCHMARK(BM_ZvcDecompressParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->MeasureProcessCPUTime()->UseRealTime();
 BENCHMARK(BM_ZvcEngineCycleModel);
 
+/** "scalar" -> "Scalar", "avx2" -> "Avx2" (benchmark-name casing). */
+std::string
+backendFamilySuffix(const char *name)
+{
+    std::string suffix(name);
+    if (!suffix.empty())
+        suffix[0] = static_cast<char>(std::toupper(suffix[0]));
+    return suffix;
+}
+
+/**
+ * Explicit per-backend serial compression families, one per backend
+ * this CPU supports: BM_ZvcCompressScalar/50, BM_ZvcCompressAvx2/50...
+ * The suffix-less families above stay on the runtime dispatch, so the
+ * trajectory keeps one "what you get by default" row per kernel.
+ */
+void
+registerBackendBenchmarks()
+{
+    struct FamilySpec {
+        const char *family;
+        Algorithm algorithm;
+        std::vector<int64_t> densities;
+    };
+    const FamilySpec specs[] = {
+        {"BM_ZvcCompress", Algorithm::Zvc, {10, 40, 50, 70, 100}},
+        {"BM_RleCompress", Algorithm::Rle, {10, 40, 50, 70, 100}},
+        {"BM_DeflateCompress", Algorithm::Zlib, {10, 40, 100}},
+    };
+    for (const KernelOps *kernels : supportedKernels()) {
+        const std::string suffix = backendFamilySuffix(kernels->name);
+        for (const FamilySpec &spec : specs) {
+            auto *bench = benchmark::RegisterBenchmark(
+                (spec.family + suffix).c_str(),
+                [algorithm = spec.algorithm,
+                 kernels](benchmark::State &state) {
+                    compressBenchmark(state, algorithm, kernels);
+                });
+            for (const int64_t density : spec.densities)
+                bench->Arg(density);
+        }
+    }
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Record which backend the runtime dispatch picked and whether an
+    // env override forced it, so the JSON itself carries the dispatch
+    // provenance: the checker fails an AVX2-capable host that silently
+    // fell back to scalar, but not a deliberately forced run — even
+    // when the JSON is validated from a different shell.
+    const char *forced = std::getenv("CDMA_KERNEL_BACKEND");
+    benchmark::AddCustomContext("kernel_backend",
+                                cdma::activeKernels().name);
+    benchmark::AddCustomContext("kernel_backend_forced",
+                                forced != nullptr ? forced : "");
+    benchmark::AddCustomContext(
+        "host_avx2", cdma::avx2Kernels() != nullptr ? "true" : "false");
+    registerBackendBenchmarks();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -54,8 +54,10 @@ main(int argc, char **argv)
     // 1. vDNN memory accounting (staging buffers included).
     VdnnMemoryManager manager(net, net.default_batch);
     const MemoryFootprint fp = manager.footprint(engine);
-    std::printf("== %s, batch %lld ==\n", net.name.c_str(),
-                static_cast<long long>(net.default_batch));
+    std::printf("== %s, batch %lld (kernel backend: %s, %u lanes) ==\n",
+                net.name.c_str(),
+                static_cast<long long>(net.default_batch),
+                engine.backendName(), engine.compressor().lanes());
     std::printf("baseline GPU memory: %.2f GB (activations+gradients "
                 "%.0f%%)\n",
                 static_cast<double>(fp.baseline_total) / 1e9,

@@ -21,7 +21,7 @@ CdmaEngine::CdmaEngine(const CdmaConfig &config)
     : config_(config),
       compressor_(std::make_unique<ParallelCompressor>(
           config.algorithm, config.window_bytes,
-          config.compression_lanes))
+          config.compression_lanes, config.kernels))
 {
     CDMA_ASSERT(config.gpu.pcie_bandwidth > 0.0 &&
                     config.gpu.comp_bandwidth > 0.0,

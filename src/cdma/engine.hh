@@ -107,6 +107,13 @@ struct CdmaConfig {
     uint64_t shard_bytes = 0;
     /** Staging buffers in flight; 2 = classic double buffering. */
     unsigned staging_buffers = 2;
+    /**
+     * Kernel backend for the codec's primitive hot ops (mask/compact,
+     * run scans). nullptr = the process-wide runtime dispatch
+     * (activeKernels(): CPUID with the CDMA_KERNEL_BACKEND override).
+     * The engine's compression lanes all share this one decision.
+     */
+    const KernelOps *kernels = nullptr;
 };
 
 /** Outcome of planning one activation-map transfer. */
@@ -138,6 +145,9 @@ class CdmaEngine
 
     /** The (possibly parallel) compressor backing planTransfer(). */
     const ParallelCompressor &compressor() const { return *compressor_; }
+
+    /** Kernel backend name the engine compresses with. */
+    const char *backendName() const { return compressor_->backendName(); }
 
     /**
      * Plan a transfer by compressing the actual bytes (the

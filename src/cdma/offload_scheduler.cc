@@ -69,26 +69,78 @@ OffloadScheduler::offload(std::span<const uint8_t> data) const
     return result;
 }
 
+namespace {
+
+/** Overlap fraction of @p timing in [0,1] (shared finalization rule). */
+void
+finalizeOverlapFraction(OffloadTiming &timing)
+{
+    const double hideable =
+        std::min(timing.compress_seconds, timing.wire_seconds);
+    timing.overlap_fraction = hideable > 0.0
+        ? std::clamp(timing.hiddenSeconds() / hideable, 0.0, 1.0)
+        : 0.0;
+}
+
+} // namespace
+
 OffloadTiming
 OffloadScheduler::modelFromRatio(uint64_t raw_bytes, double ratio) const
 {
     CDMA_ASSERT(ratio >= 1.0, "ratio %f below store-raw floor", ratio);
     const CdmaConfig &config = engine_.config();
+    const double comp_bw = config.gpu.comp_bandwidth;
+    const double wire_bw = config.gpu.pcie_effective_bandwidth;
+    const unsigned buffers = config.staging_buffers;
     const uint64_t shard_raw = shard_windows_ * config.window_bytes;
-    const uint64_t count = ceilDiv(raw_bytes, shard_raw);
 
-    std::vector<ShardTransfer> shards;
-    shards.reserve(count);
-    uint64_t remaining = raw_bytes;
-    while (remaining > 0) {
-        const uint64_t raw = std::min(remaining, shard_raw);
-        shards.push_back(
-            {raw, static_cast<uint64_t>(static_cast<double>(raw) / ratio)});
-        remaining -= raw;
+    OffloadTiming timing;
+    if (raw_bytes == 0)
+        return timing;
+
+    // Closed form over the shard shape the DES would replay: `full`
+    // uniform shards of shard_raw bytes plus at most one partial tail.
+    // The per-shard wire bytes reproduce the DES arithmetic exactly
+    // (store-raw-floored truncation per shard).
+    const uint64_t full = raw_bytes / shard_raw;
+    const uint64_t tail_raw = raw_bytes % shard_raw;
+    timing.shard_count = full + (tail_raw != 0 ? 1 : 0);
+
+    const double c = static_cast<double>(shard_raw) / comp_bw;
+    const double w = static_cast<double>(static_cast<uint64_t>(
+                         static_cast<double>(shard_raw) / ratio)) /
+        wire_bw;
+    const double tail_c = static_cast<double>(tail_raw) / comp_bw;
+    const double tail_w = static_cast<double>(static_cast<uint64_t>(
+                              static_cast<double>(tail_raw) / ratio)) /
+        wire_bw;
+
+    const double n = static_cast<double>(full);
+    timing.compress_seconds = n * c + tail_c;
+    timing.wire_seconds = n * w + tail_w;
+
+    if (buffers == 1) {
+        // A single staging buffer serializes every shard end to end.
+        timing.overlapped_seconds =
+            timing.compress_seconds + timing.wire_seconds;
+    } else if (full == 0) {
+        // Tail-only transfer: one shard, nothing to overlap with.
+        timing.overlapped_seconds = tail_c + tail_w;
+    } else if (w >= c) {
+        // Wire-bound: one compression fill, then the wire never starves
+        // (the tail's compression hides under the previous shard's wire
+        // time because tail_c <= c <= w).
+        timing.overlapped_seconds = c + n * w + tail_w;
+    } else {
+        // Compression-bound (fetch-capped): the serial compression
+        // engine paces the pipeline; the tail's wire leg waits for
+        // whichever of its own compression or the previous shard's
+        // drain finishes last.
+        timing.overlapped_seconds =
+            n * c + std::max(tail_c, w) + tail_w;
     }
-    return pipelineTiming(shards, config.gpu.comp_bandwidth,
-                          config.gpu.pcie_effective_bandwidth,
-                          config.staging_buffers);
+    finalizeOverlapFraction(timing);
+    return timing;
 }
 
 OffloadTiming
@@ -148,12 +200,7 @@ OffloadScheduler::pipelineTiming(std::span<const ShardTransfer> shards,
     }
     timing.wire_seconds = wire.busySeconds();
     timing.overlapped_seconds = last_drain;
-
-    const double hideable =
-        std::min(timing.compress_seconds, timing.wire_seconds);
-    timing.overlap_fraction = hideable > 0.0
-        ? std::clamp(timing.hiddenSeconds() / hideable, 0.0, 1.0)
-        : 0.0;
+    finalizeOverlapFraction(timing);
     return timing;
 }
 

@@ -6,6 +6,7 @@
 #include "common/bits.hh"
 #include "common/logging.hh"
 #include "compress/deflate.hh"
+#include "compress/kernels/kernels.hh"
 #include "compress/rle.hh"
 #include "compress/zvc.hh"
 
@@ -50,7 +51,9 @@ CompressedBuffer::effectiveRatio() const
     return static_cast<double>(original_bytes) / static_cast<double>(bytes);
 }
 
-Compressor::Compressor(uint64_t window_bytes) : window_bytes_(window_bytes)
+Compressor::Compressor(uint64_t window_bytes, const KernelOps *kernels)
+    : window_bytes_(window_bytes),
+      kernels_(kernels != nullptr ? kernels : &activeKernels())
 {
     CDMA_ASSERT(window_bytes > 0, "compression window must be positive");
 }
@@ -209,15 +212,17 @@ algorithmName(Algorithm algorithm)
 }
 
 std::unique_ptr<Compressor>
-makeCompressor(Algorithm algorithm, uint64_t window_bytes)
+makeCompressor(Algorithm algorithm, uint64_t window_bytes,
+               const KernelOps *kernels)
 {
     switch (algorithm) {
       case Algorithm::Rle:
-        return std::make_unique<RleCompressor>(window_bytes);
+        return std::make_unique<RleCompressor>(window_bytes, kernels);
       case Algorithm::Zvc:
-        return std::make_unique<ZvcCompressor>(window_bytes);
+        return std::make_unique<ZvcCompressor>(window_bytes, kernels);
       case Algorithm::Zlib:
-        return std::make_unique<DeflateCompressor>(window_bytes);
+        return std::make_unique<DeflateCompressor>(window_bytes,
+                                                   Lz77Config{}, kernels);
     }
     panic("unreachable algorithm value %d", static_cast<int>(algorithm));
 }

@@ -28,6 +28,8 @@
 
 namespace cdma {
 
+struct KernelOps;
+
 /**
  * Store-raw-floored wire bytes of a compressed window sequence: every
  * window transfers as min(compressed, raw) bytes, as a real engine with
@@ -92,7 +94,15 @@ class Compressor
     /** Default compression window (4 KB, the paper's configuration). */
     static constexpr uint64_t kDefaultWindowBytes = 4096;
 
-    explicit Compressor(uint64_t window_bytes = kDefaultWindowBytes);
+    /**
+     * @param window_bytes Compression window.
+     * @param kernels Kernel backend for the primitive hot ops; nullptr
+     *        picks the process-wide runtime dispatch (activeKernels()).
+     *        All backends produce byte-identical output; an explicit
+     *        backend exists for differential tests and benchmarks.
+     */
+    explicit Compressor(uint64_t window_bytes = kDefaultWindowBytes,
+                        const KernelOps *kernels = nullptr);
     virtual ~Compressor() = default;
 
     /** Short algorithm tag as used in the paper's figures (RL/ZV/ZL). */
@@ -100,6 +110,9 @@ class Compressor
 
     /** Compression window in bytes. */
     uint64_t windowBytes() const { return window_bytes_; }
+
+    /** The kernel backend this codec's hot loops call through. */
+    const KernelOps &kernels() const { return *kernels_; }
 
     /** Compress @p input window-by-window. */
     CompressedBuffer compress(std::span<const uint8_t> input) const;
@@ -160,6 +173,7 @@ class Compressor
 
   private:
     uint64_t window_bytes_;
+    const KernelOps *kernels_;
 };
 
 /** Algorithm selector matching the paper's figure labels. */
@@ -176,10 +190,14 @@ inline constexpr Algorithm kAllAlgorithms[] = {
 /** Figure label for an algorithm ("RL", "ZV", "ZL"). */
 std::string algorithmName(Algorithm algorithm);
 
-/** Construct a compressor for @p algorithm with the given window. */
+/**
+ * Construct a compressor for @p algorithm with the given window.
+ * @p kernels selects the kernel backend (nullptr = runtime dispatch).
+ */
 std::unique_ptr<Compressor>
 makeCompressor(Algorithm algorithm,
-               uint64_t window_bytes = Compressor::kDefaultWindowBytes);
+               uint64_t window_bytes = Compressor::kDefaultWindowBytes,
+               const KernelOps *kernels = nullptr);
 
 } // namespace cdma
 

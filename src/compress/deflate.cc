@@ -91,8 +91,9 @@ readLengths(BitReader &reader, size_t count)
 } // namespace
 
 DeflateCompressor::DeflateCompressor(uint64_t window_bytes,
-                                     const Lz77Config &lz_config)
-    : Compressor(window_bytes), lz_config_(lz_config)
+                                     const Lz77Config &lz_config,
+                                     const KernelOps *kernels)
+    : Compressor(window_bytes, kernels), lz_config_(lz_config)
 {
 }
 
@@ -108,7 +109,14 @@ void
 DeflateCompressor::compressWindowInto(std::span<const uint8_t> window,
                                       ByteVec &out) const
 {
-    const auto tokens = lz77Tokenize(window, lz_config_);
+    // One tokenizer scratch per thread: the codec object is shared
+    // read-only across ParallelCompressor lanes, and the scratch makes
+    // the tokenize stage allocation-free in steady state. The Huffman
+    // stage below still allocates its frequency/code tables per window
+    // (ROADMAP item).
+    static thread_local Lz77Scratch scratch;
+    const auto &tokens =
+        lz77TokenizeInto(window, lz_config_, scratch, &kernels());
 
     // Pass 1: symbol statistics.
     std::vector<uint64_t> litlen_freq(kLitLenSymbols, 0);

@@ -34,14 +34,18 @@ class DeflateCompressor : public Compressor
 
     explicit DeflateCompressor(
         uint64_t window_bytes = Compressor::kDefaultWindowBytes,
-        const Lz77Config &lz_config = {});
+        const Lz77Config &lz_config = {},
+        const KernelOps *kernels = nullptr);
 
     std::string name() const override { return "ZL"; }
 
     /**
-     * Streaming codec: the encoder's BitWriter appends straight into the
-     * shared payload vector and the decoder writes literals/matches into
-     * the caller's region, copying non-overlapping matches with memcpy.
+     * Streaming codec: the LZ77 tokenizer runs through the kernel
+     * backend's match-extension scan into a per-thread reusable scratch
+     * (no token-vector allocation per window), the encoder's BitWriter
+     * appends straight into the shared payload vector, and the decoder
+     * writes literals/matches into the caller's region, copying
+     * non-overlapping matches with memcpy.
      */
     void compressWindowInto(std::span<const uint8_t> window,
                             ByteVec &out) const override;

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Runtime backend selection for the kernel layer. The decision is made
+ * exactly once (first use, thread-safe via the static-local guarantee):
+ * CDMA_KERNEL_BACKEND wins when set — an unknown or CPU-unsupported name
+ * is a configuration error, not a silent fallback — otherwise CPUID
+ * picks the widest available backend. Codecs capture the chosen table at
+ * construction, so a ParallelCompressor's lane workers all share the one
+ * dispatch decision instead of re-deciding per window.
+ */
+
+#include "compress/kernels/kernels.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace cdma {
+
+const KernelOps *
+kernelsByName(std::string_view name)
+{
+    if (name == "scalar")
+        return &scalarKernels();
+    if (name == "avx2")
+        return avx2Kernels();
+    return nullptr;
+}
+
+std::vector<const KernelOps *>
+supportedKernels()
+{
+    std::vector<const KernelOps *> backends = {&scalarKernels()};
+    if (const KernelOps *avx2 = avx2Kernels())
+        backends.push_back(avx2);
+    return backends;
+}
+
+namespace {
+
+const KernelOps &
+selectKernels()
+{
+    const char *forced = std::getenv("CDMA_KERNEL_BACKEND");
+    if (forced != nullptr && *forced != '\0') {
+        // Empty counts as unset so CI matrices can pass the variable
+        // through unconditionally.
+        const KernelOps *ops = kernelsByName(forced);
+        if (ops == nullptr) {
+            fatal("CDMA_KERNEL_BACKEND='%s' is not a supported kernel "
+                  "backend on this CPU (valid: scalar%s)",
+                  forced, avx2Kernels() ? ", avx2" : "");
+        }
+        inform("kernel backend forced to '%s' via CDMA_KERNEL_BACKEND",
+               ops->name);
+        return *ops;
+    }
+    if (const KernelOps *avx2 = avx2Kernels())
+        return *avx2;
+    return scalarKernels();
+}
+
+} // namespace
+
+const KernelOps &
+activeKernels()
+{
+    static const KernelOps &selected = selectKernels();
+    return selected;
+}
+
+} // namespace cdma

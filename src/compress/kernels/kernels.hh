@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Pluggable SIMD kernel layer for the codec stack. The paper's CPE/DPE
+ * datapaths get their throughput from wide fixed-function mask-and-compact
+ * hardware (Section V-B, Figure 10); every software codec in this repo
+ * reduces to the same few primitive hot operations — zero-mask formation
+ * over 32-bit activation words, left-pack compaction of the non-zero
+ * words, zero/literal run scanning, and bulk byte-sink copies. KernelOps
+ * factors those primitives into one function-pointer table with a
+ * portable scalar backend and an AVX2 backend (vpcmpeqd + vpmovmskb mask
+ * formation, shuffle-table left-packing, wide run scans), so vectorizing
+ * the primitive once lifts ZVC, RLE and the DEFLATE tokenizer together.
+ *
+ * Dispatch is decided once at startup: CPUID picks the widest supported
+ * backend, and the CDMA_KERNEL_BACKEND environment variable ("scalar" or
+ * "avx2") overrides it — chiefly to force the scalar path on AVX2 hosts
+ * for differential testing and the CI forced-scalar job leg. Codecs
+ * capture the table at construction, so every lane of a
+ * ParallelCompressor shares the codec's single dispatch decision.
+ *
+ * Every backend must produce *byte-identical* codec output: the table
+ * changes how the masks and runs are computed, never what is emitted.
+ * tests/compress/kernels_test.cc pins this property per op and per codec.
+ */
+
+#ifndef CDMA_COMPRESS_KERNELS_KERNELS_HH
+#define CDMA_COMPRESS_KERNELS_KERNELS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace cdma {
+
+/**
+ * The primitive hot operations of the codec stack, as a flat function
+ * table. All word offsets/counts are in 4-byte (fp32 activation) words.
+ */
+struct KernelOps {
+    /** Backend identifier ("scalar", "avx2"). */
+    const char *name;
+
+    /**
+     * ZVC group op: form the non-zero mask over @p words (1..32)
+     * consecutive 32-bit words at @p src and left-pack the non-zero words
+     * to @p dst in order (the software mirror of the hardware prefix-sum
+     * shift network). Returns the mask; exactly
+     * 4 * popcount(mask) payload bytes are live at @p dst.
+     *
+     * @p dst must have room for 4 * @p words bytes: backends may store
+     * full groups unconditionally and let the write pointer lag (the
+     * branchless/left-pack trick), so bytes beyond the live payload are
+     * scratch.
+     */
+    uint32_t (*zvcCompactGroup)(const uint8_t *src, uint32_t words,
+                                uint8_t *dst);
+
+    /**
+     * Length of the run of all-zero 32-bit words starting at @p words,
+     * capped at @p limit words (limit >= 1).
+     */
+    uint64_t (*zeroRunWords)(const uint8_t *words, uint64_t limit);
+
+    /**
+     * Length of the run of non-zero 32-bit words starting at @p words,
+     * capped at @p limit words (limit >= 1).
+     */
+    uint64_t (*literalRunWords)(const uint8_t *words, uint64_t limit);
+
+    /**
+     * Length of the common byte prefix of @p a and @p b, capped at
+     * @p max bytes. Both pointers must be readable for @p max bytes
+     * (the LZ77 match extension guarantees this by construction).
+     */
+    size_t (*matchLength)(const uint8_t *a, const uint8_t *b, size_t max);
+
+    /**
+     * Bulk byte-sink copy of @p n bytes from @p src to @p dst (used for
+     * literal-run and raw-tail emission into the payload sink). Regions
+     * must not overlap.
+     */
+    void (*copyBytes)(uint8_t *dst, const uint8_t *src, size_t n);
+};
+
+/** The portable scalar backend (always available). */
+const KernelOps &scalarKernels();
+
+/** The AVX2 backend, or nullptr when this CPU does not support AVX2. */
+const KernelOps *avx2Kernels();
+
+/**
+ * The backend every codec uses by default, selected once at startup:
+ * CDMA_KERNEL_BACKEND if set (fatal() on an unknown or unsupported
+ * name), otherwise the widest CPUID-supported backend.
+ */
+const KernelOps &activeKernels();
+
+/** Backend by name ("scalar", "avx2"); nullptr if unknown/unsupported. */
+const KernelOps *kernelsByName(std::string_view name);
+
+/** Every backend this CPU supports, scalar first (for sweeps/tests). */
+std::vector<const KernelOps *> supportedKernels();
+
+} // namespace cdma
+
+#endif // CDMA_COMPRESS_KERNELS_KERNELS_HH

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Portable scalar kernel backend. These are the reference
+ * implementations every other backend must match byte for byte; they are
+ * also the fastest portable forms we know (branchless compaction,
+ * 64-bit strides), so forcing CDMA_KERNEL_BACKEND=scalar costs wide
+ * loads, not algorithmic quality.
+ */
+
+#include "compress/kernels/kernels.hh"
+
+#include <bit>
+#include <cstring>
+
+namespace cdma {
+
+namespace {
+
+inline uint32_t
+loadWord(const uint8_t *p)
+{
+    uint32_t value;
+    std::memcpy(&value, p, sizeof(value));
+    return value;
+}
+
+/**
+ * Branchless mask-and-compact: every word is stored unconditionally and
+ * the write pointer advances only for non-zero words (the software
+ * analogue of the hardware's prefix-sum shift network, Figure 10a), with
+ * a 32-byte OR fast-skip for all-zero 8-word sub-blocks — the common
+ * case in sparse activation pages.
+ */
+uint32_t
+zvcCompactGroupScalar(const uint8_t *src, uint32_t words, uint8_t *dst)
+{
+    uint32_t mask = 0;
+    uint32_t w = 0;
+    while (w + 8 <= words) {
+        const uint8_t *p = src + w * 4;
+        uint64_t chunk[4];
+        std::memcpy(chunk, p, sizeof(chunk));
+        if ((chunk[0] | chunk[1] | chunk[2] | chunk[3]) != 0) {
+            for (int j = 0; j < 8; ++j) {
+                const uint32_t value = loadWord(p + j * 4);
+                std::memcpy(dst, &value, 4);
+                const uint32_t nz = value != 0;
+                dst += nz * 4;
+                mask |= nz << (w + static_cast<uint32_t>(j));
+            }
+        }
+        w += 8;
+    }
+    for (; w < words; ++w) {
+        const uint32_t value = loadWord(src + w * 4);
+        std::memcpy(dst, &value, 4);
+        const uint32_t nz = value != 0;
+        dst += nz * 4;
+        mask |= nz << w;
+    }
+    return mask;
+}
+
+/** 32-byte OR probes through zero pages, word-at-a-time at the edge. */
+uint64_t
+zeroRunWordsScalar(const uint8_t *words, uint64_t limit)
+{
+    uint64_t run = 0;
+    while (run + 8 <= limit) {
+        uint64_t chunk[4];
+        std::memcpy(chunk, words + run * 4, sizeof(chunk));
+        if ((chunk[0] | chunk[1] | chunk[2] | chunk[3]) != 0)
+            break;
+        run += 8;
+    }
+    while (run < limit && loadWord(words + run * 4) == 0)
+        ++run;
+    return run;
+}
+
+/** Two words per probe over literal spans (endian-neutral loads). */
+uint64_t
+literalRunWordsScalar(const uint8_t *words, uint64_t limit)
+{
+    uint64_t run = 0;
+    while (run + 2 <= limit) {
+        const uint32_t lo = loadWord(words + run * 4);
+        const uint32_t hi = loadWord(words + run * 4 + 4);
+        if (lo == 0)
+            return run;
+        if (hi == 0)
+            return run + 1;
+        run += 2;
+    }
+    if (run < limit && loadWord(words + run * 4) != 0)
+        ++run;
+    return run;
+}
+
+/**
+ * 64-bit XOR stride; the first differing byte index falls out of a
+ * trailing-zero count on little-endian hosts (byte 0 is the low lane)
+ * and a leading-zero count on big-endian ones.
+ */
+size_t
+matchLengthScalar(const uint8_t *a, const uint8_t *b, size_t max)
+{
+    size_t len = 0;
+    while (len + 8 <= max) {
+        uint64_t x, y;
+        std::memcpy(&x, a + len, sizeof(x));
+        std::memcpy(&y, b + len, sizeof(y));
+        const uint64_t diff = x ^ y;
+        if (diff != 0) {
+            if constexpr (std::endian::native == std::endian::little) {
+                return len +
+                    static_cast<size_t>(std::countr_zero(diff)) / 8;
+            } else {
+                return len +
+                    static_cast<size_t>(std::countl_zero(diff)) / 8;
+            }
+        }
+        len += 8;
+    }
+    while (len < max && a[len] == b[len])
+        ++len;
+    return len;
+}
+
+void
+copyBytesScalar(uint8_t *dst, const uint8_t *src, size_t n)
+{
+    if (n != 0)
+        std::memcpy(dst, src, n);
+}
+
+} // namespace
+
+const KernelOps &
+scalarKernels()
+{
+    static constexpr KernelOps ops = {
+        "scalar",           zvcCompactGroupScalar, zeroRunWordsScalar,
+        literalRunWordsScalar, matchLengthScalar,  copyBytesScalar,
+    };
+    return ops;
+}
+
+} // namespace cdma

@@ -1,8 +1,11 @@
 #include "compress/lz77.hh"
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 
 #include "common/logging.hh"
+#include "compress/kernels/kernels.hh"
 
 namespace cdma {
 
@@ -23,15 +26,29 @@ hash3(const uint8_t *p)
 
 } // namespace
 
-std::vector<Lz77Token>
-lz77Tokenize(std::span<const uint8_t> input, const Lz77Config &config)
+const std::vector<Lz77Token> &
+lz77TokenizeInto(std::span<const uint8_t> input, const Lz77Config &config,
+                 Lz77Scratch &scratch, const KernelOps *kernels)
 {
-    std::vector<Lz77Token> tokens;
-    tokens.reserve(input.size() / 4 + 16);
-
+    const KernelOps &kernel =
+        kernels != nullptr ? *kernels : activeKernels();
     const size_t n = input.size();
-    std::vector<int64_t> head(kHashSize, -1);
-    std::vector<int64_t> prev(n, -1);
+    CDMA_ASSERT(n <= static_cast<size_t>(
+                         std::numeric_limits<int32_t>::max()),
+                "LZ77 window of %zu bytes overflows the 32-bit chain "
+                "positions", n);
+
+    std::vector<Lz77Token> &tokens = scratch.tokens;
+    tokens.clear();
+    tokens.reserve(n / 4 + 16);
+    // head is re-filled in place; prev entries are only ever read after
+    // being written through a chain rooted in the fresh head, so stale
+    // values from a previous window are never observed.
+    scratch.head.assign(kHashSize, -1);
+    if (scratch.prev.size() < n)
+        scratch.prev.resize(n);
+    int32_t *head = scratch.head.data();
+    int32_t *prev = scratch.prev.data();
 
     size_t pos = 0;
     while (pos < n) {
@@ -40,7 +57,7 @@ lz77Tokenize(std::span<const uint8_t> input, const Lz77Config &config)
 
         if (pos + config.min_match <= n && n - pos >= 3) {
             const uint32_t h = hash3(input.data() + pos);
-            int64_t candidate = head[h];
+            int32_t candidate = head[h];
             int chain = config.max_chain;
             const size_t max_len = std::min<size_t>(config.max_match,
                                                     n - pos);
@@ -50,18 +67,16 @@ lz77Tokenize(std::span<const uint8_t> input, const Lz77Config &config)
                         candidate));
                 if (dist > config.max_distance)
                     break;
-                size_t len = 0;
-                const uint8_t *a = input.data() + candidate;
-                const uint8_t *b = input.data() + pos;
-                while (len < max_len && a[len] == b[len])
-                    ++len;
+                const size_t len = kernel.matchLength(
+                    input.data() + candidate, input.data() + pos,
+                    max_len);
                 if (len >= config.min_match && len > best_len) {
                     best_len = static_cast<uint16_t>(len);
                     best_dist = dist;
                     if (len == max_len)
                         break;
                 }
-                candidate = prev[static_cast<size_t>(candidate)];
+                candidate = prev[candidate];
             }
         }
 
@@ -75,7 +90,7 @@ lz77Tokenize(std::span<const uint8_t> input, const Lz77Config &config)
                 if (pos + 3 <= n) {
                     const uint32_t h = hash3(input.data() + pos);
                     prev[pos] = head[h];
-                    head[h] = static_cast<int64_t>(pos);
+                    head[h] = static_cast<int32_t>(pos);
                 }
                 ++pos;
             }
@@ -83,13 +98,21 @@ lz77Tokenize(std::span<const uint8_t> input, const Lz77Config &config)
             if (pos + 3 <= n) {
                 const uint32_t h = hash3(input.data() + pos);
                 prev[pos] = head[h];
-                head[h] = static_cast<int64_t>(pos);
+                head[h] = static_cast<int32_t>(pos);
             }
             tokens.push_back({false, input[pos], 0, 0});
             ++pos;
         }
     }
     return tokens;
+}
+
+std::vector<Lz77Token>
+lz77Tokenize(std::span<const uint8_t> input, const Lz77Config &config)
+{
+    Lz77Scratch scratch;
+    lz77TokenizeInto(input, config, scratch);
+    return std::move(scratch.tokens);
 }
 
 std::vector<uint8_t>

@@ -2,7 +2,11 @@
  * @file
  * LZ77 tokenizer for the DEFLATE-style compressor: greedy hash-chain
  * matching with the RFC 1951 limits (match length 3..258, distance up to
- * 32768).
+ * 32768). Match extension runs through the kernel backend's matchLength
+ * op, and the hot path is the scratch-reusing lz77TokenizeInto() — the
+ * DEFLATE window loop keeps one Lz77Scratch per thread so tokenizing a
+ * window allocates nothing in steady state (the ZL analogue of the
+ * ZV/RL zero-allocation guarantee).
  */
 
 #ifndef CDMA_COMPRESS_LZ77_HH
@@ -13,6 +17,8 @@
 #include <vector>
 
 namespace cdma {
+
+struct KernelOps;
 
 /** One LZ77 token: either a literal byte or a (length, distance) match. */
 struct Lz77Token {
@@ -30,7 +36,29 @@ struct Lz77Config {
     uint32_t max_distance = 32768; ///< history window
 };
 
-/** Tokenize @p input greedily. */
+/**
+ * Reusable tokenizer state: the token output plus the hash-chain tables.
+ * A scratch may be reused across any number of tokenize calls (typically
+ * one per thread); after the first few windows the tokenizer performs no
+ * allocation at all — head is re-filled in place and prev/tokens only
+ * grow to the largest window seen.
+ */
+struct Lz77Scratch {
+    std::vector<Lz77Token> tokens;
+    std::vector<int32_t> head; ///< hash bucket -> most recent position
+    std::vector<int32_t> prev; ///< position -> previous chain position
+};
+
+/**
+ * Tokenize @p input greedily into @p scratch.tokens (cleared first) and
+ * return a reference to it. @p kernels selects the backend for the match
+ * extension scan; nullptr = runtime dispatch.
+ */
+const std::vector<Lz77Token> &
+lz77TokenizeInto(std::span<const uint8_t> input, const Lz77Config &config,
+                 Lz77Scratch &scratch, const KernelOps *kernels = nullptr);
+
+/** Convenience form of lz77TokenizeInto() with throwaway scratch. */
 std::vector<Lz77Token> lz77Tokenize(std::span<const uint8_t> input,
                                     const Lz77Config &config = {});
 

@@ -9,6 +9,7 @@
 
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "compress/kernels/kernels.hh"
 
 namespace cdma {
 
@@ -20,9 +21,17 @@ CompressedShard::effectiveBytes(uint64_t window_bytes) const
 
 ParallelCompressor::ParallelCompressor(Algorithm algorithm,
                                        uint64_t window_bytes,
-                                       unsigned lanes)
-    : ParallelCompressor(makeCompressor(algorithm, window_bytes), lanes)
+                                       unsigned lanes,
+                                       const KernelOps *kernels)
+    : ParallelCompressor(makeCompressor(algorithm, window_bytes, kernels),
+                         lanes)
 {
+}
+
+const char *
+ParallelCompressor::backendName() const
+{
+    return codec_->kernels().name;
 }
 
 ParallelCompressor::ParallelCompressor(std::unique_ptr<Compressor> codec,

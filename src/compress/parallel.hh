@@ -51,11 +51,14 @@ class ParallelCompressor
      * @param window_bytes Compression window.
      * @param lanes Worker lanes (including the caller). 0 = one per
      *        hardware thread; 1 = serial (no pool, no synchronization).
+     * @param kernels Kernel backend for the codec's hot ops; nullptr =
+     *        runtime dispatch. The codec object is shared by every lane,
+     *        so all lane workers inherit this single dispatch decision.
      */
     explicit ParallelCompressor(
         Algorithm algorithm,
         uint64_t window_bytes = Compressor::kDefaultWindowBytes,
-        unsigned lanes = 0);
+        unsigned lanes = 0, const KernelOps *kernels = nullptr);
 
     /** Wrap an existing codec (must be stateless/thread-safe, as all
      *  in-tree codecs are). */
@@ -63,6 +66,9 @@ class ParallelCompressor
 
     /** Algorithm tag of the underlying codec. */
     std::string name() const { return codec_->name(); }
+
+    /** Kernel backend name the lanes compress with ("scalar", "avx2"). */
+    const char *backendName() const;
 
     /** Compression window in bytes. */
     uint64_t windowBytes() const { return codec_->windowBytes(); }

@@ -1,8 +1,10 @@
 #include "compress/rle.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.hh"
+#include "compress/kernels/kernels.hh"
 
 namespace cdma {
 
@@ -20,32 +22,11 @@ isZeroWord(const uint8_t *p)
     return value == 0;
 }
 
-/**
- * Length of the zero-word run starting at word @p i, capped at @p limit
- * words. Strides 32 bytes (4 x 64-bit loads) through zero pages — at the
- * paper's 50-90% activation sparsity most of the input is zero pages, and
- * the word-at-a-time scan was the dominant cost of RLE compression.
- */
-uint64_t
-zeroRunLength(const uint8_t *words, uint64_t i, uint64_t limit)
-{
-    uint64_t run = 1; // words[i] is known zero
-    while (run + 8 <= limit) {
-        uint64_t chunk[4];
-        std::memcpy(chunk, words + (i + run) * 4, sizeof(chunk));
-        if ((chunk[0] | chunk[1] | chunk[2] | chunk[3]) != 0)
-            break;
-        run += 8;
-    }
-    while (run < limit && isZeroWord(words + (i + run) * 4))
-        ++run;
-    return run;
-}
-
 } // namespace
 
-RleCompressor::RleCompressor(uint64_t window_bytes)
-    : Compressor(window_bytes)
+RleCompressor::RleCompressor(uint64_t window_bytes,
+                             const KernelOps *kernels)
+    : Compressor(window_bytes, kernels)
 {
 }
 
@@ -65,36 +46,44 @@ RleCompressor::compressWindowInto(std::span<const uint8_t> window,
     const uint64_t tail_bytes = window.size() % kWordBytes;
     const uint8_t *src = window.data();
 
-    // Capacity for the worst case up front: the appends below then never
-    // reallocate (callers that stream a whole buffer reserve once).
-    out.reserve(out.size() + compressedBound(window.size()));
+    // Worst case sized up front and trimmed once at the end (ByteVec:
+    // no zero-fill of the staging bytes), so the token/literal emission
+    // below is raw pointer writes with zero reallocation. Run boundaries
+    // come from the kernel backend's scans — the token stream they
+    // produce is backend-invariant by construction (a run ends at the
+    // first word of the other kind, however it was found).
+    const KernelOps &kernel = kernels();
+    const size_t base = out.size();
+    out.resize(base + compressedBound(window.size()));
+    uint8_t *out_base = out.data() + base;
+    uint8_t *dst = out_base;
 
     uint64_t i = 0;
     while (i < words) {
         const uint64_t cap = std::min<uint64_t>(kMaxRun, words - i);
-        if (isZeroWord(src + i * kWordBytes)) {
-            const uint64_t run = zeroRunLength(src, i, cap);
-            out.push_back(
-                kZeroRunFlag | static_cast<uint8_t>(run - 1));
+        const uint8_t *p = src + i * kWordBytes;
+        if (isZeroWord(p)) {
+            const uint64_t run = kernel.zeroRunWords(p, cap);
+            *dst++ = kZeroRunFlag | static_cast<uint8_t>(run - 1);
             i += run;
         } else {
-            uint64_t run = 1;
-            while (run < cap && !isZeroWord(src + (i + run) * kWordBytes))
-                ++run;
-            out.push_back(static_cast<uint8_t>(run - 1));
-            const uint8_t *data = src + i * kWordBytes;
-            out.insert(out.end(), data, data + run * kWordBytes);
+            const uint64_t run = kernel.literalRunWords(p, cap);
+            *dst++ = static_cast<uint8_t>(run - 1);
+            kernel.copyBytes(dst, p,
+                             static_cast<size_t>(run) * kWordBytes);
+            dst += run * kWordBytes;
             i += run;
         }
     }
 
     // Sub-word tail stored raw (prefixed by a literal token of one word
     // would mis-size it; the framing knows the original size so raw bytes
-    // at the end are unambiguous).
+    // at the end are unambiguous). At most 3 bytes: plain memcpy.
     if (tail_bytes) {
-        const uint8_t *data = src + words * kWordBytes;
-        out.insert(out.end(), data, data + tail_bytes);
+        std::memcpy(dst, src + words * kWordBytes, tail_bytes);
+        dst += tail_bytes;
     }
+    out.resize(base + static_cast<size_t>(dst - out_base));
 }
 
 void

@@ -26,14 +26,17 @@ class RleCompressor : public Compressor
     static constexpr int kWordBytes = 4;
 
     explicit RleCompressor(
-        uint64_t window_bytes = Compressor::kDefaultWindowBytes);
+        uint64_t window_bytes = Compressor::kDefaultWindowBytes,
+        const KernelOps *kernels = nullptr);
 
     std::string name() const override { return "RL"; }
 
     /**
-     * Streaming codec with a fast path for long all-zero runs (64-bit
-     * strides instead of a word-at-a-time scan) and memset/memcpy run
-     * reconstruction.
+     * Streaming codec: both run kinds are scanned by the kernel backend
+     * (32-byte OR probes through zero pages; 64-bit — 256-bit on AVX2 —
+     * strides over literal spans), literal data is emitted with the
+     * backend's bulk copy, and decompression reconstructs with
+     * memset/memcpy runs.
      */
     void compressWindowInto(std::span<const uint8_t> window,
                             ByteVec &out) const override;

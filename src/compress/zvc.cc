@@ -5,24 +5,13 @@
 
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "compress/kernels/kernels.hh"
 
 namespace cdma {
 
-namespace {
-
-/** Unaligned 32-bit word load. */
-inline uint32_t
-loadWord(const uint8_t *p)
-{
-    uint32_t value;
-    std::memcpy(&value, p, sizeof(value));
-    return value;
-}
-
-} // namespace
-
-ZvcCompressor::ZvcCompressor(uint64_t window_bytes)
-    : Compressor(window_bytes)
+ZvcCompressor::ZvcCompressor(uint64_t window_bytes,
+                             const KernelOps *kernels)
+    : Compressor(window_bytes, kernels)
 {
 }
 
@@ -53,12 +42,12 @@ ZvcCompressor::compressWindowInto(std::span<const uint8_t> window,
     // Single pass, sized to the worst case up front and trimmed once at
     // the end; out is a ByteVec, so the resize-to-bound leaves the staging
     // bytes uninitialized instead of zero-filling a region the loop below
-    // overwrites. The value compaction is the software mirror of the
-    // hardware's prefix-sum shift network (Figure 10a): every word is
-    // stored unconditionally and the write pointer advances only for
-    // non-zero words, so the 50-90% density range compresses without a
-    // single data-dependent branch (a mispredict per word is what makes
-    // the naive loop collapse at exactly those densities).
+    // overwrites. The mask-and-compact of each 32-word group is the
+    // kernel backend's zvcCompactGroup op — the software mirror of the
+    // hardware's prefix-sum shift network (Figure 10a) — which may store
+    // whole sub-blocks unconditionally and let the write pointer lag, so
+    // the worst-case sizing below is also its scratch headroom.
+    const KernelOps &kernel = kernels();
     const size_t base = out.size();
     out.resize(base + compressedBound(window.size()));
     uint8_t *out_base = out.data() + base;
@@ -66,46 +55,22 @@ ZvcCompressor::compressWindowInto(std::span<const uint8_t> window,
 
     uint64_t word = 0;
     while (word < full_words) {
-        const uint64_t group =
-            std::min<uint64_t>(kMaskWords, full_words - word);
+        const uint32_t group = static_cast<uint32_t>(
+            std::min<uint64_t>(kMaskWords, full_words - word));
         uint8_t *mask_pos = dst;
         dst += sizeof(uint32_t);
-        uint32_t mask = 0;
-
-        if (group == kMaskWords) {
-            // 4 sub-blocks of 8 words: a 32-byte OR first, so all-zero
-            // blocks (the common case in sparse activation pages) skip at
-            // load bandwidth, then branchless compaction for the rest.
-            for (int sub = 0; sub < 4; ++sub) {
-                const uint8_t *p = src + (word + sub * 8) * kWordBytes;
-                uint64_t chunk[4];
-                std::memcpy(chunk, p, sizeof(chunk));
-                if ((chunk[0] | chunk[1] | chunk[2] | chunk[3]) == 0)
-                    continue;
-                for (int j = 0; j < 8; ++j) {
-                    const uint32_t value = loadWord(p + j * kWordBytes);
-                    std::memcpy(dst, &value, kWordBytes);
-                    const uint32_t nz = value != 0;
-                    dst += nz * kWordBytes;
-                    mask |= nz << (sub * 8 + j);
-                }
-            }
-        } else {
-            for (uint64_t i = 0; i < group; ++i) {
-                const uint32_t value =
-                    loadWord(src + (word + i) * kWordBytes);
-                std::memcpy(dst, &value, kWordBytes);
-                const uint32_t nz = value != 0;
-                dst += nz * kWordBytes;
-                mask |= nz << i;
-            }
-        }
+        const uint32_t mask =
+            kernel.zvcCompactGroup(src + word * kWordBytes, group, dst);
+        dst += static_cast<uint32_t>(kWordBytes) *
+            static_cast<uint32_t>(popcount32(mask));
         std::memcpy(mask_pos, &mask, sizeof(mask));
         word += group;
     }
 
     // Sub-word tail (only possible when the window is not a multiple of 4
     // bytes, e.g. the last window of an oddly sized buffer): stored raw.
+    // At most 3 bytes — a plain memcpy inlines, the kernel table's bulk
+    // copy would cost an indirect call.
     if (tail_bytes) {
         std::memcpy(dst, src + full_words * kWordBytes, tail_bytes);
         dst += tail_bytes;

@@ -27,7 +27,8 @@ class ZvcCompressor : public Compressor
     static constexpr int kWordBytes = 4;
 
     explicit ZvcCompressor(
-        uint64_t window_bytes = Compressor::kDefaultWindowBytes);
+        uint64_t window_bytes = Compressor::kDefaultWindowBytes,
+        const KernelOps *kernels = nullptr);
 
     std::string name() const override { return "ZV"; }
 
@@ -40,11 +41,12 @@ class ZvcCompressor : public Compressor
                                    uint64_t nonzero_words);
 
     /**
-     * Single-pass streaming codec: masks are built with word loads and
-     * values are compacted branchlessly (unconditional store, pointer
-     * advance by word-is-nonzero — the software analogue of the
-     * hardware's prefix-sum shift network). Decompression popcounts each
-     * mask to bounds-check and scatter batched memcpy/memset runs.
+     * Single-pass streaming codec: each 32-word group is masked and
+     * left-packed by the kernel backend's zvcCompactGroup op (branchless
+     * compaction on the scalar backend, vpcmpeqd + shuffle-table vpermd
+     * on AVX2 — both software analogues of the hardware's prefix-sum
+     * shift network). Decompression popcounts each mask to bounds-check
+     * and scatter batched memcpy/memset runs.
      */
     void compressWindowInto(std::span<const uint8_t> window,
                             ByteVec &out) const override;

@@ -300,6 +300,77 @@ TEST(ParallelCompressor, ShardStreamArrivesInOrderAndStitchesExactly)
     }
 }
 
+TEST(OffloadScheduler, ClosedFormModelMatchesDesReference)
+{
+    // modelFromRatio is an allocation-free closed form (n*max + min plus
+    // the trailing partial shard); the DES (pipelineTiming) stays the
+    // reference. Pin equality across transfer sizes that exercise every
+    // branch — sub-shard, exact multiples, long trains, partial tails —
+    // ratios on both sides of the fetch cap, and staging depths
+    // including the degenerate single-buffer pipeline.
+    for (const unsigned buffers : {1u, 2u, 3u}) {
+        for (const uint64_t shard_bytes : {0ull, 4096ull, 3 * 4096ull}) {
+            CdmaConfig config;
+            config.shard_bytes = shard_bytes;
+            config.staging_buffers = buffers;
+            config.timing_mode = TimingMode::Overlapped;
+            const CdmaEngine engine(config);
+            const OffloadScheduler scheduler(engine);
+            const uint64_t shard_raw =
+                scheduler.shardWindows() * config.window_bytes;
+
+            for (const double ratio : {1.0, 2.5, 7.3, 12.5, 40.0}) {
+                for (const uint64_t raw :
+                     {uint64_t{1}, shard_raw / 2, shard_raw,
+                      shard_raw + 1, 3 * shard_raw,
+                      7 * shard_raw + shard_raw / 3,
+                      64 * shard_raw + 4097}) {
+                    // The exact shard train the DES would replay.
+                    std::vector<ShardTransfer> shards;
+                    uint64_t remaining = raw;
+                    while (remaining > 0) {
+                        const uint64_t r = std::min(remaining, shard_raw);
+                        shards.push_back(
+                            {r, static_cast<uint64_t>(
+                                    static_cast<double>(r) / ratio)});
+                        remaining -= r;
+                    }
+                    const OffloadTiming des =
+                        OffloadScheduler::pipelineTiming(
+                            shards, config.gpu.comp_bandwidth,
+                            config.gpu.pcie_effective_bandwidth, buffers);
+                    const OffloadTiming closed =
+                        scheduler.modelFromRatio(raw, ratio);
+
+                    EXPECT_EQ(closed.shard_count, des.shard_count)
+                        << "raw=" << raw << " ratio=" << ratio
+                        << " buffers=" << buffers;
+                    EXPECT_NEAR(closed.compress_seconds,
+                                des.compress_seconds,
+                                1e-9 * des.compress_seconds);
+                    EXPECT_NEAR(closed.wire_seconds, des.wire_seconds,
+                                1e-9 * std::max(des.wire_seconds, 1e-30));
+                    EXPECT_NEAR(closed.overlapped_seconds,
+                                des.overlapped_seconds,
+                                1e-9 * des.overlapped_seconds)
+                        << "raw=" << raw << " ratio=" << ratio
+                        << " buffers=" << buffers
+                        << " shard_raw=" << shard_raw;
+                    EXPECT_NEAR(closed.overlap_fraction,
+                                des.overlap_fraction, 1e-9);
+                }
+            }
+        }
+    }
+
+    // Zero-byte transfer: both paths report an empty pipeline.
+    const CdmaEngine engine = makeEngine(1);
+    const OffloadTiming empty =
+        OffloadScheduler(engine).modelFromRatio(0, 2.0);
+    EXPECT_EQ(empty.shard_count, 0u);
+    EXPECT_DOUBLE_EQ(empty.overlapped_seconds, 0.0);
+}
+
 TEST(CdmaEngine, OverlappedModeTimesPlansThroughThePipeline)
 {
     const CdmaEngine overlapped = makeEngine(2);

@@ -85,6 +85,40 @@ TEST(Lz77, RespectsMaxDistance)
     EXPECT_EQ(lz77Reconstruct(tokens), input);
 }
 
+TEST(Lz77, ScratchReuseMatchesFreshTokenize)
+{
+    // The per-thread scratch path must produce exactly the tokens a
+    // throwaway tokenize produces, including when the scratch is reused
+    // across windows of different sizes (stale chain state must never
+    // leak into a later window).
+    Rng rng(77);
+    Lz77Scratch scratch;
+    for (const size_t bytes : {4096u, 100u, 4096u, 33u, 2000u}) {
+        std::vector<uint8_t> input;
+        input.reserve(bytes);
+        while (input.size() < bytes) {
+            if (rng.bernoulli(0.6)) {
+                const size_t run = 1 + rng.uniformInt(64);
+                const auto value = static_cast<uint8_t>(rng.uniformInt(8));
+                input.insert(input.end(), run, value);
+            } else {
+                input.push_back(static_cast<uint8_t>(rng.uniformInt(256)));
+            }
+        }
+        input.resize(bytes);
+        const auto fresh = lz77Tokenize(input);
+        const auto &reused = lz77TokenizeInto(input, {}, scratch);
+        ASSERT_EQ(reused.size(), fresh.size()) << "bytes=" << bytes;
+        for (size_t i = 0; i < fresh.size(); ++i) {
+            EXPECT_EQ(reused[i].is_match, fresh[i].is_match);
+            EXPECT_EQ(reused[i].literal, fresh[i].literal);
+            EXPECT_EQ(reused[i].length, fresh[i].length);
+            EXPECT_EQ(reused[i].distance, fresh[i].distance);
+        }
+        EXPECT_EQ(lz77Reconstruct(reused), input);
+    }
+}
+
 class Lz77RandomRoundTrip : public ::testing::TestWithParam<uint64_t>
 {
 };
