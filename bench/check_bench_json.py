@@ -23,10 +23,14 @@ import re
 import sys
 
 # Families whose presence (at >= 1 density) the trajectory depends on,
-# and which must report bytes_per_second. The parallel/lane and
-# per-backend variants are validated when present but are optional: a
-# reduced smoke run may filter to the serial kernels.
-REQUIRED_FAMILIES = ("BM_ZvcCompress", "BM_RleCompress", "BM_DeflateCompress")
+# and which must report bytes_per_second — both pipeline directions:
+# the compress families feed the offload-leg trajectory, the decompress
+# families the prefetch leg. The parallel/lane and per-backend variants
+# are validated when present but are optional: a reduced smoke run may
+# filter to the serial kernels.
+REQUIRED_FAMILIES = ("BM_ZvcCompress", "BM_RleCompress", "BM_DeflateCompress",
+                     "BM_ZvcDecompress", "BM_RleDecompress",
+                     "BM_DeflateDecompress")
 KNOWN_BACKENDS = ("scalar", "avx2")
 NAME_RE = re.compile(r"^BM_([A-Za-z]+?)(Compress|Decompress|CycleModel|"
                      r"EngineCycleModel)?(Parallel)?(Scalar|Avx2)?"
@@ -127,15 +131,22 @@ def main() -> None:
     if missing:
         fail(f"required benchmark families absent: {', '.join(missing)}")
 
-    # When the explicit per-backend sweep ran at all, the scalar leg must
+    # When an explicit per-backend sweep ran at all, its scalar leg must
     # be part of it (scalar is supported everywhere, so its absence means
     # the sweep was cut down in a way the trajectory would misread).
+    # Compress and decompress sweeps are judged separately: a refactor
+    # that drops only the BM_*Decompress{Scalar,Avx2} mirrors must not
+    # hide behind the compress families.
     backend_families = {f for f in seen_families
                         if f.endswith(("Scalar", "Avx2"))}
-    if backend_families and not any(f.endswith("Scalar")
-                                    for f in backend_families):
-        fail("per-backend families present but the scalar reference leg "
-             f"is missing: {', '.join(sorted(backend_families))}")
+    decompress_backends = {f for f in backend_families
+                           if "Decompress" in f}
+    compress_backends = backend_families - decompress_backends
+    for kind, families in (("compress", compress_backends),
+                           ("decompress", decompress_backends)):
+        if families and not any(f.endswith("Scalar") for f in families):
+            fail(f"per-backend {kind} families present but the scalar "
+                 f"reference leg is missing: {', '.join(sorted(families))}")
 
     summary = []
     for entry in benchmarks:

@@ -14,10 +14,12 @@
  *
  * The kernel backend the dispatcher chose is recorded in the JSON
  * context as "kernel_backend" (validated by bench/check_bench_json.py),
- * and explicit per-backend compression families
- * (BM_<Algo>CompressScalar / BM_<Algo>CompressAvx2) are registered for
- * every backend this CPU supports, so the checked-in trajectory carries
- * scalar and SIMD numbers side by side.
+ * and explicit per-backend families in both directions
+ * (BM_<Algo>CompressScalar / BM_<Algo>CompressAvx2 and the
+ * BM_<Algo>Decompress{Scalar,Avx2} expand-side mirrors) are registered
+ * for every backend this CPU supports, so the checked-in trajectory
+ * carries scalar and SIMD numbers side by side for the offload AND
+ * prefetch legs.
  */
 
 #include <cctype>
@@ -134,6 +136,28 @@ BM_DeflateCompressParallel(benchmark::State &state)
     parallelCompressBenchmark(state, Algorithm::Zlib);
 }
 
+/** Decompression throughput (density from the benchmark argument). */
+void
+decompressBenchmark(benchmark::State &state, Algorithm algorithm,
+                    const KernelOps *kernels = nullptr)
+{
+    const double density =
+        static_cast<double>(state.range(0)) / 100.0;
+    const auto input = makeActivations(density, 1 << 20);
+    const auto compressor =
+        makeCompressor(algorithm, Compressor::kDefaultWindowBytes,
+                       kernels);
+    const auto compressed = compressor->compress(input);
+    for (auto _ : state) {
+        auto restored = compressor->decompress(compressed);
+        benchmark::DoNotOptimize(restored.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * input.size()));
+    state.counters["ratio"] = static_cast<double>(input.size()) /
+        static_cast<double>(compressed.effectiveBytes());
+}
+
 void
 BM_ZvcDecompress(benchmark::State &state)
 {
@@ -146,6 +170,18 @@ BM_ZvcDecompress(benchmark::State &state)
     }
     state.SetBytesProcessed(
         static_cast<int64_t>(state.iterations() * input.size()));
+}
+
+void
+BM_RleDecompress(benchmark::State &state)
+{
+    decompressBenchmark(state, Algorithm::Rle);
+}
+
+void
+BM_DeflateDecompress(benchmark::State &state)
+{
+    decompressBenchmark(state, Algorithm::Zlib);
 }
 
 void
@@ -205,6 +241,9 @@ BENCHMARK(BM_DeflateCompressParallel)
     ->Args({40, 1})->Args({40, 2})->Args({40, 4})->Args({40, 8})
     ->MeasureProcessCPUTime()->UseRealTime();
 BENCHMARK(BM_ZvcDecompress);
+BENCHMARK(BM_RleDecompress)->Arg(10)->Arg(40)->Arg(50)->Arg(70)
+    ->Arg(100);
+BENCHMARK(BM_DeflateDecompress)->Arg(10)->Arg(40)->Arg(100);
 BENCHMARK(BM_ZvcDecompressParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->MeasureProcessCPUTime()->UseRealTime();
 BENCHMARK(BM_ZvcEngineCycleModel);
@@ -220,10 +259,11 @@ backendFamilySuffix(const char *name)
 }
 
 /**
- * Explicit per-backend serial compression families, one per backend
- * this CPU supports: BM_ZvcCompressScalar/50, BM_ZvcCompressAvx2/50...
- * The suffix-less families above stay on the runtime dispatch, so the
- * trajectory keeps one "what you get by default" row per kernel.
+ * Explicit per-backend serial families in both directions, one per
+ * backend this CPU supports: BM_ZvcCompressScalar/50,
+ * BM_ZvcCompressAvx2/50, BM_ZvcDecompressScalar/50, ... The suffix-less
+ * families above stay on the runtime dispatch, so the trajectory keeps
+ * one "what you get by default" row per kernel.
  */
 void
 registerBackendBenchmarks()
@@ -233,19 +273,34 @@ registerBackendBenchmarks()
         Algorithm algorithm;
         std::vector<int64_t> densities;
     };
-    const FamilySpec specs[] = {
+    const FamilySpec compress_specs[] = {
         {"BM_ZvcCompress", Algorithm::Zvc, {10, 40, 50, 70, 100}},
         {"BM_RleCompress", Algorithm::Rle, {10, 40, 50, 70, 100}},
         {"BM_DeflateCompress", Algorithm::Zlib, {10, 40, 100}},
     };
+    const FamilySpec decompress_specs[] = {
+        {"BM_ZvcDecompress", Algorithm::Zvc, {10, 40, 50, 70, 100}},
+        {"BM_RleDecompress", Algorithm::Rle, {10, 40, 50, 70, 100}},
+        {"BM_DeflateDecompress", Algorithm::Zlib, {10, 40, 100}},
+    };
     for (const KernelOps *kernels : supportedKernels()) {
         const std::string suffix = backendFamilySuffix(kernels->name);
-        for (const FamilySpec &spec : specs) {
+        for (const FamilySpec &spec : compress_specs) {
             auto *bench = benchmark::RegisterBenchmark(
                 (spec.family + suffix).c_str(),
                 [algorithm = spec.algorithm,
                  kernels](benchmark::State &state) {
                     compressBenchmark(state, algorithm, kernels);
+                });
+            for (const int64_t density : spec.densities)
+                bench->Arg(density);
+        }
+        for (const FamilySpec &spec : decompress_specs) {
+            auto *bench = benchmark::RegisterBenchmark(
+                (spec.family + suffix).c_str(),
+                [algorithm = spec.algorithm,
+                 kernels](benchmark::State &state) {
+                    decompressBenchmark(state, algorithm, kernels);
                 });
             for (const int64_t density : spec.densities)
                 bench->Arg(density);

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Run the kernel-throughput microbenchmarks and record the results as
 # BENCH_kernel_throughput.json at the repo root, so successive PRs have a
-# perf trajectory to compare against.
+# perf trajectory to compare against. The recorded families cover both
+# pipeline directions: BM_*Compress{,Scalar,Avx2} for the offload leg
+# and BM_*Decompress{,Scalar,Avx2} for the prefetch (expand) leg —
+# bench/check_bench_json.py validates both sets.
 #
 # Usage: bench/run_kernel_bench.sh [extra google-benchmark flags...]
 # Env: BUILD_DIR overrides the build tree, BENCH_OUT the output path

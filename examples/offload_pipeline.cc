@@ -4,8 +4,10 @@
  * modeling pipeline for one network (default VGG-16 at its Table I
  * batch): vDNN offload schedule and memory footprint, per-layer
  * compression ratios on synthetic trained activations, the async
- * double-buffered offload pipeline's per-layer compute/transfer overlap,
- * and the simulated training iteration under vDNN / cDMA / oracle with a
+ * double-buffered offload AND prefetch pipelines' per-layer overlap
+ * (compress/wire out on the forward pass, wire/decompress back on the
+ * backward pass), a real-bytes spill through the compressed arena, and
+ * the simulated training iteration under vDNN / cDMA / oracle with a
  * per-layer stall breakdown.
  *
  * Run: ./build/examples/offload_pipeline [AlexNet|OverFeat|NiN|VGG|
@@ -17,6 +19,7 @@
 #include <string>
 
 #include "cdma/offload_scheduler.hh"
+#include "cdma/prefetch_scheduler.hh"
 #include "common/rng.hh"
 #include "compress/parallel.hh"
 #include "perf/step_sim.hh"
@@ -99,23 +102,28 @@ main(int argc, char **argv)
         ratios.push_back(zvc.measureRatio(sample.rawBytes()));
     }
 
-    // 3. The double-buffered offload pipeline per layer: how much of the
-    //    compression leg hides under the wire leg (or vice versa for
-    //    fetch-capped layers, where compression is the bottleneck).
+    // 3. The double-buffered pipelines per layer, both directions: on
+    //    the forward pass the compression leg hides under the wire-out
+    //    leg (or caps it, for fetch-capped layers); on the backward
+    //    pass the wire-in leg hides under decompression.
     const auto plans = manager.plannedOffloads(engine, ratios);
-    std::printf("offload pipeline per layer (double-buffered, shard = "
-                "%llu windows):\n",
+    std::printf("offload + prefetch pipelines per layer (double-"
+                "buffered, shard = %llu windows):\n",
                 static_cast<unsigned long long>(scheduler.shardWindows()));
-    std::printf("  %-12s %9s %6s %9s %9s %9s %8s\n", "layer", "raw MB",
-                "ratio", "comp ms", "wire ms", "total ms", "overlap");
+    std::printf("  %-12s %9s %6s | %9s %9s %7s | %9s %9s %7s\n", "layer",
+                "raw MB", "ratio", "comp ms", "off ms", "off-ovl",
+                "dec ms", "pre ms", "pre-ovl");
     for (const auto &plan : plans) {
-        std::printf("  %-12s %9.2f %5.1fx %9.3f %9.3f %9.3f %7.1f%%%s\n",
+        std::printf("  %-12s %9.2f %5.1fx | %9.3f %9.3f %6.1f%% | "
+                    "%9.3f %9.3f %6.1f%%%s\n",
                     plan.label.c_str(),
                     static_cast<double>(plan.raw_bytes) / 1e6, plan.ratio,
                     plan.offload.compress_seconds * 1e3,
-                    plan.offload.wire_seconds * 1e3,
                     plan.offload.overlapped_seconds * 1e3,
                     100.0 * plan.offload.overlap_fraction,
+                    plan.prefetch.decompress_seconds * 1e3,
+                    plan.prefetch.overlapped_seconds * 1e3,
+                    100.0 * plan.prefetch.overlap_fraction,
                     plan.offload.compress_seconds >
                             plan.offload.wire_seconds
                         ? "  [comp-bound]"
@@ -126,24 +134,88 @@ main(int argc, char **argv)
         serialized += plan.offload.serializedSeconds();
         overlapped += plan.offload.overlapped_seconds;
     }
-    std::printf("  pipeline total: %.1f ms overlapped vs %.1f ms "
+    std::printf("  offload total:  %.1f ms overlapped vs %.1f ms "
                 "serialized (%.0f%% of the serialized latency hidden)\n",
                 overlapped * 1e3, serialized * 1e3,
                 serialized > 0.0
                     ? 100.0 * (serialized - overlapped) / serialized
                     : 0.0);
 
-    // Backward propagation drains the same pipeline in reverse order
-    // (wire in, then decompress into the staging buffer); the per-map
-    // makespans are symmetric, so the prefetch leg costs the same.
+    // Backward propagation drains the mirrored pipeline in reverse
+    // order: shard k+1 crosses PCIe while the decompression engine
+    // re-inflates shard k (PrefetchScheduler models the makespans the
+    // backward pass actually waits on).
     const auto prefetches = manager.plannedPrefetches(engine, ratios);
-    double prefetch_total = 0.0;
-    for (const auto &plan : prefetches)
-        prefetch_total += plan.offload.overlapped_seconds;
-    std::printf("  prefetch leg (backward, reverse order, %s first): "
-                "%.1f ms overlapped\n\n",
-                prefetches.empty() ? "-" : prefetches.front().label.c_str(),
-                prefetch_total * 1e3);
+    double prefetch_serialized = 0.0, prefetch_total = 0.0;
+    for (const auto &plan : prefetches) {
+        prefetch_serialized += plan.prefetch.serializedSeconds();
+        prefetch_total += plan.prefetch.overlapped_seconds;
+    }
+    std::printf("  prefetch total: %.1f ms overlapped vs %.1f ms "
+                "serialized (backward, reverse order, %s first)\n\n",
+                prefetch_total * 1e3, prefetch_serialized * 1e3,
+                prefetches.empty() ? "-"
+                                   : prefetches.front().label.c_str());
+
+    // 3b. Real bytes through the compressed spill arena: offload each
+    //     sampled activation map into recycled shard slots, then
+    //     prefetch it back on the "backward pass" and verify identity.
+    //     The high-water mark is what a pinned host reservation for the
+    //     spill space would need; steady-state iterations reuse it.
+    SpillArena arena;
+    const PrefetchScheduler prefetcher(engine);
+    std::vector<SpillTicket> tickets;
+    std::vector<std::vector<uint8_t>> originals;
+    for (size_t i = 0; i < net.layers.size() && i < 6; ++i) {
+        const LayerDesc &layer = net.layers[i];
+        const double density = layer.relu_follows
+            ? schedule.density(i, 1.0)
+            : 1.0;
+        const int64_t max_c = std::max<int64_t>(
+            1, (1 << 19) / (layer.height * layer.width));
+        Rng rng(900 + i);
+        const Tensor4D sample = generator.generate(
+            Shape4D{1, std::min(layer.channels, max_c), layer.height,
+                    layer.width},
+            Layout::NCHW, density, rng);
+        const auto raw = sample.rawBytes();
+        originals.emplace_back(raw.begin(), raw.end());
+    }
+    // Two iterations: the first bump-allocates the arena's slabs, the
+    // second (steady state) is served entirely from recycled slots.
+    bool restored_ok = true;
+    uint64_t first_iter_slabs = 0;
+    for (int iteration = 0; iteration < 2; ++iteration) {
+        tickets.clear();
+        for (const auto &original : originals)
+            tickets.push_back(
+                scheduler.offloadInto(original, arena).ticket);
+        for (size_t i = tickets.size(); i-- > 0;) {
+            const PrefetchResult restored =
+                prefetcher.prefetch(arena, tickets[i]);
+            restored_ok = restored_ok && restored.data == originals[i];
+            arena.release(tickets[i]);
+        }
+        if (iteration == 0)
+            first_iter_slabs = arena.stats().slab_allocations;
+    }
+    const SpillStats &spill = arena.stats();
+    std::printf("spill arena (2 iterations x %zu maps, prefetched in "
+                "reverse): restored %s\n",
+                originals.size(),
+                restored_ok ? "byte-identical" : "MISMATCH");
+    std::printf("  high water %.1f KB compressed in %llu slabs "
+                "(%.1f KB reserved, all on iteration 1: %llu new slabs "
+                "on iteration 2), %llu/%llu shard stores from recycled "
+                "slots\n\n",
+                static_cast<double>(spill.high_water_payload_bytes) /
+                    1024.0,
+                static_cast<unsigned long long>(spill.slab_allocations),
+                static_cast<double>(spill.slab_bytes) / 1024.0,
+                static_cast<unsigned long long>(spill.slab_allocations -
+                                                first_iter_slabs),
+                static_cast<unsigned long long>(spill.reused_slots),
+                static_cast<unsigned long long>(spill.stored_shards));
 
     // 4. Simulated iteration under each mode, with the overlap-aware
     //    engine timing the cDMA transfers.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cdma/offload_scheduler.hh"
+#include "cdma/prefetch_scheduler.hh"
 #include "common/logging.hh"
 
 namespace cdma {
@@ -68,6 +69,12 @@ CdmaEngine::planTransfer(const std::string &label,
         plan.ratio = result.buffer.effectiveRatio();
         plan.offload = result.timing;
         plan.seconds = result.timing.overlapped_seconds;
+        // The prefetch leg returns the same compressed shards, so its
+        // pipeline is modeled over the same measured sizes (wire in,
+        // then decompress) without re-running the codec.
+        plan.prefetch = PrefetchScheduler::pipelineTiming(
+            result.shards, config_.gpu.pcie_effective_bandwidth,
+            config_.gpu.comp_bandwidth, config_.staging_buffers);
     } else {
         const CompressedBuffer compressed = compressor_->compress(data);
         plan.wire_bytes = compressed.effectiveBytes();
@@ -106,6 +113,8 @@ CdmaEngine::planFromRatio(const std::string &label, uint64_t raw_bytes,
         const OffloadScheduler scheduler(*this);
         plan.offload = scheduler.modelFromRatio(raw_bytes, plan.ratio);
         plan.seconds = plan.offload.overlapped_seconds;
+        plan.prefetch = PrefetchScheduler(*this).modelFromRatio(
+            raw_bytes, plan.ratio);
     } else {
         plan.seconds = transferSeconds(plan.wire_bytes, plan.ratio);
     }

@@ -84,6 +84,36 @@ struct OffloadTiming {
     }
 };
 
+/**
+ * Timing of one prefetched buffer under the double-buffered pipeline
+ * model — the mirror image of OffloadTiming for the backward direction:
+ * compressed shards cross PCIe at effective wire bandwidth while the
+ * decompression engine re-inflates the previously landed shard, writing
+ * raw bytes back to DRAM at COMP_BW (the paper provisions the DPE
+ * replicas symmetrically, Section V-B).
+ */
+struct PrefetchTiming {
+    double wire_seconds = 0.0;       ///< sum of per-shard wire times
+    double decompress_seconds = 0.0; ///< sum of per-shard expand times
+    /** Pipeline makespan: first wire byte to last byte re-inflated. */
+    double overlapped_seconds = 0.0;
+    /** Fraction of the hideable (shorter) leg actually hidden, in [0,1]. */
+    double overlap_fraction = 0.0;
+    uint64_t shard_count = 0; ///< staging shards the buffer arrives in
+
+    /** What the same prefetch costs with no overlap at all. */
+    double serializedSeconds() const
+    {
+        return wire_seconds + decompress_seconds;
+    }
+
+    /** Latency hidden by the pipeline relative to serialization. */
+    double hiddenSeconds() const
+    {
+        return serializedSeconds() - overlapped_seconds;
+    }
+};
+
 /** Configuration of the cDMA engine. */
 struct CdmaConfig {
     GpuSpec gpu;
@@ -132,6 +162,13 @@ struct TransferPlan {
     bool fetch_capped = false; ///< true when COMP_BW limited the transfer
     /** Pipeline breakdown; all zeros under TimingMode::CompressionFree. */
     OffloadTiming offload;
+    /**
+     * Prefetch-leg pipeline breakdown for restoring this map during
+     * backward propagation (wire in, then decompress); all zeros under
+     * TimingMode::CompressionFree, where the seed model prices both
+     * directions identically at plan.seconds.
+     */
+    PrefetchTiming prefetch;
 };
 
 /** The compressing DMA engine model. */

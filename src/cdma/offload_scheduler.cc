@@ -69,6 +69,34 @@ OffloadScheduler::offload(std::span<const uint8_t> data) const
     return result;
 }
 
+SpilledOffload
+OffloadScheduler::offloadInto(std::span<const uint8_t> data,
+                              SpillArena &arena) const
+{
+    const CdmaConfig &config = engine_.config();
+    SpilledOffload result;
+    result.ticket = arena.beginSpill(data.size(), config.window_bytes);
+    result.shards.reserve(
+        ceilDiv(ceilDiv(data.size(), config.window_bytes),
+                shard_windows_));
+
+    // Same drain as offload(), but each shard lands in a recycled arena
+    // slot instead of growing a stitched payload vector.
+    engine_.compressor().compressShards(
+        data, shard_windows_, [&](CompressedShard &&shard) {
+            result.shards.push_back(
+                {shard.raw_bytes,
+                 shard.effectiveBytes(config.window_bytes)});
+            arena.appendShard(result.ticket, shard);
+        });
+
+    result.timing = pipelineTiming(result.shards,
+                                   config.gpu.comp_bandwidth,
+                                   config.gpu.pcie_effective_bandwidth,
+                                   config.staging_buffers);
+    return result;
+}
+
 namespace {
 
 /** Overlap fraction of @p timing in [0,1] (shared finalization rule). */

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "cdma/engine.hh"
+#include "cdma/spill_arena.hh"
 
 namespace cdma {
 
@@ -45,6 +46,16 @@ struct ShardTransfer {
 struct OffloadResult {
     /** Compressed buffer, byte-identical to ParallelCompressor::compress. */
     CompressedBuffer buffer;
+    /** Pipeline timing over the real per-shard compressed sizes. */
+    OffloadTiming timing;
+    /** Per-shard byte counts, in drain order. */
+    std::vector<ShardTransfer> shards;
+};
+
+/** Outcome of an offload spilled into an arena instead of a buffer. */
+struct SpilledOffload {
+    /** Arena reference to the stored shards (caller releases it). */
+    SpillTicket ticket = 0;
     /** Pipeline timing over the real per-shard compressed sizes. */
     OffloadTiming timing;
     /** Per-shard byte counts, in drain order. */
@@ -70,6 +81,17 @@ class OffloadScheduler
      * double-buffered pipeline over the measured per-shard sizes.
      */
     OffloadResult offload(std::span<const uint8_t> data) const;
+
+    /**
+     * Offload @p data into @p arena: shards stream from the compression
+     * lanes straight into recycled arena slots (no stitched
+     * CompressedBuffer, no per-layer payload allocation in steady
+     * state), modeling the same double-buffered pipeline. The returned
+     * ticket holds the compressed activations until the backward pass
+     * prefetches and releases them.
+     */
+    SpilledOffload offloadInto(std::span<const uint8_t> data,
+                               SpillArena &arena) const;
 
     /**
      * Pipeline timing for a transfer of @p raw_bytes at a known

@@ -1,0 +1,284 @@
+#include "cdma/spill_arena.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace cdma {
+
+namespace {
+
+/** Target slab size: small classes share slabs, huge slots get their
+ *  own (one mmap-class allocation amortizes many shard stores). */
+constexpr uint64_t kTargetSlabBytes = 1ull << 20;
+
+} // namespace
+
+SpillArena::SpillArena(uint64_t min_slot_bytes)
+    : min_slot_bytes_(std::max<uint64_t>(64, std::bit_ceil(min_slot_bytes)))
+{
+}
+
+uint32_t
+SpillArena::classFor(uint64_t bytes) const
+{
+    const uint64_t size = std::bit_ceil(std::max(bytes, min_slot_bytes_));
+    return static_cast<uint32_t>(std::countr_zero(size) -
+                                 std::countr_zero(min_slot_bytes_));
+}
+
+uint8_t *
+SpillArena::slotData(const SlotRef &ref)
+{
+    return classes_[ref.size_class].slabs[ref.slab].data() + ref.offset;
+}
+
+const uint8_t *
+SpillArena::slotData(const SlotRef &ref) const
+{
+    return classes_[ref.size_class].slabs[ref.slab].data() + ref.offset;
+}
+
+SpillArena::SlotRef
+SpillArena::allocateSlot(uint64_t bytes)
+{
+    const uint32_t index = classFor(bytes);
+    if (index >= classes_.size())
+        classes_.resize(index + 1);
+    SizeClass &cls = classes_[index];
+    if (cls.slot_bytes == 0) {
+        cls.slot_bytes = min_slot_bytes_ << index;
+        cls.slots_per_slab =
+            std::max<uint64_t>(1, kTargetSlabBytes / cls.slot_bytes);
+    }
+
+    if (!cls.free_list.empty()) {
+        const SlotRef ref = cls.free_list.back();
+        cls.free_list.pop_back();
+        ++stats_.reused_slots;
+        stats_.live_slot_bytes += cls.slot_bytes;
+        stats_.high_water_slot_bytes = std::max(
+            stats_.high_water_slot_bytes, stats_.live_slot_bytes);
+        return ref;
+    }
+
+    if (cls.slabs.empty() || cls.bump == cls.slots_per_slab) {
+        cls.slabs.emplace_back();
+        cls.slabs.back().resize(cls.slot_bytes * cls.slots_per_slab);
+        cls.bump = 0;
+        ++stats_.slab_allocations;
+        stats_.slab_bytes += cls.slot_bytes * cls.slots_per_slab;
+    }
+    SlotRef ref;
+    ref.size_class = index;
+    ref.slab = static_cast<uint32_t>(cls.slabs.size() - 1);
+    ref.offset = cls.bump * cls.slot_bytes;
+    ++cls.bump;
+    stats_.live_slot_bytes += cls.slot_bytes;
+    stats_.high_water_slot_bytes =
+        std::max(stats_.high_water_slot_bytes, stats_.live_slot_bytes);
+    return ref;
+}
+
+SpillTicket
+SpillArena::beginSpill(uint64_t original_bytes, uint64_t window_bytes)
+{
+    CDMA_ASSERT(window_bytes > 0 || original_bytes == 0,
+                "spill needs a window size");
+    SpillTicket ticket;
+    if (!free_tickets_.empty()) {
+        ticket = free_tickets_.back();
+        free_tickets_.pop_back();
+    } else {
+        ticket = static_cast<SpillTicket>(records_.size());
+        records_.emplace_back();
+    }
+    Record &record = records_[ticket];
+    record.live = true;
+    record.original_bytes = original_bytes;
+    record.window_bytes = window_bytes;
+    record.window_sizes.clear(); // capacity survives ticket recycling
+    record.shards.clear();
+    ++stats_.stored_buffers;
+    ++stats_.live_buffers;
+    return ticket;
+}
+
+void
+SpillArena::appendShard(SpillTicket ticket, const CompressedShard &shard)
+{
+    liveRecord(ticket); // asserts the ticket is live
+    Record &record = records_[ticket];
+
+    StoredShard stored;
+    stored.payload_bytes = shard.payload.size();
+    stored.raw_bytes = shard.raw_bytes;
+    stored.wire_bytes = shard.effectiveBytes(record.window_bytes);
+    stored.first_window = shard.first_window;
+    stored.window_begin = record.window_sizes.size();
+    stored.window_count = shard.window_sizes.size();
+    if (stored.payload_bytes > 0) {
+        stored.slot = allocateSlot(stored.payload_bytes);
+        std::memcpy(slotData(stored.slot), shard.payload.data(),
+                    stored.payload_bytes);
+    }
+    record.window_sizes.insert(record.window_sizes.end(),
+                               shard.window_sizes.begin(),
+                               shard.window_sizes.end());
+    record.shards.push_back(stored);
+    ++stats_.stored_shards;
+    stats_.live_payload_bytes += stored.payload_bytes;
+    stats_.high_water_payload_bytes = std::max(
+        stats_.high_water_payload_bytes, stats_.live_payload_bytes);
+}
+
+SpillTicket
+SpillArena::store(const CompressedBuffer &buffer,
+                  uint64_t windows_per_shard)
+{
+    CDMA_ASSERT(windows_per_shard > 0, "shards need at least one window");
+    const SpillTicket ticket =
+        beginSpill(buffer.original_bytes, buffer.window_bytes);
+    const uint64_t windows = buffer.window_sizes.size();
+    uint64_t payload_cursor = 0;
+    uint64_t raw_cursor = 0;
+    CompressedShard shard;
+    for (uint64_t first = 0; first < windows;
+         first += windows_per_shard) {
+        const uint64_t last =
+            std::min(windows, first + windows_per_shard);
+        shard.index = first / windows_per_shard;
+        shard.first_window = first;
+        shard.window_sizes.assign(buffer.window_sizes.begin() +
+                                      static_cast<ptrdiff_t>(first),
+                                  buffer.window_sizes.begin() +
+                                      static_cast<ptrdiff_t>(last));
+        uint64_t payload_bytes = 0;
+        for (const uint32_t size : shard.window_sizes)
+            payload_bytes += size;
+        shard.payload.assign(buffer.payload.begin() +
+                                 static_cast<ptrdiff_t>(payload_cursor),
+                             buffer.payload.begin() +
+                                 static_cast<ptrdiff_t>(payload_cursor +
+                                                        payload_bytes));
+        payload_cursor += payload_bytes;
+        const uint64_t raw_end = std::min<uint64_t>(
+            buffer.original_bytes, last * buffer.window_bytes);
+        shard.raw_bytes = raw_end - raw_cursor;
+        raw_cursor = raw_end;
+        appendShard(ticket, shard);
+    }
+    CDMA_ASSERT(payload_cursor == buffer.payload.size() &&
+                    raw_cursor == buffer.original_bytes,
+                "spill store did not cover the buffer");
+    return ticket;
+}
+
+const SpillArena::Record &
+SpillArena::liveRecord(SpillTicket ticket) const
+{
+    CDMA_ASSERT(ticket < records_.size() && records_[ticket].live,
+                "spill ticket %u is not live",
+                static_cast<unsigned>(ticket));
+    return records_[ticket];
+}
+
+uint64_t
+SpillArena::originalBytes(SpillTicket ticket) const
+{
+    return liveRecord(ticket).original_bytes;
+}
+
+uint64_t
+SpillArena::windowBytes(SpillTicket ticket) const
+{
+    return liveRecord(ticket).window_bytes;
+}
+
+uint64_t
+SpillArena::wireBytes(SpillTicket ticket) const
+{
+    uint64_t total = 0;
+    for (const StoredShard &shard : liveRecord(ticket).shards)
+        total += shard.wire_bytes;
+    return total;
+}
+
+uint64_t
+SpillArena::payloadBytes(SpillTicket ticket) const
+{
+    uint64_t total = 0;
+    for (const StoredShard &shard : liveRecord(ticket).shards)
+        total += shard.payload_bytes;
+    return total;
+}
+
+size_t
+SpillArena::shardCount(SpillTicket ticket) const
+{
+    return liveRecord(ticket).shards.size();
+}
+
+SpillShardView
+SpillArena::shard(SpillTicket ticket, size_t index) const
+{
+    const Record &record = liveRecord(ticket);
+    CDMA_ASSERT(index < record.shards.size(),
+                "shard %zu out of range (%zu stored)", index,
+                record.shards.size());
+    const StoredShard &stored = record.shards[index];
+    SpillShardView view;
+    if (stored.payload_bytes > 0) {
+        view.payload = std::span<const uint8_t>(slotData(stored.slot),
+                                                stored.payload_bytes);
+    }
+    view.window_sizes = std::span<const uint32_t>(
+        record.window_sizes.data() + stored.window_begin,
+        stored.window_count);
+    view.first_window = stored.first_window;
+    view.raw_bytes = stored.raw_bytes;
+    view.wire_bytes = stored.wire_bytes;
+    return view;
+}
+
+CompressedBuffer
+SpillArena::materialize(SpillTicket ticket) const
+{
+    const Record &record = liveRecord(ticket);
+    CompressedBuffer buffer;
+    buffer.original_bytes = record.original_bytes;
+    buffer.window_bytes = record.window_bytes;
+    buffer.window_sizes = record.window_sizes;
+    buffer.payload.reserve(payloadBytes(ticket));
+    for (const StoredShard &stored : record.shards) {
+        const uint8_t *data =
+            stored.payload_bytes > 0 ? slotData(stored.slot) : nullptr;
+        buffer.payload.insert(buffer.payload.end(), data,
+                              data + stored.payload_bytes);
+    }
+    return buffer;
+}
+
+void
+SpillArena::release(SpillTicket ticket)
+{
+    liveRecord(ticket); // asserts the ticket is live
+    Record &record = records_[ticket];
+    for (const StoredShard &stored : record.shards) {
+        if (stored.payload_bytes > 0) {
+            classes_[stored.slot.size_class].free_list.push_back(
+                stored.slot);
+            stats_.live_slot_bytes -=
+                classes_[stored.slot.size_class].slot_bytes;
+        }
+        stats_.live_payload_bytes -= stored.payload_bytes;
+    }
+    record.live = false;
+    --stats_.live_buffers;
+    free_tickets_.push_back(ticket);
+}
+
+} // namespace cdma

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Compressed spill arena: owns the compressed activation maps that live
+ * in host memory between a layer's forward-pass offload and its
+ * backward-pass prefetch. The vDNN flow holds one such buffer per
+ * offloaded layer for most of the iteration; materializing each as its
+ * own heap-backed CompressedBuffer meant a fresh payload allocation and
+ * free per layer per iteration. The arena replaces that churn with
+ * bump-allocated, size-classed shard slots: shards stream out of the
+ * offload pipeline straight into recycled slots, the slots return to
+ * their class free list on release (prefetch), and after the first
+ * iteration a steady-state training loop allocates no payload memory at
+ * all. High-water-mark statistics expose what a real pinned-host-memory
+ * reservation for the spill space would have to be.
+ */
+
+#ifndef CDMA_CDMA_SPILL_ARENA_HH
+#define CDMA_CDMA_SPILL_ARENA_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compress/parallel.hh"
+
+namespace cdma {
+
+/** Opaque reference to one spilled (offloaded) buffer in the arena. */
+using SpillTicket = uint32_t;
+
+/** Read view of one stored shard (payload lives in arena slots). */
+struct SpillShardView {
+    std::span<const uint8_t> payload;        ///< compressed bytes
+    std::span<const uint32_t> window_sizes;  ///< per-window payload sizes
+    uint64_t first_window = 0; ///< absolute index of the first window
+    uint64_t raw_bytes = 0;    ///< uncompressed bytes the shard covers
+    uint64_t wire_bytes = 0;   ///< store-raw-floored wire bytes
+};
+
+/** Arena occupancy and recycling statistics. */
+struct SpillStats {
+    uint64_t live_buffers = 0;       ///< tickets currently outstanding
+    uint64_t live_payload_bytes = 0; ///< compressed bytes currently held
+    uint64_t live_slot_bytes = 0;    ///< slot bytes currently claimed
+    /** Peak concurrent payload bytes (the pinned-reservation number). */
+    uint64_t high_water_payload_bytes = 0;
+    uint64_t high_water_slot_bytes = 0; ///< peak claimed slot bytes
+    uint64_t slab_bytes = 0;        ///< total arena backing reservation
+    uint64_t slab_allocations = 0;  ///< slabs ever allocated
+    uint64_t stored_buffers = 0;    ///< beginSpill() calls
+    uint64_t stored_shards = 0;     ///< shards ever appended
+    uint64_t reused_slots = 0;      ///< shard stores served from free lists
+};
+
+/**
+ * Size-classed bump arena for compressed activation shards.
+ *
+ * Slots come in power-of-two size classes starting at min_slot_bytes;
+ * each class bump-allocates slots out of larger slabs and keeps a free
+ * list of released slots, so the second iteration's offloads are served
+ * entirely from recycled memory. Not thread-safe: the offload/prefetch
+ * schedule is serial per engine (shard *compression* is parallel, but
+ * the drain stage that appends shards runs on the calling thread, in
+ * order).
+ */
+class SpillArena
+{
+  public:
+    /** Slot floor; shards smaller than this share the smallest class. */
+    static constexpr uint64_t kDefaultMinSlotBytes = 4096;
+
+    explicit SpillArena(uint64_t min_slot_bytes = kDefaultMinSlotBytes);
+
+    /**
+     * Open a spill for one buffer of @p original_bytes compressed at
+     * @p window_bytes; shards are then appended in stream order. Ticket
+     * records are recycled, so steady-state reuse allocates nothing.
+     */
+    SpillTicket beginSpill(uint64_t original_bytes, uint64_t window_bytes);
+
+    /** Append @p shard's payload + framing into an arena slot. */
+    void appendShard(SpillTicket ticket, const CompressedShard &shard);
+
+    /**
+     * Convenience: spill an already-stitched buffer, cut into shards of
+     * @p windows_per_shard windows (the streaming path is
+     * OffloadScheduler::offloadInto, which skips the stitched copy).
+     */
+    SpillTicket store(const CompressedBuffer &buffer,
+                      uint64_t windows_per_shard);
+
+    /** Uncompressed size of the spilled buffer. */
+    uint64_t originalBytes(SpillTicket ticket) const;
+
+    /** Compression window the buffer was cut with. */
+    uint64_t windowBytes(SpillTicket ticket) const;
+
+    /** Store-raw-floored wire bytes over all stored shards. */
+    uint64_t wireBytes(SpillTicket ticket) const;
+
+    /** Compressed payload bytes over all stored shards. */
+    uint64_t payloadBytes(SpillTicket ticket) const;
+
+    /** Stored shard count. */
+    size_t shardCount(SpillTicket ticket) const;
+
+    /** View of stored shard @p index (valid until release()). */
+    SpillShardView shard(SpillTicket ticket, size_t index) const;
+
+    /**
+     * Stitch the spilled shards back into a standalone CompressedBuffer
+     * (copies; tests and interop — the prefetch path decompresses the
+     * shard views in place instead).
+     */
+    CompressedBuffer materialize(SpillTicket ticket) const;
+
+    /** Return the buffer's slots to the free lists; views die with it. */
+    void release(SpillTicket ticket);
+
+    /** Occupancy / recycling counters. */
+    const SpillStats &stats() const { return stats_; }
+
+  private:
+    /** Reference to one slot: size class, slab in class, byte offset. */
+    struct SlotRef {
+        uint32_t size_class = 0;
+        uint32_t slab = 0;
+        uint64_t offset = 0;
+    };
+
+    struct StoredShard {
+        SlotRef slot;
+        uint64_t payload_bytes = 0;
+        uint64_t raw_bytes = 0;
+        uint64_t wire_bytes = 0;
+        uint64_t first_window = 0;
+        uint64_t window_begin = 0; ///< range into the record's sizes
+        uint64_t window_count = 0;
+    };
+
+    struct Record {
+        bool live = false;
+        uint64_t original_bytes = 0;
+        uint64_t window_bytes = 0;
+        std::vector<uint32_t> window_sizes; ///< all shards, in order
+        std::vector<StoredShard> shards;
+    };
+
+    /** Slots of one power-of-two size class. */
+    struct SizeClass {
+        uint64_t slot_bytes = 0;
+        uint64_t slots_per_slab = 0;
+        uint64_t bump = 0; ///< next unused slot index in the last slab
+        std::vector<ByteVec> slabs;
+        std::vector<SlotRef> free_list;
+    };
+
+    uint32_t classFor(uint64_t bytes) const;
+    SlotRef allocateSlot(uint64_t bytes);
+    const Record &liveRecord(SpillTicket ticket) const;
+    uint8_t *slotData(const SlotRef &ref);
+    const uint8_t *slotData(const SlotRef &ref) const;
+
+    uint64_t min_slot_bytes_;
+    std::vector<SizeClass> classes_;
+    std::vector<Record> records_;
+    std::vector<SpillTicket> free_tickets_;
+    SpillStats stats_;
+};
+
+} // namespace cdma
+
+#endif // CDMA_CDMA_SPILL_ARENA_HH

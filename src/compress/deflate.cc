@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "compress/huffman.hh"
+#include "compress/kernels/kernels.hh"
 
 namespace cdma {
 
@@ -105,22 +106,42 @@ DeflateCompressor::compressedBound(uint64_t raw_len) const
     return 2 * raw_len + 512;
 }
 
+namespace {
+
+/**
+ * Per-thread compression scratch for the whole ZL window path: the
+ * tokenizer state plus the Huffman stage's frequency tables,
+ * code-length vectors and canonical encoders. The codec object is
+ * shared read-only across ParallelCompressor lanes; each lane's scratch
+ * reaches steady state after its first window and the ZL compress path
+ * then allocates nothing per window (the frequency/code tables were its
+ * last steady-state allocations, per ROADMAP).
+ */
+struct DeflateScratch {
+    Lz77Scratch lz;
+    std::vector<uint64_t> litlen_freq;
+    std::vector<uint64_t> dist_freq;
+    std::vector<uint8_t> litlen_lengths;
+    std::vector<uint8_t> dist_lengths;
+    HuffmanEncoder litlen_enc;
+    HuffmanEncoder dist_enc;
+};
+
+} // namespace
+
 void
 DeflateCompressor::compressWindowInto(std::span<const uint8_t> window,
                                       ByteVec &out) const
 {
-    // One tokenizer scratch per thread: the codec object is shared
-    // read-only across ParallelCompressor lanes, and the scratch makes
-    // the tokenize stage allocation-free in steady state. The Huffman
-    // stage below still allocates its frequency/code tables per window
-    // (ROADMAP item).
-    static thread_local Lz77Scratch scratch;
+    static thread_local DeflateScratch scratch;
     const auto &tokens =
-        lz77TokenizeInto(window, lz_config_, scratch, &kernels());
+        lz77TokenizeInto(window, lz_config_, scratch.lz, &kernels());
 
-    // Pass 1: symbol statistics.
-    std::vector<uint64_t> litlen_freq(kLitLenSymbols, 0);
-    std::vector<uint64_t> dist_freq(kDistSymbols, 0);
+    // Pass 1: symbol statistics (assign() reuses the scratch capacity).
+    scratch.litlen_freq.assign(kLitLenSymbols, 0);
+    scratch.dist_freq.assign(kDistSymbols, 0);
+    std::vector<uint64_t> &litlen_freq = scratch.litlen_freq;
+    std::vector<uint64_t> &dist_freq = scratch.dist_freq;
     for (const auto &token : tokens) {
         if (token.is_match) {
             ++litlen_freq[static_cast<size_t>(
@@ -133,11 +154,16 @@ DeflateCompressor::compressWindowInto(std::span<const uint8_t> window,
     }
     ++litlen_freq[kEndOfBlock];
 
-    const auto litlen_lengths =
-        buildCodeLengths(litlen_freq, kMaxCodeLength);
-    const auto dist_lengths = buildCodeLengths(dist_freq, kMaxCodeLength);
-    const HuffmanEncoder litlen_enc(litlen_lengths);
-    const HuffmanEncoder dist_enc(dist_lengths);
+    buildCodeLengthsInto(litlen_freq, kMaxCodeLength,
+                         scratch.litlen_lengths);
+    buildCodeLengthsInto(dist_freq, kMaxCodeLength,
+                         scratch.dist_lengths);
+    const std::vector<uint8_t> &litlen_lengths = scratch.litlen_lengths;
+    const std::vector<uint8_t> &dist_lengths = scratch.dist_lengths;
+    scratch.litlen_enc.rebuild(litlen_lengths);
+    scratch.dist_enc.rebuild(dist_lengths);
+    const HuffmanEncoder &litlen_enc = scratch.litlen_enc;
+    const HuffmanEncoder &dist_enc = scratch.dist_enc;
 
     // Pass 2: header (code-length tables) then the token stream, written
     // directly into the shared payload.
@@ -213,7 +239,10 @@ DeflateCompressor::decompressWindowInto(std::span<const uint8_t> payload,
                     "DEFLATE match overflows the window");
         const uint8_t *src = out + pos - static_cast<uint64_t>(distance);
         if (distance >= length) {
-            std::memcpy(out + pos, src, static_cast<size_t>(length));
+            // Non-overlapping match: the kernel table's bulk copy (the
+            // prefetch-side route the other codecs take too).
+            kernels().copyBytes(out + pos, src,
+                                static_cast<size_t>(length));
         } else {
             // Overlapping match (RLE-style): must copy forward.
             for (int i = 0; i < length; ++i)

@@ -1,6 +1,7 @@
 #include "compress/huffman.hh"
 
 #include <algorithm>
+#include <array>
 #include <numeric>
 #include <queue>
 #include <tuple>
@@ -55,9 +56,18 @@ assignDepths(const std::vector<TreeNode> &nodes, int root,
 std::vector<uint8_t>
 buildCodeLengths(const std::vector<uint64_t> &freqs, int max_length)
 {
+    std::vector<uint8_t> lengths;
+    buildCodeLengthsInto(freqs, max_length, lengths);
+    return lengths;
+}
+
+void
+buildCodeLengthsInto(const std::vector<uint64_t> &freqs, int max_length,
+                     std::vector<uint8_t> &lengths)
+{
     CDMA_ASSERT(max_length >= 1 && max_length <= 31,
                 "unsupported max code length %d", max_length);
-    std::vector<uint8_t> lengths(freqs.size(), 0);
+    lengths.assign(freqs.size(), 0);
 
     std::vector<TreeNode> nodes;
     std::priority_queue<HeapEntry, std::vector<HeapEntry>,
@@ -72,10 +82,10 @@ buildCodeLengths(const std::vector<uint64_t> &freqs, int max_length)
     }
 
     if (nodes.empty())
-        return lengths;
+        return;
     if (nodes.size() == 1) {
         lengths[static_cast<size_t>(nodes[0].symbol)] = 1;
-        return lengths;
+        return;
     }
 
     while (heap.size() > 1) {
@@ -127,27 +137,37 @@ buildCodeLengths(const std::vector<uint64_t> &freqs, int max_length)
             ++lengths[best];
         }
     }
-    return lengths;
 }
 
 HuffmanEncoder::HuffmanEncoder(const std::vector<uint8_t> &lengths)
-    : lengths_(lengths), codes_(lengths.size(), 0)
 {
+    rebuild(lengths);
+}
+
+void
+HuffmanEncoder::rebuild(const std::vector<uint8_t> &lengths)
+{
+    // assign() reuses the tables' capacity, so rebuilding for the same
+    // alphabet (the per-window DEFLATE loop) allocates nothing; the
+    // per-length counters are fixed-size locals (lengths are <= 31).
+    lengths_.assign(lengths.begin(), lengths.end());
+    codes_.assign(lengths.size(), 0);
+
     int max_length = 0;
     for (uint8_t len : lengths_)
         max_length = std::max<int>(max_length, len);
     if (max_length == 0)
         return;
+    CDMA_ASSERT(max_length <= 31, "code length %d out of range",
+                max_length);
 
-    std::vector<uint32_t> bl_count(
-        static_cast<size_t>(max_length) + 1, 0);
+    std::array<uint32_t, 32> bl_count{};
     for (uint8_t len : lengths_) {
         if (len)
             ++bl_count[len];
     }
 
-    std::vector<uint32_t> next_code(
-        static_cast<size_t>(max_length) + 1, 0);
+    std::array<uint32_t, 32> next_code{};
     uint32_t code = 0;
     for (int bits = 1; bits <= max_length; ++bits) {
         code = (code + bl_count[static_cast<size_t>(bits) - 1]) << 1;

@@ -31,12 +31,32 @@ namespace cdma {
 std::vector<uint8_t> buildCodeLengths(const std::vector<uint64_t> &freqs,
                                       int max_length);
 
+/**
+ * Scratch-reusing form of buildCodeLengths(): @p lengths is resized and
+ * overwritten in place, so a caller-held (typically per-thread) vector
+ * stops allocating once it has reached the alphabet size. The DEFLATE
+ * window loop is the intended caller — the per-window code-length
+ * vectors were the ZL path's last steady-state allocations.
+ */
+void buildCodeLengthsInto(const std::vector<uint64_t> &freqs,
+                          int max_length, std::vector<uint8_t> &lengths);
+
 /** Canonical Huffman encoder built from a code-length table. */
 class HuffmanEncoder
 {
   public:
+    /** Empty encoder; rebuild() before encoding (scratch reuse). */
+    HuffmanEncoder() = default;
+
     /** Build canonical codes from @p lengths (one per symbol). */
     explicit HuffmanEncoder(const std::vector<uint8_t> &lengths);
+
+    /**
+     * Rebuild the canonical codes from @p lengths in place, reusing the
+     * existing table capacity — allocation-free once the encoder has
+     * seen the alphabet size (one encoder per thread per alphabet).
+     */
+    void rebuild(const std::vector<uint8_t> &lengths);
 
     /** Emit the code for @p symbol. @pre symbol has a nonzero length. */
     void encode(BitWriter &writer, int symbol) const;

@@ -3,7 +3,10 @@
  * AVX2 kernel backend: vpcmpeqd mask formation with movemask extraction,
  * shuffle-table left-packing through vpermd (the 8-lane analogue of the
  * hardware shift network — one table lookup replaces the prefix sum),
- * and 256-bit strides for the run scans and match extension. Compiled
+ * the inverse expand table for the prefetch-side mask scatter (vpermd
+ * again, with vpmaskmovd keeping partial payload loads inside the live
+ * bytes), and 256-bit strides for the run scans and match extension.
+ * Compiled
  * with per-function target attributes so the translation unit builds on
  * any x86-64 toolchain regardless of -march; whether the code ever runs
  * is a CPUID decision made in dispatch.cc.
@@ -51,6 +54,31 @@ makeLeftPackTable()
 }
 
 constexpr auto kLeftPack = makeLeftPackTable();
+
+/**
+ * Inverse (expand) shuffle table: row m holds, for an 8-bit non-zero
+ * mask m, the *packed-payload* index each output lane reads from — the
+ * exclusive prefix popcount of m at that lane (unset lanes point at
+ * payload word 0 and are zeroed after the permute). Same 2 KB byte
+ * layout as kLeftPack, widened with vpmovzxbd at use.
+ */
+constexpr std::array<std::array<uint8_t, 8>, 256>
+makeExpandTable()
+{
+    std::array<std::array<uint8_t, 8>, 256> table{};
+    for (int mask = 0; mask < 256; ++mask) {
+        int packed = 0;
+        for (int lane = 0; lane < 8; ++lane) {
+            table[static_cast<size_t>(mask)][static_cast<size_t>(lane)] =
+                static_cast<uint8_t>(packed);
+            if (mask & (1 << lane))
+                ++packed;
+        }
+    }
+    return table;
+}
+
+constexpr auto kExpand = makeExpandTable();
 
 inline uint32_t
 loadWord(const uint8_t *p)
@@ -104,6 +132,75 @@ zvcCompactGroupAvx2(const uint8_t *src, uint32_t words, uint8_t *dst)
         mask |= nzw << w;
     }
     return mask;
+}
+
+CDMA_AVX2 uint32_t
+zvcExpandGroupAvx2(const uint8_t *src, uint32_t mask, uint32_t words,
+                   uint8_t *dst)
+{
+    const __m256i lane_bit =
+        _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+    const __m256i lane_index =
+        _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    size_t consumed = 0;
+    uint32_t w = 0;
+    while (w + 8 <= words) {
+        const uint32_t m = (mask >> w) & 0xFFu;
+        // All-zero sub-blocks store the zero vector and touch no
+        // payload — the common case in sparse activation pages runs at
+        // store bandwidth.
+        if (m == 0) {
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + w * 4),
+                                _mm256_setzero_si256());
+            w += 8;
+            continue;
+        }
+        // Full sub-blocks (the common case in dense pages) are a plain
+        // wide copy: no permute, no keep-mask.
+        if (m == 0xFFu) {
+            _mm256_storeu_si256(
+                reinterpret_cast<__m256i *>(dst + w * 4),
+                _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(src + consumed)));
+            consumed += 32;
+            w += 8;
+            continue;
+        }
+        const uint32_t count = static_cast<uint32_t>(std::popcount(m));
+        // The payload is only readable up to the live bytes, so partial
+        // sub-blocks load through vpmaskmovd (disabled lanes are never
+        // accessed).
+        const __m256i live = _mm256_cmpgt_epi32(
+            _mm256_set1_epi32(static_cast<int>(count)), lane_index);
+        const __m256i packed = _mm256_maskload_epi32(
+            reinterpret_cast<const int *>(src + consumed), live);
+        // Inverse shuffle-table lookup: one vpermd routes payload word
+        // prefix-popcount(m, lane) to every lane, then the mask's zero
+        // lanes are blanked — the software mirror of the DPE's scatter
+        // network.
+        const __m128i packed_idx = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(kExpand[m].data()));
+        const __m256i idx = _mm256_cvtepu8_epi32(packed_idx);
+        const __m256i scattered = _mm256_permutevar8x32_epi32(packed, idx);
+        const __m256i keep = _mm256_cmpeq_epi32(
+            _mm256_and_si256(_mm256_set1_epi32(static_cast<int>(m)),
+                             lane_bit),
+            lane_bit);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + w * 4),
+                            _mm256_and_si256(scattered, keep));
+        consumed += count * 4;
+        w += 8;
+    }
+    // Sub-block tail (groups shorter than 8 words): scalar scatter.
+    for (; w < words; ++w) {
+        uint32_t value = 0;
+        if (mask & (1u << w)) {
+            std::memcpy(&value, src + consumed, 4);
+            consumed += 4;
+        }
+        std::memcpy(dst + w * 4, &value, 4);
+    }
+    return static_cast<uint32_t>(consumed);
 }
 
 CDMA_AVX2 uint64_t
@@ -173,11 +270,25 @@ matchLengthAvx2(const uint8_t *a, const uint8_t *b, size_t max)
     return len;
 }
 
+/**
+ * Above this size the libc memcpy/memset (rep-movs/ERMS fast strings on
+ * modern x86) beats a 64-byte vector loop; below it the vector loop
+ * skips the libc dispatch and ERMS startup cost. Matters mostly for
+ * run *reconstruction*, where whole zero pages and page-long literal
+ * runs are the common case at the paper's sparsity levels.
+ */
+constexpr size_t kBulkLibcBytes = 2048;
+
 CDMA_AVX2 void
 copyBytesAvx2(uint8_t *dst, const uint8_t *src, size_t n)
 {
     // 64-byte unrolled copy for the literal-run / raw-tail sizes the
-    // codecs emit; small copies stay with memcpy (inlined moves).
+    // codecs emit; small copies stay with memcpy (inlined moves) and
+    // page-class runs go back to libc's fast-string path.
+    if (n >= kBulkLibcBytes) {
+        std::memcpy(dst, src, n);
+        return;
+    }
     size_t i = 0;
     while (i + 64 <= n) {
         const __m256i lo = _mm256_loadu_si256(
@@ -193,6 +304,28 @@ copyBytesAvx2(uint8_t *dst, const uint8_t *src, size_t n)
         std::memcpy(dst + i, src + i, n - i);
 }
 
+CDMA_AVX2 void
+zeroFillBytesAvx2(uint8_t *dst, size_t n)
+{
+    // 64-byte zero stores for the run-reconstruction sizes the codecs
+    // emit; small fills stay with memset (inlined moves) and
+    // page-class zero runs go back to libc's fast-string path.
+    if (n >= kBulkLibcBytes) {
+        std::memset(dst, 0, n);
+        return;
+    }
+    const __m256i zero = _mm256_setzero_si256();
+    size_t i = 0;
+    while (i + 64 <= n) {
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i), zero);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i + 32),
+                            zero);
+        i += 64;
+    }
+    if (i < n)
+        std::memset(dst + i, 0, n - i);
+}
+
 #undef CDMA_AVX2
 
 } // namespace
@@ -201,8 +334,14 @@ const KernelOps *
 avx2Kernels()
 {
     static const KernelOps ops = {
-        "avx2",           zvcCompactGroupAvx2, zeroRunWordsAvx2,
-        literalRunWordsAvx2, matchLengthAvx2,  copyBytesAvx2,
+        "avx2",
+        zvcCompactGroupAvx2,
+        zvcExpandGroupAvx2,
+        zeroRunWordsAvx2,
+        literalRunWordsAvx2,
+        matchLengthAvx2,
+        copyBytesAvx2,
+        zeroFillBytesAvx2,
     };
     static const bool supported = __builtin_cpu_supports("avx2");
     return supported ? &ops : nullptr;

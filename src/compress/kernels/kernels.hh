@@ -11,6 +11,12 @@
  * formation, shuffle-table left-packing, wide run scans), so vectorizing
  * the primitive once lifts ZVC, RLE and the DEFLATE tokenizer together.
  *
+ * The table covers both directions: the compaction ops feed the offload
+ * leg, and the expand ops (zvcExpandGroup's mask-driven scatter — the
+ * inverse shuffle-table lookup — plus the zero-fill used by RLE run
+ * reconstruction) feed the prefetch leg, so the decompressor can keep
+ * pace with the link the way Section V-B provisions the DPE replicas.
+ *
  * Dispatch is decided once at startup: CPUID picks the widest supported
  * backend, and the CDMA_KERNEL_BACKEND environment variable ("scalar" or
  * "avx2") overrides it — chiefly to force the scalar path on AVX2 hosts
@@ -57,6 +63,22 @@ struct KernelOps {
                                 uint8_t *dst);
 
     /**
+     * ZVC expand op — the inverse of zvcCompactGroup: scatter the
+     * left-packed non-zero words at @p src back to their mask positions,
+     * writing exactly @p words (1..32) 32-bit words at @p dst (zeros
+     * where the mask bit is clear). Bits of @p mask at or above
+     * @p words must be clear. Returns the payload bytes consumed,
+     * always 4 * popcount(mask).
+     *
+     * @p src is only readable for 4 * popcount(mask) bytes — backends
+     * must not over-read past the live payload (the compressed stream
+     * ends where the last window's payload ends), while @p dst always
+     * has the full 4 * @p words bytes of room.
+     */
+    uint32_t (*zvcExpandGroup)(const uint8_t *src, uint32_t mask,
+                               uint32_t words, uint8_t *dst);
+
+    /**
      * Length of the run of all-zero 32-bit words starting at @p words,
      * capped at @p limit words (limit >= 1).
      */
@@ -81,6 +103,13 @@ struct KernelOps {
      * must not overlap.
      */
     void (*copyBytes)(uint8_t *dst, const uint8_t *src, size_t n);
+
+    /**
+     * Zero-fill of @p n bytes at @p dst — the reconstruction side of a
+     * zero run (RLE zero tokens, ZVC all-zero groups): the decompressor
+     * spends most of its stores here at the paper's 50-90% sparsity.
+     */
+    void (*zeroFillBytes)(uint8_t *dst, size_t n);
 };
 
 /** The portable scalar backend (always available). */

@@ -61,6 +61,35 @@ zvcCompactGroupScalar(const uint8_t *src, uint32_t words, uint8_t *dst)
     return mask;
 }
 
+/**
+ * Mask-driven scatter, the inverse of the compaction above: zero the
+ * whole group once, then place the packed payload words with batched
+ * memcpy runs (countr_zero to skip zero spans, countr_one to size each
+ * contiguous non-zero run) — per-run bulk copies instead of per-word
+ * branches, the fastest portable form we know.
+ */
+uint32_t
+zvcExpandGroupScalar(const uint8_t *src, uint32_t mask, uint32_t words,
+                     uint8_t *dst)
+{
+    std::memset(dst, 0, static_cast<size_t>(words) * 4);
+    size_t consumed = 0;
+    uint32_t bits = mask;
+    uint32_t index = 0;
+    while (bits) {
+        const int skip = std::countr_zero(bits);
+        bits >>= skip;
+        index += static_cast<uint32_t>(skip);
+        const int run = std::countr_one(bits);
+        std::memcpy(dst + index * 4, src + consumed,
+                    static_cast<size_t>(run) * 4);
+        consumed += static_cast<size_t>(run) * 4;
+        index += static_cast<uint32_t>(run);
+        bits = run < 32 ? bits >> run : 0;
+    }
+    return static_cast<uint32_t>(consumed);
+}
+
 /** 32-byte OR probes through zero pages, word-at-a-time at the edge. */
 uint64_t
 zeroRunWordsScalar(const uint8_t *words, uint64_t limit)
@@ -134,14 +163,27 @@ copyBytesScalar(uint8_t *dst, const uint8_t *src, size_t n)
         std::memcpy(dst, src, n);
 }
 
+void
+zeroFillBytesScalar(uint8_t *dst, size_t n)
+{
+    if (n != 0)
+        std::memset(dst, 0, n);
+}
+
 } // namespace
 
 const KernelOps &
 scalarKernels()
 {
     static constexpr KernelOps ops = {
-        "scalar",           zvcCompactGroupScalar, zeroRunWordsScalar,
-        literalRunWordsScalar, matchLengthScalar,  copyBytesScalar,
+        "scalar",
+        zvcCompactGroupScalar,
+        zvcExpandGroupScalar,
+        zeroRunWordsScalar,
+        literalRunWordsScalar,
+        matchLengthScalar,
+        copyBytesScalar,
+        zeroFillBytesScalar,
     };
     return ops;
 }

@@ -120,6 +120,72 @@ ParallelCompressor::compressShardInto(std::span<const uint8_t> input,
 }
 
 void
+ParallelCompressor::runOrderedShardFanOut(
+    uint64_t shards, const std::function<void(uint64_t)> &work,
+    const std::function<void(uint64_t)> &drain) const
+{
+    // Workers pull shards dynamically and flag each as it completes; the
+    // calling thread is the drain stage, consuming shards strictly in
+    // shard order while later shards are still being worked.
+    std::atomic<uint64_t> next{0};
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<bool> done(shards, false);
+    uint64_t helpers_exited = 0;
+
+    const uint64_t helpers =
+        std::min<uint64_t>(pool_->lanes() - 1, shards);
+    for (uint64_t h = 0; h < helpers; ++h) {
+        pool_->submitDetached([&] {
+            for (;;) {
+                const uint64_t s =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (s >= shards)
+                    break;
+                work(s);
+                {
+                    std::lock_guard<std::mutex> lock(mutex);
+                    done[s] = true;
+                }
+                cv.notify_all();
+            }
+            {
+                // Notify while holding the mutex: once helpers_exited
+                // reaches the target the caller may return and destroy
+                // this frame's cv, so an unlocked notify could touch a
+                // dead condition variable.
+                std::lock_guard<std::mutex> lock(mutex);
+                ++helpers_exited;
+                cv.notify_all();
+            }
+        });
+    }
+
+    // Helpers capture this frame's locals by reference, so every exit
+    // path — including a throwing drain — must wait for all of them
+    // to leave their pull loop before the frame unwinds.
+    struct JoinGuard {
+        std::mutex &mutex;
+        std::condition_variable &cv;
+        uint64_t &exited;
+        const uint64_t target;
+        ~JoinGuard()
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            cv.wait(lock, [&] { return exited == target; });
+        }
+    } join{mutex, cv, helpers_exited, helpers};
+
+    for (uint64_t s = 0; s < shards; ++s) {
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            cv.wait(lock, [&] { return done[s]; });
+        }
+        drain(s);
+    }
+}
+
+void
 ParallelCompressor::compressShards(std::span<const uint8_t> input,
                                    uint64_t windows_per_shard,
                                    const ShardConsumer &consumer) const
@@ -147,68 +213,88 @@ ParallelCompressor::compressShards(std::span<const uint8_t> input,
         return;
     }
 
-    // Workers pull shards dynamically and flag each as it completes; the
-    // calling thread is the drain stage, handing shards to the consumer
-    // strictly in shard order while later shards are still compressing.
     std::vector<CompressedShard> results(shards);
-    std::atomic<uint64_t> next{0};
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::vector<bool> done(shards, false);
-    uint64_t helpers_exited = 0;
+    runOrderedShardFanOut(
+        shards,
+        [&](uint64_t s) {
+            results[s].index = s;
+            const auto [first, last] = bounds(s);
+            compressShardInto(input, first, last, results[s]);
+        },
+        [&](uint64_t s) { consumer(std::move(results[s])); });
+}
 
-    const uint64_t helpers =
-        std::min<uint64_t>(pool_->lanes() - 1, shards);
-    for (uint64_t h = 0; h < helpers; ++h) {
-        pool_->submitDetached([&] {
-            for (;;) {
-                const uint64_t s =
-                    next.fetch_add(1, std::memory_order_relaxed);
-                if (s >= shards)
-                    break;
-                results[s].index = s;
-                const auto [first, last] = bounds(s);
-                compressShardInto(input, first, last, results[s]);
-                {
-                    std::lock_guard<std::mutex> lock(mutex);
-                    done[s] = true;
-                }
-                cv.notify_all();
-            }
-            {
-                // Notify while holding the mutex: once helpers_exited
-                // reaches the target the caller may return and destroy
-                // this frame's cv, so an unlocked notify could touch a
-                // dead condition variable.
-                std::lock_guard<std::mutex> lock(mutex);
-                ++helpers_exited;
-                cv.notify_all();
-            }
-        });
+void
+ParallelCompressor::decompressShards(
+    const CompressedBuffer &buffer, uint64_t windows_per_shard,
+    uint8_t *out, const DecompressedShardConsumer &consumer) const
+{
+    CDMA_ASSERT(windows_per_shard > 0, "shards need at least one window");
+    const uint64_t windows = buffer.window_sizes.size();
+    if (windows == 0) {
+        CDMA_ASSERT(buffer.original_bytes == 0,
+                    "windowless buffer claims %llu original bytes",
+                    static_cast<unsigned long long>(
+                        buffer.original_bytes));
+        return;
+    }
+    const uint64_t window_bytes = buffer.window_bytes;
+    CDMA_ASSERT(window_bytes > 0, "compressed buffer lacks a window size");
+    CDMA_ASSERT(windows == ceilDiv(buffer.original_bytes, window_bytes),
+                "window count inconsistent with original size");
+
+    // Per-window payload offsets (prefix sum), so every shard can be
+    // reconstructed independently straight into its output slot.
+    std::vector<uint64_t> offsets(windows + 1, 0);
+    for (uint64_t w = 0; w < windows; ++w)
+        offsets[w + 1] = offsets[w] + buffer.window_sizes[w];
+    CDMA_ASSERT(offsets[windows] == buffer.payload.size(),
+                "window sizes do not cover the payload");
+
+    const uint64_t shards = ceilDiv(windows, windows_per_shard);
+    auto bounds = [&](uint64_t s) {
+        const uint64_t first = s * windows_per_shard;
+        return std::pair{first,
+                         std::min(windows, first + windows_per_shard)};
+    };
+    auto expandShard = [&](uint64_t s, DecompressedShard &shard) {
+        const auto [first, last] = bounds(s);
+        shard.index = s;
+        shard.first_window = first;
+        shard.raw_offset = first * window_bytes;
+        for (uint64_t w = first; w < last; ++w) {
+            const uint64_t out_offset = w * window_bytes;
+            const uint64_t raw = std::min<uint64_t>(
+                window_bytes, buffer.original_bytes - out_offset);
+            codec_->decompressWindowInto(
+                std::span<const uint8_t>(
+                    buffer.payload.data() + offsets[w],
+                    buffer.window_sizes[w]),
+                raw, out + out_offset);
+            shard.raw_bytes += raw;
+            shard.wire_bytes +=
+                std::min<uint64_t>(buffer.window_sizes[w], raw);
+        }
+    };
+
+    if (!pool_ || !pool_->hasWorkers() || shards < 2) {
+        // Serial: reconstruct and drain shards alternately on this
+        // thread.
+        for (uint64_t s = 0; s < shards; ++s) {
+            DecompressedShard shard;
+            expandShard(s, shard);
+            consumer(shard);
+        }
+        return;
     }
 
-    // Helpers capture this frame's locals by reference, so every exit
-    // path — including a throwing consumer — must wait for all of them
-    // to leave their pull loop before the frame unwinds.
-    struct JoinGuard {
-        std::mutex &mutex;
-        std::condition_variable &cv;
-        uint64_t &exited;
-        const uint64_t target;
-        ~JoinGuard()
-        {
-            std::unique_lock<std::mutex> lock(mutex);
-            cv.wait(lock, [&] { return exited == target; });
-        }
-    } join{mutex, cv, helpers_exited, helpers};
-
-    for (uint64_t s = 0; s < shards; ++s) {
-        {
-            std::unique_lock<std::mutex> lock(mutex);
-            cv.wait(lock, [&] { return done[s]; });
-        }
-        consumer(std::move(results[s]));
-    }
+    // Each worker writes a disjoint output slot; the shared rendezvous
+    // hands the notifications to the consumer strictly in shard order
+    // while later shards are still expanding.
+    std::vector<DecompressedShard> results(shards);
+    runOrderedShardFanOut(
+        shards, [&](uint64_t s) { expandShard(s, results[s]); },
+        [&](uint64_t s) { consumer(results[s]); });
 }
 
 ByteVec

@@ -95,6 +95,25 @@ class ParallelCompressor
     using ShardConsumer = std::function<void(CompressedShard &&)>;
 
     /**
+     * One reconstructed shard of a sharded decompression: the window
+     * group's position and byte counts. The raw bytes themselves land
+     * directly in the caller's output region (offset raw_offset), so
+     * the notification carries accounting, not data.
+     */
+    struct DecompressedShard {
+        uint64_t index = 0;        ///< shard position in the stream
+        uint64_t first_window = 0; ///< absolute index of the first window
+        uint64_t raw_offset = 0;   ///< byte offset into the output region
+        uint64_t raw_bytes = 0;    ///< reconstructed bytes of this shard
+        /** Store-raw-floored bytes the shard cost on the wire. */
+        uint64_t wire_bytes = 0;
+    };
+
+    /** Receives each decompressed shard exactly once, in shard order. */
+    using DecompressedShardConsumer =
+        std::function<void(const DecompressedShard &)>;
+
+    /**
      * Shard-streaming compression for the offload pipeline: the window
      * space is cut into shards of @p windows_per_shard consecutive
      * windows (the last may be short), the lanes compress shards
@@ -110,10 +129,38 @@ class ParallelCompressor
                         uint64_t windows_per_shard,
                         const ShardConsumer &consumer) const;
 
+    /**
+     * Shard-streaming decompression for the prefetch pipeline — the
+     * inverse of compressShards(): @p buffer's window space is cut into
+     * shards of @p windows_per_shard consecutive windows (the last may
+     * be short), the lanes reconstruct shards concurrently straight
+     * into their slots of @p out (which must hold
+     * buffer.original_bytes), and @p consumer is invoked on the calling
+     * thread for shard 0, 1, 2, ... as soon as each shard — and every
+     * shard before it — has been reconstructed. Completion order is
+     * deterministic regardless of lane count; an empty buffer produces
+     * no shards.
+     */
+    void decompressShards(const CompressedBuffer &buffer,
+                          uint64_t windows_per_shard, uint8_t *out,
+                          const DecompressedShardConsumer &consumer) const;
+
   private:
     /** Compress windows [first, last) of @p input into @p shard. */
     void compressShardInto(std::span<const uint8_t> input, uint64_t first,
                            uint64_t last, CompressedShard &shard) const;
+
+    /**
+     * Shared rendezvous of compressShards/decompressShards: pool
+     * workers pull shard indices dynamically and run @p work on each;
+     * the calling thread runs @p drain for shard 0, 1, 2, ... as soon
+     * as each shard — and every shard before it — has completed. Every
+     * exit path (including a throwing @p drain) joins the helpers
+     * before the frame unwinds. Requires pool workers and shards >= 2.
+     */
+    void runOrderedShardFanOut(
+        uint64_t shards, const std::function<void(uint64_t)> &work,
+        const std::function<void(uint64_t)> &drain) const;
 
     std::unique_ptr<Compressor> codec_;
     std::unique_ptr<ThreadPool> pool_; ///< null when lanes == 1

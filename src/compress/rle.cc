@@ -94,6 +94,10 @@ RleCompressor::decompressWindowInto(std::span<const uint8_t> payload,
     const uint64_t words = original_bytes / kWordBytes;
     const uint64_t tail_bytes = original_bytes % kWordBytes;
 
+    // Run reconstruction goes through the kernel backend: zero tokens
+    // are the zero-fill op, literal tokens the bulk byte copy — the
+    // prefetch-side mirror of the scan/copy ops compression uses.
+    const KernelOps &kernel = kernels();
     size_t cursor = 0;
     uint64_t produced = 0;
     while (produced < words) {
@@ -105,11 +109,12 @@ RleCompressor::decompressWindowInto(std::span<const uint8_t> payload,
                     "RLE run overflows the original window size");
         uint8_t *dst = out + produced * kWordBytes;
         if (token & kZeroRunFlag) {
-            std::memset(dst, 0, run * kWordBytes);
+            kernel.zeroFillBytes(dst, run * kWordBytes);
         } else {
             CDMA_ASSERT(cursor + run * kWordBytes <= payload.size(),
                         "RLE payload truncated in literal run");
-            std::memcpy(dst, payload.data() + cursor, run * kWordBytes);
+            kernel.copyBytes(dst, payload.data() + cursor,
+                             run * kWordBytes);
             cursor += run * kWordBytes;
         }
         produced += run;

@@ -1,6 +1,5 @@
 #include "compress/zvc.hh"
 
-#include <bit>
 #include <cstring>
 
 #include "common/bits.hh"
@@ -86,6 +85,12 @@ ZvcCompressor::decompressWindowInto(std::span<const uint8_t> payload,
     const uint64_t full_words = original_bytes / kWordBytes;
     const uint64_t tail_bytes = original_bytes % kWordBytes;
 
+    // The mask-driven scatter of each group is the kernel backend's
+    // zvcExpandGroup op — the inverse of the compaction above and the
+    // software mirror of the DPE's scatter network. The bounds assert
+    // runs before the kernel call, so a backend never sees a payload
+    // shorter than the mask's popcount promises.
+    const KernelOps &kernel = kernels();
     size_t cursor = 0;
     uint64_t word = 0;
     while (word < full_words) {
@@ -106,25 +111,9 @@ ZvcCompressor::decompressWindowInto(std::span<const uint8_t> payload,
         CDMA_ASSERT(cursor + present * kWordBytes <= payload.size(),
                     "ZVC payload truncated in non-zero data");
 
-        // Zero the whole group once, then scatter the non-zero runs; both
-        // sides are bulk memset/memcpy instead of per-word appends.
-        uint8_t *group_out = out + word * kWordBytes;
-        std::memset(group_out, 0,
-                    static_cast<size_t>(group) * kWordBytes);
-        uint32_t bits = mask;
-        uint64_t index = 0;
-        while (bits) {
-            const int skip = std::countr_zero(bits);
-            bits >>= skip;
-            index += static_cast<uint64_t>(skip);
-            const int run = std::countr_one(bits);
-            std::memcpy(group_out + index * kWordBytes,
-                        payload.data() + cursor,
-                        static_cast<size_t>(run) * kWordBytes);
-            cursor += static_cast<size_t>(run) * kWordBytes;
-            index += static_cast<uint64_t>(run);
-            bits = run < 32 ? bits >> run : 0;
-        }
+        cursor += kernel.zvcExpandGroup(payload.data() + cursor, mask,
+                                        static_cast<uint32_t>(group),
+                                        out + word * kWordBytes);
         word += group;
     }
 

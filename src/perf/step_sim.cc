@@ -66,6 +66,7 @@ StepSimulator::run(StepMode mode,
     // compress/transfer pipeline, so plan.seconds is the makespan the
     // offload engine holds the layer's buffer.
     std::vector<double> xfer(L, 0.0);
+    std::vector<double> pre_xfer(L, 0.0);
     std::vector<bool> has_xfer(L, false);
     const bool transfers =
         mode == StepMode::Vdnn || mode == StepMode::Cdma;
@@ -78,11 +79,19 @@ StepSimulator::run(StepMode mode,
         CDMA_ASSERT(i < L, "offload references row %zu of %zu", i, L);
         const TransferPlan &plan = plans[k];
         xfer[i] = plan.seconds;
+        // The backward direction waits on the mirrored pipeline (wire
+        // in, then decompress) when the engine modeled it; the seed
+        // model prices both directions identically.
+        pre_xfer[i] = plan.prefetch.shard_count > 0
+            ? plan.prefetch.overlapped_seconds
+            : plan.seconds;
         has_xfer[i] = true;
         result.raw_transfer_bytes += plan.raw_bytes;
         result.wire_transfer_bytes += plan.wire_bytes;
         result.layers[i].offload_seconds = plan.seconds;
+        result.layers[i].prefetch_seconds = pre_xfer[i];
         result.layers[i].offload = plan.offload;
+        result.layers[i].prefetch = plan.prefetch;
     }
 
     if (mode == StepMode::Baseline || mode == StepMode::Oracle) {
@@ -105,10 +114,11 @@ StepSimulator::run(StepMode mode,
     Channel pcie(queue, "pcie",
                  engine_.config().gpu.pcie_effective_bandwidth);
     // The channel services "seconds" directly: submit bytes scaled so
-    // bytes/bandwidth equals the planned occupancy.
-    auto submitTransfer = [&](size_t i, auto on_done) {
+    // bytes/bandwidth equals the planned occupancy (offload and
+    // prefetch directions carry their own modeled makespans).
+    auto submitTransfer = [&](double seconds, auto on_done) {
         const auto effective_bytes = static_cast<uint64_t>(
-            xfer[i] * engine_.config().gpu.pcie_effective_bandwidth);
+            seconds * engine_.config().gpu.pcie_effective_bandwidth);
         pcie.submit(effective_bytes, on_done);
     };
 
@@ -134,7 +144,7 @@ StepSimulator::run(StepMode mode,
         }
         // Offload of this layer's input streams alongside its compute.
         if (has_xfer[i]) {
-            submitTransfer(i, [&, i]() {
+            submitTransfer(xfer[i], [&, i]() {
                 off_end[i] = queue.now();
                 if (i + 1 < L)
                     tryStartFwd(i + 1);
@@ -165,7 +175,7 @@ StepSimulator::run(StepMode mode,
                 std::max(0.0, pre_end[i] - dep);
         }
         if (i > 0 && has_xfer[i - 1]) {
-            submitTransfer(i - 1, [&, i]() {
+            submitTransfer(pre_xfer[i - 1], [&, i]() {
                 pre_end[i - 1] = queue.now();
                 tryStartBwd(i - 1);
             });
@@ -192,7 +202,7 @@ StepSimulator::run(StepMode mode,
     // first, then the dependency chain unrolls.
     queue.scheduleAt(forward_done_time, [&]() {
         if (has_xfer[L - 1]) {
-            submitTransfer(L - 1, [&]() {
+            submitTransfer(pre_xfer[L - 1], [&]() {
                 pre_end[L - 1] = queue.now();
                 tryStartBwd(L - 1);
             });

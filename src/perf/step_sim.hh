@@ -42,11 +42,18 @@ struct LayerStepStats {
     double forward_seconds = 0.0;
     double backward_seconds = 0.0;
     double offload_seconds = 0.0;  ///< modeled latency of this layer's input
+    /** Modeled latency of restoring this layer's input (equals
+     *  offload_seconds except under TimingMode::Overlapped, where the
+     *  prefetch pipeline is priced separately). */
+    double prefetch_seconds = 0.0;
     double forward_stall = 0.0;    ///< forward wait on the offload
     double backward_stall = 0.0;   ///< backward wait on the prefetch
     /** Compress/wire pipeline breakdown of the input's offload (all
      *  zeros unless the engine runs TimingMode::Overlapped). */
     OffloadTiming offload;
+    /** Wire/decompress pipeline breakdown of the input's prefetch (all
+     *  zeros unless the engine runs TimingMode::Overlapped). */
+    PrefetchTiming prefetch;
 };
 
 /** Result of one simulated training iteration. */

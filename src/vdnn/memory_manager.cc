@@ -116,6 +116,13 @@ VdnnMemoryManager::plannedPrefetches(const CdmaEngine &engine,
 {
     auto plans = plannedOffloads(engine, output_ratios, raw_dma);
     std::reverse(plans.begin(), plans.end());
+    // The backward direction runs the mirrored pipeline (wire in, then
+    // decompress); when the engine modeled it, the prefetch makespan —
+    // not the offload one — is what the backward pass waits on.
+    for (TransferPlan &plan : plans) {
+        if (plan.prefetch.shard_count > 0)
+            plan.seconds = plan.prefetch.overlapped_seconds;
+    }
     return plans;
 }
 

@@ -125,7 +125,14 @@ class VdnnMemoryManager
                     const std::vector<double> &output_ratios = {},
                     bool raw_dma = false) const;
 
-    /** plannedOffloads() in prefetch (backward, i.e. reverse) order. */
+    /**
+     * plannedOffloads() in prefetch (backward, i.e. reverse) order,
+     * timed for that direction: under TimingMode::Overlapped each
+     * plan's seconds becomes the prefetch pipeline's makespan
+     * (plan.prefetch.overlapped_seconds — wire in, then decompress)
+     * instead of the offload makespan; other timing modes price both
+     * directions identically, so seconds is unchanged there.
+     */
     std::vector<TransferPlan>
     plannedPrefetches(const CdmaEngine &engine,
                       const std::vector<double> &output_ratios = {},

@@ -1,0 +1,444 @@
+/**
+ * @file
+ * Tests for the async double-buffered prefetch pipeline: the
+ * deterministic event timeline against the closed-form steady-state
+ * model (pinned to 1e-9, including empty, single-window and
+ * shards-vs-lanes edges), the general double-buffer recurrence on
+ * mixed shard trains, real-bytes reconstruction through
+ * decompressShards, and the engine/vdnn/step-sim surfaces that carry
+ * PrefetchTiming.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cdma/offload_scheduler.hh"
+#include "cdma/prefetch_scheduler.hh"
+#include "common/rng.hh"
+#include "compress/parallel.hh"
+#include "perf/step_sim.hh"
+#include "vdnn/memory_manager.hh"
+
+namespace cdma {
+namespace {
+
+/** ReLU-like fp32 words at the given density. */
+std::vector<uint8_t>
+makeInput(double density, size_t bytes, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint8_t> input(bytes, 0);
+    const size_t words = bytes / 4;
+    for (size_t i = 0; i < words; ++i) {
+        if (density > 0.0 && rng.bernoulli(density)) {
+            const float value =
+                1.0f + static_cast<float>(std::abs(rng.normal()));
+            std::memcpy(input.data() + i * 4, &value, 4);
+        }
+    }
+    for (size_t i = words * 4; i < bytes; ++i)
+        input[i] = static_cast<uint8_t>(1 + rng.uniformInt(255));
+    return input;
+}
+
+CdmaEngine
+makeEngine(unsigned lanes, uint64_t shard_bytes = 0,
+           TimingMode mode = TimingMode::Overlapped)
+{
+    CdmaConfig config;
+    config.compression_lanes = lanes;
+    config.shard_bytes = shard_bytes;
+    config.timing_mode = mode;
+    return CdmaEngine(config);
+}
+
+/**
+ * Reference recurrence for the prefetch pipeline with @p buffers
+ * staging buffers: the wire is FIFO, the decompression engine is
+ * serial, and shard k may not enter the wire until shard k - buffers
+ * has been re-inflated.
+ */
+double
+referenceMakespan(const std::vector<ShardTransfer> &shards,
+                  double wire_bw, double decompress_bw, unsigned buffers)
+{
+    const size_t n = shards.size();
+    std::vector<double> wire_end(n, 0.0), expand_end(n, 0.0);
+    for (size_t k = 0; k < n; ++k) {
+        double start = k > 0 ? wire_end[k - 1] : 0.0;
+        if (k >= buffers)
+            start = std::max(start, expand_end[k - buffers]);
+        wire_end[k] =
+            start + static_cast<double>(shards[k].wire_bytes) / wire_bw;
+        const double expand_start = std::max(
+            wire_end[k], k > 0 ? expand_end[k - 1] : 0.0);
+        expand_end[k] = expand_start +
+            static_cast<double>(shards[k].raw_bytes) / decompress_bw;
+    }
+    return n > 0 ? expand_end[n - 1] : 0.0;
+}
+
+TEST(PrefetchPipelineTiming, ClosedFormSteadyStateDecompressBound)
+{
+    // Uniform shards, decompression the slower stage (a fetch-capped
+    // high-ratio layer): the makespan must equal one wire fill plus the
+    // decompression engine at its full rate,
+    //   overlapped = first_wire + n * decompress  ( = n*max + min ),
+    // to 1e-9 relative error.
+    const uint64_t raw = 1 << 20;
+    const uint64_t wire_bytes = raw / 64; // 64x ratio: wire leg is short
+    const double wire_bw = 12.8e9, decompress_bw = 200e9;
+    const size_t n = 16;
+    std::vector<ShardTransfer> shards(n, {raw, wire_bytes});
+
+    const PrefetchTiming timing = PrefetchScheduler::pipelineTiming(
+        shards, wire_bw, decompress_bw);
+    const double w = static_cast<double>(wire_bytes) / wire_bw;
+    const double d = static_cast<double>(raw) / decompress_bw;
+    ASSERT_GT(d, w); // decompress-bound by construction
+    const double closed_form = w + static_cast<double>(n) * d;
+    EXPECT_NEAR(timing.overlapped_seconds, closed_form,
+                1e-9 * closed_form);
+    EXPECT_NEAR(timing.wire_seconds, static_cast<double>(n) * w,
+                1e-9 * n * w);
+    EXPECT_NEAR(timing.decompress_seconds, static_cast<double>(n) * d,
+                1e-9 * n * d);
+    // All but the pipeline-fill wire time hides under decompression.
+    EXPECT_NEAR(timing.overlap_fraction,
+                static_cast<double>(n - 1) / static_cast<double>(n), 1e-9);
+}
+
+TEST(PrefetchPipelineTiming, ClosedFormSteadyStateWireBound)
+{
+    // Wire the slower stage (ZV-class ratios on a slow link): the
+    // decompression engine drains behind the wire,
+    //   overlapped = n * wire + last_decompress.
+    const uint64_t raw = 1 << 20;
+    const double ratio = 4.0;
+    const uint64_t wire_bytes = static_cast<uint64_t>(raw / ratio);
+    const double wire_bw = 12.8e9, decompress_bw = 200e9;
+    const size_t n = 12;
+    std::vector<ShardTransfer> shards(n, {raw, wire_bytes});
+
+    const PrefetchTiming timing = PrefetchScheduler::pipelineTiming(
+        shards, wire_bw, decompress_bw);
+    const double w = static_cast<double>(wire_bytes) / wire_bw;
+    const double d = static_cast<double>(raw) / decompress_bw;
+    ASSERT_GT(w, d); // wire-bound by construction
+    const double closed_form = static_cast<double>(n) * w + d;
+    EXPECT_NEAR(timing.overlapped_seconds, closed_form,
+                1e-9 * closed_form);
+    EXPECT_NEAR(timing.overlap_fraction,
+                static_cast<double>(n - 1) / static_cast<double>(n), 1e-9);
+}
+
+TEST(PrefetchPipelineTiming, MatchesReferenceRecurrenceOnMixedShards)
+{
+    // Non-uniform shard trains and several staging depths: the DES must
+    // reproduce the textbook recurrence exactly.
+    Rng rng(505);
+    std::vector<ShardTransfer> shards;
+    for (int i = 0; i < 23; ++i) {
+        const uint64_t raw = 4096 + 4096 * rng.uniformInt(16);
+        shards.push_back({raw, raw / (1 + rng.uniformInt(8))});
+    }
+    for (unsigned buffers : {1u, 2u, 3u, 5u}) {
+        const PrefetchTiming timing = PrefetchScheduler::pipelineTiming(
+            shards, 12.8e9, 200e9, buffers);
+        const double expected =
+            referenceMakespan(shards, 12.8e9, 200e9, buffers);
+        EXPECT_NEAR(timing.overlapped_seconds, expected, 1e-9 * expected)
+            << buffers << " staging buffers";
+        EXPECT_LE(timing.overlapped_seconds,
+                  timing.serializedSeconds() + 1e-12);
+        EXPECT_GE(timing.overlapped_seconds,
+                  std::max(timing.wire_seconds,
+                           timing.decompress_seconds) -
+                      1e-12);
+    }
+}
+
+TEST(PrefetchPipelineTiming, SingleShardHasNoOverlap)
+{
+    const std::vector<ShardTransfer> shards = {{4096, 1024}};
+    const PrefetchTiming timing =
+        PrefetchScheduler::pipelineTiming(shards, 12.8e9, 200e9);
+    EXPECT_DOUBLE_EQ(timing.overlapped_seconds,
+                     timing.serializedSeconds());
+    EXPECT_DOUBLE_EQ(timing.overlap_fraction, 0.0);
+    EXPECT_EQ(timing.shard_count, 1u);
+}
+
+TEST(PrefetchScheduler, ClosedFormModelMatchesDesReference)
+{
+    // modelFromRatio is the allocation-free closed form (n*max + min
+    // plus the trailing partial shard, stages swapped relative to the
+    // offload side); the DES (pipelineTiming) stays the reference. Pin
+    // equality across transfer sizes that exercise every branch —
+    // sub-shard, exact multiples, long trains, partial tails — ratios
+    // on both sides of the fetch cap, and staging depths including the
+    // degenerate single-buffer pipeline.
+    for (const unsigned buffers : {1u, 2u, 3u}) {
+        for (const uint64_t shard_bytes : {0ull, 4096ull, 3 * 4096ull}) {
+            CdmaConfig config;
+            config.shard_bytes = shard_bytes;
+            config.staging_buffers = buffers;
+            config.timing_mode = TimingMode::Overlapped;
+            const CdmaEngine engine(config);
+            const PrefetchScheduler scheduler(engine);
+            const uint64_t shard_raw =
+                scheduler.shardWindows() * config.window_bytes;
+
+            for (const double ratio : {1.0, 2.5, 7.3, 12.5, 40.0}) {
+                for (const uint64_t raw :
+                     {uint64_t{1}, shard_raw / 2, shard_raw,
+                      shard_raw + 1, 3 * shard_raw,
+                      7 * shard_raw + shard_raw / 3,
+                      64 * shard_raw + 4097}) {
+                    // The exact shard train the DES would replay.
+                    std::vector<ShardTransfer> shards;
+                    uint64_t remaining = raw;
+                    while (remaining > 0) {
+                        const uint64_t r = std::min(remaining, shard_raw);
+                        shards.push_back(
+                            {r, static_cast<uint64_t>(
+                                    static_cast<double>(r) / ratio)});
+                        remaining -= r;
+                    }
+                    const PrefetchTiming des =
+                        PrefetchScheduler::pipelineTiming(
+                            shards, config.gpu.pcie_effective_bandwidth,
+                            config.gpu.comp_bandwidth, buffers);
+                    const PrefetchTiming closed =
+                        scheduler.modelFromRatio(raw, ratio);
+
+                    EXPECT_EQ(closed.shard_count, des.shard_count)
+                        << "raw=" << raw << " ratio=" << ratio
+                        << " buffers=" << buffers;
+                    EXPECT_NEAR(closed.wire_seconds, des.wire_seconds,
+                                1e-9 * std::max(des.wire_seconds, 1e-30));
+                    EXPECT_NEAR(closed.decompress_seconds,
+                                des.decompress_seconds,
+                                1e-9 * des.decompress_seconds);
+                    EXPECT_NEAR(closed.overlapped_seconds,
+                                des.overlapped_seconds,
+                                1e-9 * des.overlapped_seconds)
+                        << "raw=" << raw << " ratio=" << ratio
+                        << " buffers=" << buffers
+                        << " shard_raw=" << shard_raw;
+                    EXPECT_NEAR(closed.overlap_fraction,
+                                des.overlap_fraction, 1e-9);
+                }
+            }
+        }
+    }
+
+    // Zero-byte transfer: both paths report an empty pipeline.
+    const CdmaEngine engine = makeEngine(1);
+    const PrefetchTiming empty =
+        PrefetchScheduler(engine).modelFromRatio(0, 2.0);
+    EXPECT_EQ(empty.shard_count, 0u);
+    EXPECT_DOUBLE_EQ(empty.overlapped_seconds, 0.0);
+}
+
+TEST(PrefetchScheduler, ZeroByteBuffer)
+{
+    const CdmaEngine engine = makeEngine(4);
+    const PrefetchScheduler scheduler(engine);
+    const CompressedBuffer empty =
+        engine.compressor().serial().compress({});
+    const PrefetchResult result = scheduler.prefetch(empty);
+    EXPECT_TRUE(result.data.empty());
+    EXPECT_EQ(result.shards.size(), 0u);
+    EXPECT_EQ(result.timing.shard_count, 0u);
+    EXPECT_DOUBLE_EQ(result.timing.overlapped_seconds, 0.0);
+}
+
+TEST(PrefetchScheduler, SingleWindowBuffer)
+{
+    const CdmaEngine engine = makeEngine(4);
+    const PrefetchScheduler scheduler(engine);
+    const auto input = makeInput(0.5, 1000, 17);
+    const CompressedBuffer compressed =
+        engine.compressor().serial().compress(input);
+    const PrefetchResult result = scheduler.prefetch(compressed);
+    ASSERT_EQ(result.shards.size(), 1u);
+    EXPECT_EQ(result.shards[0].raw_bytes, input.size());
+    EXPECT_EQ(result.shards[0].wire_bytes, compressed.effectiveBytes());
+    EXPECT_DOUBLE_EQ(result.timing.overlap_fraction, 0.0);
+    EXPECT_EQ(result.data, input);
+}
+
+TEST(PrefetchScheduler, RoundTripsTheOffloadAcrossShardAndLaneShapes)
+{
+    // Offload then prefetch, shards > lanes and lanes > shards: the
+    // restored bytes must equal the original, the prefetch shard train
+    // must mirror the offload's, and timing must not depend on lane
+    // count.
+    const auto input = makeInput(0.4, (1 << 20) + 123, 29);
+    const CdmaEngine two_lanes = makeEngine(2);
+    const CdmaEngine eight_lanes = makeEngine(8, /*shard_bytes=*/4096);
+
+    for (const CdmaEngine *engine : {&two_lanes, &eight_lanes}) {
+        const OffloadResult offloaded =
+            OffloadScheduler(*engine).offload(input);
+        const PrefetchResult restored =
+            PrefetchScheduler(*engine).prefetch(offloaded.buffer);
+        EXPECT_EQ(restored.data, input);
+        ASSERT_EQ(restored.shards.size(), offloaded.shards.size());
+        for (size_t i = 0; i < restored.shards.size(); ++i) {
+            EXPECT_EQ(restored.shards[i].raw_bytes,
+                      offloaded.shards[i].raw_bytes);
+            EXPECT_EQ(restored.shards[i].wire_bytes,
+                      offloaded.shards[i].wire_bytes);
+        }
+    }
+
+    const PrefetchResult serial = PrefetchScheduler(makeEngine(1))
+        .prefetch(OffloadScheduler(makeEngine(1)).offload(input).buffer);
+    const PrefetchResult parallel = PrefetchScheduler(eight_lanes)
+        .prefetch(OffloadScheduler(makeEngine(8)).offload(input).buffer);
+    EXPECT_EQ(serial.data, parallel.data);
+}
+
+TEST(PrefetchScheduler, DeterministicEventTimeline)
+{
+    const CdmaEngine engine = makeEngine(0); // all hardware threads
+    const auto input = makeInput(0.5, (1 << 20) + 4096, 41);
+    const CompressedBuffer compressed =
+        OffloadScheduler(engine).offload(input).buffer;
+    const PrefetchScheduler scheduler(engine);
+    const PrefetchResult a = scheduler.prefetch(compressed);
+    const PrefetchResult b = scheduler.prefetch(compressed);
+    EXPECT_EQ(a.timing.overlapped_seconds, b.timing.overlapped_seconds);
+    EXPECT_EQ(a.timing.wire_seconds, b.timing.wire_seconds);
+    EXPECT_EQ(a.timing.decompress_seconds, b.timing.decompress_seconds);
+    EXPECT_EQ(a.data, b.data);
+}
+
+TEST(CdmaEngine, OverlappedPlansCarryBothPipelineDirections)
+{
+    const CdmaEngine engine = makeEngine(2);
+    // Exact multiple of the staging shard: a uniform train, where the
+    // mirrored pipelines' makespans coincide exactly (a partial tail
+    // breaks the symmetry by one sub-shard fill).
+    const uint64_t shard_raw = PrefetchScheduler(engine).shardWindows() *
+        engine.config().window_bytes;
+    const uint64_t raw = 96 * shard_raw;
+    const TransferPlan plan = engine.planFromRatio("map", raw, 2.5);
+
+    EXPECT_GT(plan.prefetch.shard_count, 1u);
+    EXPECT_EQ(plan.prefetch.shard_count, plan.offload.shard_count);
+    EXPECT_GT(plan.prefetch.overlap_fraction, 0.0);
+    EXPECT_LE(plan.prefetch.overlap_fraction, 1.0);
+    // Same shards, mirrored stages: leg totals swap roles.
+    EXPECT_NEAR(plan.prefetch.wire_seconds, plan.offload.wire_seconds,
+                1e-12);
+    EXPECT_NEAR(plan.prefetch.decompress_seconds,
+                plan.offload.compress_seconds, 1e-12);
+    EXPECT_NEAR(plan.prefetch.overlapped_seconds,
+                plan.offload.overlapped_seconds,
+                1e-9 * plan.offload.overlapped_seconds);
+
+    // The engine's plan must agree with the scheduler's analytic model.
+    const PrefetchTiming direct =
+        PrefetchScheduler(engine).modelFromRatio(raw, 2.5);
+    EXPECT_DOUBLE_EQ(plan.prefetch.overlapped_seconds,
+                     direct.overlapped_seconds);
+
+    // Real-bytes planning models the prefetch over the measured shards.
+    const auto input = makeInput(0.25, 1 << 20, 47);
+    const TransferPlan real = engine.planTransfer("real", input);
+    const OffloadResult offloaded = OffloadScheduler(engine).offload(input);
+    const PrefetchTiming expected = PrefetchScheduler::pipelineTiming(
+        offloaded.shards, engine.config().gpu.pcie_effective_bandwidth,
+        engine.config().gpu.comp_bandwidth,
+        engine.config().staging_buffers);
+    EXPECT_DOUBLE_EQ(real.prefetch.overlapped_seconds,
+                     expected.overlapped_seconds);
+
+    // CompressionFree keeps the seed model: no prefetch breakdown.
+    const CdmaEngine free_engine =
+        makeEngine(2, 0, TimingMode::CompressionFree);
+    const TransferPlan free_plan =
+        free_engine.planFromRatio("map", raw, 2.5);
+    EXPECT_EQ(free_plan.prefetch.shard_count, 0u);
+    EXPECT_DOUBLE_EQ(free_plan.prefetch.overlapped_seconds, 0.0);
+
+    // Disabled compression bypasses both pipeline models.
+    CdmaConfig disabled;
+    disabled.compression_enabled = false;
+    disabled.timing_mode = TimingMode::Overlapped;
+    const TransferPlan raw_plan =
+        CdmaEngine(disabled).planFromRatio("raw", raw, 3.0);
+    EXPECT_EQ(raw_plan.prefetch.shard_count, 0u);
+}
+
+TEST(VdnnMemoryManager, PlannedPrefetchesUseThePrefetchPipeline)
+{
+    const NetworkDesc net = allNetworkDescs().front();
+    const VdnnMemoryManager manager(net, 16);
+    const CdmaEngine engine = makeEngine(1);
+
+    std::vector<double> ratios(net.layers.size(), 2.0);
+    const auto offloads = manager.plannedOffloads(engine, ratios);
+    const auto prefetches = manager.plannedPrefetches(engine, ratios);
+    ASSERT_EQ(prefetches.size(), offloads.size());
+    for (size_t k = 0; k < prefetches.size(); ++k) {
+        // Reverse order, retimed to the prefetch makespan.
+        const TransferPlan &off = offloads[offloads.size() - 1 - k];
+        const TransferPlan &pre = prefetches[k];
+        EXPECT_EQ(pre.label, off.label);
+        EXPECT_GT(pre.prefetch.shard_count, 0u);
+        EXPECT_DOUBLE_EQ(pre.seconds, pre.prefetch.overlapped_seconds);
+    }
+
+    // The raw-DMA (vDNN baseline) flavour keeps plain occupancy.
+    const auto raw_prefetches =
+        manager.plannedPrefetches(engine, {}, /*raw_dma=*/true);
+    for (const auto &plan : raw_prefetches) {
+        EXPECT_EQ(plan.prefetch.shard_count, 0u);
+        EXPECT_DOUBLE_EQ(plan.seconds,
+                         engine.transferSeconds(plan.raw_bytes, 1.0));
+    }
+}
+
+TEST(StepSimulator, BackwardLegWaitsOnThePrefetchPipeline)
+{
+    const NetworkDesc net = allNetworkDescs().front();
+    const VdnnMemoryManager manager(net, 16);
+    PerfModel perf;
+
+    CdmaConfig config;
+    config.timing_mode = TimingMode::Overlapped;
+    const CdmaEngine engine(config);
+    const StepSimulator sim(manager, engine, perf, CudnnVersion::V5);
+
+    std::vector<double> ratios(net.layers.size(), 2.0);
+    const StepResult result = sim.run(StepMode::Cdma, ratios);
+    bool saw_prefetch = false;
+    for (const auto &layer : result.layers) {
+        if (layer.offload.shard_count == 0)
+            continue;
+        saw_prefetch = true;
+        EXPECT_GT(layer.prefetch.shard_count, 0u) << layer.label;
+        EXPECT_DOUBLE_EQ(layer.prefetch_seconds,
+                         layer.prefetch.overlapped_seconds)
+            << layer.label;
+    }
+    EXPECT_TRUE(saw_prefetch);
+
+    // vDNN mode (raw DMA) prices both directions identically.
+    const StepResult vdnn = sim.run(StepMode::Vdnn);
+    for (const auto &layer : vdnn.layers) {
+        EXPECT_EQ(layer.prefetch.shard_count, 0u);
+        EXPECT_DOUBLE_EQ(layer.prefetch_seconds, layer.offload_seconds);
+    }
+}
+
+} // namespace
+} // namespace cdma

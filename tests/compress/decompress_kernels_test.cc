@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Differential tests for the prefetch-side (decompression) kernel ops
+ * and their codec routing, mirroring tests/compress/kernels_test.cc for
+ * the compression direction: op-level equivalence of every supported
+ * backend against the scalar reference (zvcExpandGroup mask scatter,
+ * zeroFillBytes run reconstruction), byte-identity of decompressed
+ * output across backends for all three codecs — densities, odd sizes,
+ * sub-word tails, 1/2/8 lanes — and the in-order shard-streaming
+ * decompression drain.
+ */
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "compress/compressor.hh"
+#include "compress/kernels/kernels.hh"
+#include "compress/parallel.hh"
+
+namespace cdma {
+namespace {
+
+/** Activation-like fp32 words at the given density, any byte length. */
+std::vector<uint8_t>
+makeWords(double density, size_t bytes, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint8_t> input(bytes, 0);
+    const size_t words = bytes / 4;
+    for (size_t i = 0; i < words; ++i) {
+        if (density > 0.0 && rng.bernoulli(density)) {
+            const float value =
+                0.5f + static_cast<float>(std::abs(rng.normal()));
+            std::memcpy(input.data() + i * 4, &value, 4);
+        }
+    }
+    for (size_t i = words * 4; i < bytes; ++i)
+        input[i] = static_cast<uint8_t>(rng.uniformInt(256));
+    return input;
+}
+
+class DecompressKernelOpEquivalence : public ::testing::Test
+{
+  protected:
+    /** Every non-scalar backend (scalar is the reference). */
+    std::vector<const KernelOps *> others() const
+    {
+        std::vector<const KernelOps *> result;
+        for (const KernelOps *ops : supportedKernels()) {
+            if (ops != &scalarKernels())
+                result.push_back(ops);
+        }
+        return result;
+    }
+};
+
+TEST_F(DecompressKernelOpEquivalence, ZvcExpandGroupInvertsCompact)
+{
+    // Compact with the scalar reference, then expand with every
+    // backend: the output must reproduce the original words exactly and
+    // consume exactly 4 * popcount(mask) payload bytes.
+    const KernelOps &ref = scalarKernels();
+    for (const KernelOps *ops : supportedKernels()) {
+        for (const double density : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+            for (const uint32_t words :
+                 {1u, 2u, 7u, 8u, 9u, 15u, 16u, 24u, 31u, 32u}) {
+                const auto input =
+                    makeWords(density, words * 4, 301 + words);
+                std::vector<uint8_t> packed(words * 4 + 32, 0xAA);
+                const uint32_t mask = ref.zvcCompactGroup(
+                    input.data(), words, packed.data());
+                const uint32_t live =
+                    4u * static_cast<uint32_t>(std::popcount(mask));
+                // The payload the expand op may read is exactly the
+                // live bytes: hand it a right-sized copy so any
+                // over-read lands outside the allocation (ASan job).
+                std::vector<uint8_t> payload(
+                    packed.begin(), packed.begin() + live);
+                std::vector<uint8_t> out(words * 4 + 32, 0xEE);
+                const uint32_t consumed = ops->zvcExpandGroup(
+                    payload.data(), mask, words, out.data());
+                EXPECT_EQ(consumed, live)
+                    << ops->name << " words=" << words
+                    << " density=" << density;
+                ASSERT_EQ(0, std::memcmp(out.data(), input.data(),
+                                         words * 4))
+                    << ops->name << " words=" << words
+                    << " density=" << density;
+                // No write past the group.
+                for (size_t i = words * 4; i < out.size(); ++i) {
+                    ASSERT_EQ(out[i], 0xEE)
+                        << ops->name << " words=" << words << " i=" << i;
+                }
+            }
+        }
+    }
+}
+
+TEST_F(DecompressKernelOpEquivalence, ZvcExpandGroupSparsePatterns)
+{
+    // Directed masks: empty, full, single bits at the edges, and
+    // random patterns over every sub-block boundary.
+    Rng rng(47);
+    for (const KernelOps *ops : supportedKernels()) {
+        for (int trial = 0; trial < 300; ++trial) {
+            const uint32_t words = 1 + rng.uniformInt(32);
+            uint32_t mask;
+            switch (trial % 5) {
+              case 0: mask = 0; break;
+              case 1:
+                mask = words == 32 ? 0xFFFFFFFFu : (1u << words) - 1;
+                break;
+              case 2: mask = 1u; break;
+              case 3: mask = 1u << (words - 1); break;
+              default:
+                mask = static_cast<uint32_t>(rng.uniformInt(1u << 16)) |
+                    (static_cast<uint32_t>(rng.uniformInt(1u << 16))
+                     << 16);
+                break;
+            }
+            if (words < 32)
+                mask &= (1u << words) - 1;
+            const uint32_t present =
+                static_cast<uint32_t>(std::popcount(mask));
+            std::vector<uint8_t> payload(present * 4);
+            for (auto &byte : payload)
+                byte = static_cast<uint8_t>(1 + rng.uniformInt(255));
+
+            std::vector<uint8_t> expect(words * 4 + 8, 0xCC);
+            std::vector<uint8_t> got(words * 4 + 8, 0xCC);
+            const uint32_t consumed_ref = scalarKernels().zvcExpandGroup(
+                payload.data(), mask, words, expect.data());
+            const uint32_t consumed = ops->zvcExpandGroup(
+                payload.data(), mask, words, got.data());
+            EXPECT_EQ(consumed, consumed_ref)
+                << ops->name << " trial " << trial;
+            ASSERT_EQ(expect, got) << ops->name << " trial " << trial
+                                   << " mask=" << mask
+                                   << " words=" << words;
+        }
+    }
+}
+
+TEST_F(DecompressKernelOpEquivalence, ZeroFillBytes)
+{
+    for (const KernelOps *ops : supportedKernels()) {
+        for (const size_t n : {0u, 1u, 3u, 31u, 32u, 63u, 64u, 65u,
+                               127u, 128u, 513u}) {
+            std::vector<uint8_t> dst(n + 8, 0xEE);
+            ops->zeroFillBytes(dst.data(), n);
+            for (size_t i = 0; i < n; ++i)
+                ASSERT_EQ(dst[i], 0) << ops->name << " n=" << n;
+            // No overwrite past n.
+            for (size_t i = n; i < dst.size(); ++i)
+                ASSERT_EQ(dst[i], 0xEE) << ops->name << " n=" << n;
+        }
+    }
+}
+
+TEST(DecompressCodecEquivalence, OutputIsByteIdenticalPerBackend)
+{
+    // The acceptance property for the prefetch leg: for all three
+    // codecs, decompressing any backend's payload with any backend
+    // reproduces the original input exactly — across densities, odd
+    // sizes and sub-word tails.
+    const std::vector<size_t> sizes = {0,    1,    3,    4,     5,
+                                       127,  128,  4095, 4096,  4097,
+                                       8195, 12288, (1u << 16) + 5};
+    for (const Algorithm algorithm : kAllAlgorithms) {
+        const auto reference =
+            makeCompressor(algorithm, 4096, &scalarKernels());
+        for (const KernelOps *ops : supportedKernels()) {
+            const auto codec = makeCompressor(algorithm, 4096, ops);
+            for (const double density : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+                for (const size_t bytes : sizes) {
+                    // DEFLATE is slow; cap its sweep to keep the suite
+                    // quick (tails/odd sizes stay covered).
+                    if (algorithm == Algorithm::Zlib && bytes > 8195)
+                        continue;
+                    const auto input = makeWords(
+                        density, bytes, 777 + bytes);
+                    const CompressedBuffer compressed =
+                        reference->compress(input);
+                    ASSERT_EQ(codec->decompress(compressed), input)
+                        << codec->name() << " " << ops->name
+                        << " bytes=" << bytes << " density=" << density;
+                    // And the cross direction: backend-compressed,
+                    // scalar-decompressed (streams are byte-identical,
+                    // so this guards the packer too).
+                    const CompressedBuffer own = codec->compress(input);
+                    ASSERT_EQ(reference->decompress(own), input)
+                        << codec->name() << " " << ops->name
+                        << " bytes=" << bytes << " density=" << density;
+                }
+            }
+        }
+    }
+}
+
+TEST(DecompressCodecEquivalence, LaneFanOutSharesTheBackendDecision)
+{
+    // 1/2/8 lanes with an explicitly forced backend: parallel
+    // decompression must inherit the codec's dispatch decision and
+    // reproduce the input whatever the lane count.
+    const auto input = makeWords(0.5, (1 << 18) + 37, 99);
+    for (const Algorithm algorithm : {Algorithm::Zvc, Algorithm::Rle}) {
+        const auto reference =
+            makeCompressor(algorithm, 4096, &scalarKernels());
+        const CompressedBuffer compressed = reference->compress(input);
+        for (const KernelOps *ops : supportedKernels()) {
+            for (const unsigned lanes : {1u, 2u, 8u}) {
+                const ParallelCompressor parallel(algorithm, 4096, lanes,
+                                                  ops);
+                ASSERT_EQ(parallel.decompress(compressed), input)
+                    << algorithmName(algorithm) << " " << ops->name
+                    << " lanes=" << lanes;
+            }
+        }
+    }
+}
+
+TEST(DecompressShards, StreamArrivesInOrderAndReconstructsExactly)
+{
+    const auto input = makeWords(0.5, (1 << 18) + 37, 43);
+    const uint64_t windows_per_shard = 5;
+    for (unsigned lanes : {1u, 2u, 8u}) {
+        const ParallelCompressor compressor(Algorithm::Zvc, 4096, lanes);
+        const CompressedBuffer compressed = compressor.compress(input);
+        ByteVec out(input.size());
+        uint64_t expected_index = 0;
+        uint64_t raw_total = 0, wire_total = 0;
+        compressor.decompressShards(
+            compressed, windows_per_shard, out.data(),
+            [&](const ParallelCompressor::DecompressedShard &shard) {
+                EXPECT_EQ(shard.index, expected_index++);
+                EXPECT_EQ(shard.first_window,
+                          shard.index * windows_per_shard);
+                EXPECT_EQ(shard.raw_offset,
+                          shard.first_window * 4096);
+                raw_total += shard.raw_bytes;
+                wire_total += shard.wire_bytes;
+            });
+        EXPECT_EQ(expected_index, 13u); // ceil(65 windows / 5)
+        EXPECT_EQ(raw_total, input.size());
+        EXPECT_EQ(wire_total, compressed.effectiveBytes());
+        EXPECT_EQ(out, input) << "lanes=" << lanes;
+    }
+
+    // Empty buffer: no shards, no output.
+    const ParallelCompressor compressor(Algorithm::Zvc, 4096, 2);
+    const CompressedBuffer empty = compressor.compress({});
+    bool called = false;
+    compressor.decompressShards(
+        empty, windows_per_shard, nullptr,
+        [&](const ParallelCompressor::DecompressedShard &) {
+            called = true;
+        });
+    EXPECT_FALSE(called);
+}
+
+} // namespace
+} // namespace cdma
