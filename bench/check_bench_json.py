@@ -25,15 +25,19 @@ import sys
 # Families whose presence (at >= 1 density) the trajectory depends on,
 # and which must report bytes_per_second — both pipeline directions:
 # the compress families feed the offload-leg trajectory, the decompress
-# families the prefetch leg. The parallel/lane and per-backend variants
-# are validated when present but are optional: a reduced smoke run may
-# filter to the serial kernels.
+# families the prefetch leg, and the duplex-transfer model families the
+# contended-link trajectory (full vs half duplex). The parallel/lane
+# and per-backend variants are validated when present but are optional:
+# a reduced smoke run may filter to the serial kernels.
 REQUIRED_FAMILIES = ("BM_ZvcCompress", "BM_RleCompress", "BM_DeflateCompress",
                      "BM_ZvcDecompress", "BM_RleDecompress",
                      "BM_DeflateDecompress")
+DUPLEX_FAMILIES = ("BM_DuplexTransferModelFull", "BM_DuplexTransferModelHalf")
 KNOWN_BACKENDS = ("scalar", "avx2")
+KNOWN_DUPLEX_MODES = ("full_duplex", "half_duplex")
 NAME_RE = re.compile(r"^BM_([A-Za-z]+?)(Compress|Decompress|CycleModel|"
-                     r"EngineCycleModel)?(Parallel)?(Scalar|Avx2)?"
+                     r"EngineCycleModel|TransferModel(?:Full|Half))?"
+                     r"(Parallel)?(Scalar|Avx2)?"
                      r"(/\d+)*(/[a-z_]+)*$")
 
 
@@ -86,6 +90,25 @@ def check_backend_context(report: dict) -> str:
     return backend
 
 
+def check_duplex_context(report: dict) -> str:
+    """The engine-default link configuration the bench ran under.
+
+    The duplex-transfer model families sweep Full and Half explicitly
+    (their family suffix is the mode), but the context field records
+    what an unconfigured engine would do — a refactor that flips the
+    default silently would skew every non-duplex trajectory row.
+    """
+    context = report.get("context", {})
+    mode = context.get("duplex_mode")
+    if not mode:
+        fail("context lacks 'duplex_mode' (the bench binary must record "
+             "the engine-default link configuration)")
+    if mode not in KNOWN_DUPLEX_MODES:
+        fail(f"context duplex_mode '{mode}' is not one of "
+             f"{', '.join(KNOWN_DUPLEX_MODES)}")
+    return mode
+
+
 def main() -> None:
     path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_kernel_throughput.json"
     try:
@@ -97,6 +120,7 @@ def main() -> None:
         fail(f"{path} is not valid JSON: {error}")
 
     backend = check_backend_context(report)
+    duplex_mode = check_duplex_context(report)
 
     benchmarks = report.get("benchmarks")
     if not benchmarks:
@@ -126,10 +150,27 @@ def main() -> None:
         # Compression kernels encode density as the first argument.
         if "Compress" in family and "/" not in name:
             fail(f"'{name}' is missing its density argument")
+        # The half-duplex model family must carry the modeled
+        # contention counter, and the race must actually cost something
+        # (a zero here means the contended DES silently degenerated).
+        if family == "BM_DuplexTransferModelHalf":
+            stall = entry.get("contention_stall_fraction")
+            if not isinstance(stall, (int, float)) or stall <= 0:
+                fail(f"'{name}' lacks a positive "
+                     f"contention_stall_fraction (got {stall!r})")
+        if family == "BM_DuplexTransferModelFull":
+            stall = entry.get("contention_stall_fraction")
+            if not isinstance(stall, (int, float)) or stall != 0:
+                fail(f"'{name}' must report zero contention under full "
+                     f"duplex (got {stall!r})")
 
     missing = [f for f in REQUIRED_FAMILIES if f not in seen_families]
     if missing:
         fail(f"required benchmark families absent: {', '.join(missing)}")
+    missing_duplex = [f for f in DUPLEX_FAMILIES if f not in seen_families]
+    if missing_duplex:
+        fail("duplex-transfer model families absent: "
+             f"{', '.join(missing_duplex)}")
 
     # When an explicit per-backend sweep ran at all, its scalar leg must
     # be part of it (scalar is supported everywhere, so its absence means
@@ -160,7 +201,8 @@ def main() -> None:
             density = name.split("/")[1]
             summary.append(f"{family[3:]} d{density}: {bps / 1e9:.2f} GB/s")
     print(f"check_bench_json: OK ({len(benchmarks)} entries, "
-          f"{len(seen_families)} families, dispatch={backend})")
+          f"{len(seen_families)} families, dispatch={backend}, "
+          f"duplex={duplex_mode})")
     for line in summary:
         print(f"  {line}")
 

@@ -45,6 +45,9 @@ main()
     Accumulator overlap_cost;
     Accumulator offload_overlap;
     Accumulator prefetch_overlap;
+    Accumulator duplex_contention;
+    double worst_contention = 0.0;
+    std::string worst_contention_net;
 
     for (const auto &net : allNetworkDescs()) {
         VdnnMemoryManager manager(net, net.default_batch);
@@ -104,6 +107,25 @@ main()
                         prefetch_overlap.add(
                             layer.prefetch.overlap_fraction);
                 }
+                // The same iteration with both directions sharing one
+                // half-duplex link: the boundary race (the tail
+                // offload still draining out vs the lookahead
+                // prefetches coming back) shows up as contention.
+                CdmaConfig half_config;
+                half_config.duplex_mode = DuplexMode::Half;
+                CdmaEngine half_engine(half_config);
+                StepSimulator half_sim(manager, half_engine, perf,
+                                       CudnnVersion::V5);
+                const StepResult cdma_half =
+                    half_sim.run(StepMode::Cdma, ratios);
+                duplex_contention.add(
+                    cdma_half.contentionStallFraction());
+                if (cdma_half.contentionStallFraction() >
+                    worst_contention) {
+                    worst_contention =
+                        cdma_half.contentionStallFraction();
+                    worst_contention_net = net.name;
+                }
             }
             if (algorithm == Algorithm::Zlib)
                 zl_time = cdma.total_seconds;
@@ -132,5 +154,15 @@ main()
                 "offloaded layers\n",
                 100.0 * offload_overlap.mean(),
                 100.0 * prefetch_overlap.mean());
+    std::printf("half-duplex link (offload and prefetch sharing one "
+                "arbitrated channel): contention stall fraction "
+                "%.3f%% average, %.3f%% worst (%s) — the boundary race "
+                "of the tail offload against the lookahead prefetches; "
+                "full duplex never contends\n",
+                100.0 * duplex_contention.mean(),
+                100.0 * worst_contention,
+                worst_contention_net.empty()
+                    ? "-"
+                    : worst_contention_net.c_str());
     return 0;
 }

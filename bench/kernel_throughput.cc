@@ -29,6 +29,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "cdma/transfer_engine.hh"
 #include "common/rng.hh"
 #include "compress/compressor.hh"
 #include "compress/kernels/kernels.hh"
@@ -201,6 +202,54 @@ BM_ZvcDecompressParallel(benchmark::State &state)
     state.counters["lanes"] = lanes;
 }
 
+/**
+ * The duplex-transfer DES at a representative shape: a 64 MiB offload
+ * shard train racing an equal prefetch train on one link (ZV-class
+ * 2.5x ratio, bandwidth-delay shards, double buffering). Reports the
+ * host-side model throughput (modeled raw bytes per wall second — the
+ * cost of pricing a transfer, which the step simulator pays per layer)
+ * plus the modeled makespan and contention as counters; the JSON's
+ * duplex_mode context records the engine-default link configuration.
+ */
+void
+duplexModelBenchmark(benchmark::State &state, DuplexMode mode)
+{
+    CdmaConfig config;
+    config.timing_mode = TimingMode::Overlapped;
+    config.duplex_mode = mode;
+    const CdmaEngine engine(config);
+    const TransferEngine transfers(engine);
+    const uint64_t raw_bytes = 64ull << 20;
+    DuplexTiming timing;
+    for (auto _ : state) {
+        timing = transfers.modelFromRatio(raw_bytes, 2.5, raw_bytes,
+                                          2.5);
+        // Sink the whole struct by address: DoNotOptimize on an lvalue
+        // member marks it asm-clobbered, which GCC 12 exploits by
+        // dropping the member's store — the counters below would then
+        // read garbage.
+        benchmark::DoNotOptimize(&timing);
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * 2 * raw_bytes));
+    state.counters["modeled_makespan_ms"] =
+        timing.makespan_seconds * 1e3;
+    state.counters["contention_stall_fraction"] =
+        timing.contentionStallFraction();
+}
+
+void
+BM_DuplexTransferModelFull(benchmark::State &state)
+{
+    duplexModelBenchmark(state, DuplexMode::Full);
+}
+
+void
+BM_DuplexTransferModelHalf(benchmark::State &state)
+{
+    duplexModelBenchmark(state, DuplexMode::Half);
+}
+
 void
 BM_ZvcEngineCycleModel(benchmark::State &state)
 {
@@ -247,6 +296,8 @@ BENCHMARK(BM_DeflateDecompress)->Arg(10)->Arg(40)->Arg(100);
 BENCHMARK(BM_ZvcDecompressParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->MeasureProcessCPUTime()->UseRealTime();
 BENCHMARK(BM_ZvcEngineCycleModel);
+BENCHMARK(BM_DuplexTransferModelFull);
+BENCHMARK(BM_DuplexTransferModelHalf);
 
 /** "scalar" -> "Scalar", "avx2" -> "Avx2" (benchmark-name casing). */
 std::string
@@ -325,6 +376,11 @@ main(int argc, char **argv)
                                 forced != nullptr ? forced : "");
     benchmark::AddCustomContext(
         "host_avx2", cdma::avx2Kernels() != nullptr ? "true" : "false");
+    // The engine-default link configuration the duplex-model families
+    // were priced under (the explicit Full/Half family suffixes sweep
+    // both regardless); check_bench_json.py validates the field.
+    benchmark::AddCustomContext(
+        "duplex_mode", cdma::duplexModeName(cdma::CdmaConfig{}.duplex_mode));
     registerBackendBenchmarks();
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))

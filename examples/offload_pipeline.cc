@@ -18,8 +18,7 @@
 #include <cstdio>
 #include <string>
 
-#include "cdma/offload_scheduler.hh"
-#include "cdma/prefetch_scheduler.hh"
+#include "cdma/transfer_engine.hh"
 #include "common/rng.hh"
 #include "compress/parallel.hh"
 #include "perf/step_sim.hh"
@@ -52,7 +51,7 @@ main(int argc, char **argv)
     engine_config.compression_lanes = 0; // all hardware threads
     engine_config.timing_mode = TimingMode::Overlapped;
     CdmaEngine engine(engine_config);
-    const OffloadScheduler scheduler(engine);
+    const TransferEngine transfers(engine);
 
     // 1. vDNN memory accounting (staging buffers included).
     VdnnMemoryManager manager(net, net.default_batch);
@@ -70,7 +69,7 @@ main(int argc, char **argv)
                 static_cast<double>(fp.vdnn_peak) / 1e9,
                 static_cast<unsigned long long>(fp.staging_bytes / 1024),
                 engine.config().staging_buffers,
-                static_cast<unsigned long long>(scheduler.shardWindows()));
+                static_cast<unsigned long long>(transfers.shardWindows()));
     std::printf("offload traffic:     %.2f GB per direction per "
                 "iteration\n\n",
                 static_cast<double>(manager.totalOffloadBytes()) / 1e9);
@@ -109,7 +108,7 @@ main(int argc, char **argv)
     const auto plans = manager.plannedOffloads(engine, ratios);
     std::printf("offload + prefetch pipelines per layer (double-"
                 "buffered, shard = %llu windows):\n",
-                static_cast<unsigned long long>(scheduler.shardWindows()));
+                static_cast<unsigned long long>(transfers.shardWindows()));
     std::printf("  %-12s %9s %6s | %9s %9s %7s | %9s %9s %7s\n", "layer",
                 "raw MB", "ratio", "comp ms", "off ms", "off-ovl",
                 "dec ms", "pre ms", "pre-ovl");
@@ -143,19 +142,49 @@ main(int argc, char **argv)
 
     // Backward propagation drains the mirrored pipeline in reverse
     // order: shard k+1 crosses PCIe while the decompression engine
-    // re-inflates shard k (PrefetchScheduler models the makespans the
-    // backward pass actually waits on).
-    const auto prefetches = manager.plannedPrefetches(engine, ratios);
+    // re-inflates shard k. Both legs come from the SAME TransferEngine
+    // plan per layer (each plan carries offload, prefetch and the
+    // duplex race), so the columns and totals can never disagree on
+    // shard count the way two separate engine calls could.
     double prefetch_serialized = 0.0, prefetch_total = 0.0;
-    for (const auto &plan : prefetches) {
+    for (const auto &plan : plans) {
         prefetch_serialized += plan.prefetch.serializedSeconds();
         prefetch_total += plan.prefetch.overlapped_seconds;
     }
     std::printf("  prefetch total: %.1f ms overlapped vs %.1f ms "
                 "serialized (backward, reverse order, %s first)\n\n",
                 prefetch_total * 1e3, prefetch_serialized * 1e3,
-                prefetches.empty() ? "-"
-                                   : prefetches.front().label.c_str());
+                plans.empty() ? "-" : plans.back().label.c_str());
+
+    // 3a. The full-duplex race: the same shard trains with both
+    //     directions sharing one half-duplex link (PCIe's degraded
+    //     operating point) instead of riding independent sub-channels.
+    CdmaConfig half_config = engine_config;
+    half_config.compression_lanes = 1; // analytic path only
+    half_config.duplex_mode = DuplexMode::Half;
+    const CdmaEngine half_engine(half_config);
+    const auto half_plans = manager.plannedOffloads(half_engine, ratios);
+    double worst_fraction = 0.0, sum_fraction = 0.0;
+    double contention = 0.0;
+    std::string worst_layer = "-";
+    for (const auto &plan : half_plans) {
+        contention += plan.duplex.contentionSeconds();
+        sum_fraction += plan.duplex.contentionStallFraction();
+        if (plan.duplex.contentionStallFraction() > worst_fraction) {
+            worst_fraction = plan.duplex.contentionStallFraction();
+            worst_layer = plan.label;
+        }
+    }
+    std::printf("duplex race (offload vs equal prefetch, half-duplex "
+                "link, %s arbiter): %.1f ms total contention, stall "
+                "fraction %.1f%% avg / %.1f%% worst (%s)\n\n",
+                linkArbiterName(half_engine.config().link_arbiter),
+                contention * 1e3,
+                half_plans.empty()
+                    ? 0.0
+                    : 100.0 * sum_fraction /
+                        static_cast<double>(half_plans.size()),
+                100.0 * worst_fraction, worst_layer.c_str());
 
     // 3b. Real bytes through the compressed spill arena: offload each
     //     sampled activation map into recycled shard slots, then
@@ -163,7 +192,6 @@ main(int argc, char **argv)
     //     The high-water mark is what a pinned host reservation for the
     //     spill space would need; steady-state iterations reuse it.
     SpillArena arena;
-    const PrefetchScheduler prefetcher(engine);
     std::vector<SpillTicket> tickets;
     std::vector<std::vector<uint8_t>> originals;
     for (size_t i = 0; i < net.layers.size() && i < 6; ++i) {
@@ -189,10 +217,10 @@ main(int argc, char **argv)
         tickets.clear();
         for (const auto &original : originals)
             tickets.push_back(
-                scheduler.offloadInto(original, arena).ticket);
+                transfers.offloadInto(original, arena).ticket);
         for (size_t i = tickets.size(); i-- > 0;) {
             const PrefetchResult restored =
-                prefetcher.prefetch(arena, tickets[i]);
+                transfers.prefetch(arena, tickets[i]);
             restored_ok = restored_ok && restored.data == originals[i];
             arena.release(tickets[i]);
         }
@@ -231,10 +259,25 @@ main(int argc, char **argv)
                 vdnn.total_seconds * 1e3,
                 timingModeName(engine.config().timing_mode).c_str());
     std::printf("cDMA speedup over vDNN: %.0f%%; PCIe wire traffic "
-                "%.2f GB -> %.2f GB\n\n",
+                "%.2f GB -> %.2f GB\n",
                 100.0 * (cdma.speedupOver(vdnn) - 1.0),
                 static_cast<double>(vdnn.wire_transfer_bytes) / 1e9,
                 static_cast<double>(cdma.wire_transfer_bytes) / 1e9);
+
+    // The same iteration with both directions sharing one half-duplex
+    // link: the boundary race (tail offload vs head prefetches) shows
+    // up as contention stall.
+    StepSimulator half_sim(manager, half_engine, perf, CudnnVersion::V5);
+    const StepResult cdma_half = half_sim.run(StepMode::Cdma, ratios);
+    std::printf("half-duplex link: cDMA-ZV %.1f ms (%+.2f%% vs full "
+                "duplex), contention stall %.3f ms (%.2f%% of the "
+                "iteration)\n\n",
+                cdma_half.total_seconds * 1e3,
+                100.0 * (cdma_half.total_seconds / cdma.total_seconds -
+                         1.0),
+                (cdma_half.offload_contention_seconds +
+                 cdma_half.prefetch_contention_seconds) * 1e3,
+                100.0 * cdma_half.contentionStallFraction());
 
     // 5. The five worst stalling layers under vDNN, and their fate under
     //    cDMA.

@@ -4,6 +4,7 @@
 
 #include "cdma/offload_scheduler.hh"
 #include "cdma/prefetch_scheduler.hh"
+#include "cdma/transfer_engine.hh"
 #include "common/logging.hh"
 
 namespace cdma {
@@ -63,8 +64,8 @@ CdmaEngine::planTransfer(const std::string &label,
         // Double-buffered pipeline over the real per-shard compressed
         // sizes: compression latency is explicit and the COMP_BW cap
         // emerges when the compression stage cannot feed the link.
-        const OffloadScheduler scheduler(*this);
-        const OffloadResult result = scheduler.offload(data);
+        const TransferEngine transfers(*this);
+        const OffloadResult result = transfers.offload(data);
         plan.wire_bytes = result.buffer.effectiveBytes();
         plan.ratio = result.buffer.effectiveRatio();
         plan.offload = result.timing;
@@ -75,6 +76,21 @@ CdmaEngine::planTransfer(const std::string &label,
         plan.prefetch = PrefetchScheduler::pipelineTiming(
             result.shards, config_.gpu.pcie_effective_bandwidth,
             config_.gpu.comp_bandwidth, config_.staging_buffers);
+        // The duplex race of this map's offload against an equal-size
+        // prefetch on the configured link (same measured shard train in
+        // both directions). Under Full the directions are independent
+        // by construction, so the race is composed from the breakdowns
+        // already computed instead of re-running the DES.
+        if (config_.duplex_mode == DuplexMode::Full) {
+            plan.duplex.offload = plan.offload;
+            plan.duplex.prefetch = plan.prefetch;
+            plan.duplex.makespan_seconds =
+                std::max(plan.offload.overlapped_seconds,
+                         plan.prefetch.overlapped_seconds);
+        } else {
+            plan.duplex = transfers.duplexTiming(result.shards,
+                                                 result.shards);
+        }
     } else {
         const CompressedBuffer compressed = compressor_->compress(data);
         plan.wire_bytes = compressed.effectiveBytes();
@@ -115,6 +131,18 @@ CdmaEngine::planFromRatio(const std::string &label, uint64_t raw_bytes,
         plan.seconds = plan.offload.overlapped_seconds;
         plan.prefetch = PrefetchScheduler(*this).modelFromRatio(
             raw_bytes, plan.ratio);
+        // Same Full-duplex shortcut as planTransfer: independent
+        // directions need no contended replay.
+        if (config_.duplex_mode == DuplexMode::Full) {
+            plan.duplex.offload = plan.offload;
+            plan.duplex.prefetch = plan.prefetch;
+            plan.duplex.makespan_seconds =
+                std::max(plan.offload.overlapped_seconds,
+                         plan.prefetch.overlapped_seconds);
+        } else {
+            plan.duplex = TransferEngine(*this).modelFromRatio(
+                raw_bytes, plan.ratio, raw_bytes, plan.ratio);
+        }
     } else {
         plan.seconds = transferSeconds(plan.wire_bytes, plan.ratio);
     }

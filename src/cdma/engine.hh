@@ -24,6 +24,7 @@
 #ifndef CDMA_CDMA_ENGINE_HH
 #define CDMA_CDMA_ENGINE_HH
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <span>
@@ -32,6 +33,7 @@
 #include "compress/compressor.hh"
 #include "compress/parallel.hh"
 #include "gpu/gpu_spec.hh"
+#include "sim/channel.hh"
 
 namespace cdma {
 
@@ -114,6 +116,69 @@ struct PrefetchTiming {
     }
 };
 
+/**
+ * Finalize @p timing's overlap fraction in [0,1]: the share of the
+ * hideable (shorter) leg actually hidden. One shared rule — the 1e-9
+ * pins between the schedulers' closed forms and the duplex DES depend
+ * on every model finalizing identically.
+ */
+inline void
+finalizeOverlapFraction(OffloadTiming &timing)
+{
+    const double hideable =
+        std::min(timing.compress_seconds, timing.wire_seconds);
+    timing.overlap_fraction = hideable > 0.0
+        ? std::clamp(timing.hiddenSeconds() / hideable, 0.0, 1.0)
+        : 0.0;
+}
+
+/** Prefetch-leg mirror of finalizeOverlapFraction(OffloadTiming&). */
+inline void
+finalizeOverlapFraction(PrefetchTiming &timing)
+{
+    const double hideable =
+        std::min(timing.wire_seconds, timing.decompress_seconds);
+    timing.overlap_fraction = hideable > 0.0
+        ? std::clamp(timing.hiddenSeconds() / hideable, 0.0, 1.0)
+        : 0.0;
+}
+
+/**
+ * Timing of one full-duplex transfer step: an offload shard train and a
+ * prefetch shard train racing on the same PCIe link (the Figure 2(b)
+ * overlap of layer n+1's offload with layer n-1's prefetch). The
+ * per-direction breakdowns keep their single-direction shapes; the
+ * contention fields record how long each direction's wire transfers
+ * waited while the link served the opposing direction (nonzero only
+ * under DuplexMode::Half, where both directions share one link).
+ */
+struct DuplexTiming {
+    /** Offload leg (compress, then wire out) on the contended link. */
+    OffloadTiming offload;
+    /** Prefetch leg (wire in, then decompress) on the contended link. */
+    PrefetchTiming prefetch;
+    /** Both directions drained: max of the per-direction makespans. */
+    double makespan_seconds = 0.0;
+    /** Offload wire waits caused by prefetch occupancy of the link. */
+    double offload_contention_seconds = 0.0;
+    /** Prefetch wire waits caused by offload occupancy of the link. */
+    double prefetch_contention_seconds = 0.0;
+
+    /** Total cross-direction wire wait. */
+    double contentionSeconds() const
+    {
+        return offload_contention_seconds + prefetch_contention_seconds;
+    }
+
+    /** Fraction of the duplex makespan lost to contention, in [0,1]. */
+    double contentionStallFraction() const
+    {
+        return makespan_seconds > 0.0
+            ? std::min(1.0, contentionSeconds() / makespan_seconds)
+            : 0.0;
+    }
+};
+
 /** Configuration of the cDMA engine. */
 struct CdmaConfig {
     GpuSpec gpu;
@@ -144,6 +209,17 @@ struct CdmaConfig {
      * The engine's compression lanes all share this one decision.
      */
     const KernelOps *kernels = nullptr;
+    /**
+     * How the offload and prefetch directions share the PCIe link.
+     * Full (the default, PCIe's nominal operating point) gives each
+     * direction the effective bandwidth independently — the historical
+     * behavior where the two pipelines never contended. Half serializes
+     * both directions on one shared link, so an offload shard train and
+     * a prefetch shard train in flight together slow each other down.
+     */
+    DuplexMode duplex_mode = DuplexMode::Full;
+    /** Which pending direction a contended link serves next. */
+    LinkArbiter link_arbiter = LinkArbiter::RoundRobin;
 };
 
 /** Outcome of planning one activation-map transfer. */
@@ -169,6 +245,16 @@ struct TransferPlan {
      * directions identically at plan.seconds.
      */
     PrefetchTiming prefetch;
+    /**
+     * Full-duplex race of this map's offload against an equal-size
+     * prefetch on the configured link (CdmaConfig::duplex_mode /
+     * link_arbiter): the per-direction makespans and the contention
+     * stall each direction pays when both share one half-duplex link.
+     * All zeros under TimingMode::CompressionFree. Under
+     * DuplexMode::Full, duplex.offload/duplex.prefetch coincide with
+     * the single-direction breakdowns above.
+     */
+    DuplexTiming duplex;
 };
 
 /** The compressing DMA engine model. */

@@ -1,126 +1,38 @@
 #include "cdma/offload_scheduler.hh"
 
 #include <algorithm>
-#include <cstring>
-#include <functional>
 
-#include "common/bits.hh"
 #include "common/logging.hh"
-#include "sim/channel.hh"
-#include "sim/event_queue.hh"
 
 namespace cdma {
 
 OffloadScheduler::OffloadScheduler(const CdmaEngine &engine)
     : engine_(engine)
 {
-    const CdmaConfig &config = engine.config();
-    const uint64_t shard_bytes = config.shard_bytes > 0
-        ? config.shard_bytes
-        : config.gpu.dmaBufferBytes();
-    shard_windows_ = std::max<uint64_t>(1, shard_bytes /
-                                               config.window_bytes);
-    CDMA_ASSERT(config.staging_buffers >= 1,
-                "the offload pipeline needs at least one staging buffer");
 }
 
 OffloadResult
 OffloadScheduler::offload(std::span<const uint8_t> data) const
 {
-    const CdmaConfig &config = engine_.config();
-    OffloadResult result;
-    result.buffer.original_bytes = data.size();
-    result.buffer.window_bytes = config.window_bytes;
-
-    const uint64_t windows = ceilDiv(data.size(), config.window_bytes);
-    result.buffer.window_sizes.reserve(windows);
-    result.shards.reserve(ceilDiv(windows, shard_windows_));
-    // Whole-buffer worst case reserved once, so the per-shard payload
-    // appends below never reallocate (mirrors Compressor::compress).
-    if (windows > 0) {
-        const Compressor &codec = engine_.compressor().serial();
-        result.buffer.payload.reserve(
-            (windows - 1) * codec.compressedBound(config.window_bytes) +
-            codec.compressedBound(data.size() -
-                                  (windows - 1) * config.window_bytes));
-    }
-
-    // The consumer is the staging drain: it runs on this thread in shard
-    // order while the lanes compress later shards, appending each shard's
-    // payload to the stitched buffer and recording its wire size for the
-    // pipeline model.
-    engine_.compressor().compressShards(
-        data, shard_windows_, [&](CompressedShard &&shard) {
-            result.shards.push_back(
-                {shard.raw_bytes,
-                 shard.effectiveBytes(config.window_bytes)});
-            result.buffer.payload.insert(result.buffer.payload.end(),
-                                         shard.payload.begin(),
-                                         shard.payload.end());
-            result.buffer.window_sizes.insert(
-                result.buffer.window_sizes.end(),
-                shard.window_sizes.begin(), shard.window_sizes.end());
-        });
-
-    result.timing = pipelineTiming(result.shards,
-                                   config.gpu.comp_bandwidth,
-                                   config.gpu.pcie_effective_bandwidth,
-                                   config.staging_buffers);
-    return result;
+    return engine_.offload(data);
 }
 
 SpilledOffload
 OffloadScheduler::offloadInto(std::span<const uint8_t> data,
                               SpillArena &arena) const
 {
-    const CdmaConfig &config = engine_.config();
-    SpilledOffload result;
-    result.ticket = arena.beginSpill(data.size(), config.window_bytes);
-    result.shards.reserve(
-        ceilDiv(ceilDiv(data.size(), config.window_bytes),
-                shard_windows_));
-
-    // Same drain as offload(), but each shard lands in a recycled arena
-    // slot instead of growing a stitched payload vector.
-    engine_.compressor().compressShards(
-        data, shard_windows_, [&](CompressedShard &&shard) {
-            result.shards.push_back(
-                {shard.raw_bytes,
-                 shard.effectiveBytes(config.window_bytes)});
-            arena.appendShard(result.ticket, shard);
-        });
-
-    result.timing = pipelineTiming(result.shards,
-                                   config.gpu.comp_bandwidth,
-                                   config.gpu.pcie_effective_bandwidth,
-                                   config.staging_buffers);
-    return result;
+    return engine_.offloadInto(data, arena);
 }
-
-namespace {
-
-/** Overlap fraction of @p timing in [0,1] (shared finalization rule). */
-void
-finalizeOverlapFraction(OffloadTiming &timing)
-{
-    const double hideable =
-        std::min(timing.compress_seconds, timing.wire_seconds);
-    timing.overlap_fraction = hideable > 0.0
-        ? std::clamp(timing.hiddenSeconds() / hideable, 0.0, 1.0)
-        : 0.0;
-}
-
-} // namespace
 
 OffloadTiming
 OffloadScheduler::modelFromRatio(uint64_t raw_bytes, double ratio) const
 {
     CDMA_ASSERT(ratio >= 1.0, "ratio %f below store-raw floor", ratio);
-    const CdmaConfig &config = engine_.config();
+    const CdmaConfig &config = engine_.cdma().config();
     const double comp_bw = config.gpu.comp_bandwidth;
     const double wire_bw = config.gpu.pcie_effective_bandwidth;
     const unsigned buffers = config.staging_buffers;
-    const uint64_t shard_raw = shard_windows_ * config.window_bytes;
+    const uint64_t shard_raw = shardWindows() * config.window_bytes;
 
     OffloadTiming timing;
     if (raw_bytes == 0)
@@ -177,59 +89,15 @@ OffloadScheduler::pipelineTiming(std::span<const ShardTransfer> shards,
                                  double wire_bandwidth,
                                  unsigned staging_buffers)
 {
-    CDMA_ASSERT(compress_bandwidth > 0.0 && wire_bandwidth > 0.0,
-                "pipeline model needs positive bandwidths");
-    CDMA_ASSERT(staging_buffers >= 1, "need at least one staging buffer");
-
-    OffloadTiming timing;
-    timing.shard_count = shards.size();
-    if (shards.empty())
-        return timing;
-
-    EventQueue queue;
-    Channel wire(queue, "pcie", wire_bandwidth);
-
-    // Double-buffer state machine. Events are deterministic: the queue
-    // breaks time ties FIFO, and every transition below is driven by
-    // exactly one compress-done or drain-done event.
-    size_t next_shard = 0;
-    size_t in_flight = 0;      // shards holding a staging buffer
-    bool compressing = false;  // the compression engine is serial
-    SimTime last_drain = 0.0;
-
-    std::function<void()> startCompress = [&] {
-        if (next_shard >= shards.size() || compressing ||
-            in_flight >= staging_buffers) {
-            return;
-        }
-        const size_t k = next_shard++;
-        compressing = true;
-        ++in_flight;
-        const SimTime compress_time =
-            static_cast<double>(shards[k].raw_bytes) / compress_bandwidth;
-        queue.scheduleAfter(compress_time, [&, k] {
-            // Shard k staged: hand it to the DMA unit (FIFO wire) and
-            // start compressing the next shard into the other buffer.
-            compressing = false;
-            wire.submit(shards[k].wire_bytes, [&] {
-                --in_flight;
-                last_drain = queue.now();
-                startCompress();
-            });
-            startCompress();
-        });
-    };
-    startCompress();
-    queue.run();
-
-    for (const ShardTransfer &shard : shards) {
-        timing.compress_seconds +=
-            static_cast<double>(shard.raw_bytes) / compress_bandwidth;
-    }
-    timing.wire_seconds = wire.busySeconds();
-    timing.overlapped_seconds = last_drain;
-    finalizeOverlapFraction(timing);
-    return timing;
+    // The duplex DES with the prefetch direction idle: the shared link
+    // degenerates to a single-direction FIFO, reproducing the original
+    // offload-only event timeline exactly.
+    return TransferEngine::pipelineTiming(
+               shards, {}, compress_bandwidth, wire_bandwidth,
+               /*decompress_bandwidth=*/compress_bandwidth,
+               staging_buffers, DuplexMode::Half,
+               LinkArbiter::RoundRobin)
+        .offload;
 }
 
 } // namespace cdma

@@ -3,26 +3,22 @@
  * Async double-buffered offload pipeline — the engine-side realization of
  * the paper's Section V-C dataflow, where the cDMA unit compresses
  * activation data into a bandwidth-delay-sized staging buffer while the
- * PCIe DMA unit drains the previously filled buffer. The scheduler drives
- * ParallelCompressor shard-by-shard on its thread pool (real bytes, real
- * compression, consumed in deterministic shard order) and runs a
- * discrete-event model of the staging pipeline on sim/EventQueue +
- * sim/Channel, so shard k+1's compression overlaps shard k's wire time.
+ * PCIe DMA unit drains the previously filled buffer.
  *
- * The timing model has two rules:
- *  - the compression engine is serial across shards and fetches raw bytes
- *    at COMP_BW (GpuSpec::comp_bandwidth);
- *  - a shard occupies one staging buffer from the moment its compression
- *    starts until its last byte leaves on the wire, and only
- *    staging_buffers (default 2) may be in flight at once.
- *
- * For uniform shards (compression time c, wire time w, n shards) the
- * resulting makespan has the closed form
+ * Since the full-duplex refactor this scheduler is a thin facade over
+ * TransferEngine: the real-bytes flows and the DES both run on the
+ * unified duplex engine with the prefetch direction idle, which
+ * degenerates exactly to the single-direction pipeline modeled here.
+ * The OffloadTiming type and the allocation-free closed form
+ * (modelFromRatio) are kept as that degenerate case; for uniform shards
+ * (compression time c, wire time w, n shards) the double-buffered
+ * makespan is
  *
  *     overlapped = n * max(c, w) + min(c, w)
  *
  * — one fill of the shorter stage plus the longer stage at its full rate —
- * which tests/cdma/offload_scheduler_test.cc pins to 1e-9 relative error.
+ * which tests/cdma/offload_scheduler_test.cc pins against the duplex DES
+ * to 1e-9 relative error.
  */
 
 #ifndef CDMA_CDMA_OFFLOAD_SCHEDULER_HH
@@ -31,40 +27,14 @@
 #include <span>
 #include <vector>
 
-#include "cdma/engine.hh"
-#include "cdma/spill_arena.hh"
+#include "cdma/transfer_engine.hh"
 
 namespace cdma {
 
-/** Byte counts of one staging shard entering the pipeline model. */
-struct ShardTransfer {
-    uint64_t raw_bytes = 0;  ///< uncompressed bytes the shard covers
-    uint64_t wire_bytes = 0; ///< store-raw-floored bytes put on the wire
-};
-
-/** Outcome of one scheduled offload: data and modeled timing. */
-struct OffloadResult {
-    /** Compressed buffer, byte-identical to ParallelCompressor::compress. */
-    CompressedBuffer buffer;
-    /** Pipeline timing over the real per-shard compressed sizes. */
-    OffloadTiming timing;
-    /** Per-shard byte counts, in drain order. */
-    std::vector<ShardTransfer> shards;
-};
-
-/** Outcome of an offload spilled into an arena instead of a buffer. */
-struct SpilledOffload {
-    /** Arena reference to the stored shards (caller releases it). */
-    SpillTicket ticket = 0;
-    /** Pipeline timing over the real per-shard compressed sizes. */
-    OffloadTiming timing;
-    /** Per-shard byte counts, in drain order. */
-    std::vector<ShardTransfer> shards;
-};
-
 /**
  * Drives compression and models the double-buffered compress/transfer
- * pipeline for one cDMA engine.
+ * pipeline for one cDMA engine (the offload-only view of the duplex
+ * TransferEngine).
  */
 class OffloadScheduler
 {
@@ -72,7 +42,7 @@ class OffloadScheduler
     explicit OffloadScheduler(const CdmaEngine &engine);
 
     /** Windows per staging shard (>= 1), from CdmaConfig::shard_bytes. */
-    uint64_t shardWindows() const { return shard_windows_; }
+    uint64_t shardWindows() const { return engine_.shardWindows(); }
 
     /**
      * Offload @p data: compress it shard-by-shard on the engine's lanes,
@@ -107,18 +77,19 @@ class OffloadScheduler
      *   wire-bound  (w >= c): c + n*w + w_t
      *   comp-bound  (c >  w): n*c + max(c_t, w) + w_t
      *
-     * and one staging buffer degenerates to full serialization. The DES
-     * (pipelineTiming) is kept as the reference; the tests pin equality
-     * between the two paths to 1e-9 relative error.
+     * and one staging buffer degenerates to full serialization. The
+     * duplex DES (pipelineTiming) is kept as the reference; the tests
+     * pin equality between the two paths to 1e-9 relative error.
      */
     OffloadTiming modelFromRatio(uint64_t raw_bytes, double ratio) const;
 
     /**
-     * The core pipeline model: shard k's compression starts when the
-     * compression engine is free AND a staging buffer is free (shard
-     * k - staging_buffers + 1 has drained); its wire transfer starts when
-     * its compression ends and the channel is free (FIFO). Runs on a
-     * deterministic event queue; returns the aggregate timing.
+     * The single-direction pipeline reference: the duplex DES
+     * (TransferEngine::pipelineTiming) with the prefetch direction
+     * idle. Shard k's compression starts when the compression engine is
+     * free AND a staging buffer is free (shard k - staging_buffers + 1
+     * has drained); its wire transfer starts when its compression ends
+     * and the channel is free (FIFO).
      */
     static OffloadTiming pipelineTiming(std::span<const ShardTransfer> shards,
                                         double compress_bandwidth,
@@ -126,8 +97,7 @@ class OffloadScheduler
                                         unsigned staging_buffers = 2);
 
   private:
-    const CdmaEngine &engine_;
-    uint64_t shard_windows_;
+    TransferEngine engine_;
 };
 
 } // namespace cdma

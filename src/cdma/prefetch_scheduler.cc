@@ -1,123 +1,38 @@
 #include "cdma/prefetch_scheduler.hh"
 
 #include <algorithm>
-#include <functional>
-#include <queue>
 
-#include "common/bits.hh"
 #include "common/logging.hh"
-#include "sim/channel.hh"
-#include "sim/event_queue.hh"
 
 namespace cdma {
 
 PrefetchScheduler::PrefetchScheduler(const CdmaEngine &engine)
     : engine_(engine)
 {
-    const CdmaConfig &config = engine.config();
-    const uint64_t shard_bytes = config.shard_bytes > 0
-        ? config.shard_bytes
-        : config.gpu.dmaBufferBytes();
-    shard_windows_ = std::max<uint64_t>(1, shard_bytes /
-                                               config.window_bytes);
-    CDMA_ASSERT(config.staging_buffers >= 1,
-                "the prefetch pipeline needs at least one staging buffer");
-}
-
-PrefetchTiming
-PrefetchScheduler::timingFor(std::span<const ShardTransfer> shards) const
-{
-    const CdmaConfig &config = engine_.config();
-    return pipelineTiming(shards, config.gpu.pcie_effective_bandwidth,
-                          config.gpu.comp_bandwidth,
-                          config.staging_buffers);
 }
 
 PrefetchResult
 PrefetchScheduler::prefetch(const CompressedBuffer &buffer) const
 {
-    PrefetchResult result;
-    result.data.resize(buffer.original_bytes);
-    result.shards.reserve(ceilDiv(buffer.window_sizes.size(),
-                                  shard_windows_));
-
-    // The consumer is the expand drain: notifications arrive on this
-    // thread in shard order while the lanes reconstruct later shards,
-    // recording each shard's byte counts for the pipeline model (the
-    // raw bytes themselves land directly in the output region).
-    engine_.compressor().decompressShards(
-        buffer, shard_windows_, result.data.data(),
-        [&](const ParallelCompressor::DecompressedShard &shard) {
-            result.shards.push_back({shard.raw_bytes, shard.wire_bytes});
-        });
-
-    result.timing = timingFor(result.shards);
-    return result;
+    return engine_.prefetch(buffer);
 }
 
 PrefetchResult
 PrefetchScheduler::prefetch(const SpillArena &arena,
                             SpillTicket ticket) const
 {
-    const uint64_t original_bytes = arena.originalBytes(ticket);
-    const uint64_t window_bytes = arena.windowBytes(ticket);
-    const Compressor &codec = engine_.compressor().serial();
-
-    PrefetchResult result;
-    result.data.resize(original_bytes);
-    result.shards.reserve(arena.shardCount(ticket));
-
-    // Shards expand in store order straight out of the arena slots —
-    // no stitched payload copy. The drain is serial here: the arena
-    // path models the steady-state training loop, where the prefetch
-    // engine walks one spilled layer at a time.
-    for (size_t s = 0; s < arena.shardCount(ticket); ++s) {
-        const SpillShardView view = arena.shard(ticket, s);
-        uint64_t cursor = 0;
-        uint64_t window = view.first_window;
-        for (const uint32_t size : view.window_sizes) {
-            const uint64_t out_offset = window * window_bytes;
-            const uint64_t raw = std::min<uint64_t>(
-                window_bytes, original_bytes - out_offset);
-            codec.decompressWindowInto(
-                view.payload.subspan(cursor, size), raw,
-                result.data.data() + out_offset);
-            cursor += size;
-            ++window;
-        }
-        CDMA_ASSERT(cursor == view.payload.size(),
-                    "spilled shard payload not fully consumed");
-        result.shards.push_back({view.raw_bytes, view.wire_bytes});
-    }
-
-    result.timing = timingFor(result.shards);
-    return result;
+    return engine_.prefetch(arena, ticket);
 }
-
-namespace {
-
-/** Overlap fraction of @p timing in [0,1] (shared finalization rule). */
-void
-finalizeOverlapFraction(PrefetchTiming &timing)
-{
-    const double hideable =
-        std::min(timing.wire_seconds, timing.decompress_seconds);
-    timing.overlap_fraction = hideable > 0.0
-        ? std::clamp(timing.hiddenSeconds() / hideable, 0.0, 1.0)
-        : 0.0;
-}
-
-} // namespace
 
 PrefetchTiming
 PrefetchScheduler::modelFromRatio(uint64_t raw_bytes, double ratio) const
 {
     CDMA_ASSERT(ratio >= 1.0, "ratio %f below store-raw floor", ratio);
-    const CdmaConfig &config = engine_.config();
+    const CdmaConfig &config = engine_.cdma().config();
     const double wire_bw = config.gpu.pcie_effective_bandwidth;
     const double decomp_bw = config.gpu.comp_bandwidth;
     const unsigned buffers = config.staging_buffers;
-    const uint64_t shard_raw = shard_windows_ * config.window_bytes;
+    const uint64_t shard_raw = shardWindows() * config.window_bytes;
 
     PrefetchTiming timing;
     if (raw_bytes == 0)
@@ -177,73 +92,14 @@ PrefetchScheduler::pipelineTiming(std::span<const ShardTransfer> shards,
                                   double decompress_bandwidth,
                                   unsigned staging_buffers)
 {
-    CDMA_ASSERT(wire_bandwidth > 0.0 && decompress_bandwidth > 0.0,
-                "pipeline model needs positive bandwidths");
-    CDMA_ASSERT(staging_buffers >= 1, "need at least one staging buffer");
-
-    PrefetchTiming timing;
-    timing.shard_count = shards.size();
-    if (shards.empty())
-        return timing;
-
-    EventQueue queue;
-    Channel wire(queue, "pcie", wire_bandwidth);
-
-    // Double-buffer state machine, the offload DES with the stages
-    // swapped: a shard enters the wire only when a staging buffer is
-    // free, queues FIFO on the channel, and hands off to the serial
-    // decompression engine as it lands. Events are deterministic (FIFO
-    // tie-break in the queue).
-    size_t next_shard = 0;
-    size_t in_flight = 0;       // shards holding a staging buffer
-    bool expanding = false;     // the decompression engine is serial
-    std::queue<size_t> landed;  // wired shards awaiting decompression
-    SimTime last_expand = 0.0;
-
-    std::function<void()> startWire;
-    std::function<void()> startExpand = [&] {
-        if (expanding || landed.empty())
-            return;
-        const size_t k = landed.front();
-        landed.pop();
-        expanding = true;
-        const SimTime expand_time =
-            static_cast<double>(shards[k].raw_bytes) /
-            decompress_bandwidth;
-        queue.scheduleAfter(expand_time, [&] {
-            // Shard re-inflated: its staging buffer frees, so the next
-            // shard may enter the wire while the engine picks up the
-            // next landed shard.
-            expanding = false;
-            --in_flight;
-            last_expand = queue.now();
-            startExpand();
-            startWire();
-        });
-    };
-    startWire = [&] {
-        if (next_shard >= shards.size() || in_flight >= staging_buffers)
-            return;
-        const size_t k = next_shard++;
-        ++in_flight;
-        wire.submit(shards[k].wire_bytes, [&, k] {
-            landed.push(k);
-            startExpand();
-            startWire();
-        });
-        startWire();
-    };
-    startWire();
-    queue.run();
-
-    timing.wire_seconds = wire.busySeconds();
-    for (const ShardTransfer &shard : shards) {
-        timing.decompress_seconds +=
-            static_cast<double>(shard.raw_bytes) / decompress_bandwidth;
-    }
-    timing.overlapped_seconds = last_expand;
-    finalizeOverlapFraction(timing);
-    return timing;
+    // The duplex DES with the offload direction idle: the shared link
+    // degenerates to a single-direction FIFO, reproducing the original
+    // prefetch-only event timeline exactly.
+    return TransferEngine::pipelineTiming(
+               {}, shards, /*compress_bandwidth=*/decompress_bandwidth,
+               wire_bandwidth, decompress_bandwidth, staging_buffers,
+               DuplexMode::Half, LinkArbiter::RoundRobin)
+        .prefetch;
 }
 
 } // namespace cdma

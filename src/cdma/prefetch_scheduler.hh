@@ -6,26 +6,20 @@
  * a staging buffer while the decompression engine (the paper's DPE
  * replicas, Section V-B) re-inflates the previously landed shard into
  * GPU DRAM, so shard k+1's wire time overlaps shard k's decompression.
- * The scheduler drives real decompression (ParallelCompressor's
- * in-order decompressShards streaming, or shard views held by a
- * SpillArena) and runs the same deterministic event model as the
- * offload side with the stages swapped.
  *
- * The timing model has two rules, symmetric to the offload leg:
- *  - the wire is FIFO and drains compressed (store-raw-floored) bytes
- *    at effective PCIe bandwidth; the decompression engine is serial
- *    across shards and writes raw bytes at COMP_BW;
- *  - a shard occupies one staging buffer from the moment its wire
- *    transfer starts until its last byte is re-inflated, and only
- *    staging_buffers (default 2) may be in flight at once.
- *
- * For uniform shards (wire time w, decompression time d, n shards) the
- * makespan keeps the closed form
+ * Since the full-duplex refactor this scheduler is a thin facade over
+ * TransferEngine: the real-bytes flows and the DES both run on the
+ * unified duplex engine with the offload direction idle, which
+ * degenerates exactly to the single-direction pipeline modeled here.
+ * The PrefetchTiming type and the allocation-free closed form
+ * (modelFromRatio) are kept as that degenerate case; for uniform shards
+ * (wire time w, decompression time d, n shards) the makespan keeps the
+ * closed form
  *
  *     overlapped = n * max(w, d) + min(w, d)
  *
- * which tests/cdma/prefetch_scheduler_test.cc pins against the DES
- * reference to 1e-9 relative error.
+ * which tests/cdma/prefetch_scheduler_test.cc pins against the duplex
+ * DES to 1e-9 relative error.
  */
 
 #ifndef CDMA_CDMA_PREFETCH_SCHEDULER_HH
@@ -34,25 +28,14 @@
 #include <span>
 #include <vector>
 
-#include "cdma/engine.hh"
-#include "cdma/offload_scheduler.hh"
-#include "cdma/spill_arena.hh"
+#include "cdma/transfer_engine.hh"
 
 namespace cdma {
 
-/** Outcome of one scheduled prefetch: restored data and modeled timing. */
-struct PrefetchResult {
-    /** Reconstructed bytes, identical to the original offloaded buffer. */
-    ByteVec data;
-    /** Pipeline timing over the real per-shard compressed sizes. */
-    PrefetchTiming timing;
-    /** Per-shard byte counts, in arrival order. */
-    std::vector<ShardTransfer> shards;
-};
-
 /**
  * Drives decompression and models the double-buffered transfer/expand
- * pipeline for one cDMA engine.
+ * pipeline for one cDMA engine (the prefetch-only view of the duplex
+ * TransferEngine).
  */
 class PrefetchScheduler
 {
@@ -60,7 +43,7 @@ class PrefetchScheduler
     explicit PrefetchScheduler(const CdmaEngine &engine);
 
     /** Windows per staging shard (>= 1), from CdmaConfig::shard_bytes. */
-    uint64_t shardWindows() const { return shard_windows_; }
+    uint64_t shardWindows() const { return engine_.shardWindows(); }
 
     /**
      * Prefetch @p buffer: reconstruct it shard-by-shard on the engine's
@@ -83,29 +66,26 @@ class PrefetchScheduler
      * compression ratio (the analytic path): uniform staging shards at
      * ratio, a trailing partial shard when raw_bytes is not a multiple
      * of the shard size. Allocation-free closed form mirroring
-     * OffloadScheduler::modelFromRatio with the stages swapped; the DES
-     * (pipelineTiming) is the reference and the tests pin equality to
-     * 1e-9 relative error.
+     * OffloadScheduler::modelFromRatio with the stages swapped; the
+     * duplex DES (pipelineTiming) is the reference and the tests pin
+     * equality to 1e-9 relative error.
      */
     PrefetchTiming modelFromRatio(uint64_t raw_bytes, double ratio) const;
 
     /**
-     * The core pipeline model: shard k's wire transfer starts when the
-     * (FIFO) channel is free AND a staging buffer is free (shard
-     * k - staging_buffers + 1 has been re-inflated); its decompression
-     * starts when its last wire byte lands and the serial decompression
-     * engine is free. Runs on a deterministic event queue; returns the
-     * aggregate timing.
+     * The single-direction pipeline reference: the duplex DES
+     * (TransferEngine::pipelineTiming) with the offload direction idle.
+     * Shard k's wire transfer starts when the (FIFO) channel is free
+     * AND a staging buffer is free (shard k - staging_buffers + 1 has
+     * been re-inflated); its decompression starts when its last wire
+     * byte lands and the serial decompression engine is free.
      */
     static PrefetchTiming pipelineTiming(
         std::span<const ShardTransfer> shards, double wire_bandwidth,
         double decompress_bandwidth, unsigned staging_buffers = 2);
 
   private:
-    PrefetchTiming timingFor(std::span<const ShardTransfer> shards) const;
-
-    const CdmaEngine &engine_;
-    uint64_t shard_windows_;
+    TransferEngine engine_;
 };
 
 } // namespace cdma

@@ -1,0 +1,348 @@
+#include "cdma/transfer_engine.hh"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "sim/channel.hh"
+#include "sim/event_queue.hh"
+
+namespace cdma {
+
+TransferEngine::TransferEngine(const CdmaEngine &engine)
+    : engine_(engine)
+{
+    const CdmaConfig &config = engine.config();
+    const uint64_t shard_bytes = config.shard_bytes > 0
+        ? config.shard_bytes
+        : config.gpu.dmaBufferBytes();
+    shard_windows_ = std::max<uint64_t>(1, shard_bytes /
+                                               config.window_bytes);
+    CDMA_ASSERT(config.staging_buffers >= 1,
+                "the transfer pipelines need at least one staging buffer");
+}
+
+OffloadResult
+TransferEngine::offload(std::span<const uint8_t> data) const
+{
+    const CdmaConfig &config = engine_.config();
+    OffloadResult result;
+    result.buffer.original_bytes = data.size();
+    result.buffer.window_bytes = config.window_bytes;
+
+    const uint64_t windows = ceilDiv(data.size(), config.window_bytes);
+    result.buffer.window_sizes.reserve(windows);
+    result.shards.reserve(ceilDiv(windows, shard_windows_));
+    // Whole-buffer worst case reserved once, so the per-shard payload
+    // appends below never reallocate (mirrors Compressor::compress).
+    if (windows > 0) {
+        const Compressor &codec = engine_.compressor().serial();
+        result.buffer.payload.reserve(
+            (windows - 1) * codec.compressedBound(config.window_bytes) +
+            codec.compressedBound(data.size() -
+                                  (windows - 1) * config.window_bytes));
+    }
+
+    // The consumer is the staging drain: it runs on this thread in shard
+    // order while the lanes compress later shards, appending each shard's
+    // payload to the stitched buffer and recording its wire size for the
+    // pipeline model.
+    engine_.compressor().compressShards(
+        data, shard_windows_, [&](CompressedShard &&shard) {
+            result.shards.push_back(
+                {shard.raw_bytes,
+                 shard.effectiveBytes(config.window_bytes)});
+            result.buffer.payload.insert(result.buffer.payload.end(),
+                                         shard.payload.begin(),
+                                         shard.payload.end());
+            result.buffer.window_sizes.insert(
+                result.buffer.window_sizes.end(),
+                shard.window_sizes.begin(), shard.window_sizes.end());
+        });
+
+    result.timing = timingFor(result.shards, {}).offload;
+    return result;
+}
+
+SpilledOffload
+TransferEngine::offloadInto(std::span<const uint8_t> data,
+                            SpillArena &arena) const
+{
+    const CdmaConfig &config = engine_.config();
+    SpilledOffload result;
+    result.ticket = arena.beginSpill(data.size(), config.window_bytes);
+    result.shards.reserve(
+        ceilDiv(ceilDiv(data.size(), config.window_bytes),
+                shard_windows_));
+
+    // Same drain as offload(), but each shard lands in a recycled arena
+    // slot instead of growing a stitched payload vector.
+    engine_.compressor().compressShards(
+        data, shard_windows_, [&](CompressedShard &&shard) {
+            result.shards.push_back(
+                {shard.raw_bytes,
+                 shard.effectiveBytes(config.window_bytes)});
+            arena.appendShard(result.ticket, shard);
+        });
+
+    result.timing = timingFor(result.shards, {}).offload;
+    return result;
+}
+
+PrefetchResult
+TransferEngine::prefetch(const CompressedBuffer &buffer) const
+{
+    PrefetchResult result;
+    result.data.resize(buffer.original_bytes);
+    result.shards.reserve(ceilDiv(buffer.window_sizes.size(),
+                                  shard_windows_));
+
+    // The consumer is the expand drain: notifications arrive on this
+    // thread in shard order while the lanes reconstruct later shards,
+    // recording each shard's byte counts for the pipeline model (the
+    // raw bytes themselves land directly in the output region).
+    engine_.compressor().decompressShards(
+        buffer, shard_windows_, result.data.data(),
+        [&](const ParallelCompressor::DecompressedShard &shard) {
+            result.shards.push_back({shard.raw_bytes, shard.wire_bytes});
+        });
+
+    result.timing = timingFor({}, result.shards).prefetch;
+    return result;
+}
+
+PrefetchResult
+TransferEngine::prefetch(const SpillArena &arena, SpillTicket ticket) const
+{
+    const uint64_t original_bytes = arena.originalBytes(ticket);
+    const uint64_t window_bytes = arena.windowBytes(ticket);
+    const Compressor &codec = engine_.compressor().serial();
+
+    PrefetchResult result;
+    result.data.resize(original_bytes);
+    result.shards.reserve(arena.shardCount(ticket));
+
+    // Shards expand in store order straight out of the arena slots —
+    // no stitched payload copy. The drain is serial here: the arena
+    // path models the steady-state training loop, where the prefetch
+    // engine walks one spilled layer at a time.
+    for (size_t s = 0; s < arena.shardCount(ticket); ++s) {
+        const SpillShardView view = arena.shard(ticket, s);
+        uint64_t cursor = 0;
+        uint64_t window = view.first_window;
+        for (const uint32_t size : view.window_sizes) {
+            const uint64_t out_offset = window * window_bytes;
+            const uint64_t raw = std::min<uint64_t>(
+                window_bytes, original_bytes - out_offset);
+            codec.decompressWindowInto(
+                view.payload.subspan(cursor, size), raw,
+                result.data.data() + out_offset);
+            cursor += size;
+            ++window;
+        }
+        CDMA_ASSERT(cursor == view.payload.size(),
+                    "spilled shard payload not fully consumed");
+        result.shards.push_back({view.raw_bytes, view.wire_bytes});
+    }
+
+    result.timing = timingFor({}, result.shards).prefetch;
+    return result;
+}
+
+TransferEngine::DuplexResult
+TransferEngine::transfer(std::span<const uint8_t> offload_data,
+                         SpillArena &arena,
+                         SpillTicket prefetch_ticket) const
+{
+    DuplexResult result;
+    result.offload = offloadInto(offload_data, arena);
+    result.prefetch = prefetch(arena, prefetch_ticket);
+    // Re-time both measured shard trains as one race on the shared
+    // link: the per-direction breakdowns pick up any contention the
+    // independent flows above could not see.
+    result.timing = timingFor(result.offload.shards,
+                              result.prefetch.shards);
+    result.offload.timing = result.timing.offload;
+    result.prefetch.timing = result.timing.prefetch;
+    return result;
+}
+
+DuplexTiming
+TransferEngine::timingFor(std::span<const ShardTransfer> offload_shards,
+                          std::span<const ShardTransfer> prefetch_shards)
+    const
+{
+    const CdmaConfig &config = engine_.config();
+    return pipelineTiming(offload_shards, prefetch_shards,
+                          config.gpu.comp_bandwidth,
+                          config.gpu.pcie_effective_bandwidth,
+                          config.gpu.comp_bandwidth,
+                          config.staging_buffers, config.duplex_mode,
+                          config.link_arbiter);
+}
+
+DuplexTiming
+TransferEngine::duplexTiming(
+    std::span<const ShardTransfer> offload_shards,
+    std::span<const ShardTransfer> prefetch_shards) const
+{
+    return timingFor(offload_shards, prefetch_shards);
+}
+
+std::vector<ShardTransfer>
+TransferEngine::shardTrain(uint64_t raw_bytes, double ratio) const
+{
+    CDMA_ASSERT(ratio >= 1.0, "ratio %f below store-raw floor", ratio);
+    const uint64_t shard_raw =
+        shard_windows_ * engine_.config().window_bytes;
+    std::vector<ShardTransfer> shards;
+    shards.reserve(ceilDiv(raw_bytes, shard_raw));
+    uint64_t remaining = raw_bytes;
+    while (remaining > 0) {
+        const uint64_t raw = std::min(remaining, shard_raw);
+        shards.push_back({raw, static_cast<uint64_t>(
+                                   static_cast<double>(raw) / ratio)});
+        remaining -= raw;
+    }
+    return shards;
+}
+
+DuplexTiming
+TransferEngine::modelFromRatio(uint64_t offload_raw, double offload_ratio,
+                               uint64_t prefetch_raw,
+                               double prefetch_ratio) const
+{
+    return timingFor(shardTrain(offload_raw, offload_ratio),
+                     shardTrain(prefetch_raw, prefetch_ratio));
+}
+
+DuplexTiming
+TransferEngine::pipelineTiming(
+    std::span<const ShardTransfer> offload_shards,
+    std::span<const ShardTransfer> prefetch_shards,
+    double compress_bandwidth, double wire_bandwidth,
+    double decompress_bandwidth, unsigned staging_buffers,
+    DuplexMode mode, LinkArbiter arbiter)
+{
+    CDMA_ASSERT(compress_bandwidth > 0.0 && wire_bandwidth > 0.0 &&
+                    decompress_bandwidth > 0.0,
+                "pipeline model needs positive bandwidths");
+    CDMA_ASSERT(staging_buffers >= 1, "need at least one staging buffer");
+
+    DuplexTiming timing;
+    timing.offload.shard_count = offload_shards.size();
+    timing.prefetch.shard_count = prefetch_shards.size();
+    if (offload_shards.empty() && prefetch_shards.empty())
+        return timing;
+
+    EventQueue queue;
+    DuplexChannel wire(queue, "pcie", wire_bandwidth, mode, arbiter);
+    using Direction = DuplexChannel::Direction;
+
+    // ---- Offload pipeline state (compress -> staging -> wire out) ----
+    size_t off_next = 0;
+    size_t off_in_flight = 0;     // shards holding an offload buffer
+    bool compressing = false;     // the compression engine is serial
+    SimTime last_off_drain = 0.0;
+
+    std::function<void()> startCompress = [&] {
+        if (off_next >= offload_shards.size() || compressing ||
+            off_in_flight >= staging_buffers) {
+            return;
+        }
+        const size_t k = off_next++;
+        compressing = true;
+        ++off_in_flight;
+        const SimTime compress_time =
+            static_cast<double>(offload_shards[k].raw_bytes) /
+            compress_bandwidth;
+        queue.scheduleAfter(compress_time, [&, k] {
+            // Shard k staged: hand it to the DMA unit (it queues on the
+            // shared link behind the arbiter) and start compressing the
+            // next shard into the other buffer.
+            compressing = false;
+            wire.submit(Direction::Out, offload_shards[k].wire_bytes,
+                        [&](const DuplexChannel::Grant &) {
+                            --off_in_flight;
+                            last_off_drain = queue.now();
+                            startCompress();
+                        });
+            startCompress();
+        });
+    };
+
+    // ---- Prefetch pipeline state (wire in -> staging -> expand) ----
+    size_t pre_next = 0;
+    size_t pre_in_flight = 0;     // shards holding a prefetch buffer
+    bool expanding = false;       // the decompression engine is serial
+    std::queue<size_t> landed;    // wired shards awaiting decompression
+    SimTime last_expand = 0.0;
+
+    std::function<void()> startWire;
+    std::function<void()> startExpand = [&] {
+        if (expanding || landed.empty())
+            return;
+        const size_t k = landed.front();
+        landed.pop();
+        expanding = true;
+        const SimTime expand_time =
+            static_cast<double>(prefetch_shards[k].raw_bytes) /
+            decompress_bandwidth;
+        queue.scheduleAfter(expand_time, [&] {
+            // Shard re-inflated: its staging buffer frees, so the next
+            // shard may enter the wire while the engine picks up the
+            // next landed shard.
+            expanding = false;
+            --pre_in_flight;
+            last_expand = queue.now();
+            startExpand();
+            startWire();
+        });
+    };
+    startWire = [&] {
+        if (pre_next >= prefetch_shards.size() ||
+            pre_in_flight >= staging_buffers) {
+            return;
+        }
+        const size_t k = pre_next++;
+        ++pre_in_flight;
+        wire.submit(Direction::In, prefetch_shards[k].wire_bytes,
+                    [&, k](const DuplexChannel::Grant &) {
+                        landed.push(k);
+                        startExpand();
+                        startWire();
+                    });
+        startWire();
+    };
+
+    startCompress();
+    startWire();
+    queue.run();
+
+    for (const ShardTransfer &shard : offload_shards) {
+        timing.offload.compress_seconds +=
+            static_cast<double>(shard.raw_bytes) / compress_bandwidth;
+    }
+    timing.offload.wire_seconds = wire.busySeconds(Direction::Out);
+    timing.offload.overlapped_seconds = last_off_drain;
+    finalizeOverlapFraction(timing.offload);
+
+    timing.prefetch.wire_seconds = wire.busySeconds(Direction::In);
+    for (const ShardTransfer &shard : prefetch_shards) {
+        timing.prefetch.decompress_seconds +=
+            static_cast<double>(shard.raw_bytes) / decompress_bandwidth;
+    }
+    timing.prefetch.overlapped_seconds = last_expand;
+    finalizeOverlapFraction(timing.prefetch);
+
+    timing.makespan_seconds = std::max(last_off_drain, last_expand);
+    timing.offload_contention_seconds =
+        wire.contentionSeconds(Direction::Out);
+    timing.prefetch_contention_seconds =
+        wire.contentionSeconds(Direction::In);
+    return timing;
+}
+
+} // namespace cdma

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Unified full-duplex transfer engine — one DMA engine arbitrating both
+ * directions of the PCIe link, the way the paper's Figure 2(b) overlaps
+ * the offload of layer n+1's input with the prefetch of layer n-1's and
+ * the Figure 13 speedups assume the cDMA unit services both
+ * concurrently. The engine owns one sim::EventQueue and one duplex
+ * sim::Channel and runs BOTH double-buffered pipelines on it:
+ *
+ *   offload:  serial compression engine (COMP_BW) -> staging buffer ->
+ *             wire out (DuplexChannel Direction::Out)
+ *   prefetch: wire in (Direction::In) -> staging buffer ->
+ *             serial decompression engine (COMP_BW)
+ *
+ * The compression and decompression engines are provisioned separately
+ * (the paper's CPE vs DPE replicas, Section V-B), so they never contend
+ * with each other — only the wire is shared, and only under
+ * DuplexMode::Half, where the link arbiter (round-robin or fixed
+ * priority) picks which pending direction's shard crosses next. With
+ * the opposing direction idle the duplex DES degenerates exactly to the
+ * single-direction pipelines that OffloadScheduler / PrefetchScheduler
+ * model (their closed forms are pinned against it at 1e-9), so the two
+ * direction schedulers are now thin facades over this engine.
+ */
+
+#ifndef CDMA_CDMA_TRANSFER_ENGINE_HH
+#define CDMA_CDMA_TRANSFER_ENGINE_HH
+
+#include <span>
+#include <vector>
+
+#include "cdma/engine.hh"
+#include "cdma/spill_arena.hh"
+
+namespace cdma {
+
+/** Byte counts of one staging shard entering the pipeline model. */
+struct ShardTransfer {
+    uint64_t raw_bytes = 0;  ///< uncompressed bytes the shard covers
+    uint64_t wire_bytes = 0; ///< store-raw-floored bytes put on the wire
+};
+
+/** Outcome of one scheduled offload: data and modeled timing. */
+struct OffloadResult {
+    /** Compressed buffer, byte-identical to ParallelCompressor::compress. */
+    CompressedBuffer buffer;
+    /** Pipeline timing over the real per-shard compressed sizes. */
+    OffloadTiming timing;
+    /** Per-shard byte counts, in drain order. */
+    std::vector<ShardTransfer> shards;
+};
+
+/** Outcome of an offload spilled into an arena instead of a buffer. */
+struct SpilledOffload {
+    /** Arena reference to the stored shards (caller releases it). */
+    SpillTicket ticket = 0;
+    /** Pipeline timing over the real per-shard compressed sizes. */
+    OffloadTiming timing;
+    /** Per-shard byte counts, in drain order. */
+    std::vector<ShardTransfer> shards;
+};
+
+/** Outcome of one scheduled prefetch: restored data and modeled timing. */
+struct PrefetchResult {
+    /** Reconstructed bytes, identical to the original offloaded buffer. */
+    ByteVec data;
+    /** Pipeline timing over the real per-shard compressed sizes. */
+    PrefetchTiming timing;
+    /** Per-shard byte counts, in arrival order. */
+    std::vector<ShardTransfer> shards;
+};
+
+/**
+ * Drives real compression/decompression for both PCIe directions and
+ * models them racing on one (possibly shared) link.
+ */
+class TransferEngine
+{
+  public:
+    explicit TransferEngine(const CdmaEngine &engine);
+
+    /** Windows per staging shard (>= 1), from CdmaConfig::shard_bytes. */
+    uint64_t shardWindows() const { return shard_windows_; }
+
+    /** The cDMA engine this transfer engine drives. */
+    const CdmaEngine &cdma() const { return engine_; }
+
+    // ---- Real-bytes flows (the direction schedulers delegate here) ----
+
+    /**
+     * Offload @p data: compress it shard-by-shard on the engine's lanes,
+     * stitch the shards into a CompressedBuffer as they drain (in shard
+     * order, while later shards are still compressing), and model the
+     * double-buffered pipeline over the measured per-shard sizes.
+     */
+    OffloadResult offload(std::span<const uint8_t> data) const;
+
+    /**
+     * Offload @p data into @p arena: shards stream from the compression
+     * lanes straight into recycled arena slots (no stitched
+     * CompressedBuffer, no per-layer payload allocation in steady
+     * state). The returned ticket holds the compressed activations
+     * until the backward pass prefetches and releases them.
+     */
+    SpilledOffload offloadInto(std::span<const uint8_t> data,
+                               SpillArena &arena) const;
+
+    /**
+     * Prefetch @p buffer: reconstruct it shard-by-shard on the engine's
+     * lanes (consumed in deterministic shard order) and model the
+     * double-buffered pipeline over the measured per-shard sizes.
+     */
+    PrefetchResult prefetch(const CompressedBuffer &buffer) const;
+
+    /**
+     * Prefetch a spilled buffer straight out of @p arena's shard slots
+     * (no stitched CompressedBuffer in between). The ticket stays live;
+     * the caller releases it once the restored bytes are consumed.
+     */
+    PrefetchResult prefetch(const SpillArena &arena,
+                            SpillTicket ticket) const;
+
+    /** Outcome of one full-duplex step: both real flows + the race. */
+    struct DuplexResult {
+        SpilledOffload offload;   ///< @p offload_data spilled to the arena
+        PrefetchResult prefetch;  ///< @p prefetch_ticket restored
+        /** Both measured shard trains raced on the configured link. */
+        DuplexTiming timing;
+    };
+
+    /**
+     * One steady-state training-loop step on the unified ticket flow:
+     * compress and spill @p offload_data into @p arena while prefetching
+     * (and expanding) @p prefetch_ticket out of it, with both measured
+     * shard trains racing on the configured duplex link. The caller
+     * releases the prefetched ticket once the restored bytes are
+     * consumed.
+     */
+    DuplexResult transfer(std::span<const uint8_t> offload_data,
+                          SpillArena &arena,
+                          SpillTicket prefetch_ticket) const;
+
+    // ---- Timing models ----
+
+    /**
+     * The duplex race of two measured shard trains under this engine's
+     * configuration (bandwidths, staging depth, duplex mode, arbiter).
+     * Either train may be empty (single-direction degenerate case).
+     */
+    DuplexTiming duplexTiming(
+        std::span<const ShardTransfer> offload_shards,
+        std::span<const ShardTransfer> prefetch_shards) const;
+
+    /**
+     * Analytic duplex model: both directions cut into uniform staging
+     * shards (plus a trailing partial) at their known compression
+     * ratios, then raced through the duplex DES. Either direction may
+     * be empty (raw_bytes = 0).
+     */
+    DuplexTiming modelFromRatio(uint64_t offload_raw, double offload_ratio,
+                                uint64_t prefetch_raw,
+                                double prefetch_ratio) const;
+
+    /**
+     * The core duplex DES: both double-buffered pipelines run on one
+     * event queue, wire transfers of both directions submitted to a
+     * DuplexChannel. Offload shard k's compression starts when the
+     * serial compression engine AND an offload staging buffer are free;
+     * its wire leg queues on Direction::Out. Prefetch shard k's wire
+     * leg (Direction::In) starts when a prefetch staging buffer is
+     * free; its expansion queues on the serial decompression engine.
+     * Under DuplexMode::Half both directions serialize on the link and
+     * @p arbiter breaks ties; under Full they never interact. The
+     * per-direction staging pools are independent (@p staging_buffers
+     * each).
+     */
+    static DuplexTiming pipelineTiming(
+        std::span<const ShardTransfer> offload_shards,
+        std::span<const ShardTransfer> prefetch_shards,
+        double compress_bandwidth, double wire_bandwidth,
+        double decompress_bandwidth, unsigned staging_buffers,
+        DuplexMode mode, LinkArbiter arbiter);
+
+  private:
+    /** Shard train of a raw_bytes transfer at ratio (uniform + tail). */
+    std::vector<ShardTransfer> shardTrain(uint64_t raw_bytes,
+                                          double ratio) const;
+
+    DuplexTiming timingFor(std::span<const ShardTransfer> offload_shards,
+                           std::span<const ShardTransfer> prefetch_shards)
+        const;
+
+    const CdmaEngine &engine_;
+    uint64_t shard_windows_;
+};
+
+} // namespace cdma
+
+#endif // CDMA_CDMA_TRANSFER_ENGINE_HH

@@ -73,11 +73,16 @@ writeLengths(BitWriter &writer, const std::vector<uint8_t> &lengths)
     }
 }
 
-/** Inverse of writeLengths(); reads exactly @p count lengths. */
-std::vector<uint8_t>
-readLengths(BitReader &reader, size_t count)
+/**
+ * Inverse of writeLengths(); reads exactly @p count lengths into a
+ * caller-held (typically per-thread) vector, which stops allocating
+ * once it has reached the alphabet size.
+ */
+void
+readLengthsInto(BitReader &reader, size_t count,
+                std::vector<uint8_t> &lengths)
 {
-    std::vector<uint8_t> lengths;
+    lengths.clear();
     lengths.reserve(count);
     while (lengths.size() < count) {
         const uint8_t value = static_cast<uint8_t>(reader.get(4));
@@ -86,7 +91,6 @@ readLengths(BitReader &reader, size_t count)
                     "code-length run overflows the alphabet");
         lengths.insert(lengths.end(), run, value);
     }
-    return lengths;
 }
 
 } // namespace
@@ -125,6 +129,21 @@ struct DeflateScratch {
     std::vector<uint8_t> dist_lengths;
     HuffmanEncoder litlen_enc;
     HuffmanEncoder dist_enc;
+};
+
+/**
+ * Per-thread decompression scratch, the prefetch-side mirror of
+ * DeflateScratch: the header's code-length vectors and the two
+ * canonical decoders are rebuilt in place per window instead of
+ * reallocated, so the ZL decode path (each ParallelCompressor lane, or
+ * the serial spill-arena walk) allocates nothing per window once its
+ * scratch has seen the two alphabet sizes.
+ */
+struct DeflateDecodeScratch {
+    std::vector<uint8_t> litlen_lengths;
+    std::vector<uint8_t> dist_lengths;
+    HuffmanDecoder litlen_dec;
+    HuffmanDecoder dist_dec;
 };
 
 } // namespace
@@ -201,11 +220,14 @@ DeflateCompressor::decompressWindowInto(std::span<const uint8_t> payload,
     if (original_bytes == 0)
         return;
 
+    static thread_local DeflateDecodeScratch scratch;
     BitReader reader(payload);
-    const auto litlen_lengths = readLengths(reader, kLitLenSymbols);
-    const auto dist_lengths = readLengths(reader, kDistSymbols);
-    const HuffmanDecoder litlen_dec(litlen_lengths);
-    const HuffmanDecoder dist_dec(dist_lengths);
+    readLengthsInto(reader, kLitLenSymbols, scratch.litlen_lengths);
+    readLengthsInto(reader, kDistSymbols, scratch.dist_lengths);
+    scratch.litlen_dec.rebuild(scratch.litlen_lengths);
+    scratch.dist_dec.rebuild(scratch.dist_lengths);
+    const HuffmanDecoder &litlen_dec = scratch.litlen_dec;
+    const HuffmanDecoder &dist_dec = scratch.dist_dec;
 
     uint64_t pos = 0;
     for (;;) {

@@ -196,25 +196,34 @@ HuffmanEncoder::encode(BitWriter &writer, int symbol) const
 
 HuffmanDecoder::HuffmanDecoder(const std::vector<uint8_t> &lengths)
 {
+    rebuild(lengths);
+}
+
+void
+HuffmanDecoder::rebuild(const std::vector<uint8_t> &lengths)
+{
+    // assign() reuses the tables' capacity, so rebuilding for the same
+    // alphabet (the per-window DEFLATE decode loop) allocates nothing;
+    // the canonical-order cursors are fixed-size locals (lengths are
+    // <= 31, mirroring the encoder's rebuild()).
     max_length_ = 0;
     for (uint8_t len : lengths)
         max_length_ = std::max<int>(max_length_, len);
+    CDMA_ASSERT(max_length_ <= 31, "code length %d out of range",
+                max_length_);
     count_.assign(static_cast<size_t>(max_length_) + 1, 0);
     for (uint8_t len : lengths) {
         if (len)
             ++count_[len];
     }
     // Symbols sorted by (length, symbol value): canonical order.
-    std::vector<int> offsets(static_cast<size_t>(max_length_) + 2, 0);
+    std::array<int, 33> cursor{};
+    int coded = 0;
     for (int len = 1; len <= max_length_; ++len) {
-        offsets[static_cast<size_t>(len) + 1] =
-            offsets[static_cast<size_t>(len)] +
-            count_[static_cast<size_t>(len)];
+        cursor[static_cast<size_t>(len)] = coded;
+        coded += count_[static_cast<size_t>(len)];
     }
-    symbols_.assign(
-        static_cast<size_t>(offsets[static_cast<size_t>(max_length_) + 1]),
-        0);
-    std::vector<int> cursor(offsets.begin(), offsets.end());
+    symbols_.assign(static_cast<size_t>(coded), 0);
     for (size_t symbol = 0; symbol < lengths.size(); ++symbol) {
         const uint8_t len = lengths[symbol];
         if (len) {

@@ -80,19 +80,27 @@ class HuffmanEncoder
 class HuffmanDecoder
 {
   public:
+    /** Empty decoder; rebuild() before decoding (scratch reuse). */
+    HuffmanDecoder() = default;
+
     /** Build the decode tables from the same lengths used to encode. */
     explicit HuffmanDecoder(const std::vector<uint8_t> &lengths);
+
+    /**
+     * Rebuild the decode tables from @p lengths in place, reusing the
+     * existing table capacity — allocation-free once the decoder has
+     * seen the alphabet size (one decoder per thread per alphabet, the
+     * prefetch-side mirror of HuffmanEncoder::rebuild).
+     */
+    void rebuild(const std::vector<uint8_t> &lengths);
 
     /** Decode the next symbol from @p reader. */
     int decode(BitReader &reader) const;
 
   private:
-    // first_code_[len] / first_symbol_[len]: canonical decoding tables.
-    std::vector<uint32_t> first_code_;
-    std::vector<int> first_symbol_;
     std::vector<int> symbols_; // symbols sorted by (length, symbol)
     std::vector<uint16_t> count_; // number of codes of each length
-    int max_length_;
+    int max_length_ = 0;
 };
 
 } // namespace cdma

@@ -64,7 +64,10 @@ StepSimulator::run(StepMode mode,
     // engine: CompressionFree folds the Section VI COMP_BW inflation
     // into the occupancy; Overlapped models the double-buffered
     // compress/transfer pipeline, so plan.seconds is the makespan the
-    // offload engine holds the layer's buffer.
+    // offload engine holds the layer's buffer. The per-layer occupancy
+    // of BOTH directions is derived from the manager's unified
+    // direction-tagged schedule, so the two legs can never come from
+    // inconsistent transfer lists.
     std::vector<double> xfer(L, 0.0);
     std::vector<double> pre_xfer(L, 0.0);
     std::vector<bool> has_xfer(L, false);
@@ -74,24 +77,34 @@ StepSimulator::run(StepMode mode,
         engine_, mode == StepMode::Cdma ? output_ratios
                                         : std::vector<double>{},
         /*raw_dma=*/mode != StepMode::Cdma);
+    std::vector<size_t> plan_of_layer(L, plans.size());
     for (size_t k = 0; k < offloads.size(); ++k) {
         const size_t i = offloads[k].layer_index;
         CDMA_ASSERT(i < L, "offload references row %zu of %zu", i, L);
-        const TransferPlan &plan = plans[k];
-        xfer[i] = plan.seconds;
-        // The backward direction waits on the mirrored pipeline (wire
-        // in, then decompress) when the engine modeled it; the seed
-        // model prices both directions identically.
-        pre_xfer[i] = plan.prefetch.shard_count > 0
-            ? plan.prefetch.overlapped_seconds
-            : plan.seconds;
-        has_xfer[i] = true;
-        result.raw_transfer_bytes += plan.raw_bytes;
-        result.wire_transfer_bytes += plan.wire_bytes;
-        result.layers[i].offload_seconds = plan.seconds;
-        result.layers[i].prefetch_seconds = pre_xfer[i];
-        result.layers[i].offload = plan.offload;
-        result.layers[i].prefetch = plan.prefetch;
+        plan_of_layer[i] = k;
+    }
+    for (const DirectedTransferOp &entry : manager_.duplexSchedule()) {
+        const size_t i = entry.op.layer_index;
+        CDMA_ASSERT(i < L && plan_of_layer[i] < plans.size(),
+                    "duplex schedule references row %zu of %zu", i, L);
+        const TransferPlan &plan = plans[plan_of_layer[i]];
+        if (entry.direction == TransferDirection::Offload) {
+            xfer[i] = plan.seconds;
+            has_xfer[i] = true;
+            result.raw_transfer_bytes += plan.raw_bytes;
+            result.wire_transfer_bytes += plan.wire_bytes;
+            result.layers[i].offload_seconds = plan.seconds;
+            result.layers[i].offload = plan.offload;
+        } else {
+            // The backward direction waits on the mirrored pipeline
+            // (wire in, then decompress) when the engine modeled it;
+            // the seed model prices both directions identically.
+            pre_xfer[i] = plan.prefetch.shard_count > 0
+                ? plan.prefetch.overlapped_seconds
+                : plan.seconds;
+            result.layers[i].prefetch_seconds = pre_xfer[i];
+            result.layers[i].prefetch = plan.prefetch;
+        }
     }
 
     if (mode == StepMode::Baseline || mode == StepMode::Oracle) {
@@ -110,22 +123,61 @@ StepSimulator::run(StepMode mode,
     CDMA_ASSERT(transfers, "unexpected mode");
 
     // ---- Discrete-event simulation of the iteration ----
+    // Both directions ride one duplex PCIe link: offloads on the Out
+    // sub-channel, prefetches on In. Under DuplexMode::Full the
+    // sub-channels are independent (the historical behavior); under
+    // Half they share the link and the configured arbiter decides which
+    // pending direction's transfer crosses next — the contention stall
+    // each transfer pays is captured from the channel's service record.
+    using Direction = DuplexChannel::Direction;
     EventQueue queue;
-    Channel pcie(queue, "pcie",
-                 engine_.config().gpu.pcie_effective_bandwidth);
+    DuplexChannel pcie(queue, "pcie",
+                       engine_.config().gpu.pcie_effective_bandwidth,
+                       engine_.config().duplex_mode,
+                       engine_.config().link_arbiter);
     // The channel services "seconds" directly: submit bytes scaled so
     // bytes/bandwidth equals the planned occupancy (offload and
     // prefetch directions carry their own modeled makespans).
-    auto submitTransfer = [&](double seconds, auto on_done) {
+    auto submitTransfer = [&](Direction direction, double seconds,
+                              auto on_done) {
         const auto effective_bytes = static_cast<uint64_t>(
             seconds * engine_.config().gpu.pcie_effective_bandwidth);
-        pcie.submit(effective_bytes, on_done);
+        pcie.submit(direction, effective_bytes, on_done);
     };
 
     std::vector<double> fwd_end(L, -1.0), off_end(L, -1.0);
     std::vector<double> bwd_end(L, -1.0), pre_end(L, -1.0);
     std::vector<bool> fwd_started(L, false), bwd_started(L, false);
+    std::vector<bool> pre_requested(L, false), pre_submitted(L, false);
     double forward_done_time = 0.0;
+
+    std::function<void(size_t)> tryStartBwd;
+
+    // A layer's prefetch may not enter the wire before its own offload
+    // has drained (the compressed bytes must be host-resident first);
+    // requests that arrive earlier are parked and released by the
+    // offload's completion. This replaces the old global barrier — the
+    // backward phase no longer waits for every offload, so the tail
+    // offloads race the head prefetches on the duplex link.
+    auto submitPrefetch = [&](size_t i) {
+        if (pre_submitted[i])
+            return;
+        pre_submitted[i] = true;
+        submitTransfer(Direction::In, pre_xfer[i],
+                       [&, i](const DuplexChannel::Grant &grant) {
+                           result.layers[i].prefetch_contention =
+                               grant.opposing_wait;
+                           pre_end[i] = queue.now();
+                           tryStartBwd(i);
+                       });
+    };
+    auto requestPrefetch = [&](size_t i) {
+        if (pre_requested[i])
+            return;
+        pre_requested[i] = true;
+        if (off_end[i] >= 0.0)
+            submitPrefetch(i);
+    };
 
     // Forward: layer i starts when layer i-1's compute AND the offload of
     // layer i-1's input (when scheduled) are both complete (Figure 2b
@@ -144,16 +196,57 @@ StepSimulator::run(StepMode mode,
         }
         // Offload of this layer's input streams alongside its compute.
         if (has_xfer[i]) {
-            submitTransfer(xfer[i], [&, i]() {
-                off_end[i] = queue.now();
-                if (i + 1 < L)
-                    tryStartFwd(i + 1);
-            });
+            submitTransfer(Direction::Out, xfer[i],
+                           [&, i](const DuplexChannel::Grant &grant) {
+                               result.layers[i].offload_contention =
+                                   grant.opposing_wait;
+                               off_end[i] = queue.now();
+                               if (i + 1 < L)
+                                   tryStartFwd(i + 1);
+                               if (pre_requested[i])
+                                   submitPrefetch(i);
+                           });
         }
         queue.scheduleAfter(fwd[i], [&, i]() {
             fwd_end[i] = queue.now();
-            if (i + 1 < L)
+            if (i + 1 < L) {
                 tryStartFwd(i + 1);
+            } else {
+                // Forward compute chain complete: launch the backward
+                // phase now. Any offloads still draining share the link
+                // with the prefetches from here on.
+                forward_done_time = queue.now();
+                if (!has_xfer[L - 1]) {
+                    tryStartBwd(L - 1);
+                    return;
+                }
+                requestPrefetch(L - 1);
+                if (pre_submitted[L - 1])
+                    return;
+                // The head prefetch is parked behind its own offload,
+                // which is still draining out — this is the Figure 2(b)
+                // boundary race. Rather than leave the inbound
+                // direction idle, bring back maps that are already
+                // host-resident: issue up to staging_buffers - 1
+                // further prefetches in backward order (the
+                // double-buffered landing the prefetch pipeline
+                // provisions), racing the tail offload on the link.
+                // Like the real FIFO DMA queue this models, an issued
+                // lookahead transfer cannot be overtaken: when the
+                // parked head releases early, it queues behind the
+                // lookahead and the backward start can pay up to one
+                // transfer of head-of-line delay — the engine trades
+                // that bounded risk for never idling the link.
+                const unsigned buffers =
+                    engine_.config().staging_buffers;
+                unsigned lookahead = buffers > 0 ? buffers - 1 : 0;
+                for (size_t j = L - 1; j-- > 0 && lookahead > 0;) {
+                    if (!has_xfer[j])
+                        continue;
+                    requestPrefetch(j);
+                    --lookahead;
+                }
+            }
         });
     };
 
@@ -161,7 +254,7 @@ StepSimulator::run(StepMode mode,
     // of layer i's input (when it was offloaded) are complete; the
     // prefetch of layer i-1's input is launched as layer i's backward
     // begins.
-    std::function<void(size_t)> tryStartBwd = [&](size_t i) {
+    tryStartBwd = [&](size_t i) {
         if (bwd_started[i])
             return;
         if (i + 1 < L && bwd_end[i + 1] < 0.0)
@@ -174,12 +267,8 @@ StepSimulator::run(StepMode mode,
             result.layers[i].backward_stall =
                 std::max(0.0, pre_end[i] - dep);
         }
-        if (i > 0 && has_xfer[i - 1]) {
-            submitTransfer(pre_xfer[i - 1], [&, i]() {
-                pre_end[i - 1] = queue.now();
-                tryStartBwd(i - 1);
-            });
-        }
+        if (i > 0 && has_xfer[i - 1])
+            requestPrefetch(i - 1);
         queue.scheduleAfter(bwd[i], [&, i]() {
             bwd_end[i] = queue.now();
             if (i > 0)
@@ -189,34 +278,21 @@ StepSimulator::run(StepMode mode,
 
     tryStartFwd(0);
     queue.run();
-    // Forward phase complete: the last layer's compute and every offload
-    // have drained (the queue is empty).
-    forward_done_time = fwd_end[L - 1];
-    for (size_t i = 0; i < L; ++i) {
-        if (has_xfer[i])
-            forward_done_time = std::max(forward_done_time, off_end[i]);
-    }
+
     result.forward_seconds = forward_done_time;
-
-    // Launch the backward phase: prefetch of the last offloaded input
-    // first, then the dependency chain unrolls.
-    queue.scheduleAt(forward_done_time, [&]() {
-        if (has_xfer[L - 1]) {
-            submitTransfer(pre_xfer[L - 1], [&]() {
-                pre_end[L - 1] = queue.now();
-                tryStartBwd(L - 1);
-            });
-        } else {
-            tryStartBwd(L - 1);
-        }
-    });
-    queue.run();
-
     result.total_seconds = bwd_end[0];
     result.backward_seconds = result.total_seconds -
         result.forward_seconds;
     result.stall_seconds = result.total_seconds - result.compute_seconds;
-    result.pcie_utilization = pcie.busySeconds() / result.total_seconds;
+    // Occupancy union, not per-direction sum: under full duplex both
+    // sub-channels can serve simultaneously, and a summed numerator
+    // would let utilization exceed 1.
+    result.pcie_utilization =
+        pcie.occupiedSeconds() / result.total_seconds;
+    result.offload_contention_seconds =
+        pcie.contentionSeconds(Direction::Out);
+    result.prefetch_contention_seconds =
+        pcie.contentionSeconds(Direction::In);
     return result;
 }
 

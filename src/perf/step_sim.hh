@@ -6,11 +6,18 @@
  * PCIe concurrently with layer n's computation, and layer n+1 may not
  * start until both finish; during backward propagation, the prefetch of
  * layer n's input overlaps layer n+1's backward computation, and layer
- * n's backward waits for its prefetch. PCIe transfers are serviced FIFO
- * by a bandwidth-limited channel. The same simulator runs the vDNN
- * baseline (raw transfers), cDMA (compressed transfers with the COMP_BW
- * inflation), and the oracle (transfers always hidden), producing
- * Figures 3(b) and 13.
+ * n's backward waits for its prefetch. Both directions ride ONE duplex
+ * PCIe link (the memory manager's unified direction-tagged schedule):
+ * the backward phase launches as soon as the last layer's forward
+ * compute finishes, so the tail offloads (layer n+1's input still
+ * draining out) race the head prefetches (layer n-1's input coming
+ * back) on the link — independent sub-channels under full duplex, a
+ * shared arbitrated link under half duplex, where the contention stall
+ * each direction pays is reported per layer and in aggregate. A layer's
+ * prefetch never enters the wire before its own offload has drained.
+ * The same simulator runs the vDNN baseline (raw transfers), cDMA
+ * (compressed transfers with the COMP_BW inflation), and the oracle
+ * (transfers always hidden), producing Figures 3(b) and 13.
  */
 
 #ifndef CDMA_PERF_STEP_SIM_HH
@@ -48,12 +55,30 @@ struct LayerStepStats {
     double prefetch_seconds = 0.0;
     double forward_stall = 0.0;    ///< forward wait on the offload
     double backward_stall = 0.0;   ///< backward wait on the prefetch
+    /** Time this layer's offload waited on the link while it served
+     *  prefetch traffic (nonzero only under DuplexMode::Half). */
+    double offload_contention = 0.0;
+    /** Time this layer's prefetch waited on the link while it served
+     *  offload traffic (nonzero only under DuplexMode::Half). */
+    double prefetch_contention = 0.0;
     /** Compress/wire pipeline breakdown of the input's offload (all
      *  zeros unless the engine runs TimingMode::Overlapped). */
     OffloadTiming offload;
     /** Wire/decompress pipeline breakdown of the input's prefetch (all
      *  zeros unless the engine runs TimingMode::Overlapped). */
     PrefetchTiming prefetch;
+
+    /** Fraction of this layer's transfer time lost to link contention,
+     *  clamped to [0,1] (a short transfer can wait out an opposing
+     *  transfer longer than itself). */
+    double contentionStallFraction() const
+    {
+        const double transfer = offload_seconds + prefetch_seconds;
+        return transfer > 0.0
+            ? std::min(1.0, (offload_contention + prefetch_contention) /
+                                transfer)
+            : 0.0;
+    }
 };
 
 /** Result of one simulated training iteration. */
@@ -66,12 +91,26 @@ struct StepResult {
     uint64_t raw_transfer_bytes = 0;  ///< per direction
     uint64_t wire_transfer_bytes = 0; ///< after compression
     double pcie_utilization = 0.0;
+    /** Total time offloads waited while the link served prefetches. */
+    double offload_contention_seconds = 0.0;
+    /** Total time prefetches waited while the link served offloads. */
+    double prefetch_contention_seconds = 0.0;
     std::vector<LayerStepStats> layers;
 
     /** Throughput relative to another result (other/self). */
     double speedupOver(const StepResult &other) const
     {
         return other.total_seconds / total_seconds;
+    }
+
+    /** Fraction of the iteration lost to cross-direction contention
+     *  on the duplex link (zero under DuplexMode::Full). */
+    double contentionStallFraction() const
+    {
+        return total_seconds > 0.0
+            ? (offload_contention_seconds +
+               prefetch_contention_seconds) / total_seconds
+            : 0.0;
     }
 };
 

@@ -56,12 +56,34 @@ VdnnMemoryManager::VdnnMemoryManager(const NetworkDesc &network,
     }
 }
 
+std::string
+transferDirectionName(TransferDirection direction)
+{
+    switch (direction) {
+      case TransferDirection::Offload:  return "offload";
+      case TransferDirection::Prefetch: return "prefetch";
+    }
+    panic("unreachable direction %d", static_cast<int>(direction));
+}
+
 std::vector<TransferOp>
 VdnnMemoryManager::prefetchSchedule() const
 {
     std::vector<TransferOp> prefetches(offloads_.rbegin(),
                                        offloads_.rend());
     return prefetches;
+}
+
+std::vector<DirectedTransferOp>
+VdnnMemoryManager::duplexSchedule() const
+{
+    std::vector<DirectedTransferOp> schedule;
+    schedule.reserve(2 * offloads_.size());
+    for (const TransferOp &op : offloads_)
+        schedule.push_back({TransferDirection::Offload, op});
+    for (const TransferOp &op : prefetchSchedule())
+        schedule.push_back({TransferDirection::Prefetch, op});
+    return schedule;
 }
 
 uint64_t

@@ -44,6 +44,21 @@ struct TransferOp {
     uint64_t bytes = 0;      ///< raw activation bytes (batch applied)
 };
 
+/** Direction of a scheduled transfer on the duplex PCIe link. */
+enum class TransferDirection {
+    Offload,  ///< forward pass: GPU -> host
+    Prefetch, ///< backward pass: host -> GPU
+};
+
+/** Display name of a transfer direction. */
+std::string transferDirectionName(TransferDirection direction);
+
+/** One entry of the unified (direction-tagged) transfer schedule. */
+struct DirectedTransferOp {
+    TransferDirection direction = TransferDirection::Offload;
+    TransferOp op;
+};
+
 /** GPU memory accounting for one network + batch. */
 struct MemoryFootprint {
     uint64_t weights_bytes = 0;      ///< parameters + weight gradients
@@ -101,6 +116,21 @@ class VdnnMemoryManager
      * entry k is the activation map backward step k needs restored.
      */
     std::vector<TransferOp> prefetchSchedule() const;
+
+    /**
+     * The unified transfer schedule of one iteration on the duplex
+     * link: every offload (forward order, direction Offload) followed
+     * by every prefetch (backward order, direction Prefetch), as ONE
+     * direction-tagged list instead of two independent ones. List
+     * order is submission order, not serialization: around the
+     * forward/backward boundary the tail offloads (layer n+1's input
+     * still draining out) race the head prefetches (layer n-1's input
+     * coming back) on the same link, and the duplex DES — not the list
+     * — decides how they interleave. A prefetch may never enter the
+     * wire before its own offload has drained; consumers
+     * (StepSimulator) enforce that dependency per layer.
+     */
+    std::vector<DirectedTransferOp> duplexSchedule() const;
 
     /** Total bytes moved across PCIe in one direction per iteration. */
     uint64_t totalOffloadBytes() const;

@@ -91,6 +91,42 @@ TEST(Deflate, SparseFloatsLandNearZvcRegime)
     EXPECT_LT(ratio, zvc_bound * 1.5);
 }
 
+TEST(Deflate, DecodeScratchReuseStaysByteIdentical)
+{
+    // The decode path rebuilds its Huffman decoders in a per-thread
+    // scratch; successive windows with very different code-length
+    // tables (dense text, sparse floats, raw-ish bytes) must decode
+    // byte-identically on one thread, where the scratch is reused and
+    // rebuilt per window rather than freshly allocated.
+    Rng rng(85);
+    std::vector<std::vector<uint8_t>> inputs;
+    std::string pattern;
+    for (int i = 0; i < 2000; ++i)
+        pattern += "activation";
+    inputs.emplace_back(pattern.begin(), pattern.end());
+    std::vector<uint8_t> sparse(60000, 0);
+    for (auto &b : sparse) {
+        if (rng.bernoulli(0.3))
+            b = static_cast<uint8_t>(1 + rng.uniformInt(255));
+    }
+    inputs.push_back(std::move(sparse));
+    std::vector<uint8_t> noisy(30000);
+    for (auto &b : noisy)
+        b = static_cast<uint8_t>(rng.uniformInt(256));
+    inputs.push_back(std::move(noisy));
+
+    DeflateCompressor zl;
+    // Two passes over alternating inputs: every decode after the first
+    // runs on a warm scratch whose previous tables came from a
+    // different alphabet shape.
+    for (int pass = 0; pass < 2; ++pass) {
+        for (const auto &input : inputs) {
+            const auto compressed = zl.compress(input);
+            EXPECT_EQ(zl.decompress(compressed), input);
+        }
+    }
+}
+
 class DeflateWindowSweep : public ::testing::TestWithParam<uint64_t>
 {
 };

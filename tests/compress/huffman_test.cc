@@ -133,6 +133,51 @@ TEST(Huffman, CompressionBeatsFixedWidthOnSkewedData)
     EXPECT_LT(writer.bitCount(), static_cast<uint64_t>(kSymbols) * 8 / 2);
 }
 
+TEST(Huffman, RebuiltDecoderMatchesFreshDecoder)
+{
+    // The per-thread DEFLATE decode scratch rebuilds one decoder per
+    // alphabet per window; rebuilding in place must decode identically
+    // to a freshly constructed decoder, across tables of different
+    // shapes (including a shrinking live alphabet).
+    HuffmanDecoder reused;
+    Rng rng(77);
+    for (int round = 0; round < 12; ++round) {
+        const size_t alphabet = 2 + rng.uniformInt(286);
+        std::vector<uint64_t> freqs(alphabet, 0);
+        // Sparser alphabets on later rounds: the reused tables shrink.
+        const size_t live = 2 + rng.uniformInt(alphabet - 1);
+        for (size_t i = 0; i < live; ++i)
+            freqs[rng.uniformInt(alphabet)] += 1 + rng.uniformInt(500);
+        freqs[0] += 1;
+        freqs[alphabet - 1] += 1;
+
+        const auto lengths = buildCodeLengths(freqs, 15);
+        const HuffmanEncoder encoder(lengths);
+        const HuffmanDecoder fresh(lengths);
+        reused.rebuild(lengths);
+
+        std::vector<int> usable;
+        for (size_t s = 0; s < alphabet; ++s) {
+            if (freqs[s])
+                usable.push_back(static_cast<int>(s));
+        }
+        BitWriter writer;
+        std::vector<int> sent;
+        for (int i = 0; i < 300; ++i) {
+            const int symbol = usable[rng.uniformInt(usable.size())];
+            sent.push_back(symbol);
+            encoder.encode(writer, symbol);
+        }
+        const auto bytes = writer.finish();
+        BitReader fresh_reader(bytes);
+        BitReader reused_reader(bytes);
+        for (int expected : sent) {
+            EXPECT_EQ(fresh.decode(fresh_reader), expected);
+            EXPECT_EQ(reused.decode(reused_reader), expected);
+        }
+    }
+}
+
 class HuffmanRandomRoundTrip : public ::testing::TestWithParam<uint64_t>
 {
 };

@@ -1,4 +1,6 @@
-/** @file Unit tests for the bandwidth-limited FIFO channel. */
+/** @file Unit tests for the bandwidth-limited FIFO and duplex channels. */
+
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -6,6 +8,8 @@
 
 namespace cdma {
 namespace {
+
+using Direction = DuplexChannel::Direction;
 
 TEST(Channel, SingleTransferTakesBytesOverBandwidth)
 {
@@ -76,6 +80,176 @@ TEST(Channel, SubmitAfterIdleStartsImmediately)
     });
     queue.run();
     EXPECT_NEAR(done_at, 6.0, 1e-12);
+}
+
+TEST(DuplexChannel, FullDuplexDirectionsAreIndependent)
+{
+    EventQueue queue;
+    DuplexChannel link(queue, "pcie", 100.0, DuplexMode::Full);
+    double out_done = -1.0, in_done = -1.0;
+    link.submit(Direction::Out, 100,
+                [&](const DuplexChannel::Grant &g) {
+                    out_done = g.end;
+                    EXPECT_DOUBLE_EQ(g.opposing_wait, 0.0);
+                });
+    link.submit(Direction::In, 200,
+                [&](const DuplexChannel::Grant &g) {
+                    in_done = g.end;
+                    EXPECT_DOUBLE_EQ(g.opposing_wait, 0.0);
+                });
+    queue.run();
+    // Both directions at the full rate simultaneously: no interaction.
+    EXPECT_NEAR(out_done, 1.0, 1e-12);
+    EXPECT_NEAR(in_done, 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(link.blockedSeconds(Direction::Out), 0.0);
+    EXPECT_DOUBLE_EQ(link.blockedSeconds(Direction::In), 0.0);
+}
+
+TEST(DuplexChannel, HalfDuplexSerializesBothDirections)
+{
+    EventQueue queue;
+    DuplexChannel link(queue, "pcie", 100.0, DuplexMode::Half);
+    double out_done = -1.0, in_done = -1.0;
+    double in_wait = -1.0;
+    link.submit(Direction::Out, 100,
+                [&](const DuplexChannel::Grant &g) { out_done = g.end; });
+    link.submit(Direction::In, 200,
+                [&](const DuplexChannel::Grant &g) {
+                    in_done = g.end;
+                    in_wait = g.opposing_wait;
+                });
+    queue.run();
+    // One shared link: the In transfer waits out the full Out service.
+    EXPECT_NEAR(out_done, 1.0, 1e-12);
+    EXPECT_NEAR(in_done, 3.0, 1e-12);
+    EXPECT_NEAR(in_wait, 1.0, 1e-12);
+    EXPECT_NEAR(link.blockedSeconds(Direction::In), 1.0, 1e-12);
+    EXPECT_NEAR(link.contentionSeconds(Direction::In), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(link.contentionSeconds(Direction::Out), 0.0);
+}
+
+TEST(DuplexChannel, SingleDirectionDegeneratesToFifoChannel)
+{
+    // With the opposing direction idle, both duplex modes must
+    // reproduce the plain Channel's FIFO timeline exactly.
+    for (const DuplexMode mode : {DuplexMode::Full, DuplexMode::Half}) {
+        EventQueue queue;
+        Channel reference(queue, "ref", 100.0);
+        DuplexChannel link(queue, "pcie", 100.0, mode);
+        std::vector<double> ref_ends, dup_ends;
+        for (const uint64_t bytes : {100ull, 50ull, 250ull, 1ull}) {
+            reference.submit(bytes,
+                             [&] { ref_ends.push_back(queue.now()); });
+            link.submit(Direction::Out, bytes,
+                        [&](const DuplexChannel::Grant &g) {
+                            dup_ends.push_back(g.end);
+                            EXPECT_DOUBLE_EQ(g.opposing_wait, 0.0);
+                        });
+        }
+        queue.run();
+        ASSERT_EQ(ref_ends.size(), dup_ends.size());
+        for (size_t i = 0; i < ref_ends.size(); ++i)
+            EXPECT_DOUBLE_EQ(dup_ends[i], ref_ends[i]) << i;
+        EXPECT_DOUBLE_EQ(link.busySeconds(Direction::Out),
+                         reference.busySeconds());
+    }
+}
+
+TEST(DuplexChannel, RoundRobinAlternatesUnderSymmetricLoad)
+{
+    EventQueue queue;
+    DuplexChannel link(queue, "pcie", 100.0, DuplexMode::Half,
+                       LinkArbiter::RoundRobin);
+    std::vector<Direction> served;
+    for (int i = 0; i < 3; ++i) {
+        link.submit(Direction::Out, 100,
+                    [&](const DuplexChannel::Grant &) {
+                        served.push_back(Direction::Out);
+                    });
+        link.submit(Direction::In, 100,
+                    [&](const DuplexChannel::Grant &) {
+                        served.push_back(Direction::In);
+                    });
+    }
+    queue.run();
+    // Strict alternation, Out first (the arbiter's initial tie-break).
+    const std::vector<Direction> expected = {
+        Direction::Out, Direction::In,  Direction::Out,
+        Direction::In,  Direction::Out, Direction::In};
+    EXPECT_EQ(served, expected);
+    // Fairness: symmetric load, symmetric service.
+    EXPECT_DOUBLE_EQ(link.busySeconds(Direction::Out),
+                     link.busySeconds(Direction::In));
+}
+
+TEST(DuplexChannel, PriorityArbiterDrainsTheNamedDirectionFirst)
+{
+    for (const LinkArbiter arbiter :
+         {LinkArbiter::OffloadFirst, LinkArbiter::PrefetchFirst}) {
+        EventQueue queue;
+        DuplexChannel link(queue, "pcie", 100.0, DuplexMode::Half,
+                           arbiter);
+        std::vector<Direction> served;
+        // Seed one transfer per direction, then two more per direction
+        // while the link is busy: the favored direction drains fully
+        // before the other gets a second grant.
+        for (int i = 0; i < 3; ++i) {
+            link.submit(Direction::Out, 100,
+                        [&](const DuplexChannel::Grant &) {
+                            served.push_back(Direction::Out);
+                        });
+            link.submit(Direction::In, 100,
+                        [&](const DuplexChannel::Grant &) {
+                            served.push_back(Direction::In);
+                        });
+        }
+        queue.run();
+        // The very first Out starts the moment it is submitted (link
+        // idle, nothing else pending); from then on every grant goes to
+        // the favored direction until its queue drains.
+        const std::vector<Direction> expected =
+            arbiter == LinkArbiter::OffloadFirst
+            ? std::vector<Direction>{Direction::Out, Direction::Out,
+                                     Direction::Out, Direction::In,
+                                     Direction::In, Direction::In}
+            : std::vector<Direction>{Direction::Out, Direction::In,
+                                     Direction::In, Direction::In,
+                                     Direction::Out, Direction::Out};
+        EXPECT_EQ(served, expected) << linkArbiterName(arbiter);
+    }
+}
+
+TEST(DuplexChannel, ConservationBusyTimeBoundedByMakespan)
+{
+    // Half duplex: one link, so the two directions' busy seconds sum to
+    // at most the makespan. Full duplex: each direction alone is
+    // bounded by the makespan (2 directions x makespan in total).
+    for (const DuplexMode mode : {DuplexMode::Half, DuplexMode::Full}) {
+        EventQueue queue;
+        DuplexChannel link(queue, "pcie", 100.0, mode);
+        for (int i = 0; i < 7; ++i) {
+            link.submit(Direction::Out, 50 + 30 * i, nullptr);
+            link.submit(Direction::In, 200 - 20 * i, nullptr);
+        }
+        queue.run();
+        const double makespan = link.lastDrain();
+        // The occupancy union (the utilization numerator) never
+        // exceeds wall time in either mode.
+        EXPECT_LE(link.occupiedSeconds(), makespan + 1e-12);
+        if (mode == DuplexMode::Half) {
+            EXPECT_LE(link.busySeconds(), makespan + 1e-12);
+            // One serial link: occupancy equals total service time.
+            EXPECT_NEAR(link.occupiedSeconds(), link.busySeconds(),
+                        1e-12);
+        } else {
+            EXPECT_LE(link.busySeconds(Direction::Out), makespan + 1e-12);
+            EXPECT_LE(link.busySeconds(Direction::In), makespan + 1e-12);
+            EXPECT_LE(link.busySeconds(), 2.0 * makespan + 1e-12);
+            // Both directions busy from t=0 here: the union is the
+            // slower direction alone, strictly less than the sum.
+            EXPECT_LT(link.occupiedSeconds(), link.busySeconds());
+        }
+    }
 }
 
 } // namespace
