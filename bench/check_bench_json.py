@@ -33,11 +33,18 @@ REQUIRED_FAMILIES = ("BM_ZvcCompress", "BM_RleCompress", "BM_DeflateCompress",
                      "BM_ZvcDecompress", "BM_RleDecompress",
                      "BM_DeflateDecompress")
 DUPLEX_FAMILIES = ("BM_DuplexTransferModelFull", "BM_DuplexTransferModelHalf")
+# CRC-32C integrity-framing rows: the scalar slice-by-8 row is
+# unconditional; the hardware (SSE4.2) row is required whenever the
+# producing host has it (recorded as host_avx2 — every AVX2 part has
+# SSE4.2). Losing these rows would blind the trajectory to the framing
+# tax the robustness layer added.
+CRC_SCALAR_FAMILY = "BM_Crc32Scalar"
+CRC_HW_FAMILY = "BM_Crc32Hw"
 KNOWN_BACKENDS = ("scalar", "avx2")
 KNOWN_DUPLEX_MODES = ("full_duplex", "half_duplex")
-NAME_RE = re.compile(r"^BM_([A-Za-z]+?)(Compress|Decompress|CycleModel|"
+NAME_RE = re.compile(r"^BM_([A-Za-z0-9]+?)(Compress|Decompress|CycleModel|"
                      r"EngineCycleModel|TransferModel(?:Full|Half))?"
-                     r"(Parallel)?(Scalar|Avx2)?"
+                     r"(Parallel)?(Scalar|Avx2|Hw)?"
                      r"(/\d+)*(/[a-z_]+)*$")
 
 
@@ -171,6 +178,13 @@ def main() -> None:
     if missing_duplex:
         fail("duplex-transfer model families absent: "
              f"{', '.join(missing_duplex)}")
+    if CRC_SCALAR_FAMILY not in seen_families:
+        fail(f"{CRC_SCALAR_FAMILY} absent: the CRC framing row lost its "
+             "scalar reference leg")
+    if (CRC_HW_FAMILY not in seen_families
+            and producer_supports_avx2(report.get("context", {}))):
+        fail(f"{CRC_HW_FAMILY} absent although the producing host has "
+             "the hardware CRC32C instruction")
 
     # When an explicit per-backend sweep ran at all, its scalar leg must
     # be part of it (scalar is supported everywhere, so its absence means

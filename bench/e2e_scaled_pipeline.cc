@@ -9,24 +9,132 @@
  * training-iteration DES with the measured ratios. This is the complete
  * cDMA workflow a framework would execute, shrunk to laptop scale.
  *
- * Run: ./build/bench/e2e_scaled_pipeline [iterations [batch]]
+ * Run: ./build/bench/e2e_scaled_pipeline [--fault-smoke] [iterations [batch]]
+ *
+ * --fault-smoke re-runs the spill/prefetch round trip on a link with
+ * seeded 1e-6/byte bit flips until the retry machinery fires, then
+ * fails the process unless retries were nonzero AND every restored map
+ * stayed byte-identical — the CI integrity gate.
  */
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 
 #include "cdma/offload_scheduler.hh"
 #include "cdma/prefetch_scheduler.hh"
 #include "common/harness.hh"
 #include "models/describe.hh"
 #include "perf/step_sim.hh"
+#include "sim/fault_injector.hh"
 
 using namespace cdma;
 using bench::Table;
 
+namespace {
+
+/**
+ * The --fault-smoke gate: round-trip the trained maps through a spill
+ * engine whose link flips bits at 1e-6/byte (seeded, deterministic)
+ * until at least one crossing is rejected and retried. Returns the
+ * process exit code: 0 only if retries fired and every restored map
+ * was byte-identical to the source.
+ */
+int
+runFaultSmoke(const Network &net,
+              const std::vector<ActivationRecord> &records)
+{
+    sim::FaultConfig faults;
+    faults.bit_flip_rate_per_byte = 1e-6;
+    sim::FaultInjector injector(faults);
+
+    CdmaConfig config;
+    config.timing_mode = TimingMode::Overlapped;
+    config.fault_injector = &injector;
+    const CdmaEngine engine(config);
+    const OffloadScheduler offloader(engine);
+    const PrefetchScheduler prefetcher(engine);
+    SpillArena arena;
+
+    TransferIntegrity integrity;
+    bool identical = true;
+    int passes = 0;
+    constexpr int kMaxPasses = 2000;
+    // Each pass crosses every map twice; at 1e-6/byte the first flip
+    // lands within a handful of passes. The cap only guards against a
+    // misconfigured (fault-free) engine looping forever.
+    while (integrity.retries == 0 && passes < kMaxPasses) {
+        ++passes;
+        for (const auto &record : records) {
+            const Tensor4D &map = net.outputs()[record.output_index];
+            const StatusOr<SpilledOffload> spilled =
+                offloader.offloadInto(map.rawBytes(), arena);
+            if (!spilled.ok()) {
+                std::printf("fault smoke: offload failed: %s\n",
+                            spilled.status().message().c_str());
+                return 1;
+            }
+            integrity.accumulate(spilled->integrity);
+            const StatusOr<PrefetchResult> restored =
+                prefetcher.prefetch(arena, spilled->ticket);
+            if (!restored.ok()) {
+                std::printf("fault smoke: prefetch failed: %s\n",
+                            restored.status().message().c_str());
+                return 1;
+            }
+            integrity.accumulate(restored->integrity);
+            const auto raw = map.rawBytes();
+            identical = identical &&
+                restored->data.size() == raw.size() &&
+                std::equal(restored->data.begin(), restored->data.end(),
+                           raw.begin());
+            arena.release(spilled->ticket);
+        }
+    }
+
+    std::printf(
+        "\nfault smoke (1e-6/byte flips): %d pass(es), %llu crossings, "
+        "%llu retries (%llu CRC rejects, %llu link faults), %llu shard(s) "
+        "degraded, restored maps %s\n",
+        passes, static_cast<unsigned long long>(integrity.attempts),
+        static_cast<unsigned long long>(integrity.retries),
+        static_cast<unsigned long long>(integrity.crc_failures),
+        static_cast<unsigned long long>(integrity.link_faults),
+        static_cast<unsigned long long>(integrity.degraded_shards),
+        identical ? "byte-identical" : "MISMATCH");
+
+    if (integrity.retries == 0) {
+        std::printf("fault smoke FAILED: no retries fired after %d "
+                    "passes — injector not wired into the flow?\n",
+                    passes);
+        return 1;
+    }
+    if (!identical) {
+        std::printf("fault smoke FAILED: a fault escaped the CRC/retry "
+                    "machinery and corrupted a restored map\n");
+        return 1;
+    }
+    std::printf("fault smoke passed: faults detected, retried, and "
+                "masked end to end\n");
+    return 0;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
+    bool fault_smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--fault-smoke") == 0) {
+            fault_smoke = true;
+            for (int j = i; j + 1 < argc; ++j)
+                argv[j] = argv[j + 1];
+            --argc;
+            break;
+        }
+    }
+
     bench::ScaledRunConfig config;
     config.iterations = 200;
     bench::parseTrainArgs(argc, argv, config);
@@ -77,7 +185,7 @@ main(int argc, char **argv)
             double ratio;
             if (algorithm == Algorithm::Zvc) {
                 const SpilledOffload spilled =
-                    offloader.offloadInto(map.rawBytes(), arena);
+                    offloader.offloadInto(map.rawBytes(), arena).value();
                 tickets.push_back(spilled.ticket);
                 const uint64_t wire = arena.wireBytes(spilled.ticket);
                 ratio = wire > 0
@@ -102,7 +210,7 @@ main(int argc, char **argv)
     for (size_t i = tickets.size(); i-- > 0;) {
         const Tensor4D &map = net.outputs()[records[i].output_index];
         const PrefetchResult restored =
-            prefetcher.prefetch(arena, tickets[i]);
+            prefetcher.prefetch(arena, tickets[i]).value();
         const auto raw = map.rawBytes();
         restored_ok = restored_ok &&
             restored.data.size() == raw.size() &&
@@ -121,6 +229,12 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(spill.slab_allocations),
                 static_cast<unsigned long long>(spill.reused_slots),
                 static_cast<unsigned long long>(spill.stored_shards));
+
+    // In smoke mode the integrity gate is the whole point: rerun the
+    // round trip on a faulty link and make the exit code depend on the
+    // retry machinery actually firing and masking every fault.
+    if (fault_smoke)
+        return runFaultSmoke(net, records);
 
     // 3. Describe the live network and simulate an iteration with the
     //    measured ratios.

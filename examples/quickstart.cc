@@ -39,9 +39,9 @@ main()
         const auto compressed = compressor->compress(
             activations.rawBytes());
         const auto restored = compressor->decompress(compressed);
-        const bool lossless =
-            restored.size() == activations.rawBytes().size() &&
-            std::equal(restored.begin(), restored.end(),
+        const bool lossless = restored.ok() &&
+            restored->size() == activations.rawBytes().size() &&
+            std::equal(restored->begin(), restored->end(),
                        activations.rawBytes().begin());
         std::printf("  %s: ratio %.2fx (%7.1f KB on the wire), "
                     "lossless: %s\n",

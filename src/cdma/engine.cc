@@ -72,10 +72,19 @@ CdmaEngine::planTransfer(const std::string &label,
         plan.seconds = result.timing.overlapped_seconds;
         // The prefetch leg returns the same compressed shards, so its
         // pipeline is modeled over the same measured sizes (wire in,
-        // then decompress) without re-running the codec.
-        plan.prefetch = PrefetchScheduler::pipelineTiming(
-            result.shards, config_.gpu.pcie_effective_bandwidth,
-            config_.gpu.comp_bandwidth, config_.staging_buffers);
+        // then decompress) without re-running the codec. Routed
+        // through the duplex DES (prefetch direction only) so a
+        // configured fault process prices its backoff identically in
+        // both directions.
+        plan.prefetch = transfers.duplexTiming({}, result.shards).prefetch;
+        // Integrity expectation for the round trip: the offload train
+        // crosses once, the prefetch returns the same train.
+        plan.integrity = result.integrity;
+        plan.integrity.accumulate(
+            TransferEngine::trainIntegrity(result.shards));
+        plan.integrity.retry_stall_seconds =
+            plan.offload.retry_stall_seconds +
+            plan.prefetch.retry_stall_seconds;
         // The duplex race of this map's offload against an equal-size
         // prefetch on the configured link (same measured shard train in
         // both directions). Under Full the directions are independent
@@ -126,11 +135,32 @@ CdmaEngine::planFromRatio(const std::string &label, uint64_t raw_bytes,
     // apply: plain DMA occupancy regardless of timing mode.
     if (config_.timing_mode == TimingMode::Overlapped &&
         config_.compression_enabled) {
-        const OffloadScheduler scheduler(*this);
-        plan.offload = scheduler.modelFromRatio(raw_bytes, plan.ratio);
-        plan.seconds = plan.offload.overlapped_seconds;
-        plan.prefetch = PrefetchScheduler(*this).modelFromRatio(
-            raw_bytes, plan.ratio);
+        if (config_.fault_injector != nullptr) {
+            // The schedulers' closed forms model a perfect link; with
+            // a fault process configured, replay the expected shard
+            // train (attempts / re-sent bytes in expectation) through
+            // the duplex DES so retries and backoff are priced.
+            const TransferEngine transfers(*this);
+            const std::vector<ShardTransfer> train =
+                transfers.shardTrain(raw_bytes, plan.ratio);
+            plan.offload = transfers.duplexTiming(train, {}).offload;
+            plan.prefetch = transfers.duplexTiming({}, train).prefetch;
+            plan.seconds = plan.offload.overlapped_seconds;
+            // Round trip: the train crosses once per direction.
+            plan.integrity = TransferEngine::trainIntegrity(train);
+            plan.integrity.accumulate(
+                TransferEngine::trainIntegrity(train));
+            plan.integrity.retry_stall_seconds =
+                plan.offload.retry_stall_seconds +
+                plan.prefetch.retry_stall_seconds;
+        } else {
+            const OffloadScheduler scheduler(*this);
+            plan.offload =
+                scheduler.modelFromRatio(raw_bytes, plan.ratio);
+            plan.seconds = plan.offload.overlapped_seconds;
+            plan.prefetch = PrefetchScheduler(*this).modelFromRatio(
+                raw_bytes, plan.ratio);
+        }
         // Same Full-duplex shortcut as planTransfer: independent
         // directions need no contended replay.
         if (config_.duplex_mode == DuplexMode::Full) {

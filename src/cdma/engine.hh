@@ -37,6 +37,10 @@
 
 namespace cdma {
 
+namespace sim {
+class FaultInjector;
+} // namespace sim
+
 /**
  * How a transfer plan accounts for compression latency.
  *
@@ -59,6 +63,54 @@ enum class TimingMode {
 std::string timingModeName(TimingMode mode);
 
 /**
+ * Bounded-retry policy for faulted shard crossings. A shard whose wire
+ * crossing is damaged (CRC mismatch, truncation, link drop — see
+ * sim::FaultInjector) is re-sent after an exponential backoff:
+ * the k-th retry waits backoff_seconds * 2^(k-1). After
+ * raw_fallback_after failed crossings the shard degrades to raw
+ * framing (uncompressed payload, no decode step on the far side), the
+ * robustness analogue of the paper's store-raw fallback. A shard that
+ * fails max_attempts crossings surfaces Status::retryExhausted.
+ */
+struct RetryPolicy {
+    /** Total crossings allowed per shard (first try + retries). */
+    uint32_t max_attempts = 4;
+    /** Backoff before the first retry; doubles each further retry. */
+    double backoff_seconds = 2e-6;
+    /** Failed crossings before the shard degrades to raw framing. */
+    uint32_t raw_fallback_after = 2;
+};
+
+/**
+ * Integrity and retry accounting of one transfer (or one accumulated
+ * schedule step). attempts counts wire crossings, so attempts ==
+ * shard_count on a fault-free transfer; every counter beyond that is
+ * zero unless a fault injector is configured.
+ */
+struct TransferIntegrity {
+    uint64_t attempts = 0;      ///< wire crossings (first tries + retries)
+    uint64_t retries = 0;       ///< crossings repeated after a fault
+    uint64_t crc_failures = 0;  ///< crossings rejected by the CRC check
+    uint64_t link_faults = 0;   ///< crossings lost or truncated in flight
+    uint64_t degraded_shards = 0; ///< shards downgraded to raw framing
+    uint64_t failed_wire_bytes = 0; ///< wire bytes of failed crossings
+    /** Modeled seconds lost to re-sent bytes and retry backoff. */
+    double retry_stall_seconds = 0.0;
+
+    /** Fold another transfer's accounting into this one. */
+    void accumulate(const TransferIntegrity &other)
+    {
+        attempts += other.attempts;
+        retries += other.retries;
+        crc_failures += other.crc_failures;
+        link_faults += other.link_faults;
+        degraded_shards += other.degraded_shards;
+        failed_wire_bytes += other.failed_wire_bytes;
+        retry_stall_seconds += other.retry_stall_seconds;
+    }
+};
+
+/**
  * Timing of one offloaded buffer under the double-buffered pipeline
  * model. All times are modeled seconds (compression fetches raw bytes at
  * COMP_BW; the wire drains store-raw-floored bytes at effective PCIe
@@ -67,6 +119,13 @@ std::string timingModeName(TimingMode mode);
 struct OffloadTiming {
     double compress_seconds = 0.0; ///< sum of per-shard compression times
     double wire_seconds = 0.0;     ///< sum of per-shard wire times
+    /**
+     * Portion of wire_seconds spent re-sending faulted crossings plus
+     * their exponential backoff (zero without a fault injector). The
+     * retry sequence holds the shard's DMA transaction slot, so the
+     * stall is priced inside the shard's wire leg on the DES timeline.
+     */
+    double retry_stall_seconds = 0.0;
     /** Pipeline makespan: first byte fetched to last byte on the wire. */
     double overlapped_seconds = 0.0;
     /** Fraction of the hideable (shorter) leg actually hidden, in [0,1]. */
@@ -97,6 +156,9 @@ struct OffloadTiming {
 struct PrefetchTiming {
     double wire_seconds = 0.0;       ///< sum of per-shard wire times
     double decompress_seconds = 0.0; ///< sum of per-shard expand times
+    /** Re-sent-crossing service plus backoff inside wire_seconds (zero
+     *  without a fault injector); see OffloadTiming. */
+    double retry_stall_seconds = 0.0;
     /** Pipeline makespan: first wire byte to last byte re-inflated. */
     double overlapped_seconds = 0.0;
     /** Fraction of the hideable (shorter) leg actually hidden, in [0,1]. */
@@ -220,6 +282,17 @@ struct CdmaConfig {
     DuplexMode duplex_mode = DuplexMode::Full;
     /** Which pending direction a contended link serves next. */
     LinkArbiter link_arbiter = LinkArbiter::RoundRobin;
+    /**
+     * Optional link fault process (non-owning; the caller keeps the
+     * injector alive for the engine's lifetime). When set, the arena
+     * transfer flows sample per-crossing damage from it — detected by
+     * the CRC-32C shard framing and repaired by RetryPolicy — and the
+     * buffer flows and analytic models price the same process in
+     * expectation. nullptr = a perfect link (the historical behavior).
+     */
+    sim::FaultInjector *fault_injector = nullptr;
+    /** Retry/backoff/degradation policy for faulted crossings. */
+    RetryPolicy retry;
 };
 
 /** Outcome of planning one activation-map transfer. */
@@ -255,6 +328,13 @@ struct TransferPlan {
      * the single-direction breakdowns above.
      */
     DuplexTiming duplex;
+    /**
+     * Expected integrity accounting for the offload + prefetch round
+     * trip under CdmaConfig::fault_injector (all zeros without one, and
+     * under TimingMode::CompressionFree, which has no shard pipeline to
+     * price retries on).
+     */
+    TransferIntegrity integrity;
 };
 
 /** The compressing DMA engine model. */

@@ -17,7 +17,7 @@ OffloadScheduler::offload(std::span<const uint8_t> data) const
     return engine_.offload(data);
 }
 
-SpilledOffload
+StatusOr<SpilledOffload>
 OffloadScheduler::offloadInto(std::span<const uint8_t> data,
                               SpillArena &arena) const
 {

@@ -58,10 +58,12 @@ class OffloadScheduler
      * CompressedBuffer, no per-layer payload allocation in steady
      * state), modeling the same double-buffered pipeline. The returned
      * ticket holds the compressed activations until the backward pass
-     * prefetches and releases them.
+     * prefetches and releases them. With a fault injector configured,
+     * crossings sample the fault process and retry under the engine's
+     * RetryPolicy (see TransferEngine::offloadInto).
      */
-    SpilledOffload offloadInto(std::span<const uint8_t> data,
-                               SpillArena &arena) const;
+    StatusOr<SpilledOffload> offloadInto(std::span<const uint8_t> data,
+                                         SpillArena &arena) const;
 
     /**
      * Pipeline timing for a transfer of @p raw_bytes at a known

@@ -11,13 +11,13 @@ PrefetchScheduler::PrefetchScheduler(const CdmaEngine &engine)
 {
 }
 
-PrefetchResult
+StatusOr<PrefetchResult>
 PrefetchScheduler::prefetch(const CompressedBuffer &buffer) const
 {
     return engine_.prefetch(buffer);
 }
 
-PrefetchResult
+StatusOr<PrefetchResult>
 PrefetchScheduler::prefetch(const SpillArena &arena,
                             SpillTicket ticket) const
 {

@@ -49,17 +49,21 @@ class PrefetchScheduler
      * Prefetch @p buffer: reconstruct it shard-by-shard on the engine's
      * lanes (consumed in deterministic shard order, while later shards
      * are still expanding) and model the double-buffered pipeline over
-     * the measured per-shard sizes.
+     * the measured per-shard sizes. Decode errors on a corrupt or
+     * truncated payload propagate as a non-OK Status.
      */
-    PrefetchResult prefetch(const CompressedBuffer &buffer) const;
+    StatusOr<PrefetchResult> prefetch(const CompressedBuffer &buffer) const;
 
     /**
      * Prefetch a spilled buffer straight out of @p arena's shard slots
      * (no stitched CompressedBuffer in between). The ticket stays live;
      * the caller releases it once the restored bytes are consumed.
+     * Shard payloads are CRC-verified before expansion, and a
+     * configured fault injector is sampled per crossing (see
+     * TransferEngine::prefetch).
      */
-    PrefetchResult prefetch(const SpillArena &arena,
-                            SpillTicket ticket) const;
+    StatusOr<PrefetchResult> prefetch(const SpillArena &arena,
+                                      SpillTicket ticket) const;
 
     /**
      * Pipeline timing for a prefetch of @p raw_bytes at a known

@@ -6,6 +6,7 @@
 
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "compress/kernels/kernels.hh"
 
 namespace cdma {
 
@@ -120,6 +121,8 @@ SpillArena::appendShard(SpillTicket ticket, const CompressedShard &shard)
     stored.first_window = shard.first_window;
     stored.window_begin = record.window_sizes.size();
     stored.window_count = shard.window_sizes.size();
+    stored.crc32c = shard.crc32c;
+    stored.raw_framed = shard.raw_framed;
     if (stored.payload_bytes > 0) {
         stored.slot = allocateSlot(stored.payload_bytes);
         std::memcpy(slotData(stored.slot), shard.payload.data(),
@@ -169,6 +172,10 @@ SpillArena::store(const CompressedBuffer &buffer,
             buffer.original_bytes, last * buffer.window_bytes);
         shard.raw_bytes = raw_end - raw_cursor;
         raw_cursor = raw_end;
+        // Stitched buffers carry no per-shard CRC, so frame the shard
+        // here — same integrity contract as the streaming offload path.
+        shard.crc32c = activeKernels().crc32(0, shard.payload.data(),
+                                             shard.payload.size());
         appendShard(ticket, shard);
     }
     CDMA_ASSERT(payload_cursor == buffer.payload.size() &&
@@ -241,6 +248,8 @@ SpillArena::shard(SpillTicket ticket, size_t index) const
     view.first_window = stored.first_window;
     view.raw_bytes = stored.raw_bytes;
     view.wire_bytes = stored.wire_bytes;
+    view.crc32c = stored.crc32c;
+    view.raw_framed = stored.raw_framed;
     return view;
 }
 

@@ -35,6 +35,12 @@ struct SpillShardView {
     uint64_t first_window = 0; ///< absolute index of the first window
     uint64_t raw_bytes = 0;    ///< uncompressed bytes the shard covers
     uint64_t wire_bytes = 0;   ///< store-raw-floored wire bytes
+    /** CRC-32C recorded at compress time; the prefetch side verifies
+     *  the bytes it is about to expand against this. */
+    uint32_t crc32c = 0;
+    /** Shard was degraded to raw framing after repeated transfer
+     *  faults (payload is uncompressed source bytes). */
+    bool raw_framed = false;
 };
 
 /** Arena occupancy and recycling statistics. */
@@ -136,6 +142,8 @@ class SpillArena
         uint64_t first_window = 0;
         uint64_t window_begin = 0; ///< range into the record's sizes
         uint64_t window_count = 0;
+        uint32_t crc32c = 0;       ///< payload CRC from compress time
+        bool raw_framed = false;   ///< degraded to raw framing
     };
 
     struct Record {

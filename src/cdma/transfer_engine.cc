@@ -1,15 +1,91 @@
 #include "cdma/transfer_engine.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
 #include <functional>
 #include <queue>
 
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "compress/kernels/kernels.hh"
 #include "sim/channel.hh"
 #include "sim/event_queue.hh"
+#include "sim/fault_injector.hh"
 
 namespace cdma {
+
+namespace {
+
+/** Total exponential backoff of a shard that took @p attempts
+ *  crossings: base, 2*base, ... summing to base * (2^(attempts-1) - 1). */
+double
+backoffSeconds(uint32_t attempts, double base)
+{
+    if (attempts <= 1 || base <= 0.0)
+        return 0.0;
+    return base * (std::ldexp(1.0, static_cast<int>(attempts) - 1) - 1.0);
+}
+
+/**
+ * Receiver-side view of one sampled crossing: applies @p outcome to a
+ * scratch copy of @p payload and runs the same length + CRC-32C framing
+ * checks a clean landing passes, charging the appropriate counter for
+ * rejected crossings. Returns true when the payload landed usable.
+ * (A lost or short crossing is rejected by the framing length before
+ * any CRC work; bit flips are what the CRC catches — CRC-32C detects
+ * every error of fewer than 4 flipped bits at these payload sizes, so
+ * the fall-through "damage evaded detection" arm is unreachable in
+ * practice but kept honest.)
+ */
+bool
+crossingLanded(const sim::FaultOutcome &outcome,
+               std::span<const uint8_t> payload, uint32_t expected_crc,
+               const KernelOps &kernels, TransferIntegrity &integrity)
+{
+    if (outcome.clean())
+        return true;
+    if (outcome.link_failed || outcome.truncated) {
+        ++integrity.link_faults;
+        return false;
+    }
+    ByteVec scratch(payload.begin(), payload.end());
+    for (size_t i = 0; i < outcome.flip_offsets.size(); ++i)
+        scratch[outcome.flip_offsets[i]] ^= outcome.flip_masks[i];
+    if (kernels.crc32(0, scratch.data(), scratch.size()) !=
+        expected_crc) {
+        ++integrity.crc_failures;
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Downgrade @p shard to raw framing: the payload becomes the shard's
+ * uncompressed source bytes (no decode step can fail on the far side),
+ * the per-window sizes become raw sizes, and the CRC is re-framed over
+ * the new payload — the robustness analogue of store-raw.
+ */
+void
+degradeToRaw(CompressedShard &shard, std::span<const uint8_t> data,
+             uint64_t window_bytes, const KernelOps &kernels)
+{
+    const uint64_t begin = shard.first_window * window_bytes;
+    shard.payload.assign(
+        data.begin() + static_cast<ptrdiff_t>(begin),
+        data.begin() + static_cast<ptrdiff_t>(begin + shard.raw_bytes));
+    uint64_t remaining = shard.raw_bytes;
+    for (uint32_t &size : shard.window_sizes) {
+        size = static_cast<uint32_t>(
+            std::min<uint64_t>(window_bytes, remaining));
+        remaining -= size;
+    }
+    shard.raw_framed = true;
+    shard.crc32c =
+        kernels.crc32(0, shard.payload.data(), shard.payload.size());
+}
+
+} // namespace
 
 TransferEngine::TransferEngine(const CdmaEngine &engine)
     : engine_(engine)
@@ -62,15 +138,26 @@ TransferEngine::offload(std::span<const uint8_t> data) const
                 shard.window_sizes.begin(), shard.window_sizes.end());
         });
 
+    // The stitched buffer carries no per-shard CRC framing, so a
+    // configured fault process is priced in expectation here; the
+    // arena flow (offloadInto) samples it crossing by crossing.
+    applyExpectedFaults(result.shards);
+    result.integrity = trainIntegrity(result.shards);
     result.timing = timingFor(result.shards, {}).offload;
+    result.integrity.retry_stall_seconds =
+        result.timing.retry_stall_seconds;
     return result;
 }
 
-SpilledOffload
+StatusOr<SpilledOffload>
 TransferEngine::offloadInto(std::span<const uint8_t> data,
                             SpillArena &arena) const
 {
     const CdmaConfig &config = engine_.config();
+    sim::FaultInjector *injector = config.fault_injector;
+    const RetryPolicy &retry = config.retry;
+    const KernelOps &kernels = engine_.compressor().serial().kernels();
+
     SpilledOffload result;
     result.ticket = arena.beginSpill(data.size(), config.window_bytes);
     result.shards.reserve(
@@ -78,20 +165,69 @@ TransferEngine::offloadInto(std::span<const uint8_t> data,
                 shard_windows_));
 
     // Same drain as offload(), but each shard lands in a recycled arena
-    // slot instead of growing a stitched payload vector.
+    // slot instead of growing a stitched payload vector. The drain is
+    // also where the shard crosses the wire, so the fault process (if
+    // any) is sampled here, crossing by crossing: a damaged crossing is
+    // caught by the length/CRC framing checks and re-sent, degrading to
+    // raw framing and finally giving up per the RetryPolicy. The drain
+    // runs serially on this thread in shard order, which keeps the
+    // injector's draw sequence deterministic.
+    Status fault_error;
     engine_.compressor().compressShards(
         data, shard_windows_, [&](CompressedShard &&shard) {
-            result.shards.push_back(
-                {shard.raw_bytes,
-                 shard.effectiveBytes(config.window_bytes)});
+            if (!fault_error.ok())
+                return; // an earlier shard burned its retry budget
+            ShardTransfer xfer;
+            xfer.raw_bytes = shard.raw_bytes;
+            xfer.wire_bytes = shard.effectiveBytes(config.window_bytes);
+            uint32_t attempts = 0;
+            while (injector != nullptr) {
+                ++attempts;
+                const sim::FaultOutcome outcome =
+                    injector->sample(shard.payload.size());
+                if (crossingLanded(outcome, shard.payload, shard.crc32c,
+                                   kernels, result.integrity)) {
+                    break;
+                }
+                xfer.failed_wire_bytes += xfer.wire_bytes;
+                if (attempts >= retry.max_attempts) {
+                    fault_error = Status::retryExhausted(
+                        "offload shard %llu dropped after %u crossings",
+                        static_cast<unsigned long long>(shard.index),
+                        attempts);
+                    return;
+                }
+                ++result.integrity.retries;
+                if (!shard.raw_framed &&
+                    attempts >= retry.raw_fallback_after) {
+                    degradeToRaw(shard, data, config.window_bytes,
+                                 kernels);
+                    xfer.wire_bytes =
+                        shard.effectiveBytes(config.window_bytes);
+                    xfer.degraded = true;
+                    ++result.integrity.degraded_shards;
+                }
+            }
+            xfer.attempts = std::max<uint32_t>(1, attempts);
+            result.integrity.attempts += xfer.attempts;
+            result.integrity.failed_wire_bytes += xfer.failed_wire_bytes;
+            result.shards.push_back(xfer);
             arena.appendShard(result.ticket, shard);
         });
 
+    if (!fault_error.ok()) {
+        // The partially filled spill is useless to the caller; return
+        // its slots so the error path leaks nothing.
+        arena.release(result.ticket);
+        return fault_error;
+    }
     result.timing = timingFor(result.shards, {}).offload;
+    result.integrity.retry_stall_seconds =
+        result.timing.retry_stall_seconds;
     return result;
 }
 
-PrefetchResult
+StatusOr<PrefetchResult>
 TransferEngine::prefetch(const CompressedBuffer &buffer) const
 {
     PrefetchResult result;
@@ -103,22 +239,32 @@ TransferEngine::prefetch(const CompressedBuffer &buffer) const
     // thread in shard order while the lanes reconstruct later shards,
     // recording each shard's byte counts for the pipeline model (the
     // raw bytes themselves land directly in the output region).
-    engine_.compressor().decompressShards(
+    const Status status = engine_.compressor().decompressShards(
         buffer, shard_windows_, result.data.data(),
         [&](const ParallelCompressor::DecompressedShard &shard) {
             result.shards.push_back({shard.raw_bytes, shard.wire_bytes});
         });
+    if (!status.ok())
+        return status;
 
+    applyExpectedFaults(result.shards);
+    result.integrity = trainIntegrity(result.shards);
     result.timing = timingFor({}, result.shards).prefetch;
+    result.integrity.retry_stall_seconds =
+        result.timing.retry_stall_seconds;
     return result;
 }
 
-PrefetchResult
+StatusOr<PrefetchResult>
 TransferEngine::prefetch(const SpillArena &arena, SpillTicket ticket) const
 {
+    const CdmaConfig &config = engine_.config();
+    sim::FaultInjector *injector = config.fault_injector;
+    const RetryPolicy &retry = config.retry;
     const uint64_t original_bytes = arena.originalBytes(ticket);
     const uint64_t window_bytes = arena.windowBytes(ticket);
     const Compressor &codec = engine_.compressor().serial();
+    const KernelOps &kernels = codec.kernels();
 
     PrefetchResult result;
     result.data.resize(original_bytes);
@@ -130,35 +276,98 @@ TransferEngine::prefetch(const SpillArena &arena, SpillTicket ticket) const
     // engine walks one spilled layer at a time.
     for (size_t s = 0; s < arena.shardCount(ticket); ++s) {
         const SpillShardView view = arena.shard(ticket, s);
-        uint64_t cursor = 0;
-        uint64_t window = view.first_window;
-        for (const uint32_t size : view.window_sizes) {
-            const uint64_t out_offset = window * window_bytes;
-            const uint64_t raw = std::min<uint64_t>(
-                window_bytes, original_bytes - out_offset);
-            codec.decompressWindowInto(
-                view.payload.subspan(cursor, size), raw,
-                result.data.data() + out_offset);
-            cursor += size;
-            ++window;
+        ShardTransfer xfer;
+        xfer.raw_bytes = view.raw_bytes;
+        xfer.wire_bytes = view.wire_bytes;
+        xfer.degraded = view.raw_framed;
+
+        // GPU-bound wire crossing(s): a faulted crossing re-reads the
+        // pristine arena slot, so once a crossing lands clean the
+        // landed bytes are exactly the stored bytes.
+        uint32_t attempts = 0;
+        while (injector != nullptr) {
+            ++attempts;
+            const sim::FaultOutcome outcome =
+                injector->sample(view.payload.size());
+            if (crossingLanded(outcome, view.payload, view.crc32c,
+                               kernels, result.integrity)) {
+                break;
+            }
+            xfer.failed_wire_bytes += view.wire_bytes;
+            if (attempts >= retry.max_attempts) {
+                return Status::retryExhausted(
+                    "prefetch shard %zu dropped after %u crossings", s,
+                    attempts);
+            }
+            ++result.integrity.retries;
         }
-        CDMA_ASSERT(cursor == view.payload.size(),
-                    "spilled shard payload not fully consumed");
-        result.shards.push_back({view.raw_bytes, view.wire_bytes});
+        xfer.attempts = std::max<uint32_t>(1, attempts);
+        result.integrity.attempts += xfer.attempts;
+        result.integrity.failed_wire_bytes += xfer.failed_wire_bytes;
+
+        // End-to-end verify: the landed payload against the CRC framed
+        // at compress time, before any decode work touches it.
+        const uint32_t crc =
+            kernels.crc32(0, view.payload.data(), view.payload.size());
+        if (crc != view.crc32c) {
+            return Status::integrityError(
+                "spilled shard %zu CRC mismatch (framed %08x, landed "
+                "%08x)",
+                s, view.crc32c, crc);
+        }
+
+        if (view.raw_framed) {
+            // Degraded shard: the payload IS the raw bytes.
+            std::memcpy(result.data.data() +
+                            view.first_window * window_bytes,
+                        view.payload.data(), view.payload.size());
+        } else {
+            uint64_t cursor = 0;
+            uint64_t window = view.first_window;
+            for (const uint32_t size : view.window_sizes) {
+                const uint64_t out_offset = window * window_bytes;
+                const uint64_t raw = std::min<uint64_t>(
+                    window_bytes, original_bytes - out_offset);
+                const Status status = codec.decompressWindowInto(
+                    view.payload.subspan(cursor, size), raw,
+                    result.data.data() + out_offset);
+                if (!status.ok()) {
+                    return status.withContext(
+                        "spilled shard %zu window %llu", s,
+                        static_cast<unsigned long long>(window));
+                }
+                cursor += size;
+                ++window;
+            }
+            CDMA_ASSERT(cursor == view.payload.size(),
+                        "spilled shard payload not fully consumed");
+        }
+        result.shards.push_back(xfer);
     }
 
     result.timing = timingFor({}, result.shards).prefetch;
+    result.integrity.retry_stall_seconds =
+        result.timing.retry_stall_seconds;
     return result;
 }
 
-TransferEngine::DuplexResult
+StatusOr<TransferEngine::DuplexResult>
 TransferEngine::transfer(std::span<const uint8_t> offload_data,
                          SpillArena &arena,
                          SpillTicket prefetch_ticket) const
 {
+    StatusOr<SpilledOffload> offloaded =
+        offloadInto(offload_data, arena);
+    if (!offloaded.ok())
+        return offloaded.status();
+    StatusOr<PrefetchResult> prefetched =
+        prefetch(arena, prefetch_ticket);
+    if (!prefetched.ok())
+        return prefetched.status();
+
     DuplexResult result;
-    result.offload = offloadInto(offload_data, arena);
-    result.prefetch = prefetch(arena, prefetch_ticket);
+    result.offload = std::move(offloaded.value());
+    result.prefetch = std::move(prefetched.value());
     // Re-time both measured shard trains as one race on the shared
     // link: the per-direction breakdowns pick up any contention the
     // independent flows above could not see.
@@ -180,7 +389,8 @@ TransferEngine::timingFor(std::span<const ShardTransfer> offload_shards,
                           config.gpu.pcie_effective_bandwidth,
                           config.gpu.comp_bandwidth,
                           config.staging_buffers, config.duplex_mode,
-                          config.link_arbiter);
+                          config.link_arbiter,
+                          config.retry.backoff_seconds);
 }
 
 DuplexTiming
@@ -206,7 +416,48 @@ TransferEngine::shardTrain(uint64_t raw_bytes, double ratio) const
                                    static_cast<double>(raw) / ratio)});
         remaining -= raw;
     }
+    applyExpectedFaults(shards);
     return shards;
+}
+
+void
+TransferEngine::applyExpectedFaults(
+    std::vector<ShardTransfer> &shards) const
+{
+    const sim::FaultInjector *injector = engine_.config().fault_injector;
+    if (injector == nullptr)
+        return;
+    const RetryPolicy &retry = engine_.config().retry;
+    // Integerize the per-shard expectation with a running remainder so
+    // the train-level totals track the closed form: at E[attempts] of,
+    // say, 1.25, independent rounding would give every shard 1 attempt
+    // and erase the fold entirely, whereas the carry hands every fourth
+    // shard the retry.
+    double carry = 0.0;
+    for (ShardTransfer &shard : shards) {
+        const double expected = injector->expectedAttempts(
+            shard.wire_bytes, retry.max_attempts);
+        carry += expected;
+        const auto attempts =
+            std::max<uint32_t>(1, static_cast<uint32_t>(carry));
+        carry -= attempts;
+        shard.attempts = attempts;
+        shard.failed_wire_bytes = static_cast<uint64_t>(std::llround(
+            (expected - 1.0) * static_cast<double>(shard.wire_bytes)));
+    }
+}
+
+TransferIntegrity
+TransferEngine::trainIntegrity(std::span<const ShardTransfer> shards)
+{
+    TransferIntegrity integrity;
+    for (const ShardTransfer &shard : shards) {
+        integrity.attempts += shard.attempts;
+        integrity.retries += shard.attempts - 1;
+        integrity.failed_wire_bytes += shard.failed_wire_bytes;
+        integrity.degraded_shards += shard.degraded ? 1 : 0;
+    }
+    return integrity;
 }
 
 DuplexTiming
@@ -224,7 +475,7 @@ TransferEngine::pipelineTiming(
     std::span<const ShardTransfer> prefetch_shards,
     double compress_bandwidth, double wire_bandwidth,
     double decompress_bandwidth, unsigned staging_buffers,
-    DuplexMode mode, LinkArbiter arbiter)
+    DuplexMode mode, LinkArbiter arbiter, double backoff_base_seconds)
 {
     CDMA_ASSERT(compress_bandwidth > 0.0 && wire_bandwidth > 0.0 &&
                     decompress_bandwidth > 0.0,
@@ -263,12 +514,20 @@ TransferEngine::pipelineTiming(
             // shared link behind the arbiter) and start compressing the
             // next shard into the other buffer.
             compressing = false;
-            wire.submit(Direction::Out, offload_shards[k].wire_bytes,
+            // The wire leg carries the shard's failed crossings too,
+            // and the retry backoff rides as extra latency: the retry
+            // sequence holds the shard's DMA transaction slot (and,
+            // under half duplex, the link) until the shard lands.
+            wire.submit(Direction::Out,
+                        offload_shards[k].wire_bytes +
+                            offload_shards[k].failed_wire_bytes,
                         [&](const DuplexChannel::Grant &) {
                             --off_in_flight;
                             last_off_drain = queue.now();
                             startCompress();
-                        });
+                        },
+                        backoffSeconds(offload_shards[k].attempts,
+                                       backoff_base_seconds));
             startCompress();
         });
     };
@@ -308,12 +567,16 @@ TransferEngine::pipelineTiming(
         }
         const size_t k = pre_next++;
         ++pre_in_flight;
-        wire.submit(Direction::In, prefetch_shards[k].wire_bytes,
+        wire.submit(Direction::In,
+                    prefetch_shards[k].wire_bytes +
+                        prefetch_shards[k].failed_wire_bytes,
                     [&, k](const DuplexChannel::Grant &) {
                         landed.push(k);
                         startExpand();
                         startWire();
-                    });
+                    },
+                    backoffSeconds(prefetch_shards[k].attempts,
+                                   backoff_base_seconds));
         startWire();
     };
 
@@ -324,6 +587,10 @@ TransferEngine::pipelineTiming(
     for (const ShardTransfer &shard : offload_shards) {
         timing.offload.compress_seconds +=
             static_cast<double>(shard.raw_bytes) / compress_bandwidth;
+        timing.offload.retry_stall_seconds +=
+            static_cast<double>(shard.failed_wire_bytes) /
+                wire_bandwidth +
+            backoffSeconds(shard.attempts, backoff_base_seconds);
     }
     timing.offload.wire_seconds = wire.busySeconds(Direction::Out);
     timing.offload.overlapped_seconds = last_off_drain;
@@ -333,6 +600,10 @@ TransferEngine::pipelineTiming(
     for (const ShardTransfer &shard : prefetch_shards) {
         timing.prefetch.decompress_seconds +=
             static_cast<double>(shard.raw_bytes) / decompress_bandwidth;
+        timing.prefetch.retry_stall_seconds +=
+            static_cast<double>(shard.failed_wire_bytes) /
+                wire_bandwidth +
+            backoffSeconds(shard.attempts, backoff_base_seconds);
     }
     timing.prefetch.overlapped_seconds = last_expand;
     finalizeOverlapFraction(timing.prefetch);

@@ -31,6 +31,7 @@
 
 #include "cdma/engine.hh"
 #include "cdma/spill_arena.hh"
+#include "common/status.hh"
 
 namespace cdma {
 
@@ -38,6 +39,12 @@ namespace cdma {
 struct ShardTransfer {
     uint64_t raw_bytes = 0;  ///< uncompressed bytes the shard covers
     uint64_t wire_bytes = 0; ///< store-raw-floored bytes put on the wire
+    /** Wire crossings the shard took (1 = landed clean first try). */
+    uint32_t attempts = 1;
+    /** Wire bytes of the failed crossings (re-sent under RetryPolicy). */
+    uint64_t failed_wire_bytes = 0;
+    /** Shard was downgraded to raw framing after repeated faults. */
+    bool degraded = false;
 };
 
 /** Outcome of one scheduled offload: data and modeled timing. */
@@ -48,6 +55,8 @@ struct OffloadResult {
     OffloadTiming timing;
     /** Per-shard byte counts, in drain order. */
     std::vector<ShardTransfer> shards;
+    /** Fault/retry accounting (expectation-priced on this flow). */
+    TransferIntegrity integrity;
 };
 
 /** Outcome of an offload spilled into an arena instead of a buffer. */
@@ -58,6 +67,8 @@ struct SpilledOffload {
     OffloadTiming timing;
     /** Per-shard byte counts, in drain order. */
     std::vector<ShardTransfer> shards;
+    /** Fault/retry accounting (sampled per crossing on this flow). */
+    TransferIntegrity integrity;
 };
 
 /** Outcome of one scheduled prefetch: restored data and modeled timing. */
@@ -68,6 +79,9 @@ struct PrefetchResult {
     PrefetchTiming timing;
     /** Per-shard byte counts, in arrival order. */
     std::vector<ShardTransfer> shards;
+    /** Fault/retry accounting (sampled on the arena flow,
+     *  expectation-priced on the buffer flow). */
+    TransferIntegrity integrity;
 };
 
 /**
@@ -101,24 +115,42 @@ class TransferEngine
      * CompressedBuffer, no per-layer payload allocation in steady
      * state). The returned ticket holds the compressed activations
      * until the backward pass prefetches and releases them.
+     *
+     * With a fault injector configured, each shard's host-bound wire
+     * crossing samples the fault process: damaged crossings are caught
+     * by the length/CRC-32C framing checks and re-sent under the
+     * engine's RetryPolicy (degrading to raw framing after repeated
+     * failures). Returns Status::retryExhausted — with the partially
+     * filled ticket released — when a shard burns every attempt.
      */
-    SpilledOffload offloadInto(std::span<const uint8_t> data,
-                               SpillArena &arena) const;
+    StatusOr<SpilledOffload> offloadInto(std::span<const uint8_t> data,
+                                         SpillArena &arena) const;
 
     /**
      * Prefetch @p buffer: reconstruct it shard-by-shard on the engine's
      * lanes (consumed in deterministic shard order) and model the
      * double-buffered pipeline over the measured per-shard sizes.
+     * Decode errors (a corrupt or truncated payload) propagate as a
+     * non-OK Status instead of crashing. The stitched buffer carries no
+     * per-shard CRC framing, so a configured fault injector is priced
+     * in expectation on this flow rather than sampled.
      */
-    PrefetchResult prefetch(const CompressedBuffer &buffer) const;
+    StatusOr<PrefetchResult> prefetch(const CompressedBuffer &buffer) const;
 
     /**
      * Prefetch a spilled buffer straight out of @p arena's shard slots
      * (no stitched CompressedBuffer in between). The ticket stays live;
      * the caller releases it once the restored bytes are consumed.
+     *
+     * Every shard's payload is verified against its stored CRC-32C
+     * before expansion (Status::integrityError on mismatch). With a
+     * fault injector configured, each GPU-bound crossing samples the
+     * fault process; faulted crossings re-read the pristine arena slot
+     * under the RetryPolicy, so the restored bytes stay byte-identical
+     * to the offloaded data whenever the prefetch succeeds.
      */
-    PrefetchResult prefetch(const SpillArena &arena,
-                            SpillTicket ticket) const;
+    StatusOr<PrefetchResult> prefetch(const SpillArena &arena,
+                                      SpillTicket ticket) const;
 
     /** Outcome of one full-duplex step: both real flows + the race. */
     struct DuplexResult {
@@ -134,11 +166,12 @@ class TransferEngine
      * (and expanding) @p prefetch_ticket out of it, with both measured
      * shard trains racing on the configured duplex link. The caller
      * releases the prefetched ticket once the restored bytes are
-     * consumed.
+     * consumed. Fault handling follows the two underlying flows; the
+     * first leg to exhaust its retries surfaces its Status.
      */
-    DuplexResult transfer(std::span<const uint8_t> offload_data,
-                          SpillArena &arena,
-                          SpillTicket prefetch_ticket) const;
+    StatusOr<DuplexResult> transfer(std::span<const uint8_t> offload_data,
+                                    SpillArena &arena,
+                                    SpillTicket prefetch_ticket) const;
 
     // ---- Timing models ----
 
@@ -173,19 +206,45 @@ class TransferEngine
      * @p arbiter breaks ties; under Full they never interact. The
      * per-direction staging pools are independent (@p staging_buffers
      * each).
+     *
+     * Retry pricing: a shard's wire leg carries its failed crossings
+     * too (wire_bytes + failed_wire_bytes on the link) plus the
+     * exponential backoff @p backoff_base_seconds * (2^(attempts-1) - 1)
+     * as extra latency — the retry sequence holds the shard's DMA
+     * transaction slot until it lands. Shards with attempts == 1 price
+     * exactly as before, which keeps the schedulers' closed forms
+     * pinned to this DES on fault-free trains.
      */
     static DuplexTiming pipelineTiming(
         std::span<const ShardTransfer> offload_shards,
         std::span<const ShardTransfer> prefetch_shards,
         double compress_bandwidth, double wire_bandwidth,
         double decompress_bandwidth, unsigned staging_buffers,
-        DuplexMode mode, LinkArbiter arbiter);
+        DuplexMode mode, LinkArbiter arbiter,
+        double backoff_base_seconds = 0.0);
 
-  private:
-    /** Shard train of a raw_bytes transfer at ratio (uniform + tail). */
+    /**
+     * Shard train of a raw_bytes transfer at ratio (uniform + tail).
+     * With a fault injector configured the train carries the fault
+     * process in expectation (see applyExpectedFaults()).
+     */
     std::vector<ShardTransfer> shardTrain(uint64_t raw_bytes,
                                           double ratio) const;
 
+    /**
+     * Fold the configured fault process into @p shards analytically:
+     * each shard's attempts / failed_wire_bytes become the expectation
+     * under the injector's per-crossing failure probability and the
+     * engine's RetryPolicy. No RNG draws — the sampled streams of the
+     * arena flows are untouched. No-op without an injector.
+     */
+    void applyExpectedFaults(std::vector<ShardTransfer> &shards) const;
+
+    /** Sum a shard train's attempts / retries / failed wire bytes. */
+    static TransferIntegrity trainIntegrity(
+        std::span<const ShardTransfer> shards);
+
+  private:
     DuplexTiming timingFor(std::span<const ShardTransfer> offload_shards,
                            std::span<const ShardTransfer> prefetch_shards)
         const;

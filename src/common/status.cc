@@ -1,0 +1,84 @@
+#include "common/status.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace cdma {
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok:             return "ok";
+      case StatusCode::Truncated:      return "truncated";
+      case StatusCode::Corrupt:        return "corrupt";
+      case StatusCode::IntegrityError: return "integrity-error";
+      case StatusCode::RetryExhausted: return "retry-exhausted";
+    }
+    panic("unreachable status code %d", static_cast<int>(code));
+}
+
+namespace {
+
+std::string
+vformat(const char *fmt, va_list args)
+{
+    va_list copy;
+    va_copy(copy, args);
+    const int len = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (len <= 0)
+        return {};
+    std::string out(static_cast<size_t>(len), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    return out;
+}
+
+} // namespace
+
+Status
+Status::formatted(StatusCode code, const char *fmt, va_list args)
+{
+    return Status(code, vformat(fmt, args));
+}
+
+#define CDMA_STATUS_FACTORY(fn, code)                                       \
+    Status Status::fn(const char *fmt, ...)                                 \
+    {                                                                       \
+        va_list args;                                                       \
+        va_start(args, fmt);                                                \
+        Status status = formatted(StatusCode::code, fmt, args);             \
+        va_end(args);                                                       \
+        return status;                                                      \
+    }
+
+CDMA_STATUS_FACTORY(truncated, Truncated)
+CDMA_STATUS_FACTORY(corrupt, Corrupt)
+CDMA_STATUS_FACTORY(integrityError, IntegrityError)
+CDMA_STATUS_FACTORY(retryExhausted, RetryExhausted)
+
+#undef CDMA_STATUS_FACTORY
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "ok";
+    return std::string(statusCodeName(code_)) + ": " + message_;
+}
+
+Status
+Status::withContext(const char *fmt, ...) const
+{
+    if (ok())
+        return *this;
+    va_list args;
+    va_start(args, fmt);
+    std::string context = vformat(fmt, args);
+    va_end(args);
+    context += ": ";
+    context += message_;
+    return Status(code_, std::move(context));
+}
+
+} // namespace cdma

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Recoverable-error reporting for data-dependent failures. The gem5-style
+ * panic()/fatal() in logging.hh terminate the process, which is the right
+ * response to an internal invariant violation or a bad configuration —
+ * but not to a corrupt payload arriving over a link where bit flips,
+ * truncated descriptors and transient failures are facts of life. Every
+ * decode path that consumes wire bytes reports through Status instead:
+ * the error carries a code (for table-driven tests and retry policy) and
+ * a human-readable message with codec/window/offset locality, and the
+ * caller decides whether to retry, degrade, or surface it. panic() stays
+ * reserved for true invariants that no payload byte can reach.
+ */
+
+#ifndef CDMA_COMMON_STATUS_HH
+#define CDMA_COMMON_STATUS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace cdma {
+
+/** Machine-readable class of a recoverable failure. */
+enum class StatusCode : uint8_t {
+    Ok = 0,
+    /** Payload ended before the decoder finished (short DMA, truncation). */
+    Truncated,
+    /** Structurally invalid payload: bad symbol, run overflow, trailing
+     *  bytes — anything a bit flip can turn a valid stream into. */
+    Corrupt,
+    /** End-to-end check failed: CRC mismatch or framing-length mismatch
+     *  caught before any decode ran. */
+    IntegrityError,
+    /** A transfer's bounded retry budget was exhausted. */
+    RetryExhausted,
+};
+
+/** Display name of a status code ("ok", "truncated", ...). */
+const char *statusCodeName(StatusCode code);
+
+/**
+ * A recoverable-error result: a code plus a formatted message. The
+ * default-constructed Status is success and carries no allocation.
+ * Marked nodiscard so a decode error cannot be silently dropped.
+ */
+class [[nodiscard]] Status
+{
+  public:
+    /** Success. */
+    Status() = default;
+
+    /** Failure with a printf-formatted message. @p code must not be Ok. */
+    static Status truncated(const char *fmt, ...)
+        __attribute__((format(printf, 1, 2)));
+    static Status corrupt(const char *fmt, ...)
+        __attribute__((format(printf, 1, 2)));
+    static Status integrityError(const char *fmt, ...)
+        __attribute__((format(printf, 1, 2)));
+    static Status retryExhausted(const char *fmt, ...)
+        __attribute__((format(printf, 1, 2)));
+
+    /** True on success. */
+    bool ok() const { return code_ == StatusCode::Ok; }
+
+    StatusCode code() const { return code_; }
+
+    /** Failure message (empty on success). */
+    const std::string &message() const { return message_; }
+
+    /** "ok" or "<code>: <message>" for reports and logs. */
+    std::string toString() const;
+
+    /**
+     * Prepend locality to the message ("<context>: <message>") — callers
+     * add what they know (window index, shard index, layer label) on the
+     * way up without the codec needing to know it. No-op on success.
+     */
+    Status withContext(const char *fmt, ...) const
+        __attribute__((format(printf, 2, 3)));
+
+    bool operator==(const Status &other) const
+    {
+        return code_ == other.code_;
+    }
+
+  private:
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    static Status formatted(StatusCode code, const char *fmt,
+                            va_list args);
+
+    StatusCode code_ = StatusCode::Ok;
+    std::string message_;
+};
+
+/**
+ * Either a value or a failure Status. value() asserts success, so the
+ * canonical pattern is `if (!r.ok()) return r.status();` before use —
+ * or `*r` directly where the input is trusted (tests, examples).
+ */
+template <typename T>
+class [[nodiscard]] StatusOr
+{
+  public:
+    /** Failure. @p status must not be ok. */
+    StatusOr(Status status) : status_(std::move(status))
+    {
+        CDMA_ASSERT(!status_.ok(),
+                    "StatusOr constructed from an ok Status");
+    }
+
+    /** Success carrying @p value. */
+    StatusOr(T value) : value_(std::move(value)) {}
+
+    bool ok() const { return status_.ok(); }
+
+    /** The failure (a default ok Status on success). */
+    const Status &status() const { return status_; }
+
+    /** The value; asserts ok(). */
+    T &value()
+    {
+        CDMA_ASSERT(status_.ok(), "value() on failed StatusOr: %s",
+                    status_.toString().c_str());
+        return *value_;
+    }
+    const T &value() const
+    {
+        CDMA_ASSERT(status_.ok(), "value() on failed StatusOr: %s",
+                    status_.toString().c_str());
+        return *value_;
+    }
+
+    T &operator*() { return value(); }
+    const T &operator*() const { return value(); }
+    T *operator->() { return &value(); }
+    const T *operator->() const { return &value(); }
+
+  private:
+    Status status_;
+    std::optional<T> value_;
+};
+
+} // namespace cdma
+
+#endif // CDMA_COMMON_STATUS_HH

@@ -1,6 +1,7 @@
 #include "common/thread_pool.hh"
 
 #include <atomic>
+#include <exception>
 
 #include "common/logging.hh"
 
@@ -72,14 +73,27 @@ ThreadPool::parallelFor(uint64_t count,
 
     // Dynamic scheduling: every lane pulls the next unclaimed index, so
     // unevenly sized shards (e.g. the last partial window group) cannot
-    // leave a lane idle while another is overloaded.
+    // leave a lane idle while another is overloaded. A throwing fn must
+    // not escape a worker thread (std::terminate); the first exception
+    // is captured, the index space is abandoned so every lane exits its
+    // pull loop promptly, and the rendezvous below rethrows it on the
+    // calling thread once all lanes have stopped touching this frame.
     std::atomic<uint64_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
     auto drain = [&] {
         for (;;) {
             const uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= count)
                 break;
-            fn(i);
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+                next.store(count, std::memory_order_relaxed);
+            }
         }
     };
 
@@ -105,8 +119,14 @@ ThreadPool::parallelFor(uint64_t count,
 
     drain();
 
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] { return exited.load() == helpers; });
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock, [&] { return exited.load() == helpers; });
+    }
+    // All lanes have left their pull loops: safe to rethrow (no lock
+    // needed — the join above is the synchronization point).
+    if (first_error)
+        std::rethrow_exception(first_error);
 }
 
 } // namespace cdma

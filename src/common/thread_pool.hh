@@ -49,9 +49,12 @@ class ThreadPool
     /**
      * Run @p fn(index) for every index in [0, count), distributing indices
      * dynamically across all lanes. Blocks until every index has been
-     * processed. @p fn must not throw (codec invariant violations panic()
-     * and abort instead). Reentrant calls from within @p fn are not
-     * supported.
+     * processed. If @p fn throws on any lane, the first exception (by
+     * completion order) is captured, remaining unclaimed indices are
+     * abandoned, every lane is joined, and the exception is rethrown on
+     * the calling thread at the rendezvous — a worker never dies with an
+     * exception in flight (codec invariant violations still panic() and
+     * abort). Reentrant calls from within @p fn are not supported.
      */
     void parallelFor(uint64_t count,
                      const std::function<void(uint64_t)> &fn);

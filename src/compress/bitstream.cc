@@ -59,9 +59,13 @@ uint32_t
 BitReader::get(int count)
 {
     CDMA_ASSERT(count >= 0 && count <= 32, "bad bit count %d", count);
-    CDMA_ASSERT(!exhausted(count),
-                "bit stream exhausted reading %d bits at position %llu",
-                count, static_cast<unsigned long long>(bit_pos_));
+    if (exhausted(count)) {
+        // A truncated wire payload lands here; the decode loops are all
+        // bounded, so returning zero bits and latching the flag lets the
+        // codec surface a Status instead of aborting the process.
+        overrun_ = true;
+        return 0;
+    }
     if (count == 0)
         return 0;
     // One bounded load of up to 8 bytes covers bit_off (<= 7) + count

@@ -52,13 +52,23 @@ class BitWriter
     uint64_t bit_count_ = 0;
 };
 
-/** LSB-first bit reader over a byte span. */
+/**
+ * LSB-first bit reader over a byte span. Reading past the end is a
+ * recoverable condition, not a panic: the stream may be a truncated or
+ * corrupted wire payload. An overrunning get() returns zero bits and
+ * latches overrun(); decode loops are bounded by construction, so the
+ * caller checks the flag at its convenience and reports Truncated.
+ */
 class BitReader
 {
   public:
     explicit BitReader(std::span<const uint8_t> bytes);
 
-    /** Read @p count bits (LSB first). panic()s past the end. */
+    /**
+     * Read @p count bits (LSB first). Past the end of the stream the
+     * read returns 0 and latches overrun() instead of terminating: a
+     * truncated payload is data, not an internal invariant.
+     */
     uint32_t get(int count);
 
     /** Read a single bit. */
@@ -70,9 +80,13 @@ class BitReader
     /** True when fewer than @p count bits remain. */
     bool exhausted(int count = 1) const;
 
+    /** True once any get() has run past the end of the stream. */
+    bool overrun() const { return overrun_; }
+
   private:
     std::span<const uint8_t> bytes_;
     uint64_t bit_pos_ = 0;
+    bool overrun_ = false;
 };
 
 } // namespace cdma

@@ -101,18 +101,21 @@ Compressor::compressWindowInto(std::span<const uint8_t> window,
     out.insert(out.end(), compressed.begin(), compressed.end());
 }
 
-void
+Status
 Compressor::decompressWindowInto(std::span<const uint8_t> payload,
                                  uint64_t original_bytes,
                                  uint8_t *out) const
 {
     ShimRecursionGuard guard(decompress_shim_active);
     const auto window = decompressWindow(payload, original_bytes);
-    CDMA_ASSERT(window.size() == original_bytes,
-                "decompressed window size %zu != expected %llu",
-                window.size(),
-                static_cast<unsigned long long>(original_bytes));
+    if (window.size() != original_bytes) {
+        return Status::corrupt(
+            "%s: decompressed window size %zu != expected %llu",
+            name().c_str(), window.size(),
+            static_cast<unsigned long long>(original_bytes));
+    }
     std::memcpy(out, window.data(), window.size());
+    return Status();
 }
 
 std::vector<uint8_t>
@@ -129,9 +132,13 @@ Compressor::decompressWindow(std::span<const uint8_t> payload,
                              uint64_t original_bytes) const
 {
     // Pre-sized: one resize, then the codec writes in place — no
-    // incremental insert growth even on this legacy path.
+    // incremental insert growth even on this legacy path. The legacy
+    // API has no error channel; its callers hand it trusted payloads.
     std::vector<uint8_t> out(original_bytes);
-    decompressWindowInto(payload, original_bytes, out.data());
+    const Status status =
+        decompressWindowInto(payload, original_bytes, out.data());
+    CDMA_ASSERT(status.ok(), "legacy decompressWindow on a bad payload: %s",
+                status.toString().c_str());
     return out;
 }
 
@@ -165,32 +172,49 @@ Compressor::compress(std::span<const uint8_t> input) const
     return out;
 }
 
-ByteVec
+StatusOr<ByteVec>
 Compressor::decompress(const CompressedBuffer &buffer) const
 {
     // Pre-sized output: every window decompresses straight into its slot,
     // so stitching is free (no insert-at-end growth or copies). ByteVec
     // leaves the bytes uninitialized; decompressWindowInto() writes every
-    // byte of every slot, zeros included.
+    // byte of every slot, zeros included. Framing inconsistencies are
+    // data errors (the framing crosses the wire too), not invariants.
     ByteVec out(buffer.original_bytes);
 
     uint64_t payload_offset = 0;
     uint64_t out_offset = 0;
     uint64_t remaining = buffer.original_bytes;
+    uint64_t window = 0;
     for (uint32_t size : buffer.window_sizes) {
         const uint64_t raw =
             std::min<uint64_t>(remaining, buffer.window_bytes);
-        CDMA_ASSERT(payload_offset + size <= buffer.payload.size(),
-                    "window payload overruns compressed buffer");
+        if (payload_offset + size > buffer.payload.size()) {
+            return Status::truncated(
+                "window %llu payload overruns compressed buffer "
+                "(%llu + %u > %zu)",
+                static_cast<unsigned long long>(window),
+                static_cast<unsigned long long>(payload_offset), size,
+                buffer.payload.size());
+        }
         std::span<const uint8_t> payload(
             buffer.payload.data() + payload_offset, size);
-        decompressWindowInto(payload, raw, out.data() + out_offset);
+        const Status status =
+            decompressWindowInto(payload, raw, out.data() + out_offset);
+        if (!status.ok()) {
+            return status.withContext(
+                "window %llu", static_cast<unsigned long long>(window));
+        }
         payload_offset += size;
         out_offset += raw;
         remaining -= raw;
+        ++window;
     }
-    CDMA_ASSERT(remaining == 0, "compressed buffer missing %llu bytes",
-                static_cast<unsigned long long>(remaining));
+    if (remaining != 0) {
+        return Status::truncated(
+            "compressed buffer missing %llu bytes",
+            static_cast<unsigned long long>(remaining));
+    }
     return out;
 }
 

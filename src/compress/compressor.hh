@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/bytes.hh"
+#include "common/status.hh"
 
 namespace cdma {
 
@@ -117,8 +118,12 @@ class Compressor
     /** Compress @p input window-by-window. */
     CompressedBuffer compress(std::span<const uint8_t> input) const;
 
-    /** Invert compress(); returns exactly the original bytes. */
-    ByteVec decompress(const CompressedBuffer &buffer) const;
+    /**
+     * Invert compress(); returns exactly the original bytes, or the
+     * first window's decode error (annotated with the window index) when
+     * the buffer's payload or framing has been corrupted in flight.
+     */
+    StatusOr<ByteVec> decompress(const CompressedBuffer &buffer) const;
 
     /**
      * Convenience: compression ratio of @p input with the store-raw
@@ -141,11 +146,14 @@ class Compressor
     /**
      * Streaming core: decompress one window payload into the
      * caller-provided region at @p out, writing exactly @p original_bytes
-     * bytes (including any zeros). Thread-safe on distinct regions.
+     * bytes (including any zeros) on success. Thread-safe on distinct
+     * regions. A malformed payload returns a non-ok Status naming the
+     * codec and the failing byte offset — never panics, and never reads
+     * outside @p payload — with @p out left in an unspecified state.
      */
-    virtual void decompressWindowInto(std::span<const uint8_t> payload,
-                                      uint64_t original_bytes,
-                                      uint8_t *out) const;
+    virtual Status decompressWindowInto(std::span<const uint8_t> payload,
+                                        uint64_t original_bytes,
+                                        uint8_t *out) const;
 
     /**
      * Upper bound on the compressed size of a window of @p raw_len bytes,
@@ -165,7 +173,9 @@ class Compressor
     /**
      * Legacy form: decompress one window payload back into exactly
      * @p original_bytes bytes. Default is a pre-sized shim over
-     * decompressWindowInto() (no incremental growth).
+     * decompressWindowInto() (no incremental growth) that asserts
+     * success — callers on this compatibility path hand it trusted
+     * payloads; wire bytes go through the Status-returning core.
      */
     virtual std::vector<uint8_t>
     decompressWindow(std::span<const uint8_t> payload,

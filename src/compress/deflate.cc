@@ -76,9 +76,12 @@ writeLengths(BitWriter &writer, const std::vector<uint8_t> &lengths)
 /**
  * Inverse of writeLengths(); reads exactly @p count lengths into a
  * caller-held (typically per-thread) vector, which stops allocating
- * once it has reached the alphabet size.
+ * once it has reached the alphabet size. The header crosses the wire,
+ * so a short or bit-flipped stream is a recoverable Status, not an
+ * invariant violation: each iteration appends at least one length, so
+ * the loop is bounded even when the reader has latched an overrun.
  */
-void
+Status
 readLengthsInto(BitReader &reader, size_t count,
                 std::vector<uint8_t> &lengths)
 {
@@ -87,10 +90,21 @@ readLengthsInto(BitReader &reader, size_t count,
     while (lengths.size() < count) {
         const uint8_t value = static_cast<uint8_t>(reader.get(4));
         const size_t run = reader.get(8) + 1;
-        CDMA_ASSERT(lengths.size() + run <= count,
-                    "code-length run overflows the alphabet");
+        if (reader.overrun()) {
+            return Status::truncated(
+                "ZL: payload truncated in the code-length header "
+                "(%zu of %zu lengths read)", lengths.size(), count);
+        }
+        if (lengths.size() + run > count) {
+            return Status::corrupt(
+                "ZL: code-length run of %zu at bit %llu overflows the "
+                "%zu-symbol alphabet", run,
+                static_cast<unsigned long long>(reader.bitPosition()),
+                count);
+        }
         lengths.insert(lengths.end(), run, value);
     }
+    return Status();
 }
 
 } // namespace
@@ -212,53 +226,105 @@ DeflateCompressor::compressWindowInto(std::span<const uint8_t> window,
     writer.flush();
 }
 
-void
+Status
 DeflateCompressor::decompressWindowInto(std::span<const uint8_t> payload,
                                         uint64_t original_bytes,
                                         uint8_t *out) const
 {
-    if (original_bytes == 0)
-        return;
+    if (original_bytes == 0) {
+        if (!payload.empty()) {
+            return Status::corrupt(
+                "ZL: %llu payload byte(s) for an empty window",
+                static_cast<unsigned long long>(payload.size()));
+        }
+        return Status();
+    }
 
     static thread_local DeflateDecodeScratch scratch;
     BitReader reader(payload);
-    readLengthsInto(reader, kLitLenSymbols, scratch.litlen_lengths);
-    readLengthsInto(reader, kDistSymbols, scratch.dist_lengths);
+    Status status =
+        readLengthsInto(reader, kLitLenSymbols, scratch.litlen_lengths);
+    if (!status.ok())
+        return status;
+    status = readLengthsInto(reader, kDistSymbols, scratch.dist_lengths);
+    if (!status.ok())
+        return status;
     scratch.litlen_dec.rebuild(scratch.litlen_lengths);
     scratch.dist_dec.rebuild(scratch.dist_lengths);
     const HuffmanDecoder &litlen_dec = scratch.litlen_dec;
     const HuffmanDecoder &dist_dec = scratch.dist_dec;
 
+    // Every exit from this loop is bounded: literals and matches advance
+    // pos toward original_bytes, and a latched reader overrun or invalid
+    // code is checked each iteration — a flipped or missing wire bit
+    // lands on a Status, never an OOB access or an unbounded spin.
     uint64_t pos = 0;
     for (;;) {
         const int symbol = litlen_dec.decode(reader);
+        if (reader.overrun()) {
+            return Status::truncated(
+                "ZL: payload truncated in the token stream at bit %llu "
+                "(%llu of %llu bytes decoded)",
+                static_cast<unsigned long long>(reader.bitPosition()),
+                static_cast<unsigned long long>(pos),
+                static_cast<unsigned long long>(original_bytes));
+        }
+        if (symbol == HuffmanDecoder::kInvalidSymbol) {
+            return Status::corrupt(
+                "ZL: invalid literal/length code at bit %llu",
+                static_cast<unsigned long long>(reader.bitPosition()));
+        }
         if (symbol == kEndOfBlock)
             break;
         if (symbol < 256) {
-            CDMA_ASSERT(pos < original_bytes,
-                        "DEFLATE literal overflows the window");
+            if (pos >= original_bytes) {
+                return Status::corrupt(
+                    "ZL: literal at bit %llu overflows the %llu-byte "
+                    "window",
+                    static_cast<unsigned long long>(reader.bitPosition()),
+                    static_cast<unsigned long long>(original_bytes));
+            }
             out[pos++] = static_cast<uint8_t>(symbol);
             continue;
         }
         const int lcode = symbol - 257;
-        CDMA_ASSERT(lcode >= 0 &&
-                        lcode < static_cast<int>(kLengthBase.size()),
-                    "invalid length symbol %d", symbol);
+        if (lcode >= static_cast<int>(kLengthBase.size())) {
+            return Status::corrupt(
+                "ZL: invalid length symbol %d at bit %llu", symbol,
+                static_cast<unsigned long long>(reader.bitPosition()));
+        }
         const int length = kLengthBase[static_cast<size_t>(lcode)] +
             static_cast<int>(
                 reader.get(kLengthExtra[static_cast<size_t>(lcode)]));
         const int dcode = dist_dec.decode(reader);
-        CDMA_ASSERT(dcode >= 0 &&
-                        dcode < static_cast<int>(kDistBase.size()),
-                    "invalid distance symbol %d", dcode);
+        if (dcode == HuffmanDecoder::kInvalidSymbol ||
+            dcode >= static_cast<int>(kDistBase.size())) {
+            return Status::corrupt(
+                "ZL: invalid distance symbol %d at bit %llu", dcode,
+                static_cast<unsigned long long>(reader.bitPosition()));
+        }
         const int distance = kDistBase[static_cast<size_t>(dcode)] +
             static_cast<int>(
                 reader.get(kDistExtra[static_cast<size_t>(dcode)]));
-        CDMA_ASSERT(distance <= static_cast<int>(pos),
-                    "match distance %d exceeds history %llu", distance,
-                    static_cast<unsigned long long>(pos));
-        CDMA_ASSERT(pos + static_cast<uint64_t>(length) <= original_bytes,
-                    "DEFLATE match overflows the window");
+        if (reader.overrun()) {
+            return Status::truncated(
+                "ZL: payload truncated in match extra bits at bit %llu",
+                static_cast<unsigned long long>(reader.bitPosition()));
+        }
+        if (distance > static_cast<int>(pos)) {
+            return Status::corrupt(
+                "ZL: match distance %d at bit %llu exceeds %llu bytes "
+                "of history", distance,
+                static_cast<unsigned long long>(reader.bitPosition()),
+                static_cast<unsigned long long>(pos));
+        }
+        if (pos + static_cast<uint64_t>(length) > original_bytes) {
+            return Status::corrupt(
+                "ZL: match of %d bytes at bit %llu overflows the "
+                "%llu-byte window", length,
+                static_cast<unsigned long long>(reader.bitPosition()),
+                static_cast<unsigned long long>(original_bytes));
+        }
         const uint8_t *src = out + pos - static_cast<uint64_t>(distance);
         if (distance >= length) {
             // Non-overlapping match: the kernel table's bulk copy (the
@@ -272,10 +338,22 @@ DeflateCompressor::decompressWindowInto(std::span<const uint8_t> payload,
         }
         pos += static_cast<uint64_t>(length);
     }
-    CDMA_ASSERT(pos == original_bytes,
-                "DEFLATE window decoded %llu bytes, expected %llu",
-                static_cast<unsigned long long>(pos),
-                static_cast<unsigned long long>(original_bytes));
+    if (pos != original_bytes) {
+        return Status::corrupt(
+            "ZL: window decoded %llu bytes, expected %llu",
+            static_cast<unsigned long long>(pos),
+            static_cast<unsigned long long>(original_bytes));
+    }
+    // The encoder pads only to the next byte boundary; whole bytes past
+    // the end-of-block symbol are framing corruption (a length field
+    // pointing into a neighbouring window would otherwise pass).
+    const uint64_t consumed = (reader.bitPosition() + 7) / 8;
+    if (consumed < payload.size()) {
+        return Status::corrupt(
+            "ZL: %llu trailing byte(s) after the end-of-block symbol",
+            static_cast<unsigned long long>(payload.size() - consumed));
+    }
+    return Status();
 }
 
 } // namespace cdma

@@ -50,9 +50,9 @@ class DeflateCompressor : public Compressor
     void compressWindowInto(std::span<const uint8_t> window,
                             ByteVec &out) const override;
 
-    void decompressWindowInto(std::span<const uint8_t> payload,
-                              uint64_t original_bytes,
-                              uint8_t *out) const override;
+    Status decompressWindowInto(std::span<const uint8_t> payload,
+                                uint64_t original_bytes,
+                                uint8_t *out) const override;
 
     uint64_t compressedBound(uint64_t raw_len) const override;
 

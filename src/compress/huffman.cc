@@ -250,7 +250,10 @@ HuffmanDecoder::decode(BitReader &reader) const
         first = (first + count) << 1;
         code <<= 1;
     }
-    panic("invalid Huffman code in compressed stream");
+    // No code of any permitted length matched: the stream is corrupt (a
+    // flipped bit can manufacture exactly this). Recoverable — the
+    // caller owns the locality (codec, window, offset) and reports it.
+    return kInvalidSymbol;
 }
 
 } // namespace cdma

@@ -80,6 +80,9 @@ class HuffmanEncoder
 class HuffmanDecoder
 {
   public:
+    /** decode() result when no code of any length matches the stream. */
+    static constexpr int kInvalidSymbol = -1;
+
     /** Empty decoder; rebuild() before decoding (scratch reuse). */
     HuffmanDecoder() = default;
 
@@ -94,7 +97,11 @@ class HuffmanDecoder
      */
     void rebuild(const std::vector<uint8_t> &lengths);
 
-    /** Decode the next symbol from @p reader. */
+    /**
+     * Decode the next symbol from @p reader. Returns kInvalidSymbol when
+     * the bits match no assigned code (a corrupt stream) — recoverable,
+     * so a flipped wire bit cannot take the process down.
+     */
     int decode(BitReader &reader) const;
 
   private:

@@ -326,6 +326,28 @@ zeroFillBytesAvx2(uint8_t *dst, size_t n)
         std::memset(dst + i, 0, n - i);
 }
 
+/**
+ * Hardware CRC32C: the SSE4.2 crc32 instruction retires 8 bytes per
+ * issue (3-cycle latency, fully pipelined). Every AVX2 part implements
+ * SSE4.2, so this rides the same CPUID gate as the rest of the backend;
+ * the per-function target keeps the TU building regardless of -march.
+ */
+__attribute__((target("sse4.2"))) uint32_t
+crc32Hw(uint32_t seed, const uint8_t *data, size_t n)
+{
+    uint64_t crc = ~seed;
+    size_t i = 0;
+    while (i + 8 <= n) {
+        uint64_t word;
+        std::memcpy(&word, data + i, sizeof(word));
+        crc = _mm_crc32_u64(crc, word);
+        i += 8;
+    }
+    for (; i < n; ++i)
+        crc = _mm_crc32_u8(static_cast<uint32_t>(crc), data[i]);
+    return ~static_cast<uint32_t>(crc);
+}
+
 #undef CDMA_AVX2
 
 } // namespace
@@ -342,8 +364,12 @@ avx2Kernels()
         matchLengthAvx2,
         copyBytesAvx2,
         zeroFillBytesAvx2,
+        crc32Hw,
     };
-    static const bool supported = __builtin_cpu_supports("avx2");
+    // Every AVX2 part ships SSE4.2, but the hardware CRC makes the
+    // dependency explicit rather than assumed.
+    static const bool supported = __builtin_cpu_supports("avx2") &&
+        __builtin_cpu_supports("sse4.2");
     return supported ? &ops : nullptr;
 }
 

@@ -110,6 +110,18 @@ struct KernelOps {
      * spends most of its stores here at the paper's 50-90% sparsity.
      */
     void (*zeroFillBytes)(uint8_t *dst, size_t n);
+
+    /**
+     * CRC32C (Castagnoli) over @p n bytes at @p data, continuing from
+     * @p seed (pass 0 to start; the pre/post inversion is internal, so
+     * chaining crc32(crc32(0, a), b) equals crc32(0, a+b)). This is the
+     * end-to-end integrity check framing every spilled shard: computed
+     * at compress time, verified on prefetch before expansion. The
+     * scalar backend is a slice-by-8 table walk; the AVX2 backend rides
+     * the SSE4.2 crc32 instruction (every AVX2 part has it). Both
+     * produce the identical standard CRC32C value.
+     */
+    uint32_t (*crc32)(uint32_t seed, const uint8_t *data, size_t n);
 };
 
 /** The portable scalar backend (always available). */

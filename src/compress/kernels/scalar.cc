@@ -9,6 +9,7 @@
 
 #include "compress/kernels/kernels.hh"
 
+#include <array>
 #include <bit>
 #include <cstring>
 
@@ -170,6 +171,57 @@ zeroFillBytesScalar(uint8_t *dst, size_t n)
         std::memset(dst, 0, n);
 }
 
+/**
+ * Slice-by-8 CRC32C tables: table[0] is the classic reflected
+ * byte-at-a-time table for polynomial 0x1EDC6F41 (reflected 0x82F63B78);
+ * table[k][b] extends a byte processed k positions earlier, so eight
+ * table lookups retire eight input bytes per 64-bit load.
+ */
+constexpr std::array<std::array<uint32_t, 256>, 8>
+makeCrc32cTables()
+{
+    std::array<std::array<uint32_t, 256>, 8> tables{};
+    for (uint32_t b = 0; b < 256; ++b) {
+        uint32_t crc = b;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+        tables[0][b] = crc;
+    }
+    for (size_t k = 1; k < 8; ++k) {
+        for (uint32_t b = 0; b < 256; ++b) {
+            tables[k][b] =
+                (tables[k - 1][b] >> 8) ^ tables[0][tables[k - 1][b] & 0xFFu];
+        }
+    }
+    return tables;
+}
+
+constexpr auto kCrc32c = makeCrc32cTables();
+
+uint32_t
+crc32Scalar(uint32_t seed, const uint8_t *data, size_t n)
+{
+    uint32_t crc = ~seed;
+    size_t i = 0;
+    while (i + 8 <= n) {
+        uint64_t word;
+        std::memcpy(&word, data + i, sizeof(word));
+        word ^= crc;
+        crc = kCrc32c[7][word & 0xFFu] ^
+            kCrc32c[6][(word >> 8) & 0xFFu] ^
+            kCrc32c[5][(word >> 16) & 0xFFu] ^
+            kCrc32c[4][(word >> 24) & 0xFFu] ^
+            kCrc32c[3][(word >> 32) & 0xFFu] ^
+            kCrc32c[2][(word >> 40) & 0xFFu] ^
+            kCrc32c[1][(word >> 48) & 0xFFu] ^
+            kCrc32c[0][(word >> 56) & 0xFFu];
+        i += 8;
+    }
+    for (; i < n; ++i)
+        crc = (crc >> 8) ^ kCrc32c[0][(crc ^ data[i]) & 0xFFu];
+    return ~crc;
+}
+
 } // namespace
 
 const KernelOps &
@@ -184,6 +236,7 @@ scalarKernels()
         matchLengthScalar,
         copyBytesScalar,
         zeroFillBytesScalar,
+        crc32Scalar,
     };
     return ops;
 }

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstring>
+#include <exception>
 #include <mutex>
 #include <utility>
 
@@ -117,6 +118,11 @@ ParallelCompressor::compressShardInto(std::span<const uint8_t> input,
             static_cast<uint32_t>(shard.payload.size() - before));
         shard.raw_bytes += len;
     }
+    // Integrity frame: one CRC-32C over the whole shard payload, here in
+    // the worker lane (shard granularity, off the per-window hot loops),
+    // so the prefetch side can verify the wire bytes before expanding.
+    shard.crc32c = codec_->kernels().crc32(0, shard.payload.data(),
+                                           shard.payload.size());
 }
 
 void
@@ -132,6 +138,7 @@ ParallelCompressor::runOrderedShardFanOut(
     std::condition_variable cv;
     std::vector<bool> done(shards, false);
     uint64_t helpers_exited = 0;
+    std::exception_ptr first_error;
 
     const uint64_t helpers =
         std::min<uint64_t>(pool_->lanes() - 1, shards);
@@ -142,7 +149,18 @@ ParallelCompressor::runOrderedShardFanOut(
                     next.fetch_add(1, std::memory_order_relaxed);
                 if (s >= shards)
                     break;
-                work(s);
+                try {
+                    work(s);
+                } catch (...) {
+                    // First worker exception wins; abandon the
+                    // remaining shards so every lane exits promptly,
+                    // and wake the drain thread (which stops consuming
+                    // and rethrows after the join).
+                    std::lock_guard<std::mutex> lock(mutex);
+                    if (!first_error)
+                        first_error = std::current_exception();
+                    next.store(shards, std::memory_order_relaxed);
+                }
                 {
                     std::lock_guard<std::mutex> lock(mutex);
                     done[s] = true;
@@ -161,28 +179,37 @@ ParallelCompressor::runOrderedShardFanOut(
         });
     }
 
-    // Helpers capture this frame's locals by reference, so every exit
-    // path — including a throwing drain — must wait for all of them
-    // to leave their pull loop before the frame unwinds.
-    struct JoinGuard {
-        std::mutex &mutex;
-        std::condition_variable &cv;
-        uint64_t &exited;
-        const uint64_t target;
-        ~JoinGuard()
-        {
-            std::unique_lock<std::mutex> lock(mutex);
-            cv.wait(lock, [&] { return exited == target; });
-        }
-    } join{mutex, cv, helpers_exited, helpers};
+    {
+        // Helpers capture this frame's locals by reference, so every
+        // exit path — including a throwing drain — must wait for all of
+        // them to leave their pull loop before the frame unwinds.
+        struct JoinGuard {
+            std::mutex &mutex;
+            std::condition_variable &cv;
+            uint64_t &exited;
+            const uint64_t target;
+            ~JoinGuard()
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                cv.wait(lock, [&] { return exited == target; });
+            }
+        } join{mutex, cv, helpers_exited, helpers};
 
-    for (uint64_t s = 0; s < shards; ++s) {
-        {
-            std::unique_lock<std::mutex> lock(mutex);
-            cv.wait(lock, [&] { return done[s]; });
+        for (uint64_t s = 0; s < shards; ++s) {
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                cv.wait(lock,
+                        [&] { return done[s] || first_error != nullptr; });
+                if (first_error)
+                    break;
+            }
+            drain(s);
         }
-        drain(s);
     }
+    // All helpers have left their pull loops (the guard joined them), so
+    // the captured exception can be rethrown without racing the frame.
+    if (first_error)
+        std::rethrow_exception(first_error);
 }
 
 void
@@ -224,7 +251,7 @@ ParallelCompressor::compressShards(std::span<const uint8_t> input,
         [&](uint64_t s) { consumer(std::move(results[s])); });
 }
 
-void
+Status
 ParallelCompressor::decompressShards(
     const CompressedBuffer &buffer, uint64_t windows_per_shard,
     uint8_t *out, const DecompressedShardConsumer &consumer) const
@@ -232,24 +259,36 @@ ParallelCompressor::decompressShards(
     CDMA_ASSERT(windows_per_shard > 0, "shards need at least one window");
     const uint64_t windows = buffer.window_sizes.size();
     if (windows == 0) {
-        CDMA_ASSERT(buffer.original_bytes == 0,
-                    "windowless buffer claims %llu original bytes",
-                    static_cast<unsigned long long>(
-                        buffer.original_bytes));
-        return;
+        if (buffer.original_bytes != 0) {
+            return Status::corrupt(
+                "windowless buffer claims %llu original bytes",
+                static_cast<unsigned long long>(buffer.original_bytes));
+        }
+        return Status();
     }
+    // Framing consistency is a data property (the framing crossed the
+    // wire with the payload), so inconsistencies report rather than
+    // panic.
     const uint64_t window_bytes = buffer.window_bytes;
     CDMA_ASSERT(window_bytes > 0, "compressed buffer lacks a window size");
-    CDMA_ASSERT(windows == ceilDiv(buffer.original_bytes, window_bytes),
-                "window count inconsistent with original size");
+    if (windows != ceilDiv(buffer.original_bytes, window_bytes)) {
+        return Status::corrupt(
+            "window count %llu inconsistent with original size %llu",
+            static_cast<unsigned long long>(windows),
+            static_cast<unsigned long long>(buffer.original_bytes));
+    }
 
     // Per-window payload offsets (prefix sum), so every shard can be
     // reconstructed independently straight into its output slot.
     std::vector<uint64_t> offsets(windows + 1, 0);
     for (uint64_t w = 0; w < windows; ++w)
         offsets[w + 1] = offsets[w] + buffer.window_sizes[w];
-    CDMA_ASSERT(offsets[windows] == buffer.payload.size(),
-                "window sizes do not cover the payload");
+    if (offsets[windows] != buffer.payload.size()) {
+        return Status::truncated(
+            "window sizes cover %llu bytes but the payload has %zu",
+            static_cast<unsigned long long>(offsets[windows]),
+            buffer.payload.size());
+    }
 
     const uint64_t shards = ceilDiv(windows, windows_per_shard);
     auto bounds = [&](uint64_t s) {
@@ -257,7 +296,8 @@ ParallelCompressor::decompressShards(
         return std::pair{first,
                          std::min(windows, first + windows_per_shard)};
     };
-    auto expandShard = [&](uint64_t s, DecompressedShard &shard) {
+    auto expandShard = [&](uint64_t s,
+                           DecompressedShard &shard) -> Status {
         const auto [first, last] = bounds(s);
         shard.index = s;
         shard.first_window = first;
@@ -266,15 +306,22 @@ ParallelCompressor::decompressShards(
             const uint64_t out_offset = w * window_bytes;
             const uint64_t raw = std::min<uint64_t>(
                 window_bytes, buffer.original_bytes - out_offset);
-            codec_->decompressWindowInto(
+            const Status status = codec_->decompressWindowInto(
                 std::span<const uint8_t>(
                     buffer.payload.data() + offsets[w],
                     buffer.window_sizes[w]),
                 raw, out + out_offset);
+            if (!status.ok()) {
+                return status.withContext(
+                    "shard %llu window %llu",
+                    static_cast<unsigned long long>(s),
+                    static_cast<unsigned long long>(w));
+            }
             shard.raw_bytes += raw;
             shard.wire_bytes +=
                 std::min<uint64_t>(buffer.window_sizes[w], raw);
         }
+        return Status();
     };
 
     if (!pool_ || !pool_->hasWorkers() || shards < 2) {
@@ -282,46 +329,75 @@ ParallelCompressor::decompressShards(
         // thread.
         for (uint64_t s = 0; s < shards; ++s) {
             DecompressedShard shard;
-            expandShard(s, shard);
+            const Status status = expandShard(s, shard);
+            if (!status.ok())
+                return status;
             consumer(shard);
         }
-        return;
+        return Status();
     }
 
     // Each worker writes a disjoint output slot; the shared rendezvous
     // hands the notifications to the consumer strictly in shard order
-    // while later shards are still expanding.
+    // while later shards are still expanding. A shard's decode error
+    // travels with its result: the drain stage stops consuming at the
+    // first failed shard (in shard order), later successful shards are
+    // silently discarded, and the first error is returned.
     std::vector<DecompressedShard> results(shards);
+    std::vector<Status> statuses(shards);
+    Status first_error;
     runOrderedShardFanOut(
-        shards, [&](uint64_t s) { expandShard(s, results[s]); },
-        [&](uint64_t s) { consumer(results[s]); });
+        shards,
+        [&](uint64_t s) { statuses[s] = expandShard(s, results[s]); },
+        [&](uint64_t s) {
+            if (!first_error.ok())
+                return;
+            if (!statuses[s].ok()) {
+                first_error = statuses[s];
+                return;
+            }
+            consumer(results[s]);
+        });
+    return first_error;
 }
 
-ByteVec
+StatusOr<ByteVec>
 ParallelCompressor::decompress(const CompressedBuffer &buffer) const
 {
     const uint64_t windows = buffer.window_sizes.size();
     if (!pool_ || windows < 2)
         return codec_->decompress(buffer);
 
-    CDMA_ASSERT(windows == ceilDiv(buffer.original_bytes,
-                                   buffer.window_bytes),
-                "window count inconsistent with original size");
+    if (windows != ceilDiv(buffer.original_bytes, buffer.window_bytes)) {
+        return Status::corrupt(
+            "window count %llu inconsistent with original size %llu",
+            static_cast<unsigned long long>(windows),
+            static_cast<unsigned long long>(buffer.original_bytes));
+    }
 
     // Per-window payload offsets (prefix sum), so every window can be
     // decompressed independently straight into its output slot.
     std::vector<uint64_t> offsets(windows + 1, 0);
     for (uint64_t w = 0; w < windows; ++w)
         offsets[w + 1] = offsets[w] + buffer.window_sizes[w];
-    CDMA_ASSERT(offsets[windows] == buffer.payload.size(),
-                "window sizes do not cover the payload");
+    if (offsets[windows] != buffer.payload.size()) {
+        return Status::truncated(
+            "window sizes cover %llu bytes but the payload has %zu",
+            static_cast<unsigned long long>(offsets[windows]),
+            buffer.payload.size());
+    }
 
     // Default-init output: every window slot is fully written below.
+    // Each lane records the first failing window it sees; the lowest
+    // window index wins so the reported error is deterministic.
     ByteVec out(buffer.original_bytes);
     const uint64_t per_shard =
         ceilDiv(windows, std::min<uint64_t>(pool_->lanes(), windows));
     const uint64_t shards = ceilDiv(windows, per_shard);
 
+    std::mutex error_mutex;
+    Status first_error;
+    uint64_t first_error_window = windows;
     pool_->parallelFor(shards, [&](uint64_t s) {
         const uint64_t first = s * per_shard;
         const uint64_t last = std::min(windows, first + per_shard);
@@ -329,13 +405,25 @@ ParallelCompressor::decompress(const CompressedBuffer &buffer) const
             const uint64_t out_offset = w * buffer.window_bytes;
             const uint64_t raw = std::min<uint64_t>(
                 buffer.window_bytes, buffer.original_bytes - out_offset);
-            codec_->decompressWindowInto(
+            const Status status = codec_->decompressWindowInto(
                 std::span<const uint8_t>(
                     buffer.payload.data() + offsets[w],
                     buffer.window_sizes[w]),
                 raw, out.data() + out_offset);
+            if (!status.ok()) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (w < first_error_window) {
+                    first_error_window = w;
+                    first_error = status.withContext(
+                        "window %llu",
+                        static_cast<unsigned long long>(w));
+                }
+                return;
+            }
         }
     });
+    if (!first_error.ok())
+        return first_error;
     return out;
 }
 

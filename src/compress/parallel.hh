@@ -33,6 +33,20 @@ struct CompressedShard {
     uint64_t raw_bytes = 0;    ///< uncompressed bytes this shard covers
     ByteVec payload;           ///< concatenated window payloads
     std::vector<uint32_t> window_sizes; ///< per-window compressed sizes
+    /**
+     * CRC-32C of the payload, computed on the compress side (in the
+     * worker lanes, off the per-window hot path) and carried with the
+     * shard across the spill arena so the prefetch side can verify the
+     * bytes that actually crossed the wire before expanding them.
+     */
+    uint32_t crc32c = 0;
+    /**
+     * True when the shard was degraded to raw framing (payload is the
+     * uncompressed source bytes, window_sizes are the raw sizes) after
+     * repeated transfer faults — the fault-tolerance analogue of the
+     * store-raw fallback.
+     */
+    bool raw_framed = false;
 
     /**
      * Bytes this shard puts on the wire under the store-raw fallback
@@ -85,8 +99,12 @@ class ParallelCompressor
      */
     CompressedBuffer compress(std::span<const uint8_t> input) const;
 
-    /** Invert compress(), decompressing windows in parallel. */
-    ByteVec decompress(const CompressedBuffer &buffer) const;
+    /**
+     * Invert compress(), decompressing windows in parallel. A corrupted
+     * or truncated buffer returns the first failing window's decode
+     * error (by window order), annotated with the window index.
+     */
+    StatusOr<ByteVec> decompress(const CompressedBuffer &buffer) const;
 
     /** Effective (store-raw floored) ratio of @p input. */
     double measureRatio(std::span<const uint8_t> input) const;
@@ -140,10 +158,16 @@ class ParallelCompressor
      * shard before it — has been reconstructed. Completion order is
      * deterministic regardless of lane count; an empty buffer produces
      * no shards.
+     *
+     * A corrupt or truncated buffer returns the first failing shard's
+     * decode error (by shard order), annotated with the shard index;
+     * the consumer has then been invoked exactly for the shards before
+     * the failing one, and @p out is unspecified from the failing
+     * shard's slot onward.
      */
-    void decompressShards(const CompressedBuffer &buffer,
-                          uint64_t windows_per_shard, uint8_t *out,
-                          const DecompressedShardConsumer &consumer) const;
+    Status decompressShards(const CompressedBuffer &buffer,
+                            uint64_t windows_per_shard, uint8_t *out,
+                            const DecompressedShardConsumer &consumer) const;
 
   private:
     /** Compress windows [first, last) of @p input into @p shard. */
@@ -156,7 +180,10 @@ class ParallelCompressor
      * the calling thread runs @p drain for shard 0, 1, 2, ... as soon
      * as each shard — and every shard before it — has completed. Every
      * exit path (including a throwing @p drain) joins the helpers
-     * before the frame unwinds. Requires pool workers and shards >= 2.
+     * before the frame unwinds; a throwing @p work is captured on the
+     * worker, the remaining shards are abandoned, and the first such
+     * exception is rethrown here after the join. Requires pool workers
+     * and shards >= 2.
      */
     void runOrderedShardFanOut(
         uint64_t shards, const std::function<void(uint64_t)> &work,

@@ -86,7 +86,7 @@ RleCompressor::compressWindowInto(std::span<const uint8_t> window,
     out.resize(base + static_cast<size_t>(dst - out_base));
 }
 
-void
+Status
 RleCompressor::decompressWindowInto(std::span<const uint8_t> payload,
                                     uint64_t original_bytes,
                                     uint8_t *out) const
@@ -96,23 +96,41 @@ RleCompressor::decompressWindowInto(std::span<const uint8_t> payload,
 
     // Run reconstruction goes through the kernel backend: zero tokens
     // are the zero-fill op, literal tokens the bulk byte copy — the
-    // prefetch-side mirror of the scan/copy ops compression uses.
+    // prefetch-side mirror of the scan/copy ops compression uses. Every
+    // bound is checked before the kernel call, so a truncated or
+    // bit-flipped token stream surfaces as a Status, never an OOB read.
     const KernelOps &kernel = kernels();
     size_t cursor = 0;
     uint64_t produced = 0;
     while (produced < words) {
-        CDMA_ASSERT(cursor < payload.size(),
-                    "RLE payload truncated before token");
+        if (cursor >= payload.size()) {
+            return Status::truncated(
+                "RL: payload truncated before token at byte %zu "
+                "(%llu of %llu words decoded)", cursor,
+                static_cast<unsigned long long>(produced),
+                static_cast<unsigned long long>(words));
+        }
         const uint8_t token = payload[cursor++];
         const uint64_t run = static_cast<uint64_t>(token & 0x7F) + 1;
-        CDMA_ASSERT(produced + run <= words,
-                    "RLE run overflows the original window size");
+        if (produced + run > words) {
+            return Status::corrupt(
+                "RL: run of %llu words at byte %zu overflows the "
+                "original window (%llu of %llu words decoded)",
+                static_cast<unsigned long long>(run), cursor - 1,
+                static_cast<unsigned long long>(produced),
+                static_cast<unsigned long long>(words));
+        }
         uint8_t *dst = out + produced * kWordBytes;
         if (token & kZeroRunFlag) {
             kernel.zeroFillBytes(dst, run * kWordBytes);
         } else {
-            CDMA_ASSERT(cursor + run * kWordBytes <= payload.size(),
-                        "RLE payload truncated in literal run");
+            if (cursor + run * kWordBytes > payload.size()) {
+                return Status::truncated(
+                    "RL: payload truncated in literal run at byte %zu "
+                    "(run of %llu words, payload %zu bytes)", cursor,
+                    static_cast<unsigned long long>(run),
+                    payload.size());
+            }
             kernel.copyBytes(dst, payload.data() + cursor,
                              run * kWordBytes);
             cursor += run * kWordBytes;
@@ -121,15 +139,20 @@ RleCompressor::decompressWindowInto(std::span<const uint8_t> payload,
     }
 
     if (tail_bytes) {
-        CDMA_ASSERT(cursor + tail_bytes <= payload.size(),
-                    "RLE payload truncated in raw tail");
+        if (cursor + tail_bytes > payload.size()) {
+            return Status::truncated(
+                "RL: payload truncated in raw tail at byte %zu "
+                "(payload %zu bytes)", cursor, payload.size());
+        }
         std::memcpy(out + words * kWordBytes, payload.data() + cursor,
                     tail_bytes);
         cursor += tail_bytes;
     }
-    CDMA_ASSERT(cursor == payload.size(),
-                "RLE payload has %zu trailing bytes",
-                payload.size() - cursor);
+    if (cursor != payload.size()) {
+        return Status::corrupt("RL: payload has %zu trailing bytes",
+                               payload.size() - cursor);
+    }
+    return Status();
 }
 
 } // namespace cdma

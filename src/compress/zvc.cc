@@ -77,7 +77,7 @@ ZvcCompressor::compressWindowInto(std::span<const uint8_t> window,
     out.resize(base + static_cast<size_t>(dst - out_base));
 }
 
-void
+Status
 ZvcCompressor::decompressWindowInto(std::span<const uint8_t> payload,
                                     uint64_t original_bytes,
                                     uint8_t *out) const
@@ -87,29 +87,37 @@ ZvcCompressor::decompressWindowInto(std::span<const uint8_t> payload,
 
     // The mask-driven scatter of each group is the kernel backend's
     // zvcExpandGroup op — the inverse of the compaction above and the
-    // software mirror of the DPE's scatter network. The bounds assert
+    // software mirror of the DPE's scatter network. The bounds check
     // runs before the kernel call, so a backend never sees a payload
-    // shorter than the mask's popcount promises.
+    // shorter than the mask's popcount promises; a truncated or
+    // corrupted wire payload surfaces as a Status, never a panic.
     const KernelOps &kernel = kernels();
     size_t cursor = 0;
     uint64_t word = 0;
     while (word < full_words) {
         const uint64_t group =
             std::min<uint64_t>(kMaskWords, full_words - word);
-        CDMA_ASSERT(cursor + sizeof(uint32_t) <= payload.size(),
-                    "ZVC payload truncated before mask");
+        if (cursor + sizeof(uint32_t) > payload.size()) {
+            return Status::truncated(
+                "ZV: payload truncated before mask at byte %zu "
+                "(payload %zu bytes)", cursor, payload.size());
+        }
         uint32_t mask;
         std::memcpy(&mask, payload.data() + cursor, sizeof(mask));
         cursor += sizeof(mask);
         // Bits beyond a short final group would index past the output
-        // region; drop them (the trailing-bytes assert below still flags
+        // region; drop them (the trailing-bytes check below still flags
         // the corrupt payload).
         if (group < kMaskWords)
             mask &= (1u << group) - 1u;
 
         const uint64_t present = static_cast<uint64_t>(popcount32(mask));
-        CDMA_ASSERT(cursor + present * kWordBytes <= payload.size(),
-                    "ZVC payload truncated in non-zero data");
+        if (cursor + present * kWordBytes > payload.size()) {
+            return Status::truncated(
+                "ZV: payload truncated in non-zero data at byte %zu "
+                "(mask promises %llu words, payload %zu bytes)", cursor,
+                static_cast<unsigned long long>(present), payload.size());
+        }
 
         cursor += kernel.zvcExpandGroup(payload.data() + cursor, mask,
                                         static_cast<uint32_t>(group),
@@ -118,15 +126,20 @@ ZvcCompressor::decompressWindowInto(std::span<const uint8_t> payload,
     }
 
     if (tail_bytes) {
-        CDMA_ASSERT(cursor + tail_bytes <= payload.size(),
-                    "ZVC payload truncated in raw tail");
+        if (cursor + tail_bytes > payload.size()) {
+            return Status::truncated(
+                "ZV: payload truncated in raw tail at byte %zu "
+                "(payload %zu bytes)", cursor, payload.size());
+        }
         std::memcpy(out + full_words * kWordBytes,
                     payload.data() + cursor, tail_bytes);
         cursor += tail_bytes;
     }
-    CDMA_ASSERT(cursor == payload.size(),
-                "ZVC payload has %zu trailing bytes",
-                payload.size() - cursor);
+    if (cursor != payload.size()) {
+        return Status::corrupt("ZV: payload has %zu trailing bytes",
+                               payload.size() - cursor);
+    }
+    return Status();
 }
 
 } // namespace cdma

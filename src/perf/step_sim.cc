@@ -95,6 +95,9 @@ StepSimulator::run(StepMode mode,
             result.wire_transfer_bytes += plan.wire_bytes;
             result.layers[i].offload_seconds = plan.seconds;
             result.layers[i].offload = plan.offload;
+            // plan.integrity already covers the full round trip, so
+            // fold it in once (on the offload entry), not per leg.
+            result.integrity.accumulate(plan.integrity);
         } else {
             // The backward direction waits on the mirrored pipeline
             // (wire in, then decompress) when the engine modeled it;

@@ -95,6 +95,10 @@ struct StepResult {
     double offload_contention_seconds = 0.0;
     /** Total time prefetches waited while the link served offloads. */
     double prefetch_contention_seconds = 0.0;
+    /** Aggregate fault/retry accounting over every scheduled transfer's
+     *  round trip (all zeros unless the engine carries a fault
+     *  injector; attempts counts clean crossings too). */
+    TransferIntegrity integrity;
     std::vector<LayerStepStats> layers;
 
     /** Throughput relative to another result (other/self). */

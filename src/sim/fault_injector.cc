@@ -1,0 +1,114 @@
+#include "sim/fault_injector.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cdma::sim {
+
+FaultInjector::FaultInjector(const FaultConfig &config)
+    : config_(config), rng_(config.seed)
+{
+    CDMA_ASSERT(config.bit_flip_rate_per_byte >= 0.0 &&
+                    config.bit_flip_rate_per_byte <= 1.0,
+                "bit flip rate %g out of [0, 1]",
+                config.bit_flip_rate_per_byte);
+    CDMA_ASSERT(config.truncate_rate >= 0.0 && config.truncate_rate <= 1.0,
+                "truncate rate %g out of [0, 1]", config.truncate_rate);
+    CDMA_ASSERT(config.link_failure_rate >= 0.0 &&
+                    config.link_failure_rate <= 1.0,
+                "link failure rate %g out of [0, 1]",
+                config.link_failure_rate);
+}
+
+void
+FaultInjector::reset()
+{
+    rng_ = Rng(config_.seed);
+    crossings_ = 0;
+}
+
+FaultOutcome
+FaultInjector::sample(uint64_t payload_bytes)
+{
+    ++crossings_;
+    FaultOutcome outcome;
+    outcome.truncate_to = payload_bytes;
+
+    if (config_.link_failure_rate > 0.0 &&
+        rng_.bernoulli(config_.link_failure_rate)) {
+        // Nothing lands; the other hazards are moot for this crossing.
+        outcome.link_failed = true;
+        return outcome;
+    }
+
+    if (config_.truncate_rate > 0.0 &&
+        rng_.bernoulli(config_.truncate_rate) && payload_bytes > 0) {
+        outcome.truncated = true;
+        outcome.truncate_to = rng_.uniformInt(payload_bytes);
+    }
+
+    // Geometric-gap flip sampling: the gap to the next flipped byte is
+    // floor(ln(u) / ln(1 - p)), so a clean multi-megabyte crossing costs
+    // one draw, not one per byte. Flips beyond a truncation point never
+    // arrive, so sample only the delivered prefix.
+    const double p = config_.bit_flip_rate_per_byte;
+    if (p > 0.0 && outcome.truncate_to > 0) {
+        const double denom = std::log1p(-p);
+        uint64_t offset = 0;
+        while (outcome.flip_offsets.size() <
+               config_.max_flips_per_transfer) {
+            const double u = rng_.uniform();
+            // u in [0, 1); guard the log against u == 0.
+            const double gap_f =
+                u > 0.0 ? std::floor(std::log(1.0 - u) / denom) : 0.0;
+            const uint64_t gap = gap_f >= 1e18
+                ? static_cast<uint64_t>(1) << 62
+                : static_cast<uint64_t>(gap_f);
+            if (offset + gap >= outcome.truncate_to)
+                break;
+            offset += gap;
+            outcome.flip_offsets.push_back(offset);
+            outcome.flip_masks.push_back(
+                static_cast<uint8_t>(1u << rng_.uniformInt(8)));
+            ++offset; // next gap is measured from the following byte
+        }
+    }
+    return outcome;
+}
+
+double
+FaultInjector::failureProbability(uint64_t payload_bytes) const
+{
+    // A crossing succeeds when the link stays up, the stream is not
+    // truncated, and no byte flips. Flip survival is (1-p)^bytes,
+    // computed in log space for stability at tiny rates.
+    const double flip_ok = config_.bit_flip_rate_per_byte > 0.0
+        ? std::exp(static_cast<double>(payload_bytes) *
+                   std::log1p(-config_.bit_flip_rate_per_byte))
+        : 1.0;
+    const double ok = (1.0 - config_.link_failure_rate) *
+        (1.0 - config_.truncate_rate) * flip_ok;
+    return 1.0 - std::clamp(ok, 0.0, 1.0);
+}
+
+double
+FaultInjector::expectedAttempts(uint64_t payload_bytes,
+                                uint32_t max_attempts) const
+{
+    CDMA_ASSERT(max_attempts > 0, "at least one attempt is required");
+    const double q = failureProbability(payload_bytes);
+    // E[attempts] for a geometric capped at max_attempts:
+    // sum_{k=0}^{max-1} q^k  (the k-th extra attempt happens with
+    // probability q^k).
+    double expected = 0.0;
+    double qk = 1.0;
+    for (uint32_t k = 0; k < max_attempts; ++k) {
+        expected += qk;
+        qk *= q;
+    }
+    return expected;
+}
+
+} // namespace cdma::sim

@@ -187,7 +187,7 @@ TEST(OffloadScheduler, ZeroByteBuffer)
     EXPECT_DOUBLE_EQ(result.timing.overlap_fraction, 0.0);
     EXPECT_EQ(result.buffer.original_bytes, 0u);
     EXPECT_TRUE(result.buffer.payload.empty());
-    EXPECT_TRUE(engine.compressor().decompress(result.buffer).empty());
+    EXPECT_TRUE(engine.compressor().decompress(result.buffer).value().empty());
 }
 
 TEST(OffloadScheduler, SingleWindowBuffer)
@@ -202,7 +202,7 @@ TEST(OffloadScheduler, SingleWindowBuffer)
     expectIdentical(result.buffer,
                     engine.compressor().serial().compress(input),
                     "single window");
-    EXPECT_EQ(engine.compressor().decompress(result.buffer), input);
+    EXPECT_EQ(engine.compressor().decompress(result.buffer).value(), input);
 }
 
 TEST(OffloadScheduler, ShardsGreaterThanLanes)
@@ -219,7 +219,7 @@ TEST(OffloadScheduler, ShardsGreaterThanLanes)
     expectIdentical(result.buffer,
                     engine.compressor().serial().compress(input),
                     "shards > lanes");
-    EXPECT_EQ(engine.compressor().decompress(result.buffer), input);
+    EXPECT_EQ(engine.compressor().decompress(result.buffer).value(), input);
     EXPECT_GT(result.timing.overlap_fraction, 0.0);
 }
 
@@ -236,7 +236,7 @@ TEST(OffloadScheduler, LanesGreaterThanShards)
     expectIdentical(result.buffer,
                     engine.compressor().serial().compress(input),
                     "lanes > shards");
-    EXPECT_EQ(engine.compressor().decompress(result.buffer), input);
+    EXPECT_EQ(engine.compressor().decompress(result.buffer).value(), input);
 }
 
 TEST(OffloadScheduler, SerialLaneMatchesParallelLanes)

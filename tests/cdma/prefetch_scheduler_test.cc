@@ -251,7 +251,7 @@ TEST(PrefetchScheduler, ZeroByteBuffer)
     const PrefetchScheduler scheduler(engine);
     const CompressedBuffer empty =
         engine.compressor().serial().compress({});
-    const PrefetchResult result = scheduler.prefetch(empty);
+    const PrefetchResult result = scheduler.prefetch(empty).value();
     EXPECT_TRUE(result.data.empty());
     EXPECT_EQ(result.shards.size(), 0u);
     EXPECT_EQ(result.timing.shard_count, 0u);
@@ -265,7 +265,7 @@ TEST(PrefetchScheduler, SingleWindowBuffer)
     const auto input = makeInput(0.5, 1000, 17);
     const CompressedBuffer compressed =
         engine.compressor().serial().compress(input);
-    const PrefetchResult result = scheduler.prefetch(compressed);
+    const PrefetchResult result = scheduler.prefetch(compressed).value();
     ASSERT_EQ(result.shards.size(), 1u);
     EXPECT_EQ(result.shards[0].raw_bytes, input.size());
     EXPECT_EQ(result.shards[0].wire_bytes, compressed.effectiveBytes());
@@ -287,7 +287,7 @@ TEST(PrefetchScheduler, RoundTripsTheOffloadAcrossShardAndLaneShapes)
         const OffloadResult offloaded =
             OffloadScheduler(*engine).offload(input);
         const PrefetchResult restored =
-            PrefetchScheduler(*engine).prefetch(offloaded.buffer);
+            PrefetchScheduler(*engine).prefetch(offloaded.buffer).value();
         EXPECT_EQ(restored.data, input);
         ASSERT_EQ(restored.shards.size(), offloaded.shards.size());
         for (size_t i = 0; i < restored.shards.size(); ++i) {
@@ -299,9 +299,11 @@ TEST(PrefetchScheduler, RoundTripsTheOffloadAcrossShardAndLaneShapes)
     }
 
     const PrefetchResult serial = PrefetchScheduler(makeEngine(1))
-        .prefetch(OffloadScheduler(makeEngine(1)).offload(input).buffer);
+        .prefetch(OffloadScheduler(makeEngine(1)).offload(input).buffer)
+        .value();
     const PrefetchResult parallel = PrefetchScheduler(eight_lanes)
-        .prefetch(OffloadScheduler(makeEngine(8)).offload(input).buffer);
+        .prefetch(OffloadScheduler(makeEngine(8)).offload(input).buffer)
+        .value();
     EXPECT_EQ(serial.data, parallel.data);
 }
 
@@ -312,8 +314,8 @@ TEST(PrefetchScheduler, DeterministicEventTimeline)
     const CompressedBuffer compressed =
         OffloadScheduler(engine).offload(input).buffer;
     const PrefetchScheduler scheduler(engine);
-    const PrefetchResult a = scheduler.prefetch(compressed);
-    const PrefetchResult b = scheduler.prefetch(compressed);
+    const PrefetchResult a = scheduler.prefetch(compressed).value();
+    const PrefetchResult b = scheduler.prefetch(compressed).value();
     EXPECT_EQ(a.timing.overlapped_seconds, b.timing.overlapped_seconds);
     EXPECT_EQ(a.timing.wire_seconds, b.timing.wire_seconds);
     EXPECT_EQ(a.timing.decompress_seconds, b.timing.decompress_seconds);

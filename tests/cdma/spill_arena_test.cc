@@ -71,7 +71,7 @@ TEST(SpillArena, StoreAndMaterializeRoundTripsEveryCodec)
         const CompressedBuffer back = arena.materialize(ticket);
         EXPECT_EQ(back.payload, compressed.payload);
         EXPECT_EQ(back.window_sizes, compressed.window_sizes);
-        EXPECT_EQ(engine.compressor().decompress(back), input)
+        EXPECT_EQ(engine.compressor().decompress(back).value(), input)
             << algorithmName(algorithm);
         arena.release(ticket);
     }
@@ -85,7 +85,7 @@ TEST(SpillArena, OffloadIntoMatchesTheStitchedOffload)
     const auto input = makeInput(0.4, (1 << 20) + 123, 71);
 
     SpillArena arena;
-    const SpilledOffload spilled = scheduler.offloadInto(input, arena);
+    const SpilledOffload spilled = scheduler.offloadInto(input, arena).value();
     const OffloadResult reference = scheduler.offload(input);
 
     // Identical shard trains and identical modeled timing.
@@ -106,10 +106,10 @@ TEST(SpillArena, OffloadIntoMatchesTheStitchedOffload)
     // The arena prefetch restores the original and models the mirrored
     // pipeline over the same shard train.
     const PrefetchResult restored =
-        prefetcher.prefetch(arena, spilled.ticket);
+        prefetcher.prefetch(arena, spilled.ticket).value();
     EXPECT_EQ(restored.data, input);
     const PrefetchResult via_buffer =
-        prefetcher.prefetch(reference.buffer);
+        prefetcher.prefetch(reference.buffer).value();
     EXPECT_EQ(via_buffer.data, input);
     EXPECT_DOUBLE_EQ(restored.timing.overlapped_seconds,
                      via_buffer.timing.overlapped_seconds);
@@ -137,10 +137,10 @@ TEST(SpillArena, SlotRecyclingPlateausAfterTheFirstIteration)
         std::vector<SpillTicket> tickets;
         for (const auto &layer : layers)
             tickets.push_back(
-                scheduler.offloadInto(layer, arena).ticket);
+                scheduler.offloadInto(layer, arena)->ticket);
         for (size_t i = tickets.size(); i-- > 0;) {
             const PrefetchResult restored =
-                prefetcher.prefetch(arena, tickets[i]);
+                prefetcher.prefetch(arena, tickets[i]).value();
             EXPECT_EQ(restored.data, layers[i])
                 << "iteration " << iteration << " layer " << i;
             arena.release(tickets[i]);
@@ -171,9 +171,9 @@ TEST(SpillArena, HighWaterTracksConcurrentResidency)
     const auto a = makeInput(0.5, 300 * 1024, 11);
     const auto b = makeInput(0.5, 300 * 1024, 13);
 
-    const SpillTicket ta = scheduler.offloadInto(a, arena).ticket;
+    const SpillTicket ta = scheduler.offloadInto(a, arena)->ticket;
     const uint64_t one = arena.stats().live_payload_bytes;
-    const SpillTicket tb = scheduler.offloadInto(b, arena).ticket;
+    const SpillTicket tb = scheduler.offloadInto(b, arena)->ticket;
     const uint64_t both = arena.stats().live_payload_bytes;
     EXPECT_GT(both, one);
     EXPECT_EQ(arena.stats().high_water_payload_bytes, both);
@@ -182,7 +182,7 @@ TEST(SpillArena, HighWaterTracksConcurrentResidency)
     // past the two-buffer peak (slots are recycled, residency is the
     // same).
     arena.release(ta);
-    const SpillTicket tc = scheduler.offloadInto(a, arena).ticket;
+    const SpillTicket tc = scheduler.offloadInto(a, arena)->ticket;
     EXPECT_EQ(arena.stats().high_water_payload_bytes, both);
     arena.release(tb);
     arena.release(tc);
@@ -195,7 +195,7 @@ TEST(SpillArena, ShardViewsExposeTheStoredFraming)
     const OffloadScheduler scheduler(engine);
     const auto input = makeInput(0.5, (1 << 19) + 37, 83);
     SpillArena arena;
-    const SpilledOffload spilled = scheduler.offloadInto(input, arena);
+    const SpilledOffload spilled = scheduler.offloadInto(input, arena).value();
     const CompressedBuffer reference =
         engine.compressor().compress(input);
 
@@ -227,11 +227,11 @@ TEST(SpillArena, EmptyBufferSpills)
     const OffloadScheduler scheduler(engine);
     const PrefetchScheduler prefetcher(engine);
     SpillArena arena;
-    const SpilledOffload spilled = scheduler.offloadInto({}, arena);
+    const SpilledOffload spilled = scheduler.offloadInto({}, arena).value();
     EXPECT_EQ(arena.shardCount(spilled.ticket), 0u);
     EXPECT_EQ(arena.originalBytes(spilled.ticket), 0u);
     const PrefetchResult restored =
-        prefetcher.prefetch(arena, spilled.ticket);
+        prefetcher.prefetch(arena, spilled.ticket).value();
     EXPECT_TRUE(restored.data.empty());
     EXPECT_EQ(restored.timing.shard_count, 0u);
     arena.release(spilled.ticket);

@@ -266,9 +266,9 @@ TEST(TransferEngine, SpillArenaRoundTripsByteIdenticalAcrossLanes)
         const TransferEngine transfers(engine);
         SpillArena arena;
         const SpilledOffload spilled =
-            transfers.offloadInto(input, arena);
+            transfers.offloadInto(input, arena).value();
         const PrefetchResult result =
-            transfers.prefetch(arena, spilled.ticket);
+            transfers.prefetch(arena, spilled.ticket).value();
         EXPECT_EQ(result.data,
                   ByteVec(input.begin(), input.end()))
             << lanes << " lanes";
@@ -298,14 +298,15 @@ TEST(TransferEngine, FullDuplexStepRacesOffloadAgainstPrefetch)
     const TransferEngine transfers(engine);
     SpillArena arena;
 
-    const SpilledOffload first = transfers.offloadInto(earlier, arena);
+    const SpilledOffload first =
+        transfers.offloadInto(earlier, arena).value();
     const TransferEngine::DuplexResult step =
-        transfers.transfer(later, arena, first.ticket);
+        transfers.transfer(later, arena, first.ticket).value();
     EXPECT_EQ(step.prefetch.data, ByteVec(earlier.begin(), earlier.end()));
     arena.release(first.ticket);
 
     const PrefetchResult second =
-        transfers.prefetch(arena, step.offload.ticket);
+        transfers.prefetch(arena, step.offload.ticket).value();
     EXPECT_EQ(second.data, ByteVec(later.begin(), later.end()));
     arena.release(step.offload.ticket);
 

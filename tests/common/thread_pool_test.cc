@@ -1,6 +1,8 @@
 /** @file Tests for the fork-join worker pool behind ParallelCompressor. */
 
 #include <atomic>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -55,6 +57,61 @@ TEST(ThreadPool, ReusableAcrossManyDispatches)
         pool.parallelFor(100, [&](uint64_t i) { sum.fetch_add(i + 1); });
         EXPECT_EQ(sum.load(), 100u * 101u / 2);
     }
+}
+
+TEST(ThreadPool, WorkerExceptionRethrowsAtRendezvous)
+{
+    // A lane body that throws must not kill the worker thread: the
+    // first exception is captured, the remaining indices are abandoned,
+    // and the exception surfaces on the calling thread.
+    ThreadPool pool(4);
+    std::atomic<int> executed{0};
+    try {
+        pool.parallelFor(10000, [&](uint64_t i) {
+            if (i == 17)
+                throw std::runtime_error("lane failure at 17");
+            executed.fetch_add(1);
+        });
+        FAIL() << "parallelFor swallowed the worker exception";
+    } catch (const std::runtime_error &error) {
+        EXPECT_EQ(std::string(error.what()), "lane failure at 17");
+    }
+    // Abandonment: the dispatch stopped early rather than draining the
+    // whole index space behind a poisoned run.
+    EXPECT_LT(executed.load(), 10000);
+}
+
+TEST(ThreadPool, PoolSurvivesAndIsReusableAfterAnException)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 5; ++round) {
+        EXPECT_THROW(pool.parallelFor(64,
+                                      [&](uint64_t i) {
+                                          if (i == 7)
+                                              throw std::runtime_error(
+                                                  "boom");
+                                      }),
+                     std::runtime_error);
+        std::atomic<int> calls{0};
+        pool.parallelFor(64, [&](uint64_t) { calls.fetch_add(1); });
+        EXPECT_EQ(calls.load(), 64) << "round " << round;
+    }
+}
+
+TEST(ThreadPool, InlineLaneExceptionPropagatesDirectly)
+{
+    ThreadPool pool(1);
+    std::vector<uint64_t> ran;
+    EXPECT_THROW(pool.parallelFor(5,
+                                  [&](uint64_t i) {
+                                      if (i == 2)
+                                          throw std::logic_error("inline");
+                                      ran.push_back(i);
+                                  }),
+                 std::logic_error);
+    // Serial semantics: indices before the throwing one ran, later
+    // ones were never reached.
+    EXPECT_EQ(ran, (std::vector<uint64_t>{0, 1}));
 }
 
 TEST(ThreadPool, DefaultUsesHardwareConcurrency)

@@ -64,12 +64,20 @@ TEST(BitStream, ExhaustedDetectsEnd)
     EXPECT_TRUE(reader.exhausted(1));
 }
 
-TEST(BitStreamDeathTest, ReadPastEndPanics)
+TEST(BitStream, ReadPastEndLatchesOverrun)
 {
+    // A truncated wire payload is data, not an invariant: reading past
+    // the end returns zero bits and latches overrun() instead of
+    // panicking, so decoders can surface a recoverable Status.
     std::vector<uint8_t> one_byte = {0xFF};
     BitReader reader(one_byte);
-    reader.get(8);
-    EXPECT_DEATH(reader.get(1), "exhausted");
+    EXPECT_EQ(reader.get(8), 0xFFu);
+    EXPECT_FALSE(reader.overrun());
+    EXPECT_EQ(reader.get(1), 0u);
+    EXPECT_TRUE(reader.overrun());
+    // The flag stays latched and later reads keep returning zero bits.
+    EXPECT_EQ(reader.get(32), 0u);
+    EXPECT_TRUE(reader.overrun());
 }
 
 TEST(BitStream, RandomFieldsRoundTrip)

@@ -187,14 +187,14 @@ TEST(DecompressCodecEquivalence, OutputIsByteIdenticalPerBackend)
                         density, bytes, 777 + bytes);
                     const CompressedBuffer compressed =
                         reference->compress(input);
-                    ASSERT_EQ(codec->decompress(compressed), input)
+                    ASSERT_EQ(codec->decompress(compressed).value(), input)
                         << codec->name() << " " << ops->name
                         << " bytes=" << bytes << " density=" << density;
                     // And the cross direction: backend-compressed,
                     // scalar-decompressed (streams are byte-identical,
                     // so this guards the packer too).
                     const CompressedBuffer own = codec->compress(input);
-                    ASSERT_EQ(reference->decompress(own), input)
+                    ASSERT_EQ(reference->decompress(own).value(), input)
                         << codec->name() << " " << ops->name
                         << " bytes=" << bytes << " density=" << density;
                 }
@@ -217,7 +217,7 @@ TEST(DecompressCodecEquivalence, LaneFanOutSharesTheBackendDecision)
             for (const unsigned lanes : {1u, 2u, 8u}) {
                 const ParallelCompressor parallel(algorithm, 4096, lanes,
                                                   ops);
-                ASSERT_EQ(parallel.decompress(compressed), input)
+                ASSERT_EQ(parallel.decompress(compressed).value(), input)
                     << algorithmName(algorithm) << " " << ops->name
                     << " lanes=" << lanes;
             }
@@ -235,7 +235,7 @@ TEST(DecompressShards, StreamArrivesInOrderAndReconstructsExactly)
         ByteVec out(input.size());
         uint64_t expected_index = 0;
         uint64_t raw_total = 0, wire_total = 0;
-        compressor.decompressShards(
+        const Status status = compressor.decompressShards(
             compressed, windows_per_shard, out.data(),
             [&](const ParallelCompressor::DecompressedShard &shard) {
                 EXPECT_EQ(shard.index, expected_index++);
@@ -246,6 +246,7 @@ TEST(DecompressShards, StreamArrivesInOrderAndReconstructsExactly)
                 raw_total += shard.raw_bytes;
                 wire_total += shard.wire_bytes;
             });
+        ASSERT_TRUE(status.ok()) << status.toString();
         EXPECT_EQ(expected_index, 13u); // ceil(65 windows / 5)
         EXPECT_EQ(raw_total, input.size());
         EXPECT_EQ(wire_total, compressed.effectiveBytes());
@@ -256,11 +257,13 @@ TEST(DecompressShards, StreamArrivesInOrderAndReconstructsExactly)
     const ParallelCompressor compressor(Algorithm::Zvc, 4096, 2);
     const CompressedBuffer empty = compressor.compress({});
     bool called = false;
-    compressor.decompressShards(
-        empty, windows_per_shard, nullptr,
-        [&](const ParallelCompressor::DecompressedShard &) {
-            called = true;
-        });
+    ASSERT_TRUE(compressor
+                    .decompressShards(
+                        empty, windows_per_shard, nullptr,
+                        [&](const ParallelCompressor::DecompressedShard &) {
+                            called = true;
+                        })
+                    .ok());
     EXPECT_FALSE(called);
 }
 

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <stdexcept>
 #include <tuple>
 
 #include <gtest/gtest.h>
@@ -112,7 +113,7 @@ TEST_P(StreamingEquivalence, IntoApiMatchesLegacyPath)
         break;
     }
     expectIdentical(streaming, legacy, "streaming vs legacy");
-    EXPECT_EQ(makeCompressor(algorithm)->decompress(streaming), input);
+    EXPECT_EQ(makeCompressor(algorithm)->decompress(streaming).value(), input);
 }
 
 TEST_P(StreamingEquivalence, ParallelMatchesSerialAcrossLaneCounts)
@@ -126,10 +127,10 @@ TEST_P(StreamingEquivalence, ParallelMatchesSerialAcrossLaneCounts)
             algorithm, Compressor::kDefaultWindowBytes, lanes);
         const auto compressed = parallel.compress(input);
         expectIdentical(serial, compressed, "parallel vs serial");
-        EXPECT_EQ(parallel.decompress(compressed), input);
+        EXPECT_EQ(parallel.decompress(compressed).value(), input);
         // Parallel decompression of the serial buffer (and vice versa)
         // must also round-trip: the formats are one and the same.
-        EXPECT_EQ(parallel.decompress(serial), input);
+        EXPECT_EQ(parallel.decompress(serial).value(), input);
     }
 }
 
@@ -175,7 +176,7 @@ TEST(ParallelCompressor, ManyMoreWindowsThanLanes)
     const ParallelCompressor parallel(Algorithm::Rle, 4096, 3);
     const auto serial = makeCompressor(Algorithm::Rle)->compress(input);
     expectIdentical(serial, parallel.compress(input), "257 windows");
-    EXPECT_EQ(parallel.decompress(serial), input);
+    EXPECT_EQ(parallel.decompress(serial).value(), input);
 }
 
 TEST(ParallelCompressor, MeasureRatioMatchesSerial)
@@ -217,14 +218,73 @@ TEST(StreamingInto, DecompressIntoFillsExactRegion)
         // Sentinel-padded region: the codec must write exactly the window
         // and nothing else.
         std::vector<uint8_t> region(input.size() + 8, 0xCC);
-        codec->decompressWindowInto(compressed.payload, input.size(),
-                                    region.data() + 4);
+        ASSERT_TRUE(codec
+                        ->decompressWindowInto(compressed.payload,
+                                               input.size(),
+                                               region.data() + 4)
+                        .ok());
         EXPECT_EQ(region[0], 0xCC);
         EXPECT_EQ(region[3], 0xCC);
         EXPECT_EQ(region[region.size() - 4], 0xCC);
         EXPECT_TRUE(std::equal(input.begin(), input.end(),
                                region.begin() + 4));
     }
+}
+
+TEST(ShardFanOut, ThrowingConsumerJoinsWorkersAndRethrows)
+{
+    // The drain consumer runs on the calling thread while workers are
+    // still compressing later shards; a throw out of it must join every
+    // helper before the frame unwinds (no worker left touching a dead
+    // frame's shard slots) and propagate to the caller.
+    const ParallelCompressor parallel(Algorithm::Zvc, 4096, 4);
+    const auto input = makeInput(0.4, 64 * 4096, 41);
+
+    int consumed = 0;
+    try {
+        parallel.compressShards(input, 2,
+                                [&](CompressedShard &&shard) {
+                                    if (shard.index == 1)
+                                        throw std::runtime_error(
+                                            "consumer rejected shard 1");
+                                    ++consumed;
+                                });
+        FAIL() << "compressShards swallowed the consumer exception";
+    } catch (const std::runtime_error &error) {
+        EXPECT_STREQ(error.what(), "consumer rejected shard 1");
+    }
+    EXPECT_EQ(consumed, 1); // shard 0 only
+
+    // The compressor (and its pool) survive: the next fan-out matches
+    // the serial reference byte for byte.
+    const CompressedBuffer after = parallel.compress(input);
+    expectIdentical(after, parallel.serial().compress(input),
+                    "post-exception fan-out");
+}
+
+TEST(ShardFanOut, ThrowingConsumerOnDecompressJoinsAndRethrows)
+{
+    const ParallelCompressor parallel(Algorithm::Zvc, 4096, 4);
+    const auto input = makeInput(0.4, 64 * 4096, 42);
+    const CompressedBuffer buffer = parallel.compress(input);
+
+    ByteVec out(input.size());
+    EXPECT_THROW(
+        parallel.decompressShards(
+            buffer, 2, out.data(),
+            [&](const ParallelCompressor::DecompressedShard &shard) {
+                if (shard.index == 1)
+                    throw std::runtime_error("prefetch consumer failed");
+            }),
+        std::runtime_error);
+
+    // Reusable afterward, and the round trip is still lossless.
+    ByteVec again(input.size());
+    const Status status = parallel.decompressShards(
+        buffer, 2, again.data(),
+        [](const ParallelCompressor::DecompressedShard &) {});
+    ASSERT_TRUE(status.ok()) << status.toString();
+    EXPECT_EQ(again, ByteVec(input.begin(), input.end()));
 }
 
 TEST(CompressedBound, CoversWorstCaseWindows)

@@ -93,7 +93,7 @@ TEST(Rle, RoundTripExactOnRandomData)
         w = rng.bernoulli(0.6) ? 0.0f : static_cast<float>(rng.normal());
     const auto input = wordsToBytes(words);
     RleCompressor rle;
-    EXPECT_EQ(rle.decompress(rle.compress(input)), input);
+    EXPECT_EQ(rle.decompress(rle.compress(input)).value(), input);
 }
 
 TEST(Rle, RoundTripNonWordAlignedTail)
@@ -103,7 +103,7 @@ TEST(Rle, RoundTripNonWordAlignedTail)
     for (auto &b : input)
         b = static_cast<uint8_t>(rng.uniformInt(256));
     RleCompressor rle;
-    EXPECT_EQ(rle.decompress(rle.compress(input)), input);
+    EXPECT_EQ(rle.decompress(rle.compress(input)).value(), input);
 }
 
 TEST(Rle, EmptyInput)
@@ -111,7 +111,7 @@ TEST(Rle, EmptyInput)
     RleCompressor rle;
     const auto result = rle.compress({});
     EXPECT_EQ(result.compressedBytes(), 0u);
-    EXPECT_TRUE(rle.decompress(result).empty());
+    EXPECT_TRUE(rle.decompress(result).value().empty());
 }
 
 } // namespace

@@ -78,8 +78,9 @@ TEST(Pipeline, RealActivationsRoundTripThroughAllCodecs)
             const auto compressor = makeCompressor(algorithm);
             const auto compressed = compressor->compress(raw);
             const auto restored = compressor->decompress(compressed);
-            ASSERT_EQ(restored.size(), raw.size());
-            EXPECT_TRUE(std::equal(restored.begin(), restored.end(),
+            ASSERT_TRUE(restored.ok()) << restored.status().toString();
+            ASSERT_EQ(restored->size(), raw.size());
+            EXPECT_TRUE(std::equal(restored->begin(), restored->end(),
                                    raw.begin()))
                 << record.label << " under "
                 << algorithmName(algorithm);
