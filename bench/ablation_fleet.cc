@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Fleet scaling ablation: N data-parallel GPUs offloading through one
+ * shared PCIe-switch uplink. The paper prices cDMA on a single GPU; a
+ * DGX-style node multiplexes 4-8 GPUs behind a switch, so the effective
+ * per-GPU host link is the uplink divided by whoever is draining at
+ * once. The sweep reports, per fleet size, the modeled makespan, the
+ * mean contention-stall fraction (share of a GPU's wall time spent
+ * queued behind OTHER GPUs' grants on the uplink), the uplink
+ * utilization, and the aggregate raw goodput — showing exactly how fast
+ * compression's effective-bandwidth win erodes as ranks are added.
+ *
+ * --fleet-smoke: tiny sweep (N = 1, 2, 4) that exits nonzero if the
+ * fleet DES degenerates — nonzero contention for a fleet of one, or
+ * contention that fails to strictly increase with fleet size. This is
+ * the CI leg that keeps the shared-uplink model honest.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "cdma/fleet_sim.hh"
+#include "common/harness.hh"
+
+using namespace cdma;
+using bench::Table;
+
+namespace {
+
+FleetSpec
+sweepSpec(unsigned gpus)
+{
+    FleetSpec spec;
+    spec.gpu_count = gpus;
+    // Gen3 x16-class legs and uplink: the uplink bandwidth is FIXED
+    // while N scales, which is the whole point of the sweep.
+    spec.gpu_link_bandwidth = 12.8e9;
+    spec.uplink_bandwidth = 12.8e9;
+    spec.offload_raw_bytes = 64ull << 20;
+    spec.offload_ratio = 2.5; // ZV-class
+    spec.prefetch_raw_bytes = 64ull << 20;
+    spec.prefetch_ratio = 2.5;
+    spec.shard_raw_bytes = 4ull << 20;
+    return spec;
+}
+
+int
+fleetSmoke()
+{
+    double previous = -1.0;
+    for (unsigned gpus : {1u, 2u, 4u}) {
+        FleetSpec spec = sweepSpec(gpus);
+        spec.offload_raw_bytes = 16ull << 20;
+        spec.prefetch_raw_bytes = 0;
+        spec.shard_raw_bytes = 2ull << 20;
+        const FleetResult result = FleetSimulator(spec).run();
+        const double stall = result.mean_contention_stall_fraction;
+        std::printf("fleet-smoke: N=%u contention=%.4f makespan=%.3f ms\n",
+                    gpus, stall, result.makespan_seconds * 1e3);
+        if (gpus == 1 && stall > 1e-12) {
+            std::fprintf(stderr,
+                         "fleet-smoke: FAIL: a fleet of one reported "
+                         "contention %.6f on its private uplink\n",
+                         stall);
+            return 1;
+        }
+        if (gpus > 1 && stall <= previous) {
+            std::fprintf(stderr,
+                         "fleet-smoke: FAIL: contention did not "
+                         "strictly increase at N=%u (%.6f <= %.6f) — "
+                         "the shared-uplink DES degenerated\n",
+                         gpus, stall, previous);
+            return 1;
+        }
+        previous = stall;
+    }
+    std::printf("fleet-smoke: OK\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc > 1 && std::strcmp(argv[1], "--fleet-smoke") == 0)
+        return fleetSmoke();
+
+    std::printf("== Ablation: fleet size behind one switch uplink "
+                "(64 MiB offload + prefetch per GPU, ZV 2.5x) ==\n");
+    Table table({"GPUs", "makespan ms", "contention", "uplink util",
+                 "agg raw GB/s"});
+    for (unsigned gpus : {1u, 2u, 4u, 8u, 16u}) {
+        const FleetSpec spec = sweepSpec(gpus);
+        const FleetResult result = FleetSimulator(spec).run();
+        const double raw_total = static_cast<double>(gpus) *
+            static_cast<double>(spec.offload_raw_bytes +
+                                spec.prefetch_raw_bytes);
+        table.addRow({
+            std::to_string(gpus),
+            Table::num(result.makespan_seconds * 1e3, 2),
+            Table::num(result.mean_contention_stall_fraction, 3),
+            Table::num(result.uplink_utilization, 3),
+            Table::num(raw_total / result.makespan_seconds / 1e9, 1),
+        });
+    }
+    table.print();
+
+    // NVLink sidebar: peer links do not relieve the host uplink (the
+    // spill path still crosses the switch), which is the Section IX
+    // argument for why compression stays relevant on NVLink parts.
+    std::printf("\n== Same sweep with a 50 GB/s NVLink ring ==\n");
+    Table nvlink({"GPUs", "makespan ms", "contention"});
+    for (unsigned gpus : {2u, 4u, 8u}) {
+        FleetSpec spec = sweepSpec(gpus);
+        spec.nvlink_bandwidth = 50.0e9;
+        const FleetResult result = FleetSimulator(spec).run();
+        nvlink.addRow({
+            std::to_string(gpus),
+            Table::num(result.makespan_seconds * 1e3, 2),
+            Table::num(result.mean_contention_stall_fraction, 3),
+        });
+    }
+    nvlink.print();
+    return 0;
+}

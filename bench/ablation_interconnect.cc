@@ -115,7 +115,7 @@ main(int argc, char **argv)
                 CdmaConfig config;
                 config.gpu.pcie_bandwidth = gbps * 1e9;
                 config.gpu.pcie_effective_bandwidth = gbps * 1e9;
-                config.duplex_mode = mode;
+                config.transfer.duplex_mode = mode;
                 CdmaEngine engine(config);
                 StepSimulator sim(manager, engine, perf,
                                   CudnnVersion::V5);

@@ -18,8 +18,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "cdma/offload_scheduler.hh"
-#include "cdma/prefetch_scheduler.hh"
+#include "cdma/transfer_engine.hh"
 #include "common/harness.hh"
 
 using namespace cdma;
@@ -37,7 +36,7 @@ shardLabel(uint64_t shard_bytes, const CdmaEngine &engine)
 {
     const OffloadScheduler scheduler(engine);
     const uint64_t actual =
-        scheduler.shardWindows() * engine.config().window_bytes;
+        scheduler.shardWindows() * engine.config().compression.window_bytes;
     char buffer[64];
     std::snprintf(buffer, sizeof(buffer), "%llu KB%s",
                   static_cast<unsigned long long>(actual / 1024),
@@ -68,9 +67,9 @@ main()
         for (const uint64_t shard_bytes : shard_sizes) {
             for (const unsigned buffers : buffer_depths) {
                 CdmaConfig config;
-                config.timing_mode = TimingMode::Overlapped;
-                config.shard_bytes = shard_bytes;
-                config.staging_buffers = buffers;
+                config.transfer.timing_mode = TimingMode::Overlapped;
+                config.transfer.shard_bytes = shard_bytes;
+                config.transfer.staging_buffers = buffers;
                 const CdmaEngine engine(config);
                 const OffloadScheduler offload(engine);
                 const PrefetchScheduler prefetch(engine);

@@ -33,6 +33,13 @@ REQUIRED_FAMILIES = ("BM_ZvcCompress", "BM_RleCompress", "BM_DeflateCompress",
                      "BM_ZvcDecompress", "BM_RleDecompress",
                      "BM_DeflateDecompress")
 DUPLEX_FAMILIES = ("BM_DuplexTransferModelFull", "BM_DuplexTransferModelHalf")
+# Fleet DES rows: N data-parallel GPUs behind one fixed-bandwidth
+# switch uplink. Each family must carry a positive mean
+# contention-stall fraction (a zero means the shared uplink stopped
+# arbitrating), and the fraction must strictly increase in fleet size
+# (a flat trajectory means the per-source wait attribution broke).
+FLEET_FAMILIES = ("BM_FleetOffloadN2", "BM_FleetOffloadN4",
+                  "BM_FleetOffloadN8")
 # CRC-32C integrity-framing rows: the scalar slice-by-8 row is
 # unconditional; the hardware (SSE4.2) row is required whenever the
 # producing host has it (recorded as host_avx2 — every AVX2 part has
@@ -134,6 +141,7 @@ def main() -> None:
         fail(f"{path} has no 'benchmarks' array (or it is empty)")
 
     seen_families = set()
+    fleet_contention = {}
     for entry in benchmarks:
         name = entry.get("name")
         if not name:
@@ -170,6 +178,14 @@ def main() -> None:
             if not isinstance(stall, (int, float)) or stall != 0:
                 fail(f"'{name}' must report zero contention under full "
                      f"duplex (got {stall!r})")
+        # Fleet rows: N > 1 ranks sharing one uplink must pay a
+        # positive cross-source stall.
+        if family in FLEET_FAMILIES:
+            stall = entry.get("contention_stall_fraction")
+            if not isinstance(stall, (int, float)) or stall <= 0:
+                fail(f"'{name}' lacks a positive "
+                     f"contention_stall_fraction (got {stall!r})")
+            fleet_contention[family] = stall
 
     missing = [f for f in REQUIRED_FAMILIES if f not in seen_families]
     if missing:
@@ -178,6 +194,14 @@ def main() -> None:
     if missing_duplex:
         fail("duplex-transfer model families absent: "
              f"{', '.join(missing_duplex)}")
+    missing_fleet = [f for f in FLEET_FAMILIES if f not in seen_families]
+    if missing_fleet:
+        fail(f"fleet DES families absent: {', '.join(missing_fleet)}")
+    fleet_order = [fleet_contention[f] for f in FLEET_FAMILIES]
+    if not all(a < b for a, b in zip(fleet_order, fleet_order[1:])):
+        fail("fleet contention_stall_fraction is not strictly "
+             "increasing across " + ", ".join(
+                 f"{f}={fleet_contention[f]:.4f}" for f in FLEET_FAMILIES))
     if CRC_SCALAR_FAMILY not in seen_families:
         fail(f"{CRC_SCALAR_FAMILY} absent: the CRC framing row lost its "
              "scalar reference leg")

@@ -21,8 +21,7 @@
 #include <cstdio>
 #include <cstring>
 
-#include "cdma/offload_scheduler.hh"
-#include "cdma/prefetch_scheduler.hh"
+#include "cdma/transfer_engine.hh"
 #include "common/harness.hh"
 #include "models/describe.hh"
 #include "perf/step_sim.hh"
@@ -49,8 +48,8 @@ runFaultSmoke(const Network &net,
     sim::FaultInjector injector(faults);
 
     CdmaConfig config;
-    config.timing_mode = TimingMode::Overlapped;
-    config.fault_injector = &injector;
+    config.transfer.timing_mode = TimingMode::Overlapped;
+    config.transfer.fault_injector = &injector;
     const CdmaEngine engine(config);
     const OffloadScheduler offloader(engine);
     const PrefetchScheduler prefetcher(engine);
@@ -164,7 +163,7 @@ main(int argc, char **argv)
     //    payload vector), and the simulated backward pass below
     //    prefetches it back out.
     CdmaConfig spill_config;
-    spill_config.timing_mode = TimingMode::Overlapped;
+    spill_config.transfer.timing_mode = TimingMode::Overlapped;
     const CdmaEngine spill_engine(spill_config);
     const OffloadScheduler offloader(spill_engine);
     const PrefetchScheduler prefetcher(spill_engine);
@@ -253,7 +252,7 @@ main(int argc, char **argv)
     // Section V-C double-buffered pipeline instead of the seed's
     // compression-free model.
     CdmaConfig overlapped_config;
-    overlapped_config.timing_mode = TimingMode::Overlapped;
+    overlapped_config.transfer.timing_mode = TimingMode::Overlapped;
     CdmaEngine overlapped_engine(overlapped_config);
     StepSimulator overlapped_sim(manager, overlapped_engine, perf,
                                  CudnnVersion::V5);

@@ -35,7 +35,7 @@ main()
 
     const CdmaEngine free_engine{CdmaConfig{}};
     CdmaConfig overlapped_config;
-    overlapped_config.timing_mode = TimingMode::Overlapped;
+    overlapped_config.transfer.timing_mode = TimingMode::Overlapped;
     const CdmaEngine overlapped_engine(overlapped_config);
 
     for (const auto &net : allNetworkDescs()) {

@@ -58,7 +58,7 @@ main()
         // Section V-C double-buffered pipeline instead of the seed's
         // compression-free assumption ("ZV-ovl" column).
         CdmaConfig overlapped_config;
-        overlapped_config.timing_mode = TimingMode::Overlapped;
+        overlapped_config.transfer.timing_mode = TimingMode::Overlapped;
         CdmaEngine overlapped_engine(overlapped_config);
         StepSimulator overlapped_sim(manager, overlapped_engine, perf,
                                      CudnnVersion::V5);
@@ -112,7 +112,7 @@ main()
                 // offload still draining out vs the lookahead
                 // prefetches coming back) shows up as contention.
                 CdmaConfig half_config;
-                half_config.duplex_mode = DuplexMode::Half;
+                half_config.transfer.duplex_mode = DuplexMode::Half;
                 CdmaEngine half_engine(half_config);
                 StepSimulator half_sim(manager, half_engine, perf,
                                        CudnnVersion::V5);

@@ -49,8 +49,8 @@ main(int argc, char **argv)
     // compression latency is explicit, and shard k+1 compresses while
     // shard k drains over PCIe.
     CdmaConfig engine_config;
-    engine_config.compression_lanes = 0; // all hardware threads
-    engine_config.timing_mode = TimingMode::Overlapped;
+    engine_config.compression.lanes = 0; // all hardware threads
+    engine_config.transfer.timing_mode = TimingMode::Overlapped;
     CdmaEngine engine(engine_config);
     const TransferEngine transfers(engine);
 
@@ -69,7 +69,7 @@ main(int argc, char **argv)
                 "staging: %u x %llu-window shards)\n",
                 static_cast<double>(fp.vdnn_peak) / 1e9,
                 static_cast<unsigned long long>(fp.staging_bytes / 1024),
-                engine.config().staging_buffers,
+                engine.config().transfer.staging_buffers,
                 static_cast<unsigned long long>(transfers.shardWindows()));
     std::printf("offload traffic:     %.2f GB per direction per "
                 "iteration\n\n",
@@ -161,8 +161,8 @@ main(int argc, char **argv)
     //     directions sharing one half-duplex link (PCIe's degraded
     //     operating point) instead of riding independent sub-channels.
     CdmaConfig half_config = engine_config;
-    half_config.compression_lanes = 1; // analytic path only
-    half_config.duplex_mode = DuplexMode::Half;
+    half_config.compression.lanes = 1; // analytic path only
+    half_config.transfer.duplex_mode = DuplexMode::Half;
     const CdmaEngine half_engine(half_config);
     const auto half_plans = manager.plannedOffloads(half_engine, ratios);
     double worst_fraction = 0.0, sum_fraction = 0.0;
@@ -179,7 +179,7 @@ main(int argc, char **argv)
     std::printf("duplex race (offload vs equal prefetch, half-duplex "
                 "link, %s arbiter): %.1f ms total contention, stall "
                 "fraction %.1f%% avg / %.1f%% worst (%s)\n\n",
-                linkArbiterName(half_engine.config().link_arbiter),
+                linkArbiterName(half_engine.config().transfer.link_arbiter),
                 contention * 1e3,
                 half_plans.empty()
                     ? 0.0
@@ -257,7 +257,7 @@ main(int argc, char **argv)
     fault_config.link_failure_rate = 1e-3;
     sim::FaultInjector injector(fault_config);
     CdmaConfig faulty_config = engine_config;
-    faulty_config.fault_injector = &injector;
+    faulty_config.transfer.fault_injector = &injector;
     const CdmaEngine faulty_engine(faulty_config);
     const TransferEngine faulty(faulty_engine);
     SpillArena faulty_arena;
@@ -309,7 +309,7 @@ main(int argc, char **argv)
                 "vDNN %.1f ms   (%s timing)\n",
                 oracle.total_seconds * 1e3, cdma.total_seconds * 1e3,
                 vdnn.total_seconds * 1e3,
-                timingModeName(engine.config().timing_mode).c_str());
+                timingModeName(engine.config().transfer.timing_mode).c_str());
     std::printf("cDMA speedup over vDNN: %.0f%%; PCIe wire traffic "
                 "%.2f GB -> %.2f GB\n",
                 100.0 * (cdma.speedupOver(vdnn) - 1.0),

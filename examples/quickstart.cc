@@ -54,7 +54,7 @@ main()
 
     // 3. Ask the cDMA engine for a transfer plan (ZVC, default GPU).
     CdmaConfig config;
-    config.algorithm = Algorithm::Zvc;
+    config.compression.algorithm = Algorithm::Zvc;
     CdmaEngine engine(config);
     const TransferPlan plan =
         engine.planTransfer("conv1", activations.rawBytes());

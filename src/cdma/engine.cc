@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "cdma/offload_scheduler.hh"
-#include "cdma/prefetch_scheduler.hh"
 #include "cdma/transfer_engine.hh"
 #include "common/logging.hh"
 
@@ -22,8 +20,9 @@ timingModeName(TimingMode mode)
 CdmaEngine::CdmaEngine(const CdmaConfig &config)
     : config_(config),
       compressor_(std::make_unique<ParallelCompressor>(
-          config.algorithm, config.window_bytes,
-          config.compression_lanes, config.kernels))
+          config.compression.algorithm,
+          config.compression.window_bytes, config.compression.lanes,
+          config.compression.kernels))
 {
     CDMA_ASSERT(config.gpu.pcie_bandwidth > 0.0 &&
                     config.gpu.comp_bandwidth > 0.0,
@@ -54,13 +53,13 @@ TransferPlan
 CdmaEngine::planTransfer(const std::string &label,
                          std::span<const uint8_t> data) const
 {
-    if (!config_.compression_enabled) {
+    if (!config_.compression.enabled) {
         return planFromRatio(label, data.size(), 1.0);
     }
     TransferPlan plan;
     plan.label = label;
     plan.raw_bytes = data.size();
-    if (config_.timing_mode == TimingMode::Overlapped) {
+    if (config_.transfer.timing_mode == TimingMode::Overlapped) {
         // Double-buffered pipeline over the real per-shard compressed
         // sizes: compression latency is explicit and the COMP_BW cap
         // emerges when the compression stage cannot feed the link.
@@ -90,7 +89,7 @@ CdmaEngine::planTransfer(const std::string &label,
         // both directions). Under Full the directions are independent
         // by construction, so the race is composed from the breakdowns
         // already computed instead of re-running the DES.
-        if (config_.duplex_mode == DuplexMode::Full) {
+        if (config_.transfer.duplex_mode == DuplexMode::Full) {
             plan.duplex.offload = plan.offload;
             plan.duplex.prefetch = plan.prefetch;
             plan.duplex.makespan_seconds =
@@ -122,7 +121,7 @@ CdmaEngine::planFromRatio(const std::string &label, uint64_t raw_bytes,
     plan.label = label;
     plan.raw_bytes = raw_bytes;
     const double effective_ratio =
-        config_.compression_enabled ? ratio : 1.0;
+        config_.compression.enabled ? ratio : 1.0;
     plan.wire_bytes = static_cast<uint64_t>(
         static_cast<double>(raw_bytes) / effective_ratio);
     plan.ratio = effective_ratio;
@@ -133,9 +132,9 @@ CdmaEngine::planFromRatio(const std::string &label, uint64_t raw_bytes,
     // With compression disabled there is no cDMA engine in the path, so
     // the overlap pipeline (and its compression-fetch leg) does not
     // apply: plain DMA occupancy regardless of timing mode.
-    if (config_.timing_mode == TimingMode::Overlapped &&
-        config_.compression_enabled) {
-        if (config_.fault_injector != nullptr) {
+    if (config_.transfer.timing_mode == TimingMode::Overlapped &&
+        config_.compression.enabled) {
+        if (config_.transfer.fault_injector != nullptr) {
             // The schedulers' closed forms model a perfect link; with
             // a fault process configured, replay the expected shard
             // train (attempts / re-sent bytes in expectation) through
@@ -163,7 +162,7 @@ CdmaEngine::planFromRatio(const std::string &label, uint64_t raw_bytes,
         }
         // Same Full-duplex shortcut as planTransfer: independent
         // directions need no contended replay.
-        if (config_.duplex_mode == DuplexMode::Full) {
+        if (config_.transfer.duplex_mode == DuplexMode::Full) {
             plan.duplex.offload = plan.offload;
             plan.duplex.prefetch = plan.prefetch;
             plan.duplex.makespan_seconds =

@@ -34,12 +34,9 @@
 #include "compress/parallel.hh"
 #include "gpu/gpu_spec.hh"
 #include "sim/channel.hh"
+#include "sim/topology.hh"
 
 namespace cdma {
-
-namespace sim {
-class FaultInjector;
-} // namespace sim
 
 /**
  * How a transfer plan accounts for compression latency.
@@ -241,19 +238,29 @@ struct DuplexTiming {
     }
 };
 
-/** Configuration of the cDMA engine. */
-struct CdmaConfig {
-    GpuSpec gpu;
+/** Codec configuration of the cDMA engine. */
+struct CompressionConfig {
     Algorithm algorithm = Algorithm::Zvc;
     uint64_t window_bytes = 4096;
     /** When false the engine degrades to a plain (vDNN) DMA copy. */
-    bool compression_enabled = true;
+    bool enabled = true;
     /**
      * Software compression lanes used when the engine compresses real
      * bytes (planTransfer), mirroring the hardware's replicated ZVC
      * pipelines. 1 = serial; 0 = one lane per hardware thread.
      */
-    unsigned compression_lanes = 1;
+    unsigned lanes = 1;
+    /**
+     * Kernel backend for the codec's primitive hot ops (mask/compact,
+     * run scans). nullptr = the process-wide runtime dispatch
+     * (activeKernels(): CPUID with the CDMA_KERNEL_BACKEND override).
+     * The engine's compression lanes all share this one decision.
+     */
+    const KernelOps *kernels = nullptr;
+};
+
+/** Transfer-pipeline configuration of the cDMA engine. */
+struct TransferConfig {
     /** Compression-latency model for planned transfers. */
     TimingMode timing_mode = TimingMode::CompressionFree;
     /**
@@ -264,13 +271,6 @@ struct CdmaConfig {
     uint64_t shard_bytes = 0;
     /** Staging buffers in flight; 2 = classic double buffering. */
     unsigned staging_buffers = 2;
-    /**
-     * Kernel backend for the codec's primitive hot ops (mask/compact,
-     * run scans). nullptr = the process-wide runtime dispatch
-     * (activeKernels(): CPUID with the CDMA_KERNEL_BACKEND override).
-     * The engine's compression lanes all share this one decision.
-     */
-    const KernelOps *kernels = nullptr;
     /**
      * How the offload and prefetch directions share the PCIe link.
      * Full (the default, PCIe's nominal operating point) gives each
@@ -289,10 +289,84 @@ struct CdmaConfig {
      * the CRC-32C shard framing and repaired by RetryPolicy — and the
      * buffer flows and analytic models price the same process in
      * expectation. nullptr = a perfect link (the historical behavior).
+     * Applied to every edge of the configured topology.
      */
     sim::FaultInjector *fault_injector = nullptr;
     /** Retry/backoff/degradation policy for faulted crossings. */
     RetryPolicy retry;
+};
+
+/**
+ * Interconnect the engine's wire legs ride on. By default (null graph)
+ * the engine models the historical two-endpoint PCIe link, built from
+ * GpuSpec::pcie_effective_bandwidth and the TransferConfig duplex
+ * mode/arbiter — the degenerate two-node graph, so every transfer
+ * already goes through the topology path. A configured graph routes the
+ * wire legs from gpu_node to host_node across whatever switches sit
+ * between them (per-edge bandwidth/duplex/arbiter from the graph).
+ */
+struct TopologyConfig {
+    /** Interconnect graph; nullptr = two-node GPU—host PCIe link. */
+    std::shared_ptr<const Topology> graph;
+    /** This engine's GPU endpoint in the graph. */
+    NodeId gpu_node = 0;
+    /** The host-DRAM endpoint transfers terminate at. */
+    NodeId host_node = 1;
+    /** Source tag wire legs carry on shared edges (the GPU's index in
+     *  a fleet; single-GPU configurations leave it at 0). */
+    unsigned source = 0;
+};
+
+/** Configuration of the cDMA engine. */
+struct CdmaConfig {
+    GpuSpec gpu;
+    /** Codec: algorithm, window size, lanes, kernel backend. */
+    CompressionConfig compression;
+    /** Pipelines: timing mode, staging, duplex link, fault handling. */
+    TransferConfig transfer;
+    /** Interconnect the wire legs traverse. */
+    TopologyConfig topology;
+};
+
+/**
+ * The pre-topology flat configuration layout, kept for one release so
+ * existing initializer-heavy call sites keep compiling while they
+ * migrate to the nested CdmaConfig sub-structs. Converts implicitly.
+ */
+struct [[deprecated("use CdmaConfig's nested sub-structs")]]
+FlatCdmaConfig {
+    GpuSpec gpu;
+    Algorithm algorithm = Algorithm::Zvc;
+    uint64_t window_bytes = 4096;
+    bool compression_enabled = true;
+    unsigned compression_lanes = 1;
+    TimingMode timing_mode = TimingMode::CompressionFree;
+    uint64_t shard_bytes = 0;
+    unsigned staging_buffers = 2;
+    const KernelOps *kernels = nullptr;
+    DuplexMode duplex_mode = DuplexMode::Full;
+    LinkArbiter link_arbiter = LinkArbiter::RoundRobin;
+    sim::FaultInjector *fault_injector = nullptr;
+    RetryPolicy retry;
+
+    operator CdmaConfig() const
+    {
+        CdmaConfig config;
+        config.gpu = gpu;
+        config.compression.algorithm = algorithm;
+        config.compression.window_bytes = window_bytes;
+        config.compression.enabled = compression_enabled;
+        config.compression.lanes = compression_lanes;
+        config.compression.kernels = kernels;
+        config.transfer.timing_mode = timing_mode;
+        config.transfer.shard_bytes = shard_bytes;
+        config.transfer.staging_buffers = staging_buffers;
+        config.transfer.duplex_mode = duplex_mode;
+        config.transfer.link_arbiter = link_arbiter;
+        config.transfer.fault_injector = fault_injector;
+        config.transfer.retry = retry;
+        return config;
+    }
 };
 
 /** Outcome of planning one activation-map transfer. */

@@ -1,0 +1,146 @@
+#include "cdma/fleet_sim.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sim/event_queue.hh"
+
+namespace cdma {
+
+FleetTopology
+buildFleetTopology(const FleetSpec &spec)
+{
+    CDMA_ASSERT(spec.gpu_count >= 1, "a fleet needs at least one GPU");
+    CDMA_ASSERT(spec.gpu_link_bandwidth > 0.0 &&
+                    spec.uplink_bandwidth > 0.0 &&
+                    spec.ssd_bandwidth > 0.0,
+                "fleet links need positive bandwidths");
+
+    FleetTopology fleet;
+    auto graph = std::make_shared<Topology>();
+
+    fleet.switch_node = graph->addNode(NodeKind::PcieSwitch, "switch0");
+    fleet.host = graph->addNode(NodeKind::HostDram, "host");
+    fleet.ssd = graph->addNode(NodeKind::NvmeSsd, "ssd0");
+
+    LinkProps leg;
+    leg.bytes_per_second = spec.gpu_link_bandwidth;
+    leg.mode = spec.duplex_mode;
+    leg.arbiter = spec.arbiter;
+    fleet.gpus.reserve(spec.gpu_count);
+    fleet.gpu_links.reserve(spec.gpu_count);
+    for (unsigned g = 0; g < spec.gpu_count; ++g) {
+        const NodeId gpu = graph->addNode(
+            NodeKind::Gpu, "gpu" + std::to_string(g));
+        fleet.gpus.push_back(gpu);
+        fleet.gpu_links.push_back(graph->connect(
+            gpu, fleet.switch_node, "pcie.gpu" + std::to_string(g),
+            leg));
+    }
+
+    // The shared uplink: every GPU's offload route crosses it in
+    // Direction::Out (the switch is endpoint `a`), so this one edge is
+    // where the fleet's head-of-line blocking happens.
+    LinkProps uplink = leg;
+    uplink.bytes_per_second = spec.uplink_bandwidth;
+    fleet.uplink = graph->connect(fleet.switch_node, fleet.host,
+                                  "pcie.uplink", uplink);
+
+    LinkProps ssd = leg;
+    ssd.bytes_per_second = spec.ssd_bandwidth;
+    fleet.ssd_link =
+        graph->connect(fleet.host, fleet.ssd, "nvme0", ssd);
+
+    if (spec.nvlink_bandwidth > 0.0 && spec.gpu_count >= 2) {
+        LinkProps nvlink = leg;
+        nvlink.bytes_per_second = spec.nvlink_bandwidth;
+        // Ring over the GPUs (a single pair gets one edge, not two
+        // parallel ones).
+        const unsigned edges =
+            spec.gpu_count == 2 ? 1 : spec.gpu_count;
+        for (unsigned g = 0; g < edges; ++g) {
+            const unsigned peer = (g + 1) % spec.gpu_count;
+            fleet.nvlinks.push_back(graph->connect(
+                fleet.gpus[g], fleet.gpus[peer],
+                "nvlink" + std::to_string(g), nvlink));
+        }
+    }
+
+    fleet.graph = std::move(graph);
+    return fleet;
+}
+
+FleetSimulator::FleetSimulator(const FleetSpec &spec)
+    : spec_(spec), topology_(buildFleetTopology(spec))
+{
+}
+
+FleetResult
+FleetSimulator::run() const
+{
+    const Topology &graph = *topology_.graph;
+    EventQueue queue;
+    LinkNetwork network(queue, graph);
+
+    // Identical data-parallel ranks: every GPU pushes the same shard
+    // trains, so any asymmetry in the results is pure queueing.
+    const std::vector<ShardTransfer> offload_train =
+        TransferEngine::uniformShardTrain(spec_.offload_raw_bytes,
+                                          spec_.offload_ratio,
+                                          spec_.shard_raw_bytes);
+    const std::vector<ShardTransfer> prefetch_train =
+        TransferEngine::uniformShardTrain(spec_.prefetch_raw_bytes,
+                                          spec_.prefetch_ratio,
+                                          spec_.shard_raw_bytes);
+
+    std::vector<std::unique_ptr<DuplexPipeline>> pipelines;
+    pipelines.reserve(topology_.gpus.size());
+    for (size_t g = 0; g < topology_.gpus.size(); ++g) {
+        pipelines.push_back(std::make_unique<DuplexPipeline>(
+            network, graph.route(topology_.gpus[g], topology_.host),
+            offload_train, prefetch_train, spec_.pipeline,
+            static_cast<unsigned>(g)));
+    }
+    for (auto &pipeline : pipelines)
+        pipeline->start();
+    queue.run();
+
+    FleetResult result;
+    result.gpus.reserve(pipelines.size());
+    for (auto &pipeline : pipelines) {
+        CDMA_ASSERT(pipeline->done(), "fleet pipeline did not drain");
+        FleetGpuResult gpu;
+        gpu.timing = pipeline->collect();
+        gpu.finish_seconds = pipeline->lastDrain();
+        gpu.uplink_wait_seconds = pipeline->crossSourceWaitSeconds();
+        gpu.contention_stall_fraction = gpu.finish_seconds > 0.0
+            ? gpu.uplink_wait_seconds / gpu.finish_seconds
+            : 0.0;
+        result.makespan_seconds =
+            std::max(result.makespan_seconds, gpu.finish_seconds);
+        result.mean_contention_stall_fraction +=
+            gpu.contention_stall_fraction;
+        result.gpus.push_back(std::move(gpu));
+    }
+    if (!result.gpus.empty())
+        result.mean_contention_stall_fraction /=
+            static_cast<double>(result.gpus.size());
+
+    result.edges.reserve(graph.linkCount());
+    for (LinkId l = 0; l < graph.linkCount(); ++l) {
+        FleetEdgeStats edge;
+        edge.link = l;
+        edge.name = graph.link(l).name;
+        edge.out_bytes =
+            network.edgeBytes(l, DuplexChannel::Direction::Out);
+        edge.in_bytes =
+            network.edgeBytes(l, DuplexChannel::Direction::In);
+        edge.utilization = network.utilization(l);
+        result.edges.push_back(std::move(edge));
+    }
+    result.uplink_utilization =
+        result.edges[topology_.uplink].utilization;
+    return result;
+}
+
+} // namespace cdma

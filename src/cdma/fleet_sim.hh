@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Fleet simulator — N per-GPU transfer pipelines offloading through one
+ * shared PCIe switch uplink. This is the scaling question the topology
+ * graph exists to answer: a single cDMA engine's compression shrinks
+ * its own wire time, but a data-parallel fleet multiplies offload
+ * traffic onto the switch's one upstream link, and the win (or loss)
+ * shows up as head-of-line blocking there, not on the per-GPU legs.
+ *
+ * The fleet topology is the star the paper's system model implies:
+ *
+ *   gpu0 ─┐
+ *   gpu1 ─┼─ pcie switch ── host DRAM ── nvme ssd
+ *   ...  ─┘      (shared uplink)       (spill tier)
+ *
+ * plus an optional NVLink ring over the GPUs. Every GPU runs one
+ * DuplexPipeline (source-tagged g) on the shared LinkNetwork, so the
+ * uplink's cross-source accounting attributes exactly how long each
+ * GPU's shards sat behind other GPUs' traffic: the per-GPU
+ * contention-stall fraction is 0 by construction at N = 1 and grows
+ * toward (N-1)/N as the uplink saturates.
+ */
+
+#ifndef CDMA_CDMA_FLEET_SIM_HH
+#define CDMA_CDMA_FLEET_SIM_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cdma/transfer_engine.hh"
+#include "sim/topology.hh"
+
+namespace cdma {
+
+/** Shape of the fleet: link provisioning plus the per-GPU workload. */
+struct FleetSpec {
+    unsigned gpu_count = 4;
+
+    // Interconnect provisioning (bytes/second).
+    double gpu_link_bandwidth = 12.0e9; ///< each GPU's leg to the switch
+    double uplink_bandwidth = 12.0e9;   ///< shared switch -> host uplink
+    double ssd_bandwidth = 3.0e9;       ///< host -> NVMe spill tier
+    double nvlink_bandwidth = 0.0;      ///< > 0 adds a GPU peer ring
+    DuplexMode duplex_mode = DuplexMode::Full;
+    LinkArbiter arbiter = LinkArbiter::RoundRobin;
+
+    /** Per-GPU engine provisioning (bandwidths must be positive). */
+    PipelineSpec pipeline{60.0e9, 60.0e9, 2, 0.0};
+
+    // Per-GPU workload: both directions cut into uniform staging shards
+    // at a known compression ratio (either direction may be 0 bytes).
+    uint64_t offload_raw_bytes = 64ull << 20;
+    double offload_ratio = 2.5;
+    uint64_t prefetch_raw_bytes = 0;
+    double prefetch_ratio = 2.5;
+    uint64_t shard_raw_bytes = 2ull << 20;
+};
+
+/** The built fleet graph plus handles to its interesting pieces. */
+struct FleetTopology {
+    std::shared_ptr<const Topology> graph;
+    std::vector<NodeId> gpus;
+    NodeId switch_node = 0;
+    NodeId host = 0;
+    NodeId ssd = 0;
+    std::vector<LinkId> gpu_links; ///< per-GPU legs, in GPU order
+    LinkId uplink = 0;             ///< the shared switch -> host edge
+    LinkId ssd_link = 0;           ///< host -> NVMe edge
+    std::vector<LinkId> nvlinks;   ///< peer ring edges (may be empty)
+};
+
+/** Star fleet graph per @p spec (see file comment for the shape). */
+FleetTopology buildFleetTopology(const FleetSpec &spec);
+
+/** One GPU's outcome of a fleet run. */
+struct FleetGpuResult {
+    DuplexTiming timing;          ///< its pipeline's timing breakdown
+    SimTime finish_seconds = 0.0; ///< its last drained event
+    /** Wait its wire legs paid behind OTHER GPUs' traffic on shared
+     *  edges (the uplink, in the star) — RouteGrant cross-source. */
+    SimTime uplink_wait_seconds = 0.0;
+    /** uplink_wait_seconds over this GPU's busy span: the fraction of
+     *  its transfer schedule lost to fleet contention. 0 at N = 1. */
+    double contention_stall_fraction = 0.0;
+};
+
+/** Per-edge traffic of a fleet run. */
+struct FleetEdgeStats {
+    LinkId link = 0;
+    std::string name;
+    uint64_t out_bytes = 0; ///< a -> b bytes (GPU -> host-ward on legs)
+    uint64_t in_bytes = 0;  ///< b -> a bytes
+    double utilization = 0.0; ///< busy wall-clock over elapsed
+};
+
+/** Fleet-wide outcome. */
+struct FleetResult {
+    std::vector<FleetGpuResult> gpus;
+    std::vector<FleetEdgeStats> edges; ///< indexed by LinkId
+    double makespan_seconds = 0.0;     ///< last drain across the fleet
+    double uplink_utilization = 0.0;
+    /** Mean of the per-GPU contention-stall fractions. */
+    double mean_contention_stall_fraction = 0.0;
+};
+
+/**
+ * Runs the fleet: one DuplexPipeline per GPU (source-tagged with the
+ * GPU index), all racing on one LinkNetwork over the star topology.
+ * Deterministic — same spec, same result.
+ */
+class FleetSimulator
+{
+  public:
+    explicit FleetSimulator(const FleetSpec &spec);
+
+    const FleetSpec &spec() const { return spec_; }
+    const FleetTopology &topology() const { return topology_; }
+
+    /** Run the event queue to empty and collect per-GPU/per-edge stats.
+     *  Restartable: each call simulates a fresh fleet. */
+    FleetResult run() const;
+
+  private:
+    FleetSpec spec_;
+    FleetTopology topology_;
+};
+
+} // namespace cdma
+
+#endif // CDMA_CDMA_FLEET_SIM_HH

@@ -290,4 +290,214 @@ SpillArena::release(SpillTicket ticket)
     free_tickets_.push_back(ticket);
 }
 
+namespace {
+
+/** Re-stream every shard of @p src's spill into @p dst (the tiers
+ *  share no slabs, so tier moves are byte copies through a rebuilt
+ *  CompressedShard). Returns the destination ticket. */
+SpillTicket
+copySpill(const SpillArena &src, SpillTicket src_ticket, SpillArena &dst)
+{
+    const SpillTicket dst_ticket = dst.beginSpill(
+        src.originalBytes(src_ticket), src.windowBytes(src_ticket));
+    const size_t shards = src.shardCount(src_ticket);
+    CompressedShard shard;
+    for (size_t i = 0; i < shards; ++i) {
+        const SpillShardView view = src.shard(src_ticket, i);
+        shard.index = i;
+        shard.first_window = view.first_window;
+        shard.raw_bytes = view.raw_bytes;
+        shard.payload.assign(view.payload.begin(), view.payload.end());
+        shard.window_sizes.assign(view.window_sizes.begin(),
+                                  view.window_sizes.end());
+        shard.crc32c = view.crc32c;
+        shard.raw_framed = view.raw_framed;
+        dst.appendShard(dst_ticket, shard);
+    }
+    return dst_ticket;
+}
+
+} // namespace
+
+TieredSpillArena::TieredSpillArena(uint64_t host_capacity_bytes,
+                                   uint64_t min_slot_bytes)
+    : host_(min_slot_bytes), backing_(min_slot_bytes),
+      host_capacity_bytes_(host_capacity_bytes)
+{
+    tier_stats_.host_capacity_bytes = host_capacity_bytes;
+}
+
+const TieredSpillArena::Slot &
+TieredSpillArena::liveSlot(SpillTicket ticket) const
+{
+    CDMA_ASSERT(ticket < slots_.size() && slots_[ticket].live,
+                "tiered spill ticket %u is not live",
+                static_cast<unsigned>(ticket));
+    return slots_[ticket];
+}
+
+SpillTicket
+TieredSpillArena::beginSpill(uint64_t original_bytes,
+                             uint64_t window_bytes)
+{
+    SpillTicket ticket;
+    if (!free_slots_.empty()) {
+        ticket = free_slots_.back();
+        free_slots_.pop_back();
+    } else {
+        ticket = static_cast<SpillTicket>(slots_.size());
+        slots_.emplace_back();
+    }
+    Slot &slot = slots_[ticket];
+    slot.live = true;
+    slot.sealed = false;
+    slot.backing = false;
+    slot.inner = host_.beginSpill(original_bytes, window_bytes);
+    return ticket;
+}
+
+void
+TieredSpillArena::appendShard(SpillTicket ticket,
+                              const CompressedShard &shard)
+{
+    const Slot &slot = liveSlot(ticket);
+    CDMA_ASSERT(!slot.sealed && !slot.backing,
+                "cannot append to a sealed spill");
+    host_.appendShard(slot.inner, shard);
+    // An oversized in-progress spill evicts its sealed neighbours as it
+    // grows; it is itself ineligible (not in the FIFO until sealed).
+    enforceCapacity();
+}
+
+void
+TieredSpillArena::seal(SpillTicket ticket)
+{
+    liveSlot(ticket);
+    Slot &slot = slots_[ticket];
+    CDMA_ASSERT(!slot.sealed, "spill sealed twice");
+    slot.sealed = true;
+    eviction_fifo_.push_back(ticket);
+    enforceCapacity();
+}
+
+void
+TieredSpillArena::enforceCapacity(SpillTicket pinned)
+{
+    if (host_capacity_bytes_ == 0)
+        return;
+    std::deque<SpillTicket> skipped;
+    while (host_.stats().live_payload_bytes > host_capacity_bytes_ &&
+           !eviction_fifo_.empty()) {
+        const SpillTicket ticket = eviction_fifo_.front();
+        eviction_fifo_.pop_front();
+        if (ticket == pinned) {
+            // Keep its place in the order for the NEXT pass.
+            skipped.push_back(ticket);
+            continue;
+        }
+        // Entries go stale when their spill is released; validate
+        // lazily instead of erasing mid-deque.
+        Slot &slot = slots_[ticket];
+        if (!slot.live || slot.backing || !slot.sealed)
+            continue;
+        const uint64_t payload = host_.payloadBytes(slot.inner);
+        const SpillTicket moved = copySpill(host_, slot.inner, backing_);
+        host_.release(slot.inner);
+        slot.inner = moved;
+        slot.backing = true;
+        ++tier_stats_.evictions;
+        tier_stats_.ssd_write_bytes += payload;
+    }
+    for (auto it = skipped.rbegin(); it != skipped.rend(); ++it)
+        eviction_fifo_.push_front(*it);
+}
+
+bool
+TieredSpillArena::onBackingTier(SpillTicket ticket) const
+{
+    return liveSlot(ticket).backing;
+}
+
+uint64_t
+TieredSpillArena::promote(SpillTicket ticket)
+{
+    liveSlot(ticket);
+    Slot &slot = slots_[ticket];
+    if (!slot.backing)
+        return 0;
+    const uint64_t payload = backing_.payloadBytes(slot.inner);
+    const SpillTicket moved = copySpill(backing_, slot.inner, host_);
+    backing_.release(slot.inner);
+    slot.inner = moved;
+    slot.backing = false;
+    ++tier_stats_.promotions;
+    tier_stats_.ssd_read_bytes += payload;
+    // Back in the host tier, back in eviction order (its stale FIFO
+    // entry, if any, was consumed when it was first evicted). The
+    // promoted spill itself is pinned through this pass — the whole
+    // point of the readback is to read it next.
+    eviction_fifo_.push_back(ticket);
+    enforceCapacity(ticket);
+    return payload;
+}
+
+uint64_t
+TieredSpillArena::originalBytes(SpillTicket ticket) const
+{
+    const Slot &slot = liveSlot(ticket);
+    return tierOf(slot).originalBytes(slot.inner);
+}
+
+uint64_t
+TieredSpillArena::windowBytes(SpillTicket ticket) const
+{
+    const Slot &slot = liveSlot(ticket);
+    return tierOf(slot).windowBytes(slot.inner);
+}
+
+uint64_t
+TieredSpillArena::wireBytes(SpillTicket ticket) const
+{
+    const Slot &slot = liveSlot(ticket);
+    return tierOf(slot).wireBytes(slot.inner);
+}
+
+uint64_t
+TieredSpillArena::payloadBytes(SpillTicket ticket) const
+{
+    const Slot &slot = liveSlot(ticket);
+    return tierOf(slot).payloadBytes(slot.inner);
+}
+
+size_t
+TieredSpillArena::shardCount(SpillTicket ticket) const
+{
+    const Slot &slot = liveSlot(ticket);
+    return tierOf(slot).shardCount(slot.inner);
+}
+
+SpillShardView
+TieredSpillArena::shard(SpillTicket ticket, size_t index) const
+{
+    const Slot &slot = liveSlot(ticket);
+    return tierOf(slot).shard(slot.inner, index);
+}
+
+CompressedBuffer
+TieredSpillArena::materialize(SpillTicket ticket) const
+{
+    const Slot &slot = liveSlot(ticket);
+    return tierOf(slot).materialize(slot.inner);
+}
+
+void
+TieredSpillArena::release(SpillTicket ticket)
+{
+    liveSlot(ticket);
+    Slot &slot = slots_[ticket];
+    (slot.backing ? backing_ : host_).release(slot.inner);
+    slot.live = false;
+    free_slots_.push_back(ticket);
+}
+
 } // namespace cdma

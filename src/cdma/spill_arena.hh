@@ -18,6 +18,7 @@
 #define CDMA_CDMA_SPILL_ARENA_HH
 
 #include <cstdint>
+#include <deque>
 #include <span>
 #include <vector>
 
@@ -174,6 +175,108 @@ class SpillArena
     std::vector<Record> records_;
     std::vector<SpillTicket> free_tickets_;
     SpillStats stats_;
+};
+
+/** Cross-tier traffic counters of a TieredSpillArena. */
+struct TieredSpillStats {
+    uint64_t host_capacity_bytes = 0; ///< configured host-tier budget
+    uint64_t evictions = 0;           ///< spills pushed down to backing
+    uint64_t promotions = 0;          ///< spills read back up to host
+    /** Payload bytes written down the host -> SSD edge by evictions. */
+    uint64_t ssd_write_bytes = 0;
+    /** Payload bytes read back up the SSD -> host edge by promotions. */
+    uint64_t ssd_read_bytes = 0;
+};
+
+/**
+ * Two-tier spill store: a host SpillArena with a payload-byte capacity,
+ * backed by an (NVMe-modeled) second arena below it — the storage-side
+ * mirror of the topology's host-DRAM -> SSD edge. Spills stream into
+ * the host tier exactly like a plain SpillArena (beginSpill /
+ * appendShard); seal() marks a spill complete, and whenever the host
+ * tier's live payload exceeds the capacity, the oldest sealed spills
+ * are evicted to the backing tier FIFO — the same order a training
+ * loop's backward pass wants them LAST (forward-pass spill order), so
+ * FIFO eviction pushes down the buffers whose prefetch is furthest
+ * away. Tickets are stable across tiers; promote() (or the prefetch
+ * flow, which calls it) reads an evicted spill back before expansion.
+ * Not thread-safe, like SpillArena.
+ */
+class TieredSpillArena
+{
+  public:
+    /** @p host_capacity_bytes 0 = unlimited (degenerates to one tier). */
+    explicit TieredSpillArena(
+        uint64_t host_capacity_bytes,
+        uint64_t min_slot_bytes = SpillArena::kDefaultMinSlotBytes);
+
+    /** See SpillArena::beginSpill; the spill builds in the host tier. */
+    SpillTicket beginSpill(uint64_t original_bytes, uint64_t window_bytes);
+
+    /** See SpillArena::appendShard. May evict other sealed spills. */
+    void appendShard(SpillTicket ticket, const CompressedShard &shard);
+
+    /**
+     * Mark the spill complete: it becomes eligible for FIFO eviction,
+     * and the host tier is brought back under capacity.
+     */
+    void seal(SpillTicket ticket);
+
+    /** The spill currently lives on the backing (SSD) tier. */
+    bool onBackingTier(SpillTicket ticket) const;
+
+    /**
+     * Ensure the spill is host-resident, reading it back from the
+     * backing tier if evicted (counted in tierStats). Returns the
+     * payload bytes that crossed the SSD -> host edge (0 if already
+     * resident). Promotion re-enters the FIFO eviction order.
+     */
+    uint64_t promote(SpillTicket ticket);
+
+    // Read interface, mirroring SpillArena (valid for either tier).
+    uint64_t originalBytes(SpillTicket ticket) const;
+    uint64_t windowBytes(SpillTicket ticket) const;
+    uint64_t wireBytes(SpillTicket ticket) const;
+    uint64_t payloadBytes(SpillTicket ticket) const;
+    size_t shardCount(SpillTicket ticket) const;
+    SpillShardView shard(SpillTicket ticket, size_t index) const;
+    CompressedBuffer materialize(SpillTicket ticket) const;
+
+    /** Release the spill's slots on whichever tier holds them. */
+    void release(SpillTicket ticket);
+
+    const SpillArena &hostArena() const { return host_; }
+    const SpillArena &backingArena() const { return backing_; }
+    const TieredSpillStats &tierStats() const { return tier_stats_; }
+
+  private:
+    struct Slot {
+        bool live = false;
+        bool sealed = false;
+        bool backing = false;   ///< which tier holds the payload
+        SpillTicket inner = 0;  ///< ticket inside that tier's arena
+    };
+
+    const Slot &liveSlot(SpillTicket ticket) const;
+    const SpillArena &tierOf(const Slot &slot) const
+    {
+        return slot.backing ? backing_ : host_;
+    }
+    /** Evict sealed spills FIFO until the host tier fits the budget.
+     *  @p pinned is never evicted in this pass (the spill a promotion
+     *  just read back — evicting it again would defeat the readback). */
+    void enforceCapacity(SpillTicket pinned = kNoPin);
+
+    static constexpr SpillTicket kNoPin = ~SpillTicket{0};
+
+    SpillArena host_;
+    SpillArena backing_;
+    uint64_t host_capacity_bytes_;
+    std::vector<Slot> slots_;
+    std::vector<SpillTicket> free_slots_;
+    /** Sealed host-resident spills, oldest first (lazily validated). */
+    std::deque<SpillTicket> eviction_fifo_;
+    TieredSpillStats tier_stats_;
 };
 
 } // namespace cdma

@@ -85,18 +85,32 @@ degradeToRaw(CompressedShard &shard, std::span<const uint8_t> data,
         kernels.crc32(0, shard.payload.data(), shard.payload.size());
 }
 
+/** Spill-completion hook of the arena flows: a plain SpillArena has no
+ *  notion of completion; a tiered one seals the spill, making it
+ *  eligible for eviction to its backing tier. */
+void
+sealSpill(SpillArena &, SpillTicket)
+{
+}
+
+void
+sealSpill(TieredSpillArena &arena, SpillTicket ticket)
+{
+    arena.seal(ticket);
+}
+
 } // namespace
 
 TransferEngine::TransferEngine(const CdmaEngine &engine)
     : engine_(engine)
 {
     const CdmaConfig &config = engine.config();
-    const uint64_t shard_bytes = config.shard_bytes > 0
-        ? config.shard_bytes
+    const uint64_t shard_bytes = config.transfer.shard_bytes > 0
+        ? config.transfer.shard_bytes
         : config.gpu.dmaBufferBytes();
     shard_windows_ = std::max<uint64_t>(1, shard_bytes /
-                                               config.window_bytes);
-    CDMA_ASSERT(config.staging_buffers >= 1,
+                                               config.compression.window_bytes);
+    CDMA_ASSERT(config.transfer.staging_buffers >= 1,
                 "the transfer pipelines need at least one staging buffer");
 }
 
@@ -106,9 +120,9 @@ TransferEngine::offload(std::span<const uint8_t> data) const
     const CdmaConfig &config = engine_.config();
     OffloadResult result;
     result.buffer.original_bytes = data.size();
-    result.buffer.window_bytes = config.window_bytes;
+    result.buffer.window_bytes = config.compression.window_bytes;
 
-    const uint64_t windows = ceilDiv(data.size(), config.window_bytes);
+    const uint64_t windows = ceilDiv(data.size(), config.compression.window_bytes);
     result.buffer.window_sizes.reserve(windows);
     result.shards.reserve(ceilDiv(windows, shard_windows_));
     // Whole-buffer worst case reserved once, so the per-shard payload
@@ -116,9 +130,9 @@ TransferEngine::offload(std::span<const uint8_t> data) const
     if (windows > 0) {
         const Compressor &codec = engine_.compressor().serial();
         result.buffer.payload.reserve(
-            (windows - 1) * codec.compressedBound(config.window_bytes) +
+            (windows - 1) * codec.compressedBound(config.compression.window_bytes) +
             codec.compressedBound(data.size() -
-                                  (windows - 1) * config.window_bytes));
+                                  (windows - 1) * config.compression.window_bytes));
     }
 
     // The consumer is the staging drain: it runs on this thread in shard
@@ -129,7 +143,7 @@ TransferEngine::offload(std::span<const uint8_t> data) const
         data, shard_windows_, [&](CompressedShard &&shard) {
             result.shards.push_back(
                 {shard.raw_bytes,
-                 shard.effectiveBytes(config.window_bytes)});
+                 shard.effectiveBytes(config.compression.window_bytes)});
             result.buffer.payload.insert(result.buffer.payload.end(),
                                          shard.payload.begin(),
                                          shard.payload.end());
@@ -149,20 +163,31 @@ TransferEngine::offload(std::span<const uint8_t> data) const
     return result;
 }
 
+namespace {
+
+/**
+ * The streaming offload drain, generic over the spill store (plain
+ * SpillArena or the two-tier TieredSpillArena — both expose the same
+ * beginSpill / appendShard / release surface). Uses only the engine's
+ * public API so the template can live at file scope.
+ */
+template <typename Arena>
 StatusOr<SpilledOffload>
-TransferEngine::offloadInto(std::span<const uint8_t> data,
-                            SpillArena &arena) const
+offloadIntoArena(const TransferEngine &te, std::span<const uint8_t> data,
+                 Arena &arena)
 {
-    const CdmaConfig &config = engine_.config();
-    sim::FaultInjector *injector = config.fault_injector;
-    const RetryPolicy &retry = config.retry;
-    const KernelOps &kernels = engine_.compressor().serial().kernels();
+    const CdmaEngine &engine = te.cdma();
+    const CdmaConfig &config = engine.config();
+    sim::FaultInjector *injector = config.transfer.fault_injector;
+    const RetryPolicy &retry = config.transfer.retry;
+    const KernelOps &kernels = engine.compressor().serial().kernels();
+    const uint64_t shard_windows = te.shardWindows();
 
     SpilledOffload result;
-    result.ticket = arena.beginSpill(data.size(), config.window_bytes);
+    result.ticket = arena.beginSpill(data.size(), config.compression.window_bytes);
     result.shards.reserve(
-        ceilDiv(ceilDiv(data.size(), config.window_bytes),
-                shard_windows_));
+        ceilDiv(ceilDiv(data.size(), config.compression.window_bytes),
+                shard_windows));
 
     // Same drain as offload(), but each shard lands in a recycled arena
     // slot instead of growing a stitched payload vector. The drain is
@@ -173,13 +198,13 @@ TransferEngine::offloadInto(std::span<const uint8_t> data,
     // runs serially on this thread in shard order, which keeps the
     // injector's draw sequence deterministic.
     Status fault_error;
-    engine_.compressor().compressShards(
-        data, shard_windows_, [&](CompressedShard &&shard) {
+    engine.compressor().compressShards(
+        data, shard_windows, [&](CompressedShard &&shard) {
             if (!fault_error.ok())
                 return; // an earlier shard burned its retry budget
             ShardTransfer xfer;
             xfer.raw_bytes = shard.raw_bytes;
-            xfer.wire_bytes = shard.effectiveBytes(config.window_bytes);
+            xfer.wire_bytes = shard.effectiveBytes(config.compression.window_bytes);
             uint32_t attempts = 0;
             while (injector != nullptr) {
                 ++attempts;
@@ -200,10 +225,10 @@ TransferEngine::offloadInto(std::span<const uint8_t> data,
                 ++result.integrity.retries;
                 if (!shard.raw_framed &&
                     attempts >= retry.raw_fallback_after) {
-                    degradeToRaw(shard, data, config.window_bytes,
+                    degradeToRaw(shard, data, config.compression.window_bytes,
                                  kernels);
                     xfer.wire_bytes =
-                        shard.effectiveBytes(config.window_bytes);
+                        shard.effectiveBytes(config.compression.window_bytes);
                     xfer.degraded = true;
                     ++result.integrity.degraded_shards;
                 }
@@ -221,10 +246,27 @@ TransferEngine::offloadInto(std::span<const uint8_t> data,
         arena.release(result.ticket);
         return fault_error;
     }
-    result.timing = timingFor(result.shards, {}).offload;
+    sealSpill(arena, result.ticket);
+    result.timing = te.duplexTiming(result.shards, {}).offload;
     result.integrity.retry_stall_seconds =
         result.timing.retry_stall_seconds;
     return result;
+}
+
+} // namespace
+
+StatusOr<SpilledOffload>
+TransferEngine::offloadInto(std::span<const uint8_t> data,
+                            SpillArena &arena) const
+{
+    return offloadIntoArena(*this, data, arena);
+}
+
+StatusOr<SpilledOffload>
+TransferEngine::offloadInto(std::span<const uint8_t> data,
+                            TieredSpillArena &arena) const
+{
+    return offloadIntoArena(*this, data, arena);
 }
 
 StatusOr<PrefetchResult>
@@ -255,15 +297,25 @@ TransferEngine::prefetch(const CompressedBuffer &buffer) const
     return result;
 }
 
+namespace {
+
+/**
+ * The arena expand drain, generic over the spill store's read surface
+ * (SpillArena or TieredSpillArena — a tiered spill must already be
+ * host-resident; the public tiered overload promotes first).
+ */
+template <typename Arena>
 StatusOr<PrefetchResult>
-TransferEngine::prefetch(const SpillArena &arena, SpillTicket ticket) const
+prefetchFromArena(const TransferEngine &te, const Arena &arena,
+                  SpillTicket ticket)
 {
-    const CdmaConfig &config = engine_.config();
-    sim::FaultInjector *injector = config.fault_injector;
-    const RetryPolicy &retry = config.retry;
+    const CdmaEngine &engine = te.cdma();
+    const CdmaConfig &config = engine.config();
+    sim::FaultInjector *injector = config.transfer.fault_injector;
+    const RetryPolicy &retry = config.transfer.retry;
     const uint64_t original_bytes = arena.originalBytes(ticket);
     const uint64_t window_bytes = arena.windowBytes(ticket);
-    const Compressor &codec = engine_.compressor().serial();
+    const Compressor &codec = engine.compressor().serial();
     const KernelOps &kernels = codec.kernels();
 
     PrefetchResult result;
@@ -345,10 +397,27 @@ TransferEngine::prefetch(const SpillArena &arena, SpillTicket ticket) const
         result.shards.push_back(xfer);
     }
 
-    result.timing = timingFor({}, result.shards).prefetch;
+    result.timing = te.duplexTiming({}, result.shards).prefetch;
     result.integrity.retry_stall_seconds =
         result.timing.retry_stall_seconds;
     return result;
+}
+
+} // namespace
+
+StatusOr<PrefetchResult>
+TransferEngine::prefetch(const SpillArena &arena, SpillTicket ticket) const
+{
+    return prefetchFromArena(*this, arena, ticket);
+}
+
+StatusOr<PrefetchResult>
+TransferEngine::prefetch(TieredSpillArena &arena, SpillTicket ticket) const
+{
+    // An evicted spill crosses the SSD -> host edge first (counted in
+    // the arena's tierStats); the expand drain then reads host slots.
+    arena.promote(ticket);
+    return prefetchFromArena(*this, arena, ticket);
 }
 
 StatusOr<TransferEngine::DuplexResult>
@@ -384,13 +453,41 @@ TransferEngine::timingFor(std::span<const ShardTransfer> offload_shards,
     const
 {
     const CdmaConfig &config = engine_.config();
-    return pipelineTiming(offload_shards, prefetch_shards,
-                          config.gpu.comp_bandwidth,
-                          config.gpu.pcie_effective_bandwidth,
-                          config.gpu.comp_bandwidth,
-                          config.staging_buffers, config.duplex_mode,
-                          config.link_arbiter,
-                          config.retry.backoff_seconds);
+    PipelineSpec spec;
+    spec.compress_bandwidth = config.gpu.comp_bandwidth;
+    spec.decompress_bandwidth = config.gpu.comp_bandwidth;
+    spec.staging_buffers = config.transfer.staging_buffers;
+    spec.backoff_base_seconds = config.transfer.retry.backoff_seconds;
+
+    DuplexTiming timing;
+    timing.offload.shard_count = offload_shards.size();
+    timing.prefetch.shard_count = prefetch_shards.size();
+    if (offload_shards.empty() && prefetch_shards.empty())
+        return timing;
+
+    // The wire legs always ride the topology graph: the configured one,
+    // or the degenerate two-node GPU—host link built from the GpuSpec
+    // (identical event timeline to the historical single channel).
+    std::shared_ptr<const Topology> topo = config.topology.graph;
+    NodeId gpu_node = config.topology.gpu_node;
+    NodeId host_node = config.topology.host_node;
+    if (topo == nullptr) {
+        topo = Topology::pcieLink(config.gpu.pcie_effective_bandwidth,
+                                  config.transfer.duplex_mode,
+                                  config.transfer.link_arbiter);
+        gpu_node = topo->firstNode(NodeKind::Gpu);
+        host_node = topo->firstNode(NodeKind::HostDram);
+    }
+    EventQueue queue;
+    LinkNetwork network(queue, *topo);
+    DuplexPipeline pipeline(
+        network, topo->route(gpu_node, host_node),
+        {offload_shards.begin(), offload_shards.end()},
+        {prefetch_shards.begin(), prefetch_shards.end()}, spec,
+        config.topology.source);
+    pipeline.start();
+    queue.run();
+    return pipeline.collect();
 }
 
 DuplexTiming
@@ -404,19 +501,28 @@ TransferEngine::duplexTiming(
 std::vector<ShardTransfer>
 TransferEngine::shardTrain(uint64_t raw_bytes, double ratio) const
 {
+    std::vector<ShardTransfer> shards = uniformShardTrain(
+        raw_bytes, ratio,
+        shard_windows_ * engine_.config().compression.window_bytes);
+    applyExpectedFaults(shards);
+    return shards;
+}
+
+std::vector<ShardTransfer>
+TransferEngine::uniformShardTrain(uint64_t raw_bytes, double ratio,
+                                  uint64_t shard_raw_bytes)
+{
     CDMA_ASSERT(ratio >= 1.0, "ratio %f below store-raw floor", ratio);
-    const uint64_t shard_raw =
-        shard_windows_ * engine_.config().window_bytes;
+    CDMA_ASSERT(shard_raw_bytes > 0, "shards need a positive raw size");
     std::vector<ShardTransfer> shards;
-    shards.reserve(ceilDiv(raw_bytes, shard_raw));
+    shards.reserve(ceilDiv(raw_bytes, shard_raw_bytes));
     uint64_t remaining = raw_bytes;
     while (remaining > 0) {
-        const uint64_t raw = std::min(remaining, shard_raw);
+        const uint64_t raw = std::min(remaining, shard_raw_bytes);
         shards.push_back({raw, static_cast<uint64_t>(
                                    static_cast<double>(raw) / ratio)});
         remaining -= raw;
     }
-    applyExpectedFaults(shards);
     return shards;
 }
 
@@ -424,10 +530,10 @@ void
 TransferEngine::applyExpectedFaults(
     std::vector<ShardTransfer> &shards) const
 {
-    const sim::FaultInjector *injector = engine_.config().fault_injector;
+    const sim::FaultInjector *injector = engine_.config().transfer.fault_injector;
     if (injector == nullptr)
         return;
-    const RetryPolicy &retry = engine_.config().retry;
+    const RetryPolicy &retry = engine_.config().transfer.retry;
     // Integerize the per-shard expectation with a running remainder so
     // the train-level totals track the closed form: at E[attempts] of,
     // say, 1.25, independent rounding would give every shard 1 attempt
@@ -488,132 +594,389 @@ TransferEngine::pipelineTiming(
     if (offload_shards.empty() && prefetch_shards.empty())
         return timing;
 
+    // The explicit-bandwidth entry point rides the degenerate two-node
+    // graph: one GPU—host edge, whose routed timeline reproduces the
+    // historical direct-channel submission event for event.
+    const std::shared_ptr<const Topology> topo =
+        Topology::pcieLink(wire_bandwidth, mode, arbiter);
     EventQueue queue;
-    DuplexChannel wire(queue, "pcie", wire_bandwidth, mode, arbiter);
-    using Direction = DuplexChannel::Direction;
+    LinkNetwork network(queue, *topo);
+    PipelineSpec spec;
+    spec.compress_bandwidth = compress_bandwidth;
+    spec.decompress_bandwidth = decompress_bandwidth;
+    spec.staging_buffers = staging_buffers;
+    spec.backoff_base_seconds = backoff_base_seconds;
+    DuplexPipeline pipeline(
+        network,
+        topo->route(topo->firstNode(NodeKind::Gpu),
+                    topo->firstNode(NodeKind::HostDram)),
+        {offload_shards.begin(), offload_shards.end()},
+        {prefetch_shards.begin(), prefetch_shards.end()}, spec);
+    pipeline.start();
+    queue.run();
+    return pipeline.collect();
+}
 
-    // ---- Offload pipeline state (compress -> staging -> wire out) ----
-    size_t off_next = 0;
-    size_t off_in_flight = 0;     // shards holding an offload buffer
-    bool compressing = false;     // the compression engine is serial
-    SimTime last_off_drain = 0.0;
+DuplexPipeline::DuplexPipeline(LinkNetwork &network, Route offload_route,
+                               std::vector<ShardTransfer> offload_shards,
+                               std::vector<ShardTransfer> prefetch_shards,
+                               const PipelineSpec &spec, unsigned source)
+    : network_(network), offload_route_(std::move(offload_route)),
+      prefetch_route_(offload_route_.reversed()),
+      offload_shards_(std::move(offload_shards)),
+      prefetch_shards_(std::move(prefetch_shards)), spec_(spec),
+      source_(source)
+{
+    CDMA_ASSERT(spec_.compress_bandwidth > 0.0 &&
+                    spec_.decompress_bandwidth > 0.0,
+                "pipeline model needs positive engine bandwidths");
+    CDMA_ASSERT(spec_.staging_buffers >= 1,
+                "need at least one staging buffer");
+}
 
-    std::function<void()> startCompress = [&] {
-        if (off_next >= offload_shards.size() || compressing ||
-            off_in_flight >= staging_buffers) {
-            return;
-        }
-        const size_t k = off_next++;
-        compressing = true;
-        ++off_in_flight;
-        const SimTime compress_time =
-            static_cast<double>(offload_shards[k].raw_bytes) /
-            compress_bandwidth;
-        queue.scheduleAfter(compress_time, [&, k] {
-            // Shard k staged: hand it to the DMA unit (it queues on the
-            // shared link behind the arbiter) and start compressing the
-            // next shard into the other buffer.
-            compressing = false;
-            // The wire leg carries the shard's failed crossings too,
-            // and the retry backoff rides as extra latency: the retry
-            // sequence holds the shard's DMA transaction slot (and,
-            // under half duplex, the link) until the shard lands.
-            wire.submit(Direction::Out,
-                        offload_shards[k].wire_bytes +
-                            offload_shards[k].failed_wire_bytes,
-                        [&](const DuplexChannel::Grant &) {
-                            --off_in_flight;
-                            last_off_drain = queue.now();
-                            startCompress();
-                        },
-                        backoffSeconds(offload_shards[k].attempts,
-                                       backoff_base_seconds));
-            startCompress();
-        });
-    };
-
-    // ---- Prefetch pipeline state (wire in -> staging -> expand) ----
-    size_t pre_next = 0;
-    size_t pre_in_flight = 0;     // shards holding a prefetch buffer
-    bool expanding = false;       // the decompression engine is serial
-    std::queue<size_t> landed;    // wired shards awaiting decompression
-    SimTime last_expand = 0.0;
-
-    std::function<void()> startWire;
-    std::function<void()> startExpand = [&] {
-        if (expanding || landed.empty())
-            return;
-        const size_t k = landed.front();
-        landed.pop();
-        expanding = true;
-        const SimTime expand_time =
-            static_cast<double>(prefetch_shards[k].raw_bytes) /
-            decompress_bandwidth;
-        queue.scheduleAfter(expand_time, [&] {
-            // Shard re-inflated: its staging buffer frees, so the next
-            // shard may enter the wire while the engine picks up the
-            // next landed shard.
-            expanding = false;
-            --pre_in_flight;
-            last_expand = queue.now();
-            startExpand();
-            startWire();
-        });
-    };
-    startWire = [&] {
-        if (pre_next >= prefetch_shards.size() ||
-            pre_in_flight >= staging_buffers) {
-            return;
-        }
-        const size_t k = pre_next++;
-        ++pre_in_flight;
-        wire.submit(Direction::In,
-                    prefetch_shards[k].wire_bytes +
-                        prefetch_shards[k].failed_wire_bytes,
-                    [&, k](const DuplexChannel::Grant &) {
-                        landed.push(k);
-                        startExpand();
-                        startWire();
-                    },
-                    backoffSeconds(prefetch_shards[k].attempts,
-                                   backoff_base_seconds));
-        startWire();
-    };
-
+void
+DuplexPipeline::start()
+{
     startCompress();
     startWire();
-    queue.run();
+}
 
-    for (const ShardTransfer &shard : offload_shards) {
+bool
+DuplexPipeline::done() const
+{
+    return off_done_ == offload_shards_.size() &&
+        pre_done_ == prefetch_shards_.size();
+}
+
+void
+DuplexPipeline::startCompress()
+{
+    if (off_next_ >= offload_shards_.size() || compressing_ ||
+        off_in_flight_ >= spec_.staging_buffers) {
+        return;
+    }
+    const size_t k = off_next_++;
+    compressing_ = true;
+    ++off_in_flight_;
+    const SimTime compress_time =
+        static_cast<double>(offload_shards_[k].raw_bytes) /
+        spec_.compress_bandwidth;
+    network_.queue().scheduleAfter(compress_time, [this, k] {
+        // Shard k staged: hand it to the DMA unit (it queues on the
+        // route's first edge behind that edge's arbiter) and start
+        // compressing the next shard into the other buffer.
+        compressing_ = false;
+        // The wire leg carries the shard's failed crossings too, and
+        // the retry backoff rides as extra latency: the retry sequence
+        // holds the shard's DMA transaction slot (and, under half
+        // duplex, the link) until the shard lands.
+        network_.submit(
+            offload_route_,
+            offload_shards_[k].wire_bytes +
+                offload_shards_[k].failed_wire_bytes,
+            [this](const RouteGrant &grant) {
+                --off_in_flight_;
+                ++off_done_;
+                last_off_drain_ = network_.queue().now();
+                off_wire_seconds_ += grant.service_seconds;
+                off_contention_ += grant.opposing_wait;
+                cross_source_wait_ += grant.cross_source_wait;
+                startCompress();
+            },
+            backoffSeconds(offload_shards_[k].attempts,
+                           spec_.backoff_base_seconds),
+            source_);
+        startCompress();
+    });
+}
+
+void
+DuplexPipeline::startExpand()
+{
+    if (expanding_ || landed_.empty())
+        return;
+    const size_t k = landed_.front();
+    landed_.pop();
+    expanding_ = true;
+    const SimTime expand_time =
+        static_cast<double>(prefetch_shards_[k].raw_bytes) /
+        spec_.decompress_bandwidth;
+    network_.queue().scheduleAfter(expand_time, [this] {
+        // Shard re-inflated: its staging buffer frees, so the next
+        // shard may enter the wire while the engine picks up the next
+        // landed shard.
+        expanding_ = false;
+        --pre_in_flight_;
+        ++pre_done_;
+        last_expand_ = network_.queue().now();
+        startExpand();
+        startWire();
+    });
+}
+
+void
+DuplexPipeline::startWire()
+{
+    if (pre_next_ >= prefetch_shards_.size() ||
+        pre_in_flight_ >= spec_.staging_buffers) {
+        return;
+    }
+    const size_t k = pre_next_++;
+    ++pre_in_flight_;
+    network_.submit(
+        prefetch_route_,
+        prefetch_shards_[k].wire_bytes +
+            prefetch_shards_[k].failed_wire_bytes,
+        [this, k](const RouteGrant &grant) {
+            pre_wire_seconds_ += grant.service_seconds;
+            pre_contention_ += grant.opposing_wait;
+            cross_source_wait_ += grant.cross_source_wait;
+            landed_.push(k);
+            startExpand();
+            startWire();
+        },
+        backoffSeconds(prefetch_shards_[k].attempts,
+                       spec_.backoff_base_seconds),
+        source_);
+    startWire();
+}
+
+DuplexTiming
+DuplexPipeline::collect() const
+{
+    CDMA_ASSERT(done(), "pipeline not drained — run the event queue");
+    DuplexTiming timing;
+    timing.offload.shard_count = offload_shards_.size();
+    timing.prefetch.shard_count = prefetch_shards_.size();
+
+    for (const ShardTransfer &shard : offload_shards_) {
         timing.offload.compress_seconds +=
-            static_cast<double>(shard.raw_bytes) / compress_bandwidth;
+            static_cast<double>(shard.raw_bytes) /
+            spec_.compress_bandwidth;
         timing.offload.retry_stall_seconds +=
             static_cast<double>(shard.failed_wire_bytes) /
-                wire_bandwidth +
-            backoffSeconds(shard.attempts, backoff_base_seconds);
+                network_.topology().link(offload_route_.hops.front().link)
+                    .props.bytes_per_second +
+            backoffSeconds(shard.attempts, spec_.backoff_base_seconds);
     }
-    timing.offload.wire_seconds = wire.busySeconds(Direction::Out);
-    timing.offload.overlapped_seconds = last_off_drain;
+    timing.offload.wire_seconds = off_wire_seconds_;
+    timing.offload.overlapped_seconds = last_off_drain_;
     finalizeOverlapFraction(timing.offload);
 
-    timing.prefetch.wire_seconds = wire.busySeconds(Direction::In);
-    for (const ShardTransfer &shard : prefetch_shards) {
+    timing.prefetch.wire_seconds = pre_wire_seconds_;
+    for (const ShardTransfer &shard : prefetch_shards_) {
         timing.prefetch.decompress_seconds +=
-            static_cast<double>(shard.raw_bytes) / decompress_bandwidth;
+            static_cast<double>(shard.raw_bytes) /
+            spec_.decompress_bandwidth;
         timing.prefetch.retry_stall_seconds +=
             static_cast<double>(shard.failed_wire_bytes) /
-                wire_bandwidth +
-            backoffSeconds(shard.attempts, backoff_base_seconds);
+                network_.topology().link(offload_route_.hops.front().link)
+                    .props.bytes_per_second +
+            backoffSeconds(shard.attempts, spec_.backoff_base_seconds);
     }
-    timing.prefetch.overlapped_seconds = last_expand;
+    timing.prefetch.overlapped_seconds = last_expand_;
     finalizeOverlapFraction(timing.prefetch);
 
-    timing.makespan_seconds = std::max(last_off_drain, last_expand);
-    timing.offload_contention_seconds =
-        wire.contentionSeconds(Direction::Out);
-    timing.prefetch_contention_seconds =
-        wire.contentionSeconds(Direction::In);
+    timing.makespan_seconds = std::max(last_off_drain_, last_expand_);
+    timing.offload_contention_seconds = off_contention_;
+    timing.prefetch_contention_seconds = pre_contention_;
     return timing;
+}
+
+// ---------------------------------------------------------------------
+// Single-direction scheduler facades (historically their own .cc files).
+// ---------------------------------------------------------------------
+
+OffloadScheduler::OffloadScheduler(const CdmaEngine &engine)
+    : engine_(engine)
+{
+}
+
+OffloadResult
+OffloadScheduler::offload(std::span<const uint8_t> data) const
+{
+    return engine_.offload(data);
+}
+
+StatusOr<SpilledOffload>
+OffloadScheduler::offloadInto(std::span<const uint8_t> data,
+                              SpillArena &arena) const
+{
+    return engine_.offloadInto(data, arena);
+}
+
+OffloadTiming
+OffloadScheduler::modelFromRatio(uint64_t raw_bytes, double ratio) const
+{
+    CDMA_ASSERT(ratio >= 1.0, "ratio %f below store-raw floor", ratio);
+    const CdmaConfig &config = engine_.cdma().config();
+    const double comp_bw = config.gpu.comp_bandwidth;
+    const double wire_bw = config.gpu.pcie_effective_bandwidth;
+    const unsigned buffers = config.transfer.staging_buffers;
+    const uint64_t shard_raw =
+        shardWindows() * config.compression.window_bytes;
+
+    OffloadTiming timing;
+    if (raw_bytes == 0)
+        return timing;
+
+    // Closed form over the shard shape the DES would replay: `full`
+    // uniform shards of shard_raw bytes plus at most one partial tail.
+    // The per-shard wire bytes reproduce the DES arithmetic exactly
+    // (store-raw-floored truncation per shard).
+    const uint64_t full = raw_bytes / shard_raw;
+    const uint64_t tail_raw = raw_bytes % shard_raw;
+    timing.shard_count = full + (tail_raw != 0 ? 1 : 0);
+
+    const double c = static_cast<double>(shard_raw) / comp_bw;
+    const double w = static_cast<double>(static_cast<uint64_t>(
+                         static_cast<double>(shard_raw) / ratio)) /
+        wire_bw;
+    const double tail_c = static_cast<double>(tail_raw) / comp_bw;
+    const double tail_w = static_cast<double>(static_cast<uint64_t>(
+                              static_cast<double>(tail_raw) / ratio)) /
+        wire_bw;
+
+    const double n = static_cast<double>(full);
+    timing.compress_seconds = n * c + tail_c;
+    timing.wire_seconds = n * w + tail_w;
+
+    if (buffers == 1) {
+        // A single staging buffer serializes every shard end to end.
+        timing.overlapped_seconds =
+            timing.compress_seconds + timing.wire_seconds;
+    } else if (full == 0) {
+        // Tail-only transfer: one shard, nothing to overlap with.
+        timing.overlapped_seconds = tail_c + tail_w;
+    } else if (w >= c) {
+        // Wire-bound: one compression fill, then the wire never starves
+        // (the tail's compression hides under the previous shard's wire
+        // time because tail_c <= c <= w).
+        timing.overlapped_seconds = c + n * w + tail_w;
+    } else {
+        // Compression-bound (fetch-capped): the serial compression
+        // engine paces the pipeline; the tail's wire leg waits for
+        // whichever of its own compression or the previous shard's
+        // drain finishes last.
+        timing.overlapped_seconds =
+            n * c + std::max(tail_c, w) + tail_w;
+    }
+    finalizeOverlapFraction(timing);
+    return timing;
+}
+
+OffloadTiming
+OffloadScheduler::pipelineTiming(std::span<const ShardTransfer> shards,
+                                 double compress_bandwidth,
+                                 double wire_bandwidth,
+                                 unsigned staging_buffers)
+{
+    // The duplex DES with the prefetch direction idle: the shared link
+    // degenerates to a single-direction FIFO, reproducing the original
+    // offload-only event timeline exactly.
+    return TransferEngine::pipelineTiming(
+               shards, {}, compress_bandwidth, wire_bandwidth,
+               /*decompress_bandwidth=*/compress_bandwidth,
+               staging_buffers, DuplexMode::Half,
+               LinkArbiter::RoundRobin)
+        .offload;
+}
+
+PrefetchScheduler::PrefetchScheduler(const CdmaEngine &engine)
+    : engine_(engine)
+{
+}
+
+StatusOr<PrefetchResult>
+PrefetchScheduler::prefetch(const CompressedBuffer &buffer) const
+{
+    return engine_.prefetch(buffer);
+}
+
+StatusOr<PrefetchResult>
+PrefetchScheduler::prefetch(const SpillArena &arena,
+                            SpillTicket ticket) const
+{
+    return engine_.prefetch(arena, ticket);
+}
+
+PrefetchTiming
+PrefetchScheduler::modelFromRatio(uint64_t raw_bytes, double ratio) const
+{
+    CDMA_ASSERT(ratio >= 1.0, "ratio %f below store-raw floor", ratio);
+    const CdmaConfig &config = engine_.cdma().config();
+    const double wire_bw = config.gpu.pcie_effective_bandwidth;
+    const double decomp_bw = config.gpu.comp_bandwidth;
+    const unsigned buffers = config.transfer.staging_buffers;
+    const uint64_t shard_raw =
+        shardWindows() * config.compression.window_bytes;
+
+    PrefetchTiming timing;
+    if (raw_bytes == 0)
+        return timing;
+
+    // Closed form over the shard shape the DES would replay: `full`
+    // uniform shards of shard_raw bytes plus at most one partial tail,
+    // with the per-shard wire bytes reproducing the DES arithmetic
+    // exactly (store-raw-floored truncation per shard). Stage one is
+    // the wire, stage two the serial decompression engine — the
+    // offload closed form with the roles swapped.
+    const uint64_t full = raw_bytes / shard_raw;
+    const uint64_t tail_raw = raw_bytes % shard_raw;
+    timing.shard_count = full + (tail_raw != 0 ? 1 : 0);
+
+    const double d = static_cast<double>(shard_raw) / decomp_bw;
+    const double w = static_cast<double>(static_cast<uint64_t>(
+                         static_cast<double>(shard_raw) / ratio)) /
+        wire_bw;
+    const double tail_d = static_cast<double>(tail_raw) / decomp_bw;
+    const double tail_w = static_cast<double>(static_cast<uint64_t>(
+                              static_cast<double>(tail_raw) / ratio)) /
+        wire_bw;
+
+    const double n = static_cast<double>(full);
+    timing.wire_seconds = n * w + tail_w;
+    timing.decompress_seconds = n * d + tail_d;
+
+    if (buffers == 1) {
+        // A single staging buffer serializes every shard end to end.
+        timing.overlapped_seconds =
+            timing.wire_seconds + timing.decompress_seconds;
+    } else if (full == 0) {
+        // Tail-only transfer: one shard, nothing to overlap with.
+        timing.overlapped_seconds = tail_w + tail_d;
+    } else if (d >= w) {
+        // Decompression-bound (fetch-capped layers land here: high
+        // ratios make the wire leg short): one wire fill, then the
+        // serial decompression engine never starves (the tail's wire
+        // time hides under the previous shard's expansion because
+        // tail_w <= w <= d).
+        timing.overlapped_seconds = w + n * d + tail_d;
+    } else {
+        // Wire-bound: the FIFO link paces the pipeline; the tail's
+        // expansion waits for whichever of its own wire transfer or
+        // the previous shard's expansion finishes last.
+        timing.overlapped_seconds =
+            n * w + std::max(tail_w, d) + tail_d;
+    }
+    finalizeOverlapFraction(timing);
+    return timing;
+}
+
+PrefetchTiming
+PrefetchScheduler::pipelineTiming(std::span<const ShardTransfer> shards,
+                                  double wire_bandwidth,
+                                  double decompress_bandwidth,
+                                  unsigned staging_buffers)
+{
+    // The duplex DES with the offload direction idle: the shared link
+    // degenerates to a single-direction FIFO, reproducing the original
+    // prefetch-only event timeline exactly.
+    return TransferEngine::pipelineTiming(
+               {}, shards, /*compress_bandwidth=*/decompress_bandwidth,
+               wire_bandwidth, decompress_bandwidth, staging_buffers,
+               DuplexMode::Half, LinkArbiter::RoundRobin)
+        .prefetch;
 }
 
 } // namespace cdma

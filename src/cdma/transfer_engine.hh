@@ -20,18 +20,30 @@
  * the opposing direction idle the duplex DES degenerates exactly to the
  * single-direction pipelines that OffloadScheduler / PrefetchScheduler
  * model (their closed forms are pinned against it at 1e-9), so the two
- * direction schedulers are now thin facades over this engine.
+ * direction schedulers are now thin facades over this engine, defined
+ * at the bottom of this header — the one header to include for
+ * transfer planning.
+ *
+ * Since the topology redesign the wire legs ride a Route through a
+ * sim Topology graph instead of one hardwired DuplexChannel: the
+ * default configuration routes over the degenerate two-node GPU—host
+ * graph (identical event timeline, pins unmoved), and a configured
+ * TopologyConfig routes them across switches and shared uplinks. The
+ * DES core is DuplexPipeline, a restartable driver FleetSimulator
+ * instantiates once per GPU on one shared LinkNetwork.
  */
 
 #ifndef CDMA_CDMA_TRANSFER_ENGINE_HH
 #define CDMA_CDMA_TRANSFER_ENGINE_HH
 
+#include <queue>
 #include <span>
 #include <vector>
 
 #include "cdma/engine.hh"
 #include "cdma/spill_arena.hh"
 #include "common/status.hh"
+#include "sim/topology.hh"
 
 namespace cdma {
 
@@ -84,6 +96,91 @@ struct PrefetchResult {
     TransferIntegrity integrity;
 };
 
+/** Stage bandwidths and staging depth of one engine's pipelines. */
+struct PipelineSpec {
+    double compress_bandwidth = 0.0;   ///< serial CPE fetch rate
+    double decompress_bandwidth = 0.0; ///< serial DPE writeback rate
+    unsigned staging_buffers = 2;      ///< per-direction staging pool
+    double backoff_base_seconds = 0.0; ///< retry backoff base (0 = none)
+};
+
+/**
+ * The duplex DES core as a restartable driver: both double-buffered
+ * pipelines of ONE engine, with the wire legs routed through a
+ * LinkNetwork instead of a hardwired channel. Offload shards travel
+ * the offload route (compress -> staging -> route out), prefetch
+ * shards travel it reversed (route in -> staging -> expand). Several
+ * pipelines can share one network/event queue — that is exactly a
+ * fleet, and @p source tags this pipeline's wire legs so shared edges
+ * attribute queueing waits across pipelines (RouteGrant's
+ * cross_source_wait).
+ *
+ * Usage: construct, start(), run the network's event queue (once, even
+ * with many pipelines started), then collect().
+ */
+class DuplexPipeline
+{
+  public:
+    DuplexPipeline(LinkNetwork &network, Route offload_route,
+                   std::vector<ShardTransfer> offload_shards,
+                   std::vector<ShardTransfer> prefetch_shards,
+                   const PipelineSpec &spec, unsigned source = 0);
+
+    /** Schedule the initial events; the caller runs the queue. */
+    void start();
+
+    /** Both shard trains fully drained (valid after the queue ran). */
+    bool done() const;
+
+    /** Per-direction timing breakdown; call after the queue drained. */
+    DuplexTiming collect() const;
+
+    /** Cross-pipeline wait this pipeline's wire legs paid on shared
+     *  edges (sum of RouteGrant::cross_source_wait, both directions). */
+    SimTime crossSourceWaitSeconds() const { return cross_source_wait_; }
+
+    /** Completion time of this pipeline's last drained event. */
+    SimTime lastDrain() const
+    {
+        return std::max(last_off_drain_, last_expand_);
+    }
+
+  private:
+    void startCompress();
+    void startWire();
+    void startExpand();
+
+    LinkNetwork &network_;
+    Route offload_route_;
+    Route prefetch_route_;
+    std::vector<ShardTransfer> offload_shards_;
+    std::vector<ShardTransfer> prefetch_shards_;
+    PipelineSpec spec_;
+    unsigned source_;
+
+    // Offload pipeline state (compress -> staging -> route out).
+    size_t off_next_ = 0;
+    size_t off_in_flight_ = 0; ///< shards holding an offload buffer
+    bool compressing_ = false; ///< the compression engine is serial
+    SimTime last_off_drain_ = 0.0;
+
+    // Prefetch pipeline state (route in -> staging -> expand).
+    size_t pre_next_ = 0;
+    size_t pre_in_flight_ = 0; ///< shards holding a prefetch buffer
+    bool expanding_ = false;   ///< the decompression engine is serial
+    std::queue<size_t> landed_; ///< arrived shards awaiting expansion
+    SimTime last_expand_ = 0.0;
+    size_t off_done_ = 0;
+    size_t pre_done_ = 0;
+
+    // Wire accounting accumulated from the grants.
+    SimTime off_wire_seconds_ = 0.0;
+    SimTime pre_wire_seconds_ = 0.0;
+    SimTime off_contention_ = 0.0;
+    SimTime pre_contention_ = 0.0;
+    SimTime cross_source_wait_ = 0.0;
+};
+
 /**
  * Drives real compression/decompression for both PCIe directions and
  * models them racing on one (possibly shared) link.
@@ -127,6 +224,15 @@ class TransferEngine
                                          SpillArena &arena) const;
 
     /**
+     * offloadInto() against a two-tier arena: identical flow, and the
+     * spill is sealed on success — making it eligible for FIFO
+     * eviction to the arena's backing (SSD) tier under host-capacity
+     * pressure.
+     */
+    StatusOr<SpilledOffload> offloadInto(std::span<const uint8_t> data,
+                                         TieredSpillArena &arena) const;
+
+    /**
      * Prefetch @p buffer: reconstruct it shard-by-shard on the engine's
      * lanes (consumed in deterministic shard order) and model the
      * double-buffered pipeline over the measured per-shard sizes.
@@ -150,6 +256,15 @@ class TransferEngine
      * to the offloaded data whenever the prefetch succeeds.
      */
     StatusOr<PrefetchResult> prefetch(const SpillArena &arena,
+                                      SpillTicket ticket) const;
+
+    /**
+     * Arena prefetch against a two-tier arena: an evicted spill is
+     * first promoted back to the host tier (the SSD -> host readback,
+     * counted in the arena's tierStats), then expanded exactly like
+     * the single-tier flow.
+     */
+    StatusOr<PrefetchResult> prefetch(TieredSpillArena &arena,
                                       SpillTicket ticket) const;
 
     /** Outcome of one full-duplex step: both real flows + the race. */
@@ -232,6 +347,16 @@ class TransferEngine
                                           double ratio) const;
 
     /**
+     * Fault-free shard train of @p raw_bytes cut into uniform
+     * @p shard_raw_bytes shards (plus a trailing partial) at @p ratio,
+     * with the per-shard wire bytes store-raw-floored the way the
+     * real flows truncate them. The engine-free building block fleet
+     * scenarios use to fabricate per-GPU trains.
+     */
+    static std::vector<ShardTransfer> uniformShardTrain(
+        uint64_t raw_bytes, double ratio, uint64_t shard_raw_bytes);
+
+    /**
      * Fold the configured fault process into @p shards analytically:
      * each shard's attempts / failed_wire_bytes become the expectation
      * under the injector's per-crossing failure probability and the
@@ -251,6 +376,112 @@ class TransferEngine
 
     const CdmaEngine &engine_;
     uint64_t shard_windows_;
+};
+
+// ---------------------------------------------------------------------
+// Single-direction facades. Historically src/cdma/offload_scheduler.hh
+// and prefetch_scheduler.hh; folded in here so transfer planning is one
+// include. Each is the duplex TransferEngine viewed with the opposing
+// direction idle, plus the allocation-free closed form of its pipeline
+// (pinned against the duplex DES at 1e-9 by the scheduler tests).
+// ---------------------------------------------------------------------
+
+/**
+ * Drives compression and models the double-buffered compress/transfer
+ * pipeline for one cDMA engine (the offload-only view of the duplex
+ * TransferEngine). For uniform shards (compression time c, wire time
+ * w, n shards) the double-buffered makespan is n*max(c,w) + min(c,w);
+ * modelFromRatio() extends that with the trailing-partial-shard and
+ * single-staging-buffer cases.
+ */
+class OffloadScheduler
+{
+  public:
+    explicit OffloadScheduler(const CdmaEngine &engine);
+
+    /** Windows per staging shard (>= 1), from TransferConfig::shard_bytes. */
+    uint64_t shardWindows() const { return engine_.shardWindows(); }
+
+    /** See TransferEngine::offload(). */
+    OffloadResult offload(std::span<const uint8_t> data) const;
+
+    /** See TransferEngine::offloadInto(). */
+    StatusOr<SpilledOffload> offloadInto(std::span<const uint8_t> data,
+                                         SpillArena &arena) const;
+
+    /**
+     * Pipeline timing for a transfer of @p raw_bytes at a known
+     * compression ratio: allocation-free closed form over uniform
+     * staging shards plus a trailing partial. For n uniform shards
+     * (compression time c, wire time w, tail c_t/w_t):
+     *
+     *   wire-bound  (w >= c): c + n*w + w_t
+     *   comp-bound  (c >  w): n*c + max(c_t, w) + w_t
+     *
+     * one staging buffer serializes fully; the duplex DES
+     * (TransferEngine::pipelineTiming) is the pinned reference.
+     */
+    OffloadTiming modelFromRatio(uint64_t raw_bytes, double ratio) const;
+
+    /**
+     * The single-direction pipeline reference: the duplex DES with the
+     * prefetch direction idle, routed over the degenerate two-node
+     * graph. Shard k's compression starts when the compression engine
+     * AND a staging buffer are free; its wire transfer starts when its
+     * compression ends and the channel is free (FIFO).
+     */
+    static OffloadTiming pipelineTiming(std::span<const ShardTransfer> shards,
+                                        double compress_bandwidth,
+                                        double wire_bandwidth,
+                                        unsigned staging_buffers = 2);
+
+  private:
+    TransferEngine engine_;
+};
+
+/**
+ * Drives decompression and models the double-buffered transfer/expand
+ * pipeline for one cDMA engine (the prefetch-only view of the duplex
+ * TransferEngine) — OffloadScheduler's mirror image for the backward
+ * pass, with the stages swapped: wire in, then the serial DPE expands
+ * while the next shard crosses.
+ */
+class PrefetchScheduler
+{
+  public:
+    explicit PrefetchScheduler(const CdmaEngine &engine);
+
+    /** Windows per staging shard (>= 1), from TransferConfig::shard_bytes. */
+    uint64_t shardWindows() const { return engine_.shardWindows(); }
+
+    /** See TransferEngine::prefetch(const CompressedBuffer &). */
+    StatusOr<PrefetchResult> prefetch(const CompressedBuffer &buffer) const;
+
+    /** See TransferEngine::prefetch(const SpillArena &, SpillTicket). */
+    StatusOr<PrefetchResult> prefetch(const SpillArena &arena,
+                                      SpillTicket ticket) const;
+
+    /**
+     * Closed-form prefetch timing of @p raw_bytes at @p ratio —
+     * OffloadScheduler::modelFromRatio with the stages swapped (wire
+     * first, then the serial decompression engine); pinned against the
+     * duplex DES at 1e-9 by the scheduler tests.
+     */
+    PrefetchTiming modelFromRatio(uint64_t raw_bytes, double ratio) const;
+
+    /**
+     * The single-direction pipeline reference: the duplex DES with the
+     * offload direction idle, routed over the degenerate two-node
+     * graph. Shard k's wire transfer starts when the (FIFO) channel
+     * AND a staging buffer are free; its decompression starts when its
+     * last wire byte lands and the serial engine is free.
+     */
+    static PrefetchTiming pipelineTiming(
+        std::span<const ShardTransfer> shards, double wire_bandwidth,
+        double decompress_bandwidth, unsigned staging_buffers = 2);
+
+  private:
+    TransferEngine engine_;
 };
 
 } // namespace cdma

@@ -1,7 +1,6 @@
 #include "compress/compressor.hh"
 
 #include <algorithm>
-#include <cstring>
 
 #include "common/bits.hh"
 #include "common/logging.hh"
@@ -64,82 +63,6 @@ Compressor::compressedBound(uint64_t raw_len) const
     // Conservative generic bound; the concrete codecs override with their
     // exact worst case. Only affects reserve(), never correctness.
     return 2 * raw_len + 64;
-}
-
-namespace {
-
-/**
- * The legacy and streaming virtuals default to shims over each other, so
- * a subclass overriding neither would recurse without bound; this guard
- * turns that bug into an immediate panic instead of a stack overflow.
- */
-struct ShimRecursionGuard {
-    explicit ShimRecursionGuard(bool &flag) : flag_(flag)
-    {
-        CDMA_ASSERT(!flag_,
-                    "codec overrides neither the legacy nor the "
-                    "streaming window virtual");
-        flag_ = true;
-    }
-    ~ShimRecursionGuard() { flag_ = false; }
-    bool &flag_;
-};
-
-thread_local bool compress_shim_active = false;
-thread_local bool decompress_shim_active = false;
-
-} // namespace
-
-void
-Compressor::compressWindowInto(std::span<const uint8_t> window,
-                               ByteVec &out) const
-{
-    // Compatibility shim for subclasses that only implement the legacy
-    // return-by-value virtual.
-    ShimRecursionGuard guard(compress_shim_active);
-    const auto compressed = compressWindow(window);
-    out.insert(out.end(), compressed.begin(), compressed.end());
-}
-
-Status
-Compressor::decompressWindowInto(std::span<const uint8_t> payload,
-                                 uint64_t original_bytes,
-                                 uint8_t *out) const
-{
-    ShimRecursionGuard guard(decompress_shim_active);
-    const auto window = decompressWindow(payload, original_bytes);
-    if (window.size() != original_bytes) {
-        return Status::corrupt(
-            "%s: decompressed window size %zu != expected %llu",
-            name().c_str(), window.size(),
-            static_cast<unsigned long long>(original_bytes));
-    }
-    std::memcpy(out, window.data(), window.size());
-    return Status();
-}
-
-std::vector<uint8_t>
-Compressor::compressWindow(std::span<const uint8_t> window) const
-{
-    ByteVec out;
-    out.reserve(compressedBound(window.size()));
-    compressWindowInto(window, out);
-    return {out.begin(), out.end()};
-}
-
-std::vector<uint8_t>
-Compressor::decompressWindow(std::span<const uint8_t> payload,
-                             uint64_t original_bytes) const
-{
-    // Pre-sized: one resize, then the codec writes in place — no
-    // incremental insert growth even on this legacy path. The legacy
-    // API has no error channel; its callers hand it trusted payloads.
-    std::vector<uint8_t> out(original_bytes);
-    const Status status =
-        decompressWindowInto(payload, original_bytes, out.data());
-    CDMA_ASSERT(status.ok(), "legacy decompressWindow on a bad payload: %s",
-                status.toString().c_str());
-    return out;
 }
 
 CompressedBuffer

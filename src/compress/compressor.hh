@@ -11,8 +11,9 @@
  * appends a window's payload directly into a shared output vector and
  * decompressWindowInto() reconstructs into a caller-provided region, so
  * the per-window allocation and concatenation copies of the original
- * return-by-value virtuals never happen. The old virtuals remain as thin
- * compatibility shims layered on the streaming core.
+ * return-by-value virtuals never happen. Those legacy virtuals (and the
+ * compatibility shims that bridged the two forms) are gone: the
+ * streaming pair is the one window interface a codec implements.
  */
 
 #ifndef CDMA_COMPRESS_COMPRESSOR_HH
@@ -84,10 +85,7 @@ struct CompressedBuffer {
  *
  * Subclasses implement the streaming pair compressWindowInto() /
  * decompressWindowInto(); the base class handles splitting, framing and
- * pre-sizing. The legacy return-by-value virtuals compressWindow() /
- * decompressWindow() default to shims over the streaming pair (and vice
- * versa), so a subclass must override at least one form of each
- * direction — overriding neither would recurse.
+ * pre-sizing.
  */
 class Compressor
 {
@@ -141,7 +139,7 @@ class Compressor
      * the codec is about to overwrite.
      */
     virtual void compressWindowInto(std::span<const uint8_t> window,
-                                    ByteVec &out) const;
+                                    ByteVec &out) const = 0;
 
     /**
      * Streaming core: decompress one window payload into the
@@ -153,7 +151,7 @@ class Compressor
      */
     virtual Status decompressWindowInto(std::span<const uint8_t> payload,
                                         uint64_t original_bytes,
-                                        uint8_t *out) const;
+                                        uint8_t *out) const = 0;
 
     /**
      * Upper bound on the compressed size of a window of @p raw_len bytes,
@@ -161,25 +159,6 @@ class Compressor
      * reallocate. Must be >= the size compressWindowInto() appends.
      */
     virtual uint64_t compressedBound(uint64_t raw_len) const;
-
-  protected:
-    /**
-     * Legacy form: compress one window into a fresh vector. Default is a
-     * shim over compressWindowInto().
-     */
-    virtual std::vector<uint8_t>
-    compressWindow(std::span<const uint8_t> window) const;
-
-    /**
-     * Legacy form: decompress one window payload back into exactly
-     * @p original_bytes bytes. Default is a pre-sized shim over
-     * decompressWindowInto() (no incremental growth) that asserts
-     * success — callers on this compatibility path hand it trusted
-     * payloads; wire bytes go through the Status-returning core.
-     */
-    virtual std::vector<uint8_t>
-    decompressWindow(std::span<const uint8_t> payload,
-                     uint64_t original_bytes) const;
 
   private:
     uint64_t window_bytes_;

@@ -136,8 +136,8 @@ StepSimulator::run(StepMode mode,
     EventQueue queue;
     DuplexChannel pcie(queue, "pcie",
                        engine_.config().gpu.pcie_effective_bandwidth,
-                       engine_.config().duplex_mode,
-                       engine_.config().link_arbiter);
+                       engine_.config().transfer.duplex_mode,
+                       engine_.config().transfer.link_arbiter);
     // The channel services "seconds" directly: submit bytes scaled so
     // bytes/bandwidth equals the planned occupancy (offload and
     // prefetch directions carry their own modeled makespans).
@@ -241,7 +241,7 @@ StepSimulator::run(StepMode mode,
                 // transfer of head-of-line delay — the engine trades
                 // that bounded risk for never idling the link.
                 const unsigned buffers =
-                    engine_.config().staging_buffers;
+                    engine_.config().transfer.staging_buffers;
                 unsigned lookahead = buffers > 0 ? buffers - 1 : 0;
                 for (size_t j = L - 1; j-- > 0 && lookahead > 0;) {
                     if (!has_xfer[j])

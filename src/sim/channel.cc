@@ -68,6 +68,51 @@ DuplexChannel::DuplexChannel(EventQueue &queue, std::string name,
                 name_.c_str());
 }
 
+namespace {
+
+/** Grow-on-demand accrual into a per-source-tag accumulator. */
+void
+accrueSource(std::vector<SimTime> &busy, unsigned source, SimTime amount)
+{
+    if (busy.size() <= source)
+        busy.resize(source + 1, 0.0);
+    busy[source] += amount;
+}
+
+/** Sum of every tag's accumulator except @p source. */
+SimTime
+foreignSum(const std::vector<SimTime> &busy, unsigned source)
+{
+    SimTime sum = 0.0;
+    for (size_t tag = 0; tag < busy.size(); ++tag) {
+        if (tag != source)
+            sum += busy[tag];
+    }
+    return sum;
+}
+
+} // namespace
+
+SimTime
+DuplexChannel::sourceBusySeconds(Direction direction,
+                                 unsigned source) const
+{
+    const Side &s = side(direction);
+    SimTime busy =
+        source < s.source_busy.size() ? s.source_busy[source] : 0.0;
+    // Full duplex folds drained segments lazily (on later submits);
+    // count the completed portion of anything still in the deque so the
+    // accessor is exact at any sampling time.
+    const SimTime now = queue_.now();
+    for (const Segment &seg : s.segments) {
+        if (seg.source == source) {
+            busy += std::clamp(now - (seg.end - seg.service), 0.0,
+                               seg.service);
+        }
+    }
+    return busy;
+}
+
 SimTime
 DuplexChannel::busyAccrued(Direction d, SimTime now) const
 {
@@ -92,7 +137,8 @@ DuplexChannel::noteServiceInterval(SimTime start, SimTime end)
 
 void
 DuplexChannel::submit(Direction direction, uint64_t bytes,
-                      Completion on_done, SimTime extra_latency)
+                      Completion on_done, SimTime extra_latency,
+                      unsigned source)
 {
     Side &s = side(direction);
     s.total_bytes += bytes;
@@ -109,6 +155,24 @@ DuplexChannel::submit(Direction direction, uint64_t bytes,
         grant.queued_at = queue_.now();
         grant.start = start;
         grant.end = start + service;
+        // My wait [now, start) is filled exactly by the not-yet-drained
+        // FIFO backlog ahead of me; attribute the foreign-tagged share
+        // (the segment in service at `now` contributes only its
+        // remaining portion).
+        while (!s.segments.empty() &&
+               s.segments.front().end <= grant.queued_at) {
+            const Segment &done = s.segments.front();
+            accrueSource(s.source_busy, done.source, done.service);
+            s.segments.pop_front();
+        }
+        for (const Segment &seg : s.segments) {
+            if (seg.source != source) {
+                grant.cross_source_wait += std::min(
+                    seg.end - grant.queued_at, seg.service);
+            }
+        }
+        s.cross_source_seconds += grant.cross_source_wait;
+        s.segments.push_back({grant.end, service, source});
         s.busy_until = grant.end;
         s.busy_seconds += service;
         last_drain_ = std::max(last_drain_, grant.end);
@@ -131,6 +195,8 @@ DuplexChannel::submit(Direction direction, uint64_t bytes,
     pending.queued_at = queue_.now();
     pending.opposing_busy_at_queue =
         busyAccrued(opposite(direction), queue_.now());
+    pending.foreign_busy_at_queue = foreignSum(s.source_busy, source);
+    pending.source = source;
     pending.on_done = std::move(on_done);
     s.queue.push_back(std::move(pending));
     tryStartHalf();
@@ -188,6 +254,15 @@ DuplexChannel::finishHalf(Direction direction, SimTime service_start,
 
     Pending done = std::move(s.queue.front());
     s.queue.pop_front();
+    // Same-direction foreign service completed between my submit and my
+    // service start is exactly the multi-tenant queueing stall I paid
+    // (the link is serial, so nothing of mine was in flight meanwhile;
+    // my own service has not been folded into source_busy yet).
+    const SimTime cross_source_wait =
+        foreignSum(s.source_busy, done.source) -
+        done.foreign_busy_at_queue;
+    s.cross_source_seconds += cross_source_wait;
+    accrueSource(s.source_busy, done.source, duration);
     if (!s.queue.empty())
         s.pending_since = now; // successor becomes head-of-line now
 
@@ -210,6 +285,7 @@ DuplexChannel::finishHalf(Direction direction, SimTime service_start,
     grant.opposing_wait =
         busyAccrued(opposite(direction), service_start) -
         done.opposing_busy_at_queue;
+    grant.cross_source_wait = cross_source_wait;
     s.contention_seconds += grant.opposing_wait;
 
     link_busy_ = false;

@@ -18,6 +18,7 @@
 #include <deque>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "sim/event_queue.hh"
 
@@ -128,6 +129,13 @@ class DuplexChannel
          * Always zero under full duplex.
          */
         SimTime opposing_wait = 0.0;
+        /**
+         * Portion of [queued_at, start) the link spent serving
+         * same-direction transfers of OTHER sources (see the source tag
+         * on submit()) — the multi-tenant queueing stall this transfer
+         * paid. Zero when every submitter uses one tag.
+         */
+        SimTime cross_source_wait = 0.0;
     };
 
     using Completion = std::function<void(const Grant &)>;
@@ -141,10 +149,13 @@ class DuplexChannel
      * Enqueue a transfer of @p bytes in direction @p direction;
      * @p on_done fires (with the service record) when the last byte has
      * been serviced. FIFO within a direction; across directions the
-     * duplex mode + arbiter decide.
+     * duplex mode + arbiter decide. @p source tags the transfer's
+     * originator (e.g. the GPU index behind a shared switch uplink) so
+     * the grant can attribute queueing waits to foreign traffic;
+     * single-tenant callers leave it at 0.
      */
     void submit(Direction direction, uint64_t bytes, Completion on_done,
-                SimTime extra_latency = 0.0);
+                SimTime extra_latency = 0.0, unsigned source = 0);
 
     /** Configured bandwidth (bytes/second, per direction under Full). */
     double bandwidth() const { return bytes_per_second_; }
@@ -187,6 +198,19 @@ class DuplexChannel
         return side(direction).contention_seconds;
     }
 
+    /** Sum of per-transfer cross-source waits in @p direction. */
+    SimTime crossSourceSeconds(Direction direction) const
+    {
+        return side(direction).cross_source_seconds;
+    }
+
+    /**
+     * Seconds the link spent serving transfers tagged @p source in
+     * @p direction (completed service only — a transfer in flight
+     * accrues at its completion).
+     */
+    SimTime sourceBusySeconds(Direction direction, unsigned source) const;
+
     /** Completion time of the last transfer serviced so far. */
     SimTime lastDrain() const { return last_drain_; }
 
@@ -206,7 +230,17 @@ class DuplexChannel
         SimTime queued_at = 0.0;
         /** Opposing cumulative busy seconds sampled at submit. */
         SimTime opposing_busy_at_queue = 0.0;
+        /** Same-direction foreign-source completed service at submit. */
+        SimTime foreign_busy_at_queue = 0.0;
+        unsigned source = 0;
         Completion on_done;
+    };
+
+    /** One scheduled service interval on a full-duplex FIFO timeline. */
+    struct Segment {
+        SimTime end = 0.0;     ///< scheduled completion time
+        SimTime service = 0.0; ///< service duration
+        unsigned source = 0;
     };
 
     /** Per-direction state (queue, stats, full-duplex FIFO horizon). */
@@ -217,7 +251,12 @@ class DuplexChannel
         SimTime busy_seconds = 0.0;
         SimTime blocked_seconds = 0.0;
         SimTime contention_seconds = 0.0;
+        SimTime cross_source_seconds = 0.0;
         uint64_t total_bytes = 0;
+        /** Completed service seconds per source tag. */
+        std::vector<SimTime> source_busy;
+        /** Scheduled-but-not-drained service (full duplex FIFO). */
+        std::deque<Segment> segments;
     };
 
     Side &side(Direction d) { return sides_[static_cast<unsigned>(d)]; }

@@ -1,0 +1,269 @@
+#include "sim/topology.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.hh"
+
+namespace cdma {
+
+const char *
+nodeKindName(NodeKind kind)
+{
+    switch (kind) {
+      case NodeKind::Gpu:        return "gpu";
+      case NodeKind::PcieSwitch: return "pcie_switch";
+      case NodeKind::HostDram:   return "host_dram";
+      case NodeKind::NvmeSsd:    return "nvme_ssd";
+    }
+    panic("unreachable node kind %d", static_cast<int>(kind));
+}
+
+NodeId
+Topology::addNode(NodeKind kind, std::string name)
+{
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(TopologyNode{kind, std::move(name)});
+    adjacency_.emplace_back();
+    return id;
+}
+
+LinkId
+Topology::connect(NodeId a, NodeId b, std::string name,
+                  const LinkProps &props)
+{
+    CDMA_ASSERT(a < nodes_.size() && b < nodes_.size(),
+                "link %s endpoints out of range", name.c_str());
+    CDMA_ASSERT(a != b, "link %s is a self-loop", name.c_str());
+    CDMA_ASSERT(props.bytes_per_second > 0.0,
+                "link %s has no bandwidth", name.c_str());
+    const LinkId id = static_cast<LinkId>(links_.size());
+    links_.push_back(TopologyLink{a, b, std::move(name), props});
+    adjacency_[a].push_back(id);
+    adjacency_[b].push_back(id);
+    return id;
+}
+
+const TopologyNode &
+Topology::node(NodeId id) const
+{
+    CDMA_ASSERT(id < nodes_.size(), "node %u out of range", id);
+    return nodes_[id];
+}
+
+const TopologyLink &
+Topology::link(LinkId id) const
+{
+    CDMA_ASSERT(id < links_.size(), "link %u out of range", id);
+    return links_[id];
+}
+
+const std::vector<LinkId> &
+Topology::linksAt(NodeId node) const
+{
+    CDMA_ASSERT(node < nodes_.size(), "node %u out of range", node);
+    return adjacency_[node];
+}
+
+NodeId
+Topology::firstNode(NodeKind kind) const
+{
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+        if (nodes_[id].kind == kind)
+            return id;
+    }
+    panic("topology has no %s node", nodeKindName(kind));
+}
+
+std::vector<NodeId>
+Topology::nodesOfKind(NodeKind kind) const
+{
+    std::vector<NodeId> out;
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+        if (nodes_[id].kind == kind)
+            out.push_back(id);
+    }
+    return out;
+}
+
+Route
+Topology::route(NodeId from, NodeId to) const
+{
+    CDMA_ASSERT(from < nodes_.size() && to < nodes_.size(),
+                "route endpoints out of range");
+    Route result;
+    result.from = from;
+    result.to = to;
+    if (from == to)
+        return result;
+
+    // BFS; adjacency lists hold link ids in increasing order, so the
+    // first discovery of a node is via the lowest-link-id shortest path.
+    constexpr LinkId kNoLink = ~LinkId{0};
+    std::vector<LinkId> via(nodes_.size(), kNoLink);
+    std::vector<bool> seen(nodes_.size(), false);
+    std::queue<NodeId> frontier;
+    seen[from] = true;
+    frontier.push(from);
+    while (!frontier.empty() && !seen[to]) {
+        const NodeId at = frontier.front();
+        frontier.pop();
+        for (LinkId link_id : adjacency_[at]) {
+            const NodeId next = links_[link_id].peer(at);
+            if (seen[next])
+                continue;
+            seen[next] = true;
+            via[next] = link_id;
+            frontier.push(next);
+        }
+    }
+    CDMA_ASSERT(seen[to], "no route from %s to %s",
+                nodes_[from].name.c_str(), nodes_[to].name.c_str());
+
+    // Walk predecessors back from the destination, then reverse.
+    NodeId at = to;
+    while (at != from) {
+        const TopologyLink &l = links_[via[at]];
+        const NodeId prev = l.peer(at);
+        result.hops.push_back(RouteHop{via[at], l.directionFrom(prev)});
+        at = prev;
+    }
+    std::reverse(result.hops.begin(), result.hops.end());
+    return result;
+}
+
+std::shared_ptr<const Topology>
+Topology::pcieLink(double bytes_per_second, DuplexMode mode,
+                   LinkArbiter arbiter)
+{
+    auto topo = std::make_shared<Topology>();
+    const NodeId gpu = topo->addNode(NodeKind::Gpu, "gpu0");
+    const NodeId host = topo->addNode(NodeKind::HostDram, "host");
+    LinkProps props;
+    props.bytes_per_second = bytes_per_second;
+    props.mode = mode;
+    props.arbiter = arbiter;
+    topo->connect(gpu, host, "pcie", props);
+    return topo;
+}
+
+LinkNetwork::LinkNetwork(EventQueue &queue, const Topology &topology)
+    : queue_(queue), topology_(topology),
+      injectors_(topology.linkCount(), nullptr)
+{
+    channels_.reserve(topology.linkCount());
+    for (LinkId id = 0; id < topology.linkCount(); ++id) {
+        const TopologyLink &l = topology.link(id);
+        channels_.push_back(std::make_unique<DuplexChannel>(
+            queue, l.name, l.props.bytes_per_second, l.props.mode,
+            l.props.arbiter));
+    }
+}
+
+DuplexChannel &
+LinkNetwork::channel(LinkId link)
+{
+    CDMA_ASSERT(link < channels_.size(), "link %u out of range", link);
+    return *channels_[link];
+}
+
+const DuplexChannel &
+LinkNetwork::channel(LinkId link) const
+{
+    CDMA_ASSERT(link < channels_.size(), "link %u out of range", link);
+    return *channels_[link];
+}
+
+void
+LinkNetwork::setFaultInjector(LinkId link, sim::FaultInjector *injector)
+{
+    CDMA_ASSERT(link < injectors_.size(), "link %u out of range", link);
+    injectors_[link] = injector;
+}
+
+sim::FaultInjector *
+LinkNetwork::faultInjector(LinkId link) const
+{
+    CDMA_ASSERT(link < injectors_.size(), "link %u out of range", link);
+    return injectors_[link];
+}
+
+void
+LinkNetwork::submit(const Route &route, uint64_t bytes,
+                    Completion on_done, SimTime extra_latency,
+                    unsigned source)
+{
+    if (route.empty()) {
+        // Degenerate same-node move: completes instantly (plus any
+        // caller latency) without touching an edge.
+        RouteGrant grant;
+        grant.queued_at = queue_.now();
+        grant.start = queue_.now();
+        grant.end = queue_.now() + extra_latency;
+        grant.service_seconds = extra_latency;
+        if (on_done) {
+            queue_.scheduleAt(grant.end,
+                              [cb = std::move(on_done), grant]() {
+                                  cb(grant);
+                              });
+        }
+        return;
+    }
+    // The transit's shared state owns a copy of the route so the async
+    // hop chain never depends on the caller's Route staying alive.
+    auto transit = std::make_shared<Transit>();
+    transit->route = route;
+    transit->bytes = bytes;
+    transit->source = source;
+    transit->on_done = std::move(on_done);
+    transit->grant.queued_at = queue_.now();
+    submitHop(std::move(transit), 0, extra_latency);
+}
+
+void
+LinkNetwork::submitHop(std::shared_ptr<Transit> transit, size_t hop,
+                       SimTime extra_latency)
+{
+    const RouteHop &h = transit->route.hops[hop];
+    const TopologyLink &l = topology_.link(h.link);
+    const SimTime hop_latency = extra_latency + l.props.latency_seconds;
+    // Hoist fields used as arguments: the completion lambda's capture
+    // moves `transit`, and argument evaluation order is unspecified.
+    const uint64_t bytes = transit->bytes;
+    const unsigned source = transit->source;
+    channel(h.link).submit(
+        h.direction, bytes,
+        [this, hop, transit = std::move(transit)](
+            const DuplexChannel::Grant &g) mutable {
+            RouteGrant &grant = transit->grant;
+            if (hop == 0)
+                grant.start = g.start;
+            grant.end = g.end;
+            grant.service_seconds += g.end - g.start;
+            grant.opposing_wait += g.opposing_wait;
+            grant.cross_source_wait += g.cross_source_wait;
+            if (hop + 1 < transit->route.hops.size()) {
+                submitHop(std::move(transit), hop + 1, 0.0);
+            } else if (transit->on_done) {
+                transit->on_done(transit->grant);
+            }
+        },
+        hop_latency, source);
+}
+
+uint64_t
+LinkNetwork::edgeBytes(LinkId link,
+                       DuplexChannel::Direction direction) const
+{
+    return channel(link).totalBytes(direction);
+}
+
+double
+LinkNetwork::utilization(LinkId link) const
+{
+    const DuplexChannel &ch = channel(link);
+    const SimTime horizon = std::max(queue_.now(), ch.lastDrain());
+    return horizon > 0.0 ? ch.occupiedSeconds() / horizon : 0.0;
+}
+
+} // namespace cdma

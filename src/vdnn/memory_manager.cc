@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "cdma/offload_scheduler.hh"
+#include "cdma/transfer_engine.hh"
 #include "common/logging.hh"
 
 namespace cdma {
@@ -212,14 +212,14 @@ VdnnMemoryManager::footprint(const CdmaEngine &engine) const
     MemoryFootprint fp = footprint();
     // A disabled-compression engine is the plain vDNN baseline: no cDMA
     // hardware, no staging buffers to account for.
-    if (!engine.config().compression_enabled)
+    if (!engine.config().compression.enabled)
         return fp;
     // The offload pipeline's staging shards live in GPU DRAM next to the
     // DMA unit (Section V-C); they are part of the virtualized working
     // set whenever a cDMA engine is attached.
     const OffloadScheduler scheduler(engine);
-    fp.staging_bytes = static_cast<uint64_t>(engine.config().staging_buffers) *
-        scheduler.shardWindows() * engine.config().window_bytes;
+    fp.staging_bytes = static_cast<uint64_t>(engine.config().transfer.staging_buffers) *
+        scheduler.shardWindows() * engine.config().compression.window_bytes;
     fp.vdnn_peak += fp.staging_bytes;
     return fp;
 }

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Fleet simulator tests: the shared switch uplink is where data-parallel
+ * scaling hurts, so the per-GPU contention-stall fraction must be zero
+ * for a fleet of one and strictly increasing in fleet size at fixed
+ * uplink bandwidth, while every graph cut conserves bytes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cdma/fleet_sim.hh"
+
+namespace cdma {
+namespace {
+
+using Direction = DuplexChannel::Direction;
+
+FleetSpec
+smallSpec(unsigned gpus)
+{
+    FleetSpec spec;
+    spec.gpu_count = gpus;
+    spec.gpu_link_bandwidth = 12.0e9;
+    spec.uplink_bandwidth = 12.0e9; // fixed while N scales
+    spec.offload_raw_bytes = 16ull << 20;
+    spec.offload_ratio = 2.0;
+    spec.prefetch_raw_bytes = 0;
+    spec.shard_raw_bytes = 2ull << 20;
+    return spec;
+}
+
+TEST(FleetTopology, BuildsTheStar)
+{
+    const FleetTopology fleet = buildFleetTopology(smallSpec(4));
+    EXPECT_EQ(fleet.gpus.size(), 4u);
+    EXPECT_EQ(fleet.gpu_links.size(), 4u);
+    // 4 GPUs + switch + host + ssd, 4 legs + uplink + nvme.
+    EXPECT_EQ(fleet.graph->nodeCount(), 7u);
+    EXPECT_EQ(fleet.graph->linkCount(), 6u);
+    // Every GPU's host route crosses its own leg then the shared uplink.
+    for (unsigned g = 0; g < 4; ++g) {
+        const Route route =
+            fleet.graph->route(fleet.gpus[g], fleet.host);
+        ASSERT_EQ(route.hopCount(), 2u);
+        EXPECT_EQ(route.hops[0].link, fleet.gpu_links[g]);
+        EXPECT_EQ(route.hops[1].link, fleet.uplink);
+        EXPECT_EQ(route.hops[1].direction, Direction::Out);
+    }
+    EXPECT_TRUE(fleet.nvlinks.empty());
+}
+
+TEST(FleetTopology, NvlinkRingConnectsPeers)
+{
+    FleetSpec spec = smallSpec(4);
+    spec.nvlink_bandwidth = 50.0e9;
+    const FleetTopology fleet = buildFleetTopology(spec);
+    EXPECT_EQ(fleet.nvlinks.size(), 4u); // ring over 4 GPUs
+    // Peer route rides the NVLink edge, not the switch.
+    const Route peer = fleet.graph->route(fleet.gpus[0], fleet.gpus[1]);
+    ASSERT_EQ(peer.hopCount(), 1u);
+    EXPECT_EQ(peer.hops[0].link, fleet.nvlinks[0]);
+}
+
+TEST(FleetSimulator, SingleGpuPaysNoContention)
+{
+    const FleetSimulator sim(smallSpec(1));
+    const FleetResult result = sim.run();
+    ASSERT_EQ(result.gpus.size(), 1u);
+    EXPECT_NEAR(result.gpus[0].uplink_wait_seconds, 0.0, 1e-12);
+    EXPECT_NEAR(result.gpus[0].contention_stall_fraction, 0.0, 1e-12);
+    EXPECT_GT(result.makespan_seconds, 0.0);
+}
+
+TEST(FleetSimulator, ContentionStrictlyIncreasesWithFleetSize)
+{
+    double previous = -1.0;
+    double previous_makespan = 0.0;
+    for (unsigned gpus : {1u, 2u, 4u, 8u}) {
+        const FleetResult result = FleetSimulator(smallSpec(gpus)).run();
+        EXPECT_GT(result.mean_contention_stall_fraction, previous)
+            << "fleet of " << gpus;
+        // More ranks through the same uplink also stretch the makespan.
+        EXPECT_GT(result.makespan_seconds, previous_makespan)
+            << "fleet of " << gpus;
+        previous = result.mean_contention_stall_fraction;
+        previous_makespan = result.makespan_seconds;
+    }
+}
+
+TEST(FleetSimulator, UplinkConservesFleetBytes)
+{
+    const unsigned gpus = 4;
+    const FleetSpec spec = smallSpec(gpus);
+    const FleetSimulator sim(spec);
+    const FleetResult result = sim.run();
+
+    // Per-GPU wire bytes: uniform shards, each store-raw-floored.
+    uint64_t per_gpu = 0;
+    for (const ShardTransfer &shard : TransferEngine::uniformShardTrain(
+             spec.offload_raw_bytes, spec.offload_ratio,
+             spec.shard_raw_bytes)) {
+        per_gpu += shard.wire_bytes;
+    }
+    ASSERT_GT(per_gpu, 0u);
+
+    const FleetTopology &fleet = sim.topology();
+    // Each leg carries its GPU's bytes; the uplink cut sees them all.
+    for (unsigned g = 0; g < gpus; ++g) {
+        EXPECT_EQ(result.edges[fleet.gpu_links[g]].out_bytes, per_gpu);
+        EXPECT_EQ(result.edges[fleet.gpu_links[g]].in_bytes, 0u);
+    }
+    EXPECT_EQ(result.edges[fleet.uplink].out_bytes, gpus * per_gpu);
+    EXPECT_EQ(result.edges[fleet.ssd_link].out_bytes, 0u);
+}
+
+TEST(FleetSimulator, SaturatedUplinkApproachesFullUtilization)
+{
+    // Per-GPU legs are fast; the uplink is the bottleneck, so with 4
+    // ranks it should be busy nearly wall-to-wall.
+    FleetSpec spec = smallSpec(4);
+    spec.gpu_link_bandwidth = 48.0e9;
+    const FleetResult result = FleetSimulator(spec).run();
+    EXPECT_GT(result.uplink_utilization, 0.9);
+    EXPECT_LE(result.uplink_utilization, 1.0 + 1e-12);
+}
+
+TEST(FleetSimulator, DuplexWorkloadsDrainBothDirections)
+{
+    FleetSpec spec = smallSpec(2);
+    spec.prefetch_raw_bytes = 8ull << 20;
+    spec.prefetch_ratio = 2.0;
+    const FleetSimulator sim(spec);
+    const FleetResult result = sim.run();
+    const FleetTopology &fleet = sim.topology();
+    EXPECT_GT(result.edges[fleet.uplink].out_bytes, 0u);
+    EXPECT_GT(result.edges[fleet.uplink].in_bytes, 0u);
+    for (const FleetGpuResult &gpu : result.gpus) {
+        EXPECT_GT(gpu.timing.offload.shard_count, 0u);
+        EXPECT_GT(gpu.timing.prefetch.shard_count, 0u);
+    }
+}
+
+TEST(FleetSimulator, RunsAreDeterministic)
+{
+    const FleetSimulator sim(smallSpec(4));
+    const FleetResult a = sim.run();
+    const FleetResult b = sim.run();
+    EXPECT_DOUBLE_EQ(a.makespan_seconds, b.makespan_seconds);
+    EXPECT_DOUBLE_EQ(a.mean_contention_stall_fraction,
+                     b.mean_contention_stall_fraction);
+    for (size_t g = 0; g < a.gpus.size(); ++g) {
+        EXPECT_DOUBLE_EQ(a.gpus[g].uplink_wait_seconds,
+                         b.gpus[g].uplink_wait_seconds);
+    }
+}
+
+} // namespace
+} // namespace cdma

@@ -47,9 +47,9 @@ makeFaultyEngine(sim::FaultInjector *injector,
                  RetryPolicy retry = RetryPolicy{})
 {
     CdmaConfig config;
-    config.timing_mode = TimingMode::Overlapped;
-    config.fault_injector = injector;
-    config.retry = retry;
+    config.transfer.timing_mode = TimingMode::Overlapped;
+    config.transfer.fault_injector = injector;
+    config.transfer.retry = retry;
     return CdmaEngine(config);
 }
 
@@ -188,7 +188,7 @@ TEST(Integrity, DeadLinkExhaustsPrefetchRetryBudget)
     // Spill through a clean engine, prefetch through a dead link: the
     // prefetch direction owns its own fault process and must exhaust.
     CdmaConfig clean_config;
-    clean_config.timing_mode = TimingMode::Overlapped;
+    clean_config.transfer.timing_mode = TimingMode::Overlapped;
     const CdmaEngine clean(clean_config);
     const auto input = makeInput(0.4, 1 << 18, 75);
     SpillArena arena;
@@ -221,7 +221,7 @@ TEST(Integrity, TamperedStoredShardFailsCrcVerification)
     // rather than a wire fault): the prefetch-side CRC check must
     // reject it before any decode runs.
     CdmaConfig config;
-    config.timing_mode = TimingMode::Overlapped;
+    config.transfer.timing_mode = TimingMode::Overlapped;
     const CdmaEngine engine(config);
     const TransferEngine transfers(engine);
     const auto input = makeInput(0.4, 1 << 18, 76);
@@ -251,7 +251,7 @@ TEST(Integrity, RetryStallIsPricedOnTheTimeline)
     const auto input = makeInput(0.35, 4 << 20, 77);
 
     CdmaConfig clean_config;
-    clean_config.timing_mode = TimingMode::Overlapped;
+    clean_config.transfer.timing_mode = TimingMode::Overlapped;
     const CdmaEngine clean(clean_config);
     SpillArena clean_arena;
     const StatusOr<SpilledOffload> clean_spill =
@@ -290,7 +290,7 @@ TEST(Integrity, PlanFromRatioFoldsExpectedRetries)
     sim::FaultInjector injector(faults);
     const CdmaEngine faulty = makeFaultyEngine(&injector);
     CdmaConfig clean_config;
-    clean_config.timing_mode = TimingMode::Overlapped;
+    clean_config.transfer.timing_mode = TimingMode::Overlapped;
     const CdmaEngine clean(clean_config);
 
     const uint64_t raw = 64ull << 20;

@@ -14,7 +14,7 @@
 
 #include <gtest/gtest.h>
 
-#include "cdma/offload_scheduler.hh"
+#include "cdma/transfer_engine.hh"
 #include "common/rng.hh"
 #include "compress/parallel.hh"
 #include "vdnn/memory_manager.hh"
@@ -56,9 +56,9 @@ makeEngine(unsigned lanes, uint64_t shard_bytes = 0,
            TimingMode mode = TimingMode::Overlapped)
 {
     CdmaConfig config;
-    config.compression_lanes = lanes;
-    config.shard_bytes = shard_bytes;
-    config.timing_mode = mode;
+    config.compression.lanes = lanes;
+    config.transfer.shard_bytes = shard_bytes;
+    config.transfer.timing_mode = mode;
     return CdmaEngine(config);
 }
 
@@ -311,13 +311,13 @@ TEST(OffloadScheduler, ClosedFormModelMatchesDesReference)
     for (const unsigned buffers : {1u, 2u, 3u}) {
         for (const uint64_t shard_bytes : {0ull, 4096ull, 3 * 4096ull}) {
             CdmaConfig config;
-            config.shard_bytes = shard_bytes;
-            config.staging_buffers = buffers;
-            config.timing_mode = TimingMode::Overlapped;
+            config.transfer.shard_bytes = shard_bytes;
+            config.transfer.staging_buffers = buffers;
+            config.transfer.timing_mode = TimingMode::Overlapped;
             const CdmaEngine engine(config);
             const OffloadScheduler scheduler(engine);
             const uint64_t shard_raw =
-                scheduler.shardWindows() * config.window_bytes;
+                scheduler.shardWindows() * config.compression.window_bytes;
 
             for (const double ratio : {1.0, 2.5, 7.3, 12.5, 40.0}) {
                 for (const uint64_t raw :
@@ -408,8 +408,8 @@ TEST(CdmaEngine, DisabledCompressionBypassesThePipelineModel)
     // disabled-compression engine must keep plain DMA occupancy even in
     // Overlapped mode.
     CdmaConfig config;
-    config.compression_enabled = false;
-    config.timing_mode = TimingMode::Overlapped;
+    config.compression.enabled = false;
+    config.transfer.timing_mode = TimingMode::Overlapped;
     const CdmaEngine engine(config);
     const uint64_t raw = 32ull << 20;
     const TransferPlan plan = engine.planFromRatio("raw", raw, 3.0);
@@ -467,7 +467,7 @@ TEST(VdnnMemoryManager, PlannedOffloadsCarryOverlapTiming)
     const MemoryFootprint fp = manager.footprint(engine);
     const OffloadScheduler scheduler(engine);
     EXPECT_EQ(fp.staging_bytes,
-              2 * scheduler.shardWindows() * engine.config().window_bytes);
+              2 * scheduler.shardWindows() * engine.config().compression.window_bytes);
     EXPECT_EQ(fp.vdnn_peak,
               manager.footprint().vdnn_peak + fp.staging_bytes);
 }

@@ -16,8 +16,7 @@
 
 #include <gtest/gtest.h>
 
-#include "cdma/offload_scheduler.hh"
-#include "cdma/prefetch_scheduler.hh"
+#include "cdma/transfer_engine.hh"
 #include "common/rng.hh"
 #include "compress/parallel.hh"
 #include "perf/step_sim.hh"
@@ -50,9 +49,9 @@ makeEngine(unsigned lanes, uint64_t shard_bytes = 0,
            TimingMode mode = TimingMode::Overlapped)
 {
     CdmaConfig config;
-    config.compression_lanes = lanes;
-    config.shard_bytes = shard_bytes;
-    config.timing_mode = mode;
+    config.compression.lanes = lanes;
+    config.transfer.shard_bytes = shard_bytes;
+    config.transfer.timing_mode = mode;
     return CdmaEngine(config);
 }
 
@@ -185,13 +184,13 @@ TEST(PrefetchScheduler, ClosedFormModelMatchesDesReference)
     for (const unsigned buffers : {1u, 2u, 3u}) {
         for (const uint64_t shard_bytes : {0ull, 4096ull, 3 * 4096ull}) {
             CdmaConfig config;
-            config.shard_bytes = shard_bytes;
-            config.staging_buffers = buffers;
-            config.timing_mode = TimingMode::Overlapped;
+            config.transfer.shard_bytes = shard_bytes;
+            config.transfer.staging_buffers = buffers;
+            config.transfer.timing_mode = TimingMode::Overlapped;
             const CdmaEngine engine(config);
             const PrefetchScheduler scheduler(engine);
             const uint64_t shard_raw =
-                scheduler.shardWindows() * config.window_bytes;
+                scheduler.shardWindows() * config.compression.window_bytes;
 
             for (const double ratio : {1.0, 2.5, 7.3, 12.5, 40.0}) {
                 for (const uint64_t raw :
@@ -329,7 +328,7 @@ TEST(CdmaEngine, OverlappedPlansCarryBothPipelineDirections)
     // mirrored pipelines' makespans coincide exactly (a partial tail
     // breaks the symmetry by one sub-shard fill).
     const uint64_t shard_raw = PrefetchScheduler(engine).shardWindows() *
-        engine.config().window_bytes;
+        engine.config().compression.window_bytes;
     const uint64_t raw = 96 * shard_raw;
     const TransferPlan plan = engine.planFromRatio("map", raw, 2.5);
 
@@ -359,7 +358,7 @@ TEST(CdmaEngine, OverlappedPlansCarryBothPipelineDirections)
     const PrefetchTiming expected = PrefetchScheduler::pipelineTiming(
         offloaded.shards, engine.config().gpu.pcie_effective_bandwidth,
         engine.config().gpu.comp_bandwidth,
-        engine.config().staging_buffers);
+        engine.config().transfer.staging_buffers);
     EXPECT_DOUBLE_EQ(real.prefetch.overlapped_seconds,
                      expected.overlapped_seconds);
 
@@ -373,8 +372,8 @@ TEST(CdmaEngine, OverlappedPlansCarryBothPipelineDirections)
 
     // Disabled compression bypasses both pipeline models.
     CdmaConfig disabled;
-    disabled.compression_enabled = false;
-    disabled.timing_mode = TimingMode::Overlapped;
+    disabled.compression.enabled = false;
+    disabled.transfer.timing_mode = TimingMode::Overlapped;
     const TransferPlan raw_plan =
         CdmaEngine(disabled).planFromRatio("raw", raw, 3.0);
     EXPECT_EQ(raw_plan.prefetch.shard_count, 0u);
@@ -416,7 +415,7 @@ TEST(StepSimulator, BackwardLegWaitsOnThePrefetchPipeline)
     PerfModel perf;
 
     CdmaConfig config;
-    config.timing_mode = TimingMode::Overlapped;
+    config.transfer.timing_mode = TimingMode::Overlapped;
     const CdmaEngine engine(config);
     const StepSimulator sim(manager, engine, perf, CudnnVersion::V5);
 

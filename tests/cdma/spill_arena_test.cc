@@ -14,8 +14,7 @@
 
 #include <gtest/gtest.h>
 
-#include "cdma/offload_scheduler.hh"
-#include "cdma/prefetch_scheduler.hh"
+#include "cdma/transfer_engine.hh"
 #include "common/rng.hh"
 #include "compress/parallel.hh"
 
@@ -45,9 +44,9 @@ CdmaEngine
 makeEngine(Algorithm algorithm = Algorithm::Zvc, unsigned lanes = 2)
 {
     CdmaConfig config;
-    config.algorithm = algorithm;
-    config.compression_lanes = lanes;
-    config.timing_mode = TimingMode::Overlapped;
+    config.compression.algorithm = algorithm;
+    config.compression.lanes = lanes;
+    config.transfer.timing_mode = TimingMode::Overlapped;
     return CdmaEngine(config);
 }
 

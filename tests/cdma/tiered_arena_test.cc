@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tests for the two-tier spill arena: FIFO eviction to the backing
+ * (SSD) tier under host-capacity pressure, transparent reads through
+ * either tier, promotion on prefetch, SSD traffic accounting, and
+ * byte-identical round trips through the TransferEngine tiered flows.
+ */
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cdma/transfer_engine.hh"
+#include "common/rng.hh"
+#include "compress/parallel.hh"
+
+namespace cdma {
+namespace {
+
+/** ReLU-like fp32 words at the given density. */
+std::vector<uint8_t>
+makeInput(double density, size_t bytes, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint8_t> input(bytes, 0);
+    const size_t words = bytes / 4;
+    for (size_t i = 0; i < words; ++i) {
+        if (density > 0.0 && rng.bernoulli(density)) {
+            const float value =
+                1.0f + static_cast<float>(std::abs(rng.normal()));
+            std::memcpy(input.data() + i * 4, &value, 4);
+        }
+    }
+    for (size_t i = words * 4; i < bytes; ++i)
+        input[i] = static_cast<uint8_t>(1 + rng.uniformInt(255));
+    return input;
+}
+
+CdmaEngine
+makeEngine()
+{
+    CdmaConfig config;
+    config.compression.lanes = 2;
+    config.transfer.timing_mode = TimingMode::Overlapped;
+    return CdmaEngine(config);
+}
+
+/** Spill @p input through the tiered flow and return the ticket. */
+SpillTicket
+spill(const TransferEngine &engine, TieredSpillArena &arena,
+      const std::vector<uint8_t> &input)
+{
+    return engine.offloadInto(input, arena).value().ticket;
+}
+
+TEST(TieredSpillArena, UnlimitedCapacityNeverEvicts)
+{
+    const CdmaEngine cdma = makeEngine();
+    const TransferEngine engine(cdma);
+    TieredSpillArena arena(/*host_capacity_bytes=*/0);
+    const auto input = makeInput(0.4, (1 << 18) + 7, 11);
+    const SpillTicket ticket = spill(engine, arena, input);
+    EXPECT_FALSE(arena.onBackingTier(ticket));
+    EXPECT_EQ(arena.tierStats().evictions, 0u);
+    EXPECT_EQ(arena.tierStats().ssd_write_bytes, 0u);
+    EXPECT_EQ(arena.backingArena().stats().live_buffers, 0u);
+    arena.release(ticket);
+}
+
+TEST(TieredSpillArena, CapacityPressureEvictsOldestSealedFirst)
+{
+    const CdmaEngine cdma = makeEngine();
+    const TransferEngine engine(cdma);
+    const auto input = makeInput(0.5, 1 << 18, 23);
+
+    // Budget fits roughly two compressed copies of the input.
+    TieredSpillArena probe(0);
+    const SpillTicket sized = spill(engine, probe, input);
+    const uint64_t payload = probe.payloadBytes(sized);
+    probe.release(sized);
+    ASSERT_GT(payload, 0u);
+
+    TieredSpillArena arena(2 * payload + payload / 2);
+    const SpillTicket first = spill(engine, arena, input);
+    const SpillTicket second = spill(engine, arena, input);
+    EXPECT_FALSE(arena.onBackingTier(first));
+    EXPECT_FALSE(arena.onBackingTier(second));
+
+    // The third spill pushes the host tier over budget: the OLDEST
+    // sealed spill goes down, the newer ones stay resident.
+    const SpillTicket third = spill(engine, arena, input);
+    EXPECT_TRUE(arena.onBackingTier(first));
+    EXPECT_FALSE(arena.onBackingTier(second));
+    EXPECT_FALSE(arena.onBackingTier(third));
+    EXPECT_EQ(arena.tierStats().evictions, 1u);
+    EXPECT_EQ(arena.tierStats().ssd_write_bytes, payload);
+    EXPECT_LE(arena.hostArena().stats().live_payload_bytes,
+              arena.tierStats().host_capacity_bytes);
+
+    // Reads resolve transparently through the backing tier.
+    EXPECT_EQ(arena.originalBytes(first), input.size());
+    EXPECT_EQ(arena.payloadBytes(first), payload);
+    arena.release(first);
+    arena.release(second);
+    arena.release(third);
+    EXPECT_EQ(arena.hostArena().stats().live_buffers, 0u);
+    EXPECT_EQ(arena.backingArena().stats().live_buffers, 0u);
+}
+
+TEST(TieredSpillArena, PromoteReadsBackAndReentersEvictionOrder)
+{
+    const CdmaEngine cdma = makeEngine();
+    const TransferEngine engine(cdma);
+    const auto input = makeInput(0.5, 1 << 18, 31);
+
+    TieredSpillArena probe(0);
+    const SpillTicket sized = spill(engine, probe, input);
+    const uint64_t payload = probe.payloadBytes(sized);
+    probe.release(sized);
+
+    TieredSpillArena arena(payload + payload / 2);
+    const SpillTicket first = spill(engine, arena, input);
+    const SpillTicket second = spill(engine, arena, input);
+    ASSERT_TRUE(arena.onBackingTier(first));
+
+    // Promotion reads the payload back up and displaces the other
+    // resident spill (capacity holds one).
+    EXPECT_EQ(arena.promote(first), payload);
+    EXPECT_FALSE(arena.onBackingTier(first));
+    EXPECT_TRUE(arena.onBackingTier(second));
+    EXPECT_EQ(arena.tierStats().promotions, 1u);
+    EXPECT_EQ(arena.tierStats().ssd_read_bytes, payload);
+    EXPECT_EQ(arena.tierStats().evictions, 2u);
+
+    // Promoting a resident spill is free.
+    EXPECT_EQ(arena.promote(first), 0u);
+    arena.release(first);
+    arena.release(second);
+}
+
+TEST(TieredSpillArena, PrefetchRestoresEvictedSpillsByteIdentical)
+{
+    const CdmaEngine cdma = makeEngine();
+    const TransferEngine engine(cdma);
+    const auto first_input = makeInput(0.45, (1 << 18) + 13, 41);
+    const auto second_input = makeInput(0.55, (1 << 18) + 29, 43);
+
+    TieredSpillArena probe(0);
+    const SpillTicket sized = spill(engine, probe, first_input);
+    const uint64_t payload = probe.payloadBytes(sized);
+    probe.release(sized);
+
+    // Capacity of one spill: the second offload evicts the first.
+    TieredSpillArena arena(payload + payload / 2);
+    const SpillTicket first = spill(engine, arena, first_input);
+    const SpillTicket second = spill(engine, arena, second_input);
+    ASSERT_TRUE(arena.onBackingTier(first));
+
+    // Prefetching the evicted spill promotes it (SSD readback counted)
+    // and restores the exact offloaded bytes.
+    const PrefetchResult restored =
+        engine.prefetch(arena, first).value();
+    EXPECT_EQ(restored.data, first_input);
+    EXPECT_FALSE(arena.onBackingTier(first));
+    EXPECT_GT(arena.tierStats().ssd_read_bytes, 0u);
+
+    const PrefetchResult also =
+        engine.prefetch(arena, second).value();
+    EXPECT_EQ(also.data, second_input);
+    arena.release(first);
+    arena.release(second);
+}
+
+TEST(TieredSpillArena, MaterializeMatchesAcrossTiers)
+{
+    const CdmaEngine cdma = makeEngine();
+    const TransferEngine engine(cdma);
+    const auto input = makeInput(0.5, (1 << 17) + 3, 53);
+
+    TieredSpillArena unlimited(0);
+    const SpillTicket resident = spill(engine, unlimited, input);
+    const CompressedBuffer host_copy = unlimited.materialize(resident);
+
+    TieredSpillArena tight(1); // evicts everything sealed
+    const SpillTicket evicted = spill(engine, tight, input);
+    ASSERT_TRUE(tight.onBackingTier(evicted));
+    const CompressedBuffer ssd_copy = tight.materialize(evicted);
+
+    EXPECT_EQ(ssd_copy.payload, host_copy.payload);
+    EXPECT_EQ(ssd_copy.window_sizes, host_copy.window_sizes);
+    EXPECT_EQ(ssd_copy.original_bytes, host_copy.original_bytes);
+    EXPECT_EQ(cdma.compressor().decompress(ssd_copy).value(), input);
+    unlimited.release(resident);
+    tight.release(evicted);
+}
+
+TEST(TieredSpillArena, TicketsRecycleAcrossIterations)
+{
+    const CdmaEngine cdma = makeEngine();
+    const TransferEngine engine(cdma);
+    const auto input = makeInput(0.4, 1 << 17, 67);
+
+    TieredSpillArena arena(1); // every sealed spill evicts
+    for (int iteration = 0; iteration < 3; ++iteration) {
+        const SpillTicket ticket = spill(engine, arena, input);
+        EXPECT_TRUE(arena.onBackingTier(ticket));
+        EXPECT_EQ(engine.prefetch(arena, ticket).value().data, input);
+        arena.release(ticket);
+    }
+    // One eviction + one promotion per iteration, symmetric traffic.
+    EXPECT_EQ(arena.tierStats().evictions, 3u);
+    EXPECT_EQ(arena.tierStats().promotions, 3u);
+    EXPECT_EQ(arena.tierStats().ssd_read_bytes,
+              arena.tierStats().ssd_write_bytes);
+}
+
+} // namespace
+} // namespace cdma

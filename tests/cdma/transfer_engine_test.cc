@@ -16,8 +16,6 @@
 
 #include <gtest/gtest.h>
 
-#include "cdma/offload_scheduler.hh"
-#include "cdma/prefetch_scheduler.hh"
 #include "cdma/transfer_engine.hh"
 #include "common/rng.hh"
 #include "perf/step_sim.hh"
@@ -50,10 +48,10 @@ makeEngine(unsigned lanes, DuplexMode mode = DuplexMode::Full,
            LinkArbiter arbiter = LinkArbiter::RoundRobin)
 {
     CdmaConfig config;
-    config.compression_lanes = lanes;
-    config.timing_mode = TimingMode::Overlapped;
-    config.duplex_mode = mode;
-    config.link_arbiter = arbiter;
+    config.compression.lanes = lanes;
+    config.transfer.timing_mode = TimingMode::Overlapped;
+    config.transfer.duplex_mode = mode;
+    config.transfer.link_arbiter = arbiter;
     return CdmaEngine(config);
 }
 
@@ -77,13 +75,13 @@ TEST(DuplexPipeline, IdlePrefetchDirectionReducesToOffloadClosedForm)
     // direction schedulers keep) to 1e-9 — under both duplex modes and
     // every arbiter, none of which may matter with one direction idle.
     CdmaConfig config;
-    config.timing_mode = TimingMode::Overlapped;
+    config.transfer.timing_mode = TimingMode::Overlapped;
     const CdmaEngine engine(config);
     const TransferEngine transfers(engine);
     const OffloadScheduler offload(engine);
     const PrefetchScheduler prefetch(engine);
     const uint64_t shard_raw =
-        transfers.shardWindows() * config.window_bytes;
+        transfers.shardWindows() * config.compression.window_bytes;
 
     for (const double ratio : {1.0, 2.5, 12.5, 40.0}) {
         for (const uint64_t raw :
@@ -358,7 +356,7 @@ TEST(CdmaEngine, PlansCarryDuplexTiming)
 
     // CompressionFree keeps the seed model: no duplex breakdown.
     CdmaConfig free_config;
-    free_config.duplex_mode = DuplexMode::Half;
+    free_config.transfer.duplex_mode = DuplexMode::Half;
     const CdmaEngine free_engine(free_config);
     const TransferPlan free_plan =
         free_engine.planFromRatio("map", raw, 2.5);
@@ -397,11 +395,11 @@ TEST(StepSimulator, HalfDuplexReportsContentionStall)
     // parked head prefetch then releases the boundary lookahead, and
     // already-resident maps race the tail offload on the link.
     CdmaConfig full_config;
-    full_config.duplex_mode = DuplexMode::Full;
+    full_config.transfer.duplex_mode = DuplexMode::Full;
     full_config.gpu.pcie_effective_bandwidth = 2e9;
     const CdmaEngine full_engine(full_config);
     CdmaConfig half_config;
-    half_config.duplex_mode = DuplexMode::Half;
+    half_config.transfer.duplex_mode = DuplexMode::Half;
     half_config.gpu.pcie_effective_bandwidth = 2e9;
     const CdmaEngine half_engine(half_config);
 
@@ -459,8 +457,8 @@ TEST(StepSimulator, DuplexInvariantsHoldAcrossModesAndArbiters)
              {LinkArbiter::RoundRobin, LinkArbiter::OffloadFirst,
               LinkArbiter::PrefetchFirst}) {
             CdmaConfig config;
-            config.duplex_mode = mode;
-            config.link_arbiter = arbiter;
+            config.transfer.duplex_mode = mode;
+            config.transfer.link_arbiter = arbiter;
             const CdmaEngine engine(config);
             const StepSimulator sim(manager, engine, perf,
                                     CudnnVersion::V5);

@@ -310,13 +310,13 @@ TEST(KernelCodecEquivalence, EngineThreadsTheBackendThrough)
     // an explicit scalar backend match the default dispatch bit for bit.
     const auto input = makeWords(0.4, (1 << 17) + 3, 99);
     CdmaConfig scalar_config;
-    scalar_config.compression_lanes = 2;
-    scalar_config.kernels = &scalarKernels();
+    scalar_config.compression.lanes = 2;
+    scalar_config.compression.kernels = &scalarKernels();
     const CdmaEngine scalar_engine(scalar_config);
     EXPECT_STREQ(scalar_engine.backendName(), "scalar");
 
     CdmaConfig active_config;
-    active_config.compression_lanes = 2;
+    active_config.compression.lanes = 2;
     const CdmaEngine active_engine(active_config);
     EXPECT_STREQ(active_engine.backendName(), activeKernels().name);
 

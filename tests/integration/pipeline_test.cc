@@ -147,7 +147,7 @@ TEST(Pipeline, CdmaEngineOnRealTensors)
 {
     TrainedNet trained("SqueezeNet", 40);
     CdmaConfig config;
-    config.algorithm = Algorithm::Zvc;
+    config.compression.algorithm = Algorithm::Zvc;
     CdmaEngine engine(config);
 
     uint64_t raw_total = 0, wire_total = 0;

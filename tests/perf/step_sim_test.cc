@@ -22,7 +22,7 @@ struct Rig {
         : net(std::move(n)), manager(net, net.default_batch),
           engine([&] {
               CdmaConfig config;
-              config.algorithm = algorithm;
+              config.compression.algorithm = algorithm;
               return config;
           }()),
           perf()

@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Tests for the interconnect topology graph and its live LinkNetwork:
+ * deterministic routing, byte conservation across graph cuts, busy-time
+ * vs makespan bounds, and — the compatibility anchor — the degenerate
+ * two-node graph reproducing a raw DuplexChannel's timeline exactly.
+ */
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/topology.hh"
+
+namespace cdma {
+namespace {
+
+using Direction = DuplexChannel::Direction;
+
+LinkProps
+props(double bandwidth, DuplexMode mode = DuplexMode::Full,
+      LinkArbiter arbiter = LinkArbiter::RoundRobin)
+{
+    LinkProps p;
+    p.bytes_per_second = bandwidth;
+    p.mode = mode;
+    p.arbiter = arbiter;
+    return p;
+}
+
+/** The 2-GPU star: gpu0/gpu1 -> switch -> host -> ssd. */
+struct Star {
+    Topology graph;
+    NodeId gpu0, gpu1, sw, host, ssd;
+    LinkId leg0, leg1, uplink, nvme;
+
+    explicit Star(double bandwidth = 100.0,
+                  DuplexMode mode = DuplexMode::Full)
+    {
+        sw = graph.addNode(NodeKind::PcieSwitch, "switch0");
+        host = graph.addNode(NodeKind::HostDram, "host");
+        ssd = graph.addNode(NodeKind::NvmeSsd, "ssd0");
+        gpu0 = graph.addNode(NodeKind::Gpu, "gpu0");
+        gpu1 = graph.addNode(NodeKind::Gpu, "gpu1");
+        leg0 = graph.connect(gpu0, sw, "pcie.gpu0",
+                             props(bandwidth, mode));
+        leg1 = graph.connect(gpu1, sw, "pcie.gpu1",
+                             props(bandwidth, mode));
+        uplink = graph.connect(sw, host, "pcie.uplink",
+                               props(bandwidth, mode));
+        nvme = graph.connect(host, ssd, "nvme0", props(bandwidth, mode));
+    }
+};
+
+TEST(Topology, RoutesFewestHopsDeterministically)
+{
+    Star star;
+    const Route route = star.graph.route(star.gpu0, star.host);
+    ASSERT_EQ(route.hopCount(), 2u);
+    EXPECT_EQ(route.hops[0].link, star.leg0);
+    EXPECT_EQ(route.hops[0].direction, Direction::Out); // gpu0 is `a`
+    EXPECT_EQ(route.hops[1].link, star.uplink);
+    EXPECT_EQ(route.hops[1].direction, Direction::Out);
+
+    // GPU -> SSD threads through the switch and host.
+    EXPECT_EQ(star.graph.route(star.gpu0, star.ssd).hopCount(), 3u);
+    // Self-route is empty.
+    EXPECT_TRUE(star.graph.route(star.host, star.host).empty());
+}
+
+TEST(Topology, ReversedRouteFlipsHopsAndDirections)
+{
+    Star star;
+    const Route out = star.graph.route(star.gpu1, star.host);
+    const Route back = out.reversed();
+    EXPECT_EQ(back.from, star.host);
+    EXPECT_EQ(back.to, star.gpu1);
+    ASSERT_EQ(back.hopCount(), 2u);
+    EXPECT_EQ(back.hops[0].link, star.uplink);
+    EXPECT_EQ(back.hops[0].direction, Direction::In);
+    EXPECT_EQ(back.hops[1].link, star.leg1);
+    EXPECT_EQ(back.hops[1].direction, Direction::In);
+}
+
+TEST(Topology, EqualLengthTieBreaksTowardLowestLinkId)
+{
+    // A diamond: two 2-hop paths from src to dst.
+    Topology graph;
+    const NodeId src = graph.addNode(NodeKind::Gpu, "src");
+    const NodeId mid_a = graph.addNode(NodeKind::PcieSwitch, "mid_a");
+    const NodeId mid_b = graph.addNode(NodeKind::PcieSwitch, "mid_b");
+    const NodeId dst = graph.addNode(NodeKind::HostDram, "dst");
+    const LinkId a0 = graph.connect(src, mid_a, "a0", props(100.0));
+    graph.connect(src, mid_b, "b0", props(100.0));
+    const LinkId a1 = graph.connect(mid_a, dst, "a1", props(100.0));
+    graph.connect(mid_b, dst, "b1", props(100.0));
+
+    const Route route = graph.route(src, dst);
+    ASSERT_EQ(route.hopCount(), 2u);
+    EXPECT_EQ(route.hops[0].link, a0);
+    EXPECT_EQ(route.hops[1].link, a1);
+}
+
+TEST(Topology, NodeKindLookups)
+{
+    Star star;
+    EXPECT_EQ(star.graph.firstNode(NodeKind::Gpu), star.gpu0);
+    EXPECT_EQ(star.graph.firstNode(NodeKind::HostDram), star.host);
+    EXPECT_EQ(star.graph.nodesOfKind(NodeKind::Gpu),
+              (std::vector<NodeId>{star.gpu0, star.gpu1}));
+    EXPECT_EQ(star.graph.linksAt(star.sw).size(), 3u);
+}
+
+TEST(LinkNetwork, ConservesBytesAcrossEveryCut)
+{
+    Star star;
+    EventQueue queue;
+    LinkNetwork network(queue, star.graph);
+
+    // gpu0 and gpu1 each push 1000 host-bound bytes; host pushes 400
+    // back to gpu1. Every graph cut must see exactly the bytes that
+    // crossed it.
+    network.submit(star.graph.route(star.gpu0, star.host), 1000, {});
+    network.submit(star.graph.route(star.gpu1, star.host), 1000, {});
+    network.submit(star.graph.route(star.host, star.gpu1), 400, {});
+    queue.run();
+
+    EXPECT_EQ(network.edgeBytes(star.leg0, Direction::Out), 1000u);
+    EXPECT_EQ(network.edgeBytes(star.leg1, Direction::Out), 1000u);
+    // The uplink cut sees both GPUs' offload bytes...
+    EXPECT_EQ(network.edgeBytes(star.uplink, Direction::Out), 2000u);
+    // ...and the prefetch bytes in the opposite direction.
+    EXPECT_EQ(network.edgeBytes(star.uplink, Direction::In), 400u);
+    EXPECT_EQ(network.edgeBytes(star.leg1, Direction::In), 400u);
+    EXPECT_EQ(network.edgeBytes(star.leg0, Direction::In), 0u);
+    // Nothing was routed to the SSD tier.
+    EXPECT_EQ(network.edgeBytes(star.nvme, Direction::Out), 0u);
+    EXPECT_EQ(network.edgeBytes(star.nvme, Direction::In), 0u);
+}
+
+TEST(LinkNetwork, MultiHopStoreAndForwardChainsServices)
+{
+    Star star(100.0);
+    EventQueue queue;
+    LinkNetwork network(queue, star.graph);
+
+    RouteGrant grant;
+    network.submit(star.graph.route(star.gpu0, star.host), 100,
+                   [&](const RouteGrant &g) { grant = g; });
+    queue.run();
+
+    // Two idle 100 B/s hops at 100 bytes each: 1 s per hop, chained.
+    EXPECT_NEAR(grant.start, 0.0, 1e-12);
+    EXPECT_NEAR(grant.end, 2.0, 1e-12);
+    EXPECT_NEAR(grant.service_seconds, 2.0, 1e-12);
+    EXPECT_NEAR(grant.opposing_wait, 0.0, 1e-12);
+    EXPECT_NEAR(grant.cross_source_wait, 0.0, 1e-12);
+}
+
+TEST(LinkNetwork, PerEdgeBusyTimeBoundsMakespan)
+{
+    Star star(100.0, DuplexMode::Half);
+    EventQueue queue;
+    LinkNetwork network(queue, star.graph);
+
+    for (int i = 0; i < 3; ++i) {
+        network.submit(star.graph.route(star.gpu0, star.host), 100, {},
+                       0.0, 0);
+        network.submit(star.graph.route(star.gpu1, star.host), 100, {},
+                       0.0, 1);
+    }
+    queue.run();
+    const SimTime makespan = queue.now();
+
+    // Each edge's occupied wall-clock never exceeds the makespan, and
+    // the bottleneck (uplink) carries all 6 crossings: 6 s of service.
+    for (LinkId l = 0; l < star.graph.linkCount(); ++l) {
+        EXPECT_LE(network.channel(l).occupiedSeconds(),
+                  makespan + 1e-12);
+        EXPECT_LE(network.utilization(l), 1.0 + 1e-12);
+    }
+    EXPECT_NEAR(network.channel(star.uplink).busySeconds(), 6.0, 1e-9);
+    // The serialized uplink paces the run: makespan >= its busy time.
+    EXPECT_GE(makespan, 6.0 - 1e-12);
+}
+
+TEST(LinkNetwork, ExtraLatencyRidesTheFirstHopOnly)
+{
+    Star star(100.0);
+    EventQueue queue;
+    LinkNetwork network(queue, star.graph);
+    RouteGrant grant;
+    network.submit(star.graph.route(star.gpu0, star.host), 100,
+                   [&](const RouteGrant &g) { grant = g; }, 0.5);
+    queue.run();
+    EXPECT_NEAR(grant.end, 2.5, 1e-12);
+}
+
+TEST(LinkNetwork, EmptyRouteCompletesImmediately)
+{
+    Star star;
+    EventQueue queue;
+    LinkNetwork network(queue, star.graph);
+    RouteGrant grant{-1.0, -1.0, -1.0, -1.0, -1.0, -1.0};
+    network.submit(star.graph.route(star.host, star.host), 100,
+                   [&](const RouteGrant &g) { grant = g; });
+    queue.run();
+    EXPECT_NEAR(grant.end, 0.0, 1e-12);
+    EXPECT_NEAR(grant.service_seconds, 0.0, 1e-12);
+}
+
+TEST(LinkNetwork, CrossSourceWaitAttributesForeignTraffic)
+{
+    // One shared edge, two sources, same direction: the second source's
+    // transfer waits exactly the first's service time, and that wait is
+    // attributed as cross-source (not opposing-direction) stall.
+    auto topo = Topology::pcieLink(100.0);
+    EventQueue queue;
+    LinkNetwork network(queue, *topo);
+    const Route route = topo->route(topo->firstNode(NodeKind::Gpu),
+                                    topo->firstNode(NodeKind::HostDram));
+    RouteGrant first, second;
+    network.submit(route, 100, [&](const RouteGrant &g) { first = g; },
+                   0.0, /*source=*/0);
+    network.submit(route, 100, [&](const RouteGrant &g) { second = g; },
+                   0.0, /*source=*/1);
+    queue.run();
+
+    EXPECT_NEAR(first.cross_source_wait, 0.0, 1e-12);
+    EXPECT_NEAR(second.cross_source_wait, 1.0, 1e-12);
+    EXPECT_NEAR(second.end, 2.0, 1e-12);
+    // Same two transfers under one tag: no cross-source stall at all.
+    EventQueue queue2;
+    LinkNetwork network2(queue2, *topo);
+    RouteGrant tagged;
+    network2.submit(route, 100, {});
+    network2.submit(route, 100,
+                    [&](const RouteGrant &g) { tagged = g; });
+    queue2.run();
+    EXPECT_NEAR(tagged.cross_source_wait, 0.0, 1e-12);
+}
+
+/**
+ * The compatibility anchor: on the degenerate two-node graph, a routed
+ * submission's grant must match a raw DuplexChannel submission's grant
+ * field for field, for both duplex modes, with mixed directions in
+ * flight.
+ */
+class TwoNodePinEquivalence
+    : public ::testing::TestWithParam<DuplexMode>
+{
+};
+
+TEST_P(TwoNodePinEquivalence, RoutedGrantsMatchRawChannelGrants)
+{
+    const DuplexMode mode = GetParam();
+    const double bandwidth = 100.0;
+
+    // Mixed schedule: interleaved offloads and prefetches of varying
+    // sizes, submitted at staggered times.
+    struct Sub {
+        SimTime at;
+        Direction direction;
+        uint64_t bytes;
+    };
+    const std::vector<Sub> schedule = {
+        {0.0, Direction::Out, 150}, {0.0, Direction::In, 100},
+        {0.5, Direction::Out, 50},  {1.25, Direction::In, 300},
+        {1.25, Direction::Out, 75}, {4.0, Direction::In, 25},
+    };
+
+    // Reference: the raw channel.
+    std::vector<DuplexChannel::Grant> raw(schedule.size());
+    {
+        EventQueue queue;
+        DuplexChannel channel(queue, "pcie", bandwidth, mode);
+        for (size_t i = 0; i < schedule.size(); ++i) {
+            queue.scheduleAt(schedule[i].at, [&, i] {
+                channel.submit(schedule[i].direction, schedule[i].bytes,
+                               [&raw, i](const DuplexChannel::Grant &g) {
+                                   raw[i] = g;
+                               });
+            });
+        }
+        queue.run();
+    }
+
+    // Same schedule routed over the two-node graph.
+    std::vector<RouteGrant> routed(schedule.size());
+    {
+        auto topo = Topology::pcieLink(bandwidth, mode);
+        EventQueue queue;
+        LinkNetwork network(queue, *topo);
+        const Route out =
+            topo->route(topo->firstNode(NodeKind::Gpu),
+                        topo->firstNode(NodeKind::HostDram));
+        const Route in = out.reversed();
+        for (size_t i = 0; i < schedule.size(); ++i) {
+            queue.scheduleAt(schedule[i].at, [&, i] {
+                network.submit(
+                    schedule[i].direction == Direction::Out ? out : in,
+                    schedule[i].bytes,
+                    [&routed, i](const RouteGrant &g) { routed[i] = g; });
+            });
+        }
+        queue.run();
+    }
+
+    for (size_t i = 0; i < schedule.size(); ++i) {
+        EXPECT_NEAR(routed[i].queued_at, raw[i].queued_at, 1e-9) << i;
+        EXPECT_NEAR(routed[i].start, raw[i].start, 1e-9) << i;
+        EXPECT_NEAR(routed[i].end, raw[i].end, 1e-9) << i;
+        EXPECT_NEAR(routed[i].service_seconds, raw[i].end - raw[i].start,
+                    1e-9)
+            << i;
+        EXPECT_NEAR(routed[i].opposing_wait, raw[i].opposing_wait, 1e-9)
+            << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, TwoNodePinEquivalence,
+                         ::testing::Values(DuplexMode::Full,
+                                           DuplexMode::Half));
+
+TEST(Topology, PcieLinkIsTheDegenerateTwoNodeGraph)
+{
+    auto topo = Topology::pcieLink(16e9, DuplexMode::Half,
+                                   LinkArbiter::OffloadFirst);
+    EXPECT_EQ(topo->nodeCount(), 2u);
+    ASSERT_EQ(topo->linkCount(), 1u);
+    const TopologyLink &link = topo->link(0);
+    EXPECT_DOUBLE_EQ(link.props.bytes_per_second, 16e9);
+    EXPECT_EQ(link.props.mode, DuplexMode::Half);
+    EXPECT_EQ(link.props.arbiter, LinkArbiter::OffloadFirst);
+    EXPECT_EQ(topo->route(topo->firstNode(NodeKind::Gpu),
+                          topo->firstNode(NodeKind::HostDram))
+                  .hopCount(),
+              1u);
+}
+
+} // namespace
+} // namespace cdma
