@@ -1,22 +1,51 @@
 #!/usr/bin/env python3
-"""Validate BENCH_kernel_throughput.json for the CI bench smoke job.
+"""Validate and perf-gate BENCH_kernel_throughput.json.
 
-The perf-trajectory tooling keys on four things per kernel benchmark:
-the algorithm (from the benchmark family name), the kernel backend (an
-optional ``Scalar``/``Avx2`` family suffix for the explicit per-backend
-sweeps, plus the dispatcher's choice recorded in the JSON context as
-``kernel_backend``), the activation density (the benchmark argument),
-and the achieved throughput (``bytes_per_second``, reported as GB/s).
-A refactor that renames a family, drops the density argument, stops
-calling ``SetBytesProcessed`` or loses the backend context silently
-breaks the trajectory; this script fails the job instead. It also fails
-when an AVX2-capable host silently dispatched to the scalar backend
-(a broken CPUID path would otherwise masquerade as a perf regression) —
-unless CDMA_KERNEL_BACKEND=scalar was an explicit request.
+Two layers, both exercised by the CI bench smoke job:
 
-Usage: bench/check_bench_json.py [path/to/BENCH_kernel_throughput.json]
+**Schema check** (always on). The perf-trajectory tooling keys on four
+things per kernel benchmark: the algorithm (from the benchmark family
+name), the kernel backend (an optional ``Scalar``/``Avx2``/``Avx512``
+family suffix for the explicit per-backend sweeps, plus the
+dispatcher's choice recorded in the JSON context as ``kernel_backend``),
+the activation density (the benchmark argument), and the achieved
+throughput (``bytes_per_second``, reported as GB/s). A refactor that
+renames a family, drops the density argument, stops calling
+``SetBytesProcessed`` or loses the backend context silently breaks the
+trajectory; this script fails the job instead. It also fails when a
+SIMD-capable host silently dispatched to a narrower backend (a broken
+CPUID path would otherwise masquerade as a perf regression) — unless
+CDMA_KERNEL_BACKEND requested exactly that backend.
+
+**Perf-regression gate** (``--baseline``). Compares every recorded
+``BM_*`` row of the baseline report against the same-named row of the
+validated report and fails on a throughput drop beyond
+``--regression-tolerance`` (default 25%, tuned for the ~13%
+run-to-run CV of the 1-core recording container). Only same-backend
+rows are gated: rows whose family pins the backend in its suffix
+always compare; suffix-less rows ride the runtime dispatch and compare
+only when both reports dispatched the same backend. Rows absent from
+either report are skipped (avx512 rows exist only in reports recorded
+on AVX-512 hosts), unless the validated report's producer supports the
+row's backend — then a vanished family is a trajectory break, not a
+host difference. A per-family allowlist (``--allow-regression`` plus
+the built-in defaults) exempts rows that are measurement-only on this
+host: parallel fan-out (1-core container measures overhead, not
+scaling) and the fleet DES model rates.
+
+``--self-test`` proves the gate actually trips: it injects a 2x
+slowdown into one gated row of the committed report and fails unless
+the comparison catches it (and passes an unmodified copy).
+
+Usage:
+  bench/check_bench_json.py [report.json]                 schema check
+  bench/check_bench_json.py fresh.json --baseline committed.json \
+      [--regression-tolerance 0.25] [--allow-regression FAMILY]...
+  bench/check_bench_json.py --self-test [report.json]
 """
 
+import argparse
+import copy
 import json
 import os
 import re
@@ -47,12 +76,22 @@ FLEET_FAMILIES = ("BM_FleetOffloadN2", "BM_FleetOffloadN4",
 # tax the robustness layer added.
 CRC_SCALAR_FAMILY = "BM_Crc32Scalar"
 CRC_HW_FAMILY = "BM_Crc32Hw"
-KNOWN_BACKENDS = ("scalar", "avx2")
+# Widest first: the silent-fallback check expects the dispatcher to
+# pick the widest backend the producing host supports.
+KNOWN_BACKENDS = ("avx512", "avx2", "scalar")
+BACKEND_SUFFIXES = ("Scalar", "Avx512", "Avx2", "Hw")
 KNOWN_DUPLEX_MODES = ("full_duplex", "half_duplex")
 NAME_RE = re.compile(r"^BM_([A-Za-z0-9]+?)(Compress|Decompress|CycleModel|"
                      r"EngineCycleModel|TransferModel(?:Full|Half))?"
-                     r"(Parallel)?(Scalar|Avx2|Hw)?"
+                     r"(Parallel)?(Scalar|Avx512|Avx2|Hw)?"
                      r"(/\d+)*(/[a-z_]+)*$")
+# Rows that are measurement-only on the recording host and therefore
+# exempt from the regression gate by default: the parallel fan-out
+# families (the 1-core container measures fan-out overhead, not
+# scaling — see docs/performance.md) and the fleet DES model rates
+# (host-side modeling speed of a contention sweep, dominated by event
+# count, gated separately via their contention counters).
+DEFAULT_ALLOWED_REGRESSIONS = re.compile(r"Parallel|^BM_FleetOffload")
 
 
 def fail(message: str) -> None:
@@ -60,21 +99,25 @@ def fail(message: str) -> None:
     sys.exit(1)
 
 
-def producer_supports_avx2(context: dict) -> bool:
-    """AVX2 capability of the machine that PRODUCED the report.
+def producer_supports(context: dict, backend: str) -> bool:
+    """Capability of the machine that PRODUCED the report.
 
-    Preferred source is the ``host_avx2`` context field the bench
-    binary records (its own CPUID probe), so validating a report on a
-    different machine judges the producer, not the validator. Reports
-    that predate the field fall back to probing this host's
-    /proc/cpuinfo (Linux best-effort; absence of evidence -> False).
+    Preferred source is the ``host_avx2``/``host_avx512`` context field
+    the bench binary records (its own CPUID probe), so validating a
+    report on a different machine judges the producer, not the
+    validator. Reports that predate the field fall back to probing this
+    host's /proc/cpuinfo (Linux best-effort; absence of evidence ->
+    False).
     """
-    recorded = context.get("host_avx2")
+    if backend == "scalar":
+        return True
+    recorded = context.get(f"host_{backend}")
     if recorded is not None:
         return recorded == "true"
+    flag = {"avx2": "avx2", "avx512": "avx512f"}[backend]
     try:
         with open("/proc/cpuinfo", encoding="utf-8") as handle:
-            return any("avx2" in line for line in handle
+            return any(flag in line for line in handle
                        if line.startswith("flags"))
     except OSError:
         return False
@@ -96,11 +139,13 @@ def check_backend_context(report: dict) -> str:
     # reports that predate the provenance field.
     forced = context.get("kernel_backend_forced",
                          os.environ.get("CDMA_KERNEL_BACKEND", ""))
-    if (backend == "scalar" and forced != "scalar"
-            and producer_supports_avx2(context)):
-        fail("the producing host supports AVX2 but the bench dispatched "
-             "to the scalar backend without CDMA_KERNEL_BACKEND=scalar "
-             "— the CPUID dispatch path silently fell back")
+    widest = next(b for b in KNOWN_BACKENDS
+                  if producer_supports(context, b))
+    if backend != widest and forced != backend:
+        fail(f"the producing host supports {widest} but the bench "
+             f"dispatched to the {backend} backend without "
+             f"CDMA_KERNEL_BACKEND={backend} — the CPUID dispatch path "
+             "silently fell back")
     return backend
 
 
@@ -123,16 +168,17 @@ def check_duplex_context(report: dict) -> str:
     return mode
 
 
-def main() -> None:
-    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_kernel_throughput.json"
+def load_report(path: str) -> dict:
     try:
         with open(path, encoding="utf-8") as handle:
-            report = json.load(handle)
+            return json.load(handle)
     except FileNotFoundError:
         fail(f"{path} is missing (did the bench binary run?)")
     except json.JSONDecodeError as error:
         fail(f"{path} is not valid JSON: {error}")
 
+
+def check_schema(report: dict, path: str) -> str:
     backend = check_backend_context(report)
     duplex_mode = check_duplex_context(report)
 
@@ -205,19 +251,28 @@ def main() -> None:
     if CRC_SCALAR_FAMILY not in seen_families:
         fail(f"{CRC_SCALAR_FAMILY} absent: the CRC framing row lost its "
              "scalar reference leg")
+    context = report.get("context", {})
     if (CRC_HW_FAMILY not in seen_families
-            and producer_supports_avx2(report.get("context", {}))):
+            and producer_supports(context, "avx2")):
         fail(f"{CRC_HW_FAMILY} absent although the producing host has "
              "the hardware CRC32C instruction")
+    # avx512 rows are required exactly when the producing host can run
+    # them (the gate tolerates their absence in reports from narrower
+    # hosts); a capable host missing them lost half the trajectory.
+    if producer_supports(context, "avx512"):
+        for family in ("BM_ZvcCompressAvx512", "BM_ZvcDecompressAvx512"):
+            if family not in seen_families:
+                fail(f"{family} absent although the producing host has "
+                     "AVX-512")
 
     # When an explicit per-backend sweep ran at all, its scalar leg must
     # be part of it (scalar is supported everywhere, so its absence means
     # the sweep was cut down in a way the trajectory would misread).
     # Compress and decompress sweeps are judged separately: a refactor
-    # that drops only the BM_*Decompress{Scalar,Avx2} mirrors must not
-    # hide behind the compress families.
+    # that drops only the BM_*Decompress{Scalar,Avx2,Avx512} mirrors
+    # must not hide behind the compress families.
     backend_families = {f for f in seen_families
-                        if f.endswith(("Scalar", "Avx2"))}
+                        if f.endswith(("Scalar", "Avx2", "Avx512"))}
     decompress_backends = {f for f in backend_families
                            if "Decompress" in f}
     compress_backends = backend_families - decompress_backends
@@ -243,6 +298,178 @@ def main() -> None:
           f"duplex={duplex_mode})")
     for line in summary:
         print(f"  {line}")
+    return backend
+
+
+def row_backend(family: str) -> str:
+    """Backend a family name pins, or '' for runtime-dispatch rows."""
+    for suffix in BACKEND_SUFFIXES:
+        if family.endswith(suffix):
+            return suffix.lower() if suffix != "Hw" else "avx2"
+    return ""
+
+
+def throughput_rows(report: dict) -> dict:
+    rows = {}
+    for entry in report.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            continue
+        bps = entry.get("bytes_per_second")
+        name = entry.get("name")
+        if name and isinstance(bps, (int, float)) and bps > 0:
+            rows[name] = bps
+    return rows
+
+
+def gate_regressions(baseline: dict, fresh: dict, tolerance: float,
+                     allowed: list) -> tuple:
+    """Compare per-row throughput; return (regressions, skipped, gated).
+
+    regressions: list of (name, base_bps, fresh_bps) beyond tolerance.
+    skipped: human-readable notes about rows not gated and why.
+    gated: count of rows actually compared.
+    """
+    base_rows = throughput_rows(baseline)
+    fresh_rows = throughput_rows(fresh)
+    base_backend = baseline.get("context", {}).get("kernel_backend")
+    fresh_backend = fresh.get("context", {}).get("kernel_backend")
+    fresh_context = fresh.get("context", {})
+
+    regressions, skipped = [], []
+    gated = 0
+    for name, base_bps in sorted(base_rows.items()):
+        family = name.split("/")[0]
+        if (DEFAULT_ALLOWED_REGRESSIONS.search(family)
+                or family in allowed):
+            skipped.append(f"{name}: allowlisted (measurement-only row)")
+            continue
+        pinned = row_backend(family)
+        if not pinned and base_backend != fresh_backend:
+            skipped.append(f"{name}: dispatch row, backends differ "
+                           f"({base_backend} vs {fresh_backend})")
+            continue
+        if name not in fresh_rows:
+            # Host difference (e.g. avx512 rows validated on a narrower
+            # machine) is fine; a capable host losing the row is not.
+            if pinned and not producer_supports(fresh_context, pinned):
+                skipped.append(f"{name}: absent, host lacks {pinned}")
+                continue
+            regressions.append((name, base_bps, None))
+            continue
+        gated += 1
+        if fresh_rows[name] < base_bps * (1.0 - tolerance):
+            regressions.append((name, base_bps, fresh_rows[name]))
+    return regressions, skipped, gated
+
+
+def run_gate(baseline_path: str, fresh: dict, fresh_path: str,
+             tolerance: float, allowed: list, verbose: bool) -> None:
+    baseline = load_report(baseline_path)
+    regressions, skipped, gated = gate_regressions(baseline, fresh,
+                                                   tolerance, allowed)
+    if verbose:
+        for note in skipped:
+            print(f"  skip {note}")
+    print(f"check_bench_json: gate compared {gated} rows against "
+          f"{baseline_path} (tolerance {tolerance:.0%}, "
+          f"{len(skipped)} skipped)")
+    if regressions:
+        for name, base_bps, fresh_bps in regressions:
+            if fresh_bps is None:
+                print(f"  MISSING {name}: in baseline "
+                      f"({base_bps / 1e9:.2f} GB/s) but not in "
+                      f"{fresh_path}, and the host supports it",
+                      file=sys.stderr)
+            else:
+                print(f"  REGRESSION {name}: {base_bps / 1e9:.2f} -> "
+                      f"{fresh_bps / 1e9:.2f} GB/s "
+                      f"({fresh_bps / base_bps:.2f}x)", file=sys.stderr)
+        fail(f"{len(regressions)} benchmark row(s) regressed beyond "
+             f"{tolerance:.0%} (use --allow-regression FAMILY for rows "
+             "that are measurement-only on this host)")
+
+
+def self_test(path: str, tolerance: float) -> None:
+    """Prove the gate trips on an injected 2x slowdown (and only then)."""
+    report = load_report(path)
+    # Pick a gated row: serial, non-allowlisted, backend-pinned (so the
+    # comparison never skips it for a dispatch mismatch).
+    victim = None
+    for entry in report.get("benchmarks", []):
+        name = entry.get("name", "")
+        family = name.split("/")[0]
+        if (entry.get("run_type") != "aggregate"
+                and isinstance(entry.get("bytes_per_second"), (int, float))
+                and entry.get("bytes_per_second", 0) > 0
+                and row_backend(family)
+                and not DEFAULT_ALLOWED_REGRESSIONS.search(family)):
+            victim = name
+            break
+    if victim is None:
+        fail(f"self-test: no gateable per-backend row in {path}")
+
+    slowed = copy.deepcopy(report)
+    for entry in slowed["benchmarks"]:
+        if entry.get("name") == victim:
+            entry["bytes_per_second"] /= 2.0
+
+    caught, _, _ = gate_regressions(report, slowed, tolerance, [])
+    if not [r for r in caught if r[0] == victim]:
+        fail(f"self-test: gate MISSED an injected 2x slowdown on "
+             f"{victim} at tolerance {tolerance:.0%}")
+    clean, _, gated = gate_regressions(report, copy.deepcopy(report),
+                                       tolerance, [])
+    if clean:
+        fail("self-test: gate false-positived on an identical report: "
+             + ", ".join(name for name, *_ in clean))
+    if gated == 0:
+        fail("self-test: gate compared zero rows of an identical report")
+    print(f"check_bench_json: self-test OK (injected 2x slowdown on "
+          f"{victim} caught at {tolerance:.0%}; identical report passes "
+          f"{gated} rows)")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="Validate (and optionally perf-gate) the kernel "
+                    "throughput JSON.")
+    parser.add_argument("report", nargs="?",
+                        default="BENCH_kernel_throughput.json",
+                        help="report to validate (the fresh run in gate "
+                             "mode)")
+    parser.add_argument("--baseline", metavar="PATH",
+                        help="gate mode: fail on rows regressing beyond "
+                             "the tolerance relative to this report "
+                             "(typically the committed trajectory)")
+    parser.add_argument("--regression-tolerance", type=float, default=0.25,
+                        metavar="FRAC",
+                        help="allowed fractional throughput drop per row "
+                             "(default 0.25, tuned for the 1-core "
+                             "container's ~13%% CV)")
+    parser.add_argument("--allow-regression", action="append", default=[],
+                        metavar="FAMILY",
+                        help="additionally exempt this family from the "
+                             "gate (repeatable); parallel fan-out and "
+                             "fleet model rows are exempt by default")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate catches an injected 2x "
+                             "slowdown in the report, then exit")
+    parser.add_argument("--verbose", action="store_true",
+                        help="explain every skipped row in gate mode")
+    args = parser.parse_args()
+
+    if not 0.0 <= args.regression_tolerance < 1.0:
+        fail("--regression-tolerance must be in [0, 1)")
+    if args.self_test:
+        self_test(args.report, args.regression_tolerance)
+        return
+
+    report = load_report(args.report)
+    check_schema(report, args.report)
+    if args.baseline:
+        run_gate(args.baseline, report, args.report,
+                 args.regression_tolerance, args.allow_regression,
+                 args.verbose)
 
 
 if __name__ == "__main__":

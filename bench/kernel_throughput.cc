@@ -15,11 +15,13 @@
  * The kernel backend the dispatcher chose is recorded in the JSON
  * context as "kernel_backend" (validated by bench/check_bench_json.py),
  * and explicit per-backend families in both directions
- * (BM_<Algo>CompressScalar / BM_<Algo>CompressAvx2 and the
- * BM_<Algo>Decompress{Scalar,Avx2} expand-side mirrors) are registered
- * for every backend this CPU supports, so the checked-in trajectory
- * carries scalar and SIMD numbers side by side for the offload AND
- * prefetch legs.
+ * (BM_<Algo>Compress{Scalar,Avx2,Avx512} and the
+ * BM_<Algo>Decompress{Scalar,Avx2,Avx512} expand-side mirrors) are
+ * registered for every backend this CPU supports, so the checked-in
+ * trajectory carries scalar and SIMD numbers side by side for the
+ * offload AND prefetch legs — avx512 rows appear only when the
+ * recording host has AVX512F/BW/VL (the host_avx512 context field
+ * records which case this JSON is).
  */
 
 #include <cctype>
@@ -472,6 +474,9 @@ main(int argc, char **argv)
                                 forced != nullptr ? forced : "");
     benchmark::AddCustomContext(
         "host_avx2", cdma::avx2Kernels() != nullptr ? "true" : "false");
+    benchmark::AddCustomContext(
+        "host_avx512",
+        cdma::avx512Kernels() != nullptr ? "true" : "false");
     // The engine-default link configuration the duplex-model families
     // were priced under (the explicit Full/Half family suffixes sweep
     // both regardless); check_bench_json.py validates the field.

@@ -2,14 +2,23 @@
 # Run the kernel-throughput microbenchmarks and record the results as
 # BENCH_kernel_throughput.json at the repo root, so successive PRs have a
 # perf trajectory to compare against. The recorded families cover both
-# pipeline directions: BM_*Compress{,Scalar,Avx2} for the offload leg
-# and BM_*Decompress{,Scalar,Avx2} for the prefetch (expand) leg —
-# bench/check_bench_json.py validates both sets.
+# pipeline directions: BM_*Compress{,Scalar,Avx2,Avx512} for the offload
+# leg and BM_*Decompress{,Scalar,Avx2,Avx512} for the prefetch (expand)
+# leg — bench/check_bench_json.py validates both sets.
+#
+# When the output path would overwrite an existing recording, the fresh
+# run is perf-gated against it first (check_bench_json.py --baseline):
+# a >BENCH_TOLERANCE throughput drop on any same-backend row aborts
+# before the trajectory is clobbered, so a regression has to be looked
+# at (or explicitly waved through) instead of silently becoming the new
+# baseline.
 #
 # Usage: bench/run_kernel_bench.sh [extra google-benchmark flags...]
 # Env: BUILD_DIR overrides the build tree, BENCH_OUT the output path
 # (e.g. a scratch file for the CI smoke run, so a reduced-iteration run
-# never overwrites the checked-in trajectory numbers).
+# never overwrites the checked-in trajectory numbers),
+# BENCH_TOLERANCE the gate's fractional tolerance (default 0.25),
+# BENCH_NO_GATE=1 skips the gate (first recording on a new host class).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -23,10 +32,30 @@ if [[ ! -x "${binary}" ]]; then
     cmake --build "${build_dir}" --target kernel_throughput -j"$(nproc)"
 fi
 
+# Record into a temp file next to the destination so a gate failure (or
+# a crashed run) never leaves a half-written trajectory behind.
+tmp="$(mktemp "${out}.XXXXXX")"
+trap 'rm -f "${tmp}"' EXIT
+
 "${binary}" \
     --benchmark_format=json \
-    --benchmark_out="${out}" \
+    --benchmark_out="${tmp}" \
     --benchmark_out_format=json \
     "$@"
 
+if [[ -f "${out}" && "${BENCH_NO_GATE:-0}" != "1" ]]; then
+    python3 "${repo_root}/bench/check_bench_json.py" "${tmp}" \
+        --baseline "${out}" \
+        --regression-tolerance "${BENCH_TOLERANCE:-0.25}" || {
+        echo "refusing to overwrite ${out}: the fresh run regressed" \
+             "(rerun with BENCH_NO_GATE=1 to force, or raise" \
+             "BENCH_TOLERANCE)" >&2
+        exit 1
+    }
+else
+    python3 "${repo_root}/bench/check_bench_json.py" "${tmp}"
+fi
+
+mv "${tmp}" "${out}"
+trap - EXIT
 echo "wrote ${out}" >&2

@@ -283,6 +283,20 @@ struct TransferConfig {
     /** Which pending direction a contended link serves next. */
     LinkArbiter link_arbiter = LinkArbiter::RoundRobin;
     /**
+     * GPU-memory budget for the step simulator's boundary prefetch
+     * lookahead, in bytes. At the forward/backward boundary the head
+     * prefetch is parked behind its own draining offload; rather than
+     * idle the inbound link, the simulator issues further prefetches in
+     * backward order. With a budget set, it issues as many as fit —
+     * every map vDNN freed during forward can land back as soon as the
+     * link allows, so the natural setting is the freed working set
+     * (MemoryFootprint::freedBytes()). 0 means the capacity is not
+     * modeled: the simulator falls back to the fixed staging_buffers-1
+     * lookahead (the pre-capacity behavior, pinned by tests as the
+     * degenerate case).
+     */
+    uint64_t prefetch_lookahead_bytes = 0;
+    /**
      * Optional link fault process (non-owning; the caller keeps the
      * injector alive for the engine's lifetime). When set, the arena
      * transfer flows sample per-crossing damage from it — detected by

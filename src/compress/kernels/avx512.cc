@@ -1,0 +1,309 @@
+/**
+ * @file
+ * AVX-512 kernel backend. The ZVC primitives stop simulating the
+ * hardware shift network and *use* it: `vpcompressd` performs the
+ * mask-driven left-pack of a 16-word sub-block in one instruction (no
+ * shuffle table — the 2 KB AVX2 lookup disappears), and `vpexpandd` is
+ * its exact inverse for the prefetch-side scatter, with the masked
+ * expand-load keeping every access inside the live payload bytes.
+ * Mask formation is `vptestmd`/`vpcmpeqd` into mask registers (no
+ * movemask round trip through the integer file), run scans and match
+ * extension stride 64 bytes per probe with a mask-register test
+ * (`kortest`) as the early exit, and the byte-sink ops use unaligned
+ * 512-bit loads/stores with a scalar tail. Sub-16-word tails ride
+ * masked loads/stores instead of scalar loops, so even a 9-word group
+ * is a single masked op.
+ *
+ * Compiled with per-function target attributes so the translation unit
+ * builds on any x86-64 toolchain regardless of -march; whether the code
+ * ever runs is a CPUID decision made in dispatch.cc (AVX512F for the
+ * dword ops, AVX512BW for the byte-granular compares).
+ *
+ * Output contract: byte-identical to the scalar backend for every op.
+ */
+
+#include "compress/kernels/kernels.hh"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstring>
+
+namespace cdma {
+
+namespace {
+
+#define CDMA_AVX512 __attribute__((target("avx512f,avx512bw,avx512vl")))
+
+CDMA_AVX512 uint32_t
+zvcCompactGroupAvx512(const uint8_t *src, uint32_t words, uint8_t *dst)
+{
+    uint32_t mask = 0;
+    uint32_t w = 0;
+    while (w + 16 <= words) {
+        const __m512i v = _mm512_loadu_si512(src + w * 4);
+        // vptestmd: one instruction from vector to non-zero lane mask —
+        // no compare-and-movemask round trip.
+        const __mmask16 nz = _mm512_test_epi32_mask(v, v);
+        // All-zero sub-blocks (the common case in sparse activation
+        // pages) emit nothing and skip the store entirely.
+        if (nz != 0) {
+            // vpcompressd: the hardware left-pack. Exactly
+            // 4 * popcount(nz) bytes are written, so the write pointer
+            // never lags — no scratch headroom consumed at all.
+            _mm512_mask_compressstoreu_epi32(dst, nz, v);
+            dst += 4u * static_cast<uint32_t>(
+                std::popcount(static_cast<uint32_t>(nz)));
+            mask |= static_cast<uint32_t>(nz) << w;
+        }
+        w += 16;
+    }
+    // Sub-block tail (1..15 words): one masked load keeps the read
+    // inside the group, then the same testm + compress-store sequence.
+    if (w < words) {
+        const __mmask16 live = static_cast<__mmask16>(
+            (1u << (words - w)) - 1u);
+        const __m512i v = _mm512_maskz_loadu_epi32(live, src + w * 4);
+        const __mmask16 nz = _mm512_test_epi32_mask(v, v);
+        if (nz != 0) {
+            _mm512_mask_compressstoreu_epi32(dst, nz, v);
+            mask |= static_cast<uint32_t>(nz) << w;
+        }
+    }
+    return mask;
+}
+
+CDMA_AVX512 uint32_t
+zvcExpandGroupAvx512(const uint8_t *src, uint32_t mask, uint32_t words,
+                     uint8_t *dst)
+{
+    size_t consumed = 0;
+    uint32_t w = 0;
+    while (w + 16 <= words) {
+        const __mmask16 m =
+            static_cast<__mmask16>((mask >> w) & 0xFFFFu);
+        // Full sub-blocks (the whole page at 100% density, most of it
+        // anywhere dense) need no expansion at all — a plain 64-byte
+        // copy beats vpexpandd's cross-lane routing there.
+        if (m == 0xFFFFu) {
+            _mm512_storeu_si512(dst + w * 4,
+                                _mm512_loadu_si512(src + consumed));
+            consumed += 64;
+            w += 16;
+            continue;
+        }
+        // vpexpandd with a zeroing mask is the whole scatter: payload
+        // words route to their mask positions, clear lanes become the
+        // zeros. The expand-load touches exactly the 4 * popcount(m)
+        // live payload bytes (disabled lanes are never accessed), which
+        // is precisely what the payload-boundary contract allows.
+        const __m512i scattered =
+            _mm512_maskz_expandloadu_epi32(m, src + consumed);
+        _mm512_storeu_si512(dst + w * 4, scattered);
+        consumed += 4u * static_cast<uint32_t>(
+            std::popcount(static_cast<uint32_t>(m)));
+        w += 16;
+    }
+    // Sub-block tail (1..15 words): bits of mask at or above words are
+    // clear by contract, so the same expand-load stays inside the live
+    // payload; the store is masked to the group's words.
+    if (w < words) {
+        const __mmask16 live = static_cast<__mmask16>(
+            (1u << (words - w)) - 1u);
+        const __mmask16 m = static_cast<__mmask16>(mask >> w);
+        const __m512i scattered =
+            _mm512_maskz_expandloadu_epi32(m, src + consumed);
+        _mm512_mask_storeu_epi32(dst + w * 4, live, scattered);
+        consumed += 4u * static_cast<uint32_t>(
+            std::popcount(static_cast<uint32_t>(m)));
+    }
+    return static_cast<uint32_t>(consumed);
+}
+
+CDMA_AVX512 uint64_t
+zeroRunWordsAvx512(const uint8_t *words, uint64_t limit)
+{
+    uint64_t run = 0;
+    while (run + 16 <= limit) {
+        const __m512i v = _mm512_loadu_si512(words + run * 4);
+        // vptestmd + kortest: the mask-register test is the early exit,
+        // and the same mask pinpoints the first non-zero word.
+        const __mmask16 nz = _mm512_test_epi32_mask(v, v);
+        if (nz != 0) {
+            return run + static_cast<uint64_t>(
+                std::countr_zero(static_cast<uint32_t>(nz)));
+        }
+        run += 16;
+    }
+    if (run < limit) {
+        const __mmask16 live = static_cast<__mmask16>(
+            (1u << (limit - run)) - 1u);
+        const __m512i v =
+            _mm512_maskz_loadu_epi32(live, words + run * 4);
+        const __mmask16 nz = _mm512_test_epi32_mask(v, v);
+        if (nz != 0) {
+            return run + static_cast<uint64_t>(
+                std::countr_zero(static_cast<uint32_t>(nz)));
+        }
+    }
+    return limit;
+}
+
+CDMA_AVX512 uint64_t
+literalRunWordsAvx512(const uint8_t *words, uint64_t limit)
+{
+    const __m512i zero = _mm512_setzero_si512();
+    uint64_t run = 0;
+    while (run + 16 <= limit) {
+        const __m512i v = _mm512_loadu_si512(words + run * 4);
+        const __mmask16 zm = _mm512_cmpeq_epi32_mask(v, zero);
+        if (zm != 0) {
+            return run + static_cast<uint64_t>(
+                std::countr_zero(static_cast<uint32_t>(zm)));
+        }
+        run += 16;
+    }
+    if (run < limit) {
+        const __mmask16 live = static_cast<__mmask16>(
+            (1u << (limit - run)) - 1u);
+        const __m512i v =
+            _mm512_maskz_loadu_epi32(live, words + run * 4);
+        // Compare only the live lanes: the zeroed disabled lanes would
+        // otherwise read as (phantom) zero words past the limit.
+        const __mmask16 zm =
+            _mm512_mask_cmpeq_epi32_mask(live, v, zero);
+        if (zm != 0) {
+            return run + static_cast<uint64_t>(
+                std::countr_zero(static_cast<uint32_t>(zm)));
+        }
+    }
+    return limit;
+}
+
+CDMA_AVX512 size_t
+matchLengthAvx512(const uint8_t *a, const uint8_t *b, size_t max)
+{
+    size_t len = 0;
+    while (len + 64 <= max) {
+        const __m512i x = _mm512_loadu_si512(a + len);
+        const __m512i y = _mm512_loadu_si512(b + len);
+        // vpcmpb into a 64-bit mask register; kortest is the all-equal
+        // early exit and countr_zero the first-diverging byte.
+        const __mmask64 neq = _mm512_cmpneq_epi8_mask(x, y);
+        if (neq != 0) {
+            return len + static_cast<size_t>(
+                std::countr_zero(static_cast<uint64_t>(neq)));
+        }
+        len += 64;
+    }
+    if (len < max) {
+        const __mmask64 live =
+            (~static_cast<uint64_t>(0)) >> (64 - (max - len));
+        const __m512i x = _mm512_maskz_loadu_epi8(live, a + len);
+        const __m512i y = _mm512_maskz_loadu_epi8(live, b + len);
+        const __mmask64 neq = _mm512_mask_cmpneq_epi8_mask(live, x, y);
+        if (neq != 0) {
+            return len + static_cast<size_t>(
+                std::countr_zero(static_cast<uint64_t>(neq)));
+        }
+    }
+    return max;
+}
+
+/**
+ * Above this size the libc memcpy/memset (rep-movs/ERMS fast strings on
+ * modern x86) beats an explicit vector loop; below it the vector loop
+ * skips the libc dispatch and ERMS startup cost. Same threshold the
+ * AVX2 backend settled on — the crossover is a property of the string
+ * hardware, not the vector width.
+ */
+constexpr size_t kBulkLibcBytes = 2048;
+
+CDMA_AVX512 void
+copyBytesAvx512(uint8_t *dst, const uint8_t *src, size_t n)
+{
+    // One unaligned 512-bit load/store pair per 64 bytes for the
+    // literal-run / raw-tail sizes the codecs emit; small tails stay
+    // with memcpy (inlined moves) and page-class runs go back to libc's
+    // fast-string path.
+    if (n >= kBulkLibcBytes) {
+        std::memcpy(dst, src, n);
+        return;
+    }
+    size_t i = 0;
+    while (i + 64 <= n) {
+        _mm512_storeu_si512(dst + i, _mm512_loadu_si512(src + i));
+        i += 64;
+    }
+    if (i < n)
+        std::memcpy(dst + i, src + i, n - i);
+}
+
+CDMA_AVX512 void
+zeroFillBytesAvx512(uint8_t *dst, size_t n)
+{
+    // 64-byte zero stores for the run-reconstruction sizes the codecs
+    // emit; small fills stay with memset and page-class zero runs go
+    // back to libc's fast-string path.
+    if (n >= kBulkLibcBytes) {
+        std::memset(dst, 0, n);
+        return;
+    }
+    const __m512i zero = _mm512_setzero_si512();
+    size_t i = 0;
+    while (i + 64 <= n) {
+        _mm512_storeu_si512(dst + i, zero);
+        i += 64;
+    }
+    if (i < n)
+        std::memset(dst + i, 0, n - i);
+}
+
+#undef CDMA_AVX512
+
+} // namespace
+
+const KernelOps *
+avx512Kernels()
+{
+    // F covers the dword compress/expand/test ops, BW the byte-granular
+    // match compare, VL the EVEX forms the compiler may pick for
+    // intermediates. Every such part also has AVX2+SSE4.2, so the
+    // hardware CRC32C is shared with the AVX2 table — it is the same
+    // instruction either way.
+    static const bool supported = __builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512bw") &&
+        __builtin_cpu_supports("avx512vl") && avx2Kernels() != nullptr;
+    if (!supported)
+        return nullptr;
+    static const KernelOps ops = {
+        "avx512",
+        zvcCompactGroupAvx512,
+        zvcExpandGroupAvx512,
+        zeroRunWordsAvx512,
+        literalRunWordsAvx512,
+        matchLengthAvx512,
+        copyBytesAvx512,
+        zeroFillBytesAvx512,
+        avx2Kernels()->crc32,
+    };
+    return &ops;
+}
+
+} // namespace cdma
+
+#else // !x86
+
+namespace cdma {
+
+const KernelOps *
+avx512Kernels()
+{
+    return nullptr;
+}
+
+} // namespace cdma
+
+#endif

@@ -3,10 +3,12 @@
  * Runtime backend selection for the kernel layer. The decision is made
  * exactly once (first use, thread-safe via the static-local guarantee):
  * CDMA_KERNEL_BACKEND wins when set — an unknown or CPU-unsupported name
- * is a configuration error, not a silent fallback — otherwise CPUID
- * picks the widest available backend. Codecs capture the chosen table at
- * construction, so a ParallelCompressor's lane workers all share the one
- * dispatch decision instead of re-deciding per window.
+ * is a configuration error, not a silent fallback, and the fatal message
+ * lists the backends this host actually supports — otherwise CPUID picks
+ * the widest available backend (avx512 > avx2 > scalar). Codecs capture
+ * the chosen table at construction, so a ParallelCompressor's lane
+ * workers all share the one dispatch decision instead of re-deciding per
+ * window.
  */
 
 #include "compress/kernels/kernels.hh"
@@ -24,6 +26,8 @@ kernelsByName(std::string_view name)
         return &scalarKernels();
     if (name == "avx2")
         return avx2Kernels();
+    if (name == "avx512")
+        return avx512Kernels();
     return nullptr;
 }
 
@@ -33,7 +37,33 @@ supportedKernels()
     std::vector<const KernelOps *> backends = {&scalarKernels()};
     if (const KernelOps *avx2 = avx2Kernels())
         backends.push_back(avx2);
+    if (const KernelOps *avx512 = avx512Kernels())
+        backends.push_back(avx512);
     return backends;
+}
+
+std::string
+supportedKernelNames()
+{
+    std::string names;
+    for (const KernelOps *ops : supportedKernels()) {
+        if (!names.empty())
+            names += ", ";
+        names += ops->name;
+    }
+    return names;
+}
+
+const KernelOps *
+resolveKernelBackendOverride(std::string_view name, std::string *error)
+{
+    const KernelOps *ops = kernelsByName(name);
+    if (ops == nullptr && error != nullptr) {
+        *error = "CDMA_KERNEL_BACKEND='" + std::string(name) +
+            "' is not a supported kernel backend on this CPU (valid: " +
+            supportedKernelNames() + ")";
+    }
+    return ops;
 }
 
 namespace {
@@ -45,19 +75,18 @@ selectKernels()
     if (forced != nullptr && *forced != '\0') {
         // Empty counts as unset so CI matrices can pass the variable
         // through unconditionally.
-        const KernelOps *ops = kernelsByName(forced);
-        if (ops == nullptr) {
-            fatal("CDMA_KERNEL_BACKEND='%s' is not a supported kernel "
-                  "backend on this CPU (valid: scalar%s)",
-                  forced, avx2Kernels() ? ", avx2" : "");
-        }
+        std::string error;
+        const KernelOps *ops = resolveKernelBackendOverride(forced,
+                                                            &error);
+        if (ops == nullptr)
+            fatal("%s", error.c_str());
         inform("kernel backend forced to '%s' via CDMA_KERNEL_BACKEND",
                ops->name);
         return *ops;
     }
-    if (const KernelOps *avx2 = avx2Kernels())
-        return *avx2;
-    return scalarKernels();
+    // Widest supported backend wins (supportedKernels() orders scalar
+    // first, widest last).
+    return *supportedKernels().back();
 }
 
 } // namespace

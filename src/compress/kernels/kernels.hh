@@ -7,9 +7,12 @@
  * over 32-bit activation words, left-pack compaction of the non-zero
  * words, zero/literal run scanning, and bulk byte-sink copies. KernelOps
  * factors those primitives into one function-pointer table with a
- * portable scalar backend and an AVX2 backend (vpcmpeqd + vpmovmskb mask
- * formation, shuffle-table left-packing, wide run scans), so vectorizing
- * the primitive once lifts ZVC, RLE and the DEFLATE tokenizer together.
+ * portable scalar backend, an AVX2 backend (vpcmpeqd + vpmovmskb mask
+ * formation, shuffle-table left-packing, wide run scans) and an AVX-512
+ * backend (vpcompressd left-pack / vpexpandd scatter — the mask-driven
+ * compaction is a single native instruction there — with 64-byte-stride
+ * scans), so vectorizing the primitive once lifts ZVC, RLE and the
+ * DEFLATE tokenizer together.
  *
  * The table covers both directions: the compaction ops feed the offload
  * leg, and the expand ops (zvcExpandGroup's mask-driven scatter — the
@@ -18,9 +21,11 @@
  * pace with the link the way Section V-B provisions the DPE replicas.
  *
  * Dispatch is decided once at startup: CPUID picks the widest supported
- * backend, and the CDMA_KERNEL_BACKEND environment variable ("scalar" or
- * "avx2") overrides it — chiefly to force the scalar path on AVX2 hosts
- * for differential testing and the CI forced-scalar job leg. Codecs
+ * backend, and the CDMA_KERNEL_BACKEND environment variable ("scalar",
+ * "avx2" or "avx512") overrides it — chiefly to force a narrower path
+ * on wide hosts for differential testing and the CI forced-backend job
+ * legs; an unsupported or unknown name is fatal and the message lists
+ * the backends this host actually supports. Codecs
  * capture the table at construction, so every lane of a
  * ParallelCompressor shares the codec's single dispatch decision.
  *
@@ -34,6 +39,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -44,7 +50,7 @@ namespace cdma {
  * table. All word offsets/counts are in 4-byte (fp32 activation) words.
  */
 struct KernelOps {
-    /** Backend identifier ("scalar", "avx2"). */
+    /** Backend identifier ("scalar", "avx2", "avx512"). */
     const char *name;
 
     /**
@@ -131,17 +137,47 @@ const KernelOps &scalarKernels();
 const KernelOps *avx2Kernels();
 
 /**
+ * The AVX-512 backend (vpcompressd/vpexpandd), or nullptr when this CPU
+ * lacks AVX512F/BW/VL.
+ */
+const KernelOps *avx512Kernels();
+
+/**
  * The backend every codec uses by default, selected once at startup:
  * CDMA_KERNEL_BACKEND if set (fatal() on an unknown or unsupported
  * name), otherwise the widest CPUID-supported backend.
  */
 const KernelOps &activeKernels();
 
-/** Backend by name ("scalar", "avx2"); nullptr if unknown/unsupported. */
+/**
+ * Backend by name ("scalar", "avx2", "avx512"); nullptr if
+ * unknown/unsupported.
+ */
 const KernelOps *kernelsByName(std::string_view name);
 
-/** Every backend this CPU supports, scalar first (for sweeps/tests). */
+/**
+ * Every backend this CPU supports, scalar first, widest last (for
+ * sweeps/tests; activeKernels() picks back() when unforced).
+ */
 std::vector<const KernelOps *> supportedKernels();
+
+/**
+ * Comma-separated names of every backend this CPU supports (e.g.
+ * "scalar, avx2, avx512") — the valid CDMA_KERNEL_BACKEND values, used
+ * by the override rejection message.
+ */
+std::string supportedKernelNames();
+
+/**
+ * Resolve a CDMA_KERNEL_BACKEND override value without dying: returns
+ * the backend, or nullptr with @p error (when non-null) set to the
+ * message activeKernels() would fatal() with — naming the rejected
+ * value and listing the backends this host supports. This is the
+ * selection logic behind the env override, factored out so tests can
+ * cover acceptance and rejection in-process.
+ */
+const KernelOps *resolveKernelBackendOverride(std::string_view name,
+                                              std::string *error = nullptr);
 
 } // namespace cdma
 

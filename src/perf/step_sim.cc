@@ -71,6 +71,11 @@ StepSimulator::run(StepMode mode,
     std::vector<double> xfer(L, 0.0);
     std::vector<double> pre_xfer(L, 0.0);
     std::vector<bool> has_xfer(L, false);
+    // Raw bytes of each layer's offloaded map — what a landed lookahead
+    // prefetch occupies against the boundary capacity budget.
+    std::vector<uint64_t> map_bytes(L, 0);
+    for (const TransferOp &op : offloads)
+        map_bytes[op.layer_index] = op.bytes;
     const bool transfers =
         mode == StepMode::Vdnn || mode == StepMode::Cdma;
     const std::vector<TransferPlan> plans = manager_.plannedOffloads(
@@ -230,24 +235,40 @@ StepSimulator::run(StepMode mode,
                 // which is still draining out — this is the Figure 2(b)
                 // boundary race. Rather than leave the inbound
                 // direction idle, bring back maps that are already
-                // host-resident: issue up to staging_buffers - 1
-                // further prefetches in backward order (the
-                // double-buffered landing the prefetch pipeline
-                // provisions), racing the tail offload on the link.
-                // Like the real FIFO DMA queue this models, an issued
+                // host-resident, racing the tail offload on the link.
+                // How far ahead depends on where the landed maps live:
+                // with a prefetch_lookahead_bytes budget configured,
+                // issue as many backward-order prefetches as fit in it
+                // — the freed vDNN working set is the natural budget
+                // (every map freed during forward can land back early);
+                // without one (budget 0, capacity not modeled), fall
+                // back to the fixed staging_buffers - 1 lookahead the
+                // double-buffered prefetch pipeline provisions. Like
+                // the real FIFO DMA queue this models, an issued
                 // lookahead transfer cannot be overtaken: when the
                 // parked head releases early, it queues behind the
                 // lookahead and the backward start can pay up to one
                 // transfer of head-of-line delay — the engine trades
                 // that bounded risk for never idling the link.
+                const uint64_t budget =
+                    engine_.config().transfer.prefetch_lookahead_bytes;
                 const unsigned buffers =
                     engine_.config().transfer.staging_buffers;
                 unsigned lookahead = buffers > 0 ? buffers - 1 : 0;
-                for (size_t j = L - 1; j-- > 0 && lookahead > 0;) {
+                uint64_t landed = 0;
+                for (size_t j = L - 1; j-- > 0;) {
                     if (!has_xfer[j])
                         continue;
+                    if (budget > 0) {
+                        if (landed + map_bytes[j] > budget)
+                            break;
+                        landed += map_bytes[j];
+                    } else {
+                        if (lookahead == 0)
+                            break;
+                        --lookahead;
+                    }
                     requestPrefetch(j);
-                    --lookahead;
                 }
             }
         });

@@ -77,6 +77,18 @@ struct MemoryFootprint {
                 static_cast<double>(baseline_total)
             : 0.0;
     }
+
+    /**
+     * GPU bytes the offload-all policy freed relative to keeping every
+     * map resident (baseline_total - vdnn_peak, floored at 0) — the
+     * working set prefetched maps can land back into, i.e. the natural
+     * value for TransferConfig::prefetch_lookahead_bytes.
+     */
+    uint64_t freedBytes() const
+    {
+        return baseline_total > vdnn_peak ? baseline_total - vdnn_peak
+                                          : 0;
+    }
 };
 
 /** Offload-all vDNN memory manager over a static network descriptor. */

@@ -57,7 +57,73 @@ TEST(KernelDispatch, ScalarAlwaysAvailableAndNamed)
     if (const KernelOps *avx2 = avx2Kernels()) {
         EXPECT_STREQ(avx2->name, "avx2");
         EXPECT_EQ(kernelsByName("avx2"), avx2);
+    }
+    if (const KernelOps *avx512 = avx512Kernels()) {
+        EXPECT_STREQ(avx512->name, "avx512");
+        EXPECT_EQ(kernelsByName("avx512"), avx512);
+        // AVX-512 implies AVX2 (its CRC32C rides the AVX2 table), and
+        // the sweep order is narrowest to widest.
+        EXPECT_NE(avx2Kernels(), nullptr);
+        EXPECT_EQ(backends.back(), avx512);
+    } else if (const KernelOps *avx2 = avx2Kernels()) {
         EXPECT_EQ(backends.back(), avx2);
+    }
+}
+
+TEST(KernelDispatch, Avx512NeverSelectedOnIncapableHosts)
+{
+    // The acceptance property for incapable hosts: when the CPU lacks
+    // AVX-512, the backend is unreachable through every selection path —
+    // by name, in the sweep, and via the startup dispatch.
+    if (avx512Kernels() != nullptr) {
+        // Capable host: the unforced dispatch must pick it (the widest
+        // backend), and only an explicit narrower override may not.
+        const char *forced = std::getenv("CDMA_KERNEL_BACKEND");
+        if (forced == nullptr || *forced == '\0')
+            EXPECT_STREQ(activeKernels().name, "avx512");
+        return;
+    }
+    EXPECT_EQ(kernelsByName("avx512"), nullptr);
+    for (const KernelOps *ops : supportedKernels())
+        EXPECT_STRNE(ops->name, "avx512");
+    EXPECT_STRNE(activeKernels().name, "avx512");
+}
+
+TEST(KernelDispatch, OverrideResolutionAcceptsAndRejectsInProcess)
+{
+    // The selection logic behind CDMA_KERNEL_BACKEND, covered without
+    // forking: every supported backend resolves to itself, and an
+    // unknown or unsupported name is rejected with a message that names
+    // the bad value and lists exactly the backends this host supports.
+    for (const KernelOps *ops : supportedKernels()) {
+        std::string error = "unset";
+        EXPECT_EQ(resolveKernelBackendOverride(ops->name, &error), ops);
+        EXPECT_EQ(error, "unset") << "error set on successful resolve";
+    }
+
+    const std::string valid = supportedKernelNames();
+    EXPECT_NE(valid.find("scalar"), std::string::npos);
+    for (const char *bad : {"mmx", "sse2", "neon", "AVX2", ""}) {
+        std::string error;
+        EXPECT_EQ(resolveKernelBackendOverride(bad, &error), nullptr)
+            << bad;
+        EXPECT_NE(error.find("CDMA_KERNEL_BACKEND='" + std::string(bad) +
+                             "'"),
+                  std::string::npos)
+            << error;
+        EXPECT_NE(error.find(valid), std::string::npos)
+            << "'" << error << "' does not list supported backends '"
+            << valid << "'";
+    }
+
+    // A real backend name the host cannot run is rejected the same way
+    // (null error pointer must also be safe).
+    if (avx512Kernels() == nullptr) {
+        EXPECT_EQ(resolveKernelBackendOverride("avx512"), nullptr);
+        std::string error;
+        resolveKernelBackendOverride("avx512", &error);
+        EXPECT_EQ(error.find("avx512, "), std::string::npos)
+            << "unsupported backend listed as valid: " << error;
     }
 }
 

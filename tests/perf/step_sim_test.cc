@@ -175,6 +175,87 @@ TEST(StepSim, HeadlineCdmaSpeedupInPaperRange)
     EXPECT_LT(average, 1.75);
 }
 
+/** Rig whose engine takes an explicit transfer configuration. */
+static StepResult
+runWithTransferConfig(const NetworkDesc &net, unsigned staging_buffers,
+                      uint64_t prefetch_lookahead_bytes)
+{
+    VdnnMemoryManager manager(net, net.default_batch);
+    CdmaConfig config;
+    config.transfer.staging_buffers = staging_buffers;
+    config.transfer.prefetch_lookahead_bytes = prefetch_lookahead_bytes;
+    const CdmaEngine engine(config);
+    const PerfModel perf;
+    const StepSimulator sim(manager, engine, perf, CudnnVersion::V5);
+    return sim.run(StepMode::Vdnn);
+}
+
+TEST(StepSim, CapacityLookaheadDegeneratesToFixedStagingLookahead)
+{
+    // A budget sized to admit exactly the map the fixed
+    // staging_buffers-1 lookahead would issue must reproduce the
+    // pre-capacity timeline bit for bit: the capacity-aware path is a
+    // strict generalization, with the old behavior as its degenerate
+    // case.
+    const NetworkDesc net = alexNetDesc();
+    const VdnnMemoryManager manager(net, net.default_batch);
+    const auto &offloads = manager.offloadSchedule();
+    const size_t L = net.layers.size();
+    ASSERT_GE(L, 3u);
+    // Under OffloadPolicy::All, scanning backward from L-2 the first
+    // lookahead candidate is layer L-2's map.
+    uint64_t head_map_bytes = 0;
+    for (const auto &op : offloads) {
+        if (op.layer_index == L - 2)
+            head_map_bytes = op.bytes;
+    }
+    ASSERT_GT(head_map_bytes, 0u);
+
+    const StepResult fixed = runWithTransferConfig(net, 2, 0);
+    const StepResult budgeted =
+        runWithTransferConfig(net, 2, head_map_bytes);
+    EXPECT_NEAR(fixed.total_seconds, budgeted.total_seconds, 1e-9);
+    EXPECT_NEAR(fixed.backward_seconds, budgeted.backward_seconds, 1e-9);
+    EXPECT_NEAR(fixed.stall_seconds, budgeted.stall_seconds, 1e-9);
+
+    // And a budget too small for any map degenerates to no lookahead
+    // at all (staging_buffers = 1 with capacity unmodeled).
+    const StepResult none = runWithTransferConfig(net, 1, 0);
+    const StepResult starved = runWithTransferConfig(net, 2, 1);
+    EXPECT_NEAR(none.total_seconds, starved.total_seconds, 1e-9);
+    EXPECT_NEAR(none.stall_seconds, starved.stall_seconds, 1e-9);
+}
+
+TEST(StepSim, FreedWorkingSetBudgetStaysConsistent)
+{
+    // The natural budget — everything vDNN freed during forward
+    // (MemoryFootprint::freedBytes()) — admits far more lookahead than
+    // the fixed double-buffer depth. The simulated step must stay
+    // self-consistent, and the head-of-line cost of the deeper FIFO
+    // (lookahead prefetches queue ahead of later urgent ones, so the
+    // boundary layer can wait longer for its own map) must stay
+    // bounded: the extra inbound-link utilization is paid for with at
+    // most a modest step-time penalty, never a blowup.
+    for (const auto &net : {alexNetDesc(), squeezeNetDesc()}) {
+        const VdnnMemoryManager manager(net, net.default_batch);
+        const uint64_t freed = manager.footprint().freedBytes();
+        ASSERT_GT(freed, 0u) << net.name;
+
+        const StepResult deep = runWithTransferConfig(net, 2, freed);
+        const StepResult none = runWithTransferConfig(net, 1, 0);
+        EXPECT_NEAR(deep.stall_seconds,
+                    deep.total_seconds - deep.compute_seconds, 1e-9)
+            << net.name;
+        EXPECT_GE(deep.stall_seconds, -1e-12) << net.name;
+        EXPECT_DOUBLE_EQ(deep.compute_seconds, none.compute_seconds)
+            << net.name;
+        EXPECT_EQ(deep.raw_transfer_bytes, none.raw_transfer_bytes)
+            << net.name;
+        EXPECT_LE(deep.total_seconds, none.total_seconds * 1.25)
+            << net.name;
+    }
+}
+
 TEST(StepSimDeathTest, CdmaModeRequiresRatios)
 {
     Rig rig(alexNetDesc());
