@@ -18,9 +18,12 @@
 
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "cdma/fleet_sim.hh"
 #include "common/harness.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 using namespace cdma;
 using bench::Table;
@@ -78,13 +81,59 @@ fleetSmoke()
     return 0;
 }
 
+/**
+ * With --trace-out / --metrics-out: one dedicated, observed N=4 run (a
+ * TraceRecorder may observe at most one FleetSimulator::run, because
+ * every run's timeline starts at t = 0). Deterministic spec, so the
+ * exported trace is byte-stable across invocations.
+ */
+void
+writeObservability(const std::string &trace_out,
+                   const std::string &metrics_out)
+{
+    if (trace_out.empty() && metrics_out.empty())
+        return;
+    obs::TraceRecorder trace;
+    obs::MetricsRegistry metrics;
+    FleetSpec spec = sweepSpec(4);
+    spec.trace = trace_out.empty() ? nullptr : &trace;
+    spec.metrics = &metrics;
+    FleetSimulator(spec).run();
+
+    const obs::HistogramMetric &latency =
+        metrics.histogram("transfer.offload.shard_latency_seconds");
+    std::printf("\nobserved N=4 run: offload shard latency p50 %.3f ms / "
+                "p95 %.3f ms / p99 %.3f ms over %llu shards\n",
+                latency.percentile(0.50) * 1e3,
+                latency.percentile(0.95) * 1e3,
+                latency.percentile(0.99) * 1e3,
+                static_cast<unsigned long long>(latency.count()));
+    if (!trace_out.empty()) {
+        trace.writeFileOrDie(trace_out);
+        std::printf("wrote trace: %s (%zu events)\n", trace_out.c_str(),
+                    trace.eventCount());
+    }
+    if (!metrics_out.empty()) {
+        metrics.writeFileOrDie(metrics_out);
+        std::printf("wrote metrics: %s\n", metrics_out.c_str());
+    }
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc > 1 && std::strcmp(argv[1], "--fleet-smoke") == 0)
-        return fleetSmoke();
+    const std::string trace_out =
+        obs::extractFlag(argc, argv, "trace-out");
+    const std::string metrics_out =
+        obs::extractFlag(argc, argv, "metrics-out");
+    if (argc > 1 && std::strcmp(argv[1], "--fleet-smoke") == 0) {
+        const int rc = fleetSmoke();
+        if (rc == 0)
+            writeObservability(trace_out, metrics_out);
+        return rc;
+    }
 
     std::printf("== Ablation: fleet size behind one switch uplink "
                 "(64 MiB offload + prefetch per GPU, ZV 2.5x) ==\n");
@@ -122,5 +171,6 @@ main(int argc, char **argv)
         });
     }
     nvlink.print();
+    writeObservability(trace_out, metrics_out);
     return 0;
 }

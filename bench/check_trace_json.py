@@ -1,0 +1,268 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file exported by TraceRecorder.
+
+Four layers, all exercised by the CI trace-smoke job:
+
+**Schema.** The file must be a trace-event object with a non-empty
+``traceEvents`` array; every event needs a known phase (``M`` metadata,
+``X`` complete span, ``i``/``I`` instant, ``C`` counter), integer
+pid/tid, and — for non-metadata phases — a numeric ``ts >= 0`` (``X``
+additionally ``dur >= 0``). Every pid referenced by an event must carry
+a ``process_name`` metadata record, and every (pid, tid) a
+``thread_name`` record (counter events are keyed by name and ride
+tid 0). This is what keeps the export loadable in Perfetto /
+chrome://tracing with self-describing track labels.
+
+**Monotonic timestamps.** Events are serialized stable-sorted by begin
+time, so within any span/instant track — and within any (pid, counter
+name) series — file order must carry non-decreasing ``ts``. A violation
+means the recorder's sort (or a simulator's event times) broke.
+
+**Span nesting.** On one track, two ``X`` spans must be disjoint or
+properly nested (Perfetto renders partial overlap as garbage). The DES
+guarantees this structurally — per-edge-per-direction channel service
+is FIFO — so a violation is a real modeling bug, not a rendering nit.
+
+**Conservation.** When the trace carries a ``wire_bytes.<track>``
+ledger in ``otherData`` (written by LinkNetwork::recordTraceTotals from
+the channels' own byte accounting), the ``bytes`` args of that track's
+``wire`` spans must sum to exactly the ledger value: every byte the
+link layer accounted must appear in the timeline, and none may be
+invented.
+
+``--self-test`` proves the checker actually trips: it validates a
+synthetic well-formed trace clean, then requires both an injected
+out-of-order timestamp and a corrupted wire-byte count to fail.
+
+Usage:
+  bench/check_trace_json.py trace.json
+  bench/check_trace_json.py --self-test
+"""
+
+import copy
+import json
+import sys
+
+KNOWN_PHASES = ("M", "X", "i", "I", "C")
+# Serialized timestamps carry 3 fractional digits (of a microsecond);
+# tolerate one count of rounding when judging span containment.
+ROUNDING_EPS_US = 2e-3
+
+
+def fail(message: str) -> None:
+    print(f"check_trace_json: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(trace: dict) -> list:
+    """Return a list of human-readable problems (empty when valid)."""
+    problems = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return ["no (or empty) traceEvents array"]
+
+    # ---- Schema + track metadata ----
+    process_names = {}
+    thread_names = {}
+    for index, event in enumerate(events):
+        where = f"event #{index}"
+        if not isinstance(event, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in KNOWN_PHASES:
+            problems.append(f"{where} has unknown phase {phase!r}")
+            continue
+        pid, tid = event.get("pid"), event.get("tid")
+        if not isinstance(pid, int) or not isinstance(tid, int):
+            problems.append(f"{where} lacks integer pid/tid")
+            continue
+        if phase == "M":
+            kind = event.get("name")
+            label = event.get("args", {}).get("name")
+            if not isinstance(label, str) or not label:
+                problems.append(f"{where}: metadata without args.name")
+            elif kind == "process_name":
+                process_names[pid] = label
+            elif kind == "thread_name":
+                thread_names[(pid, tid)] = label
+            else:
+                problems.append(f"{where}: unknown metadata kind {kind!r}")
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where} ({phase}) has no numeric ts >= 0 "
+                            f"(got {ts!r})")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where} (X '{event.get('name')}') has "
+                                f"no numeric dur >= 0 (got {dur!r})")
+        if phase == "C":
+            value = event.get("args", {}).get("value")
+            if not isinstance(value, (int, float)):
+                problems.append(f"{where} (C '{event.get('name')}') has "
+                                f"no numeric args.value")
+        if not event.get("name"):
+            problems.append(f"{where} ({phase}) has no name")
+
+    if problems:
+        return problems  # later passes assume the schema held
+
+    for event in events:
+        if event["ph"] == "M":
+            continue
+        pid, tid = event["pid"], event["tid"]
+        if pid not in process_names:
+            problems.append(f"pid {pid} has no process_name metadata")
+        # Counter tracks are labeled by the event name itself.
+        if event["ph"] != "C" and (pid, tid) not in thread_names:
+            problems.append(f"(pid {pid}, tid {tid}) has no thread_name "
+                            "metadata")
+    if problems:
+        return sorted(set(problems))
+
+    # ---- Monotonic timestamps in file order ----
+    last_ts = {}
+    for index, event in enumerate(events):
+        if event["ph"] == "M":
+            continue
+        # Counter series share tid 0; they are distinct tracks per name.
+        if event["ph"] == "C":
+            key = (event["pid"], "C", event["name"])
+        else:
+            key = (event["pid"], event["tid"])
+        ts = event["ts"]
+        if key in last_ts and ts < last_ts[key] - ROUNDING_EPS_US:
+            problems.append(
+                f"event #{index} ('{event['name']}') runs backwards on "
+                f"track {key}: ts {ts} after {last_ts[key]}")
+        last_ts[key] = max(ts, last_ts.get(key, ts))
+
+    # ---- Span nesting per track ----
+    spans_by_track = {}
+    for event in events:
+        if event["ph"] == "X":
+            spans_by_track.setdefault(
+                (event["pid"], event["tid"]), []).append(event)
+    for key, spans in sorted(spans_by_track.items()):
+        stack = []  # open span end times, outermost first
+        for span in spans:
+            begin, end = span["ts"], span["ts"] + span["dur"]
+            while stack and begin >= stack[-1] - ROUNDING_EPS_US:
+                stack.pop()
+            if stack and end > stack[-1] + ROUNDING_EPS_US:
+                name = thread_names.get(key, key)
+                problems.append(
+                    f"span '{span['name']}' [{begin}, {end}] on track "
+                    f"'{name}' partially overlaps an enclosing span "
+                    f"ending at {stack[-1]}")
+            stack.append(end)
+
+    # ---- Byte conservation against the link layer's ledger ----
+    track_bytes = {}
+    for event in events:
+        if event["ph"] != "X" or event["name"] != "wire":
+            continue
+        track = thread_names[(event["pid"], event["tid"])]
+        got = event.get("args", {}).get("bytes")
+        if not isinstance(got, int):
+            problems.append(f"wire span on '{track}' has no integer "
+                            "bytes arg")
+            continue
+        track_bytes[track] = track_bytes.get(track, 0) + got
+    for key, expected in sorted(trace.get("otherData", {}).items()):
+        if not key.startswith("wire_bytes."):
+            continue
+        track = key[len("wire_bytes."):]
+        traced = track_bytes.get(track, 0)
+        if traced != expected:
+            problems.append(
+                f"conservation: traced wire bytes on '{track}' sum to "
+                f"{traced} but the link layer accounted {expected}")
+
+    return problems
+
+
+def synthetic_trace() -> dict:
+    """A minimal well-formed trace exercising every checked feature."""
+    return {
+        "traceEvents": [
+            {"ph": "M", "pid": 1, "tid": 0, "name": "process_name",
+             "args": {"name": "edges"}},
+            {"ph": "M", "pid": 2, "tid": 0, "name": "process_name",
+             "args": {"name": "gpu0"}},
+            {"ph": "M", "pid": 1, "tid": 1, "name": "thread_name",
+             "args": {"name": "link0:out"}},
+            {"ph": "M", "pid": 2, "tid": 1, "name": "thread_name",
+             "args": {"name": "compress"}},
+            {"ph": "X", "pid": 2, "tid": 1, "name": "compress",
+             "ts": 0.0, "dur": 50.0, "args": {"shard": 0}},
+            {"ph": "X", "pid": 1, "tid": 1, "name": "wire",
+             "ts": 50.0, "dur": 100.0, "args": {"bytes": 1000}},
+            {"ph": "i", "pid": 2, "tid": 1, "name": "landed", "s": "t",
+             "ts": 150.0, "args": {"shard": 0}},
+            {"ph": "X", "pid": 1, "tid": 1, "name": "wire",
+             "ts": 150.0, "dur": 50.0, "args": {"bytes": 500}},
+            {"ph": "C", "pid": 1, "tid": 0, "name": "link0 utilization",
+             "ts": 200.0, "args": {"value": 0.75}},
+        ],
+        "displayTimeUnit": "ms",
+        "otherData": {"wire_bytes.link0:out": 1500},
+    }
+
+
+def self_test() -> None:
+    clean = synthetic_trace()
+    problems = validate(clean)
+    if problems:
+        fail("self-test: a well-formed synthetic trace failed: "
+             + "; ".join(problems))
+
+    backwards = copy.deepcopy(clean)
+    # Second wire span jumps before the first: same track, earlier ts.
+    backwards["traceEvents"][7]["ts"] = 10.0
+    if not validate(backwards):
+        fail("self-test: checker MISSED an out-of-order timestamp")
+
+    corrupted = copy.deepcopy(clean)
+    corrupted["traceEvents"][5]["args"]["bytes"] = 999
+    if not any("conservation" in p for p in validate(corrupted)):
+        fail("self-test: checker MISSED a wire-byte conservation break")
+
+    print("check_trace_json: self-test OK (clean trace passes; "
+          "out-of-order ts and byte-conservation breaks both trip)")
+
+
+def main() -> None:
+    if "--self-test" in sys.argv[1:]:
+        self_test()
+        return
+    if len(sys.argv) != 2:
+        fail("usage: check_trace_json.py trace.json | --self-test")
+    path = sys.argv[1]
+    try:
+        with open(path, encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except FileNotFoundError:
+        fail(f"{path} is missing (did the traced binary run?)")
+    except json.JSONDecodeError as error:
+        fail(f"{path} is not valid JSON: {error}")
+    problems = validate(trace)
+    if problems:
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        fail(f"{path}: {len(problems)} problem(s)")
+    events = trace["traceEvents"]
+    spans = sum(1 for e in events if e["ph"] == "X")
+    counters = sum(1 for e in events if e["ph"] == "C")
+    instants = sum(1 for e in events if e["ph"] in ("i", "I"))
+    ledger = sum(1 for k in trace.get("otherData", {})
+                 if k.startswith("wire_bytes."))
+    print(f"check_trace_json: OK ({len(events)} events: {spans} spans, "
+          f"{instants} instants, {counters} counters; "
+          f"{ledger} conservation ledger entries verified)")
+
+
+if __name__ == "__main__":
+    main()

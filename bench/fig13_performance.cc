@@ -20,32 +20,52 @@
  */
 
 #include <cstdio>
+#include <string>
 
 #include "common/harness.hh"
-#include "common/stats.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "perf/step_sim.hh"
 
 using namespace cdma;
 using bench::Table;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string trace_out =
+        obs::extractFlag(argc, argv, "trace-out");
+    const std::string metrics_out =
+        obs::extractFlag(argc, argv, "metrics-out");
+    obs::TraceRecorder trace;
+    obs::TraceRecorder *trace_ptr =
+        trace_out.empty() ? nullptr : &trace;
+
     std::printf("== Figure 13: performance normalized to oracle "
                 "(higher is better, cuDNN v5) ==\n");
     Table table({"network", "vDNN", "cDMA-RL", "cDMA-ZV", "ZV-ovl",
                  "cDMA-ZL", "oracle"});
 
     PerfModel perf;
-    Accumulator zv_speedup;
+    // All footer aggregates live in the registry: the printed numbers
+    // and the --metrics-out export come from the same accumulation.
+    obs::MetricsRegistry metrics;
+    obs::HistogramMetric &zv_speedup =
+        metrics.histogram("fig13.zv_speedup_over_vdnn");
+    obs::HistogramMetric &zl_over_zv =
+        metrics.histogram("fig13.zl_speedup_over_zv");
+    obs::HistogramMetric &zv_overlap_speedup =
+        metrics.histogram("fig13.zv_overlapped_speedup_over_vdnn");
+    obs::HistogramMetric &overlap_cost =
+        metrics.histogram("fig13.overlap_cost_ratio");
+    obs::HistogramMetric &offload_overlap =
+        metrics.histogram("fig13.offload_overlap_fraction");
+    obs::HistogramMetric &prefetch_overlap =
+        metrics.histogram("fig13.prefetch_overlap_fraction");
+    obs::HistogramMetric &duplex_contention =
+        metrics.histogram("fig13.halfduplex_contention_stall_fraction");
     double best_speedup = 0.0;
     std::string best_net;
-    Accumulator zl_over_zv;
-    Accumulator zv_overlap_speedup;
-    Accumulator overlap_cost;
-    Accumulator offload_overlap;
-    Accumulator prefetch_overlap;
-    Accumulator duplex_contention;
     double worst_contention = 0.0;
     std::string worst_contention_net;
 
@@ -62,6 +82,11 @@ main()
         CdmaEngine overlapped_engine(overlapped_config);
         StepSimulator overlapped_sim(manager, overlapped_engine, perf,
                                      CudnnVersion::V5);
+        // Trace only the ZV-overlapped run (the one with an explicit
+        // compress/wire pipeline), one process per network. Each run's
+        // timeline starts at t = 0; distinct process names keep the
+        // per-network tracks separate in the viewer.
+        overlapped_sim.setTrace(trace_ptr, net.name + ".zv-ovl");
 
         const StepResult oracle = sim.run(StepMode::Oracle);
         const StepResult vdnn = sim.run(StepMode::Vdnn);
@@ -85,7 +110,7 @@ main()
             if (algorithm == Algorithm::Zvc) {
                 zv_time = cdma.total_seconds;
                 const double speedup = cdma.speedupOver(vdnn);
-                zv_speedup.add(speedup);
+                zv_speedup.record(speedup);
                 if (speedup > best_speedup) {
                     best_speedup = speedup;
                     best_net = net.name;
@@ -94,17 +119,17 @@ main()
                     overlapped_sim.run(StepMode::Cdma, ratios);
                 row.push_back(Table::num(
                     oracle.total_seconds / cdma_ovl.total_seconds, 3));
-                zv_overlap_speedup.add(cdma_ovl.speedupOver(vdnn));
-                overlap_cost.add(cdma_ovl.total_seconds /
+                zv_overlap_speedup.record(cdma_ovl.speedupOver(vdnn));
+                overlap_cost.record(cdma_ovl.total_seconds /
                                  cdma.total_seconds);
                 // Per-layer overlap of both pipeline directions, as
                 // the simulated iteration actually priced them.
                 for (const auto &layer : cdma_ovl.layers) {
                     if (layer.offload.shard_count > 0)
-                        offload_overlap.add(
+                        offload_overlap.record(
                             layer.offload.overlap_fraction);
                     if (layer.prefetch.shard_count > 0)
-                        prefetch_overlap.add(
+                        prefetch_overlap.record(
                             layer.prefetch.overlap_fraction);
                 }
                 // The same iteration with both directions sharing one
@@ -118,7 +143,7 @@ main()
                                        CudnnVersion::V5);
                 const StepResult cdma_half =
                     half_sim.run(StepMode::Cdma, ratios);
-                duplex_contention.add(
+                duplex_contention.record(
                     cdma_half.contentionStallFraction());
                 if (cdma_half.contentionStallFraction() >
                     worst_contention) {
@@ -130,7 +155,7 @@ main()
             if (algorithm == Algorithm::Zlib)
                 zl_time = cdma.total_seconds;
         }
-        zl_over_zv.add(zv_time / zl_time);
+        zl_over_zv.record(zv_time / zl_time);
         row.push_back("1.000");
         table.addRow(row);
     }
@@ -164,5 +189,14 @@ main()
                 worst_contention_net.empty()
                     ? "-"
                     : worst_contention_net.c_str());
+    if (!trace_out.empty()) {
+        trace.writeFileOrDie(trace_out);
+        std::printf("wrote trace: %s (%zu events)\n", trace_out.c_str(),
+                    trace.eventCount());
+    }
+    if (!metrics_out.empty()) {
+        metrics.writeFileOrDie(metrics_out);
+        std::printf("wrote metrics: %s\n", metrics_out.c_str());
+    }
     return 0;
 }

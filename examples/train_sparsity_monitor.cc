@@ -21,12 +21,16 @@
 #include "dnn/fc.hh"
 #include "dnn/pool.hh"
 #include "dnn/trainer.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh" // extractFlag
 
 using namespace cdma;
 
 int
 main(int argc, char **argv)
 {
+    const std::string metrics_out =
+        obs::extractFlag(argc, argv, "metrics-out");
     const int iterations = argc > 1 ? std::atoi(argv[1]) : 200;
 
     // A custom model, assembled from the public layer API.
@@ -51,6 +55,11 @@ main(int argc, char **argv)
     config.batch_size = 16;
     config.snapshot_every = std::max(1, iterations / 8);
 
+    // Every number the dashboard prints is first recorded into the
+    // registry, and the printed lines read it back — the console and
+    // the --metrics-out export share one accumulation.
+    obs::MetricsRegistry metrics;
+
     std::printf("%-9s %-7s %-9s", "iter", "loss", "accuracy");
     Trainer trainer(net, dataset, config);
     bool header_done = false;
@@ -62,25 +71,46 @@ main(int argc, char **argv)
             std::printf("\n");
             header_done = true;
         }
+        metrics.counter("train.snapshots").add();
+        metrics.histogram("train.loss").record(snap.loss);
+        metrics.gauge("train.accuracy").set(snap.train_accuracy);
         std::printf("%-9d %-7.3f %-9.2f", snap.iteration, snap.loss,
                     snap.train_accuracy);
-        for (const auto &record : snap.records)
+        for (const auto &record : snap.records) {
+            metrics.histogram("train.density." + record.label)
+                .record(record.density);
             std::printf(" %-8.2f", record.density);
+        }
         std::printf("\n");
     });
 
     // What would cDMA save on the final activations?
-    std::printf("\ncDMA-ZV compression of the trained activations:\n");
+    std::printf("\ncDMA-ZV compression of the trained activations "
+                "(density averaged over %llu snapshots):\n",
+                static_cast<unsigned long long>(
+                    metrics.counter("train.snapshots").value()));
     const auto zvc = makeCompressor(Algorithm::Zvc);
     for (const auto &record : net.activationRecords()) {
         const Tensor4D &map = net.outputs()[record.output_index];
-        std::printf("  %-8s %8.1f KB  density %.2f  ratio %.2fx\n",
+        obs::Gauge &ratio =
+            metrics.gauge("train.final_ratio." + record.label);
+        ratio.set(zvc->measureRatio(map.rawBytes()));
+        std::printf("  %-8s %8.1f KB  density %.2f (avg %.2f)  "
+                    "ratio %.2fx\n",
                     record.label.c_str(),
                     static_cast<double>(map.bytes()) / 1024.0,
                     record.density,
-                    zvc->measureRatio(map.rawBytes()));
+                    metrics.histogram("train.density." + record.label)
+                        .mean(),
+                    ratio.value());
     }
+    obs::Gauge &validation = metrics.gauge("train.validation_accuracy");
+    validation.set(trainer.evaluate(4));
     std::printf("\nvalidation accuracy: %.1f%%\n",
-                100.0 * trainer.evaluate(4));
+                100.0 * validation.value());
+    if (!metrics_out.empty()) {
+        metrics.writeFileOrDie(metrics_out);
+        std::printf("wrote metrics: %s\n", metrics_out.c_str());
+    }
     return 0;
 }

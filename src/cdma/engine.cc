@@ -4,6 +4,7 @@
 
 #include "cdma/transfer_engine.hh"
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace cdma {
 
@@ -27,6 +28,23 @@ CdmaEngine::CdmaEngine(const CdmaConfig &config)
     CDMA_ASSERT(config.gpu.pcie_bandwidth > 0.0 &&
                     config.gpu.comp_bandwidth > 0.0,
                 "invalid cDMA bandwidth configuration");
+    compressor_->setMetrics(config_.obs.metrics);
+}
+
+void
+recordIntegrity(obs::MetricsRegistry &metrics,
+                const TransferIntegrity &integrity)
+{
+    metrics.counter("integrity.attempts").add(integrity.attempts);
+    metrics.counter("integrity.retries").add(integrity.retries);
+    metrics.counter("integrity.crc_failures").add(integrity.crc_failures);
+    metrics.counter("integrity.link_faults").add(integrity.link_faults);
+    metrics.counter("integrity.degraded_shards")
+        .add(integrity.degraded_shards);
+    metrics.counter("integrity.failed_wire_bytes")
+        .add(integrity.failed_wire_bytes);
+    metrics.histogram("integrity.retry_stall_seconds")
+        .record(integrity.retry_stall_seconds);
 }
 
 double

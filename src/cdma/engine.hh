@@ -38,6 +38,11 @@
 
 namespace cdma {
 
+namespace obs {
+class MetricsRegistry;
+class TraceRecorder;
+} // namespace obs
+
 /**
  * How a transfer plan accounts for compression latency.
  *
@@ -331,6 +336,28 @@ struct TopologyConfig {
     unsigned source = 0;
 };
 
+/**
+ * Observability hooks of the cDMA engine. Only the metrics registry
+ * rides here: histograms record durations, which are origin-agnostic,
+ * so they aggregate correctly across the many independent t=0 event
+ * queues the engine's planning paths spin up. A TraceRecorder needs one
+ * coherent timeline and therefore attaches at the simulator level
+ * instead (FleetSpec::trace, StepSimulator::setTrace).
+ */
+struct ObsConfig {
+    /** Metrics sink (non-owning; nullptr = no metrics recorded). */
+    obs::MetricsRegistry *metrics = nullptr;
+    /**
+     * Instant sink for sampled integrity events — CRC failures, link
+     * faults, raw-framing degradations — on the arena transfer flows
+     * (non-owning; nullptr = off). These flows run outside any DES
+     * timeline, so the instants ride the recorder's monotonic
+     * pseudo-clock on the "integrity" process; never attach a recorder
+     * that also carries DES timelines.
+     */
+    obs::TraceRecorder *integrity_trace = nullptr;
+};
+
 /** Configuration of the cDMA engine. */
 struct CdmaConfig {
     GpuSpec gpu;
@@ -340,7 +367,18 @@ struct CdmaConfig {
     TransferConfig transfer;
     /** Interconnect the wire legs traverse. */
     TopologyConfig topology;
+    /** Metrics hooks (trace recorders attach at the simulator level). */
+    ObsConfig obs;
 };
+
+/**
+ * Fold one transfer's integrity accounting into @p metrics as
+ * `integrity.*` counters plus the `integrity.retry_stall_seconds`
+ * histogram — the registry-backed replacement for hand-summed
+ * TransferIntegrity scalars in harness code.
+ */
+void recordIntegrity(obs::MetricsRegistry &metrics,
+                     const TransferIntegrity &integrity);
 
 /**
  * The pre-topology flat configuration layout, kept for one release so

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/event_queue.hh"
 
 namespace cdma {
@@ -81,6 +83,7 @@ FleetSimulator::run() const
     const Topology &graph = *topology_.graph;
     EventQueue queue;
     LinkNetwork network(queue, graph);
+    network.setTrace(spec_.trace);
 
     // Identical data-parallel ranks: every GPU pushes the same shard
     // trains, so any asymmetry in the results is pure queueing.
@@ -100,10 +103,17 @@ FleetSimulator::run() const
             network, graph.route(topology_.gpus[g], topology_.host),
             offload_train, prefetch_train, spec_.pipeline,
             static_cast<unsigned>(g)));
+        // One trace process per GPU ("gpu0", "gpu1", ...), one thread
+        // track per pipeline stage.
+        pipelines.back()->setObservers(spec_.trace, spec_.metrics,
+                                       graph.node(topology_.gpus[g]).name);
     }
     for (auto &pipeline : pipelines)
         pipeline->start();
     queue.run();
+    // Ledger for the conservation check: the channels' own per-edge
+    // byte accounting, written after the queue drained.
+    network.recordTraceTotals();
 
     FleetResult result;
     result.gpus.reserve(pipelines.size());
@@ -120,6 +130,12 @@ FleetSimulator::run() const
             std::max(result.makespan_seconds, gpu.finish_seconds);
         result.mean_contention_stall_fraction +=
             gpu.contention_stall_fraction;
+        if (spec_.metrics != nullptr) {
+            spec_.metrics->histogram("fleet.gpu.finish_seconds")
+                .record(gpu.finish_seconds);
+            spec_.metrics->histogram("fleet.gpu.uplink_wait_seconds")
+                .record(gpu.uplink_wait_seconds);
+        }
         result.gpus.push_back(std::move(gpu));
     }
     if (!result.gpus.empty())

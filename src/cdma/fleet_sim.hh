@@ -56,6 +56,16 @@ struct FleetSpec {
     uint64_t prefetch_raw_bytes = 0;
     double prefetch_ratio = 2.5;
     uint64_t shard_raw_bytes = 2ull << 20;
+
+    // Observability sinks (both non-owning, either may be null). The
+    // trace recorder collects per-GPU stage tracks, per-edge wire
+    // spans/utilization counters, and the wire-byte conservation
+    // ledger; one recorder must observe at most one run() (timelines
+    // of separate runs all start at t=0 and would interleave). Kept at
+    // the end: FleetSpec is aggregate-initialized positionally in
+    // existing call sites.
+    obs::TraceRecorder *trace = nullptr;
+    obs::MetricsRegistry *metrics = nullptr;
 };
 
 /** The built fleet graph plus handles to its interesting pieces. */

@@ -7,6 +7,7 @@
 #include "common/bits.hh"
 #include "common/logging.hh"
 #include "compress/kernels/kernels.hh"
+#include "obs/trace.hh"
 
 namespace cdma {
 
@@ -327,6 +328,17 @@ TieredSpillArena::TieredSpillArena(uint64_t host_capacity_bytes,
     tier_stats_.host_capacity_bytes = host_capacity_bytes;
 }
 
+void
+TieredSpillArena::setTrace(obs::TraceRecorder *trace)
+{
+    trace_ = trace;
+    if (trace_ != nullptr) {
+        tier_track_ = trace_->track("arena", "tier");
+        occupancy_track_ =
+            trace_->counterTrack("arena", "host occupancy bytes");
+    }
+}
+
 const TieredSpillArena::Slot &
 TieredSpillArena::liveSlot(SpillTicket ticket) const
 {
@@ -407,6 +419,14 @@ TieredSpillArena::enforceCapacity(SpillTicket pinned)
         slot.backing = true;
         ++tier_stats_.evictions;
         tier_stats_.ssd_write_bytes += payload;
+        if (trace_ != nullptr) {
+            trace_->instant(tier_track_, "evict", trace_->tick(),
+                            obs::TraceArgs{{"ticket", ticket},
+                                           {"payload_bytes", payload}});
+            trace_->counter(occupancy_track_, trace_->tick(),
+                            static_cast<double>(
+                                host_.stats().live_payload_bytes));
+        }
     }
     for (auto it = skipped.rbegin(); it != skipped.rend(); ++it)
         eviction_fifo_.push_front(*it);
@@ -432,6 +452,14 @@ TieredSpillArena::promote(SpillTicket ticket)
     slot.backing = false;
     ++tier_stats_.promotions;
     tier_stats_.ssd_read_bytes += payload;
+    if (trace_ != nullptr) {
+        trace_->instant(tier_track_, "promote", trace_->tick(),
+                        obs::TraceArgs{{"ticket", ticket},
+                                       {"payload_bytes", payload}});
+        trace_->counter(occupancy_track_, trace_->tick(),
+                        static_cast<double>(
+                            host_.stats().live_payload_bytes));
+    }
     // Back in the host tier, back in eviction order (its stale FIFO
     // entry, if any, was consumed when it was first evicted). The
     // promoted spill itself is pinned through this pass — the whole

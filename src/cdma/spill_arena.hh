@@ -26,6 +26,10 @@
 
 namespace cdma {
 
+namespace obs {
+class TraceRecorder;
+} // namespace obs
+
 /** Opaque reference to one spilled (offloaded) buffer in the arena. */
 using SpillTicket = uint32_t;
 
@@ -249,6 +253,16 @@ class TieredSpillArena
     const SpillArena &backingArena() const { return backing_; }
     const TieredSpillStats &tierStats() const { return tier_stats_; }
 
+    /**
+     * Attach a trace recorder: evictions and promotions emit instants
+     * on the ("arena", "tier") track, and the host tier's live payload
+     * bytes feed an "arena host occupancy" counter track. The arena has
+     * no DES timeline, so events ride the recorder's monotonic
+     * pseudo-clock (TraceRecorder::tick) — attach only to recorders
+     * that carry no real DES timelines.
+     */
+    void setTrace(obs::TraceRecorder *trace);
+
   private:
     struct Slot {
         bool live = false;
@@ -277,6 +291,9 @@ class TieredSpillArena
     /** Sealed host-resident spills, oldest first (lazily validated). */
     std::deque<SpillTicket> eviction_fifo_;
     TieredSpillStats tier_stats_;
+    obs::TraceRecorder *trace_ = nullptr;
+    uint32_t tier_track_ = 0;      ///< ("arena", "tier") instants
+    uint32_t occupancy_track_ = 0; ///< host live-payload counter
 };
 
 } // namespace cdma

@@ -9,6 +9,8 @@
 #include "common/bits.hh"
 #include "common/logging.hh"
 #include "compress/kernels/kernels.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/channel.hh"
 #include "sim/event_queue.hh"
 #include "sim/fault_injector.hh"
@@ -83,6 +85,27 @@ degradeToRaw(CompressedShard &shard, std::span<const uint8_t> data,
     shard.raw_framed = true;
     shard.crc32c =
         kernels.crc32(0, shard.payload.data(), shard.payload.size());
+}
+
+/**
+ * Emit the pseudo-clock instant of one rejected crossing on the arena
+ * flows (no DES timeline exists there); no-op without a recorder. The
+ * cause mirrors crossingLanded()'s rejection order: lost/short
+ * crossings are link faults, surviving damage is a CRC failure.
+ */
+void
+traceRejectedCrossing(obs::TraceRecorder *trace, const char *flow,
+                      const sim::FaultOutcome &outcome, size_t shard,
+                      uint32_t attempt)
+{
+    if (trace == nullptr)
+        return;
+    const uint32_t track = trace->track("integrity", flow);
+    const char *cause = (outcome.link_failed || outcome.truncated)
+        ? "link_fault"
+        : "crc_failure";
+    trace->instant(track, cause, trace->tick(),
+                   obs::TraceArgs{{"shard", shard}, {"attempt", attempt}});
 }
 
 /** Spill-completion hook of the arena flows: a plain SpillArena has no
@@ -214,6 +237,9 @@ offloadIntoArena(const TransferEngine &te, std::span<const uint8_t> data,
                                    kernels, result.integrity)) {
                     break;
                 }
+                traceRejectedCrossing(config.obs.integrity_trace,
+                                      "offload", outcome, shard.index,
+                                      attempts);
                 xfer.failed_wire_bytes += xfer.wire_bytes;
                 if (attempts >= retry.max_attempts) {
                     fault_error = Status::retryExhausted(
@@ -345,6 +371,8 @@ prefetchFromArena(const TransferEngine &te, const Arena &arena,
                                kernels, result.integrity)) {
                 break;
             }
+            traceRejectedCrossing(config.obs.integrity_trace, "prefetch",
+                                  outcome, s, attempts);
             xfer.failed_wire_bytes += view.wire_bytes;
             if (attempts >= retry.max_attempts) {
                 return Status::retryExhausted(
@@ -485,6 +513,10 @@ TransferEngine::timingFor(std::span<const ShardTransfer> offload_shards,
         {offload_shards.begin(), offload_shards.end()},
         {prefetch_shards.begin(), prefetch_shards.end()}, spec,
         config.topology.source);
+    // Metrics only: every call here opens a fresh t=0 event queue, so a
+    // trace recorder (one coherent timeline) cannot attach at this
+    // level — but shard latency histograms are origin-agnostic.
+    pipeline.setObservers(nullptr, config.obs.metrics, "");
     pipeline.start();
     queue.run();
     return pipeline.collect();
@@ -635,6 +667,29 @@ DuplexPipeline::DuplexPipeline(LinkNetwork &network, Route offload_route,
 }
 
 void
+DuplexPipeline::setObservers(obs::TraceRecorder *trace,
+                             obs::MetricsRegistry *metrics,
+                             const std::string &name)
+{
+    trace_ = trace;
+    if (trace_ != nullptr) {
+        compress_track_ = trace_->track(name, "compress");
+        wire_out_track_ = trace_->track(name, "wire.out");
+        wire_in_track_ = trace_->track(name, "wire.in");
+        expand_track_ = trace_->track(name, "expand");
+    }
+    if (metrics != nullptr) {
+        off_latency_hist_ = &metrics->histogram(
+            "transfer.offload.shard_latency_seconds");
+        pre_latency_hist_ = &metrics->histogram(
+            "transfer.prefetch.shard_latency_seconds");
+    } else {
+        off_latency_hist_ = nullptr;
+        pre_latency_hist_ = nullptr;
+    }
+}
+
+void
 DuplexPipeline::start()
 {
     startCompress();
@@ -661,11 +716,18 @@ DuplexPipeline::startCompress()
     const SimTime compress_time =
         static_cast<double>(offload_shards_[k].raw_bytes) /
         spec_.compress_bandwidth;
-    network_.queue().scheduleAfter(compress_time, [this, k] {
+    const SimTime t0 = network_.queue().now();
+    network_.queue().scheduleAfter(compress_time, [this, k, t0] {
         // Shard k staged: hand it to the DMA unit (it queues on the
         // route's first edge behind that edge's arbiter) and start
         // compressing the next shard into the other buffer.
         compressing_ = false;
+        CDMA_TRACE_SPAN(trace_, compress_track_, "compress", t0,
+                        network_.queue().now(),
+                        (obs::TraceArgs{
+                            {"shard", k},
+                            {"raw_bytes", offload_shards_[k].raw_bytes},
+                        }));
         // The wire leg carries the shard's failed crossings too, and
         // the retry backoff rides as extra latency: the retry sequence
         // holds the shard's DMA transaction slot (and, under half
@@ -674,13 +736,19 @@ DuplexPipeline::startCompress()
             offload_route_,
             offload_shards_[k].wire_bytes +
                 offload_shards_[k].failed_wire_bytes,
-            [this](const RouteGrant &grant) {
+            [this, k](const RouteGrant &grant) {
                 --off_in_flight_;
                 ++off_done_;
                 last_off_drain_ = network_.queue().now();
                 off_wire_seconds_ += grant.service_seconds;
                 off_contention_ += grant.opposing_wait;
                 cross_source_wait_ += grant.cross_source_wait;
+                traceWireGrant(wire_out_track_, k,
+                               offload_shards_[k], grant);
+                if (off_latency_hist_ != nullptr) {
+                    off_latency_hist_->record(grant.end -
+                                              grant.queued_at);
+                }
                 startCompress();
             },
             backoffSeconds(offload_shards_[k].attempts,
@@ -701,7 +769,8 @@ DuplexPipeline::startExpand()
     const SimTime expand_time =
         static_cast<double>(prefetch_shards_[k].raw_bytes) /
         spec_.decompress_bandwidth;
-    network_.queue().scheduleAfter(expand_time, [this] {
+    const SimTime t0 = network_.queue().now();
+    network_.queue().scheduleAfter(expand_time, [this, k, t0] {
         // Shard re-inflated: its staging buffer frees, so the next
         // shard may enter the wire while the engine picks up the next
         // landed shard.
@@ -709,9 +778,45 @@ DuplexPipeline::startExpand()
         --pre_in_flight_;
         ++pre_done_;
         last_expand_ = network_.queue().now();
+        CDMA_TRACE_SPAN(trace_, expand_track_, "expand", t0,
+                        network_.queue().now(),
+                        (obs::TraceArgs{
+                            {"shard", k},
+                            {"raw_bytes", prefetch_shards_[k].raw_bytes},
+                        }));
         startExpand();
         startWire();
     });
+}
+
+void
+DuplexPipeline::traceWireGrant(uint32_t track, size_t shard,
+                               const ShardTransfer &xfer,
+                               const RouteGrant &grant)
+{
+    if (trace_ == nullptr)
+        return;
+    trace_->instant(track, "landed", grant.end,
+                    obs::TraceArgs{
+                        {"shard", shard},
+                        {"bytes", xfer.wire_bytes + xfer.failed_wire_bytes},
+                        {"latency_us", (grant.end - grant.queued_at) * 1e6},
+                        {"opposing_wait_us", grant.opposing_wait * 1e6},
+                        {"cross_source_wait_us",
+                         grant.cross_source_wait * 1e6},
+                    });
+    if (xfer.attempts > 1) {
+        trace_->instant(
+            track, "retry", grant.queued_at,
+            obs::TraceArgs{
+                {"shard", shard},
+                {"attempts", xfer.attempts},
+                {"failed_wire_bytes", xfer.failed_wire_bytes},
+                {"backoff_us",
+                 backoffSeconds(xfer.attempts,
+                                spec_.backoff_base_seconds) * 1e6},
+            });
+    }
 }
 
 void
@@ -731,6 +836,9 @@ DuplexPipeline::startWire()
             pre_wire_seconds_ += grant.service_seconds;
             pre_contention_ += grant.opposing_wait;
             cross_source_wait_ += grant.cross_source_wait;
+            traceWireGrant(wire_in_track_, k, prefetch_shards_[k], grant);
+            if (pre_latency_hist_ != nullptr)
+                pre_latency_hist_->record(grant.end - grant.queued_at);
             landed_.push(k);
             startExpand();
             startWire();

@@ -47,6 +47,11 @@
 
 namespace cdma {
 
+namespace obs {
+class HistogramMetric;
+class TraceRecorder;
+} // namespace obs
+
 /** Byte counts of one staging shard entering the pipeline model. */
 struct ShardTransfer {
     uint64_t raw_bytes = 0;  ///< uncompressed bytes the shard covers
@@ -126,6 +131,22 @@ class DuplexPipeline
                    std::vector<ShardTransfer> prefetch_shards,
                    const PipelineSpec &spec, unsigned source = 0);
 
+    /**
+     * Attach observability sinks (both non-owning, either may be null);
+     * call before start(). With a trace recorder, the pipeline emits
+     * per-shard "compress"/"expand" spans and wire "landed"/"retry"
+     * instants onto the @p name process's stage tracks ("compress",
+     * "wire.out", "wire.in", "expand") — wire legs are instants here,
+     * not spans, because a multi-hop route's [first-hop start, last-hop
+     * end] windows can partially overlap (full per-edge spans live on
+     * the LinkNetwork's edge tracks). With a metrics registry, every
+     * shard's end-to-end wire latency lands in the
+     * `transfer.{offload,prefetch}.shard_latency_seconds` histograms.
+     */
+    void setObservers(obs::TraceRecorder *trace,
+                      obs::MetricsRegistry *metrics,
+                      const std::string &name);
+
     /** Schedule the initial events; the caller runs the queue. */
     void start();
 
@@ -149,6 +170,11 @@ class DuplexPipeline
     void startCompress();
     void startWire();
     void startExpand();
+
+    /** Emit the "landed" (and, on retried shards, "retry") instants of
+     *  one drained wire leg; no-op without a trace recorder. */
+    void traceWireGrant(uint32_t track, size_t shard,
+                        const ShardTransfer &xfer, const RouteGrant &grant);
 
     LinkNetwork &network_;
     Route offload_route_;
@@ -179,6 +205,15 @@ class DuplexPipeline
     SimTime off_contention_ = 0.0;
     SimTime pre_contention_ = 0.0;
     SimTime cross_source_wait_ = 0.0;
+
+    // Observability sinks (see setObservers; all null = zero cost).
+    obs::TraceRecorder *trace_ = nullptr;
+    uint32_t compress_track_ = 0;
+    uint32_t wire_out_track_ = 0;
+    uint32_t wire_in_track_ = 0;
+    uint32_t expand_track_ = 0;
+    obs::HistogramMetric *off_latency_hist_ = nullptr;
+    obs::HistogramMetric *pre_latency_hist_ = nullptr;
 };
 
 /**

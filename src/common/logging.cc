@@ -1,5 +1,7 @@
 #include "common/logging.hh"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 
@@ -7,7 +9,8 @@ namespace cdma {
 
 namespace {
 
-LogLevel g_level = LogLevel::Info;
+LogSink g_sink;
+LogLevel g_level = logLevelFromEnv();
 
 const char *
 levelTag(LogLevel level)
@@ -21,14 +24,37 @@ levelTag(LogLevel level)
     return "?";
 }
 
+std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list probe;
+    va_copy(probe, ap);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, probe);
+    va_end(probe);
+    if (needed <= 0)
+        return std::string();
+    std::string out(static_cast<size_t>(needed), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap);
+    return out;
+}
+
+/** Deliver an already-filtered line to the sink or stderr. */
+void
+emit(LogLevel level, const char *tag, const std::string &body)
+{
+    if (g_sink) {
+        g_sink(level, body);
+        return;
+    }
+    std::fprintf(stderr, "[%s] %s\n", tag, body.c_str());
+}
+
 void
 vlogMessage(LogLevel level, const char *fmt, va_list ap)
 {
     if (level < g_level)
         return;
-    std::fprintf(stderr, "[%s] ", levelTag(level));
-    std::vfprintf(stderr, fmt, ap);
-    std::fputc('\n', stderr);
+    emit(level, levelTag(level), vformat(fmt, ap));
 }
 
 } // namespace
@@ -45,12 +71,65 @@ logLevel()
     return g_level;
 }
 
+bool
+parseLogLevel(const std::string &name, LogLevel &out)
+{
+    std::string lower(name);
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (lower == "debug") {
+        out = LogLevel::Debug;
+    } else if (lower == "info") {
+        out = LogLevel::Info;
+    } else if (lower == "warn" || lower == "warning") {
+        out = LogLevel::Warn;
+    } else if (lower == "error") {
+        out = LogLevel::Error;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+LogLevel
+logLevelFromEnv()
+{
+    const char *value = std::getenv("CDMA_LOG_LEVEL");
+    if (value == nullptr || *value == '\0')
+        return LogLevel::Info;
+    LogLevel level = LogLevel::Info;
+    if (!parseLogLevel(value, level)) {
+        // Bypass the (not-yet-seeded) filter: a mistyped level must be
+        // visible or the user will wonder why their setting is ignored.
+        emit(LogLevel::Warn, "warn",
+             "CDMA_LOG_LEVEL='" + std::string(value) +
+                 "' is not one of error/warn/info/debug; using info");
+        return LogLevel::Info;
+    }
+    return level;
+}
+
+void
+setLogSink(LogSink sink)
+{
+    g_sink = std::move(sink);
+}
+
 void
 logMessage(LogLevel level, const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
     vlogMessage(level, fmt, ap);
+    va_end(ap);
+}
+
+void
+debug(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vlogMessage(LogLevel::Debug, fmt, ap);
     va_end(ap);
 }
 
@@ -72,14 +151,30 @@ warn(const char *fmt, ...)
     va_end(ap);
 }
 
+bool
+warnRateLimited(WarnRateLimit &limit, const char *fmt, ...)
+{
+    ++limit.seen;
+    if (limit.seen > limit.max_emitted)
+        return false;
+    va_list ap;
+    va_start(ap, fmt);
+    vlogMessage(LogLevel::Warn, fmt, ap);
+    va_end(ap);
+    if (limit.seen == limit.max_emitted) {
+        logMessage(LogLevel::Warn,
+                   "(%llu warnings from this site; further ones suppressed)",
+                   static_cast<unsigned long long>(limit.max_emitted));
+    }
+    return true;
+}
+
 void
 fatal(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
-    std::fprintf(stderr, "[fatal] ");
-    std::vfprintf(stderr, fmt, ap);
-    std::fputc('\n', stderr);
+    emit(LogLevel::Error, "fatal", vformat(fmt, ap));
     va_end(ap);
     std::exit(1);
 }
@@ -89,9 +184,7 @@ panic(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
-    std::fprintf(stderr, "[panic] ");
-    std::vfprintf(stderr, fmt, ap);
-    std::fputc('\n', stderr);
+    emit(LogLevel::Error, "panic", vformat(fmt, ap));
     va_end(ap);
     std::abort();
 }

@@ -9,6 +9,8 @@
 #define CDMA_COMMON_LOGGING_HH
 
 #include <cstdarg>
+#include <cstdint>
+#include <functional>
 #include <string>
 
 namespace cdma {
@@ -31,6 +33,34 @@ void setLogLevel(LogLevel level);
 LogLevel logLevel();
 
 /**
+ * Parse a level name ("debug", "info", "warn", "error", case-insensitive)
+ * into @p out. Returns false (leaving @p out untouched) on anything else.
+ */
+bool parseLogLevel(const std::string &name, LogLevel &out);
+
+/**
+ * Level requested by the `CDMA_LOG_LEVEL` environment variable, or Info
+ * when unset. An unrecognized value earns a warning and falls back to
+ * Info. Evaluated once at startup to seed the global level; re-callable
+ * so tests can exercise the parsing against a modified environment.
+ */
+LogLevel logLevelFromEnv();
+
+/**
+ * Destination for formatted log lines. The level is the message's
+ * severity (already past the global filter); the string is the fully
+ * formatted body without the "[level] " tag or trailing newline.
+ */
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+
+/**
+ * Redirect log output (including fatal/panic last words) to @p sink
+ * instead of stderr. Pass an empty function to restore stderr. Intended
+ * for tests and for embedding the library in a host with its own logger.
+ */
+void setLogSink(LogSink sink);
+
+/**
  * Emit a formatted message at the given level to stderr. Used by the
  * convenience wrappers below; rarely called directly.
  *
@@ -45,6 +75,31 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Something may be mis-modeled but the run can continue. */
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Diagnostic detail, suppressed unless CDMA_LOG_LEVEL=debug. */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Budget for a warning that can fire once per event on a hot path (CRC
+ * failure, link fault, arena eviction). Declare one per call site —
+ * usually `static` — and pass it to warnRateLimited().
+ */
+struct WarnRateLimit {
+    /** Warnings emitted before the site goes quiet. */
+    uint64_t max_emitted = 10;
+    /** Times the site has fired (emitted or suppressed). */
+    uint64_t seen = 0;
+};
+
+/**
+ * Emit a warning unless @p limit is exhausted. The first `max_emitted`
+ * calls log normally; the call that crosses the budget appends a single
+ * "further warnings suppressed" notice; later calls only count.
+ *
+ * @return Whether the warning body was actually emitted.
+ */
+bool warnRateLimited(WarnRateLimit &limit, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
 
 /**
  * Terminate because of a user error (bad configuration, invalid argument).

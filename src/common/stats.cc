@@ -81,6 +81,77 @@ Histogram::binLo(size_t index) const
         static_cast<double>(counts_.size());
 }
 
+LogHistogram::LogHistogram(double growth)
+    : growth_(growth), inv_log_growth_(1.0 / std::log(growth))
+{
+    CDMA_ASSERT(growth > 1.0, "log histogram growth %f must exceed 1",
+                growth);
+}
+
+int32_t
+LogHistogram::bucketIndex(double sample) const
+{
+    if (sample <= 0.0)
+        return kUnderflowBucket;
+    return static_cast<int32_t>(std::floor(std::log(sample) *
+                                           inv_log_growth_));
+}
+
+double
+LogHistogram::bucketMid(int32_t index) const
+{
+    if (index == kUnderflowBucket)
+        return std::min(0.0, min_);
+    // Geometric midpoint of [growth^index, growth^(index+1)), clamped so
+    // the representative never leaves the observed sample range.
+    const double mid =
+        std::pow(growth_, static_cast<double>(index) + 0.5);
+    return std::clamp(mid, min_, max_);
+}
+
+void
+LogHistogram::add(double sample)
+{
+    ++buckets_[bucketIndex(sample)];
+    ++count_;
+    sum_ += sample;
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+}
+
+void
+LogHistogram::merge(const LogHistogram &other)
+{
+    CDMA_ASSERT(growth_ == other.growth_,
+                "cannot merge log histograms with growth %f and %f",
+                growth_, other.growth_);
+    for (const auto &[index, n] : other.buckets_)
+        buckets_[index] += n;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+LogHistogram::percentile(double q) const
+{
+    CDMA_ASSERT(q >= 0.0 && q <= 1.0, "percentile %f outside [0, 1]", q);
+    if (count_ == 0)
+        return 0.0;
+    const auto target = std::clamp<uint64_t>(
+        static_cast<uint64_t>(
+            std::ceil(q * static_cast<double>(count_))),
+        1, count_);
+    uint64_t seen = 0;
+    for (const auto &[index, n] : buckets_) {
+        seen += n;
+        if (seen >= target)
+            return bucketMid(index);
+    }
+    return max_; // unreachable: bucket counts sum to count_
+}
+
 std::string
 Histogram::render(size_t width) const
 {

@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -109,6 +110,81 @@ class Histogram
     double hi_;
     std::vector<uint64_t> counts_;
     uint64_t total_ = 0;
+};
+
+/**
+ * Unbounded log-bucketed histogram — the latency-distribution primitive
+ * the observability MetricsRegistry builds on. Buckets grow
+ * geometrically (bucket k covers [growth^k, growth^(k+1))), so a fixed
+ * number of buckets spans nanoseconds to seconds at a bounded relative
+ * error: percentile(q) is exact to within one bucket's width (a factor
+ * of `growth`), and exact outright when every sample in the answering
+ * bucket is equal (min/max clamping recovers the single-value case).
+ * Two histograms with the same growth merge losslessly — per-thread
+ * instances can be combined after the fact — and merging is associative
+ * on the bucket counts.
+ *
+ * Non-positive samples land in a dedicated underflow bucket (durations
+ * are the intended payload; a zero-length interval is still a sample).
+ */
+class LogHistogram
+{
+  public:
+    /** ~10 buckets per decade: percentiles exact to within 25%. */
+    static constexpr double kDefaultGrowth = 1.25;
+
+    /** @param growth Geometric bucket width. @pre growth > 1. */
+    explicit LogHistogram(double growth = kDefaultGrowth);
+
+    /** Add one sample. */
+    void add(double sample);
+
+    /** Fold @p other's buckets into this one (same growth required). */
+    void merge(const LogHistogram &other);
+
+    /** Number of samples added. */
+    uint64_t count() const { return count_; }
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const
+    {
+        return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+    /** Smallest sample; +inf when empty. */
+    double min() const { return min_; }
+    /** Largest sample; -inf when empty. */
+    double max() const { return max_; }
+    /** Occupied buckets. */
+    size_t bucketCount() const { return buckets_.size(); }
+    /** Configured geometric bucket width. */
+    double growth() const { return growth_; }
+
+    /**
+     * Nearest-rank percentile of @p q in [0, 1]: the representative
+     * value (geometric bucket midpoint, clamped into [min, max]) of the
+     * bucket holding the ceil(q * count)-th smallest sample. 0 when
+     * empty. percentile(0) clamps to min(), percentile(1) to max().
+     */
+    double percentile(double q) const;
+
+  private:
+    /** Bucket key of @p sample (underflow key for sample <= 0). */
+    int32_t bucketIndex(double sample) const;
+    /** Geometric midpoint of bucket @p index. */
+    double bucketMid(int32_t index) const;
+
+    static constexpr int32_t kUnderflowBucket =
+        std::numeric_limits<int32_t>::min();
+
+    double growth_;
+    double inv_log_growth_;
+    /** Bucket key -> sample count, ordered — iteration is the CDF walk. */
+    std::map<int32_t, uint64_t> buckets_;
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
 };
 
 } // namespace cdma

@@ -11,6 +11,7 @@
 #include "common/bits.hh"
 #include "common/logging.hh"
 #include "compress/kernels/kernels.hh"
+#include "obs/metrics.hh"
 
 namespace cdma {
 
@@ -35,6 +36,21 @@ ParallelCompressor::backendName() const
     return codec_->kernels().name;
 }
 
+void
+ParallelCompressor::setMetrics(obs::MetricsRegistry *metrics)
+{
+    if (metrics == nullptr) {
+        compress_hist_ = nullptr;
+        expand_hist_ = nullptr;
+        return;
+    }
+    const std::string backend = backendName();
+    compress_hist_ =
+        &metrics->histogram("kernel.compress.wall_seconds." + backend);
+    expand_hist_ =
+        &metrics->histogram("kernel.expand.wall_seconds." + backend);
+}
+
 ParallelCompressor::ParallelCompressor(std::unique_ptr<Compressor> codec,
                                        unsigned lanes)
     : codec_(std::move(codec))
@@ -51,8 +67,10 @@ ParallelCompressor::compress(std::span<const uint8_t> input) const
     const uint64_t windows = ceilDiv(input.size(), window_bytes);
     // Fan-out only pays when there is enough work per lane; small buffers
     // (and the lanes == 1 configuration) take the serial path directly.
-    if (!pool_ || windows < 2)
+    if (!pool_ || windows < 2) {
+        const obs::ScopedTimer timer(compress_hist_);
         return codec_->compress(input);
+    }
 
     const uint64_t per_shard =
         ceilDiv(windows, std::min<uint64_t>(pool_->lanes(), windows));
@@ -95,6 +113,9 @@ ParallelCompressor::compressShardInto(std::span<const uint8_t> input,
                                       uint64_t first, uint64_t last,
                                       CompressedShard &shard) const
 {
+    // Wall-clock kernel timing (real elapsed time, also on worker
+    // lanes); a null histogram disarms the timer.
+    const obs::ScopedTimer timer(compress_hist_);
     const uint64_t window_bytes = codec_->windowBytes();
     shard.first_window = first;
     shard.window_sizes.reserve(last - first);
@@ -298,6 +319,7 @@ ParallelCompressor::decompressShards(
     };
     auto expandShard = [&](uint64_t s,
                            DecompressedShard &shard) -> Status {
+        const obs::ScopedTimer timer(expand_hist_);
         const auto [first, last] = bounds(s);
         shard.index = s;
         shard.first_window = first;
@@ -365,8 +387,10 @@ StatusOr<ByteVec>
 ParallelCompressor::decompress(const CompressedBuffer &buffer) const
 {
     const uint64_t windows = buffer.window_sizes.size();
-    if (!pool_ || windows < 2)
+    if (!pool_ || windows < 2) {
+        const obs::ScopedTimer timer(expand_hist_);
         return codec_->decompress(buffer);
+    }
 
     if (windows != ceilDiv(buffer.original_bytes, buffer.window_bytes)) {
         return Status::corrupt(

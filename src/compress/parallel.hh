@@ -22,6 +22,11 @@
 
 namespace cdma {
 
+namespace obs {
+class HistogramMetric;
+class MetricsRegistry;
+} // namespace obs
+
 /**
  * One compressed shard of a sharded compression: a contiguous group of
  * windows with its payload and framing, in window order. Concatenating
@@ -92,6 +97,16 @@ class ParallelCompressor
 
     /** The wrapped serial codec. */
     const Compressor &serial() const { return *codec_; }
+
+    /**
+     * Record wall-clock kernel latency distributions into @p metrics
+     * (non-owning; nullptr disables, the default). Every shard
+     * compression / expansion is then timed into the
+     * `kernel.compress.wall_seconds.<backend>` /
+     * `kernel.expand.wall_seconds.<backend>` histograms — real elapsed
+     * time of the real kernels, including on worker lanes.
+     */
+    void setMetrics(obs::MetricsRegistry *metrics);
 
     /**
      * Compress @p input with the window space fanned out across the
@@ -191,6 +206,9 @@ class ParallelCompressor
 
     std::unique_ptr<Compressor> codec_;
     std::unique_ptr<ThreadPool> pool_; ///< null when lanes == 1
+    /** Kernel-latency histograms; null when metrics are disabled. */
+    obs::HistogramMetric *compress_hist_ = nullptr;
+    obs::HistogramMetric *expand_hist_ = nullptr;
 };
 
 } // namespace cdma

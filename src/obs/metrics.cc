@@ -1,0 +1,213 @@
+#include "obs/metrics.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace cdma::obs {
+
+namespace {
+
+uint64_t
+nowNanos()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::string
+formatDouble(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return buf;
+}
+
+} // namespace
+
+void
+HistogramMetric::record(double sample)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.add(sample);
+}
+
+void
+HistogramMetric::merge(const LogHistogram &other)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.merge(other);
+}
+
+uint64_t
+HistogramMetric::count() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hist_.count();
+}
+
+double
+HistogramMetric::mean() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hist_.mean();
+}
+
+double
+HistogramMetric::min() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hist_.min();
+}
+
+double
+HistogramMetric::max() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hist_.max();
+}
+
+double
+HistogramMetric::percentile(double q) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hist_.percentile(q);
+}
+
+LogHistogram
+HistogramMetric::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hist_;
+}
+
+ScopedTimer::ScopedTimer(HistogramMetric *target) : target_(target)
+{
+    if (target_ != nullptr)
+        start_ns_ = nowNanos();
+}
+
+ScopedTimer::~ScopedTimer()
+{
+    if (target_ != nullptr)
+        target_->record(static_cast<double>(nowNanos() - start_ns_) * 1e-9);
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+HistogramMetric &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<HistogramMetric>();
+    return *slot;
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out = "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, c] : counters_) {
+        if (!first)
+            out += ",";
+        first = false;
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(c->value()));
+        out += "\n    \"" + name + "\": " + buf;
+    }
+    out += first ? "},\n" : "\n  },\n";
+
+    out += "  \"gauges\": {";
+    first = true;
+    for (const auto &[name, g] : gauges_) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\n    \"" + name + "\": " + formatDouble(g->value());
+    }
+    out += first ? "},\n" : "\n  },\n";
+
+    out += "  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : histograms_) {
+        if (!first)
+            out += ",";
+        first = false;
+        const LogHistogram hist = h->snapshot();
+        char count[32];
+        std::snprintf(count, sizeof(count), "%llu",
+                      static_cast<unsigned long long>(hist.count()));
+        out += "\n    \"" + name + "\": {\"count\": " + count +
+            ", \"mean\": " + formatDouble(hist.mean()) +
+            ", \"min\": " + formatDouble(hist.count() ? hist.min() : 0.0) +
+            ", \"max\": " + formatDouble(hist.count() ? hist.max() : 0.0) +
+            ", \"p50\": " + formatDouble(hist.percentile(0.50)) +
+            ", \"p95\": " + formatDouble(hist.percentile(0.95)) +
+            ", \"p99\": " + formatDouble(hist.percentile(0.99)) + "}";
+    }
+    out += first ? "}\n" : "\n  }\n";
+    out += "}\n";
+    return out;
+}
+
+std::string
+MetricsRegistry::render() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::ostringstream out;
+    for (const auto &[name, c] : counters_)
+        out << name << " = " << c->value() << "\n";
+    for (const auto &[name, g] : gauges_)
+        out << name << " = " << formatDouble(g->value()) << "\n";
+    for (const auto &[name, h] : histograms_) {
+        const LogHistogram hist = h->snapshot();
+        out << name << ": count=" << hist.count()
+            << " mean=" << formatDouble(hist.mean())
+            << " p50=" << formatDouble(hist.percentile(0.50))
+            << " p95=" << formatDouble(hist.percentile(0.95))
+            << " p99=" << formatDouble(hist.percentile(0.99)) << "\n";
+    }
+    return out.str();
+}
+
+void
+MetricsRegistry::writeFileOrDie(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot open metrics output '%s'", path.c_str());
+    out << toJson();
+    out.flush();
+    if (!out)
+        fatal("failed writing metrics output '%s'", path.c_str());
+}
+
+} // namespace cdma::obs

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Metrics registry: named counters, gauges, and log-bucketed latency
+ * histograms with p50/p95/p99, registered once and updated from
+ * anywhere — including worker threads (counters are atomic, histograms
+ * mutex-guarded, registration creation-locked). This absorbs the ad-hoc
+ * scalar plumbing the integrity and timing layers grew, and is the
+ * measurement substrate the CDMA-as-a-service milestone needs.
+ *
+ * Naming convention: dot-separated hierarchy, unit as the last path
+ * component where one applies — e.g. `transfer.offload.shard_latency_seconds`,
+ * `kernel.compress.wall_seconds.avx2`, `integrity.crc_failures`.
+ */
+
+#ifndef CDMA_OBS_METRICS_HH
+#define CDMA_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/stats.hh"
+
+namespace cdma::obs {
+
+/** Monotonically increasing count (events, bytes, retries). */
+class Counter
+{
+  public:
+    void add(uint64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** Last-write-wins instantaneous value (occupancy, ratio). */
+class Gauge
+{
+  public:
+    void set(double value)
+    {
+        value_.store(value, std::memory_order_relaxed);
+    }
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Thread-safe wrapper over LogHistogram. Worker lanes record into the
+ * same instance; the mutex is uncontended except during parallel
+ * compression fan-out, where one lock per shard is noise next to the
+ * kernel work it times.
+ */
+class HistogramMetric
+{
+  public:
+    /** Record one sample (typically seconds). */
+    void record(double sample);
+    /** Fold another histogram's samples in. */
+    void merge(const LogHistogram &other);
+
+    uint64_t count() const;
+    double mean() const;
+    double min() const;
+    double max() const;
+    /** Nearest-rank percentile, exact within bucket resolution. */
+    double percentile(double q) const;
+    /** Copy of the underlying histogram (for export / cross-merge). */
+    LogHistogram snapshot() const;
+
+  private:
+    mutable std::mutex mu_;
+    LogHistogram hist_;
+};
+
+/**
+ * RAII wall-clock timer recording elapsed seconds into a histogram at
+ * destruction. Null target disarms it, so hot paths can hold a maybe-null
+ * pointer without branching at the call site.
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(HistogramMetric *target);
+    ~ScopedTimer();
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    HistogramMetric *target_;
+    uint64_t start_ns_ = 0;
+};
+
+/**
+ * Registry of named metrics. Lookup creates on first use and returns a
+ * stable reference — instruments hold the reference (or pointer) and
+ * never touch the registry map again, so updates don't contend on the
+ * registry lock.
+ */
+class MetricsRegistry
+{
+  public:
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    HistogramMetric &histogram(const std::string &name);
+
+    /**
+     * Serialize every metric to a deterministic JSON document:
+     * counters/gauges as scalars, histograms as
+     * {count, mean, min, max, p50, p95, p99}. Keys sort lexically.
+     */
+    std::string toJson() const;
+
+    /** Multi-line human-readable summary for harness footers. */
+    std::string render() const;
+
+    /** Write toJson() to @p path; fatal() on I/O failure. */
+    void writeFileOrDie(const std::string &path) const;
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+} // namespace cdma::obs
+
+#endif // CDMA_OBS_METRICS_HH

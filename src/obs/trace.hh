@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Timeline tracing for the DES and kernel layers: a TraceRecorder that
+ * captures span/instant/counter events on named tracks and exports them
+ * as Chrome trace-event JSON, loadable in Perfetto or chrome://tracing.
+ *
+ * Track model
+ * -----------
+ * Chrome's trace viewer groups events by (pid, tid). We map each
+ * logical *process* (a GPU pipeline, the edge set of the topology
+ * graph, the spill arena) to a pid and each *thread* within it (a
+ * pipeline stage, one direction of one edge) to a tid; counter tracks
+ * ("C" events) hang off a pid and are keyed by name. Metadata events
+ * give every pid/tid its human-readable label, so a trace opens with
+ * stable, self-describing track names.
+ *
+ * Determinism
+ * -----------
+ * Everything the simulators feed the recorder comes off a deterministic
+ * event queue, and serialization uses fixed-precision formatting and a
+ * stable sort — so the exported JSON is byte-identical across runs of
+ * the same seed. Tests assert on that property directly.
+ *
+ * Cost model
+ * ----------
+ * A null recorder is the off switch: every CDMA_TRACE_* macro expands
+ * to a null check, so argument expressions (string building, arithmetic)
+ * are not evaluated and nothing allocates when tracing is disabled.
+ * Compiling with -DCDMA_TRACE_ENABLED=0 removes even the null check.
+ */
+
+#ifndef CDMA_OBS_TRACE_HH
+#define CDMA_OBS_TRACE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace cdma::obs {
+
+/**
+ * One argument value attached to a trace event. Holds an unsigned
+ * integer, a double, or a string; serialized into the event's "args"
+ * object.
+ */
+class TraceValue
+{
+  public:
+    enum class Kind { U64, F64, Str };
+
+    /** Integral payloads (shard indices, byte counts, attempt counts). */
+    template <typename T,
+              typename = std::enable_if_t<std::is_integral_v<T>>>
+    TraceValue(T value) : kind_(Kind::U64), u64_(static_cast<uint64_t>(value))
+    {
+    }
+    TraceValue(double value) : kind_(Kind::F64), f64_(value) {}
+    TraceValue(const char *value) : kind_(Kind::Str), str_(value) {}
+    TraceValue(std::string value) : kind_(Kind::Str), str_(std::move(value)) {}
+
+    Kind kind() const { return kind_; }
+    uint64_t u64() const { return u64_; }
+    double f64() const { return f64_; }
+    const std::string &str() const { return str_; }
+
+  private:
+    Kind kind_;
+    uint64_t u64_ = 0;
+    double f64_ = 0.0;
+    std::string str_;
+};
+
+/** Ordered key/value arguments for one event. */
+using TraceArgs = std::vector<std::pair<std::string, TraceValue>>;
+
+/** Handle to a registered (process, thread) or counter track. */
+using TrackId = uint32_t;
+
+/**
+ * Records structured timeline events and exports Chrome trace-event
+ * JSON. All times are in seconds (the DES unit); export converts to the
+ * trace format's microseconds. Not thread-safe: the simulators emit
+ * events from the single DES thread.
+ */
+class TraceRecorder
+{
+  public:
+    /** Event phases, mirroring the trace-event format's "ph" field. */
+    enum class Phase { Span, Instant, Counter };
+
+    /** One recorded event (exposed for in-process assertions). */
+    struct Event {
+        Phase phase;
+        TrackId track;
+        std::string name;
+        double begin_s;   ///< Span begin / instant time / counter time.
+        double end_s;     ///< Span end; unused otherwise.
+        double value;     ///< Counter value; unused otherwise.
+        TraceArgs args;
+    };
+
+    /** Registered track metadata (exposed for in-process assertions). */
+    struct Track {
+        std::string process;
+        std::string thread;  ///< Counter name for counter tracks.
+        uint32_t pid;
+        uint32_t tid;        ///< 0 for counter tracks.
+        bool is_counter;
+    };
+
+    /**
+     * Register (or look up) the track for @p thread within @p process.
+     * Idempotent: the same pair always returns the same id.
+     */
+    TrackId track(const std::string &process, const std::string &thread);
+
+    /**
+     * Register (or look up) the counter track @p name within
+     * @p process. Counter samples plot as a filled area chart.
+     */
+    TrackId counterTrack(const std::string &process,
+                         const std::string &name);
+
+    /** Record a [begin, end] span named @p name on @p track. */
+    void span(TrackId track, std::string name, double begin_s,
+              double end_s, TraceArgs args = {});
+
+    /** Record a zero-duration marker on @p track. */
+    void instant(TrackId track, std::string name, double at_s,
+                 TraceArgs args = {});
+
+    /** Record a counter sample on a counterTrack(). */
+    void counter(TrackId track, double at_s, double value);
+
+    /**
+     * Monotonic pseudo-clock for subsystems with no DES timeline of
+     * their own (the spill arena mutates under wall-clock call order).
+     * Each call advances by one microsecond.
+     */
+    double tick() { return static_cast<double>(++seq_) * 1e-6; }
+
+    /**
+     * Record a named total in the trace's otherData ledger — e.g. the
+     * link layer's own per-edge byte accounting, so a validator can
+     * check the spans conserve bytes against an independent source.
+     */
+    void setTotal(const std::string &key, uint64_t value);
+
+    /** All recorded events, in emission order. */
+    const std::vector<Event> &events() const { return events_; }
+    /** Metadata for @p track. */
+    const Track &trackInfo(TrackId track) const { return tracks_.at(track); }
+    /** Number of recorded events (cheap zero-overhead assertion). */
+    size_t eventCount() const { return events_.size(); }
+
+    /**
+     * Serialize to Chrome trace-event JSON: metadata events first, then
+     * all events stable-sorted by timestamp. Deterministic byte-for-byte
+     * given the same recorded sequence.
+     */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; fatal() on I/O failure. */
+    void writeFileOrDie(const std::string &path) const;
+
+  private:
+    std::vector<Track> tracks_;
+    std::map<std::pair<std::string, std::string>, TrackId> track_index_;
+    std::map<std::string, uint32_t> pids_;
+    std::vector<Event> events_;
+    std::map<std::string, uint64_t> totals_;
+    uint64_t seq_ = 0;
+};
+
+/**
+ * Strip a `--name=value` argument from argv (mutating argc/argv the way
+ * getopt does) and return the value, or "" when absent. Shared by the
+ * examples and benches that grew --trace-out / --metrics-out flags.
+ */
+std::string extractFlag(int &argc, char **argv, const std::string &name);
+
+/**
+ * Tracing macro layer. Call sites pass a `TraceRecorder *` that may be
+ * null; the macros skip evaluation of every other argument when it is,
+ * and compile away entirely under -DCDMA_TRACE_ENABLED=0. Braced
+ * TraceArgs initializers must be parenthesized at the call site:
+ * `CDMA_TRACE_SPAN(rec, t, "x", a, b, (TraceArgs{{"k", v}}))`.
+ */
+#ifndef CDMA_TRACE_ENABLED
+#define CDMA_TRACE_ENABLED 1
+#endif
+
+#if CDMA_TRACE_ENABLED
+#define CDMA_TRACE_SPAN(rec, track, name, begin_s, end_s, ...)             \
+    do {                                                                   \
+        if ((rec) != nullptr)                                              \
+            (rec)->span((track), (name), (begin_s),                        \
+                        (end_s)__VA_OPT__(, ) __VA_ARGS__);                \
+    } while (0)
+#define CDMA_TRACE_INSTANT(rec, track, name, at_s, ...)                    \
+    do {                                                                   \
+        if ((rec) != nullptr)                                              \
+            (rec)->instant((track), (name),                                \
+                           (at_s)__VA_OPT__(, ) __VA_ARGS__);              \
+    } while (0)
+#define CDMA_TRACE_COUNTER(rec, track, at_s, value)                        \
+    do {                                                                   \
+        if ((rec) != nullptr)                                              \
+            (rec)->counter((track), (at_s), (value));                      \
+    } while (0)
+#else
+#define CDMA_TRACE_SPAN(rec, track, name, begin_s, end_s, ...) ((void)0)
+#define CDMA_TRACE_INSTANT(rec, track, name, at_s, ...) ((void)0)
+#define CDMA_TRACE_COUNTER(rec, track, at_s, value) ((void)0)
+#endif
+
+} // namespace cdma::obs
+
+#endif // CDMA_OBS_TRACE_HH

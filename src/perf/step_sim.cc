@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 #include "sim/channel.hh"
 #include "sim/event_queue.hh"
 
@@ -26,6 +27,13 @@ StepSimulator::StepSimulator(const VdnnMemoryManager &manager,
                              CudnnVersion version)
     : manager_(manager), engine_(engine), perf_(perf), version_(version)
 {
+}
+
+void
+StepSimulator::setTrace(obs::TraceRecorder *trace, std::string process)
+{
+    trace_ = trace;
+    trace_process_ = std::move(process);
 }
 
 StepResult
@@ -155,6 +163,9 @@ StepSimulator::run(StepMode mode,
 
     std::vector<double> fwd_end(L, -1.0), off_end(L, -1.0);
     std::vector<double> bwd_end(L, -1.0), pre_end(L, -1.0);
+    // Service records of each layer's wire crossings, kept so the trace
+    // can be emitted in one deterministic pass after the queue drains.
+    std::vector<DuplexChannel::Grant> off_grant(L), pre_grant(L);
     std::vector<bool> fwd_started(L, false), bwd_started(L, false);
     std::vector<bool> pre_requested(L, false), pre_submitted(L, false);
     double forward_done_time = 0.0;
@@ -175,6 +186,7 @@ StepSimulator::run(StepMode mode,
                        [&, i](const DuplexChannel::Grant &grant) {
                            result.layers[i].prefetch_contention =
                                grant.opposing_wait;
+                           pre_grant[i] = grant;
                            pre_end[i] = queue.now();
                            tryStartBwd(i);
                        });
@@ -208,6 +220,7 @@ StepSimulator::run(StepMode mode,
                            [&, i](const DuplexChannel::Grant &grant) {
                                result.layers[i].offload_contention =
                                    grant.opposing_wait;
+                               off_grant[i] = grant;
                                off_end[i] = queue.now();
                                if (i + 1 < L)
                                    tryStartFwd(i + 1);
@@ -302,6 +315,53 @@ StepSimulator::run(StepMode mode,
 
     tryStartFwd(0);
     queue.run();
+
+    if (trace_ != nullptr) {
+        // One deterministic pass over the drained schedule: compute
+        // spans per direction, wire spans per link direction (the one
+        // duplex channel serves each direction FIFO, so spans on a
+        // track never overlap).
+        const uint32_t fwd_track =
+            trace_->track(trace_process_, "compute.forward");
+        const uint32_t bwd_track =
+            trace_->track(trace_process_, "compute.backward");
+        const uint32_t out_track =
+            trace_->track(trace_process_, "pcie.out");
+        const uint32_t in_track = trace_->track(trace_process_, "pcie.in");
+        for (size_t i = 0; i < L; ++i) {
+            if (fwd_end[i] >= 0.0) {
+                trace_->span(fwd_track, result.layers[i].label,
+                             fwd_end[i] - fwd[i], fwd_end[i],
+                             obs::TraceArgs{{"layer", i}});
+            }
+            if (bwd_end[i] >= 0.0) {
+                trace_->span(bwd_track, result.layers[i].label,
+                             bwd_end[i] - bwd[i], bwd_end[i],
+                             obs::TraceArgs{{"layer", i}});
+            }
+            if (has_xfer[i] && off_end[i] >= 0.0) {
+                trace_->span(out_track, "offload", off_grant[i].start,
+                             off_grant[i].end,
+                             obs::TraceArgs{
+                                 {"layer", i},
+                                 {"label", result.layers[i].label},
+                                 {"opposing_wait_us",
+                                  off_grant[i].opposing_wait * 1e6},
+                             });
+            }
+            if (has_xfer[i] && pre_end[i] >= 0.0) {
+                trace_->span(in_track, "prefetch", pre_grant[i].start,
+                             pre_grant[i].end,
+                             obs::TraceArgs{
+                                 {"layer", i},
+                                 {"label", result.layers[i].label},
+                                 {"opposing_wait_us",
+                                  pre_grant[i].opposing_wait * 1e6},
+                             });
+            }
+        }
+        trace_->instant(fwd_track, "forward done", forward_done_time);
+    }
 
     result.forward_seconds = forward_done_time;
     result.total_seconds = bwd_end[0];

@@ -32,6 +32,10 @@
 
 namespace cdma {
 
+namespace obs {
+class TraceRecorder;
+} // namespace obs
+
 /** Virtualization mode of a simulated step. */
 enum class StepMode {
     Baseline, ///< no offloading at all (not memory-scalable)
@@ -146,11 +150,24 @@ class StepSimulator
     StepResult run(StepMode mode,
                    const std::vector<double> &output_ratios = {}) const;
 
+    /**
+     * Attach a trace recorder: subsequent run() calls emit per-layer
+     * compute spans on (@p process, "compute.forward" / "compute.backward")
+     * and per-transfer wire spans on (@p process, "pcie.out" / "pcie.in")
+     * — the step's single duplex link serves each direction FIFO, so the
+     * per-direction spans are disjoint. Baseline/Oracle runs simulate no
+     * events and emit nothing. Because every run()'s timeline starts at
+     * t = 0, one recorder should observe at most one traced run.
+     */
+    void setTrace(obs::TraceRecorder *trace, std::string process);
+
   private:
     const VdnnMemoryManager &manager_;
     const CdmaEngine &engine_;
     const PerfModel &perf_;
     CudnnVersion version_;
+    obs::TraceRecorder *trace_ = nullptr;
+    std::string trace_process_;
 };
 
 } // namespace cdma

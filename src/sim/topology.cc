@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace cdma {
 
@@ -242,6 +243,10 @@ LinkNetwork::submitHop(std::shared_ptr<Transit> transit, size_t hop,
             grant.service_seconds += g.end - g.start;
             grant.opposing_wait += g.opposing_wait;
             grant.cross_source_wait += g.cross_source_wait;
+            if (trace_ != nullptr) {
+                traceHop(transit->route.hops[hop], g, transit->bytes,
+                         transit->source);
+            }
             if (hop + 1 < transit->route.hops.size()) {
                 submitHop(std::move(transit), hop + 1, 0.0);
             } else if (transit->on_done) {
@@ -249,6 +254,57 @@ LinkNetwork::submitHop(std::shared_ptr<Transit> transit, size_t hop,
             }
         },
         hop_latency, source);
+}
+
+void
+LinkNetwork::setTrace(obs::TraceRecorder *trace)
+{
+    trace_ = trace;
+    edge_tracks_.clear();
+    if (trace_ == nullptr)
+        return;
+    // Register every edge's tracks up front so the track layout (and
+    // thus pid/tid assignment) is a function of the topology alone, not
+    // of which edges happened to carry traffic first.
+    edge_tracks_.reserve(topology_.linkCount());
+    for (LinkId id = 0; id < topology_.linkCount(); ++id) {
+        const TopologyLink &l = topology_.link(id);
+        edge_tracks_.push_back(std::array<uint32_t, 3>{
+            trace_->track("edges", l.name + ":out"),
+            trace_->track("edges", l.name + ":in"),
+            trace_->counterTrack("edges", l.name + " utilization")});
+    }
+}
+
+void
+LinkNetwork::traceHop(const RouteHop &hop, const DuplexChannel::Grant &g,
+                      uint64_t bytes, unsigned source)
+{
+    const auto &tracks = edge_tracks_[hop.link];
+    const bool outbound = hop.direction == DuplexChannel::Direction::Out;
+    trace_->span(tracks[outbound ? 0 : 1], "wire", g.start, g.end,
+                 obs::TraceArgs{
+                     {"bytes", bytes},
+                     {"source", source},
+                     {"queue_wait_us", (g.start - g.queued_at) * 1e6},
+                     {"opposing_wait_us", g.opposing_wait * 1e6},
+                     {"cross_source_wait_us", g.cross_source_wait * 1e6},
+                 });
+    trace_->counter(tracks[2], g.end, utilization(hop.link));
+}
+
+void
+LinkNetwork::recordTraceTotals()
+{
+    if (trace_ == nullptr)
+        return;
+    for (LinkId id = 0; id < topology_.linkCount(); ++id) {
+        const TopologyLink &l = topology_.link(id);
+        trace_->setTotal("wire_bytes." + l.name + ":out",
+                         edgeBytes(id, DuplexChannel::Direction::Out));
+        trace_->setTotal("wire_bytes." + l.name + ":in",
+                         edgeBytes(id, DuplexChannel::Direction::In));
+    }
 }
 
 uint64_t

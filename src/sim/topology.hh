@@ -22,6 +22,7 @@
 #ifndef CDMA_SIM_TOPOLOGY_HH
 #define CDMA_SIM_TOPOLOGY_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -35,6 +36,10 @@ namespace cdma {
 namespace sim {
 class FaultInjector;
 } // namespace sim
+
+namespace obs {
+class TraceRecorder;
+} // namespace obs
 
 /** Node handle in a Topology (index into its node table). */
 using NodeId = uint32_t;
@@ -233,6 +238,27 @@ class LinkNetwork
     void submit(const Route &route, uint64_t bytes, Completion on_done,
                 SimTime extra_latency = 0.0, unsigned source = 0);
 
+    /**
+     * Attach a trace recorder (non-owning; nullptr detaches). Registers
+     * one span track per edge direction plus a utilization counter
+     * track per edge under the "edges" trace process; every completed
+     * hop then emits a "wire" span with queue/opposing/cross-source
+     * wait attribution. Per-edge-per-direction service is FIFO, so the
+     * spans on each track are disjoint.
+     */
+    void setTrace(obs::TraceRecorder *trace);
+
+    /** Attached trace recorder (nullptr = tracing off). */
+    obs::TraceRecorder *trace() const { return trace_; }
+
+    /**
+     * Write the channel layer's own per-edge byte totals into the trace
+     * ledger (`wire_bytes.<edge>:<dir>` in otherData) so validators can
+     * check the emitted spans conserve bytes against an independently
+     * accumulated source. Call once after the event queue drains.
+     */
+    void recordTraceTotals();
+
     /** Bytes that crossed edge @p link in @p direction. */
     uint64_t edgeBytes(LinkId link,
                        DuplexChannel::Direction direction) const;
@@ -256,10 +282,17 @@ class LinkNetwork
     void submitHop(std::shared_ptr<Transit> transit, size_t hop,
                    SimTime extra_latency);
 
+    /** Emit the trace span + utilization sample for one serviced hop. */
+    void traceHop(const RouteHop &hop, const DuplexChannel::Grant &grant,
+                  uint64_t bytes, unsigned source);
+
     EventQueue &queue_;
     const Topology &topology_;
     std::vector<std::unique_ptr<DuplexChannel>> channels_;
     std::vector<sim::FaultInjector *> injectors_;
+    obs::TraceRecorder *trace_ = nullptr;
+    /** Per edge: {out span track, in span track, utilization counter}. */
+    std::vector<std::array<uint32_t, 3>> edge_tracks_;
 };
 
 } // namespace cdma

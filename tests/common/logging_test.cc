@@ -2,10 +2,41 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "common/logging.hh"
 
 namespace cdma {
 namespace {
+
+/** Captures the log stream and restores level + sink on destruction. */
+class ScopedLogCapture
+{
+  public:
+    ScopedLogCapture() : saved_level_(logLevel())
+    {
+        setLogSink([this](LogLevel level, const std::string &body) {
+            lines_.emplace_back(level, body);
+        });
+    }
+    ~ScopedLogCapture()
+    {
+        setLogSink({});
+        setLogLevel(saved_level_);
+    }
+
+    const std::vector<std::pair<LogLevel, std::string>> &lines() const
+    {
+        return lines_;
+    }
+
+  private:
+    LogLevel saved_level_;
+    std::vector<std::pair<LogLevel, std::string>> lines_;
+};
 
 TEST(Logging, LevelFilterRoundTrips)
 {
@@ -44,6 +75,92 @@ TEST(Logging, AssertMacroPassesOnTrue)
 {
     CDMA_ASSERT(2 + 2 == 4, "should not fire");
     SUCCEED();
+}
+
+TEST(Logging, LevelThresholdFiltersTheStream)
+{
+    ScopedLogCapture capture;
+    setLogLevel(LogLevel::Warn);
+    debug("suppressed debug");
+    inform("suppressed info");
+    warn("visible warning");
+    logMessage(LogLevel::Error, "visible error");
+    ASSERT_EQ(capture.lines().size(), 2u);
+    EXPECT_EQ(capture.lines()[0].first, LogLevel::Warn);
+    EXPECT_EQ(capture.lines()[0].second, "visible warning");
+    EXPECT_EQ(capture.lines()[1].first, LogLevel::Error);
+    EXPECT_EQ(capture.lines()[1].second, "visible error");
+}
+
+TEST(Logging, DebugPassesOnlyAtDebugLevel)
+{
+    ScopedLogCapture capture;
+    setLogLevel(LogLevel::Info);
+    debug("hidden %d", 1);
+    EXPECT_TRUE(capture.lines().empty());
+    setLogLevel(LogLevel::Debug);
+    debug("shown %d", 2);
+    ASSERT_EQ(capture.lines().size(), 1u);
+    EXPECT_EQ(capture.lines()[0].second, "shown 2");
+}
+
+TEST(Logging, ParseLogLevelAcceptsKnownNamesCaseInsensitively)
+{
+    LogLevel level = LogLevel::Error;
+    EXPECT_TRUE(parseLogLevel("debug", level));
+    EXPECT_EQ(level, LogLevel::Debug);
+    EXPECT_TRUE(parseLogLevel("Info", level));
+    EXPECT_EQ(level, LogLevel::Info);
+    EXPECT_TRUE(parseLogLevel("WARN", level));
+    EXPECT_EQ(level, LogLevel::Warn);
+    EXPECT_TRUE(parseLogLevel("warning", level));
+    EXPECT_EQ(level, LogLevel::Warn);
+    EXPECT_TRUE(parseLogLevel("error", level));
+    EXPECT_EQ(level, LogLevel::Error);
+
+    level = LogLevel::Info;
+    EXPECT_FALSE(parseLogLevel("verbose", level));
+    EXPECT_EQ(level, LogLevel::Info) << "failed parse must not clobber";
+    EXPECT_FALSE(parseLogLevel("", level));
+}
+
+TEST(Logging, LogLevelFromEnvParsesAndFallsBack)
+{
+    ScopedLogCapture capture;
+    unsetenv("CDMA_LOG_LEVEL");
+    EXPECT_EQ(logLevelFromEnv(), LogLevel::Info);
+    setenv("CDMA_LOG_LEVEL", "debug", 1);
+    EXPECT_EQ(logLevelFromEnv(), LogLevel::Debug);
+    setenv("CDMA_LOG_LEVEL", "error", 1);
+    EXPECT_EQ(logLevelFromEnv(), LogLevel::Error);
+    // Unknown values warn (past any filter) and fall back to Info.
+    const size_t before = capture.lines().size();
+    setenv("CDMA_LOG_LEVEL", "shouting", 1);
+    EXPECT_EQ(logLevelFromEnv(), LogLevel::Info);
+    EXPECT_GT(capture.lines().size(), before);
+    unsetenv("CDMA_LOG_LEVEL");
+}
+
+TEST(Logging, WarnRateLimitedStopsAtTheBudget)
+{
+    ScopedLogCapture capture;
+    setLogLevel(LogLevel::Warn);
+    WarnRateLimit limit;
+    limit.max_emitted = 3;
+    int emitted = 0;
+    for (int i = 0; i < 10; ++i) {
+        if (warnRateLimited(limit, "hot-path warning %d", i))
+            ++emitted;
+    }
+    EXPECT_EQ(emitted, 3);
+    // Three warning bodies plus the one budget-crossing notice.
+    ASSERT_EQ(capture.lines().size(), 4u);
+    EXPECT_EQ(limit.seen, 10u);
+    EXPECT_EQ(capture.lines()[2].second, "hot-path warning 2");
+    EXPECT_NE(capture.lines()[3].second.find("suppressed"),
+              std::string::npos);
+    EXPECT_EQ(capture.lines()[0].second.find("suppressed"),
+              std::string::npos);
 }
 
 } // namespace

@@ -93,5 +93,112 @@ TEST(Histogram, RenderMentionsCounts)
     EXPECT_NE(text.find('#'), std::string::npos);
 }
 
+TEST(LogHistogram, EmptyDefaults)
+{
+    LogHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.0);
+    EXPECT_EQ(h.bucketCount(), 0u);
+}
+
+TEST(LogHistogram, ExactMomentsAndClampedPercentiles)
+{
+    LogHistogram h;
+    for (double v : {1.0, 2.0, 3.0, 10.0})
+        h.add(v);
+    EXPECT_EQ(h.count(), 4u);
+    // Mean/min/max/sum are exact regardless of bucketing.
+    EXPECT_DOUBLE_EQ(h.sum(), 16.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 10.0);
+    // Percentiles land within one bucket (growth 1.25 => <= 25% wide),
+    // and bucket representatives are clamped into [min, max].
+    EXPECT_GE(h.percentile(0.0), h.min());
+    EXPECT_LE(h.percentile(1.0), h.max());
+    EXPECT_NEAR(h.percentile(1.0), 10.0, 10.0 * 0.25);
+    EXPECT_NEAR(h.percentile(0.5), 2.0, 2.0 * 0.25);
+}
+
+TEST(LogHistogram, SingleValueIsExactAtEveryQuantile)
+{
+    LogHistogram h;
+    for (int i = 0; i < 100; ++i)
+        h.add(0.125);
+    // One occupied bucket, clamped to [min, max] = [0.125, 0.125]: every
+    // quantile must come back exactly.
+    for (double q : {0.0, 0.5, 0.95, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(h.percentile(q), 0.125) << "q=" << q;
+}
+
+TEST(LogHistogram, NonPositiveSamplesLandInTheUnderflowBucket)
+{
+    LogHistogram h;
+    h.add(0.0);
+    h.add(-3.0);
+    h.add(4.0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.min(), -3.0);
+    // p50 targets the 2nd sample: still in the underflow bucket, whose
+    // representative is min(0, min_).
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), -3.0);
+    EXPECT_GT(h.percentile(1.0), 0.0);
+}
+
+TEST(LogHistogram, MergeMatchesDirectAccumulation)
+{
+    LogHistogram a, b, direct;
+    for (int i = 1; i <= 50; ++i) {
+        const double v = 0.001 * i * i;
+        (i % 2 == 0 ? a : b).add(v);
+        direct.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), direct.count());
+    EXPECT_DOUBLE_EQ(a.sum(), direct.sum());
+    EXPECT_DOUBLE_EQ(a.min(), direct.min());
+    EXPECT_DOUBLE_EQ(a.max(), direct.max());
+    for (double q : {0.05, 0.25, 0.5, 0.75, 0.95, 0.99})
+        EXPECT_DOUBLE_EQ(a.percentile(q), direct.percentile(q))
+            << "q=" << q;
+}
+
+TEST(LogHistogram, MergeIsAssociative)
+{
+    LogHistogram a1, b1, c1, a2, b2, c2;
+    for (int i = 1; i <= 30; ++i) {
+        const double v = 0.5 * i;
+        (i % 3 == 0 ? a1 : i % 3 == 1 ? b1 : c1).add(v);
+        (i % 3 == 0 ? a2 : i % 3 == 1 ? b2 : c2).add(v);
+    }
+    // (a + b) + c vs a + (b + c).
+    a1.merge(b1);
+    a1.merge(c1);
+    b2.merge(c2);
+    a2.merge(b2);
+    EXPECT_EQ(a1.count(), a2.count());
+    EXPECT_DOUBLE_EQ(a1.sum(), a2.sum());
+    for (double q : {0.1, 0.5, 0.9, 0.99})
+        EXPECT_DOUBLE_EQ(a1.percentile(q), a2.percentile(q)) << "q=" << q;
+}
+
+TEST(LogHistogram, MergingAnEmptyHistogramIsIdentity)
+{
+    LogHistogram a, empty;
+    a.add(2.0);
+    a.add(8.0);
+    const double p50 = a.percentile(0.5);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.percentile(0.5), p50);
+
+    LogHistogram other;
+    other.merge(a);
+    EXPECT_EQ(other.count(), 2u);
+    EXPECT_DOUBLE_EQ(other.percentile(0.5), p50);
+}
+
 } // namespace
 } // namespace cdma

@@ -1,0 +1,132 @@
+/** @file Unit tests for the metrics registry. */
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hh"
+
+namespace cdma {
+namespace {
+
+TEST(MetricsRegistry, CounterAndGaugeBasics)
+{
+    obs::MetricsRegistry metrics;
+    obs::Counter &c = metrics.counter("integrity.retries");
+    c.add();
+    c.add(4);
+    EXPECT_EQ(c.value(), 5u);
+
+    obs::Gauge &g = metrics.gauge("arena.occupancy_ratio");
+    g.set(0.75);
+    EXPECT_DOUBLE_EQ(g.value(), 0.75);
+    g.set(0.25);
+    EXPECT_DOUBLE_EQ(g.value(), 0.25);
+}
+
+TEST(MetricsRegistry, LookupReturnsStableReferences)
+{
+    obs::MetricsRegistry metrics;
+    obs::Counter &a = metrics.counter("x");
+    obs::Counter &b = metrics.counter("x");
+    EXPECT_EQ(&a, &b);
+    obs::HistogramMetric &h1 = metrics.histogram("y");
+    obs::HistogramMetric &h2 = metrics.histogram("y");
+    EXPECT_EQ(&h1, &h2);
+    // Same name, different kind: distinct instruments.
+    metrics.gauge("x").set(1.0);
+    EXPECT_EQ(a.value(), 0u);
+}
+
+TEST(MetricsRegistry, HistogramPercentilesAndCrossThreadMerge)
+{
+    obs::MetricsRegistry metrics;
+    obs::HistogramMetric &hist =
+        metrics.histogram("transfer.offload.shard_latency_seconds");
+
+    // Concurrent recording from worker threads must not lose samples.
+    std::vector<std::thread> workers;
+    for (int w = 0; w < 4; ++w) {
+        workers.emplace_back([&hist, w]() {
+            for (int i = 0; i < 250; ++i)
+                hist.record(1e-3 * (w + 1));
+        });
+    }
+    for (auto &worker : workers)
+        worker.join();
+    EXPECT_EQ(hist.count(), 1000u);
+    EXPECT_DOUBLE_EQ(hist.min(), 1e-3);
+    EXPECT_DOUBLE_EQ(hist.max(), 4e-3);
+    // p50 targets the 500th sample = the 2e-3 cohort; log buckets at
+    // growth 1.25 are <= 25% wide.
+    EXPECT_NEAR(hist.percentile(0.5), 2e-3, 2e-3 * 0.25);
+
+    // Merging a snapshot folds another registry's samples in exactly.
+    obs::MetricsRegistry other;
+    obs::HistogramMetric &shard = other.histogram("lane");
+    for (int i = 0; i < 1000; ++i)
+        shard.record(8e-3);
+    hist.merge(shard.snapshot());
+    EXPECT_EQ(hist.count(), 2000u);
+    EXPECT_DOUBLE_EQ(hist.max(), 8e-3);
+    EXPECT_NEAR(hist.percentile(0.99), 8e-3, 8e-3 * 0.25);
+}
+
+TEST(MetricsRegistry, ScopedTimerRecordsAndNullTargetIsSafe)
+{
+    obs::MetricsRegistry metrics;
+    obs::HistogramMetric &hist = metrics.histogram("kernel.wall_seconds");
+    {
+        const obs::ScopedTimer timer(&hist);
+    }
+    EXPECT_EQ(hist.count(), 1u);
+    EXPECT_GE(hist.min(), 0.0);
+    {
+        const obs::ScopedTimer disarmed(nullptr);
+    }
+    EXPECT_EQ(hist.count(), 1u);
+}
+
+TEST(MetricsRegistry, JsonIsDeterministicAndFinite)
+{
+    const auto populate = [](obs::MetricsRegistry &metrics) {
+        metrics.counter("b.count").add(7);
+        metrics.gauge("a.ratio").set(2.5);
+        obs::HistogramMetric &hist = metrics.histogram("c.seconds");
+        hist.record(0.001);
+        hist.record(0.004);
+        // Registered but never recorded: must serialize finite values,
+        // not "inf".
+        metrics.histogram("d.empty_seconds");
+    };
+    obs::MetricsRegistry first, second;
+    populate(first);
+    populate(second);
+    const std::string json = first.toJson();
+    EXPECT_EQ(json, second.toJson());
+
+    EXPECT_NE(json.find("\"b.count\": 7"), std::string::npos);
+    EXPECT_NE(json.find("\"a.ratio\": 2.5"), std::string::npos);
+    EXPECT_NE(json.find("\"c.seconds\""), std::string::npos);
+    EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"p95\""), std::string::npos);
+    EXPECT_EQ(json.find("inf"), std::string::npos);
+    EXPECT_EQ(json.find("nan"), std::string::npos);
+}
+
+TEST(MetricsRegistry, RenderMentionsEveryInstrument)
+{
+    obs::MetricsRegistry metrics;
+    metrics.counter("events.total").add(3);
+    metrics.gauge("load.ratio").set(0.5);
+    metrics.histogram("lat.seconds").record(0.25);
+    const std::string text = metrics.render();
+    EXPECT_NE(text.find("events.total"), std::string::npos);
+    EXPECT_NE(text.find("load.ratio"), std::string::npos);
+    EXPECT_NE(text.find("lat.seconds"), std::string::npos);
+}
+
+} // namespace
+} // namespace cdma

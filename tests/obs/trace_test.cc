@@ -1,0 +1,203 @@
+/** @file Unit tests for the trace recorder and its simulator wiring. */
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cdma/fleet_sim.hh"
+#include "obs/trace.hh"
+
+namespace cdma {
+namespace {
+
+/** Small deterministic fleet for the integration-level trace tests. */
+FleetSpec
+smallFleet(unsigned gpus)
+{
+    FleetSpec spec;
+    spec.gpu_count = gpus;
+    spec.gpu_link_bandwidth = 12.0e9;
+    spec.uplink_bandwidth = 12.0e9;
+    spec.offload_raw_bytes = 8ull << 20;
+    spec.prefetch_raw_bytes = 4ull << 20;
+    spec.shard_raw_bytes = 2ull << 20;
+    return spec;
+}
+
+TEST(TraceRecorder, TrackRegistrationIsIdempotent)
+{
+    obs::TraceRecorder trace;
+    const obs::TrackId a = trace.track("gpu0", "compress");
+    const obs::TrackId b = trace.track("gpu0", "wire.out");
+    const obs::TrackId c = trace.track("gpu1", "compress");
+    EXPECT_EQ(trace.track("gpu0", "compress"), a);
+    EXPECT_NE(a, b);
+
+    // Same process -> same pid; threads number within the process.
+    EXPECT_EQ(trace.trackInfo(a).pid, trace.trackInfo(b).pid);
+    EXPECT_NE(trace.trackInfo(a).pid, trace.trackInfo(c).pid);
+    EXPECT_EQ(trace.trackInfo(a).tid, 1u);
+    EXPECT_EQ(trace.trackInfo(b).tid, 2u);
+    EXPECT_EQ(trace.trackInfo(c).tid, 1u);
+    EXPECT_FALSE(trace.trackInfo(a).is_counter);
+
+    // Counter tracks hang off the process at tid 0 and never collide
+    // with a thread track of the same name.
+    const obs::TrackId k = trace.counterTrack("gpu0", "compress");
+    EXPECT_NE(k, a);
+    EXPECT_EQ(trace.counterTrack("gpu0", "compress"), k);
+    EXPECT_TRUE(trace.trackInfo(k).is_counter);
+    EXPECT_EQ(trace.trackInfo(k).tid, 0u);
+}
+
+TEST(TraceRecorder, TickIsStrictlyMonotonic)
+{
+    obs::TraceRecorder trace;
+    double last = 0.0;
+    for (int i = 0; i < 5; ++i) {
+        const double t = trace.tick();
+        EXPECT_GT(t, last);
+        last = t;
+    }
+}
+
+TEST(TraceRecorder, JsonCarriesMetadataEventsAndLedger)
+{
+    obs::TraceRecorder trace;
+    const obs::TrackId t = trace.track("gpu0", "compress");
+    const obs::TrackId k = trace.counterTrack("gpu0", "occupancy");
+    trace.span(t, "compress", 0.001, 0.002,
+               obs::TraceArgs{{"shard", 3}, {"note", "zv"}});
+    trace.instant(t, "landed", 0.002);
+    trace.counter(k, 0.002, 0.5);
+    trace.setTotal("wire_bytes.link0:out", 12345);
+
+    const std::string json = trace.toJson();
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"gpu0\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"compress\""), std::string::npos);
+    // Times serialize as microseconds with fixed precision.
+    EXPECT_NE(json.find("\"ph\":\"X\",\"ts\":1000.000,\"dur\":1000.000"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\",\"s\":\"t\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(json.find("\"shard\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"note\":\"zv\""), std::string::npos);
+    EXPECT_NE(json.find("\"wire_bytes.link0:out\":12345"),
+              std::string::npos);
+}
+
+TEST(TraceRecorder, SpanNamesEscapeJsonMetacharacters)
+{
+    obs::TraceRecorder trace;
+    const obs::TrackId t = trace.track("p", "t");
+    trace.instant(t, "quote\"back\\slash\nnewline", 0.0);
+    const std::string json = trace.toJson();
+    EXPECT_NE(json.find("quote\\\"back\\\\slash\\nnewline"),
+              std::string::npos);
+}
+
+TEST(TraceMacros, NullRecorderSkipsArgumentEvaluation)
+{
+    obs::TraceRecorder *trace = nullptr;
+    int evaluations = 0;
+    const auto touch = [&evaluations]() {
+        ++evaluations;
+        return 0.0;
+    };
+    CDMA_TRACE_SPAN(trace, 0, "x", touch(), touch());
+    CDMA_TRACE_INSTANT(trace, 0, "x", touch());
+    CDMA_TRACE_COUNTER(trace, 0, touch(), touch());
+    EXPECT_EQ(evaluations, 0)
+        << "disabled tracing must not evaluate macro arguments";
+}
+
+TEST(FleetTrace, SameSeedEmitsByteIdenticalJson)
+{
+    std::string first, second;
+    for (std::string *out : {&first, &second}) {
+        obs::TraceRecorder trace;
+        FleetSpec spec = smallFleet(2);
+        spec.trace = &trace;
+        FleetSimulator(spec).run();
+        EXPECT_GT(trace.eventCount(), 0u);
+        *out = trace.toJson();
+    }
+    EXPECT_EQ(first, second);
+}
+
+TEST(FleetTrace, WireSpansConserveLinkLayerBytes)
+{
+    obs::TraceRecorder trace;
+    FleetSpec spec = smallFleet(2);
+    spec.trace = &trace;
+    const FleetResult result = FleetSimulator(spec).run();
+
+    // Sum the bytes args of every per-edge wire span, keyed by the
+    // edge track's thread label ("<edge>:out" / "<edge>:in").
+    std::map<std::string, uint64_t> traced;
+    for (const auto &event : trace.events()) {
+        if (event.phase != obs::TraceRecorder::Phase::Span ||
+            event.name != "wire")
+            continue;
+        const auto &info = trace.trackInfo(event.track);
+        if (info.process != "edges")
+            continue;
+        for (const auto &[key, value] : event.args) {
+            if (key == "bytes")
+                traced[info.thread] += value.u64();
+        }
+    }
+    ASSERT_FALSE(traced.empty());
+    for (const auto &edge : result.edges) {
+        EXPECT_EQ(traced[edge.name + ":out"], edge.out_bytes)
+            << edge.name;
+        EXPECT_EQ(traced[edge.name + ":in"], edge.in_bytes) << edge.name;
+    }
+}
+
+TEST(FleetTrace, DisabledTracingChangesNothing)
+{
+    FleetSpec spec = smallFleet(2);
+    const FleetResult untraced = FleetSimulator(spec).run();
+
+    obs::TraceRecorder trace;
+    spec.trace = &trace;
+    const FleetResult traced = FleetSimulator(spec).run();
+
+    // The DES outcome is identical with and without observation.
+    ASSERT_EQ(untraced.gpus.size(), traced.gpus.size());
+    EXPECT_EQ(untraced.makespan_seconds, traced.makespan_seconds);
+    for (size_t g = 0; g < untraced.gpus.size(); ++g) {
+        EXPECT_EQ(untraced.gpus[g].finish_seconds,
+                  traced.gpus[g].finish_seconds);
+        EXPECT_EQ(untraced.gpus[g].uplink_wait_seconds,
+                  traced.gpus[g].uplink_wait_seconds);
+    }
+    for (size_t e = 0; e < untraced.edges.size(); ++e) {
+        EXPECT_EQ(untraced.edges[e].out_bytes, traced.edges[e].out_bytes);
+        EXPECT_EQ(untraced.edges[e].in_bytes, traced.edges[e].in_bytes);
+    }
+}
+
+TEST(ExtractFlag, StripsTheFlagAndShiftsArgv)
+{
+    char prog[] = "prog";
+    char a[] = "--trace-out=/tmp/t.json";
+    char b[] = "VGG";
+    char *argv[] = {prog, a, b, nullptr};
+    int argc = 3;
+    EXPECT_EQ(obs::extractFlag(argc, argv, "trace-out"), "/tmp/t.json");
+    EXPECT_EQ(argc, 2);
+    EXPECT_STREQ(argv[1], "VGG");
+    // Absent flag: untouched.
+    EXPECT_EQ(obs::extractFlag(argc, argv, "metrics-out"), "");
+    EXPECT_EQ(argc, 2);
+}
+
+} // namespace
+} // namespace cdma
