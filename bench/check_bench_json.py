@@ -69,6 +69,16 @@ DUPLEX_FAMILIES = ("BM_DuplexTransferModelFull", "BM_DuplexTransferModelHalf")
 # (a flat trajectory means the per-source wait attribution broke).
 FLEET_FAMILIES = ("BM_FleetOffloadN2", "BM_FleetOffloadN4",
                   "BM_FleetOffloadN8")
+# Adaptive codec-policy rows: BM_AdaptivePolicyDecide/<density> is a
+# full decide() (strided density sample over real activation bytes plus
+# the cost model), BM_AdaptivePolicyFromDensity the model-only path the
+# step simulator uses. Both are required, and the sampled decide() must
+# stay >= POLICY_OVERHEAD_FACTOR times the throughput of the
+# same-density dispatch ZVC compress row — the "selection costs < 1% of
+# the compress pass it steers" acceptance bound, expressed in the same
+# bytes/s units both rows already report.
+POLICY_FAMILIES = ("BM_AdaptivePolicyDecide", "BM_AdaptivePolicyFromDensity")
+POLICY_OVERHEAD_FACTOR = 100.0
 # CRC-32C integrity-framing rows: the scalar slice-by-8 row is
 # unconditional; the hardware (SSE4.2) row is required whenever the
 # producing host has it (recorded as host_avx2 — every AVX2 part has
@@ -188,6 +198,8 @@ def check_schema(report: dict, path: str) -> str:
 
     seen_families = set()
     fleet_contention = {}
+    policy_decide_bps = {}
+    zvc_dispatch_bps = {}
     for entry in benchmarks:
         name = entry.get("name")
         if not name:
@@ -232,6 +244,16 @@ def check_schema(report: dict, path: str) -> str:
                 fail(f"'{name}' lacks a positive "
                      f"contention_stall_fraction (got {stall!r})")
             fleet_contention[family] = stall
+        # Collect the per-density rows the policy-overhead bound
+        # compares: the sampled decide() against the dispatch ZVC
+        # compress it would steer.
+        if "/" in name and isinstance(entry.get("bytes_per_second"),
+                                      (int, float)):
+            density_arg = name.split("/")[1]
+            if family == "BM_AdaptivePolicyDecide":
+                policy_decide_bps[density_arg] = entry["bytes_per_second"]
+            elif family == "BM_ZvcCompress":
+                zvc_dispatch_bps[density_arg] = entry["bytes_per_second"]
 
     missing = [f for f in REQUIRED_FAMILIES if f not in seen_families]
     if missing:
@@ -243,6 +265,25 @@ def check_schema(report: dict, path: str) -> str:
     missing_fleet = [f for f in FLEET_FAMILIES if f not in seen_families]
     if missing_fleet:
         fail(f"fleet DES families absent: {', '.join(missing_fleet)}")
+    missing_policy = [f for f in POLICY_FAMILIES if f not in seen_families]
+    if missing_policy:
+        fail("adaptive codec-policy families absent: "
+             f"{', '.join(missing_policy)}")
+    # Selection-overhead bound: at every density where both rows exist,
+    # a decide() must push bytes >= POLICY_OVERHEAD_FACTOR times as fast
+    # as the dispatch ZVC compress pass it would steer (i.e. the
+    # decision costs < 1% of the work it saves or schedules).
+    for density_arg in sorted(set(policy_decide_bps) & set(zvc_dispatch_bps),
+                              key=int):
+        decide = policy_decide_bps[density_arg]
+        compress = zvc_dispatch_bps[density_arg]
+        if decide < POLICY_OVERHEAD_FACTOR * compress:
+            fail(f"BM_AdaptivePolicyDecide/{density_arg} throughput "
+                 f"({decide / 1e9:.1f} GB/s) is below "
+                 f"{POLICY_OVERHEAD_FACTOR:.0f}x the same-density "
+                 f"BM_ZvcCompress row ({compress / 1e9:.2f} GB/s): "
+                 "codec selection has become a material fraction of the "
+                 "compress pass")
     fleet_order = [fleet_contention[f] for f in FLEET_FAMILIES]
     if not all(a < b for a, b in zip(fleet_order, fleet_order[1:])):
         fail("fleet contention_stall_fraction is not strictly "

@@ -37,6 +37,7 @@
 #include "compress/compressor.hh"
 #include "compress/kernels/kernels.hh"
 #include "compress/parallel.hh"
+#include "compress/policy.hh"
 #include "gpu/zvc_engine.hh"
 #include "sparsity/generator.hh"
 
@@ -350,6 +351,58 @@ crc32Benchmark(benchmark::State &state, const KernelOps *kernels)
         static_cast<int64_t>(state.iterations() * input.size()));
 }
 
+/**
+ * Adaptive-policy selection overhead, the density argument in percent:
+ * one full decide() — strided density sample over a 4MB activation
+ * buffer, closed-form cost model, hysteresis update — per iteration.
+ * bytes_per_second is buffer bytes over decide wall-clock, so the
+ * acceptance bar "selection costs < 1% of the compress pass it steers"
+ * reads directly as >= 100x the same-density BM_ZvcCompress rate
+ * (enforced by bench/check_bench_json.py).
+ */
+void
+BM_AdaptivePolicyDecide(benchmark::State &state)
+{
+    const double density =
+        static_cast<double>(state.range(0)) / 100.0;
+    const auto input = makeActivations(density, 4 << 20);
+    PolicyConfig config;
+    config.wire_bandwidth = 6.4e9;
+    CodecPolicyEngine policy(config);
+    for (auto _ : state) {
+        const PolicyDecision decision = policy.decide("bench", input);
+        benchmark::DoNotOptimize(decision);
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * input.size()));
+    state.counters["chosen_codec"] = static_cast<double>(
+        static_cast<int>(policy.decideFromDensity("probe", input.size(),
+                                                  density)
+                             .codec));
+}
+
+/**
+ * The modeled-flow decide path (no activation bytes: cost model +
+ * hysteresis only), priced per decision over the same nominal 4MB
+ * layer. This is the per-layer tax StepSimulator::runAdaptive and the
+ * fleet sweep pay.
+ */
+void
+BM_AdaptivePolicyFromDensity(benchmark::State &state)
+{
+    PolicyConfig config;
+    config.wire_bandwidth = 6.4e9;
+    CodecPolicyEngine policy(config);
+    const uint64_t bytes = 4ull << 20;
+    for (auto _ : state) {
+        const PolicyDecision decision =
+            policy.decideFromDensity("bench", bytes, 0.5);
+        benchmark::DoNotOptimize(decision);
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * bytes));
+}
+
 void
 BM_Crc32Scalar(benchmark::State &state)
 {
@@ -395,6 +448,8 @@ BENCHMARK(BM_DuplexTransferModelHalf);
 BENCHMARK(BM_FleetOffloadN2);
 BENCHMARK(BM_FleetOffloadN4);
 BENCHMARK(BM_FleetOffloadN8);
+BENCHMARK(BM_AdaptivePolicyDecide)->Arg(10)->Arg(50)->Arg(100);
+BENCHMARK(BM_AdaptivePolicyFromDensity);
 BENCHMARK(BM_Crc32Scalar);
 
 /** "scalar" -> "Scalar", "avx2" -> "Avx2" (benchmark-name casing). */

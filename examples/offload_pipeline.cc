@@ -21,6 +21,7 @@
 #include "cdma/transfer_engine.hh"
 #include "common/rng.hh"
 #include "compress/parallel.hh"
+#include "compress/policy.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "perf/step_sim.hh"
@@ -348,6 +349,61 @@ main(int argc, char **argv)
                 (cdma_half.offload_contention_seconds +
                  cdma_half.prefetch_contention_seconds) * 1e3,
                 100.0 * cdma_half.contentionStallFraction());
+
+    // 4b. Adaptive codec policy: the engine's cost model picks
+    //     ZVC/RLE/ZL/raw per layer from the layer's activation density,
+    //     priced against the contended (half-duplex-share) wire — dense
+    //     layers ship raw instead of paying software compression that
+    //     cannot beat the link. Per layer: the chosen codec, the
+    //     policy's predicted offload cost, and what the DES actually
+    //     charged.
+    PolicyConfig policy_config;
+    policy_config.wire_bandwidth =
+        engine_config.gpu.pcie_effective_bandwidth / 2.0;
+    policy_config.metrics = &metrics;
+    CodecPolicyEngine policy(policy_config);
+    // Same half-duplex engine as 3a/4, so the contended-wire pricing
+    // the policy decides with is the link the DES actually runs.
+    CdmaConfig adaptive_config = half_config;
+    adaptive_config.compression.mode = CodecMode::Adaptive;
+    adaptive_config.compression.policy = &policy;
+    const CdmaEngine adaptive_engine(adaptive_config);
+    std::vector<double> densities;
+    for (size_t i = 0; i < net.layers.size(); ++i) {
+        densities.push_back(net.layers[i].relu_follows
+                                ? schedule.density(i, 1.0)
+                                : 1.0);
+    }
+    StepSimulator adaptive_sim(manager, adaptive_engine, perf,
+                               CudnnVersion::V5);
+    const StepResult adaptive = adaptive_sim.runAdaptive(densities);
+    std::printf("adaptive codec policy (contended wire %.1f GB/s):\n",
+                policy_config.wire_bandwidth / 1e9);
+    std::printf("  %-12s %7s %5s | %9s %9s %7s\n", "layer", "density",
+                "codec", "pred ms", "DES ms", "delta");
+    for (size_t i = 0; i < adaptive.layers.size(); ++i) {
+        const auto &layer = adaptive.layers[i];
+        if (layer.policy_predicted_seconds <= 0.0)
+            continue;
+        // The transfer paired with row i carries row i-1's output.
+        const double density = i > 0 ? densities[i - 1] : 1.0;
+        const double delta = layer.policy_actual_seconds > 0.0
+            ? 100.0 * (layer.policy_predicted_seconds -
+                       layer.policy_actual_seconds) /
+                layer.policy_actual_seconds
+            : 0.0;
+        std::printf("  %-12s %6.0f%% %5s | %9.3f %9.3f %+6.1f%%\n",
+                    layer.label.c_str(), 100.0 * density,
+                    codecName(layer.codec).c_str(),
+                    layer.policy_predicted_seconds * 1e3,
+                    layer.policy_actual_seconds * 1e3, delta);
+    }
+    std::printf("  adaptive iteration %.1f ms (static-ZV half-duplex "
+                "%.1f ms), %llu decisions, %llu codec switch(es)\n\n",
+                adaptive.total_seconds * 1e3,
+                cdma_half.total_seconds * 1e3,
+                static_cast<unsigned long long>(policy.decisions()),
+                static_cast<unsigned long long>(policy.switches()));
 
     // 5. The five worst stalling layers under vDNN, and their fate under
     //    cDMA.

@@ -4,6 +4,7 @@
 
 #include "cdma/transfer_engine.hh"
 #include "common/logging.hh"
+#include "compress/policy.hh"
 #include "obs/metrics.hh"
 
 namespace cdma {
@@ -18,6 +19,16 @@ timingModeName(TimingMode mode)
     panic("unreachable timing mode %d", static_cast<int>(mode));
 }
 
+std::string
+codecModeName(CodecMode mode)
+{
+    switch (mode) {
+      case CodecMode::Fixed:    return "fixed";
+      case CodecMode::Adaptive: return "adaptive";
+    }
+    panic("unreachable codec mode %d", static_cast<int>(mode));
+}
+
 CdmaEngine::CdmaEngine(const CdmaConfig &config)
     : config_(config),
       compressor_(std::make_unique<ParallelCompressor>(
@@ -29,6 +40,54 @@ CdmaEngine::CdmaEngine(const CdmaConfig &config)
                     config.gpu.comp_bandwidth > 0.0,
                 "invalid cDMA bandwidth configuration");
     compressor_->setMetrics(config_.obs.metrics);
+
+    // Serial decoder bank: the prefetch side dispatches per stored
+    // shard's codec tag, so every codec's decoder must exist whatever
+    // mode the engine runs in (mixed-codec spills can arrive from an
+    // adaptive peer). Cheap stateless objects.
+    const CompressionConfig &comp = config_.compression;
+    for (const Codec codec : kAllCodecs) {
+        serial_codecs_.push_back(
+            makeCodecCompressor(codec, comp.window_bytes, comp.kernels));
+    }
+
+    // Adaptive compressor bank: one ParallelCompressor per codec the
+    // policy can choose. Only under Adaptive — each bank entry with
+    // lanes != 1 owns a thread pool, a cost Fixed engines shouldn't pay.
+    if (comp.mode == CodecMode::Adaptive) {
+        CDMA_ASSERT(comp.policy != nullptr,
+                    "CodecMode::Adaptive needs a CodecPolicyEngine "
+                    "(CompressionConfig::policy)");
+        const Codec fixed = codecFor(comp.algorithm);
+        codec_bank_.resize(std::size(kAllCodecs));
+        for (const Codec codec : kAllCodecs) {
+            if (codec == fixed)
+                continue; // compressorFor() routes this to compressor_
+            auto bank = std::make_unique<ParallelCompressor>(
+                makeCodecCompressor(codec, comp.window_bytes,
+                                    comp.kernels),
+                comp.lanes);
+            bank->setMetrics(config_.obs.metrics);
+            codec_bank_[static_cast<size_t>(codec)] = std::move(bank);
+        }
+    }
+}
+
+const ParallelCompressor &
+CdmaEngine::compressorFor(Codec codec) const
+{
+    if (codec == compressor_->codecTag() || codec_bank_.empty())
+        return *compressor_;
+    const auto &bank = codec_bank_[static_cast<size_t>(codec)];
+    CDMA_ASSERT(bank != nullptr, "no bank compressor for codec %s",
+                codecName(codec).c_str());
+    return *bank;
+}
+
+const Compressor &
+CdmaEngine::serialCodec(Codec codec) const
+{
+    return *serial_codecs_[static_cast<size_t>(codec)];
 }
 
 void
@@ -74,15 +133,29 @@ CdmaEngine::planTransfer(const std::string &label,
     if (!config_.compression.enabled) {
         return planFromRatio(label, data.size(), 1.0);
     }
+    // Adaptive mode: let the policy sample the actual bytes and pick
+    // the codec; the plan is then built with that codec end to end and
+    // the achieved ratio feeds back into the policy's model.
+    CodecPolicyEngine *policy = config_.compression.policy;
+    std::optional<PolicyDecision> decision;
+    Codec codec = compressor_->codecTag();
+    if (config_.compression.mode == CodecMode::Adaptive &&
+        policy != nullptr) {
+        decision = policy->decide(label, data);
+        codec = decision->codec;
+    }
     TransferPlan plan;
     plan.label = label;
     plan.raw_bytes = data.size();
+    plan.codec = codec;
+    if (decision)
+        plan.policy_predicted_seconds = decision->predicted_seconds;
     if (config_.transfer.timing_mode == TimingMode::Overlapped) {
         // Double-buffered pipeline over the real per-shard compressed
         // sizes: compression latency is explicit and the COMP_BW cap
         // emerges when the compression stage cannot feed the link.
         const TransferEngine transfers(*this);
-        const OffloadResult result = transfers.offload(data);
+        const OffloadResult result = transfers.offload(data, codec);
         plan.wire_bytes = result.buffer.effectiveBytes();
         plan.ratio = result.buffer.effectiveRatio();
         plan.offload = result.timing;
@@ -118,7 +191,8 @@ CdmaEngine::planTransfer(const std::string &label,
                                                  result.shards);
         }
     } else {
-        const CompressedBuffer compressed = compressor_->compress(data);
+        const CompressedBuffer compressed =
+            compressorFor(codec).compress(data);
         plan.wire_bytes = compressed.effectiveBytes();
         plan.ratio = compressed.effectiveRatio();
         plan.seconds = transferSeconds(plan.wire_bytes, plan.ratio);
@@ -127,6 +201,30 @@ CdmaEngine::planTransfer(const std::string &label,
         plan.ratio * config_.gpu.pcie_bandwidth;
     plan.fetch_capped =
         plan.required_fetch_bandwidth > config_.gpu.comp_bandwidth;
+    // Close the policy loop with the ratio the codec actually achieved
+    // on these bytes (the modeled ratio was an interpolation).
+    if (decision)
+        policy->observe(label, *decision, plan.raw_bytes, plan.ratio);
+    return plan;
+}
+
+TransferPlan
+CdmaEngine::planFromDensity(const std::string &label, uint64_t raw_bytes,
+                            double density) const
+{
+    if (!config_.compression.enabled)
+        return planFromRatio(label, raw_bytes, 1.0);
+    CodecPolicyEngine *policy = config_.compression.policy;
+    CDMA_ASSERT(config_.compression.mode == CodecMode::Adaptive &&
+                    policy != nullptr,
+                "planFromDensity needs CodecMode::Adaptive with a "
+                "configured policy engine");
+    const PolicyDecision decision =
+        policy->decideFromDensity(label, raw_bytes, density);
+    TransferPlan plan = planFromRatio(
+        label, raw_bytes, std::max(1.0, decision.predicted_ratio));
+    plan.codec = decision.codec;
+    plan.policy_predicted_seconds = decision.predicted_seconds;
     return plan;
 }
 

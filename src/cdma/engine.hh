@@ -43,6 +43,9 @@ class MetricsRegistry;
 class TraceRecorder;
 } // namespace obs
 
+class CodecPolicyEngine;
+struct PolicyDecision;
+
 /**
  * How a transfer plan accounts for compression latency.
  *
@@ -243,6 +246,22 @@ struct DuplexTiming {
     }
 };
 
+/**
+ * How the engine picks the codec for each transfer. Fixed (the
+ * historical behavior) always uses CompressionConfig::algorithm.
+ * Adaptive consults CompressionConfig::policy per transfer: the
+ * CodecPolicyEngine prices ZVC/RLE/ZL/raw from the layer's observed
+ * density and the wire, and the engine compresses with whatever won —
+ * per-shard codec tags make the decode side follow along.
+ */
+enum class CodecMode {
+    Fixed,    ///< always CompressionConfig::algorithm
+    Adaptive, ///< per-transfer cost-model choice via the policy engine
+};
+
+/** Display name of a codec mode ("fixed", "adaptive"). */
+std::string codecModeName(CodecMode mode);
+
 /** Codec configuration of the cDMA engine. */
 struct CompressionConfig {
     Algorithm algorithm = Algorithm::Zvc;
@@ -262,6 +281,15 @@ struct CompressionConfig {
      * The engine's compression lanes all share this one decision.
      */
     const KernelOps *kernels = nullptr;
+    /** Fixed codec (algorithm above) or per-transfer adaptive choice. */
+    CodecMode mode = CodecMode::Fixed;
+    /**
+     * The adaptive policy engine (non-owning; the caller keeps it alive
+     * for the engine's lifetime — it holds the per-layer density/
+     * hysteresis state, so sharing one across engines shares that
+     * state). Required when mode == Adaptive; ignored under Fixed.
+     */
+    CodecPolicyEngine *policy = nullptr;
 };
 
 /** Transfer-pipeline configuration of the cDMA engine. */
@@ -461,6 +489,22 @@ struct TransferPlan {
      * price retries on).
      */
     TransferIntegrity integrity;
+    /**
+     * Codec that framed (or will frame) this transfer. Under
+     * CodecMode::Fixed this is the configured algorithm's codec; under
+     * Adaptive it is whatever the policy chose for this layer this
+     * iteration.
+     */
+    Codec codec = Codec::Zvc;
+    /**
+     * The policy's modeled compress + wire seconds for the chosen
+     * codec (CodecPolicyEngine closed form, uncontended besides the
+     * configured policy wire bandwidth). Zero when the plan did not go
+     * through the adaptive path. Consumers compare this against the
+     * engine's own (DES / pipeline) pricing to report
+     * predicted-vs-actual cost error.
+     */
+    double policy_predicted_seconds = 0.0;
 };
 
 /** The compressing DMA engine model. */
@@ -474,6 +518,27 @@ class CdmaEngine
 
     /** The (possibly parallel) compressor backing planTransfer(). */
     const ParallelCompressor &compressor() const { return *compressor_; }
+
+    /**
+     * The compressor for @p codec: the fixed compressor when the tag
+     * matches (or when no codec bank exists — CodecMode::Fixed keeps
+     * the historical single-codec behavior regardless of tag), else the
+     * adaptive bank's compressor for that codec. The bank is built
+     * under CodecMode::Adaptive, one ParallelCompressor per codec the
+     * policy can choose, all sharing the engine's window/lanes/kernels.
+     */
+    const ParallelCompressor &compressorFor(Codec codec) const;
+
+    /**
+     * Serial decoder for @p codec (same window and kernel backend as
+     * the engine's compressor). Always available, every codec: the
+     * prefetch side dispatches per *stored shard* tag, which under the
+     * adaptive policy can differ shard to shard within one spill.
+     */
+    const Compressor &serialCodec(Codec codec) const;
+
+    /** The adaptive policy engine (nullptr under CodecMode::Fixed). */
+    CodecPolicyEngine *policy() const { return config_.compression.policy; }
 
     /** Kernel backend name the engine compresses with. */
     const char *backendName() const { return compressor_->backendName(); }
@@ -494,6 +559,18 @@ class CdmaEngine
                                uint64_t raw_bytes, double ratio) const;
 
     /**
+     * Plan a transfer from a known raw size and activation density (the
+     * analytic path of the adaptive codec policy: no activation bytes
+     * exist, so the policy prices codecs at @p density, its decision's
+     * modeled ratio feeds planFromRatio, and the plan carries the
+     * chosen codec + the policy's predicted cost). Requires
+     * CodecMode::Adaptive with a configured policy; with compression
+     * disabled it degrades to the raw plan like every other path.
+     */
+    TransferPlan planFromDensity(const std::string &label,
+                                 uint64_t raw_bytes, double density) const;
+
+    /**
      * PCIe occupancy of a transfer of @p wire_bytes compressed at
      * @p ratio, including the fetch-bandwidth inflation of Section VI.
      */
@@ -508,6 +585,13 @@ class CdmaEngine
   private:
     CdmaConfig config_;
     std::unique_ptr<ParallelCompressor> compressor_;
+    /** Serial decoder per codec, indexed by static_cast<size_t>(Codec);
+     *  always populated (cheap, stateless objects). */
+    std::vector<std::unique_ptr<Compressor>> serial_codecs_;
+    /** Adaptive compressor bank, same indexing; entries only under
+     *  CodecMode::Adaptive (the slot matching the fixed algorithm stays
+     *  empty — compressorFor() routes it to compressor_). */
+    std::vector<std::unique_ptr<ParallelCompressor>> codec_bank_;
 };
 
 } // namespace cdma

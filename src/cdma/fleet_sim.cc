@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "compress/policy.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "sim/event_queue.hh"
@@ -85,15 +86,39 @@ FleetSimulator::run() const
     LinkNetwork network(queue, graph);
     network.setTrace(spec_.trace);
 
+    // With a policy attached, each direction's ratio is what the cost
+    // model predicts its chosen codec achieves at the configured
+    // density; ranks are identical, so one decision covers the fleet.
+    double offload_ratio = spec_.offload_ratio;
+    double prefetch_ratio = spec_.prefetch_ratio;
+    if (spec_.policy != nullptr) {
+        if (spec_.offload_density >= 0.0) {
+            offload_ratio = std::max(
+                1.0, spec_.policy
+                         ->decideFromDensity("fleet.offload",
+                                             spec_.offload_raw_bytes,
+                                             spec_.offload_density)
+                         .predicted_ratio);
+        }
+        if (spec_.prefetch_density >= 0.0) {
+            prefetch_ratio = std::max(
+                1.0, spec_.policy
+                         ->decideFromDensity("fleet.prefetch",
+                                             spec_.prefetch_raw_bytes,
+                                             spec_.prefetch_density)
+                         .predicted_ratio);
+        }
+    }
+
     // Identical data-parallel ranks: every GPU pushes the same shard
     // trains, so any asymmetry in the results is pure queueing.
     const std::vector<ShardTransfer> offload_train =
         TransferEngine::uniformShardTrain(spec_.offload_raw_bytes,
-                                          spec_.offload_ratio,
+                                          offload_ratio,
                                           spec_.shard_raw_bytes);
     const std::vector<ShardTransfer> prefetch_train =
         TransferEngine::uniformShardTrain(spec_.prefetch_raw_bytes,
-                                          spec_.prefetch_ratio,
+                                          prefetch_ratio,
                                           spec_.shard_raw_bytes);
 
     std::vector<std::unique_ptr<DuplexPipeline>> pipelines;

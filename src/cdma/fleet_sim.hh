@@ -66,6 +66,21 @@ struct FleetSpec {
     // existing call sites.
     obs::TraceRecorder *trace = nullptr;
     obs::MetricsRegistry *metrics = nullptr;
+
+    /**
+     * Adaptive codec policy hookup (non-owning, optional). With a
+     * policy attached and a direction's density set >= 0, that
+     * direction's compression ratio is derived by the policy's cost
+     * model (decideFromDensity over the direction's raw bytes) instead
+     * of taken from offload_ratio / prefetch_ratio — so a fleet sweep
+     * can price what the per-GPU engines would actually choose at a
+     * given activation density. A negative density leaves the fixed
+     * ratio in force. Appended after the observability sinks: FleetSpec
+     * is aggregate-initialized positionally in existing call sites.
+     */
+    CodecPolicyEngine *policy = nullptr;
+    double offload_density = -1.0;
+    double prefetch_density = -1.0;
 };
 
 /** The built fleet graph plus handles to its interesting pieces. */

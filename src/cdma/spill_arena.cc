@@ -124,6 +124,7 @@ SpillArena::appendShard(SpillTicket ticket, const CompressedShard &shard)
     stored.window_count = shard.window_sizes.size();
     stored.crc32c = shard.crc32c;
     stored.raw_framed = shard.raw_framed;
+    stored.codec = shard.codec;
     if (stored.payload_bytes > 0) {
         stored.slot = allocateSlot(stored.payload_bytes);
         std::memcpy(slotData(stored.slot), shard.payload.data(),
@@ -150,6 +151,7 @@ SpillArena::store(const CompressedBuffer &buffer,
     uint64_t payload_cursor = 0;
     uint64_t raw_cursor = 0;
     CompressedShard shard;
+    shard.codec = buffer.codec;
     for (uint64_t first = 0; first < windows;
          first += windows_per_shard) {
         const uint64_t last =
@@ -251,6 +253,7 @@ SpillArena::shard(SpillTicket ticket, size_t index) const
     view.wire_bytes = stored.wire_bytes;
     view.crc32c = stored.crc32c;
     view.raw_framed = stored.raw_framed;
+    view.codec = stored.codec;
     return view;
 }
 
@@ -262,6 +265,11 @@ SpillArena::materialize(SpillTicket ticket) const
     buffer.original_bytes = record.original_bytes;
     buffer.window_bytes = record.window_bytes;
     buffer.window_sizes = record.window_sizes;
+    // A stitched buffer has one codec slot; mixed-codec spills only
+    // round-trip through the per-shard views (materialize() is the
+    // tests/interop path, which stores one codec per spill).
+    if (!record.shards.empty())
+        buffer.codec = record.shards.front().codec;
     buffer.payload.reserve(payloadBytes(ticket));
     for (const StoredShard &stored : record.shards) {
         const uint8_t *data =
@@ -313,6 +321,7 @@ copySpill(const SpillArena &src, SpillTicket src_ticket, SpillArena &dst)
                                   view.window_sizes.end());
         shard.crc32c = view.crc32c;
         shard.raw_framed = view.raw_framed;
+        shard.codec = view.codec;
         dst.appendShard(dst_ticket, shard);
     }
     return dst_ticket;

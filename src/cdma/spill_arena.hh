@@ -46,6 +46,10 @@ struct SpillShardView {
     /** Shard was degraded to raw framing after repeated transfer
      *  faults (payload is uncompressed source bytes). */
     bool raw_framed = false;
+    /** Codec that framed the payload; the prefetch side dispatches the
+     *  matching decoder per shard (spills can mix codecs when the
+     *  adaptive policy switches between offloads). */
+    Codec codec = Codec::Zvc;
 };
 
 /** Arena occupancy and recycling statistics. */
@@ -149,6 +153,7 @@ class SpillArena
         uint64_t window_count = 0;
         uint32_t crc32c = 0;       ///< payload CRC from compress time
         bool raw_framed = false;   ///< degraded to raw framing
+        Codec codec = Codec::Zvc;  ///< codec that framed the payload
     };
 
     struct Record {

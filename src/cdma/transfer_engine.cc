@@ -138,12 +138,17 @@ TransferEngine::TransferEngine(const CdmaEngine &engine)
 }
 
 OffloadResult
-TransferEngine::offload(std::span<const uint8_t> data) const
+TransferEngine::offload(std::span<const uint8_t> data,
+                        std::optional<Codec> codec_override) const
 {
     const CdmaConfig &config = engine_.config();
+    const ParallelCompressor &compressor = codec_override
+        ? engine_.compressorFor(*codec_override)
+        : engine_.compressor();
     OffloadResult result;
     result.buffer.original_bytes = data.size();
     result.buffer.window_bytes = config.compression.window_bytes;
+    result.buffer.codec = compressor.codecTag();
 
     const uint64_t windows = ceilDiv(data.size(), config.compression.window_bytes);
     result.buffer.window_sizes.reserve(windows);
@@ -151,7 +156,7 @@ TransferEngine::offload(std::span<const uint8_t> data) const
     // Whole-buffer worst case reserved once, so the per-shard payload
     // appends below never reallocate (mirrors Compressor::compress).
     if (windows > 0) {
-        const Compressor &codec = engine_.compressor().serial();
+        const Compressor &codec = compressor.serial();
         result.buffer.payload.reserve(
             (windows - 1) * codec.compressedBound(config.compression.window_bytes) +
             codec.compressedBound(data.size() -
@@ -162,7 +167,7 @@ TransferEngine::offload(std::span<const uint8_t> data) const
     // order while the lanes compress later shards, appending each shard's
     // payload to the stitched buffer and recording its wire size for the
     // pipeline model.
-    engine_.compressor().compressShards(
+    compressor.compressShards(
         data, shard_windows_, [&](CompressedShard &&shard) {
             result.shards.push_back(
                 {shard.raw_bytes,
@@ -197,13 +202,16 @@ namespace {
 template <typename Arena>
 StatusOr<SpilledOffload>
 offloadIntoArena(const TransferEngine &te, std::span<const uint8_t> data,
-                 Arena &arena)
+                 Arena &arena, std::optional<Codec> codec_override)
 {
     const CdmaEngine &engine = te.cdma();
     const CdmaConfig &config = engine.config();
+    const ParallelCompressor &compressor = codec_override
+        ? engine.compressorFor(*codec_override)
+        : engine.compressor();
     sim::FaultInjector *injector = config.transfer.fault_injector;
     const RetryPolicy &retry = config.transfer.retry;
-    const KernelOps &kernels = engine.compressor().serial().kernels();
+    const KernelOps &kernels = compressor.serial().kernels();
     const uint64_t shard_windows = te.shardWindows();
 
     SpilledOffload result;
@@ -221,7 +229,7 @@ offloadIntoArena(const TransferEngine &te, std::span<const uint8_t> data,
     // runs serially on this thread in shard order, which keeps the
     // injector's draw sequence deterministic.
     Status fault_error;
-    engine.compressor().compressShards(
+    compressor.compressShards(
         data, shard_windows, [&](CompressedShard &&shard) {
             if (!fault_error.ok())
                 return; // an earlier shard burned its retry budget
@@ -283,16 +291,18 @@ offloadIntoArena(const TransferEngine &te, std::span<const uint8_t> data,
 
 StatusOr<SpilledOffload>
 TransferEngine::offloadInto(std::span<const uint8_t> data,
-                            SpillArena &arena) const
+                            SpillArena &arena,
+                            std::optional<Codec> codec) const
 {
-    return offloadIntoArena(*this, data, arena);
+    return offloadIntoArena(*this, data, arena, codec);
 }
 
 StatusOr<SpilledOffload>
 TransferEngine::offloadInto(std::span<const uint8_t> data,
-                            TieredSpillArena &arena) const
+                            TieredSpillArena &arena,
+                            std::optional<Codec> codec) const
 {
-    return offloadIntoArena(*this, data, arena);
+    return offloadIntoArena(*this, data, arena, codec);
 }
 
 StatusOr<PrefetchResult>
@@ -306,8 +316,11 @@ TransferEngine::prefetch(const CompressedBuffer &buffer) const
     // The consumer is the expand drain: notifications arrive on this
     // thread in shard order while the lanes reconstruct later shards,
     // recording each shard's byte counts for the pipeline model (the
-    // raw bytes themselves land directly in the output region).
-    const Status status = engine_.compressor().decompressShards(
+    // raw bytes themselves land directly in the output region). The
+    // buffer's codec tag picks the decoder, so an adaptive peer's
+    // choice round-trips (Fixed engines have no bank and keep their
+    // single configured codec).
+    const Status status = engine_.compressorFor(buffer.codec).decompressShards(
         buffer, shard_windows_, result.data.data(),
         [&](const ParallelCompressor::DecompressedShard &shard) {
             result.shards.push_back({shard.raw_bytes, shard.wire_bytes});
@@ -341,8 +354,7 @@ prefetchFromArena(const TransferEngine &te, const Arena &arena,
     const RetryPolicy &retry = config.transfer.retry;
     const uint64_t original_bytes = arena.originalBytes(ticket);
     const uint64_t window_bytes = arena.windowBytes(ticket);
-    const Compressor &codec = engine.compressor().serial();
-    const KernelOps &kernels = codec.kernels();
+    const KernelOps &kernels = engine.compressor().serial().kernels();
 
     PrefetchResult result;
     result.data.resize(original_bytes);
@@ -396,12 +408,18 @@ prefetchFromArena(const TransferEngine &te, const Arena &arena,
                 s, view.crc32c, crc);
         }
 
-        if (view.raw_framed) {
-            // Degraded shard: the payload IS the raw bytes.
+        if (view.raw_framed || view.codec == Codec::Raw) {
+            // Degraded or policy-chosen raw shard: the payload IS the
+            // raw bytes (identity framing), one bounded copy.
             std::memcpy(result.data.data() +
                             view.first_window * window_bytes,
                         view.payload.data(), view.payload.size());
         } else {
+            // Per-shard decoder dispatch: under the adaptive policy a
+            // spill's shards can carry different codecs (the choice
+            // changed between offloads); each stored tag names the
+            // decoder that inverts it.
+            const Compressor &codec = engine.serialCodec(view.codec);
             uint64_t cursor = 0;
             uint64_t window = view.first_window;
             for (const uint32_t size : view.window_sizes) {

@@ -238,8 +238,14 @@ class TransferEngine
      * stitch the shards into a CompressedBuffer as they drain (in shard
      * order, while later shards are still compressing), and model the
      * double-buffered pipeline over the measured per-shard sizes.
+     *
+     * @p codec overrides the engine's fixed codec for this transfer
+     * (the adaptive policy's choice — requires the engine's codec bank
+     * when it differs from the fixed codec); nullopt = the engine's
+     * configured compressor, the historical behavior.
      */
-    OffloadResult offload(std::span<const uint8_t> data) const;
+    OffloadResult offload(std::span<const uint8_t> data,
+                          std::optional<Codec> codec = std::nullopt) const;
 
     /**
      * Offload @p data into @p arena: shards stream from the compression
@@ -254,9 +260,14 @@ class TransferEngine
      * engine's RetryPolicy (degrading to raw framing after repeated
      * failures). Returns Status::retryExhausted — with the partially
      * filled ticket released — when a shard burns every attempt.
+     *
+     * @p codec as in offload(): per-transfer override of the engine's
+     * fixed codec. Every stored shard carries its codec tag, so spills
+     * written with different overrides decode correctly side by side.
      */
-    StatusOr<SpilledOffload> offloadInto(std::span<const uint8_t> data,
-                                         SpillArena &arena) const;
+    StatusOr<SpilledOffload>
+    offloadInto(std::span<const uint8_t> data, SpillArena &arena,
+                std::optional<Codec> codec = std::nullopt) const;
 
     /**
      * offloadInto() against a two-tier arena: identical flow, and the
@@ -264,8 +275,9 @@ class TransferEngine
      * eviction to the arena's backing (SSD) tier under host-capacity
      * pressure.
      */
-    StatusOr<SpilledOffload> offloadInto(std::span<const uint8_t> data,
-                                         TieredSpillArena &arena) const;
+    StatusOr<SpilledOffload>
+    offloadInto(std::span<const uint8_t> data, TieredSpillArena &arena,
+                std::optional<Codec> codec = std::nullopt) const;
 
     /**
      * Prefetch @p buffer: reconstruct it shard-by-shard on the engine's

@@ -1,6 +1,7 @@
 #include "compress/compressor.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/bits.hh"
 #include "common/logging.hh"
@@ -71,6 +72,7 @@ Compressor::compress(std::span<const uint8_t> input) const
     CompressedBuffer out;
     out.original_bytes = input.size();
     out.window_bytes = window_bytes_;
+    out.codec = codecFromName(name());
 
     const uint64_t windows = ceilDiv(input.size(), window_bytes_);
     out.window_sizes.reserve(windows);
@@ -156,6 +158,86 @@ algorithmName(Algorithm algorithm)
       case Algorithm::Zlib: return "ZL";
     }
     panic("unreachable algorithm value %d", static_cast<int>(algorithm));
+}
+
+std::string
+codecName(Codec codec)
+{
+    switch (codec) {
+      case Codec::Raw:  return "raw";
+      case Codec::Rle:  return "RL";
+      case Codec::Zvc:  return "ZV";
+      case Codec::Zlib: return "ZL";
+    }
+    panic("unreachable codec value %d", static_cast<int>(codec));
+}
+
+Codec
+codecFor(Algorithm algorithm)
+{
+    switch (algorithm) {
+      case Algorithm::Rle:  return Codec::Rle;
+      case Algorithm::Zvc:  return Codec::Zvc;
+      case Algorithm::Zlib: return Codec::Zlib;
+    }
+    panic("unreachable algorithm value %d", static_cast<int>(algorithm));
+}
+
+Algorithm
+algorithmFor(Codec codec)
+{
+    switch (codec) {
+      case Codec::Rle:  return Algorithm::Rle;
+      case Codec::Zvc:  return Algorithm::Zvc;
+      case Codec::Zlib: return Algorithm::Zlib;
+      case Codec::Raw:
+        break;
+    }
+    panic("Codec::Raw has no compression algorithm");
+}
+
+Codec
+codecFromName(const std::string &name)
+{
+    if (name == "raw")
+        return Codec::Raw;
+    if (name == "RL")
+        return Codec::Rle;
+    if (name == "ZV")
+        return Codec::Zvc;
+    if (name == "ZL")
+        return Codec::Zlib;
+    panic("unknown codec tag \"%s\"", name.c_str());
+}
+
+void
+RawCompressor::compressWindowInto(std::span<const uint8_t> window,
+                                  ByteVec &out) const
+{
+    out.insert(out.end(), window.begin(), window.end());
+}
+
+Status
+RawCompressor::decompressWindowInto(std::span<const uint8_t> payload,
+                                    uint64_t original_bytes,
+                                    uint8_t *out) const
+{
+    if (payload.size() != original_bytes) {
+        return Status::truncated(
+            "raw window is %zu bytes, expected %llu", payload.size(),
+            static_cast<unsigned long long>(original_bytes));
+    }
+    std::memcpy(out, payload.data(), payload.size());
+    return Status();
+}
+
+std::unique_ptr<Compressor>
+makeCodecCompressor(Codec codec, uint64_t window_bytes,
+                    const KernelOps *kernels)
+{
+    if (codec == Codec::Raw)
+        return std::make_unique<RawCompressor>(window_bytes, kernels);
+    return makeCompressor(algorithmFor(codec), window_bytes, kernels);
 }
 
 std::unique_ptr<Compressor>

@@ -31,6 +31,40 @@
 namespace cdma {
 
 struct KernelOps;
+enum class Algorithm;
+
+/**
+ * Wire codec selector: the three lossless algorithms plus Raw, the
+ * "don't compress" choice the adaptive policy can make for dense layers
+ * whose compression loses to the wire. Raw is distinct from the
+ * store-raw *fallback* (raw_framed), which is a per-shard degradation
+ * taken after transfer faults; Codec::Raw is a deliberate up-front
+ * policy decision. Every compressed artifact (buffer, shard, spilled
+ * shard view) carries its codec so the prefetch side decodes whatever
+ * the offload side chose, shard by shard.
+ */
+enum class Codec {
+    Raw,  ///< identity framing (payload == source bytes)
+    Rle,  ///< run-length encoding ("RL")
+    Zvc,  ///< zero-value compression ("ZV")
+    Zlib, ///< DEFLATE-style upper bound ("ZL")
+};
+
+/** All codecs the policy may choose from, cheapest-decode first. */
+inline constexpr Codec kAllCodecs[] = {Codec::Raw, Codec::Rle, Codec::Zvc,
+                                       Codec::Zlib};
+
+/** Display tag for a codec ("raw", "RL", "ZV", "ZL"). */
+std::string codecName(Codec codec);
+
+/** The codec a compression algorithm frames as. */
+Codec codecFor(Algorithm algorithm);
+
+/** Inverse of codecFor(); asserts on Codec::Raw (not an Algorithm). */
+Algorithm algorithmFor(Codec codec);
+
+/** Inverse of codecName() / Compressor::name(); asserts on unknown tags. */
+Codec codecFromName(const std::string &name);
 
 /**
  * Store-raw-floored wire bytes of a compressed window sequence: every
@@ -57,6 +91,8 @@ struct CompressedBuffer {
     uint64_t original_bytes = 0;
     /** Window size used during compression. */
     uint64_t window_bytes = 0;
+    /** Codec that framed the payload (what decompress must invert). */
+    Codec codec = Codec::Zvc;
 
     /** Compressed payload size in bytes. */
     uint64_t compressedBytes() const { return payload.size(); }
@@ -187,6 +223,49 @@ std::unique_ptr<Compressor>
 makeCompressor(Algorithm algorithm,
                uint64_t window_bytes = Compressor::kDefaultWindowBytes,
                const KernelOps *kernels = nullptr);
+
+/**
+ * The identity codec (Codec::Raw): every window's payload is the window
+ * bytes verbatim, so "compression" is a bounded memcpy and decode can
+ * never fail on well-framed input. This is what the adaptive policy
+ * selects when the cost model says compressing loses to the wire — the
+ * framing (window sizes, CRC, shard boundaries) stays identical to the
+ * real codecs so the whole transfer path is codec-agnostic.
+ */
+class RawCompressor : public Compressor
+{
+  public:
+    explicit RawCompressor(uint64_t window_bytes = kDefaultWindowBytes,
+                           const KernelOps *kernels = nullptr)
+        : Compressor(window_bytes, kernels)
+    {
+    }
+
+    std::string name() const override { return "raw"; }
+
+    void compressWindowInto(std::span<const uint8_t> window,
+                            ByteVec &out) const override;
+
+    Status decompressWindowInto(std::span<const uint8_t> payload,
+                                uint64_t original_bytes,
+                                uint8_t *out) const override;
+
+    /** Raw never expands: the payload is exactly the window. */
+    uint64_t compressedBound(uint64_t raw_len) const override
+    {
+        return raw_len;
+    }
+};
+
+/**
+ * Construct the serial codec for @p codec — makeCompressor() extended
+ * over Codec::Raw. The policy engine and the engine's codec bank use
+ * this so Raw is constructible through the same factory seam.
+ */
+std::unique_ptr<Compressor>
+makeCodecCompressor(Codec codec,
+                    uint64_t window_bytes = Compressor::kDefaultWindowBytes,
+                    const KernelOps *kernels = nullptr);
 
 } // namespace cdma
 

@@ -56,6 +56,7 @@ ParallelCompressor::ParallelCompressor(std::unique_ptr<Compressor> codec,
     : codec_(std::move(codec))
 {
     CDMA_ASSERT(codec_ != nullptr, "ParallelCompressor needs a codec");
+    codec_tag_ = codecFromName(codec_->name());
     if (lanes != 1)
         pool_ = std::make_unique<ThreadPool>(lanes);
 }
@@ -91,6 +92,7 @@ ParallelCompressor::compress(std::span<const uint8_t> input) const
     CompressedBuffer out;
     out.original_bytes = input.size();
     out.window_bytes = window_bytes;
+    out.codec = codec_tag_;
     uint64_t payload_total = 0;
     for (const CompressedShard &shard : results)
         payload_total += shard.payload.size();
@@ -117,6 +119,7 @@ ParallelCompressor::compressShardInto(std::span<const uint8_t> input,
     // lanes); a null histogram disarms the timer.
     const obs::ScopedTimer timer(compress_hist_);
     const uint64_t window_bytes = codec_->windowBytes();
+    shard.codec = codec_tag_;
     shard.first_window = first;
     shard.window_sizes.reserve(last - first);
     // Reserve the shard's worst case once; every window then streams

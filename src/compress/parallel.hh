@@ -52,6 +52,13 @@ struct CompressedShard {
      * store-raw fallback.
      */
     bool raw_framed = false;
+    /**
+     * Codec that framed the payload. Stamped at compress time and
+     * carried through the spill arena so the prefetch side dispatches
+     * the matching decoder per shard — shards of one spill may differ
+     * when the adaptive policy switches codecs between offloads.
+     */
+    Codec codec = Codec::Zvc;
 
     /**
      * Bytes this shard puts on the wire under the store-raw fallback
@@ -97,6 +104,9 @@ class ParallelCompressor
 
     /** The wrapped serial codec. */
     const Compressor &serial() const { return *codec_; }
+
+    /** The codec tag stamped on every shard this compressor frames. */
+    Codec codecTag() const { return codec_tag_; }
 
     /**
      * Record wall-clock kernel latency distributions into @p metrics
@@ -205,6 +215,7 @@ class ParallelCompressor
         const std::function<void(uint64_t)> &drain) const;
 
     std::unique_ptr<Compressor> codec_;
+    Codec codec_tag_ = Codec::Zvc; ///< cached codecFromName(codec_->name())
     std::unique_ptr<ThreadPool> pool_; ///< null when lanes == 1
     /** Kernel-latency histograms; null when metrics are disabled. */
     obs::HistogramMetric *compress_hist_ = nullptr;

@@ -1,0 +1,466 @@
+#include "compress/policy.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace cdma {
+
+namespace {
+
+/**
+ * Seed cost curves: the committed BENCH_kernel_throughput.json
+ * trajectory (avx512 dispatch rows, 1-core recording host), so the
+ * policy prices sensibly out of the box. densities are the bench's
+ * sweep points; loadBenchJson() replaces these with a fresh run and
+ * observe() refines them online from measured wall-clock.
+ */
+constexpr struct {
+    double density;
+    double bytes_per_second;
+    double ratio;
+} kZvcSeed[] = {
+    {0.10, 12.11e9, 7.619}, {0.40, 12.03e9, 2.325},
+    {0.50, 11.82e9, 1.889}, {0.70, 13.38e9, 1.375},
+    {1.00, 13.06e9, 1.000},
+},
+  kRleSeed[] = {
+    {0.10, 8.92e9, 9.272}, {0.40, 3.69e9, 2.406},
+    {0.50, 3.51e9, 1.937}, {0.70, 3.90e9, 1.399},
+    {1.00, 14.10e9, 1.000},
+},
+  kZlibSeed[] = {
+    {0.10, 75.8e6, 8.200}, {0.40, 29.1e6, 2.594},
+    {1.00, 15.0e6, 1.4215},
+};
+
+/** Extract the first JSON number following @p key inside
+ *  [@p begin, @p end) of @p text; NaN when absent. */
+double
+numberAfter(const std::string &text, size_t begin, size_t end,
+            const char *key)
+{
+    const size_t at = text.find(key, begin);
+    if (at == std::string::npos || at >= end)
+        return std::numeric_limits<double>::quiet_NaN();
+    size_t cursor = at + std::strlen(key);
+    while (cursor < end &&
+           (text[cursor] == ':' || text[cursor] == ' ' ||
+            text[cursor] == '\t'))
+        ++cursor;
+    return std::strtod(text.c_str() + cursor, nullptr);
+}
+
+} // namespace
+
+CodecPolicyEngine::CodecPolicyEngine(PolicyConfig config)
+    : config_(config)
+{
+    CDMA_ASSERT(config_.wire_bandwidth > 0,
+                "policy wire bandwidth must be positive");
+    CDMA_ASSERT(config_.hysteresis_iterations >= 1,
+                "hysteresis needs at least one iteration");
+    CDMA_ASSERT(config_.ewma_alpha > 0 && config_.ewma_alpha <= 1.0,
+                "EWMA alpha must be in (0, 1]");
+    for (const auto &p : kZvcSeed)
+        zvc_curve_.push_back({p.density, p.bytes_per_second, p.ratio});
+    for (const auto &p : kRleSeed)
+        rle_curve_.push_back({p.density, p.bytes_per_second, p.ratio});
+    for (const auto &p : kZlibSeed)
+        zlib_curve_.push_back({p.density, p.bytes_per_second, p.ratio});
+}
+
+const std::vector<CodecPolicyEngine::CostPoint> &
+CodecPolicyEngine::curve(Codec codec) const
+{
+    switch (codec) {
+      case Codec::Rle:  return rle_curve_;
+      case Codec::Zvc:  return zvc_curve_;
+      case Codec::Zlib: return zlib_curve_;
+      case Codec::Raw:
+        break;
+    }
+    panic("Codec::Raw has no cost curve");
+}
+
+std::vector<CodecPolicyEngine::CostPoint> &
+CodecPolicyEngine::curve(Codec codec)
+{
+    return const_cast<std::vector<CostPoint> &>(
+        static_cast<const CodecPolicyEngine *>(this)->curve(codec));
+}
+
+double
+CodecPolicyEngine::compressThroughput(Codec codec, double density) const
+{
+    if (codec == Codec::Raw)
+        return std::numeric_limits<double>::infinity();
+    const std::vector<CostPoint> &points = curve(codec);
+    if (points.empty())
+        return std::numeric_limits<double>::infinity();
+    density = std::clamp(density, 0.0, 1.0);
+    if (density <= points.front().density)
+        return points.front().bytes_per_second;
+    if (density >= points.back().density)
+        return points.back().bytes_per_second;
+    for (size_t i = 1; i < points.size(); ++i) {
+        if (density > points[i].density)
+            continue;
+        const CostPoint &lo = points[i - 1];
+        const CostPoint &hi = points[i];
+        const double t =
+            (density - lo.density) / (hi.density - lo.density);
+        return lo.bytes_per_second +
+            t * (hi.bytes_per_second - lo.bytes_per_second);
+    }
+    return points.back().bytes_per_second;
+}
+
+double
+CodecPolicyEngine::predictedRatio(Codec codec, double density) const
+{
+    if (codec == Codec::Raw)
+        return 1.0;
+    const std::vector<CostPoint> &points = curve(codec);
+    if (points.empty())
+        return 1.0;
+    density = std::clamp(density, 0.0, 1.0);
+    if (density <= points.front().density)
+        return std::max(1.0, points.front().ratio);
+    if (density >= points.back().density)
+        return std::max(1.0, points.back().ratio);
+    for (size_t i = 1; i < points.size(); ++i) {
+        if (density > points[i].density)
+            continue;
+        const CostPoint &lo = points[i - 1];
+        const CostPoint &hi = points[i];
+        const double t =
+            (density - lo.density) / (hi.density - lo.density);
+        return std::max(1.0, lo.ratio + t * (hi.ratio - lo.ratio));
+    }
+    return std::max(1.0, points.back().ratio);
+}
+
+double
+CodecPolicyEngine::predictedSeconds(Codec codec, uint64_t raw_bytes,
+                                    double density) const
+{
+    const double bytes = static_cast<double>(raw_bytes);
+    const double throughput = compressThroughput(codec, density);
+    const double compress_seconds =
+        std::isinf(throughput) ? 0.0 : bytes / throughput;
+    const double wire_bytes = bytes / predictedRatio(codec, density);
+    return compress_seconds + wire_bytes / config_.wire_bandwidth;
+}
+
+double
+CodecPolicyEngine::sampleDensity(std::span<const uint8_t> data) const
+{
+    const uint64_t total_words = data.size() / 4;
+    if (total_words == 0)
+        return 1.0;
+    const uint64_t window_bytes = std::max<uint64_t>(4, config_.window_bytes);
+    const uint64_t windows = ceilDiv(data.size(), window_bytes);
+    const uint64_t sampled_windows =
+        std::min<uint64_t>(windows, std::max(1u, config_.max_sample_windows));
+    // Even strides at both levels keep the probe deterministic and
+    // spread it across the whole buffer (activation density is not
+    // uniform across a feature map).
+    const uint64_t window_stride = windows / sampled_windows;
+    uint64_t sampled = 0;
+    uint64_t nonzero = 0;
+    for (uint64_t i = 0; i < sampled_windows; ++i) {
+        const uint64_t base = i * window_stride * window_bytes;
+        const uint64_t span_words =
+            std::min<uint64_t>(window_bytes, data.size() - base) / 4;
+        if (span_words == 0)
+            continue;
+        const uint64_t words = std::min<uint64_t>(
+            span_words, std::max(1u, config_.sample_words_per_window));
+        const uint64_t word_stride = span_words / words;
+        for (uint64_t w = 0; w < words; ++w) {
+            uint32_t value;
+            std::memcpy(&value, data.data() + base + w * word_stride * 4,
+                        sizeof(value));
+            ++sampled;
+            nonzero += value != 0;
+        }
+    }
+    if (sampled == 0)
+        return 1.0;
+    return static_cast<double>(nonzero) / static_cast<double>(sampled);
+}
+
+PolicyDecision
+CodecPolicyEngine::decide(const std::string &label,
+                          std::span<const uint8_t> data)
+{
+    return decideFromDensity(label, data.size(), sampleDensity(data));
+}
+
+PolicyDecision
+CodecPolicyEngine::decideFromDensity(const std::string &label,
+                                     uint64_t raw_bytes, double density)
+{
+    density = std::clamp(density, 0.0, 1.0);
+    LayerState &state = layers_[label];
+
+    PolicyDecision decision;
+    decision.sampled_density = density;
+    if (!state.initialized) {
+        state.ewma_density = density;
+    } else {
+        state.ewma_density = config_.ewma_alpha * density +
+            (1.0 - config_.ewma_alpha) * state.ewma_density;
+    }
+    decision.density = state.ewma_density;
+
+    // Price every candidate at the smoothed density; the argmin is the
+    // challenger, the hysteresis below decides whether it takes over.
+    Codec best = Codec::Raw;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (const Codec candidate : kAllCodecs) {
+        if (candidate == Codec::Zlib && !config_.allow_zlib)
+            continue;
+        const double cost =
+            predictedSeconds(candidate, raw_bytes, state.ewma_density);
+        if (cost < best_cost) {
+            best = candidate;
+            best_cost = cost;
+        }
+    }
+
+    if (!state.initialized) {
+        // First sight of this layer: adopt the argmin outright. There
+        // is no incumbent to protect, so this is not a "switch".
+        state.initialized = true;
+        state.active = best;
+        state.streak = 0;
+    } else if (best == state.active) {
+        state.streak = 0;
+    } else {
+        const double active_cost = predictedSeconds(
+            state.active, raw_bytes, state.ewma_density);
+        const double win =
+            active_cost > 0 ? 1.0 - best_cost / active_cost : 0.0;
+        // Inclusive margin test (an epsilon absorbs the subtraction
+        // rounding so "exactly at the margin" qualifies).
+        if (win >= config_.switch_margin - 1e-12) {
+            if (state.challenger == best) {
+                ++state.streak;
+            } else {
+                state.challenger = best;
+                state.streak = 1;
+            }
+            if (state.streak >= config_.hysteresis_iterations) {
+                state.active = best;
+                state.streak = 0;
+                decision.switched = true;
+                ++switches_;
+                if (config_.metrics != nullptr)
+                    config_.metrics->counter("policy.switches").add(1);
+            }
+        } else {
+            state.streak = 0;
+        }
+    }
+
+    decision.codec = state.active;
+    decision.predicted_ratio =
+        predictedRatio(state.active, state.ewma_density);
+    decision.predicted_seconds =
+        predictedSeconds(state.active, raw_bytes, state.ewma_density);
+    decision.raw_seconds =
+        static_cast<double>(raw_bytes) / config_.wire_bandwidth;
+
+    ++decisions_;
+    if (config_.metrics != nullptr) {
+        config_.metrics->counter("policy.decisions").add(1);
+        // Register the switch counter even before any switch fires, so
+        // a zero-switch run exports "policy.switches: 0" instead of
+        // omitting the series.
+        config_.metrics->counter("policy.switches");
+    }
+    emitDecisionTrace(label, decision);
+    return decision;
+}
+
+void
+CodecPolicyEngine::emitDecisionTrace(const std::string &label,
+                                     const PolicyDecision &decision)
+{
+    obs::TraceRecorder *trace = config_.trace;
+    if (trace == nullptr)
+        return;
+    const uint32_t track = trace->track("policy", "decisions");
+    trace->instant(
+        track, codecName(decision.codec), trace->tick(),
+        obs::TraceArgs{{"layer", label},
+                       {"density", decision.density},
+                       {"predicted_ratio", decision.predicted_ratio},
+                       {"switched",
+                        static_cast<uint64_t>(decision.switched)}});
+}
+
+void
+CodecPolicyEngine::observe(const std::string &label,
+                           const PolicyDecision &decision,
+                           uint64_t raw_bytes, double actual_ratio,
+                           double actual_compress_seconds)
+{
+    actual_ratio = std::max(1.0, actual_ratio);
+    const double bytes = static_cast<double>(raw_bytes);
+    // Re-price the decision's codec at what actually happened: the
+    // measured compress wall-clock when the caller has one (the real
+    // byte-moving flows), else the model's own compress term (the
+    // planFromRatio flows, where only the ratio is ground truth).
+    double compress_seconds = actual_compress_seconds;
+    if (compress_seconds <= 0.0) {
+        const double throughput =
+            compressThroughput(decision.codec, decision.density);
+        compress_seconds =
+            std::isinf(throughput) ? 0.0 : bytes / throughput;
+    }
+    const double actual_seconds = compress_seconds +
+        (bytes / actual_ratio) / config_.wire_bandwidth;
+    if (config_.metrics != nullptr && actual_seconds > 0) {
+        config_.metrics->histogram("policy.predicted_error")
+            .record(std::fabs(decision.predicted_seconds -
+                              actual_seconds) /
+                    actual_seconds);
+    }
+
+    // Online refinement: fold the measurement into the nearest curve
+    // point so the model tracks the host it is actually running on.
+    if (decision.codec == Codec::Raw)
+        return;
+    std::vector<CostPoint> &points = curve(decision.codec);
+    if (points.empty())
+        return;
+    size_t nearest = 0;
+    for (size_t i = 1; i < points.size(); ++i) {
+        if (std::fabs(points[i].density - decision.density) <
+            std::fabs(points[nearest].density - decision.density))
+            nearest = i;
+    }
+    constexpr double kBlend = 0.25; // gentle: one odd batch can't warp the curve
+    if (actual_compress_seconds > 0.0 && raw_bytes > 0) {
+        const double measured_bps = bytes / actual_compress_seconds;
+        points[nearest].bytes_per_second =
+            (1.0 - kBlend) * points[nearest].bytes_per_second +
+            kBlend * measured_bps;
+    }
+    points[nearest].ratio = (1.0 - kBlend) * points[nearest].ratio +
+        kBlend * actual_ratio;
+    (void)label;
+}
+
+void
+CodecPolicyEngine::setCostPoint(Codec codec, double density,
+                                double bytes_per_second, double ratio)
+{
+    CDMA_ASSERT(codec != Codec::Raw, "Codec::Raw has no cost curve");
+    std::vector<CostPoint> &points = curve(codec);
+    for (CostPoint &point : points) {
+        if (std::fabs(point.density - density) < 1e-9) {
+            point.bytes_per_second = bytes_per_second;
+            if (ratio > 0)
+                point.ratio = ratio;
+            return;
+        }
+    }
+    CostPoint inserted{density, bytes_per_second, ratio > 0 ? ratio : 1.0};
+    const auto at = std::lower_bound(
+        points.begin(), points.end(), density,
+        [](const CostPoint &p, double d) { return p.density < d; });
+    points.insert(at, inserted);
+}
+
+bool
+CodecPolicyEngine::loadBenchJson(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::ostringstream slurp;
+    slurp << in.rdbuf();
+    const std::string text = slurp.str();
+
+    struct Family {
+        const char *name;
+        Codec codec;
+    };
+    static constexpr Family kFamilies[] = {
+        {"BM_ZvcCompress/", Codec::Zvc},
+        {"BM_RleCompress/", Codec::Rle},
+        {"BM_DeflateCompress/", Codec::Zlib},
+    };
+
+    std::vector<CostPoint> fresh[3];
+    size_t cursor = 0;
+    static const std::string kNameKey = "\"name\"";
+    while ((cursor = text.find(kNameKey, cursor)) != std::string::npos) {
+        const size_t open = text.find('"', cursor + kNameKey.size());
+        if (open == std::string::npos)
+            break;
+        const size_t close = text.find('"', open + 1);
+        if (close == std::string::npos)
+            break;
+        const std::string name = text.substr(open + 1, close - open - 1);
+        const size_t next = text.find(kNameKey, close);
+        const size_t row_end =
+            next == std::string::npos ? text.size() : next;
+        cursor = close;
+        for (size_t f = 0; f < 3; ++f) {
+            const std::string prefix = kFamilies[f].name;
+            if (name.rfind(prefix, 0) != 0)
+                continue;
+            // Only the runtime-dispatch family: the suffix must be the
+            // density integer alone, no backend/parallel decoration.
+            const std::string suffix = name.substr(prefix.size());
+            if (suffix.empty() ||
+                suffix.find_first_not_of("0123456789") !=
+                    std::string::npos)
+                continue;
+            const double density = std::stod(suffix) / 100.0;
+            const double bps = numberAfter(text, close, row_end,
+                                           "\"bytes_per_second\"");
+            const double ratio =
+                numberAfter(text, close, row_end, "\"ratio\"");
+            if (!std::isfinite(bps) || bps <= 0)
+                continue;
+            fresh[f].push_back(
+                {density, bps,
+                 std::isfinite(ratio) && ratio > 0 ? ratio : 1.0});
+        }
+    }
+
+    bool any = false;
+    for (size_t f = 0; f < 3; ++f) {
+        if (fresh[f].empty())
+            continue;
+        std::sort(fresh[f].begin(), fresh[f].end(),
+                  [](const CostPoint &a, const CostPoint &b) {
+                      return a.density < b.density;
+                  });
+        curve(kFamilies[f].codec) = std::move(fresh[f]);
+        any = true;
+    }
+    return any;
+}
+
+void
+CodecPolicyEngine::reset()
+{
+    layers_.clear();
+}
+
+} // namespace cdma

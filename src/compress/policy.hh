@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Adaptive per-layer codec policy. The paper (Figs. 4-7) shows
+ * activation density varying wildly across layers and over training:
+ * dense early conv layers compress poorly (a ZVC ratio near 1.0) while
+ * deep ReLU layers approach 90%+ zeros. A static codec knob therefore
+ * leaves time on the table both ways — dense layers pay a compression
+ * pass that loses to the wire, sparse layers shipped raw waste link
+ * bandwidth. The CodecPolicyEngine closes the loop per layer per
+ * iteration:
+ *
+ *  - an online density estimator: a cheap strided zero-word sample of
+ *    the activation buffer (a few KB read regardless of layer size),
+ *    smoothed across iterations with an EWMA so one odd batch doesn't
+ *    yank the choice around;
+ *
+ *  - a closed-form cost model pricing each candidate codec as
+ *    compress_time(raw_bytes) + wire_time(raw_bytes / ratio) against
+ *    the raw baseline wire_time(raw_bytes), using per-codec
+ *    throughput/ratio curves over density. The curves are seeded from
+ *    the committed BENCH_kernel_throughput.json trajectory and can be
+ *    re-pointed at a fresh bench run (loadBenchJson) or updated online
+ *    from measured compress wall-clock (observe);
+ *
+ *  - hysteresis: the active codec only changes when a challenger's
+ *    predicted win exceeds a configurable margin for K consecutive
+ *    decisions, so the choice doesn't flap at density boundaries where
+ *    two codecs price within noise of each other.
+ *
+ * The decision is a Codec (ZVC / RLE / ZL / raw); the transfer path is
+ * codec-agnostic per shard, so mixed-codec spill trains decode
+ * correctly whatever sequence of choices produced them.
+ */
+
+#ifndef CDMA_COMPRESS_POLICY_HH
+#define CDMA_COMPRESS_POLICY_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "compress/compressor.hh"
+
+namespace cdma {
+
+namespace obs {
+class MetricsRegistry;
+class TraceRecorder;
+} // namespace obs
+
+/** Tuning knobs of the adaptive codec policy. */
+struct PolicyConfig {
+    /**
+     * Wire bandwidth the cost model prices transfers at, in bytes/s.
+     * This should be the bandwidth a transfer actually sees — under
+     * half-duplex contention with prefetch that is roughly half the
+     * link's effective rate — not the nameplate number: compression
+     * only pays when the wire is the bottleneck, so pricing against an
+     * uncontended wire makes raw look better than it performs.
+     */
+    double wire_bandwidth = 12.8e9;
+    /**
+     * Minimum predicted relative win (1 - best_cost / active_cost) a
+     * challenger codec must sustain before a switch. The margin test is
+     * inclusive: a win exactly at the margin qualifies.
+     */
+    double switch_margin = 0.10;
+    /**
+     * Consecutive qualifying decisions required before the switch
+     * fires (fires ON the K-th). 1 = switch immediately.
+     */
+    uint32_t hysteresis_iterations = 3;
+    /** EWMA weight of the newest density sample (1.0 = no smoothing). */
+    double ewma_alpha = 0.5;
+    /** Window granularity of the density sampler. */
+    uint64_t window_bytes = Compressor::kDefaultWindowBytes;
+    /** At most this many windows are sampled, evenly strided. */
+    uint32_t max_sample_windows = 32;
+    /** 4-byte words sampled per sampled window, evenly strided. */
+    uint32_t sample_words_per_window = 32;
+    /** Allow the DEFLATE upper bound as a candidate (its software
+     *  throughput is ~3 orders below ZVC, so the cost model all but
+     *  never picks it; disable to skip pricing it at all). */
+    bool allow_zlib = true;
+    /** Decision/switch counters + predicted-error histogram land here
+     *  (non-owning; nullptr disables). */
+    obs::MetricsRegistry *metrics = nullptr;
+    /** Chosen-codec instants land on the ("policy", "decisions") track
+     *  (non-owning; nullptr disables). Rides the recorder's pseudo-
+     *  clock — attach only to recorders without real DES timelines. */
+    obs::TraceRecorder *trace = nullptr;
+};
+
+/** One per-layer, per-iteration policy decision. */
+struct PolicyDecision {
+    /** The codec to compress with (the post-hysteresis active codec). */
+    Codec codec = Codec::Zvc;
+    /** Smoothed (EWMA) density the decision priced. */
+    double density = 1.0;
+    /** This iteration's raw density sample (== density on the first). */
+    double sampled_density = 1.0;
+    /** Modeled compression ratio of the chosen codec at density. */
+    double predicted_ratio = 1.0;
+    /** Modeled compress + wire seconds of the chosen codec. */
+    double predicted_seconds = 0.0;
+    /** Modeled wire seconds of shipping the layer raw (baseline). */
+    double raw_seconds = 0.0;
+    /** This decision switched the active codec. */
+    bool switched = false;
+};
+
+/**
+ * Cost-model-driven per-layer codec selector with online density
+ * tracking and hysteresis. Not thread-safe (the offload schedule is
+ * serial per engine); one engine instance serves any number of layers,
+ * keyed by label.
+ */
+class CodecPolicyEngine
+{
+  public:
+    explicit CodecPolicyEngine(PolicyConfig config = {});
+
+    const PolicyConfig &config() const { return config_; }
+
+    /**
+     * Estimate the zero-word density of @p data and decide the codec
+     * for layer @p label. Reads at most max_sample_windows *
+     * sample_words_per_window words regardless of buffer size.
+     */
+    PolicyDecision decide(const std::string &label,
+                          std::span<const uint8_t> data);
+
+    /**
+     * Decide from an externally known density (the modeled flows, where
+     * no activation bytes exist). @p density is the nonzero fraction.
+     */
+    PolicyDecision decideFromDensity(const std::string &label,
+                                     uint64_t raw_bytes, double density);
+
+    /**
+     * Feed back what actually happened: the achieved ratio (and, when
+     * measured, the real compress wall-clock) of the transfer the
+     * decision drove. Records the relative cost-prediction error into
+     * the `policy.predicted_error` histogram, and refines the
+     * throughput curve at the decision's density from the measured
+     * wall-clock. Pass actual_compress_seconds <= 0 when unmeasured.
+     */
+    void observe(const std::string &label, const PolicyDecision &decision,
+                 uint64_t raw_bytes, double actual_ratio,
+                 double actual_compress_seconds = 0.0);
+
+    /** Nonzero 4-byte-word fraction of @p data, strided sample. */
+    double sampleDensity(std::span<const uint8_t> data) const;
+
+    /**
+     * Modeled compress throughput of @p codec at @p density, bytes/s
+     * of raw input. Codec::Raw is infinite (no compression pass).
+     */
+    double compressThroughput(Codec codec, double density) const;
+
+    /** Modeled store-raw-floored compression ratio at @p density. */
+    double predictedRatio(Codec codec, double density) const;
+
+    /** Modeled compress + wire seconds of one transfer. */
+    double predictedSeconds(Codec codec, uint64_t raw_bytes,
+                            double density) const;
+
+    /**
+     * Replace @p codec's cost curve point at @p density (inserting it
+     * if absent) — the seam tests and the online refinement use.
+     * @p ratio <= 0 keeps the existing modeled ratio.
+     */
+    void setCostPoint(Codec codec, double density, double bytes_per_second,
+                      double ratio);
+
+    /**
+     * Re-seed the throughput/ratio curves from a bench JSON produced by
+     * bench/kernel_throughput (the BM_{Zvc,Rle,Deflate}Compress/<d>
+     * dispatch rows). Returns false (leaving the compiled-in seed
+     * curves untouched) when the file is unreadable or contains no
+     * usable rows.
+     */
+    bool loadBenchJson(const std::string &path);
+
+    /** Codec switches across all layers since construction. */
+    uint64_t switches() const { return switches_; }
+
+    /** Decisions across all layers since construction. */
+    uint64_t decisions() const { return decisions_; }
+
+    /** Forget all per-layer state (curves are kept). */
+    void reset();
+
+  private:
+    /** One measured/modelled point of a codec's cost curve. */
+    struct CostPoint {
+        double density;
+        double bytes_per_second;
+        double ratio;
+    };
+
+    /** Per-layer hysteresis state. */
+    struct LayerState {
+        bool initialized = false;
+        double ewma_density = 1.0;
+        Codec active = Codec::Zvc;
+        Codec challenger = Codec::Zvc;
+        uint32_t streak = 0;
+    };
+
+    const std::vector<CostPoint> &curve(Codec codec) const;
+    std::vector<CostPoint> &curve(Codec codec);
+    void emitDecisionTrace(const std::string &label,
+                           const PolicyDecision &decision);
+
+    PolicyConfig config_;
+    std::vector<CostPoint> rle_curve_;
+    std::vector<CostPoint> zvc_curve_;
+    std::vector<CostPoint> zlib_curve_;
+    std::unordered_map<std::string, LayerState> layers_;
+    uint64_t switches_ = 0;
+    uint64_t decisions_ = 0;
+};
+
+} // namespace cdma
+
+#endif // CDMA_COMPRESS_POLICY_HH

@@ -1,9 +1,11 @@
 #include "perf/step_sim.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "sim/channel.hh"
 #include "sim/event_queue.hh"
@@ -40,15 +42,39 @@ StepResult
 StepSimulator::run(StepMode mode,
                    const std::vector<double> &output_ratios) const
 {
-    const NetworkDesc &network = manager_.network();
-    const auto &offloads = manager_.offloadSchedule();
-    const size_t L = network.layers.size();
-    CDMA_ASSERT(offloads.size() <= L, "offload schedule size mismatch");
+    const size_t L = manager_.network().layers.size();
     if (mode == StepMode::Cdma) {
         CDMA_ASSERT(output_ratios.size() == L,
                     "cDMA mode needs one compression ratio per layer "
                     "(%zu given, %zu layers)", output_ratios.size(), L);
     }
+    return runWithPlans(mode, manager_.plannedOffloads(
+        engine_, mode == StepMode::Cdma ? output_ratios
+                                        : std::vector<double>{},
+        /*raw_dma=*/mode != StepMode::Cdma));
+}
+
+StepResult
+StepSimulator::runAdaptive(
+    const std::vector<double> &output_densities) const
+{
+    // plannedAdaptiveOffloads validates the density vector and asserts
+    // the engine runs CodecMode::Adaptive with a configured policy.
+    return runWithPlans(StepMode::Cdma, manager_.plannedAdaptiveOffloads(
+        engine_, output_densities));
+}
+
+StepResult
+StepSimulator::runWithPlans(StepMode mode,
+                            const std::vector<TransferPlan> &plans) const
+{
+    const NetworkDesc &network = manager_.network();
+    const auto &offloads = manager_.offloadSchedule();
+    const size_t L = network.layers.size();
+    CDMA_ASSERT(offloads.size() <= L, "offload schedule size mismatch");
+    CDMA_ASSERT(plans.size() == offloads.size(),
+                "need one transfer plan per offload-schedule entry "
+                "(%zu given, %zu entries)", plans.size(), offloads.size());
 
     StepResult result;
     result.layers.resize(L);
@@ -86,10 +112,6 @@ StepSimulator::run(StepMode mode,
         map_bytes[op.layer_index] = op.bytes;
     const bool transfers =
         mode == StepMode::Vdnn || mode == StepMode::Cdma;
-    const std::vector<TransferPlan> plans = manager_.plannedOffloads(
-        engine_, mode == StepMode::Cdma ? output_ratios
-                                        : std::vector<double>{},
-        /*raw_dma=*/mode != StepMode::Cdma);
     std::vector<size_t> plan_of_layer(L, plans.size());
     for (size_t k = 0; k < offloads.size(); ++k) {
         const size_t i = offloads[k].layer_index;
@@ -108,6 +130,9 @@ StepSimulator::run(StepMode mode,
             result.wire_transfer_bytes += plan.wire_bytes;
             result.layers[i].offload_seconds = plan.seconds;
             result.layers[i].offload = plan.offload;
+            result.layers[i].codec = plan.codec;
+            result.layers[i].policy_predicted_seconds =
+                plan.policy_predicted_seconds;
             // plan.integrity already covers the full round trip, so
             // fold it in once (on the offload entry), not per leg.
             result.integrity.accumulate(plan.integrity);
@@ -377,6 +402,25 @@ StepSimulator::run(StepMode mode,
         pcie.contentionSeconds(Direction::Out);
     result.prefetch_contention_seconds =
         pcie.contentionSeconds(Direction::In);
+    // Close the policy's accuracy loop: the decision predicted
+    // compress + contended wire, so the comparable actual is the
+    // pipeline makespan plus whatever contention wait the duplex link
+    // actually charged this layer's offload.
+    obs::MetricsRegistry *policy_metrics = engine_.config().obs.metrics;
+    for (size_t i = 0; i < L; ++i) {
+        LayerStepStats &layer = result.layers[i];
+        if (layer.policy_predicted_seconds <= 0.0)
+            continue;
+        layer.policy_actual_seconds =
+            layer.offload_seconds + layer.offload_contention;
+        if (policy_metrics != nullptr &&
+            layer.policy_actual_seconds > 0.0) {
+            policy_metrics->histogram("policy.predicted_error")
+                .record(std::abs(layer.policy_predicted_seconds -
+                                 layer.policy_actual_seconds) /
+                        layer.policy_actual_seconds);
+        }
+    }
     return result;
 }
 

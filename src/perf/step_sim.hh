@@ -71,6 +71,16 @@ struct LayerStepStats {
     /** Wire/decompress pipeline breakdown of the input's prefetch (all
      *  zeros unless the engine runs TimingMode::Overlapped). */
     PrefetchTiming prefetch;
+    /** Codec the offload of this layer's input used (the policy's pick
+     *  under runAdaptive(); the engine's fixed codec otherwise). */
+    Codec codec = Codec::Zvc;
+    /** The adaptive policy's predicted offload cost (compress + wire)
+     *  for this layer's input; 0 when no policy decided the transfer. */
+    double policy_predicted_seconds = 0.0;
+    /** The DES-priced offload cost the prediction is compared against:
+     *  the pipeline makespan plus the contention wait the duplex link
+     *  charged (offload_seconds + offload_contention). */
+    double policy_actual_seconds = 0.0;
 
     /** Fraction of this layer's transfer time lost to link contention,
      *  clamped to [0,1] (a short transfer can wait out an opposing
@@ -151,6 +161,20 @@ class StepSimulator
                    const std::vector<double> &output_ratios = {}) const;
 
     /**
+     * Simulate one Cdma-mode iteration with the engine's adaptive codec
+     * policy choosing each transfer's codec from the per-row output
+     * activation *densities* (nonzero-value fraction, one entry per
+     * descriptor row, aligned like output_ratios). Requires the engine
+     * to run CodecMode::Adaptive with a configured policy engine. Each
+     * layer's LayerStepStats carries the chosen codec plus the policy's
+     * predicted-vs-DES-priced offload cost, and the relative prediction
+     * error is recorded into the engine's metrics registry (histogram
+     * "policy.predicted_error") when one is attached.
+     */
+    StepResult runAdaptive(const std::vector<double> &output_densities)
+        const;
+
+    /**
      * Attach a trace recorder: subsequent run() calls emit per-layer
      * compute spans on (@p process, "compute.forward" / "compute.backward")
      * and per-transfer wire spans on (@p process, "pcie.out" / "pcie.in")
@@ -162,6 +186,11 @@ class StepSimulator
     void setTrace(obs::TraceRecorder *trace, std::string process);
 
   private:
+    /** Shared DES core: run one iteration over pre-built transfer
+     *  plans (one per offload-schedule entry, forward order). */
+    StepResult runWithPlans(StepMode mode,
+                            const std::vector<TransferPlan> &plans) const;
+
     const VdnnMemoryManager &manager_;
     const CdmaEngine &engine_;
     const PerfModel &perf_;

@@ -132,6 +132,31 @@ VdnnMemoryManager::plannedOffloads(const CdmaEngine &engine,
 }
 
 std::vector<TransferPlan>
+VdnnMemoryManager::plannedAdaptiveOffloads(
+    const CdmaEngine &engine,
+    const std::vector<double> &output_densities) const
+{
+    CDMA_ASSERT(output_densities.size() == network_.layers.size(),
+                "need one output density per layer (%zu given, %zu "
+                "layers)",
+                output_densities.size(), network_.layers.size());
+    std::vector<TransferPlan> plans;
+    plans.reserve(offloads_.size());
+    for (const auto &op : offloads_) {
+        // Same alignment as plannedOffloads: the transfer paired with
+        // row i carries row i-1's output, and the raw input image batch
+        // (row 0) never compresses, so the policy never sees it.
+        if (op.layer_index == 0) {
+            plans.push_back(engine.planFromRatio(op.label, op.bytes, 1.0));
+            continue;
+        }
+        plans.push_back(engine.planFromDensity(
+            op.label, op.bytes, output_densities[op.layer_index - 1]));
+    }
+    return plans;
+}
+
+std::vector<TransferPlan>
 VdnnMemoryManager::plannedPrefetches(const CdmaEngine &engine,
                                      const std::vector<double> &output_ratios,
                                      bool raw_dma) const

@@ -168,6 +168,23 @@ class VdnnMemoryManager
                     bool raw_dma = false) const;
 
     /**
+     * plannedOffloads() driven by per-row activation *densities* instead
+     * of pre-baked ratios: each transfer's codec and ratio come from the
+     * engine's adaptive policy (CdmaEngine::planFromDensity), aligned
+     * the same way as output_ratios — the transfer paired with row i
+     * carries row i-1's output, and row 0's input (the raw image batch)
+     * never compresses (ratio 1, no policy consult). Requires the
+     * engine to run CodecMode::Adaptive with a configured policy.
+     *
+     * @param output_densities Nonzero-value fraction of each descriptor
+     *        row's output activation map, one entry per layer.
+     */
+    std::vector<TransferPlan>
+    plannedAdaptiveOffloads(const CdmaEngine &engine,
+                            const std::vector<double> &output_densities)
+        const;
+
+    /**
      * plannedOffloads() in prefetch (backward, i.e. reverse) order,
      * timed for that direction: under TimingMode::Overlapped each
      * plan's seconds becomes the prefetch pipeline's makespan

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Tests for the adaptive codec policy: density sampling accuracy, the
+ * cost model's closed form, hysteresis boundary behavior (a win exactly
+ * at the margin qualifies; K-1 consecutive wins do not switch, the K-th
+ * does; oscillating density never accumulates a streak), the
+ * constant-density oracle property (the adaptive choice equals the
+ * best static codec under the same cost model), and the observability
+ * counters.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "compress/policy.hh"
+#include "obs/metrics.hh"
+
+namespace cdma {
+namespace {
+
+/** ReLU-like fp32 words at the given density. */
+std::vector<uint8_t>
+makeInput(double density, size_t bytes, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint8_t> input(bytes, 0);
+    const size_t words = bytes / 4;
+    for (size_t i = 0; i < words; ++i) {
+        if (density > 0.0 && rng.bernoulli(density)) {
+            const float value =
+                1.0f + static_cast<float>(std::abs(rng.normal()));
+            std::memcpy(input.data() + i * 4, &value, 4);
+        }
+    }
+    return input;
+}
+
+/**
+ * A policy whose cost landscape the test fully controls: flat EWMA,
+ * no DEFLATE candidate, and every queried density gets an exact
+ * setCostPoint so interpolation never mixes in the seed curves.
+ */
+PolicyConfig
+pinnedConfig(double margin, uint32_t hysteresis)
+{
+    PolicyConfig config;
+    config.wire_bandwidth = 10.0e9;
+    config.switch_margin = margin;
+    config.hysteresis_iterations = hysteresis;
+    config.ewma_alpha = 1.0; // no smoothing: the test drives density
+    config.allow_zlib = false;
+    return config;
+}
+
+constexpr uint64_t kBytes = 10'000'000'000ull; // 1.0 s raw at 10 GB/s
+
+TEST(PolicySampling, StridedSampleMatchesKnownDensity)
+{
+    CodecPolicyEngine policy;
+    // Exact pattern: the first quarter of every 4KB window nonzero.
+    // (A pattern periodic at the sampler's word stride would alias;
+    // a contiguous block per window is stride-proof.)
+    std::vector<uint8_t> data(1 << 20, 0);
+    const size_t window_words = policy.config().window_bytes / 4;
+    for (size_t w = 0; w < data.size() / 4; ++w) {
+        if (w % window_words < window_words / 4) {
+            const float one = 1.0f;
+            std::memcpy(data.data() + w * 4, &one, 4);
+        }
+    }
+    EXPECT_NEAR(policy.sampleDensity(data), 0.25, 1e-9);
+
+    // Random fills land within sampling tolerance of the target.
+    for (const double density : {0.1, 0.5, 0.9}) {
+        const auto input = makeInput(density, 1 << 22, 77);
+        EXPECT_NEAR(policy.sampleDensity(input), density, 0.08)
+            << "density " << density;
+    }
+
+    // Degenerate inputs.
+    EXPECT_DOUBLE_EQ(policy.sampleDensity({}), 1.0);
+    const std::vector<uint8_t> zeros(4096, 0);
+    EXPECT_DOUBLE_EQ(policy.sampleDensity(zeros), 0.0);
+}
+
+TEST(PolicyCostModel, ClosedFormMatchesCurvePoints)
+{
+    CodecPolicyEngine policy(pinnedConfig(0.1, 1));
+    policy.setCostPoint(Codec::Zvc, 0.5, 20.0e9, 2.0);
+    // compress = bytes / 20 GB/s = 0.5 s; wire = (bytes / 2) / 10 GB/s
+    // = 0.5 s.
+    EXPECT_NEAR(policy.predictedSeconds(Codec::Zvc, kBytes, 0.5), 1.0,
+                1e-9);
+    // Raw: no compression pass, full bytes on the wire.
+    EXPECT_NEAR(policy.predictedSeconds(Codec::Raw, kBytes, 0.5), 1.0,
+                1e-9);
+    EXPECT_TRUE(std::isinf(policy.compressThroughput(Codec::Raw, 0.5)));
+    EXPECT_DOUBLE_EQ(policy.predictedRatio(Codec::Raw, 0.5), 1.0);
+    // The modeled ratio never drops below the store-raw floor.
+    policy.setCostPoint(Codec::Rle, 0.5, 1.0e9, 0.25);
+    EXPECT_DOUBLE_EQ(policy.predictedRatio(Codec::Rle, 0.5), 1.0);
+}
+
+TEST(PolicyHysteresis, WinExactlyAtMarginQualifies)
+{
+    // Zvc active at cost 0.8 s; Rle challenger at 0.6 s. The win is
+    // 1 - 0.6/0.8 = 0.25 == margin, which must count (inclusive test).
+    CodecPolicyEngine policy(pinnedConfig(0.25, 2));
+    policy.setCostPoint(Codec::Zvc, 0.5, 1.0e12, 2.0);  // ~0.51 s
+    policy.setCostPoint(Codec::Rle, 0.5, 1.0e9, 100.0); // ~10 s
+    const PolicyDecision first =
+        policy.decideFromDensity("L", kBytes, 0.5);
+    EXPECT_EQ(first.codec, Codec::Zvc);
+    EXPECT_FALSE(first.switched);
+
+    // Reprice: Zvc 0.3 + 0.5 = 0.8 s, Rle 0.1 + 0.5 = 0.6 s.
+    policy.setCostPoint(Codec::Zvc, 0.5, kBytes / 0.3, 2.0);
+    policy.setCostPoint(Codec::Rle, 0.5, kBytes / 0.1, 2.0);
+    const PolicyDecision second =
+        policy.decideFromDensity("L", kBytes, 0.5);
+    EXPECT_EQ(second.codec, Codec::Zvc) << "streak 1 of 2: no switch";
+    EXPECT_FALSE(second.switched);
+    const PolicyDecision third =
+        policy.decideFromDensity("L", kBytes, 0.5);
+    EXPECT_EQ(third.codec, Codec::Rle) << "switch fires on the K-th";
+    EXPECT_TRUE(third.switched);
+    EXPECT_EQ(policy.switches(), 1u);
+}
+
+TEST(PolicyHysteresis, WinBelowMarginNeverSwitches)
+{
+    CodecPolicyEngine policy(pinnedConfig(0.25, 1));
+    policy.setCostPoint(Codec::Zvc, 0.5, 1.0e12, 2.0);
+    policy.setCostPoint(Codec::Rle, 0.5, 1.0e9, 100.0);
+    ASSERT_EQ(policy.decideFromDensity("L", kBytes, 0.5).codec,
+              Codec::Zvc);
+    // Zvc 0.8 s vs Rle 0.604 s: win 0.245 < 0.25 margin.
+    policy.setCostPoint(Codec::Zvc, 0.5, kBytes / 0.3, 2.0);
+    policy.setCostPoint(Codec::Rle, 0.5, kBytes / 0.104, 2.0);
+    for (int i = 0; i < 10; ++i) {
+        const PolicyDecision d =
+            policy.decideFromDensity("L", kBytes, 0.5);
+        EXPECT_EQ(d.codec, Codec::Zvc) << "iteration " << i;
+        EXPECT_FALSE(d.switched);
+    }
+    EXPECT_EQ(policy.switches(), 0u);
+}
+
+TEST(PolicyHysteresis, KMinusOneWinsDoNotSwitch)
+{
+    for (const uint32_t k : {2u, 3u, 5u}) {
+        CodecPolicyEngine policy(pinnedConfig(0.10, k));
+        policy.setCostPoint(Codec::Zvc, 0.5, 1.0e12, 2.0);
+        policy.setCostPoint(Codec::Rle, 0.5, 1.0e9, 100.0);
+        ASSERT_EQ(policy.decideFromDensity("L", kBytes, 0.5).codec,
+                  Codec::Zvc);
+        // Make Rle clearly better from now on.
+        policy.setCostPoint(Codec::Rle, 0.5, 1.0e12, 8.0); // ~0.135 s
+        for (uint32_t i = 0; i + 1 < k; ++i) {
+            EXPECT_EQ(policy.decideFromDensity("L", kBytes, 0.5).codec,
+                      Codec::Zvc)
+                << "K=" << k << " win " << (i + 1);
+        }
+        const PolicyDecision switched =
+            policy.decideFromDensity("L", kBytes, 0.5);
+        EXPECT_EQ(switched.codec, Codec::Rle) << "K=" << k;
+        EXPECT_TRUE(switched.switched);
+        EXPECT_EQ(policy.switches(), 1u);
+    }
+}
+
+TEST(PolicyHysteresis, OscillatingDensityNeverAccumulatesAStreak)
+{
+    CodecPolicyEngine policy(pinnedConfig(0.01, 2));
+    // Zvc wins at density 0.2, Rle wins at 0.9; the costs are pinned at
+    // both densities so interpolation never blends the seed curves in.
+    policy.setCostPoint(Codec::Zvc, 0.2, 1.0e12, 4.0); // 0.26 s
+    policy.setCostPoint(Codec::Rle, 0.2, 1.0e12, 2.0); // 0.51 s
+    policy.setCostPoint(Codec::Zvc, 0.9, 1.0e9, 1.0);  // 11 s
+    policy.setCostPoint(Codec::Rle, 0.9, 1.0e12, 2.0); // 0.51 s
+    ASSERT_EQ(policy.decideFromDensity("L", kBytes, 0.2).codec,
+              Codec::Zvc);
+    for (int i = 0; i < 8; ++i) {
+        // Each challenger win is immediately voided by the density
+        // flipping back: the streak resets before reaching K=2.
+        const PolicyDecision high =
+            policy.decideFromDensity("L", kBytes, 0.9);
+        EXPECT_EQ(high.codec, Codec::Zvc) << "iteration " << i;
+        const PolicyDecision low =
+            policy.decideFromDensity("L", kBytes, 0.2);
+        EXPECT_EQ(low.codec, Codec::Zvc) << "iteration " << i;
+    }
+    EXPECT_EQ(policy.switches(), 0u);
+}
+
+TEST(PolicyOracle, ConstantDensityMatchesBestStatic)
+{
+    // At a constant density the adaptive choice must equal the best
+    // static codec under the same cost model, for every density and
+    // from the first decision on (no warm-up iterations spent worse).
+    for (const double density : {0.05, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+        PolicyConfig config;
+        config.wire_bandwidth = 6.4e9; // contended wire: mixed choices
+        CodecPolicyEngine policy(config);
+        Codec best = Codec::Raw;
+        double best_seconds = std::numeric_limits<double>::infinity();
+        for (const Codec codec : kAllCodecs) {
+            const double seconds =
+                policy.predictedSeconds(codec, kBytes, density);
+            if (seconds < best_seconds) {
+                best_seconds = seconds;
+                best = codec;
+            }
+        }
+        for (int i = 0; i < 10; ++i) {
+            const PolicyDecision d =
+                policy.decideFromDensity("L", kBytes, density);
+            EXPECT_EQ(d.codec, best)
+                << "density " << density << " iteration " << i;
+            EXPECT_NEAR(d.predicted_seconds, best_seconds, 1e-12);
+        }
+        EXPECT_EQ(policy.switches(), 0u) << "density " << density;
+    }
+}
+
+TEST(PolicyOracle, ContendedWirePicksRawForDenseAndZvcForSparse)
+{
+    // The seed curves put ZVC software compression (~12 GB/s) below
+    // the contended wire share, so dense layers must ship raw while
+    // sparse layers compress — the crossover the adaptive win rests on.
+    PolicyConfig config;
+    config.wire_bandwidth = 6.4e9;
+    CodecPolicyEngine policy(config);
+    EXPECT_EQ(policy.decideFromDensity("dense", kBytes, 1.0).codec,
+              Codec::Raw);
+    EXPECT_EQ(policy.decideFromDensity("sparse", kBytes, 0.3).codec,
+              Codec::Zvc);
+}
+
+TEST(PolicyState, LayersAreIndependentAndResetForgets)
+{
+    CodecPolicyEngine policy(pinnedConfig(0.10, 3));
+    policy.setCostPoint(Codec::Zvc, 0.5, 1.0e12, 2.0);
+    policy.setCostPoint(Codec::Rle, 0.5, 1.0e9, 100.0);
+    ASSERT_EQ(policy.decideFromDensity("A", kBytes, 0.5).codec,
+              Codec::Zvc);
+    policy.setCostPoint(Codec::Rle, 0.5, 1.0e12, 8.0);
+    // Layer B first sees the repriced landscape: it adopts Rle outright
+    // (first sight is not a switch); layer A's streak is untouched.
+    const PolicyDecision b = policy.decideFromDensity("B", kBytes, 0.5);
+    EXPECT_EQ(b.codec, Codec::Rle);
+    EXPECT_FALSE(b.switched);
+    EXPECT_EQ(policy.switches(), 0u);
+    EXPECT_EQ(policy.decideFromDensity("A", kBytes, 0.5).codec,
+              Codec::Zvc);
+
+    policy.reset();
+    // Layer A re-initializes and adopts the current argmin directly.
+    EXPECT_EQ(policy.decideFromDensity("A", kBytes, 0.5).codec,
+              Codec::Rle);
+}
+
+TEST(PolicyObserve, RecordsErrorAndRefinesTheCurve)
+{
+    obs::MetricsRegistry metrics;
+    PolicyConfig config = pinnedConfig(0.10, 1);
+    config.metrics = &metrics;
+    CodecPolicyEngine policy(config);
+    policy.setCostPoint(Codec::Zvc, 0.5, 1.0e12, 2.0);
+    const PolicyDecision d = policy.decideFromDensity("L", kBytes, 0.5);
+    ASSERT_EQ(d.codec, Codec::Zvc);
+
+    const double before = policy.compressThroughput(Codec::Zvc, 0.5);
+    // The codec actually ran at half the modeled throughput and a
+    // better ratio: the curve point must move toward both.
+    policy.observe("L", d, kBytes, 4.0,
+                   static_cast<double>(kBytes) / 0.5e12);
+    const double after = policy.compressThroughput(Codec::Zvc, 0.5);
+    EXPECT_LT(after, before);
+    EXPECT_GT(policy.predictedRatio(Codec::Zvc, 0.5), 2.0);
+    EXPECT_EQ(metrics.histogram("policy.predicted_error").count(), 1u);
+    EXPECT_EQ(metrics.counter("policy.decisions").value(), 1u);
+}
+
+TEST(PolicyDecide, SampledBufferTracksEwmaAcrossIterations)
+{
+    PolicyConfig config;
+    config.wire_bandwidth = 6.4e9;
+    config.ewma_alpha = 0.5;
+    CodecPolicyEngine policy(config);
+    const auto dense = makeInput(0.95, 1 << 20, 11);
+    const auto sparse = makeInput(0.10, 1 << 20, 12);
+    const PolicyDecision first = policy.decide("L", dense);
+    EXPECT_NEAR(first.density, first.sampled_density, 1e-12)
+        << "first sight seeds the EWMA with the raw sample";
+    const PolicyDecision second = policy.decide("L", sparse);
+    // EWMA(0.5) of ~0.95 then ~0.10 lands near 0.52.
+    EXPECT_GT(second.density, second.sampled_density);
+    EXPECT_NEAR(second.density,
+                0.5 * first.density + 0.5 * second.sampled_density,
+                1e-12);
+}
+
+} // namespace
+} // namespace cdma
